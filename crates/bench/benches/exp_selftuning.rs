@@ -1,0 +1,160 @@
+//! **E5 — self-adjusting parameters vs fixed minimum support.**
+//!
+//! Paper: "We added to Apriori as well the capability of automatically
+//! self-adjusting some of its configuration parameters to properly
+//! select meaningful itemsets depending on the anomaly being analyzed."
+//!
+//! Why it matters: anomaly sizes span four orders of magnitude (a 300K
+//! flow scan vs a 3-flow UDP flood). Any fixed minimum support is either
+//! too high for the small anomalies (misses them) or too low for the big
+//! candidate sets (buries the operator in noise itemsets). The adaptive
+//! top-k search picks the threshold per alarm.
+//!
+//! Grid: fixed absolute supports {10, 100, 1K, 10K, 100K} vs the
+//! self-tuning extractor, across anomalies of heterogeneous size.
+//!
+//! Run: `cargo bench -p anomex-bench --bench exp_selftuning`
+
+use anomex_bench::campaign::{synth_alarm, truth_set};
+use anomex_bench::fmt::{banner, table};
+use anomex_core::prelude::*;
+use anomex_fim::prelude::*;
+use anomex_flow::filter::Filter;
+use anomex_gen::prelude::*;
+
+/// Build an Extraction by mining at one fixed threshold (the ablation
+/// baseline: no self-tuning, flow support only — classic Apriori).
+fn extract_fixed(cands: &[anomex_flow::record::FlowRecord], support: u64) -> Extraction {
+    let txs = encode_flows(cands, SupportMetric::Flows);
+    let packet_txs = encode_flows(cands, SupportMetric::Packets);
+    let mined = maximal_only(mine(
+        &txs,
+        &MiningConfig {
+            algorithm: Algorithm::Apriori,
+            min_support: MinSupport::Absolute(support),
+            max_len: 4,
+            threads: 1,
+        },
+    ));
+    let mut itemsets: Vec<ExtractedItemset> = mined
+        .iter()
+        .map(|f| ExtractedItemset {
+            items: decode_itemset(&f.itemset),
+            flow_support: f.support,
+            packet_support: packet_txs.support_of(&f.itemset),
+            found_by: vec![SupportMetric::Flows],
+        })
+        .filter(|e| !e.items.is_empty())
+        .collect();
+    itemsets.sort_by(|a, b| b.flow_support.cmp(&a.flow_support).then(a.pattern().cmp(&b.pattern())));
+    Extraction {
+        itemsets,
+        candidate_flows: cands.len(),
+        candidate_packets: cands.iter().map(|f| f.packets).sum(),
+        tuning: vec![],
+    }
+}
+
+fn scenarios() -> Vec<(String, Scenario)> {
+    let t = Topology::geant();
+    let mut out = Vec::new();
+    // Heterogeneous anomaly sizes, unsampled so sizes are exact.
+    let sizes: [(AnomalyKind, usize, u64, &str); 4] = [
+        (AnomalyKind::PortScan, 300_000, 450_000, "huge scan (300K flows)"),
+        (AnomalyKind::SynFlood, 20_000, 45_000, "medium DDoS (20K flows)"),
+        (AnomalyKind::PortScan, 800, 1_200, "small scan (800 flows)"),
+        (AnomalyKind::UdpFlood, 3, 900_000, "p2p flood (3 flows, 900K pkts)"),
+    ];
+    for (i, (kind, flows, packets, label)) in sizes.into_iter().enumerate() {
+        let mut spec = AnomalySpec::template(
+            kind,
+            t.pops[i].client_addr(900 + i as u32),
+            t.pops[i + 6].server_addr(30 + i as u32),
+        );
+        spec.flows = flows;
+        spec.packets = packets;
+        let mut s =
+            Scenario::new(label, 0xE5_000 + i as u64, Backbone::Geant).with_anomaly(spec);
+        s.background.flows = 40_000;
+        out.push((label.to_string(), s));
+    }
+    out
+}
+
+fn main() {
+    println!("{}", banner("E5: fixed minimum support vs the paper's self-adjusting search"));
+    let validation = ValidationConfig::default();
+    let fixed_supports = [10u64, 100, 1_000, 10_000, 100_000];
+
+    let mut rows = vec![{
+        let mut h = vec!["anomaly".to_string()];
+        h.extend(fixed_supports.iter().map(|s| format!("fixed {s}")));
+        h.push("self-tuning".into());
+        h
+    }];
+    // Per column: how many cases extracted, total noise itemsets.
+    let cols = fixed_supports.len() + 1;
+    let mut extracted = vec![0usize; cols];
+    let mut noise = vec![0usize; cols];
+
+    for (label, scenario) in scenarios() {
+        let built = scenario.build();
+        let alarm = synth_alarm(&built, Some(0), 0);
+        let cands = candidates(&built.store, &alarm, CandidatePolicy::HintUnion);
+        let observed = built.store.query(alarm.window, &Filter::any());
+        let truth = truth_set(&built.truth);
+
+        let mut row = vec![label.clone()];
+        for (i, &support) in fixed_supports.iter().enumerate() {
+            let extraction = extract_fixed(&cands, support);
+            let v = validate(&extraction, &observed, &truth, &validation);
+            if v.is_useful() {
+                extracted[i] += 1;
+            }
+            noise[i] += v.false_itemsets;
+            row.push(format!(
+                "{} ({} noise)",
+                if v.is_useful() { "ok" } else { "MISS" },
+                v.false_itemsets
+            ));
+        }
+        let extraction =
+            Extractor::new(ExtractorConfig::geant_paper()).extract_from_candidates(&cands);
+        let v = validate(&extraction, &observed, &truth, &validation);
+        if v.is_useful() {
+            extracted[cols - 1] += 1;
+        }
+        noise[cols - 1] += v.false_itemsets;
+        row.push(format!(
+            "{} ({} noise)",
+            if v.is_useful() { "ok" } else { "MISS" },
+            v.false_itemsets
+        ));
+        rows.push(row);
+    }
+
+    let mut summary_row = vec!["TOTAL extracted / noise".to_string()];
+    for i in 0..cols {
+        summary_row.push(format!("{}/4, {} noise", extracted[i], noise[i]));
+    }
+    rows.push(summary_row);
+    println!("{}", table(&rows));
+
+    let best_fixed = (0..fixed_supports.len()).map(|i| extracted[i]).max().unwrap_or(0);
+    let tuned = extracted[cols - 1];
+    let tuned_noise = noise[cols - 1];
+    let checks = [
+        ("self-tuning extracts every anomaly size", tuned == 4),
+        ("no fixed threshold matches self-tuning coverage", best_fixed < tuned),
+        // "very few false-positive itemsets, which can be trivially
+        // filtered out" — the same level E1 measures (~3.5/case).
+        ("self-tuning keeps noise at the trivially-filtered level (<= 4/case)", tuned_noise <= 16),
+    ];
+    println!();
+    let mut ok = true;
+    for (what, passed) in checks {
+        println!("  [{}] {what}", if passed { "PASS" } else { "FAIL" });
+        ok &= passed;
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,60 @@
+//! **P2 — NetFlow codec throughput.**
+//!
+//! v5 (fixed-format) and v9 (template-based) encode/decode, plus the
+//! store's on-disk block codec — the paths every record crosses between
+//! a router export and the miner.
+//!
+//! Run: `cargo bench -p anomex-bench --bench perf_codec`
+
+use std::time::Duration;
+
+use anomex_flow::store::disk;
+use anomex_flow::v5::{self, ExportBase};
+use anomex_flow::v9;
+use anomex_gen::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn records(n: usize) -> Vec<anomex_flow::record::FlowRecord> {
+    let mut scenario = Scenario::new("codec", 0xC0DEC, Backbone::Geant);
+    scenario.background.flows = n;
+    let built = scenario.build();
+    let mut flows = built.store.snapshot();
+    flows.truncate(n);
+    flows
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+
+    // v5: packets carry at most 30 records.
+    let batch = records(30);
+    let base = ExportBase::epoch();
+    group.throughput(Throughput::Elements(30));
+    group.bench_function("v5/encode/30", |b| {
+        b.iter(|| v5::encode(&batch, base, 0).unwrap())
+    });
+    let packet = v5::encode(&batch, base, 0).unwrap();
+    group.bench_function("v5/decode/30", |b| b.iter(|| v5::decode(&packet).unwrap()));
+
+    group.bench_function("v9/encode/30", |b| b.iter(|| v9::encode(&batch, base, 0, 4)));
+    let v9_packet = v9::encode(&batch, base, 0, 4);
+    group.bench_function("v9/decode/30", |b| {
+        b.iter(|| {
+            let mut cache = v9::TemplateCache::new();
+            v9::decode(&v9_packet, &mut cache).unwrap()
+        })
+    });
+
+    // Disk block codec at store scale.
+    let block = records(10_000);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("disk/encode/10k", |b| b.iter(|| disk::encode(300_000, &block)));
+    let bytes = disk::encode(300_000, &block);
+    group.bench_function("disk/decode/10k", |b| b.iter(|| disk::decode(&bytes).unwrap()));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! **P4 — detector throughput.**
+//!
+//! Interval cutting, the KL histogram detector and the leave-one-out
+//! entropy-PCA detector over a multi-interval trace — the upstream cost
+//! of every alarm the extractor consumes.
+//!
+//! Run: `cargo bench -p anomex-bench --bench perf_detect`
+
+use std::time::Duration;
+
+use anomex_detect::prelude::*;
+use anomex_flow::store::TimeRange;
+use anomex_gen::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn trace(intervals: u64, flows_total: usize) -> (Vec<anomex_flow::record::FlowRecord>, TimeRange) {
+    let width = 60_000u64;
+    let mut scenario = Scenario::new("detect", 0xDE7EC7, Backbone::Switch);
+    scenario.background.duration_ms = intervals * width;
+    scenario.background.flows = flows_total;
+    let mut spec = AnomalySpec::template(
+        AnomalyKind::PortScan,
+        "10.103.0.66".parse().unwrap(),
+        "172.20.1.40".parse().unwrap(),
+    );
+    spec.flows = flows_total / 8;
+    spec.start_ms = (intervals - 3) * width;
+    spec.duration_ms = width;
+    let built = scenario.with_anomaly(spec).build();
+    (built.store.snapshot(), TimeRange::new(0, intervals * width))
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detect");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+
+    let (flows, span) = trace(16, 48_000);
+    let n = flows.len() as u64;
+
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("interval-cut/16x", |b| {
+        b.iter(|| IntervalSeries::cut(&flows, span, 60_000))
+    });
+
+    let series = IntervalSeries::cut(&flows, span, 60_000);
+    group.bench_function("kl/detect/16x", |b| {
+        b.iter(|| {
+            let mut det = KlDetector::new(KlConfig { interval_ms: 60_000, ..KlConfig::default() });
+            det.detect_series(&series)
+        })
+    });
+    group.bench_function("pca/detect-loo/16x", |b| {
+        b.iter(|| {
+            let mut det =
+                PcaDetector::new(PcaConfig { interval_ms: 60_000, ..PcaConfig::default() });
+            det.detect_series(&series)
+        })
+    });
+
+    // Eigendecomposition micro-bench: the PCA inner kernel.
+    let cov = {
+        let rows: Vec<Vec<f64>> = (0..32)
+            .map(|i| (0..7).map(|j| ((i * 7 + j) as f64 * 0.37).sin()).collect())
+            .collect();
+        let mut m = Matrix::from_rows(&rows);
+        m.standardize_columns();
+        m.covariance()
+    };
+    group.bench_function("jacobi/7x7", |b| b.iter(|| jacobi_eigen(&cov)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! **P3 — filter engine throughput.**
+//!
+//! Parse cost of nfdump-style expressions and match throughput over a
+//! realistic store — the inner loop of candidate selection and
+//! drill-down.
+//!
+//! Run: `cargo bench -p anomex-bench --bench perf_filter`
+
+use std::time::Duration;
+
+use anomex_flow::filter::Filter;
+use anomex_flow::store::TimeRange;
+use anomex_gen::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const SIMPLE: &str = "dst port 80";
+const COMPLEX: &str =
+    "(src net 10.4.0.0/16 or dst ip 172.16.9.40) and proto tcp and packets >= 2 and not dst port 443";
+
+fn bench_filters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+
+    group.bench_function("parse/simple", |b| b.iter(|| Filter::parse(SIMPLE).unwrap()));
+    group.bench_function("parse/complex", |b| b.iter(|| Filter::parse(COMPLEX).unwrap()));
+
+    let mut scenario = Scenario::new("filter", 0xF117E4, Backbone::Geant);
+    scenario.background.flows = 40_000;
+    let built = scenario.build();
+    let flows = built.store.snapshot();
+    let n = flows.len() as u64;
+
+    let simple = Filter::parse(SIMPLE).unwrap();
+    let complex = Filter::parse(COMPLEX).unwrap();
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("match/simple/60k", |b| {
+        b.iter(|| flows.iter().filter(|f| simple.matches(f)).count())
+    });
+    group.bench_function("match/complex/60k", |b| {
+        b.iter(|| flows.iter().filter(|f| complex.matches(f)).count())
+    });
+
+    // Store-integrated query (bin pruning + filter).
+    group.bench_function("store-query/complex", |b| {
+        b.iter(|| built.store.query(TimeRange::all(), &complex).len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_filters);
+criterion_main!(benches);

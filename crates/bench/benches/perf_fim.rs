@@ -1,0 +1,104 @@
+//! **P1 — miner throughput: Apriori vs FP-Growth vs Eclat.**
+//!
+//! Flow transactions are 4 items wide, which is the regime the paper's
+//! extended Apriori runs in. The interesting axes are transaction count
+//! and minimum support: levelwise Apriori is competitive at high support
+//! (few candidates), pattern growth wins as support drops.
+//!
+//! Run: `cargo bench -p anomex-bench --bench perf_fim`
+
+use std::time::Duration;
+
+use anomex_core::prelude::*;
+use anomex_fim::prelude::*;
+use anomex_gen::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Realistic candidate mix: background + an embedded scan.
+fn transactions(n_flows: usize) -> TransactionSet {
+    let mut spec = AnomalySpec::template(
+        AnomalyKind::PortScan,
+        "10.0.0.9".parse().unwrap(),
+        "172.16.0.1".parse().unwrap(),
+    );
+    spec.flows = n_flows / 3;
+    let mut scenario = Scenario::new("perf", 0xBE7C4, Backbone::Geant).with_anomaly(spec);
+    scenario.background.flows = n_flows - n_flows / 3;
+    let built = scenario.build();
+    encode_flows(&built.store.snapshot(), SupportMetric::Flows)
+}
+
+fn bench_miners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fim");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+
+    for &n in &[10_000usize, 40_000] {
+        let txs = transactions(n);
+        for &support in &[0.05f64, 0.01, 0.002] {
+            for algorithm in [Algorithm::Apriori, Algorithm::FpGrowth, Algorithm::Eclat] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{algorithm}/sup{support}"), n),
+                    &txs,
+                    |b, txs| {
+                        b.iter(|| {
+                            mine(
+                                txs,
+                                &MiningConfig {
+                                    algorithm,
+                                    min_support: MinSupport::Fraction(support),
+                                    max_len: 4,
+                                    threads: 1,
+                                },
+                            )
+                        })
+                    },
+                );
+            }
+        }
+    }
+
+    // Parallel Apriori counting (crossbeam) — DESIGN.md §5 ablation.
+    let txs = transactions(40_000);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("apriori-threads", threads),
+            &txs,
+            |b, txs| {
+                b.iter(|| {
+                    mine(
+                        txs,
+                        &MiningConfig {
+                            algorithm: Algorithm::Apriori,
+                            min_support: MinSupport::Fraction(0.002),
+                            max_len: 4,
+                            threads,
+                        },
+                    )
+                })
+            },
+        );
+    }
+
+    // The paper's full extraction step (dual metric + self-tuning).
+    let built = {
+        let mut spec = AnomalySpec::template(
+            AnomalyKind::PortScan,
+            "10.0.0.9".parse().unwrap(),
+            "172.16.0.1".parse().unwrap(),
+        );
+        spec.flows = 15_000;
+        let mut s = Scenario::new("perf-extract", 1, Backbone::Geant).with_anomaly(spec);
+        s.background.flows = 25_000;
+        s.build()
+    };
+    let cands = built.store.snapshot();
+    group.bench_function("extract/top-k-self-tuned/40k", |b| {
+        let extractor = Extractor::new(ExtractorConfig::geant_paper());
+        b.iter(|| extractor.extract_from_candidates(&cands))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners);
+criterion_main!(benches);

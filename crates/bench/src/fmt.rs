@@ -1,0 +1,70 @@
+//! Text-table helpers for experiment output.
+
+/// Render rows as a padded text table; the first row is the header.
+pub fn table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            out.extend(std::iter::repeat(' ').take(widths[i] - cell.len()));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Percentage with one decimal, e.g. `94.0%`.
+pub fn pct(num: usize, den: usize) -> String {
+    if den == 0 {
+        return "n/a".into();
+    }
+    format!("{:.1}%", 100.0 * num as f64 / den as f64)
+}
+
+/// Section banner used by every experiment binary.
+pub fn banner(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_pads_columns() {
+        let t = table(&[
+            vec!["a".into(), "long-header".into()],
+            vec!["xxxx".into(), "b".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "a     long-header");
+        assert_eq!(lines[1], "xxxx  b");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(38, 40), "95.0%");
+        assert_eq!(pct(0, 0), "n/a");
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert_eq!(table(&[]), "");
+    }
+}

@@ -1,0 +1,21 @@
+//! # anomex-bench
+//!
+//! The experiment harness reproducing every table, figure and
+//! quantitative claim of the paper (DESIGN.md §4). The library half
+//! holds the campaign machinery shared by the experiment binaries under
+//! `benches/` and by `examples/`:
+//!
+//! - [`campaign`] — oracle alarms with NetReflex-shaped meta-data,
+//!   per-case evaluation, and the SWITCH-31 / GEANT-40 campaign runners
+//!   behind experiments E1 and E2.
+//! - [`fmt`] — small text-table helpers for experiment output.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod campaign;
+pub mod fmt;
+
+pub use campaign::{
+    run_geant_campaign, run_switch_campaign, synth_alarm, truth_set, CampaignSummary, CaseResult,
+};

@@ -1,0 +1,150 @@
+//! The alarm database.
+//!
+//! "Our system reads from a database information about an alarm (e.g.,
+//! the time interval and the affected traffic features) and thus can be
+//! integrated with any anomaly detection system that provides these
+//! data." The database is a JSON file of [`Alarm`] records — any
+//! detector that can write JSON can feed the extractor.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use anomex_detect::alarm::Alarm;
+
+/// A JSON-file-backed (or purely in-memory) alarm store.
+#[derive(Debug, Default)]
+pub struct AlarmDb {
+    path: Option<PathBuf>,
+    alarms: Vec<Alarm>,
+}
+
+impl AlarmDb {
+    /// An unbacked, empty database.
+    pub fn in_memory() -> AlarmDb {
+        AlarmDb::default()
+    }
+
+    /// Open (or create) a database at `path`.
+    ///
+    /// # Errors
+    /// I/O errors reading the file; `InvalidData` when the file exists
+    /// but does not parse as an alarm list.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<AlarmDb> {
+        let path = path.as_ref().to_path_buf();
+        let alarms = match fs::read_to_string(&path) {
+            Ok(text) => serde_json::from_str(&text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        Ok(AlarmDb { path: Some(path), alarms })
+    }
+
+    /// Persist to the backing file (no-op for in-memory databases).
+    ///
+    /// # Errors
+    /// I/O errors writing the file.
+    pub fn save(&self) -> io::Result<()> {
+        if let Some(path) = &self.path {
+            let text = serde_json::to_string_pretty(&self.alarms)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            fs::write(path, text)?;
+        }
+        Ok(())
+    }
+
+    /// Insert an alarm, reassigning its id to stay unique, and return
+    /// the assigned id.
+    pub fn add(&mut self, mut alarm: Alarm) -> u64 {
+        let id = self.alarms.iter().map(|a| a.id + 1).max().unwrap_or(0);
+        alarm.id = id;
+        self.alarms.push(alarm);
+        id
+    }
+
+    /// Insert many alarms (detector output), returning assigned ids.
+    pub fn add_all(&mut self, alarms: Vec<Alarm>) -> Vec<u64> {
+        alarms.into_iter().map(|a| self.add(a)).collect()
+    }
+
+    /// All alarms, insertion order.
+    pub fn all(&self) -> &[Alarm] {
+        &self.alarms
+    }
+
+    /// Look an alarm up by id.
+    pub fn get(&self, id: u64) -> Option<&Alarm> {
+        self.alarms.iter().find(|a| a.id == id)
+    }
+
+    /// Number of alarms.
+    pub fn len(&self) -> usize {
+        self.alarms.len()
+    }
+
+    /// True when no alarms are stored.
+    pub fn is_empty(&self) -> bool {
+        self.alarms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anomex_flow::feature::FeatureItem;
+    use anomex_flow::store::TimeRange;
+
+    fn alarm() -> Alarm {
+        Alarm::new(99, "kl", TimeRange::new(0, 300_000))
+            .with_hints(vec![FeatureItem::dst_port(80)])
+            .with_kind("port scan")
+    }
+
+    #[test]
+    fn add_reassigns_sequential_ids() {
+        let mut db = AlarmDb::in_memory();
+        assert_eq!(db.add(alarm()), 0);
+        assert_eq!(db.add(alarm()), 1);
+        assert_eq!(db.get(1).unwrap().id, 1);
+        assert!(db.get(99).is_none(), "original id must not survive");
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join(format!("anomex-db-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("alarms.json");
+        let _ = fs::remove_file(&path);
+
+        let mut db = AlarmDb::open(&path).unwrap();
+        assert!(db.is_empty());
+        db.add(alarm());
+        db.add(alarm());
+        db.save().unwrap();
+
+        let db2 = AlarmDb::open(&path).unwrap();
+        assert_eq!(db2.len(), 2);
+        assert_eq!(db2.get(0).unwrap().kind_hint.as_deref(), Some("port scan"));
+        assert_eq!(db2.get(0).unwrap().hints, vec![FeatureItem::dst_port(80)]);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_is_invalid_data() {
+        let dir = std::env::temp_dir().join(format!("anomex-db-bad-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        fs::write(&path, "this is not json").unwrap();
+        let err = AlarmDb::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn in_memory_save_is_noop() {
+        let mut db = AlarmDb::in_memory();
+        db.add(alarm());
+        db.save().unwrap();
+    }
+}

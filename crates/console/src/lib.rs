@@ -1,0 +1,43 @@
+//! # anomex-console
+//!
+//! The operator-facing layer of the extraction system: a JSON alarm
+//! database (so "any anomaly detection system" can feed alarms in) and a
+//! scriptable console covering every workflow of the paper's GUI —
+//! list alarms, compute itemsets, investigate raw flows, tune parameters.
+//!
+//! The console runs over any `BufRead`/`Write` pair, which keeps the
+//! whole operator workflow headless and testable; see
+//! `examples/operator_console.rs` for an interactive session.
+//!
+//! ## Example
+//!
+//! ```
+//! use anomex_console::prelude::*;
+//! use anomex_detect::prelude::*;
+//! use anomex_flow::prelude::*;
+//! use std::io::Cursor;
+//!
+//! let store = FlowStore::new(60_000);
+//! store.insert(FlowRecord::builder().dst("172.16.0.1".parse().unwrap(), 80).build());
+//! let mut db = AlarmDb::in_memory();
+//! db.add(Alarm::new(0, "demo", TimeRange::all()));
+//!
+//! let mut console = Console::new(store, db);
+//! let mut out = Vec::new();
+//! console.run(Cursor::new("alarms\nquit\n".to_string()), &mut out).unwrap();
+//! assert!(String::from_utf8(out).unwrap().contains("alarm #0"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod db;
+pub mod session;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::db::AlarmDb;
+    pub use crate::session::Console;
+}
+
+pub use prelude::*;

@@ -1,0 +1,459 @@
+//! The operator console.
+//!
+//! A scriptable, line-oriented replacement for the paper's GUI: "The
+//! operator, through a GUI, can compute the frequent itemsets associated
+//! with an alarm, investigate the flows of any returned itemset, and
+//! tune the extraction parameters if needed." Every GUI affordance maps
+//! to a command; the console reads from any `BufRead` and writes to any
+//! `Write`, so the whole workflow is testable headlessly.
+
+use std::io::{BufRead, Write};
+
+use anomex_core::prelude::*;
+use anomex_detect::alarm::Alarm;
+use anomex_fim::Algorithm;
+use anomex_flow::filter::Filter;
+use anomex_flow::record::Protocol;
+use anomex_flow::store::FlowStore;
+
+use crate::db::AlarmDb;
+
+/// Console state: the store under investigation, the alarm DB, the
+/// extractor configuration and the current selection.
+pub struct Console {
+    store: FlowStore,
+    db: AlarmDb,
+    config: ExtractorConfig,
+    selected: Option<Alarm>,
+    last: Option<Extraction>,
+    /// Support columns are multiplied by this in reports (set it to the
+    /// sampling rate to show wire-scale estimates).
+    pub report_scale: u64,
+}
+
+impl Console {
+    /// Console over a flow store and an alarm database.
+    pub fn new(store: FlowStore, db: AlarmDb) -> Console {
+        Console {
+            store,
+            db,
+            config: ExtractorConfig::default(),
+            selected: None,
+            last: None,
+            report_scale: 1,
+        }
+    }
+
+    /// The active extractor configuration.
+    pub fn config(&self) -> &ExtractorConfig {
+        &self.config
+    }
+
+    /// The last extraction result, if any.
+    pub fn last_extraction(&self) -> Option<&Extraction> {
+        self.last.as_ref()
+    }
+
+    /// Run the read-eval-print loop until EOF or `quit`.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the output writer.
+    pub fn run(&mut self, input: impl BufRead, mut out: impl Write) -> std::io::Result<()> {
+        writeln!(out, "anomex console — 'help' lists commands")?;
+        for line in input.lines() {
+            let line = line?;
+            write!(out, "> ")?;
+            writeln!(out, "{line}")?;
+            if !self.dispatch(line.trim(), &mut out)? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute one command; `Ok(false)` means quit.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the output writer.
+    pub fn dispatch(&mut self, line: &str, out: &mut impl Write) -> std::io::Result<bool> {
+        let mut parts = line.split_whitespace();
+        let Some(command) = parts.next() else {
+            return Ok(true);
+        };
+        let args: Vec<&str> = parts.collect();
+        match command {
+            "help" => self.cmd_help(out)?,
+            "alarms" => self.cmd_alarms(out)?,
+            "alarm" => self.cmd_alarm(&args, out)?,
+            "extract" => self.cmd_extract(out)?,
+            "itemsets" => self.cmd_itemsets(out)?,
+            "flows" => self.cmd_flows(&args, out)?,
+            "classify" => self.cmd_classify(&args, out)?,
+            "set" => self.cmd_set(&args, out)?,
+            "show" => self.cmd_show(out)?,
+            "filter" => self.cmd_filter(&args.join(" "), out)?,
+            "quit" | "exit" => return Ok(false),
+            other => writeln!(out, "unknown command '{other}' — try 'help'")?,
+        }
+        Ok(true)
+    }
+
+    fn cmd_help(&self, out: &mut impl Write) -> std::io::Result<()> {
+        writeln!(
+            out,
+            "commands:\n  alarms                    list alarms\n  alarm <id>                select an alarm\n  extract                   mine itemsets for the selected alarm\n  itemsets                  show the last extraction table\n  flows <n> [limit]         drill into itemset n's raw flows\n  classify <n>              classify itemset n\n  set <param> <value>       tune: k, flow-floor, packet-floor,\n                            packet-support on|off, policy union|interval,\n                            algorithm apriori|fpgrowth|eclat, scale <n>\n  show                      show configuration\n  filter <expr>             count flows matching an nfdump-style filter\n  quit                      leave"
+        )
+    }
+
+    fn cmd_alarms(&self, out: &mut impl Write) -> std::io::Result<()> {
+        if self.db.is_empty() {
+            return writeln!(out, "no alarms in the database");
+        }
+        for alarm in self.db.all() {
+            writeln!(out, "{}", alarm.describe())?;
+        }
+        Ok(())
+    }
+
+    fn cmd_alarm(&mut self, args: &[&str], out: &mut impl Write) -> std::io::Result<()> {
+        let Some(id) = args.first().and_then(|s| s.parse::<u64>().ok()) else {
+            return writeln!(out, "usage: alarm <id>");
+        };
+        match self.db.get(id) {
+            Some(alarm) => {
+                writeln!(out, "selected: {}", alarm.describe())?;
+                self.selected = Some(alarm.clone());
+                self.last = None;
+            }
+            None => writeln!(out, "no alarm #{id}")?,
+        }
+        Ok(())
+    }
+
+    fn cmd_extract(&mut self, out: &mut impl Write) -> std::io::Result<()> {
+        let Some(alarm) = &self.selected else {
+            return writeln!(out, "select an alarm first ('alarm <id>')");
+        };
+        let extraction = Extractor::new(self.config).extract(&self.store, alarm);
+        write!(out, "{}", render_summary(&extraction))?;
+        if extraction.is_empty() {
+            writeln!(
+                out,
+                "no meaningful itemsets — stealthy anomaly or false-positive alarm?"
+            )?;
+        } else {
+            write!(out, "{}", render_table(&extraction, self.report_scale))?;
+        }
+        self.last = Some(extraction);
+        Ok(())
+    }
+
+    fn cmd_itemsets(&self, out: &mut impl Write) -> std::io::Result<()> {
+        match &self.last {
+            Some(extraction) if !extraction.is_empty() => {
+                write!(out, "{}", render_table(extraction, self.report_scale))
+            }
+            Some(_) => writeln!(out, "last extraction returned nothing"),
+            None => writeln!(out, "nothing extracted yet ('extract')"),
+        }
+    }
+
+    fn itemset_at(&self, args: &[&str]) -> Result<(&ExtractedItemset, usize), String> {
+        let extraction = self.last.as_ref().ok_or("nothing extracted yet ('extract')")?;
+        let index: usize = args
+            .first()
+            .and_then(|s| s.parse().ok())
+            .ok_or("usage: <command> <itemset-index>")?;
+        let itemset = extraction
+            .itemsets
+            .get(index)
+            .ok_or_else(|| format!("no itemset #{index} (have {})", extraction.itemsets.len()))?;
+        Ok((itemset, index))
+    }
+
+    fn cmd_flows(&mut self, args: &[&str], out: &mut impl Write) -> std::io::Result<()> {
+        let (itemset, _) = match self.itemset_at(args) {
+            Ok(x) => x,
+            Err(msg) => return writeln!(out, "{msg}"),
+        };
+        let Some(alarm) = &self.selected else {
+            return writeln!(out, "no alarm selected");
+        };
+        let limit: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+        let flows = drill(&self.store, alarm, itemset);
+        let summary = DrillSummary::of(&flows);
+        writeln!(out, "{}", summary.describe())?;
+        if looks_like_syn_flood(&summary) {
+            writeln!(out, "note: flag mix says TCP SYN flood")?;
+        }
+        for f in flows.iter().take(limit) {
+            writeln!(out, "  {f}")?;
+        }
+        if flows.len() > limit {
+            writeln!(out, "  ... {} more", flows.len() - limit)?;
+        }
+        Ok(())
+    }
+
+    fn cmd_classify(&mut self, args: &[&str], out: &mut impl Write) -> std::io::Result<()> {
+        let (itemset, index) = match self.itemset_at(args) {
+            Ok(x) => x,
+            Err(msg) => return writeln!(out, "{msg}"),
+        };
+        let Some(alarm) = &self.selected else {
+            return writeln!(out, "no alarm selected");
+        };
+        let flows = drill(&self.store, alarm, itemset);
+        let summary = DrillSummary::of(&flows);
+        let proto = dominant_proto(&flows);
+        let class = classify(itemset, &summary, proto);
+        writeln!(out, "itemset #{index} [{}] -> {class}", itemset.pattern())
+    }
+
+    fn cmd_set(&mut self, args: &[&str], out: &mut impl Write) -> std::io::Result<()> {
+        let usage = "usage: set k|flow-floor|packet-floor|packet-support|policy|algorithm|scale <value>";
+        let (Some(param), Some(value)) = (args.first(), args.get(1)) else {
+            return writeln!(out, "{usage}");
+        };
+        let ok = match (*param, *value) {
+            ("k", v) => v.parse().map(|k| self.config.k = k).is_ok(),
+            ("flow-floor", v) => v.parse().map(|f| self.config.flow_floor = f).is_ok(),
+            ("packet-floor", v) => v.parse().map(|f| self.config.packet_floor = f).is_ok(),
+            ("packet-support", "on") => {
+                self.config.packet_support = true;
+                true
+            }
+            ("packet-support", "off") => {
+                self.config.packet_support = false;
+                true
+            }
+            ("policy", "union") => {
+                self.config.policy = CandidatePolicy::HintUnion;
+                true
+            }
+            ("policy", "interval") => {
+                self.config.policy = CandidatePolicy::WholeInterval;
+                true
+            }
+            ("algorithm", "apriori") => {
+                self.config.algorithm = Algorithm::Apriori;
+                true
+            }
+            ("algorithm", "fpgrowth") => {
+                self.config.algorithm = Algorithm::FpGrowth;
+                true
+            }
+            ("algorithm", "eclat") => {
+                self.config.algorithm = Algorithm::Eclat;
+                true
+            }
+            ("scale", v) => v.parse().map(|s| self.report_scale = s).is_ok(),
+            _ => false,
+        };
+        if ok {
+            writeln!(out, "set {param} = {value}")
+        } else {
+            writeln!(out, "{usage}")
+        }
+    }
+
+    fn cmd_show(&self, out: &mut impl Write) -> std::io::Result<()> {
+        writeln!(
+            out,
+            "config: k={} flow-floor={} packet-floor={} packet-support={} policy={:?} algorithm={} scale={}",
+            self.config.k,
+            self.config.flow_floor,
+            self.config.packet_floor,
+            self.config.packet_support,
+            self.config.policy,
+            self.config.algorithm,
+            self.report_scale
+        )
+    }
+
+    fn cmd_filter(&self, expr: &str, out: &mut impl Write) -> std::io::Result<()> {
+        if expr.is_empty() {
+            return writeln!(out, "usage: filter <nfdump-style expression>");
+        }
+        match Filter::parse(expr) {
+            Ok(filter) => {
+                let window = self
+                    .selected
+                    .as_ref()
+                    .map(|a| a.window)
+                    .unwrap_or_else(anomex_flow::store::TimeRange::all);
+                let stats = self.store.query_stats(window, &filter);
+                writeln!(
+                    out,
+                    "{} flows, {} packets, {} bytes match",
+                    stats.flows, stats.packets, stats.bytes
+                )
+            }
+            Err(e) => writeln!(out, "filter error: {e}"),
+        }
+    }
+}
+
+/// The most common protocol among `flows` (`TCP` for an empty slice).
+fn dominant_proto(flows: &[anomex_flow::record::FlowRecord]) -> Protocol {
+    let mut counts = std::collections::HashMap::new();
+    for f in flows {
+        *counts.entry(f.proto).or_insert(0usize) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(p, c)| (c, std::cmp::Reverse(p.0)))
+        .map(|(p, _)| p)
+        .unwrap_or(Protocol::TCP)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anomex_flow::feature::FeatureItem;
+    use anomex_flow::record::{FlowRecord, TcpFlags};
+    use anomex_flow::store::TimeRange;
+    use std::io::Cursor;
+    use std::net::Ipv4Addr;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    /// A store with a port scan and a detector alarm pointing at it.
+    fn console() -> Console {
+        let store = FlowStore::new(60_000);
+        for p in 1..=500u32 {
+            store.insert(
+                FlowRecord::builder()
+                    .time(p as u64 * 10, p as u64 * 10 + 1)
+                    .src(ip("10.0.0.9"), 55_548)
+                    .dst(ip("172.16.0.1"), p as u16)
+                    .tcp_flags(TcpFlags::SYN)
+                    .volume(1, 44)
+                    .build(),
+            );
+        }
+        for i in 0..60u32 {
+            store.insert(
+                FlowRecord::builder()
+                    .time(i as u64 * 50, i as u64 * 50 + 20)
+                    .src(Ipv4Addr::from(0x0A000100 + i), 2000 + i as u16)
+                    .dst(ip("172.16.0.3"), 80)
+                    .tcp_flags(TcpFlags::COMPLETE)
+                    .volume(5, 3_000)
+                    .build(),
+            );
+        }
+        let mut db = AlarmDb::in_memory();
+        db.add(
+            Alarm::new(0, "entropy-pca", TimeRange::new(0, 60_000))
+                .with_hints(vec![FeatureItem::src_ip(ip("10.0.0.9"))])
+                .with_kind("port scan"),
+        );
+        Console::new(store, db)
+    }
+
+    fn run_script(console: &mut Console, script: &str) -> String {
+        let mut out = Vec::new();
+        console.run(Cursor::new(script.to_string()), &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn full_workflow_session() {
+        let mut c = console();
+        let out = run_script(
+            &mut c,
+            "alarms\nalarm 0\nextract\nitemsets\nflows 0 3\nclassify 0\nquit\n",
+        );
+        assert!(out.contains("port scan"), "{out}");
+        assert!(out.contains("selected: alarm #0"), "{out}");
+        assert!(out.contains("srcIP"), "table header expected: {out}");
+        assert!(out.contains("10.0.0.9"), "{out}");
+        assert!(out.contains("500"), "scan support expected: {out}");
+        assert!(out.contains("-> port scan"), "classification expected: {out}");
+    }
+
+    #[test]
+    fn extract_without_selection_is_guarded() {
+        let mut c = console();
+        let out = run_script(&mut c, "extract\n");
+        assert!(out.contains("select an alarm first"), "{out}");
+    }
+
+    #[test]
+    fn unknown_command_mentions_help() {
+        let mut c = console();
+        let out = run_script(&mut c, "frobnicate\n");
+        assert!(out.contains("unknown command 'frobnicate'"), "{out}");
+    }
+
+    #[test]
+    fn set_and_show_parameters() {
+        let mut c = console();
+        let out = run_script(
+            &mut c,
+            "set k 5\nset packet-support off\nset policy interval\nshow\n",
+        );
+        assert!(out.contains("set k = 5"), "{out}");
+        assert!(out.contains("k=5"), "{out}");
+        assert!(out.contains("packet-support=false"), "{out}");
+        assert!(out.contains("WholeInterval"), "{out}");
+        assert_eq!(c.config().k, 5);
+    }
+
+    #[test]
+    fn set_rejects_nonsense() {
+        let mut c = console();
+        let out = run_script(&mut c, "set k banana\nset policy sideways\n");
+        assert_eq!(out.matches("usage: set").count(), 2, "{out}");
+    }
+
+    #[test]
+    fn filter_counts_flows() {
+        let mut c = console();
+        let out = run_script(&mut c, "filter src ip 10.0.0.9\n");
+        assert!(out.contains("500 flows"), "{out}");
+    }
+
+    #[test]
+    fn filter_reports_parse_errors() {
+        let mut c = console();
+        let out = run_script(&mut c, "filter this is gibberish\n");
+        assert!(out.contains("filter error"), "{out}");
+    }
+
+    #[test]
+    fn flows_before_extract_is_guarded() {
+        let mut c = console();
+        let out = run_script(&mut c, "alarm 0\nflows 0\n");
+        assert!(out.contains("nothing extracted yet"), "{out}");
+    }
+
+    #[test]
+    fn quit_stops_processing() {
+        let mut c = console();
+        let out = run_script(&mut c, "quit\nalarms\n");
+        assert!(!out.contains("alarm #0"), "commands after quit ran: {out}");
+    }
+
+    #[test]
+    fn report_scale_multiplies_supports() {
+        let mut c = console();
+        let out = run_script(&mut c, "alarm 0\nset scale 100\nextract\n");
+        // 500 observed scan flows scaled by 100 -> 50.00K.
+        assert!(out.contains("50.00K"), "{out}");
+    }
+
+    #[test]
+    fn dominant_proto_prefers_majority() {
+        let flows = vec![
+            FlowRecord::builder().proto(Protocol::UDP).build(),
+            FlowRecord::builder().proto(Protocol::UDP).build(),
+            FlowRecord::builder().proto(Protocol::TCP).build(),
+        ];
+        assert_eq!(dominant_proto(&flows), Protocol::UDP);
+        assert_eq!(dominant_proto(&[]), Protocol::TCP);
+    }
+}

@@ -1,0 +1,241 @@
+//! Heuristic classification of extracted itemsets.
+//!
+//! After extraction the operator (or the console's `classify` command)
+//! wants a first guess at *what* each itemset is: the Table 1 narrative
+//! labels its rows "port scan" and "DDoS … TCP SYN flood" from exactly
+//! the signals encoded here — which dimensions are wildcarded, the
+//! flow/packet balance, the flag mix and the fan-out of the drilled
+//! flows.
+
+use anomex_flow::feature::Feature;
+use anomex_flow::record::Protocol;
+use serde::{Deserialize, Serialize};
+
+use crate::drill::DrillSummary;
+use crate::extract::ExtractedItemset;
+
+/// The label vocabulary of the classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ItemsetClass {
+    /// One source sweeping ports on one target.
+    PortScan,
+    /// One source sweeping hosts on one port.
+    NetworkScan,
+    /// Many sources hitting one `host:port`, SYN-dominated.
+    SynFlood,
+    /// Many sources hitting one `host:port` over UDP.
+    UdpDdos,
+    /// Point-to-point high-packet UDP stream.
+    UdpFlood,
+    /// ICMP flood.
+    IcmpFlood,
+    /// Few huge flows between one pair — likely benign bulk transfer.
+    AlphaFlow,
+    /// No confident label.
+    Unknown,
+}
+
+impl ItemsetClass {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ItemsetClass::PortScan => "port scan",
+            ItemsetClass::NetworkScan => "network scan",
+            ItemsetClass::SynFlood => "TCP SYN flood (DDoS)",
+            ItemsetClass::UdpDdos => "UDP DDoS",
+            ItemsetClass::UdpFlood => "point-to-point UDP flood",
+            ItemsetClass::IcmpFlood => "ICMP flood",
+            ItemsetClass::AlphaFlow => "alpha flow (bulk transfer)",
+            ItemsetClass::Unknown => "unclassified",
+        }
+    }
+}
+
+impl std::fmt::Display for ItemsetClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classify one itemset given the summary of its drilled flows and the
+/// dominant protocol among them.
+pub fn classify(
+    itemset: &ExtractedItemset,
+    summary: &DrillSummary,
+    dominant_proto: Protocol,
+) -> ItemsetClass {
+    let has = |f: Feature| itemset.items.iter().any(|i| i.feature == f);
+    let src_fixed = has(Feature::SrcIp);
+    let dst_fixed = has(Feature::DstIp);
+    let dport_fixed = has(Feature::DstPort);
+
+    if summary.flows == 0 {
+        return ItemsetClass::Unknown;
+    }
+    let packets_per_flow = summary.packets as f64 / summary.flows as f64;
+    let bytes_per_flow = summary.bytes as f64 / summary.flows as f64;
+
+    if dominant_proto == Protocol::ICMP && packets_per_flow > 50.0 {
+        return ItemsetClass::IcmpFlood;
+    }
+
+    // Point-to-point UDP flood: both endpoints fixed, tiny flow count,
+    // enormous packet rate — the paper's signature GEANT anomaly.
+    if dominant_proto == Protocol::UDP
+        && src_fixed
+        && dst_fixed
+        && summary.flows <= 20
+        && packets_per_flow > 10_000.0
+    {
+        return ItemsetClass::UdpFlood;
+    }
+
+    // Alpha flow: one pair, few flows, huge byte volume, not scan-like.
+    if src_fixed && dst_fixed && summary.flows <= 20 && bytes_per_flow > 10_000_000.0 {
+        return ItemsetClass::AlphaFlow;
+    }
+
+    // Scans: tiny flows (probe packets), high fan-out on the swept axis.
+    if src_fixed && dst_fixed && !dport_fixed && summary.distinct_dst_ports > 50
+        && packets_per_flow < 10.0
+    {
+        return ItemsetClass::PortScan;
+    }
+    if src_fixed && !dst_fixed && dport_fixed && packets_per_flow < 10.0 {
+        return ItemsetClass::NetworkScan;
+    }
+
+    // Distributed floods: victim-side fixed, source side wildcarded with
+    // high fan-in.
+    if !src_fixed && dst_fixed && dport_fixed && summary.distinct_src_ips > 20 {
+        return match dominant_proto {
+            Protocol::UDP => ItemsetClass::UdpDdos,
+            Protocol::TCP if summary.syn_only_fraction > 0.8 => ItemsetClass::SynFlood,
+            _ => ItemsetClass::Unknown,
+        };
+    }
+
+    ItemsetClass::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::SupportMetric;
+    use anomex_flow::feature::FeatureItem;
+    use std::net::Ipv4Addr;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn itemset(items: Vec<FeatureItem>) -> ExtractedItemset {
+        ExtractedItemset {
+            items,
+            flow_support: 1,
+            packet_support: 1,
+            found_by: vec![SupportMetric::Flows],
+        }
+    }
+
+    fn summary(
+        flows: u64,
+        packets: u64,
+        bytes: u64,
+        syn: f64,
+        srcs: usize,
+        dports: usize,
+    ) -> DrillSummary {
+        DrillSummary {
+            flows,
+            packets,
+            bytes,
+            first_ms: 0,
+            last_ms: 1000,
+            syn_only_fraction: syn,
+            distinct_src_ips: srcs,
+            distinct_dst_ports: dports,
+        }
+    }
+
+    #[test]
+    fn port_scan_shape() {
+        let it = itemset(vec![
+            FeatureItem::src_ip(ip("10.0.0.9")),
+            FeatureItem::dst_ip(ip("172.16.0.1")),
+            FeatureItem::src_port(55_548),
+        ]);
+        let s = summary(10_000, 12_000, 500_000, 1.0, 1, 9_500);
+        assert_eq!(classify(&it, &s, Protocol::TCP), ItemsetClass::PortScan);
+    }
+
+    #[test]
+    fn network_scan_shape() {
+        let it = itemset(vec![FeatureItem::src_ip(ip("10.0.0.9")), FeatureItem::dst_port(445)]);
+        let s = summary(5_000, 5_000, 200_000, 1.0, 1, 1);
+        assert_eq!(classify(&it, &s, Protocol::TCP), ItemsetClass::NetworkScan);
+    }
+
+    #[test]
+    fn syn_flood_shape() {
+        let it = itemset(vec![FeatureItem::dst_ip(ip("172.16.0.1")), FeatureItem::dst_port(80)]);
+        let s = summary(37_000, 74_000, 3_000_000, 0.98, 30_000, 1);
+        assert_eq!(classify(&it, &s, Protocol::TCP), ItemsetClass::SynFlood);
+    }
+
+    #[test]
+    fn udp_ddos_shape() {
+        let it = itemset(vec![FeatureItem::dst_ip(ip("172.16.0.1")), FeatureItem::dst_port(53)]);
+        let s = summary(20_000, 80_000, 40_000_000, 0.0, 15_000, 1);
+        assert_eq!(classify(&it, &s, Protocol::UDP), ItemsetClass::UdpDdos);
+    }
+
+    #[test]
+    fn p2p_udp_flood_shape() {
+        let it = itemset(vec![
+            FeatureItem::src_ip(ip("10.9.9.9")),
+            FeatureItem::dst_ip(ip("172.16.0.7")),
+            FeatureItem::src_port(4500),
+            FeatureItem::dst_port(5060),
+        ]);
+        let s = summary(3, 900_000, 1_000_000_000, 0.0, 1, 1);
+        assert_eq!(classify(&it, &s, Protocol::UDP), ItemsetClass::UdpFlood);
+    }
+
+    #[test]
+    fn alpha_flow_shape() {
+        let it = itemset(vec![
+            FeatureItem::src_ip(ip("10.1.1.1")),
+            FeatureItem::dst_ip(ip("172.16.2.2")),
+        ]);
+        let s = summary(2, 500_000, 700_000_000, 0.0, 1, 1);
+        assert_eq!(classify(&it, &s, Protocol::TCP), ItemsetClass::AlphaFlow);
+    }
+
+    #[test]
+    fn icmp_flood_shape() {
+        let it = itemset(vec![FeatureItem::src_ip(ip("10.1.1.1"))]);
+        let s = summary(1_500, 300_000, 25_000_000, 0.0, 1, 1);
+        assert_eq!(classify(&it, &s, Protocol::ICMP), ItemsetClass::IcmpFlood);
+    }
+
+    #[test]
+    fn empty_summary_is_unknown() {
+        let it = itemset(vec![FeatureItem::dst_port(80)]);
+        let s = summary(0, 0, 0, 0.0, 0, 0);
+        assert_eq!(classify(&it, &s, Protocol::TCP), ItemsetClass::Unknown);
+    }
+
+    #[test]
+    fn complete_tcp_to_one_service_is_not_a_flood() {
+        let it = itemset(vec![FeatureItem::dst_ip(ip("172.16.0.1")), FeatureItem::dst_port(80)]);
+        let s = summary(10_000, 200_000, 90_000_000, 0.02, 9_000, 1);
+        assert_eq!(classify(&it, &s, Protocol::TCP), ItemsetClass::Unknown);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ItemsetClass::SynFlood.to_string(), "TCP SYN flood (DDoS)");
+        assert_eq!(ItemsetClass::Unknown.label(), "unclassified");
+    }
+}

@@ -1,0 +1,82 @@
+//! # anomex-core
+//!
+//! The paper's contribution: automated extraction and summarization of
+//! the traffic flows causing a network anomaly, from an alarm's time
+//! interval and (possibly incomplete) feature meta-data.
+//!
+//! Pipeline (Figure 1 of the paper):
+//!
+//! ```text
+//! alarm (detector / alarm DB)
+//!   └─> candidate selection  — union of meta-data hints      [candidate]
+//!        └─> itemset encoding — flow = 4-item transaction     [encode]
+//!             └─> extended Apriori — dual support (flows +
+//!                 packets), self-tuned min-support, top-k     [extract]
+//!                  └─> ranked itemsets — Table-1 report       [report]
+//!                       ├─> flow drill-down                   [drill]
+//!                       ├─> classification heuristics         [classify]
+//!                       └─> ground-truth validation           [validate]
+//! ```
+//!
+//! ## Example
+//!
+//! ```
+//! use anomex_core::prelude::*;
+//! use anomex_detect::prelude::*;
+//! use anomex_flow::prelude::*;
+//!
+//! // A store holding a small port scan.
+//! let store = FlowStore::new(60_000);
+//! for p in 1..=200u32 {
+//!     store.insert(
+//!         FlowRecord::builder()
+//!             .time(p as u64, p as u64 + 1)
+//!             .src("10.0.0.9".parse().unwrap(), 55548)
+//!             .dst("172.16.0.1".parse().unwrap(), p as u16)
+//!             .volume(1, 44)
+//!             .build(),
+//!     );
+//! }
+//! // The detector flagged the scanner's address.
+//! let alarm = Alarm::new(0, "demo", TimeRange::new(0, 10_000))
+//!     .with_hints(vec![FeatureItem::src_ip("10.0.0.9".parse().unwrap())]);
+//!
+//! let extraction = Extractor::with_defaults().extract(&store, &alarm);
+//! assert_eq!(extraction.itemsets[0].flow_support, 200);
+//! println!("{}", render_table(&extraction, 1));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod candidate;
+pub mod classify;
+pub mod drill;
+pub mod encode;
+pub mod extract;
+pub mod report;
+pub mod validate;
+
+/// One-stop imports for downstream crates.
+pub mod prelude {
+    pub use crate::candidate::{candidate_filter, candidates, candidates_from_slice, CandidatePolicy};
+    pub use crate::classify::{classify, ItemsetClass};
+    pub use crate::drill::{
+        drill, drill_window, flag_histogram, looks_like_syn_flood, DrillSummary,
+    };
+    pub use crate::encode::{
+        decode_itemset, encode_flows, feature_of, item_of, items_of_flow, itemset_filter,
+        SupportMetric,
+    };
+    pub use crate::extract::{
+        ExtractedItemset, Extraction, Extractor, ExtractorConfig, TuningInfo,
+    };
+    pub use crate::report::{
+        human_count, render_rows, render_summary, render_table, ReportRow,
+    };
+    pub use crate::validate::{
+        validate, ItemsetVerdict, TruthEntry, TruthSet, Validation, ValidationConfig,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,240 @@
+//! Table-1-style reporting.
+//!
+//! The paper presents extraction results as a table of itemsets with
+//! wildcard columns and a support column ("List of itemsets found by our
+//! system for a particular port scan detected by NetReflex"). This module
+//! renders an [`Extraction`] in exactly that shape, plus the
+//! machine-readable variant used by the console and the benches.
+
+use anomex_flow::feature::Feature;
+use serde::{Deserialize, Serialize};
+
+use crate::extract::{ExtractedItemset, Extraction};
+
+/// Pretty-print a support count the way the paper does (`312.59K`).
+pub fn human_count(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2}G", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.2}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.2}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// One row of the report table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportRow {
+    /// srcIP column (`*` = wildcard).
+    pub src_ip: String,
+    /// dstIP column.
+    pub dst_ip: String,
+    /// srcPort column.
+    pub src_port: String,
+    /// dstPort column.
+    pub dst_port: String,
+    /// Flow support.
+    pub flows: u64,
+    /// Packet support.
+    pub packets: u64,
+}
+
+impl ReportRow {
+    /// Build the row of one extracted itemset.
+    pub fn of(e: &ExtractedItemset) -> ReportRow {
+        let cell = |f: Feature| {
+            e.items
+                .iter()
+                .find(|i| i.feature == f)
+                .map(|i| i.value.to_string())
+                .unwrap_or_else(|| "*".into())
+        };
+        ReportRow {
+            src_ip: cell(Feature::SrcIp),
+            dst_ip: cell(Feature::DstIp),
+            src_port: cell(Feature::SrcPort),
+            dst_port: cell(Feature::DstPort),
+            flows: e.flow_support,
+            packets: e.packet_support,
+        }
+    }
+}
+
+/// Render the extraction as the paper's table:
+///
+/// ```text
+/// srcIP           dstIP           srcPort  dstPort  #flows    #packets
+/// X.191.64.165    Y.13.137.129    55548    *        312.59K   325.02K
+/// ```
+///
+/// `scale` multiplies the support columns — set it to the sampling rate
+/// to report wire-scale estimates from sampled data (NetFlow practice),
+/// or 1 for raw observed counts.
+pub fn render_table(extraction: &Extraction, scale: u64) -> String {
+    let rows: Vec<ReportRow> = extraction.itemsets.iter().map(ReportRow::of).collect();
+    render_rows(&rows, scale)
+}
+
+/// Render pre-built rows (used by benches that post-process rows).
+pub fn render_rows(rows: &[ReportRow], scale: u64) -> String {
+    let scale = scale.max(1);
+    let mut table = Vec::with_capacity(rows.len() + 1);
+    table.push([
+        "srcIP".to_string(),
+        "dstIP".to_string(),
+        "srcPort".to_string(),
+        "dstPort".to_string(),
+        "#flows".to_string(),
+        "#packets".to_string(),
+    ]);
+    for r in rows {
+        table.push([
+            r.src_ip.clone(),
+            r.dst_ip.clone(),
+            r.src_port.clone(),
+            r.dst_port.clone(),
+            human_count(r.flows * scale),
+            human_count(r.packets * scale),
+        ]);
+    }
+    let mut widths = [0usize; 6];
+    for row in &table {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for row in &table {
+        for (i, (w, cell)) in widths.iter().zip(row).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            out.extend(std::iter::repeat(' ').take(w - cell.len()));
+        }
+        // Trim the padding of the last column.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A short operator summary: candidates, tuning, row count.
+pub fn render_summary(extraction: &Extraction) -> String {
+    let mut out = format!(
+        "candidates: {} flows / {} packets; {} itemset(s)\n",
+        human_count(extraction.candidate_flows as u64),
+        human_count(extraction.candidate_packets),
+        extraction.itemsets.len()
+    );
+    for t in &extraction.tuning {
+        out.push_str(&format!(
+            "  tuning[{}]: support -> {} ({} rounds, {} maximal itemsets)\n",
+            t.metric,
+            human_count(t.chosen_support),
+            t.rounds,
+            t.total_found
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::SupportMetric;
+    use anomex_flow::feature::FeatureItem;
+
+    fn itemset() -> ExtractedItemset {
+        ExtractedItemset {
+            items: vec![
+                FeatureItem::src_ip("10.0.0.9".parse().unwrap()),
+                FeatureItem::dst_ip("172.16.0.1".parse().unwrap()),
+                FeatureItem::src_port(55_548),
+            ],
+            flow_support: 312_590,
+            packet_support: 325_020,
+            found_by: vec![SupportMetric::Flows],
+        }
+    }
+
+    #[test]
+    fn human_count_matches_paper_style() {
+        assert_eq!(human_count(312_590), "312.59K");
+        assert_eq!(human_count(37_190), "37.19K");
+        assert_eq!(human_count(999), "999");
+        assert_eq!(human_count(2_500_000), "2.50M");
+        assert_eq!(human_count(3_100_000_000), "3.10G");
+    }
+
+    #[test]
+    fn row_wildcards_absent_dimensions() {
+        let row = ReportRow::of(&itemset());
+        assert_eq!(row.src_ip, "10.0.0.9");
+        assert_eq!(row.dst_port, "*");
+        assert_eq!(row.flows, 312_590);
+    }
+
+    #[test]
+    fn table_renders_header_and_rows() {
+        let ex = Extraction {
+            itemsets: vec![itemset()],
+            candidate_flows: 400_000,
+            candidate_packets: 500_000,
+            tuning: vec![],
+        };
+        let t = render_table(&ex, 1);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("srcIP"));
+        assert!(lines[1].contains("312.59K"), "{t}");
+        assert!(lines[1].contains('*'), "{t}");
+    }
+
+    #[test]
+    fn scale_multiplies_supports() {
+        let ex = Extraction {
+            itemsets: vec![itemset()],
+            candidate_flows: 1,
+            candidate_packets: 1,
+            tuning: vec![],
+        };
+        let t = render_table(&ex, 100);
+        assert!(t.contains("31.26M"), "{t}");
+    }
+
+    #[test]
+    fn no_trailing_whitespace() {
+        let ex = Extraction {
+            itemsets: vec![itemset()],
+            candidate_flows: 1,
+            candidate_packets: 1,
+            tuning: vec![],
+        };
+        for line in render_table(&ex, 1).lines() {
+            assert_eq!(line, line.trim_end());
+        }
+    }
+
+    #[test]
+    fn summary_mentions_tuning() {
+        let ex = Extraction {
+            itemsets: vec![],
+            candidate_flows: 10,
+            candidate_packets: 100,
+            tuning: vec![crate::extract::TuningInfo {
+                metric: SupportMetric::Packets,
+                chosen_support: 5_000,
+                rounds: 7,
+                total_found: 3,
+            }],
+        };
+        let s = render_summary(&ex);
+        assert!(s.contains("packets"), "{s}");
+        assert!(s.contains("7 rounds"), "{s}");
+    }
+}

@@ -1,0 +1,445 @@
+//! Validation of extraction results against ground truth.
+//!
+//! The paper validated manually ("leveraged DANTE's experience in manual
+//! anomaly investigation"). With generated traces the labels are exact,
+//! so usefulness becomes a computable quantity:
+//!
+//! - an itemset is **useful** when the flows it covers are
+//!   overwhelmingly labeled flows of a *malicious* anomaly (it points the
+//!   operator at a real security incident);
+//! - an itemset is a **false positive** otherwise (the "very few
+//!   false-positive itemsets, which can be trivially filtered out");
+//! - an anomaly is **recalled** when useful itemsets cover most of its
+//!   observed flows.
+//!
+//! The module is generator-agnostic: labels arrive as a [`TruthSet`]
+//! (flow-key sets + malicious flags), which `anomex-gen`'s ground truth
+//! converts into trivially.
+
+use std::collections::HashSet;
+
+use anomex_flow::record::{FlowKey, FlowRecord};
+use serde::{Deserialize, Serialize};
+
+use crate::extract::Extraction;
+
+/// One labeled anomaly, reduced to what validation needs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TruthEntry {
+    /// Stable id (the generator's anomaly id).
+    pub id: usize,
+    /// Exact 5-tuple keys of the anomaly's flows.
+    pub keys: HashSet<FlowKey>,
+    /// Whether an operator would treat it as a security incident
+    /// (alpha flows are labeled but benign).
+    pub malicious: bool,
+}
+
+/// All labels relevant to one alarm.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TruthSet {
+    /// The labeled anomalies.
+    pub entries: Vec<TruthEntry>,
+}
+
+impl TruthSet {
+    /// Build from raw parts.
+    pub fn new(entries: Vec<TruthEntry>) -> TruthSet {
+        TruthSet { entries }
+    }
+
+    /// Ids of the malicious entries.
+    pub fn malicious_ids(&self) -> Vec<usize> {
+        self.entries.iter().filter(|e| e.malicious).map(|e| e.id).collect()
+    }
+}
+
+/// Validation thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValidationConfig {
+    /// Minimum fraction of an itemset's covered flows that must be
+    /// malicious-labeled for the itemset to count as useful.
+    pub useful_precision: f64,
+    /// Minimum fraction of an anomaly's observed flows that useful
+    /// itemsets must cover for the anomaly to count as recalled.
+    pub recall_threshold: f64,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        ValidationConfig { useful_precision: 0.8, recall_threshold: 0.5 }
+    }
+}
+
+/// Verdict on one extracted itemset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ItemsetVerdict {
+    /// Index into `extraction.itemsets`.
+    pub index: usize,
+    /// Observed flows the itemset covers in the alarm window.
+    pub covered: usize,
+    /// Covered flows that belong to a malicious anomaly.
+    pub malicious_covered: usize,
+    /// `malicious_covered / covered` (0 when nothing is covered).
+    pub precision: f64,
+    /// Malicious anomalies this itemset meaningfully covers (≥ 10% of
+    /// the anomaly's observed flows).
+    pub matched: Vec<usize>,
+    /// Useful per [`ValidationConfig::useful_precision`].
+    pub useful: bool,
+}
+
+/// The validation outcome for one alarm.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Validation {
+    /// Per-itemset verdicts, same order as the extraction.
+    pub verdicts: Vec<ItemsetVerdict>,
+    /// Number of useful itemsets.
+    pub useful_itemsets: usize,
+    /// Number of false-positive itemsets.
+    pub false_itemsets: usize,
+    /// `(anomaly id, recall)` for every malicious entry with observed flows.
+    pub recall: Vec<(usize, f64)>,
+    /// Malicious anomalies recalled above the threshold.
+    pub recalled: Vec<usize>,
+}
+
+impl Validation {
+    /// Did extraction succeed at all (≥ 1 useful itemset)?
+    pub fn is_useful(&self) -> bool {
+        self.useful_itemsets > 0
+    }
+
+    /// Ids of malicious anomalies that at least one useful itemset
+    /// matches.
+    pub fn matched_anomalies(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self
+            .verdicts
+            .iter()
+            .filter(|v| v.useful)
+            .flat_map(|v| v.matched.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+/// Validate `extraction` against `truth`, over the observed flows of the
+/// alarm window (`observed` = what the store returned for the window,
+/// post-sampling).
+pub fn validate(
+    extraction: &Extraction,
+    observed: &[FlowRecord],
+    truth: &TruthSet,
+    config: &ValidationConfig,
+) -> Validation {
+    // Pre-compute per-entry observed flow indices.
+    let malicious: Vec<&TruthEntry> = truth.entries.iter().filter(|e| e.malicious).collect();
+    let mut observed_per_entry: Vec<usize> = vec![0; malicious.len()];
+    for f in observed {
+        for (i, e) in malicious.iter().enumerate() {
+            if e.keys.contains(&f.key()) {
+                observed_per_entry[i] += 1;
+            }
+        }
+    }
+
+    let mut verdicts = Vec::with_capacity(extraction.itemsets.len());
+    // Union coverage per malicious entry across useful itemsets.
+    let mut covered_union: Vec<HashSet<FlowKey>> =
+        vec![HashSet::new(); malicious.len()];
+
+    for (index, itemset) in extraction.itemsets.iter().enumerate() {
+        let mut covered = 0usize;
+        let mut malicious_covered = 0usize;
+        let mut per_entry = vec![0usize; malicious.len()];
+        let mut touched: Vec<Vec<FlowKey>> = vec![Vec::new(); malicious.len()];
+        for f in observed {
+            if !itemset.covers(f) {
+                continue;
+            }
+            covered += 1;
+            let key = f.key();
+            let mut is_malicious = false;
+            for (i, e) in malicious.iter().enumerate() {
+                if e.keys.contains(&key) {
+                    per_entry[i] += 1;
+                    touched[i].push(key);
+                    is_malicious = true;
+                }
+            }
+            if is_malicious {
+                malicious_covered += 1;
+            }
+        }
+        let precision =
+            if covered > 0 { malicious_covered as f64 / covered as f64 } else { 0.0 };
+        let matched: Vec<usize> = malicious
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| {
+                observed_per_entry[i] > 0
+                    && per_entry[i] as f64 / observed_per_entry[i] as f64 >= 0.1
+            })
+            .map(|(_, e)| e.id)
+            .collect();
+        let useful = covered > 0 && precision >= config.useful_precision && !matched.is_empty();
+        if useful {
+            for (i, keys) in touched.into_iter().enumerate() {
+                covered_union[i].extend(keys);
+            }
+        }
+        verdicts.push(ItemsetVerdict {
+            index,
+            covered,
+            malicious_covered,
+            precision,
+            matched,
+            useful,
+        });
+    }
+
+    let useful_itemsets = verdicts.iter().filter(|v| v.useful).count();
+    let false_itemsets = verdicts.len() - useful_itemsets;
+
+    let mut recall = Vec::new();
+    let mut recalled = Vec::new();
+    for (i, e) in malicious.iter().enumerate() {
+        if observed_per_entry[i] == 0 {
+            continue; // invisible after sampling: recall undefined
+        }
+        // Count distinct covered observed keys (multiple observed records
+        // can share a key; key-level recall is the operator-relevant one).
+        let observed_keys: HashSet<FlowKey> = observed
+            .iter()
+            .map(FlowRecord::key)
+            .filter(|k| e.keys.contains(k))
+            .collect();
+        let r = covered_union[i].len() as f64 / observed_keys.len().max(1) as f64;
+        recall.push((e.id, r));
+        if r >= config.recall_threshold {
+            recalled.push(e.id);
+        }
+    }
+
+    Validation { verdicts, useful_itemsets, false_itemsets, recall, recalled }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::SupportMetric;
+    use crate::extract::ExtractedItemset;
+    use anomex_flow::feature::FeatureItem;
+    use std::net::Ipv4Addr;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn scan_flows() -> Vec<FlowRecord> {
+        let mut flows: Vec<FlowRecord> = (1..=100u32)
+            .map(|p| {
+                FlowRecord::builder()
+                    .time(p as u64, p as u64 + 1)
+                    .src(ip("10.0.0.9"), 55_548)
+                    .dst(ip("172.16.0.1"), p as u16)
+                    .volume(1, 44)
+                    .build()
+            })
+            .collect();
+        for i in 0..20u32 {
+            flows.push(
+                FlowRecord::builder()
+                    .time(i as u64, i as u64 + 5)
+                    .src(Ipv4Addr::from(0x0A000100 + i), 2000)
+                    .dst(ip("172.16.0.2"), 80)
+                    .volume(3, 1000)
+                    .build(),
+            );
+        }
+        flows
+    }
+
+    fn scan_truth(flows: &[FlowRecord]) -> TruthSet {
+        let keys: HashSet<FlowKey> =
+            flows.iter().filter(|f| f.src_ip == ip("10.0.0.9")).map(|f| f.key()).collect();
+        TruthSet::new(vec![TruthEntry { id: 0, keys, malicious: true }])
+    }
+
+    fn scan_itemset() -> ExtractedItemset {
+        ExtractedItemset {
+            items: vec![
+                FeatureItem::src_ip(ip("10.0.0.9")),
+                FeatureItem::dst_ip(ip("172.16.0.1")),
+                FeatureItem::src_port(55_548),
+            ],
+            flow_support: 100,
+            packet_support: 100,
+            found_by: vec![SupportMetric::Flows],
+        }
+    }
+
+    fn benign_itemset() -> ExtractedItemset {
+        ExtractedItemset {
+            items: vec![FeatureItem::dst_ip(ip("172.16.0.2")), FeatureItem::dst_port(80)],
+            flow_support: 20,
+            packet_support: 60,
+            found_by: vec![SupportMetric::Flows],
+        }
+    }
+
+    fn extraction(itemsets: Vec<ExtractedItemset>) -> Extraction {
+        Extraction { itemsets, candidate_flows: 120, candidate_packets: 500, tuning: vec![] }
+    }
+
+    #[test]
+    fn useful_itemset_recognized() {
+        let flows = scan_flows();
+        let truth = scan_truth(&flows);
+        let v = validate(
+            &extraction(vec![scan_itemset()]),
+            &flows,
+            &truth,
+            &ValidationConfig::default(),
+        );
+        assert!(v.is_useful());
+        assert_eq!(v.useful_itemsets, 1);
+        assert_eq!(v.false_itemsets, 0);
+        assert_eq!(v.matched_anomalies(), vec![0]);
+        assert_eq!(v.recall.len(), 1);
+        assert!(v.recall[0].1 > 0.99, "full recall expected: {}", v.recall[0].1);
+        assert_eq!(v.recalled, vec![0]);
+    }
+
+    #[test]
+    fn benign_itemset_is_false_positive() {
+        let flows = scan_flows();
+        let truth = scan_truth(&flows);
+        let v = validate(
+            &extraction(vec![scan_itemset(), benign_itemset()]),
+            &flows,
+            &truth,
+            &ValidationConfig::default(),
+        );
+        assert_eq!(v.useful_itemsets, 1);
+        assert_eq!(v.false_itemsets, 1);
+        assert!(!v.verdicts[1].useful);
+        assert_eq!(v.verdicts[1].precision, 0.0);
+    }
+
+    #[test]
+    fn benign_truth_never_counts_as_useful() {
+        let flows = scan_flows();
+        // Same keys, but labeled benign (alpha-flow style).
+        let keys: HashSet<FlowKey> =
+            flows.iter().filter(|f| f.src_ip == ip("10.0.0.9")).map(|f| f.key()).collect();
+        let truth = TruthSet::new(vec![TruthEntry { id: 0, keys, malicious: false }]);
+        let v = validate(
+            &extraction(vec![scan_itemset()]),
+            &flows,
+            &truth,
+            &ValidationConfig::default(),
+        );
+        assert!(!v.is_useful(), "benign labels must not make itemsets useful");
+    }
+
+    #[test]
+    fn empty_extraction_is_not_useful() {
+        let flows = scan_flows();
+        let truth = scan_truth(&flows);
+        let v = validate(&extraction(vec![]), &flows, &truth, &ValidationConfig::default());
+        assert!(!v.is_useful());
+        assert_eq!(v.recall[0].1, 0.0);
+    }
+
+    #[test]
+    fn invisible_anomaly_has_no_recall_entry() {
+        let flows = scan_flows();
+        let mut truth = scan_truth(&flows);
+        // A second anomaly whose flows were entirely sampled away.
+        truth.entries.push(TruthEntry {
+            id: 1,
+            keys: HashSet::from([FlowKey {
+                src_ip: ip("10.5.5.5"),
+                dst_ip: ip("172.16.9.9"),
+                src_port: 1,
+                dst_port: 2,
+                proto: anomex_flow::record::Protocol::UDP,
+            }]),
+            malicious: true,
+        });
+        let v = validate(
+            &extraction(vec![scan_itemset()]),
+            &flows,
+            &truth,
+            &ValidationConfig::default(),
+        );
+        assert_eq!(v.recall.len(), 1, "only the visible anomaly is scored");
+    }
+
+    #[test]
+    fn partial_coverage_counts_partially() {
+        let flows = scan_flows();
+        let truth = scan_truth(&flows);
+        // An itemset pinning one scanned port covers 1/100 of the scan.
+        let narrow = ExtractedItemset {
+            items: vec![
+                FeatureItem::src_ip(ip("10.0.0.9")),
+                FeatureItem::dst_port(7),
+            ],
+            flow_support: 1,
+            packet_support: 1,
+            found_by: vec![SupportMetric::Flows],
+        };
+        let v = validate(
+            &extraction(vec![narrow]),
+            &flows,
+            &truth,
+            &ValidationConfig::default(),
+        );
+        // Precise (covers only scan flows) but matches below the 10%
+        // anomaly-coverage bar -> not useful.
+        assert_eq!(v.verdicts[0].precision, 1.0);
+        assert!(!v.verdicts[0].useful);
+    }
+
+    #[test]
+    fn two_anomalies_matched_separately() {
+        let mut flows = scan_flows();
+        // Second incident: SYN flood on 172.16.0.9:80 from many sources.
+        for i in 0..50u32 {
+            flows.push(
+                FlowRecord::builder()
+                    .time(i as u64, i as u64 + 1)
+                    .src(Ipv4Addr::from(0x64000000 + i), 3072)
+                    .dst(ip("172.16.0.9"), 80)
+                    .volume(2, 80)
+                    .build(),
+            );
+        }
+        let scan_keys: HashSet<FlowKey> =
+            flows.iter().filter(|f| f.src_ip == ip("10.0.0.9")).map(|f| f.key()).collect();
+        let flood_keys: HashSet<FlowKey> =
+            flows.iter().filter(|f| f.dst_ip == ip("172.16.0.9")).map(|f| f.key()).collect();
+        let truth = TruthSet::new(vec![
+            TruthEntry { id: 0, keys: scan_keys, malicious: true },
+            TruthEntry { id: 1, keys: flood_keys, malicious: true },
+        ]);
+        let flood_itemset = ExtractedItemset {
+            items: vec![FeatureItem::dst_ip(ip("172.16.0.9")), FeatureItem::dst_port(80)],
+            flow_support: 50,
+            packet_support: 100,
+            found_by: vec![SupportMetric::Flows],
+        };
+        let v = validate(
+            &extraction(vec![scan_itemset(), flood_itemset]),
+            &flows,
+            &truth,
+            &ValidationConfig::default(),
+        );
+        assert_eq!(v.matched_anomalies(), vec![0, 1]);
+        assert_eq!(v.recalled.len(), 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! The alarm interface between detectors and the extractor.
+//!
+//! The paper's system "reads from a database information about an alarm
+//! (e.g., the time interval and the affected traffic features) and thus
+//! can be integrated with any anomaly detection system that provides
+//! these data". [`Alarm`] is exactly that record: a time interval plus
+//! fine-grained feature meta-data ([`FeatureItem`]s), possibly incomplete
+//! — which is the whole reason extraction exists.
+
+use anomex_flow::feature::FeatureItem;
+use anomex_flow::store::TimeRange;
+use serde::{Deserialize, Serialize};
+
+/// How confident the detector is / how severe the event looks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational: borderline deviation.
+    Low,
+    /// Clear statistical deviation.
+    Medium,
+    /// Large deviation, likely operationally relevant.
+    High,
+}
+
+/// One detector alarm: the extraction input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alarm {
+    /// Stable identifier within a run (detector-assigned).
+    pub id: u64,
+    /// Name of the detector that raised it (`"kl"`, `"entropy-pca"`, …).
+    pub detector: String,
+    /// The flagged time interval.
+    pub window: TimeRange,
+    /// Fine-grained meta-data: affected feature values. May cover only
+    /// part of the anomaly (the paper's §2: meta-data "can miss part of
+    /// an anomaly or may include a large number of false-positive flows").
+    pub hints: Vec<FeatureItem>,
+    /// The detector's label guess, free-form ("port scan", "DoS", …).
+    pub kind_hint: Option<String>,
+    /// Detection score (detector-specific scale: KL bits, Q-statistic…).
+    pub score: f64,
+    /// Coarse severity derived from the score.
+    pub severity: Severity,
+}
+
+impl Alarm {
+    /// Build an alarm with the minimum required fields.
+    pub fn new(id: u64, detector: impl Into<String>, window: TimeRange) -> Alarm {
+        Alarm {
+            id,
+            detector: detector.into(),
+            window,
+            hints: Vec::new(),
+            kind_hint: None,
+            score: 0.0,
+            severity: Severity::Medium,
+        }
+    }
+
+    /// Attach meta-data hints (builder style).
+    pub fn with_hints(mut self, hints: Vec<FeatureItem>) -> Alarm {
+        self.hints = hints;
+        self
+    }
+
+    /// Attach a kind guess (builder style).
+    pub fn with_kind(mut self, kind: impl Into<String>) -> Alarm {
+        self.kind_hint = Some(kind.into());
+        self
+    }
+
+    /// Attach a score and derive severity from `(score / alarm_threshold)`.
+    pub fn with_score(mut self, score: f64, threshold: f64) -> Alarm {
+        self.score = score;
+        let ratio = if threshold > 0.0 { score / threshold } else { f64::INFINITY };
+        self.severity = if ratio >= 4.0 {
+            Severity::High
+        } else if ratio >= 1.5 {
+            Severity::Medium
+        } else {
+            Severity::Low
+        };
+        self
+    }
+
+    /// One-line rendering for logs and the console.
+    pub fn describe(&self) -> String {
+        let hints = if self.hints.is_empty() {
+            "no hints".to_string()
+        } else {
+            self.hints.iter().map(|h| h.to_string()).collect::<Vec<_>>().join(", ")
+        };
+        format!(
+            "alarm #{} [{}] {:?} window {}..{} score {:.3}: {} ({})",
+            self.id,
+            self.detector,
+            self.severity,
+            self.window.from_ms,
+            self.window.to_ms,
+            self.score,
+            hints,
+            self.kind_hint.as_deref().unwrap_or("unclassified"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn severity_from_score_ratio() {
+        let w = TimeRange::new(0, 1000);
+        assert_eq!(Alarm::new(1, "kl", w).with_score(10.0, 2.0).severity, Severity::High);
+        assert_eq!(Alarm::new(1, "kl", w).with_score(3.5, 2.0).severity, Severity::Medium);
+        assert_eq!(Alarm::new(1, "kl", w).with_score(2.1, 2.0).severity, Severity::Low);
+    }
+
+    #[test]
+    fn zero_threshold_is_high() {
+        let a = Alarm::new(1, "kl", TimeRange::new(0, 1)).with_score(0.5, 0.0);
+        assert_eq!(a.severity, Severity::High);
+    }
+
+    #[test]
+    fn describe_includes_hints_and_kind() {
+        let a = Alarm::new(7, "entropy-pca", TimeRange::new(0, 300_000))
+            .with_hints(vec![FeatureItem::src_ip(ip("10.0.0.1")), FeatureItem::dst_port(80)])
+            .with_kind("port scan");
+        let d = a.describe();
+        assert!(d.contains("srcIP=10.0.0.1"), "{d}");
+        assert!(d.contains("dstPort=80"), "{d}");
+        assert!(d.contains("port scan"), "{d}");
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let a = Alarm::new(3, "kl", TimeRange::new(5, 10))
+            .with_hints(vec![FeatureItem::dst_ip(ip("172.16.0.1"))])
+            .with_score(9.0, 3.0);
+        let s = serde_json::to_string(&a).unwrap();
+        let b: Alarm = serde_json::from_str(&s).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Low < Severity::Medium && Severity::Medium < Severity::High);
+    }
+}

@@ -1,0 +1,315 @@
+//! Per-interval traffic summaries.
+//!
+//! Both detectors consume the same shape of input: the trace cut into
+//! fixed-width intervals, each summarized by volume counters and by the
+//! distribution of every mining feature (srcIP, dstIP, srcPort, dstPort).
+//! [`ValueDist`] is that distribution; [`IntervalSeries`] is the cut.
+
+use std::collections::HashMap;
+
+use anomex_flow::feature::Feature;
+use anomex_flow::record::FlowRecord;
+use anomex_flow::store::TimeRange;
+
+/// Empirical distribution of one feature over one interval: raw feature
+/// value (`FeatureValue::raw`) → flow count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ValueDist {
+    counts: HashMap<u32, u64>,
+    total: u64,
+}
+
+impl ValueDist {
+    /// Empty distribution.
+    pub fn new() -> ValueDist {
+        ValueDist::default()
+    }
+
+    /// Count one observation of `value` with weight `w`.
+    pub fn add(&mut self, value: u32, w: u64) {
+        *self.counts.entry(value).or_default() += w;
+        self.total += w;
+    }
+
+    /// Total weight observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct values observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Weight of one value.
+    pub fn count(&self, value: u32) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Iterate `(value, count)` pairs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Sample entropy `H = -Σ p_i log2 p_i` in bits.
+    ///
+    /// Returns 0 for empty and single-value distributions.
+    pub fn entropy(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let total = self.total as f64;
+        let mut h = 0.0;
+        for &c in self.counts.values() {
+            if c > 0 {
+                let p = c as f64 / total;
+                h -= p * p.log2();
+            }
+        }
+        h.max(0.0)
+    }
+
+    /// Entropy normalized into `[0, 1]` by `log2(distinct)` — the form
+    /// Lakhina et al. use so dimensions are comparable.
+    pub fn normalized_entropy(&self) -> f64 {
+        let n = self.distinct();
+        if n <= 1 {
+            return 0.0;
+        }
+        self.entropy() / (n as f64).log2()
+    }
+
+    /// The `n` heaviest values, descending by weight (ties by value for
+    /// determinism).
+    pub fn top_n(&self, n: usize) -> Vec<(u32, u64)> {
+        let mut all: Vec<(u32, u64)> = self.iter().collect();
+        all.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(n);
+        all
+    }
+
+    /// Probability of one value (0 when the distribution is empty).
+    pub fn probability(&self, value: u32) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+}
+
+/// One interval's summary: volumes plus the four feature distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalStat {
+    /// The interval.
+    pub range: TimeRange,
+    /// Flow records observed (start falling in the interval).
+    pub flows: u64,
+    /// Packet total.
+    pub packets: u64,
+    /// Byte total.
+    pub bytes: u64,
+    /// Distribution per mining feature, indexed like [`Feature::MINING`].
+    pub dists: [ValueDist; 4],
+}
+
+impl IntervalStat {
+    /// Empty summary of `range`.
+    pub fn empty(range: TimeRange) -> IntervalStat {
+        IntervalStat {
+            range,
+            flows: 0,
+            packets: 0,
+            bytes: 0,
+            dists: [ValueDist::new(), ValueDist::new(), ValueDist::new(), ValueDist::new()],
+        }
+    }
+
+    /// Account one record (flow-weighted distributions, as in the paper's
+    /// detectors; packet weighting is a [`ValueDist::add`] call away).
+    pub fn add(&mut self, r: &FlowRecord) {
+        self.flows += 1;
+        self.packets += r.packets;
+        self.bytes += r.bytes;
+        for (i, feature) in Feature::MINING.iter().enumerate() {
+            self.dists[i].add(r.feature(*feature).raw(), 1);
+        }
+    }
+
+    /// The distribution of `feature`, if it is a mining feature.
+    pub fn dist(&self, feature: Feature) -> Option<&ValueDist> {
+        Feature::MINING.iter().position(|&f| f == feature).map(|i| &self.dists[i])
+    }
+
+    /// Entropy vector over the four mining features (normalized).
+    pub fn entropy_vector(&self) -> [f64; 4] {
+        [
+            self.dists[0].normalized_entropy(),
+            self.dists[1].normalized_entropy(),
+            self.dists[2].normalized_entropy(),
+            self.dists[3].normalized_entropy(),
+        ]
+    }
+}
+
+/// A trace cut into fixed-width intervals.
+#[derive(Debug, Clone)]
+pub struct IntervalSeries {
+    /// Interval width, milliseconds.
+    pub width_ms: u64,
+    /// Per-interval summaries, in time order, gapless across the span.
+    pub intervals: Vec<IntervalStat>,
+}
+
+impl IntervalSeries {
+    /// Cut `flows` into `width_ms` intervals across `span`.
+    ///
+    /// Records are assigned to the interval containing their start
+    /// timestamp — the NetFlow convention for 5-minute bins. Records
+    /// outside `span` are ignored.
+    ///
+    /// # Panics
+    /// Panics if `width_ms == 0`.
+    pub fn cut(flows: &[FlowRecord], span: TimeRange, width_ms: u64) -> IntervalSeries {
+        assert!(width_ms > 0, "interval width must be positive");
+        let ranges = span.intervals(width_ms);
+        let mut intervals: Vec<IntervalStat> =
+            ranges.iter().map(|r| IntervalStat::empty(*r)).collect();
+        if intervals.is_empty() {
+            return IntervalSeries { width_ms, intervals };
+        }
+        let base = span.from_ms;
+        for f in flows {
+            if f.start_ms < base {
+                continue;
+            }
+            let idx = ((f.start_ms - base) / width_ms) as usize;
+            if let Some(slot) = intervals.get_mut(idx) {
+                slot.add(f);
+            }
+        }
+        IntervalSeries { width_ms, intervals }
+    }
+
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// True when the series holds no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anomex_flow::record::FlowRecord;
+    use std::net::Ipv4Addr;
+
+    fn flow(start: u64, src: &str, dport: u16, packets: u64) -> FlowRecord {
+        FlowRecord::builder()
+            .time(start, start + 100)
+            .src(src.parse::<Ipv4Addr>().unwrap(), 4000)
+            .dst("172.16.0.1".parse().unwrap(), dport)
+            .volume(packets, packets * 100)
+            .build()
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_log2_n() {
+        let mut d = ValueDist::new();
+        for v in 0..8 {
+            d.add(v, 5);
+        }
+        assert!((d.entropy() - 3.0).abs() < 1e-12);
+        assert!((d.normalized_entropy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_point_mass_is_zero() {
+        let mut d = ValueDist::new();
+        d.add(42, 1000);
+        assert_eq!(d.entropy(), 0.0);
+        assert_eq!(d.normalized_entropy(), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_empty_is_zero() {
+        assert_eq!(ValueDist::new().entropy(), 0.0);
+    }
+
+    #[test]
+    fn entropy_decreases_with_concentration() {
+        let mut flat = ValueDist::new();
+        let mut spiky = ValueDist::new();
+        for v in 0..100 {
+            flat.add(v, 10);
+            spiky.add(v, 1);
+        }
+        spiky.add(7, 900);
+        assert!(spiky.normalized_entropy() < flat.normalized_entropy());
+    }
+
+    #[test]
+    fn top_n_orders_by_weight_then_value() {
+        let mut d = ValueDist::new();
+        d.add(5, 10);
+        d.add(3, 10);
+        d.add(9, 50);
+        assert_eq!(d.top_n(2), vec![(9, 50), (3, 10)]);
+    }
+
+    #[test]
+    fn probability_sums_to_one() {
+        let mut d = ValueDist::new();
+        d.add(1, 3);
+        d.add(2, 7);
+        let sum: f64 = d.iter().map(|(v, _)| d.probability(v)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cut_assigns_by_start_time() {
+        let flows =
+            vec![flow(0, "10.0.0.1", 80, 2), flow(59_999, "10.0.0.2", 80, 2), flow(60_000, "10.0.0.3", 53, 4)];
+        let series = IntervalSeries::cut(&flows, TimeRange::new(0, 120_000), 60_000);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series.intervals[0].flows, 2);
+        assert_eq!(series.intervals[1].flows, 1);
+        assert_eq!(series.intervals[1].packets, 4);
+    }
+
+    #[test]
+    fn cut_ignores_out_of_span_records() {
+        let flows = vec![flow(500_000, "10.0.0.1", 80, 1)];
+        let series = IntervalSeries::cut(&flows, TimeRange::new(0, 120_000), 60_000);
+        assert_eq!(series.intervals.iter().map(|i| i.flows).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn interval_stat_tracks_all_four_features() {
+        let mut stat = IntervalStat::empty(TimeRange::new(0, 1000));
+        stat.add(&flow(10, "10.0.0.1", 80, 3));
+        stat.add(&flow(20, "10.0.0.2", 80, 3));
+        assert_eq!(stat.dist(Feature::SrcIp).unwrap().distinct(), 2);
+        assert_eq!(stat.dist(Feature::DstPort).unwrap().distinct(), 1);
+        assert_eq!(stat.dist(Feature::Proto), None, "proto is not a mining feature");
+    }
+
+    #[test]
+    fn entropy_vector_reacts_to_port_scan_shape() {
+        // Scan: one src, one dst, many dst ports -> dstPort entropy up.
+        let mut normal = IntervalStat::empty(TimeRange::new(0, 1000));
+        let mut scan = IntervalStat::empty(TimeRange::new(0, 1000));
+        for i in 0..200u16 {
+            normal.add(&flow(1, &format!("10.0.{}.{}", i % 4, i % 50), 80, 1));
+            scan.add(&flow(1, "10.0.0.9", i + 1, 1));
+        }
+        let n = normal.entropy_vector();
+        let s = scan.entropy_vector();
+        assert!(s[3] > n[3], "dstPort entropy should spike: {s:?} vs {n:?}");
+        assert!(s[0] < n[0], "srcIP entropy should collapse");
+    }
+}

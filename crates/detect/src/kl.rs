@@ -1,0 +1,486 @@
+//! Histogram-based anomaly detection with the Kullback-Leibler distance —
+//! the detector of Kind, Stoecklin & Dimitropoulos (IEEE TNSM 2009) that
+//! the paper's SWITCH evaluation used ("a histogram-based anomaly
+//! detector [3] using the Kullback-Leibler (KL) distance").
+//!
+//! Per feature and per interval, flow counts are hashed into a fixed
+//! number of histogram bins. The current interval's histogram is compared
+//! to a baseline averaged over a sliding window of preceding intervals;
+//! the KL distance time series gets an adaptive threshold
+//! (mean + `sigma` · std over the training window). On alarm, the bins
+//! with the largest positive KL contribution are traced back to the
+//! concrete feature values inside them — the alarm's meta-data.
+
+use anomex_flow::feature::{Feature, FeatureItem, FeatureValue};
+use anomex_flow::record::FlowRecord;
+use anomex_flow::store::TimeRange;
+
+use crate::alarm::Alarm;
+use crate::interval::{IntervalSeries, ValueDist};
+
+/// KL detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KlConfig {
+    /// Detection interval width in milliseconds (paper setting: 5 min).
+    pub interval_ms: u64,
+    /// log2 of the histogram bin count (7 → 128 bins, the TNSM range).
+    pub bins_log2: u8,
+    /// Sliding baseline window, in intervals.
+    pub window: usize,
+    /// Minimum intervals before detection can fire.
+    pub min_training: usize,
+    /// Threshold width: `mean + sigma * std` of trailing KL values.
+    pub sigma: f64,
+    /// Absolute KL floor (bits) below which no alarm fires, guarding the
+    /// first intervals where the std estimate is still unstable.
+    pub floor: f64,
+    /// Meta-data size cap: values reported per flagged feature.
+    pub hints_per_feature: usize,
+}
+
+impl Default for KlConfig {
+    fn default() -> Self {
+        KlConfig {
+            interval_ms: 5 * 60 * 1000,
+            bins_log2: 7,
+            window: 6,
+            min_training: 3,
+            sigma: 3.0,
+            floor: 0.05,
+            hints_per_feature: 3,
+        }
+    }
+}
+
+/// The histogram/KL detector.
+#[derive(Debug, Clone)]
+pub struct KlDetector {
+    config: KlConfig,
+    next_id: u64,
+}
+
+/// Per-feature KL measurement inside a detection result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KlScore {
+    /// Which feature.
+    pub feature: Feature,
+    /// KL distance of the current interval vs. its baseline (bits).
+    pub kl: f64,
+    /// The adaptive threshold that applied.
+    pub threshold: f64,
+}
+
+impl KlDetector {
+    /// Detector with the given configuration.
+    pub fn new(config: KlConfig) -> KlDetector {
+        assert!(config.bins_log2 >= 2 && config.bins_log2 <= 16, "bins_log2 out of range");
+        assert!(config.window >= 1, "baseline window must be >= 1");
+        KlDetector { config, next_id: 0 }
+    }
+
+    /// Detector with default (paper-like) settings.
+    pub fn with_defaults() -> KlDetector {
+        KlDetector::new(KlConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &KlConfig {
+        &self.config
+    }
+
+    /// Run detection over `flows` within `span`.
+    ///
+    /// Returns one alarm per flagged interval, meta-data merged across
+    /// flagged features. Intervals before `min_training` never alarm.
+    pub fn detect(&mut self, flows: &[FlowRecord], span: TimeRange) -> Vec<Alarm> {
+        let series = IntervalSeries::cut(flows, span, self.config.interval_ms);
+        self.detect_series(&series)
+    }
+
+    /// Run detection over a pre-cut series (shared with benchmarks).
+    pub fn detect_series(&mut self, series: &IntervalSeries) -> Vec<Alarm> {
+        let bins = 1usize << self.config.bins_log2;
+        let n = series.len();
+        let mut alarms = Vec::new();
+        if n == 0 {
+            return alarms;
+        }
+
+        // Histograms per interval per feature.
+        let hists: Vec<[Vec<f64>; 4]> = series
+            .intervals
+            .iter()
+            .map(|stat| {
+                [
+                    histogram(&stat.dists[0], bins),
+                    histogram(&stat.dists[1], bins),
+                    histogram(&stat.dists[2], bins),
+                    histogram(&stat.dists[3], bins),
+                ]
+            })
+            .collect();
+
+        // Trailing KL history per feature for the adaptive threshold.
+        let mut history: [Vec<f64>; 4] = Default::default();
+
+        for t in 0..n {
+            if t < self.config.min_training {
+                // Warm-up: record KL against whatever baseline exists so the
+                // threshold has history, but never alarm.
+                if t > 0 {
+                    for f in 0..4 {
+                        let baseline = average_hist(&hists, t, self.config.window, f, bins);
+                        history[f].push(kl_divergence(&hists[t][f], &baseline));
+                    }
+                }
+                continue;
+            }
+
+            let mut flagged: Vec<KlScore> = Vec::new();
+            let mut kls = [0.0f64; 4];
+            for f in 0..4 {
+                let baseline = average_hist(&hists, t, self.config.window, f, bins);
+                let kl = kl_divergence(&hists[t][f], &baseline);
+                kls[f] = kl;
+                let threshold = adaptive_threshold(
+                    &history[f],
+                    self.config.sigma,
+                    self.config.floor,
+                );
+                if kl > threshold {
+                    flagged.push(KlScore { feature: Feature::MINING[f], kl, threshold });
+                }
+            }
+
+            if flagged.is_empty() {
+                for f in 0..4 {
+                    history[f].push(kls[f]);
+                }
+                continue;
+            }
+
+            // Meta-data: top contributing values of every flagged feature.
+            let mut hints = Vec::new();
+            for score in &flagged {
+                let f = Feature::MINING.iter().position(|&x| x == score.feature).unwrap();
+                let baseline = average_hist(&hists, t, self.config.window, f, bins);
+                let stat = &series.intervals[t];
+                hints.extend(top_deviating_values(
+                    &stat.dists[f],
+                    &hists[t][f],
+                    &baseline,
+                    score.feature,
+                    self.config.hints_per_feature,
+                ));
+            }
+
+            let worst =
+                flagged.iter().cloned().max_by(|a, b| {
+                    (a.kl / a.threshold).partial_cmp(&(b.kl / b.threshold)).unwrap()
+                }).expect("flagged is non-empty");
+            let alarm = Alarm::new(self.next_id, "kl", series.intervals[t].range)
+                .with_hints(hints)
+                .with_kind(guess_kind(&flagged))
+                .with_score(worst.kl, worst.threshold);
+            self.next_id += 1;
+            alarms.push(alarm);
+
+            // Alarmed intervals do not pollute the threshold history
+            // (shield the baseline from contamination).
+        }
+        alarms
+    }
+}
+
+/// Multiply-shift hash of a feature value into `bins` (power of two).
+#[inline]
+fn bin_of(value: u32, bins: usize) -> usize {
+    let h = value.wrapping_mul(0x9E37_79B1);
+    (h >> (32 - bins.trailing_zeros())) as usize
+}
+
+/// Normalized histogram of a value distribution.
+fn histogram(dist: &ValueDist, bins: usize) -> Vec<f64> {
+    let mut h = vec![0.0f64; bins];
+    for (value, count) in dist.iter() {
+        h[bin_of(value, bins)] += count as f64;
+    }
+    let total: f64 = h.iter().sum();
+    if total > 0.0 {
+        for x in &mut h {
+            *x /= total;
+        }
+    }
+    h
+}
+
+/// Average histogram of up to `window` intervals preceding `t`.
+fn average_hist(
+    hists: &[[Vec<f64>; 4]],
+    t: usize,
+    window: usize,
+    feature: usize,
+    bins: usize,
+) -> Vec<f64> {
+    let from = t.saturating_sub(window);
+    let mut avg = vec![0.0f64; bins];
+    let mut n = 0usize;
+    for h in hists.iter().take(t).skip(from) {
+        for (a, &x) in avg.iter_mut().zip(&h[feature]) {
+            *a += x;
+        }
+        n += 1;
+    }
+    if n > 0 {
+        for a in &mut avg {
+            *a /= n as f64;
+        }
+    }
+    avg
+}
+
+/// `KL(p || q)` in bits, with the baseline mixed toward uniform so empty
+/// baseline bins cannot produce infinities.
+fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), q.len());
+    const LAMBDA: f64 = 1e-3;
+    let uniform = 1.0 / p.len() as f64;
+    let mut kl = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi > 0.0 {
+            let qi = (1.0 - LAMBDA) * qi + LAMBDA * uniform;
+            kl += pi * (pi / qi).log2();
+        }
+    }
+    kl.max(0.0)
+}
+
+/// `mean + sigma * std` over the trailing KL history, floored.
+fn adaptive_threshold(history: &[f64], sigma: f64, floor: f64) -> f64 {
+    if history.is_empty() {
+        return floor.max(1e-6);
+    }
+    let n = history.len() as f64;
+    let mean = history.iter().sum::<f64>() / n;
+    let var = history.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    (mean + sigma * var.sqrt()).max(floor)
+}
+
+/// Values of the current interval that land in the bins with the largest
+/// positive KL contribution.
+fn top_deviating_values(
+    dist: &ValueDist,
+    current: &[f64],
+    baseline: &[f64],
+    feature: Feature,
+    max: usize,
+) -> Vec<FeatureItem> {
+    let bins = current.len();
+    let uniform = 1.0 / bins as f64;
+    // Score each bin by its contribution to the divergence.
+    let mut contributions: Vec<(usize, f64)> = (0..bins)
+        .filter_map(|b| {
+            let p = current[b];
+            if p <= 0.0 {
+                return None;
+            }
+            let q = (1.0 - 1e-3) * baseline[b] + 1e-3 * uniform;
+            let c = p * (p / q).log2();
+            (c > 0.0).then_some((b, c))
+        })
+        .collect();
+    contributions.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    contributions.truncate(max);
+
+    let flagged: Vec<usize> = contributions.iter().map(|&(b, _)| b).collect();
+    // Heaviest concrete values inside the flagged bins.
+    let mut candidates: Vec<(u32, u64)> = dist
+        .iter()
+        .filter(|&(v, _)| flagged.contains(&bin_of(v, bins)))
+        .collect();
+    candidates.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    candidates.truncate(max);
+    candidates
+        .into_iter()
+        .filter_map(|(raw, _)| {
+            let value = FeatureValue::from_raw(feature, raw)?;
+            FeatureItem::checked(feature, value)
+        })
+        .collect()
+}
+
+/// Crude label guess from which features deviated.
+fn guess_kind(flagged: &[KlScore]) -> &'static str {
+    let has = |f: Feature| flagged.iter().any(|s| s.feature == f);
+    if has(Feature::DstPort) && has(Feature::SrcIp) && !has(Feature::DstIp) {
+        "port scan"
+    } else if has(Feature::DstIp) && !has(Feature::DstPort) {
+        "network scan"
+    } else if has(Feature::SrcIp) && has(Feature::DstIp) {
+        "flood"
+    } else {
+        "distribution change"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anomex_flow::record::Protocol;
+    use std::net::Ipv4Addr;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    /// Steady background plus (optionally) a port scan in the final interval.
+    fn trace(intervals: usize, width: u64, scan_in_last: bool) -> (Vec<FlowRecord>, TimeRange) {
+        let mut flows = Vec::new();
+        let span = TimeRange::new(0, intervals as u64 * width);
+        for t in 0..intervals {
+            let base = t as u64 * width;
+            // Deterministic benign mix: 200 flows over a handful of services.
+            for i in 0..200u32 {
+                flows.push(
+                    FlowRecord::builder()
+                        .time(base + (i as u64 * 91) % width, base + (i as u64 * 91) % width + 50)
+                        .src(Ipv4Addr::from(0x0A00_0000 + (i % 40)), 1024 + (i % 500) as u16)
+                        .dst(Ipv4Addr::from(0xAC10_0000 + (i % 7)), if i % 3 == 0 { 443 } else { 80 })
+                        .proto(Protocol::TCP)
+                        .volume(3, 1800)
+                        .build(),
+                );
+            }
+            if scan_in_last && t == intervals - 1 {
+                for p in 1..=1_500u32 {
+                    flows.push(
+                        FlowRecord::builder()
+                            .time(base + (p as u64 % width), base + (p as u64 % width) + 1)
+                            .src(ip("10.66.66.66"), 55_548)
+                            .dst(ip("172.16.0.99"), p as u16)
+                            .proto(Protocol::TCP)
+                            .volume(1, 44)
+                            .build(),
+                    );
+                }
+            }
+        }
+        (flows, span)
+    }
+
+    #[test]
+    fn quiet_trace_raises_no_alarm() {
+        let (flows, span) = trace(8, 60_000, false);
+        let mut det = KlDetector::new(KlConfig { interval_ms: 60_000, ..KlConfig::default() });
+        assert!(det.detect(&flows, span).is_empty());
+    }
+
+    #[test]
+    fn port_scan_raises_alarm_with_scanner_in_hints() {
+        let (flows, span) = trace(8, 60_000, true);
+        let mut det = KlDetector::new(KlConfig { interval_ms: 60_000, ..KlConfig::default() });
+        let alarms = det.detect(&flows, span);
+        assert_eq!(alarms.len(), 1, "expected exactly one alarmed interval");
+        let alarm = &alarms[0];
+        assert_eq!(alarm.window.from_ms, 7 * 60_000);
+        assert!(
+            alarm.hints.iter().any(|h| *h == FeatureItem::src_ip(ip("10.66.66.66"))),
+            "scanner missing from meta-data: {:?}",
+            alarm.hints
+        );
+        assert!(alarm.score > 0.0);
+    }
+
+    #[test]
+    fn no_alarm_during_training() {
+        // Scan in interval 1, inside min_training -> silent by design.
+        let (mut flows, span) = trace(3, 60_000, false);
+        for p in 1..=1_000u32 {
+            flows.push(
+                FlowRecord::builder()
+                    .time(60_000 + p as u64, 60_001 + p as u64)
+                    .src(ip("10.66.66.66"), 55_548)
+                    .dst(ip("172.16.0.99"), p as u16)
+                    .volume(1, 44)
+                    .build(),
+            );
+        }
+        let mut det = KlDetector::new(KlConfig { interval_ms: 60_000, ..KlConfig::default() });
+        assert!(det.detect(&flows, span).is_empty());
+    }
+
+    #[test]
+    fn alarm_ids_increment_across_calls() {
+        let (flows, span) = trace(8, 60_000, true);
+        let mut det = KlDetector::new(KlConfig { interval_ms: 60_000, ..KlConfig::default() });
+        let a = det.detect(&flows, span);
+        let b = det.detect(&flows, span);
+        assert_eq!(a[0].id + 1, b[0].id);
+    }
+
+    #[test]
+    fn kl_near_zero_for_identical_distributions() {
+        // Not exactly zero: the baseline is mixed toward uniform by
+        // lambda = 1e-3, which introduces a bias of order lambda bits.
+        let p = vec![0.5, 0.25, 0.25, 0.0];
+        assert!(kl_divergence(&p, &p) < 1e-2);
+    }
+
+    #[test]
+    fn kl_positive_for_shifted_mass() {
+        let p = vec![1.0, 0.0, 0.0, 0.0];
+        let q = vec![0.25, 0.25, 0.25, 0.25];
+        assert!(kl_divergence(&p, &q) > 1.5, "{}", kl_divergence(&p, &q));
+    }
+
+    #[test]
+    fn kl_finite_against_empty_baseline() {
+        let p = vec![1.0, 0.0];
+        let q = vec![0.0, 0.0];
+        let kl = kl_divergence(&p, &q);
+        assert!(kl.is_finite() && kl > 0.0);
+    }
+
+    #[test]
+    fn adaptive_threshold_floors() {
+        assert!(adaptive_threshold(&[], 3.0, 0.05) >= 0.05);
+        assert!(adaptive_threshold(&[0.0, 0.0, 0.0], 3.0, 0.05) >= 0.05);
+    }
+
+    #[test]
+    fn adaptive_threshold_tracks_noise_level() {
+        let noisy = [0.5, 0.6, 0.4, 0.55, 0.45];
+        let quiet = [0.01, 0.02, 0.01, 0.015, 0.012];
+        assert!(
+            adaptive_threshold(&noisy, 3.0, 0.05) > adaptive_threshold(&quiet, 3.0, 0.05) * 5.0
+        );
+    }
+
+    #[test]
+    fn histogram_is_normalized() {
+        let mut d = ValueDist::new();
+        d.add(1, 10);
+        d.add(999, 30);
+        let h = histogram(&d, 64);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_of_stays_in_range() {
+        for bins_log2 in [2u8, 7, 10] {
+            let bins = 1usize << bins_log2;
+            for v in [0u32, 1, 80, 65_535, u32::MAX] {
+                assert!(bin_of(v, bins) < bins);
+            }
+        }
+    }
+
+    #[test]
+    fn kind_guess_port_scan_shape() {
+        let flagged = vec![
+            KlScore { feature: Feature::SrcIp, kl: 1.0, threshold: 0.1 },
+            KlScore { feature: Feature::DstPort, kl: 2.0, threshold: 0.1 },
+        ];
+        assert_eq!(guess_kind(&flagged), "port scan");
+    }
+}

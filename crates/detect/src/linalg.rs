@@ -1,0 +1,376 @@
+//! Minimal dense linear algebra for the PCA detector.
+//!
+//! The subspace method needs exactly three operations: column
+//! standardization, a covariance matrix, and the eigendecomposition of a
+//! small symmetric matrix. A cyclic Jacobi sweep covers the last one with
+//! guaranteed convergence for symmetric input — no external linear
+//! algebra crate required (DESIGN.md §2).
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from row slices.
+    ///
+    /// # Panics
+    /// Panics if rows have unequal lengths or the input is empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Matrix {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One column, copied out.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Z-score each column in place; returns per-column `(mean, std)`.
+    ///
+    /// Columns with zero variance are centered only (std reported as 0),
+    /// so constant dimensions cannot poison the covariance.
+    pub fn standardize_columns(&mut self) -> Vec<(f64, f64)> {
+        let n = self.rows.max(1) as f64;
+        let mut stats = Vec::with_capacity(self.cols);
+        for c in 0..self.cols {
+            let mean = (0..self.rows).map(|r| self.get(r, c)).sum::<f64>() / n;
+            let var = (0..self.rows).map(|r| (self.get(r, c) - mean).powi(2)).sum::<f64>() / n;
+            let std = var.sqrt();
+            for r in 0..self.rows {
+                let z = if std > 1e-12 { (self.get(r, c) - mean) / std } else { self.get(r, c) - mean };
+                self.set(r, c, z);
+            }
+            stats.push((mean, if std > 1e-12 { std } else { 0.0 }));
+        }
+        stats
+    }
+
+    /// Sample covariance of the (already centered) columns:
+    /// `X^T X / (rows - 1)`.
+    pub fn covariance(&self) -> Matrix {
+        let denom = (self.rows.max(2) - 1) as f64;
+        let mut cov = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.cols {
+            for j in i..self.cols {
+                let mut s = 0.0;
+                for r in 0..self.rows {
+                    s += self.get(r, i) * self.get(r, j);
+                }
+                let v = s / denom;
+                cov.set(i, j, v);
+                cov.set(j, i, v);
+            }
+        }
+        cov
+    }
+
+    /// Frobenius norm of the off-diagonal part.
+    fn offdiag_norm(&self) -> f64 {
+        let mut s = 0.0;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if r != c {
+                    s += self.get(r, c).powi(2);
+                }
+            }
+        }
+        s.sqrt()
+    }
+}
+
+/// Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations.
+///
+/// Returns `(eigenvalues, eigenvectors)` sorted by descending eigenvalue;
+/// eigenvector `i` is column `i` of the returned matrix.
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn jacobi_eigen(a: &Matrix) -> (Vec<f64>, Matrix) {
+    assert_eq!(a.rows(), a.cols(), "jacobi needs a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    const MAX_SWEEPS: usize = 64;
+    const TOL: f64 = 1e-12;
+
+    for _ in 0..MAX_SWEEPS {
+        if m.offdiag_norm() < TOL {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable tangent of the rotation angle.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Apply the rotation G(p, q, theta) on both sides.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let eig: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&i, &j| eig[j].partial_cmp(&eig[i]).unwrap_or(std::cmp::Ordering::Equal));
+
+    let values: Vec<f64> = order.iter().map(|&i| eig[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_c, &old_c) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors.set(r, new_c, v.get(r, old_c));
+        }
+    }
+    (values, vectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.matmul(&Matrix::identity(2)), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        approx(c.get(0, 0), 19.0);
+        approx(c.get(0, 1), 22.0);
+        approx(c.get(1, 0), 43.0);
+        approx(c.get(1, 1), 50.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn standardize_makes_zero_mean_unit_var() {
+        let mut m = Matrix::from_rows(&[vec![1.0], vec![3.0], vec![5.0], vec![7.0]]);
+        let stats = m.standardize_columns();
+        approx(stats[0].0, 4.0);
+        let mean: f64 = (0..4).map(|r| m.get(r, 0)).sum::<f64>() / 4.0;
+        approx(mean, 0.0);
+        let var: f64 = (0..4).map(|r| m.get(r, 0).powi(2)).sum::<f64>() / 4.0;
+        approx(var, 1.0);
+    }
+
+    #[test]
+    fn standardize_handles_constant_column() {
+        let mut m = Matrix::from_rows(&[vec![2.0, 1.0], vec![2.0, 3.0]]);
+        let stats = m.standardize_columns();
+        assert_eq!(stats[0].1, 0.0);
+        approx(m.get(0, 0), 0.0);
+        approx(m.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn covariance_of_perfectly_correlated_columns() {
+        let mut m = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+            vec![4.0, 8.0],
+        ]);
+        // Center only (std irrelevant here): covariance off-diagonal != 0.
+        m.standardize_columns();
+        let cov = m.covariance();
+        assert!(cov.get(0, 1) > 0.99, "correlated columns: {}", cov.get(0, 1));
+        approx(cov.get(0, 1), cov.get(1, 0));
+    }
+
+    #[test]
+    fn jacobi_diagonal_matrix() {
+        let m = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 1.0]]);
+        let (vals, _) = jacobi_eigen(&m);
+        approx(vals[0], 3.0);
+        approx(vals[1], 1.0);
+    }
+
+    #[test]
+    fn jacobi_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let (vals, vecs) = jacobi_eigen(&m);
+        approx(vals[0], 3.0);
+        approx(vals[1], 1.0);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = vecs.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+        assert!((v0[0] - v0[1]).abs() < 1e-9 || (v0[0] + v0[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_reconstructs_matrix() {
+        // A = V diag(w) V^T must reproduce the input.
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 1.0],
+        ]);
+        let (vals, vecs) = jacobi_eigen(&a);
+        let mut d = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            d.set(i, i, vals[i]);
+        }
+        let rebuilt = vecs.matmul(&d).matmul(&vecs.transpose());
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((rebuilt.get(r, c) - a.get(r, c)).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 0.5, 0.1, 0.0],
+            vec![0.5, 1.0, 0.3, 0.2],
+            vec![0.1, 0.3, 4.0, 0.6],
+            vec![0.0, 0.2, 0.6, 0.5],
+        ]);
+        let (_, vecs) = jacobi_eigen(&a);
+        let gram = vecs.transpose().matmul(&vecs);
+        for r in 0..4 {
+            for c in 0..4 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((gram.get(r, c) - expect).abs() < 1e-8, "gram[{r}][{c}]");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 5.0, 0.0],
+            vec![0.0, 0.0, 3.0],
+        ]);
+        let (vals, _) = jacobi_eigen(&a);
+        assert!(vals[0] >= vals[1] && vals[1] >= vals[2]);
+        approx(vals[0], 5.0);
+        approx(vals[2], 1.0);
+    }
+}

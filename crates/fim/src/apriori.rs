@@ -1,0 +1,414 @@
+//! Apriori — the miner the paper builds on.
+//!
+//! Classic levelwise search: frequent k-itemsets are extended to (k+1)
+//! candidates by prefix join, pruned by the antimonotone property (every
+//! subset of a frequent itemset is frequent), then counted in one pass over
+//! the transactions. Counting enumerates each transaction's k-subsets and
+//! looks them up in the candidate table — cheap here because flow
+//! transactions are at most a handful of items wide.
+//!
+//! Counting is optionally parallelized with crossbeam scoped threads:
+//! transactions are sharded, each thread fills a local table, and the
+//! shards are summed. Weighted transactions make the same code compute
+//! flow-support (weight 1) or packet-support (weight = packets).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::item::{Item, Itemset};
+use crate::support::{sort_canonical, FrequentItemset, MinSupport};
+use crate::transaction::TransactionSet;
+
+/// Apriori tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AprioriConfig {
+    /// Support threshold.
+    pub min_support: MinSupport,
+    /// Longest itemset to mine (0 = unbounded).
+    pub max_len: usize,
+    /// Worker threads for candidate counting (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for AprioriConfig {
+    fn default() -> Self {
+        AprioriConfig { min_support: MinSupport::Fraction(0.01), max_len: 0, threads: 1 }
+    }
+}
+
+/// Mine all frequent itemsets.
+///
+/// Results are in canonical order (support descending, longer first).
+pub fn apriori(txs: &TransactionSet, config: &AprioriConfig) -> Vec<FrequentItemset> {
+    let threshold = config.min_support.resolve(txs);
+    let max_len = if config.max_len == 0 { usize::MAX } else { config.max_len };
+    let mut results = Vec::new();
+    if txs.is_empty() {
+        return results;
+    }
+
+    // Level 1: plain item counting.
+    let mut item_counts: HashMap<Item, u64> = HashMap::new();
+    for t in txs.transactions() {
+        for &item in t.items() {
+            *item_counts.entry(item).or_insert(0) += t.weight();
+        }
+    }
+    let mut frequent_items: Vec<Item> = item_counts
+        .iter()
+        .filter(|&(_, &c)| c >= threshold)
+        .map(|(&i, _)| i)
+        .collect();
+    frequent_items.sort_unstable();
+    for &item in &frequent_items {
+        results.push(FrequentItemset::new(Itemset::single(item), item_counts[&item]));
+    }
+    if max_len == 1 || frequent_items.len() < 2 {
+        sort_canonical(&mut results);
+        return results;
+    }
+
+    // Project transactions onto frequent items once; everything infrequent
+    // can never appear in a larger frequent itemset.
+    let frequent_set: HashSet<Item> = frequent_items.iter().copied().collect();
+    let projected: Vec<(Vec<Item>, u64)> = txs
+        .transactions()
+        .iter()
+        .filter_map(|t| {
+            let items: Vec<Item> = t
+                .items()
+                .iter()
+                .copied()
+                .filter(|i| frequent_set.contains(i))
+                .collect();
+            (items.len() >= 2 && t.weight() > 0).then_some((items, t.weight()))
+        })
+        .collect();
+
+    // Levelwise loop.
+    let mut level: Vec<Itemset> = frequent_items.iter().map(|&i| Itemset::single(i)).collect();
+    let mut k = 2;
+    while !level.is_empty() && k <= max_len {
+        let candidates = generate_candidates(&level);
+        if candidates.is_empty() {
+            break;
+        }
+        let counts = count_candidates(&projected, &candidates, k, config.threads.max(1));
+        let mut next_level: Vec<Itemset> = Vec::new();
+        for (items, count) in counts {
+            if count >= threshold {
+                let itemset = Itemset::new(items);
+                results.push(FrequentItemset::new(itemset.clone(), count));
+                next_level.push(itemset);
+            }
+        }
+        next_level.sort();
+        level = next_level;
+        k += 1;
+    }
+
+    sort_canonical(&mut results);
+    results
+}
+
+/// Join + prune: candidates of size k+1 from frequent k-itemsets.
+fn generate_candidates(level: &[Itemset]) -> Vec<Itemset> {
+    let previous: HashSet<&[Item]> = level.iter().map(|s| s.items()).collect();
+    let mut candidates = Vec::new();
+    // `level` is sorted, so join partners share a prefix and are adjacent
+    // in a window; the quadratic scan stops at the first prefix mismatch.
+    for (i, a) in level.iter().enumerate() {
+        for b in &level[i + 1..] {
+            match a.apriori_join(b) {
+                Some(joined) => {
+                    // Prune: all k-subsets must be frequent.
+                    let all_frequent = joined
+                        .proper_subsets()
+                        .iter()
+                        .all(|s| previous.contains(s.items()));
+                    if all_frequent {
+                        candidates.push(joined);
+                    }
+                }
+                // Prefix mismatch: no later b can match either (sorted).
+                None => break,
+            }
+        }
+    }
+    candidates
+}
+
+/// Count candidate occurrences across (projected) transactions.
+fn count_candidates(
+    projected: &[(Vec<Item>, u64)],
+    candidates: &[Itemset],
+    k: usize,
+    threads: usize,
+) -> HashMap<Vec<Item>, u64> {
+    let make_table = || -> HashMap<Vec<Item>, u64> {
+        candidates
+            .iter()
+            .map(|c| (c.items().to_vec(), 0u64))
+            .collect()
+    };
+
+    if threads <= 1 || projected.len() < 4 * threads {
+        let mut table = make_table();
+        for (items, weight) in projected {
+            count_one(items, *weight, k, &mut table);
+        }
+        return table;
+    }
+
+    // Shard transactions; each worker counts into a private table.
+    let chunk = projected.len().div_ceil(threads);
+    let mut tables: Vec<HashMap<Vec<Item>, u64>> = Vec::with_capacity(threads);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = projected
+            .chunks(chunk)
+            .map(|shard| {
+                let mut table = make_table();
+                scope.spawn(move |_| {
+                    for (items, weight) in shard {
+                        count_one(items, *weight, k, &mut table);
+                    }
+                    table
+                })
+            })
+            .collect();
+        for h in handles {
+            tables.push(h.join().expect("apriori counting worker panicked"));
+        }
+    })
+    .expect("apriori counting scope panicked");
+
+    let mut merged = tables.pop().unwrap_or_default();
+    for table in tables {
+        for (key, value) in table {
+            *merged.entry(key).or_insert(0) += value;
+        }
+    }
+    merged
+}
+
+/// Add `weight` to every k-subset of `items` present in `table`.
+fn count_one(items: &[Item], weight: u64, k: usize, table: &mut HashMap<Vec<Item>, u64>) {
+    if items.len() < k {
+        return;
+    }
+    let mut scratch: Vec<Item> = Vec::with_capacity(k);
+    combinations(items, k, &mut scratch, &mut |subset: &[Item]| {
+        if let Some(count) = table.get_mut(subset) {
+            *count += weight;
+        }
+    });
+}
+
+/// Enumerate k-combinations of a sorted slice in lexicographic order.
+fn combinations(items: &[Item], k: usize, scratch: &mut Vec<Item>, f: &mut impl FnMut(&[Item])) {
+    if k == 0 {
+        f(scratch);
+        return;
+    }
+    if items.len() < k {
+        return;
+    }
+    for i in 0..=items.len() - k {
+        scratch.push(items[i]);
+        combinations(&items[i + 1..], k - 1, scratch, f);
+        scratch.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::Transaction;
+
+    fn t(vals: &[u64], w: u64) -> Transaction {
+        Transaction::new(vals.iter().map(|&v| Item(v)).collect(), w)
+    }
+
+    fn iset(vals: &[u64]) -> Itemset {
+        Itemset::new(vals.iter().map(|&v| Item(v)).collect())
+    }
+
+    fn classic_dataset() -> TransactionSet {
+        // The canonical textbook example.
+        TransactionSet::from_transactions(vec![
+            t(&[1, 2, 5], 1),
+            t(&[2, 4], 1),
+            t(&[2, 3], 1),
+            t(&[1, 2, 4], 1),
+            t(&[1, 3], 1),
+            t(&[2, 3], 1),
+            t(&[1, 3], 1),
+            t(&[1, 2, 3, 5], 1),
+            t(&[1, 2, 3], 1),
+        ])
+    }
+
+    fn cfg(abs: u64) -> AprioriConfig {
+        AprioriConfig { min_support: MinSupport::Absolute(abs), max_len: 0, threads: 1 }
+    }
+
+    fn support_of(results: &[FrequentItemset], set: &Itemset) -> Option<u64> {
+        results.iter().find(|f| &f.itemset == set).map(|f| f.support)
+    }
+
+    #[test]
+    fn textbook_example_level_counts() {
+        let results = apriori(&classic_dataset(), &cfg(2));
+        // Known frequent itemsets at min support 2:
+        assert_eq!(support_of(&results, &iset(&[1])), Some(6));
+        assert_eq!(support_of(&results, &iset(&[2])), Some(7));
+        assert_eq!(support_of(&results, &iset(&[3])), Some(6));
+        assert_eq!(support_of(&results, &iset(&[4])), Some(2));
+        assert_eq!(support_of(&results, &iset(&[5])), Some(2));
+        assert_eq!(support_of(&results, &iset(&[1, 2])), Some(4));
+        assert_eq!(support_of(&results, &iset(&[1, 3])), Some(4));
+        assert_eq!(support_of(&results, &iset(&[1, 5])), Some(2));
+        assert_eq!(support_of(&results, &iset(&[2, 3])), Some(4));
+        assert_eq!(support_of(&results, &iset(&[2, 4])), Some(2));
+        assert_eq!(support_of(&results, &iset(&[2, 5])), Some(2));
+        assert_eq!(support_of(&results, &iset(&[1, 2, 3])), Some(2));
+        assert_eq!(support_of(&results, &iset(&[1, 2, 5])), Some(2));
+        // And nothing infrequent leaks through.
+        assert_eq!(support_of(&results, &iset(&[3, 5])), None);
+        assert_eq!(results.len(), 13);
+    }
+
+    #[test]
+    fn supports_match_linear_scan_reference() {
+        let txs = classic_dataset();
+        for f in apriori(&txs, &cfg(2)) {
+            assert_eq!(f.support, txs.support_of(&f.itemset), "itemset {}", f.itemset);
+        }
+    }
+
+    #[test]
+    fn weighted_support_counts_packets_not_flows() {
+        // 2 heavy flows sharing items {1,2}; 5 light flows on {3}.
+        let txs = TransactionSet::from_transactions(vec![
+            t(&[1, 2], 500_000),
+            t(&[1, 2], 500_000),
+            t(&[3], 1),
+            t(&[3], 1),
+            t(&[3], 1),
+            t(&[3], 1),
+            t(&[3], 1),
+        ]);
+        let results = apriori(&txs, &cfg(1_000_000));
+        // Only the heavy pair (and its subsets) reaches 1M packets.
+        assert_eq!(support_of(&results, &iset(&[1, 2])), Some(1_000_000));
+        assert_eq!(support_of(&results, &iset(&[3])), None);
+        // Under flow support the picture inverts.
+        let flow_results = apriori(&txs.unit_weights(), &cfg(5));
+        assert_eq!(support_of(&flow_results, &iset(&[3])), Some(5));
+        assert_eq!(support_of(&flow_results, &iset(&[1, 2])), None);
+    }
+
+    #[test]
+    fn antimonotone_property_holds() {
+        let results = apriori(&classic_dataset(), &cfg(2));
+        for f in &results {
+            for sub in f.itemset.proper_subsets() {
+                if sub.is_empty() {
+                    continue;
+                }
+                let sub_support = support_of(&results, &sub)
+                    .unwrap_or_else(|| panic!("subset {sub} of {} missing", f.itemset));
+                assert!(sub_support >= f.support);
+            }
+        }
+    }
+
+    #[test]
+    fn max_len_caps_itemset_size() {
+        let results = apriori(
+            &classic_dataset(),
+            &AprioriConfig {
+                min_support: MinSupport::Absolute(2),
+                max_len: 1,
+                threads: 1,
+            },
+        );
+        assert!(results.iter().all(|f| f.itemset.len() == 1));
+        assert_eq!(results.len(), 5);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(apriori(&TransactionSet::new(), &cfg(1)).is_empty());
+        let txs = TransactionSet::from_transactions(vec![t(&[], 5)]);
+        assert!(apriori(&txs, &cfg(1)).is_empty());
+        // Threshold above total weight finds nothing.
+        let txs = classic_dataset();
+        assert!(apriori(&txs, &cfg(100)).is_empty());
+    }
+
+    #[test]
+    fn all_identical_transactions() {
+        let txs: TransactionSet = (0..10).map(|_| t(&[1, 2, 3], 1)).collect();
+        let results = apriori(&txs, &cfg(10));
+        // Every one of the 7 nonempty subsets has support 10.
+        assert_eq!(results.len(), 7);
+        assert!(results.iter().all(|f| f.support == 10));
+    }
+
+    #[test]
+    fn parallel_counting_agrees_with_sequential() {
+        // Moderate random-ish dataset via a simple LCG.
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let txs: TransactionSet = (0..500)
+            .map(|_| {
+                let n = 2 + (next() % 5) as usize;
+                let items: Vec<u64> = (0..n).map(|_| next() % 20).collect();
+                t(&items, 1 + next() % 100)
+            })
+            .collect();
+        let seq = apriori(&txs, &AprioriConfig { min_support: MinSupport::Absolute(200), max_len: 0, threads: 1 });
+        let par = apriori(&txs, &AprioriConfig { min_support: MinSupport::Absolute(200), max_len: 0, threads: 4 });
+        assert_eq!(seq, par);
+        assert!(!seq.is_empty());
+    }
+
+    #[test]
+    fn fraction_threshold_scales_with_total_weight() {
+        let txs = classic_dataset(); // 9 unit transactions
+        let results = apriori(
+            &txs,
+            &AprioriConfig { min_support: MinSupport::Fraction(0.5), max_len: 0, threads: 1 },
+        );
+        // ceil(0.5 * 9) = 5: only items 1 (6), 2 (7), 3 (6) qualify.
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn results_are_canonically_ordered() {
+        let results = apriori(&classic_dataset(), &cfg(2));
+        for w in results.windows(2) {
+            let ok = w[0].support > w[1].support
+                || (w[0].support == w[1].support && w[0].itemset.len() > w[1].itemset.len())
+                || (w[0].support == w[1].support
+                    && w[0].itemset.len() == w[1].itemset.len()
+                    && w[0].itemset <= w[1].itemset);
+            assert!(ok, "out of order: {} then {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn combinations_enumerates_n_choose_k() {
+        let items: Vec<Item> = (0..6).map(Item).collect();
+        let mut count = 0;
+        let mut scratch = Vec::new();
+        combinations(&items, 3, &mut scratch, &mut |s| {
+            assert_eq!(s.len(), 3);
+            count += 1;
+        });
+        assert_eq!(count, 20); // C(6,3)
+    }
+}

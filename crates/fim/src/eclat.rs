@@ -1,0 +1,217 @@
+//! Eclat — vertical-layout baseline.
+//!
+//! Mines with transaction-id (tid) list intersections instead of horizontal
+//! scans: the support of `X ∪ {i}` is the weight of the intersection of
+//! their tidlists. A third independent implementation for cross-checking,
+//! and the fastest of the three on dense, low-threshold workloads.
+
+use std::collections::HashMap;
+
+use crate::item::{Item, Itemset};
+use crate::support::{sort_canonical, FrequentItemset, MinSupport};
+use crate::transaction::TransactionSet;
+
+/// Eclat tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EclatConfig {
+    /// Support threshold.
+    pub min_support: MinSupport,
+    /// Longest itemset to mine (0 = unbounded).
+    pub max_len: usize,
+}
+
+impl Default for EclatConfig {
+    fn default() -> Self {
+        EclatConfig { min_support: MinSupport::Fraction(0.01), max_len: 0 }
+    }
+}
+
+/// Mine all frequent itemsets with Eclat.
+///
+/// Results are in canonical order and agree exactly with
+/// [`crate::apriori`] / [`crate::fpgrowth`].
+pub fn eclat(txs: &TransactionSet, config: &EclatConfig) -> Vec<FrequentItemset> {
+    let threshold = config.min_support.resolve(txs);
+    let max_len = if config.max_len == 0 { usize::MAX } else { config.max_len };
+
+    // Vertical layout: per-item sorted tidlists; tid weights on the side.
+    let weights: Vec<u64> = txs.transactions().iter().map(|t| t.weight()).collect();
+    let mut tidlists: HashMap<Item, Vec<u32>> = HashMap::new();
+    for (tid, t) in txs.transactions().iter().enumerate() {
+        if t.weight() == 0 {
+            continue;
+        }
+        for &item in t.items() {
+            tidlists.entry(item).or_default().push(tid as u32);
+        }
+    }
+
+    let support = |tids: &[u32]| -> u64 {
+        tids.iter().map(|&t| weights[t as usize]).sum()
+    };
+
+    // Frequent 1-items, ascending item order for deterministic DFS.
+    let mut roots: Vec<(Item, Vec<u32>, u64)> = tidlists
+        .into_iter()
+        .filter_map(|(item, tids)| {
+            let s = support(&tids);
+            (s >= threshold).then_some((item, tids, s))
+        })
+        .collect();
+    roots.sort_by_key(|&(item, _, _)| item);
+
+    let mut results = Vec::new();
+    for (i, (item, tids, s)) in roots.iter().enumerate() {
+        let prefix = Itemset::single(*item);
+        results.push(FrequentItemset::new(prefix.clone(), *s));
+        if max_len > 1 {
+            dfs(&prefix, tids, &roots[i + 1..], threshold, max_len, &weights, &mut results);
+        }
+    }
+    sort_canonical(&mut results);
+    results
+}
+
+/// Extend `prefix` (with tidlist `tids`) by each right-sibling item.
+fn dfs(
+    prefix: &Itemset,
+    tids: &[u32],
+    siblings: &[(Item, Vec<u32>, u64)],
+    threshold: u64,
+    max_len: usize,
+    weights: &[u64],
+    out: &mut Vec<FrequentItemset>,
+) {
+    // Materialize this level's frequent extensions first, then recurse with
+    // each extension's right-siblings — classic prefix-tree DFS.
+    let mut extensions: Vec<(Item, Vec<u32>, u64)> = Vec::new();
+    for (item, sibling_tids, _) in siblings {
+        let joined = intersect(tids, sibling_tids);
+        let s: u64 = joined.iter().map(|&t| weights[t as usize]).sum();
+        if s >= threshold {
+            extensions.push((*item, joined, s));
+        }
+    }
+    for (i, (item, joined, s)) in extensions.iter().enumerate() {
+        let extended = prefix.with(*item);
+        out.push(FrequentItemset::new(extended.clone(), *s));
+        if extended.len() < max_len {
+            dfs(&extended, joined, &extensions[i + 1..], threshold, max_len, weights, out);
+        }
+    }
+}
+
+/// Intersection of two sorted tid lists.
+fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::{apriori, AprioriConfig};
+    use crate::fpgrowth::{fpgrowth, FpGrowthConfig};
+    use crate::transaction::Transaction;
+
+    fn t(vals: &[u64], w: u64) -> Transaction {
+        Transaction::new(vals.iter().map(|&v| Item(v)).collect(), w)
+    }
+
+    fn classic_dataset() -> TransactionSet {
+        TransactionSet::from_transactions(vec![
+            t(&[1, 2, 5], 1),
+            t(&[2, 4], 1),
+            t(&[2, 3], 1),
+            t(&[1, 2, 4], 1),
+            t(&[1, 3], 1),
+            t(&[2, 3], 1),
+            t(&[1, 3], 1),
+            t(&[1, 2, 3, 5], 1),
+            t(&[1, 2, 3], 1),
+        ])
+    }
+
+    fn run(txs: &TransactionSet, abs: u64) -> Vec<FrequentItemset> {
+        eclat(
+            txs,
+            &EclatConfig { min_support: MinSupport::Absolute(abs), max_len: 0 },
+        )
+    }
+
+    #[test]
+    fn intersect_basics() {
+        assert_eq!(intersect(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(intersect(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(intersect(&[1, 2], &[3, 4]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn three_way_agreement_on_textbook_example() {
+        let txs = classic_dataset();
+        let ec = run(&txs, 2);
+        let ap = apriori(
+            &txs,
+            &AprioriConfig { min_support: MinSupport::Absolute(2), max_len: 0, threads: 1 },
+        );
+        let fp = fpgrowth(
+            &txs,
+            &FpGrowthConfig { min_support: MinSupport::Absolute(2), max_len: 0 },
+        );
+        assert_eq!(ec, ap);
+        assert_eq!(ec, fp);
+    }
+
+    #[test]
+    fn weighted_supports() {
+        let txs = TransactionSet::from_transactions(vec![
+            t(&[1, 2], 7),
+            t(&[1, 2], 5),
+            t(&[2], 100),
+        ]);
+        let results = run(&txs, 12);
+        let find = |vals: &[u64]| {
+            let set = Itemset::new(vals.iter().map(|&v| Item(v)).collect());
+            results.iter().find(|f| f.itemset == set).map(|f| f.support)
+        };
+        assert_eq!(find(&[2]), Some(112));
+        assert_eq!(find(&[1]), Some(12));
+        assert_eq!(find(&[1, 2]), Some(12));
+    }
+
+    #[test]
+    fn max_len_respected() {
+        let txs = classic_dataset();
+        let results = eclat(
+            &txs,
+            &EclatConfig { min_support: MinSupport::Absolute(2), max_len: 1 },
+        );
+        assert!(results.iter().all(|f| f.itemset.len() == 1));
+        assert_eq!(results.len(), 5);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(run(&TransactionSet::new(), 1).is_empty());
+    }
+
+    #[test]
+    fn zero_weight_tids_excluded() {
+        let txs = TransactionSet::from_transactions(vec![t(&[1], 0), t(&[1], 2)]);
+        let results = run(&txs, 1);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].support, 2);
+    }
+}

@@ -1,0 +1,304 @@
+//! FP-Growth — pattern-growth baseline.
+//!
+//! Builds a compressed prefix tree (FP-tree) of the transactions, then
+//! recursively mines conditional trees per item, avoiding Apriori's
+//! candidate generation entirely. Included as the standard comparison
+//! point for the performance benches and as an independent implementation
+//! to cross-check Apriori's output (the equivalence property tests).
+
+use std::collections::HashMap;
+
+use crate::item::{Item, Itemset};
+use crate::support::{sort_canonical, FrequentItemset, MinSupport};
+use crate::transaction::TransactionSet;
+
+/// FP-Growth tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpGrowthConfig {
+    /// Support threshold.
+    pub min_support: MinSupport,
+    /// Longest itemset to mine (0 = unbounded).
+    pub max_len: usize,
+}
+
+impl Default for FpGrowthConfig {
+    fn default() -> Self {
+        FpGrowthConfig { min_support: MinSupport::Fraction(0.01), max_len: 0 }
+    }
+}
+
+/// One FP-tree node.
+#[derive(Debug, Clone)]
+struct Node {
+    item: Item,
+    weight: u64,
+    parent: usize,
+    /// Child links, keyed by item. Flow transactions are narrow, so a
+    /// sorted Vec outperforms a HashMap here.
+    children: Vec<(Item, usize)>,
+}
+
+/// The FP-tree plus its header table (per-item node lists).
+struct FpTree {
+    nodes: Vec<Node>,
+    /// Items in *descending* global frequency, with their node lists.
+    header: Vec<(Item, u64, Vec<usize>)>,
+}
+
+const ROOT: usize = 0;
+
+impl FpTree {
+    /// Build from weighted item lists. `paths` items need not be sorted by
+    /// frequency; that ordering happens here.
+    fn build(paths: &[(Vec<Item>, u64)], threshold: u64) -> FpTree {
+        // Global weighted frequencies.
+        let mut counts: HashMap<Item, u64> = HashMap::new();
+        for (items, weight) in paths {
+            for &item in items {
+                *counts.entry(item).or_insert(0) += weight;
+            }
+        }
+        // Frequent items, descending frequency (ties: item order) — the
+        // canonical FP-tree insertion order.
+        let mut frequent: Vec<(Item, u64)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= threshold)
+            .collect();
+        frequent.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let rank: HashMap<Item, usize> =
+            frequent.iter().enumerate().map(|(i, &(item, _))| (item, i)).collect();
+
+        let mut tree = FpTree {
+            nodes: vec![Node {
+                item: Item(u64::MAX),
+                weight: 0,
+                parent: ROOT,
+                children: Vec::new(),
+            }],
+            header: frequent
+                .iter()
+                .map(|&(item, count)| (item, count, Vec::new()))
+                .collect(),
+        };
+
+        for (items, weight) in paths {
+            if *weight == 0 {
+                continue;
+            }
+            // Keep frequent items, sort by rank (most frequent first).
+            let mut ranked: Vec<(usize, Item)> = items
+                .iter()
+                .filter_map(|item| rank.get(item).map(|&r| (r, *item)))
+                .collect();
+            ranked.sort_unstable();
+            ranked.dedup();
+            tree.insert(&ranked, *weight);
+        }
+        tree
+    }
+
+    fn insert(&mut self, ranked: &[(usize, Item)], weight: u64) {
+        let mut current = ROOT;
+        for &(rank, item) in ranked {
+            let pos = self.nodes[current]
+                .children
+                .binary_search_by_key(&item, |&(i, _)| i);
+            current = match pos {
+                Ok(i) => {
+                    let child = self.nodes[current].children[i].1;
+                    self.nodes[child].weight += weight;
+                    child
+                }
+                Err(i) => {
+                    let child = self.nodes.len();
+                    self.nodes.push(Node {
+                        item,
+                        weight,
+                        parent: current,
+                        children: Vec::new(),
+                    });
+                    self.nodes[current].children.insert(i, (item, child));
+                    self.header[rank].2.push(child);
+                    child
+                }
+            };
+        }
+    }
+
+    /// Path from a node's parent up to (excluding) the root.
+    fn prefix_path(&self, mut node: usize) -> Vec<Item> {
+        let mut path = Vec::new();
+        node = self.nodes[node].parent;
+        while node != ROOT {
+            path.push(self.nodes[node].item);
+            node = self.nodes[node].parent;
+        }
+        path
+    }
+}
+
+/// Mine all frequent itemsets with FP-Growth.
+///
+/// Results are in canonical order and agree exactly with [`crate::apriori`].
+pub fn fpgrowth(txs: &TransactionSet, config: &FpGrowthConfig) -> Vec<FrequentItemset> {
+    let threshold = config.min_support.resolve(txs);
+    let max_len = if config.max_len == 0 { usize::MAX } else { config.max_len };
+    let paths: Vec<(Vec<Item>, u64)> = txs
+        .transactions()
+        .iter()
+        .map(|t| (t.items().to_vec(), t.weight()))
+        .collect();
+    let tree = FpTree::build(&paths, threshold);
+    let mut results = Vec::new();
+    mine(&tree, threshold, max_len, &Itemset::empty(), &mut results);
+    sort_canonical(&mut results);
+    results
+}
+
+fn mine(
+    tree: &FpTree,
+    threshold: u64,
+    max_len: usize,
+    prefix: &Itemset,
+    out: &mut Vec<FrequentItemset>,
+) {
+    // Walk header items from least frequent upward (classic order).
+    for (item, support, node_list) in tree.header.iter().rev() {
+        let extended = prefix.with(*item);
+        out.push(FrequentItemset::new(extended.clone(), *support));
+        if extended.len() >= max_len {
+            continue;
+        }
+        // Conditional pattern base: prefix paths weighted by node weight.
+        let base: Vec<(Vec<Item>, u64)> = node_list
+            .iter()
+            .filter_map(|&n| {
+                let path = tree.prefix_path(n);
+                let weight = tree.nodes[n].weight;
+                (!path.is_empty() && weight > 0).then_some((path, weight))
+            })
+            .collect();
+        if base.is_empty() {
+            continue;
+        }
+        let conditional = FpTree::build(&base, threshold);
+        if !conditional.header.is_empty() {
+            mine(&conditional, threshold, max_len, &extended, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::{apriori, AprioriConfig};
+    use crate::transaction::Transaction;
+
+    fn t(vals: &[u64], w: u64) -> Transaction {
+        Transaction::new(vals.iter().map(|&v| Item(v)).collect(), w)
+    }
+
+    fn classic_dataset() -> TransactionSet {
+        TransactionSet::from_transactions(vec![
+            t(&[1, 2, 5], 1),
+            t(&[2, 4], 1),
+            t(&[2, 3], 1),
+            t(&[1, 2, 4], 1),
+            t(&[1, 3], 1),
+            t(&[2, 3], 1),
+            t(&[1, 3], 1),
+            t(&[1, 2, 3, 5], 1),
+            t(&[1, 2, 3], 1),
+        ])
+    }
+
+    fn run(txs: &TransactionSet, abs: u64) -> Vec<FrequentItemset> {
+        fpgrowth(
+            txs,
+            &FpGrowthConfig { min_support: MinSupport::Absolute(abs), max_len: 0 },
+        )
+    }
+
+    #[test]
+    fn matches_apriori_on_textbook_example() {
+        let txs = classic_dataset();
+        let fp = run(&txs, 2);
+        let ap = apriori(
+            &txs,
+            &AprioriConfig { min_support: MinSupport::Absolute(2), max_len: 0, threads: 1 },
+        );
+        assert_eq!(fp, ap);
+        assert_eq!(fp.len(), 13);
+    }
+
+    #[test]
+    fn supports_match_linear_scan() {
+        let txs = classic_dataset();
+        for f in run(&txs, 2) {
+            assert_eq!(f.support, txs.support_of(&f.itemset), "itemset {}", f.itemset);
+        }
+    }
+
+    #[test]
+    fn weighted_transactions() {
+        let txs = TransactionSet::from_transactions(vec![
+            t(&[1, 2], 1_000),
+            t(&[2, 3], 10),
+            t(&[1, 2, 3], 5),
+        ]);
+        let results = run(&txs, 1_000);
+        let find = |vals: &[u64]| {
+            let set = Itemset::new(vals.iter().map(|&v| Item(v)).collect());
+            results.iter().find(|f| f.itemset == set).map(|f| f.support)
+        };
+        assert_eq!(find(&[1]), Some(1_005));
+        assert_eq!(find(&[2]), Some(1_015));
+        assert_eq!(find(&[1, 2]), Some(1_005));
+        assert_eq!(find(&[3]), None);
+    }
+
+    #[test]
+    fn max_len_respected() {
+        let txs = classic_dataset();
+        let results = fpgrowth(
+            &txs,
+            &FpGrowthConfig { min_support: MinSupport::Absolute(2), max_len: 2 },
+        );
+        assert!(results.iter().all(|f| f.itemset.len() <= 2));
+        assert!(results.iter().any(|f| f.itemset.len() == 2));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(run(&TransactionSet::new(), 1).is_empty());
+        let txs = TransactionSet::from_transactions(vec![t(&[], 3)]);
+        assert!(run(&txs, 1).is_empty());
+    }
+
+    #[test]
+    fn single_path_tree_produces_all_subsets() {
+        // All transactions identical → tree is one path; all 2^3-1 subsets.
+        let txs: TransactionSet = (0..4).map(|_| t(&[7, 8, 9], 1)).collect();
+        let results = run(&txs, 4);
+        assert_eq!(results.len(), 7);
+        assert!(results.iter().all(|f| f.support == 4));
+    }
+
+    #[test]
+    fn duplicate_items_within_transaction_counted_once() {
+        let txs = TransactionSet::from_transactions(vec![t(&[1, 1, 2], 1), t(&[1, 2], 1)]);
+        let results = run(&txs, 2);
+        let one = Itemset::new(vec![Item(1)]);
+        assert_eq!(
+            results.iter().find(|f| f.itemset == one).unwrap().support,
+            2
+        );
+    }
+
+    #[test]
+    fn zero_weight_transactions_ignored() {
+        let txs = TransactionSet::from_transactions(vec![t(&[1, 2], 0), t(&[1, 2], 3)]);
+        let results = run(&txs, 3);
+        assert_eq!(results.len(), 3); // {1}, {2}, {1,2}
+    }
+}

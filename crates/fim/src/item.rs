@@ -1,0 +1,285 @@
+//! Items and itemsets.
+//!
+//! The miner is deliberately decoupled from flow semantics: an [`Item`] is
+//! an opaque 64-bit value (convention: an 8-bit *tag* naming the dimension
+//! plus a 32-bit payload — `anomex-core` maps srcIP/dstIP/srcPort/dstPort
+//! feature values into this space). An [`Itemset`] is a sorted, duplicate-
+//! free set of items with the subset/join algebra Apriori needs.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An opaque mining item.
+///
+/// Ordering is plain `u64` order; with the tag in the high bits, items
+/// group by dimension, which keeps itemsets readable and joins cheap.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Item(pub u64);
+
+impl Item {
+    /// Encode a `(tag, payload)` pair.
+    pub fn encode(tag: u8, payload: u32) -> Item {
+        Item((u64::from(tag) << 32) | u64::from(payload))
+    }
+
+    /// The dimension tag.
+    pub fn tag(self) -> u8 {
+        ((self.0 >> 32) & 0xFF) as u8
+    }
+
+    /// The 32-bit payload.
+    pub fn payload(self) -> u32 {
+        (self.0 & 0xFFFF_FFFF) as u32
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.tag(), self.payload())
+    }
+}
+
+/// A sorted, duplicate-free set of items.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Itemset {
+    items: Vec<Item>,
+}
+
+impl Itemset {
+    /// The empty itemset.
+    pub fn empty() -> Itemset {
+        Itemset { items: Vec::new() }
+    }
+
+    /// Build from any item collection (sorts and dedups).
+    pub fn new(mut items: Vec<Item>) -> Itemset {
+        items.sort_unstable();
+        items.dedup();
+        Itemset { items }
+    }
+
+    /// Build from a single item.
+    pub fn single(item: Item) -> Itemset {
+        Itemset { items: vec![item] }
+    }
+
+    /// The items in sorted order.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether `item` is a member (binary search).
+    pub fn contains(&self, item: Item) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// Whether `self ⊆ other` (sorted merge scan).
+    pub fn is_subset_of(&self, other: &Itemset) -> bool {
+        if self.items.len() > other.items.len() {
+            return false;
+        }
+        let mut oi = other.items.iter();
+        'outer: for item in &self.items {
+            for o in oi.by_ref() {
+                match o.cmp(item) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Whether all items of `self` appear in the sorted slice `items`.
+    pub fn is_subset_of_sorted(&self, items: &[Item]) -> bool {
+        let mut oi = items.iter();
+        'outer: for item in &self.items {
+            for o in oi.by_ref() {
+                match o.cmp(item) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// New itemset with `item` added.
+    pub fn with(&self, item: Item) -> Itemset {
+        let mut items = self.items.clone();
+        match items.binary_search(&item) {
+            Ok(_) => {}
+            Err(pos) => items.insert(pos, item),
+        }
+        Itemset { items }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Itemset) -> Itemset {
+        let mut items = Vec::with_capacity(self.items.len() + other.items.len());
+        items.extend_from_slice(&self.items);
+        items.extend_from_slice(&other.items);
+        Itemset::new(items)
+    }
+
+    /// The Apriori prefix join: if `self` and `other` are k-sets sharing
+    /// their first k-1 items, the (k+1)-set union; otherwise `None`.
+    ///
+    /// Requires `self < other` in lexicographic order to avoid duplicates.
+    pub fn apriori_join(&self, other: &Itemset) -> Option<Itemset> {
+        let k = self.items.len();
+        if k == 0 || other.items.len() != k {
+            return None;
+        }
+        if self.items[..k - 1] != other.items[..k - 1] {
+            return None;
+        }
+        if self.items[k - 1] >= other.items[k - 1] {
+            return None;
+        }
+        let mut items = self.items.clone();
+        items.push(other.items[k - 1]);
+        Some(Itemset { items })
+    }
+
+    /// All (k-1)-subsets of a k-set, for the Apriori prune step.
+    pub fn proper_subsets(&self) -> Vec<Itemset> {
+        (0..self.items.len())
+            .map(|skip| {
+                let items = self
+                    .items
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &it)| (i != skip).then_some(it))
+                    .collect();
+                Itemset { items }
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<Item> for Itemset {
+    fn from_iter<I: IntoIterator<Item = Item>>(iter: I) -> Itemset {
+        Itemset::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Itemset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(vals: &[u64]) -> Itemset {
+        Itemset::new(vals.iter().map(|&v| Item(v)).collect())
+    }
+
+    #[test]
+    fn encode_decode_tag_payload() {
+        let item = Item::encode(3, 0xDEADBEEF);
+        assert_eq!(item.tag(), 3);
+        assert_eq!(item.payload(), 0xDEADBEEF);
+        // Ordering groups by tag first.
+        assert!(Item::encode(0, u32::MAX) < Item::encode(1, 0));
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let s = set(&[5, 1, 3, 1, 5]);
+        assert_eq!(s.items(), &[Item(1), Item(3), Item(5)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let small = set(&[1, 3]);
+        let big = set(&[1, 2, 3, 4]);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(set(&[]).is_subset_of(&big));
+        assert!(set(&[5]).is_subset_of(&big) == false);
+        assert!(big.is_subset_of(&big));
+    }
+
+    #[test]
+    fn subset_of_sorted_slice() {
+        let s = set(&[2, 4]);
+        assert!(s.is_subset_of_sorted(&[Item(1), Item(2), Item(3), Item(4)]));
+        assert!(!s.is_subset_of_sorted(&[Item(2), Item(3)]));
+        assert!(set(&[]).is_subset_of_sorted(&[]));
+    }
+
+    #[test]
+    fn with_inserts_in_order() {
+        let s = set(&[1, 5]).with(Item(3));
+        assert_eq!(s.items(), &[Item(1), Item(3), Item(5)]);
+        // Idempotent for existing items.
+        assert_eq!(s.with(Item(3)), s);
+    }
+
+    #[test]
+    fn union_merges() {
+        assert_eq!(set(&[1, 2]).union(&set(&[2, 3])), set(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn apriori_join_requires_shared_prefix() {
+        let a = set(&[1, 2]);
+        let b = set(&[1, 3]);
+        let c = set(&[2, 3]);
+        assert_eq!(a.apriori_join(&b), Some(set(&[1, 2, 3])));
+        assert_eq!(a.apriori_join(&c), None); // prefix differs
+        assert_eq!(b.apriori_join(&a), None); // wrong order
+        assert_eq!(a.apriori_join(&a), None); // equal last items
+    }
+
+    #[test]
+    fn apriori_join_singletons() {
+        assert_eq!(set(&[1]).apriori_join(&set(&[2])), Some(set(&[1, 2])));
+        assert_eq!(set(&[2]).apriori_join(&set(&[1])), None);
+    }
+
+    #[test]
+    fn proper_subsets_enumerates_all() {
+        let subs = set(&[1, 2, 3]).proper_subsets();
+        assert_eq!(subs.len(), 3);
+        assert!(subs.contains(&set(&[1, 2])));
+        assert!(subs.contains(&set(&[1, 3])));
+        assert!(subs.contains(&set(&[2, 3])));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(set(&[]).to_string(), "{}");
+        let s = Itemset::new(vec![Item::encode(1, 7)]);
+        assert_eq!(s.to_string(), "{1:7}");
+    }
+}

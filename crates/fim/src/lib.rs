@@ -1,0 +1,170 @@
+//! # anomex-fim
+//!
+//! Frequent itemset mining for anomaly extraction — the algorithmic core
+//! underneath the paper's "extended Apriori".
+//!
+//! - [`item`] — opaque items and the sorted-set algebra ([`Itemset`]).
+//! - [`transaction`] — **weighted** transactions: the paper's flow-support
+//!   vs packet-support extension falls out of one weight field.
+//! - [`apriori`] — the levelwise miner the paper uses (optionally
+//!   crossbeam-parallel candidate counting).
+//! - [`fpgrowth`] / [`eclat`] — independent baseline miners; all three
+//!   produce identical output (enforced by property tests).
+//! - [`post`] — maximal/closed itemset compaction for operator-readable
+//!   summaries.
+//! - [`topk`] — the self-adjusting minimum-support search ("automatically
+//!   self-adjusting … configuration parameters", §1 of the paper).
+//!
+//! ## Example
+//!
+//! ```
+//! use anomex_fim::prelude::*;
+//!
+//! let txs: TransactionSet = (0..100)
+//!     .map(|i| Transaction::new(vec![Item(1), Item(2), Item(10 + i % 3)], 1))
+//!     .collect();
+//! let result = mine(
+//!     &txs,
+//!     &MiningConfig {
+//!         algorithm: Algorithm::Apriori,
+//!         min_support: MinSupport::Absolute(100),
+//!         max_len: 0,
+//!         threads: 1,
+//!     },
+//! );
+//! // {1}, {2} and {1,2} all appear in every transaction.
+//! assert_eq!(result.len(), 3);
+//! assert!(result.iter().all(|f| f.support == 100));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod apriori;
+pub mod eclat;
+pub mod fpgrowth;
+pub mod item;
+pub mod post;
+pub mod support;
+pub mod topk;
+pub mod transaction;
+
+use serde::{Deserialize, Serialize};
+
+pub use apriori::{apriori, AprioriConfig};
+pub use eclat::{eclat, EclatConfig};
+pub use fpgrowth::{fpgrowth, FpGrowthConfig};
+pub use item::{Item, Itemset};
+pub use post::{closed_only, maximal_only};
+pub use support::{sort_canonical, FrequentItemset, MinSupport};
+pub use topk::{mine_top_k, TopKConfig, TopKResult};
+pub use transaction::{Transaction, TransactionSet};
+
+/// Which mining algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Levelwise candidate generation (the paper's miner).
+    Apriori,
+    /// Pattern growth over an FP-tree.
+    FpGrowth,
+    /// Vertical tidlist intersection.
+    Eclat,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Algorithm::Apriori => "apriori",
+            Algorithm::FpGrowth => "fp-growth",
+            Algorithm::Eclat => "eclat",
+        })
+    }
+}
+
+/// Algorithm-agnostic mining configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MiningConfig {
+    /// Which algorithm runs.
+    pub algorithm: Algorithm,
+    /// Support threshold.
+    pub min_support: MinSupport,
+    /// Longest itemset to mine (0 = unbounded).
+    pub max_len: usize,
+    /// Worker threads (Apriori counting only; others ignore it).
+    pub threads: usize,
+}
+
+impl Default for MiningConfig {
+    fn default() -> Self {
+        MiningConfig {
+            algorithm: Algorithm::Apriori,
+            min_support: MinSupport::Fraction(0.01),
+            max_len: 0,
+            threads: 1,
+        }
+    }
+}
+
+/// Mine all frequent itemsets with the configured algorithm.
+///
+/// All three algorithms return identical, canonically ordered results.
+pub fn mine(txs: &TransactionSet, config: &MiningConfig) -> Vec<FrequentItemset> {
+    match config.algorithm {
+        Algorithm::Apriori => apriori(
+            txs,
+            &AprioriConfig {
+                min_support: config.min_support,
+                max_len: config.max_len,
+                threads: config.threads,
+            },
+        ),
+        Algorithm::FpGrowth => fpgrowth(
+            txs,
+            &FpGrowthConfig { min_support: config.min_support, max_len: config.max_len },
+        ),
+        Algorithm::Eclat => eclat(
+            txs,
+            &EclatConfig { min_support: config.min_support, max_len: config.max_len },
+        ),
+    }
+}
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::item::{Item, Itemset};
+    pub use crate::post::{closed_only, maximal_only};
+    pub use crate::support::{FrequentItemset, MinSupport};
+    pub use crate::topk::{mine_top_k, TopKConfig, TopKResult};
+    pub use crate::transaction::{Transaction, TransactionSet};
+    pub use crate::{mine, Algorithm, MiningConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_runs_each_algorithm() {
+        let txs: TransactionSet = (0..10)
+            .map(|_| Transaction::new(vec![Item(1), Item(2)], 1))
+            .collect();
+        for algorithm in [Algorithm::Apriori, Algorithm::FpGrowth, Algorithm::Eclat] {
+            let out = mine(
+                &txs,
+                &MiningConfig {
+                    algorithm,
+                    min_support: MinSupport::Absolute(10),
+                    ..MiningConfig::default()
+                },
+            );
+            assert_eq!(out.len(), 3, "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn algorithm_display() {
+        assert_eq!(Algorithm::Apriori.to_string(), "apriori");
+        assert_eq!(Algorithm::FpGrowth.to_string(), "fp-growth");
+        assert_eq!(Algorithm::Eclat.to_string(), "eclat");
+    }
+}

@@ -1,0 +1,129 @@
+//! Itemset post-processing: maximal / closed filtering.
+//!
+//! Raw frequent-itemset output is heavily redundant — every subset of a
+//! frequent itemset is itself reported. The paper's system presents
+//! operators a *compact* summary (Table 1 shows four itemsets, not their
+//! dozens of subsets), which corresponds to keeping **maximal** itemsets
+//! (no frequent proper superset). **Closed** itemsets (no superset with
+//! equal support) are the lossless middle ground, used when exact supports
+//! of sub-patterns matter.
+
+use std::collections::HashMap;
+
+use crate::support::{sort_canonical, FrequentItemset};
+
+/// Keep only maximal itemsets: those with no frequent proper superset.
+pub fn maximal_only(mut results: Vec<FrequentItemset>) -> Vec<FrequentItemset> {
+    // Sort by length descending; any superset of x is strictly longer, so
+    // it suffices to compare against already-kept longer sets.
+    results.sort_by(|a, b| b.itemset.len().cmp(&a.itemset.len()));
+    let mut kept: Vec<FrequentItemset> = Vec::new();
+    for candidate in results {
+        let dominated = kept
+            .iter()
+            .any(|k| candidate.itemset.is_subset_of(&k.itemset));
+        if !dominated {
+            kept.push(candidate);
+        }
+    }
+    sort_canonical(&mut kept);
+    kept
+}
+
+/// Keep only closed itemsets: those with no proper superset of *equal*
+/// support.
+pub fn closed_only(results: Vec<FrequentItemset>) -> Vec<FrequentItemset> {
+    // Group by support; within a support class, subset-domination decides.
+    let mut by_support: HashMap<u64, Vec<&FrequentItemset>> = HashMap::new();
+    for f in &results {
+        by_support.entry(f.support).or_default().push(f);
+    }
+    let mut kept: Vec<FrequentItemset> = Vec::new();
+    for f in &results {
+        let class = &by_support[&f.support];
+        let dominated = class.iter().any(|other| {
+            other.itemset.len() > f.itemset.len() && f.itemset.is_subset_of(&other.itemset)
+        });
+        if !dominated {
+            kept.push(f.clone());
+        }
+    }
+    sort_canonical(&mut kept);
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::{Item, Itemset};
+
+    fn f(vals: &[u64], support: u64) -> FrequentItemset {
+        FrequentItemset::new(Itemset::new(vals.iter().map(|&v| Item(v)).collect()), support)
+    }
+
+    #[test]
+    fn maximal_removes_all_subsets() {
+        let input = vec![
+            f(&[1], 6),
+            f(&[2], 5),
+            f(&[3], 4),
+            f(&[1, 2], 4),
+            f(&[1, 3], 3),
+            f(&[1, 2, 3], 2),
+        ];
+        let out = maximal_only(input);
+        assert_eq!(out, vec![f(&[1, 2, 3], 2)]);
+    }
+
+    #[test]
+    fn maximal_keeps_incomparable_sets() {
+        let input = vec![f(&[1, 2], 4), f(&[3, 4], 4), f(&[1], 9), f(&[3], 9)];
+        let out = maximal_only(input);
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&f(&[1, 2], 4)));
+        assert!(out.contains(&f(&[3, 4], 4)));
+    }
+
+    #[test]
+    fn closed_keeps_supersets_with_equal_support_only() {
+        // {1} support 5, {1,2} support 5 → {1} not closed.
+        // {3} support 9, {3,4} support 2 → both closed.
+        let input = vec![f(&[1], 5), f(&[1, 2], 5), f(&[3], 9), f(&[3, 4], 2)];
+        let out = closed_only(input);
+        assert_eq!(out.len(), 3);
+        assert!(!out.contains(&f(&[1], 5)));
+        assert!(out.contains(&f(&[1, 2], 5)));
+        assert!(out.contains(&f(&[3], 9)));
+        assert!(out.contains(&f(&[3, 4], 2)));
+    }
+
+    #[test]
+    fn closed_is_superset_of_maximal() {
+        let input = vec![
+            f(&[1], 6),
+            f(&[2], 6),
+            f(&[1, 2], 6),
+            f(&[3], 4),
+            f(&[1, 3], 2),
+        ];
+        let maximal = maximal_only(input.clone());
+        let closed = closed_only(input);
+        for m in &maximal {
+            assert!(closed.contains(m), "maximal {m} missing from closed");
+        }
+        assert!(closed.len() >= maximal.len());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(maximal_only(vec![]).is_empty());
+        assert!(closed_only(vec![]).is_empty());
+    }
+
+    #[test]
+    fn single_itemset_is_both() {
+        let input = vec![f(&[1, 2], 3)];
+        assert_eq!(maximal_only(input.clone()), input);
+        assert_eq!(closed_only(input.clone()), input);
+    }
+}

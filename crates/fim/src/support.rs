@@ -1,0 +1,134 @@
+//! Support thresholds and mined-itemset results.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::item::Itemset;
+use crate::transaction::TransactionSet;
+
+/// A minimum-support threshold, absolute or relative.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MinSupport {
+    /// At least this much accumulated weight.
+    Absolute(u64),
+    /// At least this fraction of total weight (`0.0..=1.0`).
+    Fraction(f64),
+}
+
+impl MinSupport {
+    /// Resolve to an absolute weight threshold for a transaction set.
+    ///
+    /// Fractions round *up* (an itemset must meet or beat the fraction) and
+    /// the result is never below 1 — an itemset with zero support is never
+    /// "frequent".
+    pub fn resolve(self, txs: &TransactionSet) -> u64 {
+        match self {
+            MinSupport::Absolute(v) => v.max(1),
+            MinSupport::Fraction(f) => {
+                let f = f.clamp(0.0, 1.0);
+                let raw = (f * txs.total_weight() as f64).ceil() as u64;
+                raw.max(1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for MinSupport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MinSupport::Absolute(v) => write!(f, "{v}"),
+            MinSupport::Fraction(x) => write!(f, "{:.4}%", x * 100.0),
+        }
+    }
+}
+
+/// An itemset together with its mined support.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrequentItemset {
+    /// The itemset.
+    pub itemset: Itemset,
+    /// Accumulated weight of transactions containing it.
+    pub support: u64,
+}
+
+impl FrequentItemset {
+    /// Convenience constructor.
+    pub fn new(itemset: Itemset, support: u64) -> FrequentItemset {
+        FrequentItemset { itemset, support }
+    }
+}
+
+impl fmt::Display for FrequentItemset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (support {})", self.itemset, self.support)
+    }
+}
+
+/// Canonical ordering for mined results: support descending, then longer
+/// itemsets first (more specific), then lexicographic for determinism.
+pub fn sort_canonical(results: &mut [FrequentItemset]) {
+    results.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then_with(|| b.itemset.len().cmp(&a.itemset.len()))
+            .then_with(|| a.itemset.cmp(&b.itemset))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Item;
+    use crate::transaction::Transaction;
+
+    fn txs(weights: &[u64]) -> TransactionSet {
+        weights
+            .iter()
+            .map(|&w| Transaction::new(vec![Item(1)], w))
+            .collect()
+    }
+
+    #[test]
+    fn absolute_resolves_identity_with_floor_one() {
+        assert_eq!(MinSupport::Absolute(10).resolve(&txs(&[100])), 10);
+        assert_eq!(MinSupport::Absolute(0).resolve(&txs(&[100])), 1);
+    }
+
+    #[test]
+    fn fraction_rounds_up() {
+        let set = txs(&[10, 10, 10]); // total 30
+        assert_eq!(MinSupport::Fraction(0.5).resolve(&set), 15);
+        assert_eq!(MinSupport::Fraction(0.34).resolve(&set), 11);
+        assert_eq!(MinSupport::Fraction(0.0).resolve(&set), 1);
+        assert_eq!(MinSupport::Fraction(1.0).resolve(&set), 30);
+    }
+
+    #[test]
+    fn fraction_clamps_out_of_range() {
+        let set = txs(&[10]);
+        assert_eq!(MinSupport::Fraction(2.0).resolve(&set), 10);
+        assert_eq!(MinSupport::Fraction(-1.0).resolve(&set), 1);
+    }
+
+    #[test]
+    fn canonical_sort_orders_by_support_then_length() {
+        let mut v = vec![
+            FrequentItemset::new(Itemset::new(vec![Item(1)]), 5),
+            FrequentItemset::new(Itemset::new(vec![Item(1), Item(2)]), 9),
+            FrequentItemset::new(Itemset::new(vec![Item(2)]), 9),
+            FrequentItemset::new(Itemset::new(vec![Item(3)]), 9),
+        ];
+        sort_canonical(&mut v);
+        assert_eq!(v[0].itemset.len(), 2); // support 9, longer first
+        assert_eq!(v[1].itemset, Itemset::new(vec![Item(2)]));
+        assert_eq!(v[2].itemset, Itemset::new(vec![Item(3)]));
+        assert_eq!(v[3].support, 5);
+    }
+
+    #[test]
+    fn display_shows_support() {
+        let f = FrequentItemset::new(Itemset::new(vec![Item(7)]), 3);
+        assert!(f.to_string().contains("support 3"));
+    }
+}

@@ -1,0 +1,328 @@
+//! Self-adjusting top-k mining — the paper's parameter auto-tuning.
+//!
+//! A fixed minimum support cannot serve anomalies of wildly different
+//! sizes: too high and a small scan produces nothing, too low and a large
+//! DDoS drowns the operator in thousands of itemsets. The paper "added to
+//! Apriori … the capability of automatically self-adjusting some of its
+//! configuration parameters to properly select meaningful itemsets
+//! depending on the anomaly being analyzed."
+//!
+//! This module implements that: a geometric descent from the total weight
+//! followed by a bounded binary search, converging on the **largest**
+//! support threshold whose *maximal* itemsets number at least `k` (or the
+//! best achievable above an absolute floor). The search exploits that the
+//! number of frequent itemsets is non-increasing in the threshold.
+
+use crate::mine;
+use crate::post::maximal_only;
+use crate::support::{FrequentItemset, MinSupport};
+use crate::transaction::TransactionSet;
+use crate::{Algorithm, MiningConfig};
+
+/// Configuration of the adaptive search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKConfig {
+    /// Target number of (maximal) itemsets.
+    pub k: usize,
+    /// Never mine below this absolute support — guards against noise
+    /// itemsets from singleton flows (paper: "meaningful itemsets").
+    pub floor: u64,
+    /// Cap on mining invocations during the search.
+    pub max_rounds: usize,
+    /// Longest itemset to mine (0 = unbounded).
+    pub max_len: usize,
+    /// Which algorithm performs each mining round.
+    pub algorithm: Algorithm,
+}
+
+impl Default for TopKConfig {
+    fn default() -> Self {
+        TopKConfig {
+            k: 10,
+            floor: 2,
+            max_rounds: 24,
+            max_len: 0,
+            algorithm: Algorithm::Apriori,
+        }
+    }
+}
+
+/// Outcome of the adaptive search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKResult {
+    /// Up to `k` maximal itemsets at the chosen threshold, canonical order.
+    pub itemsets: Vec<FrequentItemset>,
+    /// The threshold the search converged on.
+    pub chosen_support: u64,
+    /// Maximal itemsets that existed at the chosen threshold (≥ the
+    /// returned count when truncated to `k`).
+    pub total_found: usize,
+    /// Mining invocations spent.
+    pub rounds: usize,
+}
+
+/// Mine the top-k maximal itemsets with a self-adjusted support threshold.
+pub fn mine_top_k(txs: &TransactionSet, config: &TopKConfig) -> TopKResult {
+    let total = txs.total_weight();
+    let floor = config.floor.max(1);
+    let rounds = std::cell::Cell::new(0usize);
+
+    let mine_at = |threshold: u64| -> Vec<FrequentItemset> {
+        rounds.set(rounds.get() + 1);
+        let mined = mine(
+            txs,
+            &MiningConfig {
+                algorithm: config.algorithm,
+                min_support: MinSupport::Absolute(threshold),
+                max_len: config.max_len,
+                threads: 1,
+            },
+        );
+        maximal_only(mined)
+    };
+
+    if total == 0 || txs.is_empty() {
+        return TopKResult { itemsets: Vec::new(), chosen_support: floor, total_found: 0, rounds: 0 };
+    }
+
+    // Phase 1: geometric descent from the top until enough itemsets appear
+    // (or the floor is hit). Thresholds visited: total, total/2, total/4, …
+    // all clamped to the floor.
+    let mut hi = total.max(floor);
+    let current = mine_at(hi);
+    if current.len() >= config.k || hi == floor {
+        return finish(current, hi, config.k, rounds.get());
+    }
+    let mut lo = hi;
+    let mut lo_result = current;
+    while rounds.get() < config.max_rounds {
+        let next = (lo / 2).max(floor);
+        let candidate = mine_at(next);
+        // Regression guard — the "meaningful itemsets" half of the
+        // paper's self-adjustment. Lowering the threshold can make noise
+        // supersets frequent (e.g. an ephemeral source port repeating 8
+        // times inside a 90K-flow scan); pure maximality then *displaces*
+        // the high-support structure with those barely-frequent
+        // supersets. Two collapse signals, either of which stops the
+        // descent and keeps the previous result:
+        // - total support halves: the noise covers only a sliver of what
+        //   the displaced structure covered;
+        // - max support drops >4x: the structure was shattered into many
+        //   shards (a split into a *few* comparable sub-patterns — two
+        //   scanners sharing a victim, say — passes; 100 ephemeral-port
+        //   shards do not).
+        let prev_total: u64 = lo_result.iter().map(|f| f.support).sum();
+        let cand_total: u64 = candidate.iter().map(|f| f.support).sum();
+        let prev_max: u64 = lo_result.iter().map(|f| f.support).max().unwrap_or(0);
+        let cand_max: u64 = candidate.iter().map(|f| f.support).max().unwrap_or(0);
+        if !lo_result.is_empty() && (cand_total < prev_total / 2 || cand_max * 4 < prev_max) {
+            return finish(lo_result, lo, config.k, rounds.get());
+        }
+        if candidate.len() >= config.k {
+            // Phase 2 will search in (next, lo).
+            lo = next;
+            lo_result = candidate;
+            break;
+        }
+        let at_floor = next == floor;
+        lo = next;
+        lo_result = candidate;
+        if at_floor {
+            // Even the floor can't reach k: return what the floor gives.
+            return finish(lo_result, lo, config.k, rounds.get());
+        }
+    }
+    if lo_result.len() < config.k {
+        // Ran out of rounds during descent.
+        return finish(lo_result, lo, config.k, rounds.get());
+    }
+
+    // Phase 2: binary search for a large threshold in [lo, hi] whose count
+    // still reaches k. The count of *maximal* itemsets is not strictly
+    // monotone in the threshold (a superset dropping out can expose several
+    // new maximal sets), so this is a best-effort refinement: `best` always
+    // holds a threshold that did reach k, which is what gets returned.
+    let mut best = (lo, lo_result);
+    while rounds.get() < config.max_rounds && hi - best.0 > 1 {
+        let mid = best.0 + (hi - best.0) / 2;
+        let candidate = mine_at(mid);
+        if candidate.len() >= config.k {
+            best = (mid, candidate);
+        } else {
+            hi = mid;
+        }
+    }
+    let (chosen, result) = best;
+    finish(result, chosen, config.k, rounds.get())
+}
+
+fn finish(
+    mut itemsets: Vec<FrequentItemset>,
+    chosen_support: u64,
+    k: usize,
+    rounds: usize,
+) -> TopKResult {
+    let total_found = itemsets.len();
+    itemsets.truncate(k);
+    TopKResult { itemsets, chosen_support, total_found, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Item;
+    use crate::transaction::Transaction;
+
+    fn t(vals: &[u64], w: u64) -> Transaction {
+        Transaction::new(vals.iter().map(|&v| Item(v)).collect(), w)
+    }
+
+    /// Dataset with clear scale separation: one huge pattern (support 1000),
+    /// one medium (100), many small noise patterns (1-3).
+    fn skewed() -> TransactionSet {
+        let mut txs = Vec::new();
+        for _ in 0..1000 {
+            txs.push(t(&[1, 2], 1));
+        }
+        for _ in 0..100 {
+            txs.push(t(&[10, 11], 1));
+        }
+        for i in 0..50 {
+            txs.push(t(&[100 + i, 200 + i], 1));
+        }
+        TransactionSet::from_transactions(txs)
+    }
+
+    #[test]
+    fn regression_guard_keeps_structure_over_noise_supersets() {
+        // One dominant 2-item pattern repeated 1000x, where a third item
+        // ("ephemeral port") repeats just often enough that at the floor
+        // its 3-item supersets become frequent and — being maximal —
+        // would displace the real pattern entirely.
+        let mut txs = Vec::new();
+        for i in 0..1000u64 {
+            // items: {1, 2, 500 + i % 100} -> each 3-item superset has
+            // support 10, the pair {1,2} support 1000.
+            txs.push(t(&[1, 2, 500 + i % 100], 1));
+        }
+        let txs = TransactionSet::from_transactions(txs);
+        let r = mine_top_k(
+            &txs,
+            &TopKConfig { k: 10, floor: 2, ..TopKConfig::default() },
+        );
+        // Without the guard this returns ten support-10 noise supersets;
+        // with it, the support-1000 pair survives.
+        assert!(
+            r.itemsets.iter().any(|f| f.support == 1000),
+            "dominant pattern displaced: {:?}",
+            r.itemsets.iter().map(|f| (f.itemset.to_string(), f.support)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn finds_the_dominant_pattern_with_k1() {
+        let r = mine_top_k(&skewed(), &TopKConfig { k: 1, ..TopKConfig::default() });
+        assert_eq!(r.itemsets.len(), 1);
+        assert_eq!(
+            r.itemsets[0].itemset,
+            crate::item::Itemset::new(vec![Item(1), Item(2)])
+        );
+        assert_eq!(r.itemsets[0].support, 1000);
+        // Threshold stayed high: noise never surfaced.
+        assert!(r.chosen_support > 100, "chosen {}", r.chosen_support);
+    }
+
+    #[test]
+    fn k2_descends_to_capture_the_medium_pattern() {
+        let r = mine_top_k(&skewed(), &TopKConfig { k: 2, ..TopKConfig::default() });
+        assert!(r.itemsets.len() >= 2);
+        assert_eq!(r.itemsets[1].support, 100);
+        assert!(r.chosen_support <= 100);
+        assert!(r.chosen_support > 3, "noise leaked: chosen {}", r.chosen_support);
+    }
+
+    #[test]
+    fn floor_prevents_noise_harvest() {
+        // Ask for far more itemsets than exist above the floor.
+        let r = mine_top_k(
+            &skewed(),
+            &TopKConfig { k: 500, floor: 5, ..TopKConfig::default() },
+        );
+        // Only the two real patterns have support >= 5.
+        assert_eq!(r.chosen_support, 5);
+        assert!(r.total_found < 500);
+        assert!(r.itemsets.iter().all(|f| f.support >= 5));
+    }
+
+    #[test]
+    fn floor_one_harvests_everything_when_asked() {
+        let r = mine_top_k(
+            &skewed(),
+            &TopKConfig { k: 60, floor: 1, ..TopKConfig::default() },
+        );
+        // 52 maximal patterns exist ({1,2}, {10,11}, 50 noise pairs).
+        assert_eq!(r.total_found, 52);
+    }
+
+    #[test]
+    fn empty_transactions() {
+        let r = mine_top_k(&TransactionSet::new(), &TopKConfig::default());
+        assert!(r.itemsets.is_empty());
+        assert_eq!(r.rounds, 0);
+    }
+
+    #[test]
+    fn rounds_stay_bounded() {
+        let r = mine_top_k(
+            &skewed(),
+            &TopKConfig { k: 3, max_rounds: 5, ..TopKConfig::default() },
+        );
+        assert!(r.rounds <= 5, "rounds {}", r.rounds);
+    }
+
+    #[test]
+    fn all_algorithms_agree() {
+        for algorithm in [Algorithm::Apriori, Algorithm::FpGrowth, Algorithm::Eclat] {
+            let r = mine_top_k(
+                &skewed(),
+                &TopKConfig { k: 2, algorithm, ..TopKConfig::default() },
+            );
+            assert_eq!(r.itemsets.len(), 2, "{algorithm:?}");
+            assert_eq!(r.itemsets[0].support, 1000, "{algorithm:?}");
+            assert_eq!(r.itemsets[1].support, 100, "{algorithm:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_topk_prefers_heavy_patterns() {
+        // Two flows with a million packets vs a thousand unit flows.
+        let mut txs = vec![t(&[1, 2], 500_000), t(&[1, 2], 500_000)];
+        for i in 0..1000 {
+            txs.push(t(&[50 + (i % 20), 100 + (i % 7)], 1));
+        }
+        let set = TransactionSet::from_transactions(txs);
+        let r = mine_top_k(&set, &TopKConfig { k: 1, ..TopKConfig::default() });
+        assert_eq!(
+            r.itemsets[0].itemset,
+            crate::item::Itemset::new(vec![Item(1), Item(2)])
+        );
+        assert_eq!(r.itemsets[0].support, 1_000_000);
+    }
+
+    #[test]
+    fn returned_itemsets_are_maximal() {
+        let r = mine_top_k(&skewed(), &TopKConfig { k: 10, ..TopKConfig::default() });
+        for a in &r.itemsets {
+            for b in &r.itemsets {
+                if a != b {
+                    assert!(
+                        !a.itemset.is_subset_of(&b.itemset),
+                        "{} subsumed by {}",
+                        a.itemset,
+                        b.itemset
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Weighted transactions.
+//!
+//! The paper's key extension over vanilla Apriori is computing itemset
+//! support **in packets as well as flows**. Both are captured by one
+//! abstraction: a [`Transaction`] carries a *weight*; support of an itemset
+//! is the sum of weights of transactions containing it. Flow-support sets
+//! every weight to 1; packet-support sets the weight to the flow's packet
+//! counter.
+
+use serde::{Deserialize, Serialize};
+
+use crate::item::{Item, Itemset};
+
+/// One transaction: a sorted item list plus a support weight.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    items: Vec<Item>,
+    weight: u64,
+}
+
+impl Transaction {
+    /// Build a transaction (items are sorted and deduped).
+    pub fn new(items: Vec<Item>, weight: u64) -> Transaction {
+        let set = Itemset::new(items);
+        Transaction { items: set.items().to_vec(), weight }
+    }
+
+    /// Unit-weight transaction.
+    pub fn unit(items: Vec<Item>) -> Transaction {
+        Transaction::new(items, 1)
+    }
+
+    /// Sorted items.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Support weight.
+    pub fn weight(&self) -> u64 {
+        self.weight
+    }
+
+    /// Whether this transaction contains the whole itemset.
+    pub fn contains(&self, itemset: &Itemset) -> bool {
+        itemset.is_subset_of_sorted(&self.items)
+    }
+}
+
+/// A collection of transactions with cached total weight.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransactionSet {
+    transactions: Vec<Transaction>,
+    total_weight: u64,
+}
+
+impl TransactionSet {
+    /// Empty set.
+    pub fn new() -> TransactionSet {
+        TransactionSet::default()
+    }
+
+    /// Build from transactions.
+    pub fn from_transactions(transactions: Vec<Transaction>) -> TransactionSet {
+        let total_weight = transactions.iter().map(Transaction::weight).sum();
+        TransactionSet { transactions, total_weight }
+    }
+
+    /// Add one transaction.
+    pub fn push(&mut self, t: Transaction) {
+        self.total_weight += t.weight();
+        self.transactions.push(t);
+    }
+
+    /// The transactions.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether there are no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Sum of all weights (the denominator of relative support).
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+
+    /// Exact support of an arbitrary itemset by linear scan. The reference
+    /// the mining algorithms are tested against, and the tool used for
+    /// one-off queries.
+    pub fn support_of(&self, itemset: &Itemset) -> u64 {
+        self.transactions
+            .iter()
+            .filter(|t| t.contains(itemset))
+            .map(Transaction::weight)
+            .sum()
+    }
+
+    /// Distinct items across all transactions, sorted.
+    pub fn item_universe(&self) -> Vec<Item> {
+        let mut items: Vec<Item> =
+            self.transactions.iter().flat_map(|t| t.items().iter().copied()).collect();
+        items.sort_unstable();
+        items.dedup();
+        items
+    }
+
+    /// Re-weight every transaction to 1 (flow-support view).
+    pub fn unit_weights(&self) -> TransactionSet {
+        TransactionSet::from_transactions(
+            self.transactions
+                .iter()
+                .map(|t| Transaction::new(t.items().to_vec(), 1))
+                .collect(),
+        )
+    }
+}
+
+impl FromIterator<Transaction> for TransactionSet {
+    fn from_iter<I: IntoIterator<Item = Transaction>>(iter: I) -> TransactionSet {
+        TransactionSet::from_transactions(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[u64], w: u64) -> Transaction {
+        Transaction::new(vals.iter().map(|&v| Item(v)).collect(), w)
+    }
+
+    fn iset(vals: &[u64]) -> Itemset {
+        Itemset::new(vals.iter().map(|&v| Item(v)).collect())
+    }
+
+    #[test]
+    fn transaction_sorts_items() {
+        let tx = t(&[3, 1, 2, 1], 5);
+        assert_eq!(tx.items(), &[Item(1), Item(2), Item(3)]);
+        assert_eq!(tx.weight(), 5);
+    }
+
+    #[test]
+    fn contains_subset() {
+        let tx = t(&[1, 2, 3], 1);
+        assert!(tx.contains(&iset(&[1, 3])));
+        assert!(!tx.contains(&iset(&[1, 4])));
+        assert!(tx.contains(&iset(&[])));
+    }
+
+    #[test]
+    fn total_weight_tracks_pushes() {
+        let mut set = TransactionSet::new();
+        assert!(set.is_empty());
+        set.push(t(&[1], 10));
+        set.push(t(&[2], 20));
+        assert_eq!(set.total_weight(), 30);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn support_of_sums_weights() {
+        let set = TransactionSet::from_transactions(vec![
+            t(&[1, 2], 10),
+            t(&[1, 3], 5),
+            t(&[2, 3], 2),
+        ]);
+        assert_eq!(set.support_of(&iset(&[1])), 15);
+        assert_eq!(set.support_of(&iset(&[1, 2])), 10);
+        assert_eq!(set.support_of(&iset(&[4])), 0);
+        // Empty itemset is contained in everything.
+        assert_eq!(set.support_of(&iset(&[])), 17);
+    }
+
+    #[test]
+    fn item_universe_sorted_unique() {
+        let set = TransactionSet::from_transactions(vec![t(&[3, 1], 1), t(&[2, 3], 1)]);
+        assert_eq!(set.item_universe(), vec![Item(1), Item(2), Item(3)]);
+    }
+
+    #[test]
+    fn unit_weights_resets_to_flow_support() {
+        let set = TransactionSet::from_transactions(vec![t(&[1], 100), t(&[1], 50)]);
+        let unit = set.unit_weights();
+        assert_eq!(unit.total_weight(), 2);
+        assert_eq!(unit.support_of(&iset(&[1])), 2);
+        // Original untouched.
+        assert_eq!(set.support_of(&iset(&[1])), 150);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let set: TransactionSet = (0..5).map(|i| t(&[i], i + 1)).collect();
+        assert_eq!(set.len(), 5);
+        assert_eq!(set.total_weight(), 15);
+    }
+
+    #[test]
+    fn zero_weight_transactions_are_allowed_but_inert() {
+        let set = TransactionSet::from_transactions(vec![t(&[1], 0), t(&[1], 3)]);
+        assert_eq!(set.support_of(&iset(&[1])), 3);
+        assert_eq!(set.total_weight(), 3);
+    }
+}

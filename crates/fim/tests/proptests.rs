@@ -1,0 +1,257 @@
+//! Property tests for the mining engine.
+//!
+//! The central invariant: Apriori, FP-Growth and Eclat are three
+//! independent implementations that must produce *identical* output, and
+//! that output must match a brute-force reference miner on small inputs.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use anomex_fim::prelude::*;
+use anomex_fim::{closed_only, maximal_only};
+
+/// Brute force: enumerate every itemset appearing in the data, count by
+/// linear scan, keep those meeting the threshold.
+fn brute_force(txs: &TransactionSet, threshold: u64) -> Vec<FrequentItemset> {
+    let universe = txs.item_universe();
+    let mut results: HashMap<Itemset, u64> = HashMap::new();
+    // Enumerate subsets of each transaction (transactions are narrow here).
+    for t in txs.transactions() {
+        let items = t.items();
+        let n = items.len();
+        for mask in 1u32..(1 << n) {
+            let subset: Itemset = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| items[i])
+                .collect();
+            results.entry(subset).or_insert(0);
+        }
+    }
+    let _ = universe;
+    let mut out: Vec<FrequentItemset> = results
+        .into_keys()
+        .map(|itemset| {
+            let support = txs.support_of(&itemset);
+            FrequentItemset::new(itemset, support)
+        })
+        .filter(|f| f.support >= threshold)
+        .collect();
+    anomex_fim::sort_canonical(&mut out);
+    out
+}
+
+/// Small random transaction sets: up to 12 transactions, items 0..8,
+/// weights 0..50 — tiny enough for brute force, rich enough to bite.
+fn arb_txs() -> impl Strategy<Value = TransactionSet> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(0u64..8, 1..5),
+            0u64..50,
+        ),
+        1..12,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(vals, w)| Transaction::new(vals.into_iter().map(Item).collect(), w))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn three_algorithms_match_brute_force(txs in arb_txs(), threshold in 1u64..100) {
+        let reference = brute_force(&txs, threshold);
+        for algorithm in [Algorithm::Apriori, Algorithm::FpGrowth, Algorithm::Eclat] {
+            let got = mine(
+                &txs,
+                &MiningConfig {
+                    algorithm,
+                    min_support: MinSupport::Absolute(threshold),
+                    max_len: 0,
+                    threads: 1,
+                },
+            );
+            prop_assert_eq!(&got, &reference, "{} disagrees with brute force", algorithm);
+        }
+    }
+
+    #[test]
+    fn parallel_apriori_matches_sequential(txs in arb_txs(), threshold in 1u64..100) {
+        let seq = mine(&txs, &MiningConfig {
+            algorithm: Algorithm::Apriori,
+            min_support: MinSupport::Absolute(threshold),
+            max_len: 0,
+            threads: 1,
+        });
+        let par = mine(&txs, &MiningConfig {
+            algorithm: Algorithm::Apriori,
+            min_support: MinSupport::Absolute(threshold),
+            max_len: 0,
+            threads: 4,
+        });
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn support_is_antimonotone(txs in arb_txs(), threshold in 1u64..30) {
+        let results = mine(&txs, &MiningConfig {
+            min_support: MinSupport::Absolute(threshold),
+            ..MiningConfig::default()
+        });
+        let by_set: HashMap<&Itemset, u64> =
+            results.iter().map(|f| (&f.itemset, f.support)).collect();
+        for f in &results {
+            for sub in f.itemset.proper_subsets() {
+                if sub.is_empty() { continue; }
+                let sub_support = by_set.get(&sub).copied()
+                    .unwrap_or_else(|| txs.support_of(&sub));
+                prop_assert!(
+                    sub_support >= f.support,
+                    "subset {} support {} < superset {} support {}",
+                    sub, sub_support, f.itemset, f.support
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mined_supports_are_exact(txs in arb_txs(), threshold in 1u64..50) {
+        let results = mine(&txs, &MiningConfig {
+            min_support: MinSupport::Absolute(threshold),
+            ..MiningConfig::default()
+        });
+        for f in &results {
+            prop_assert_eq!(f.support, txs.support_of(&f.itemset));
+        }
+    }
+
+    #[test]
+    fn maximal_sets_cover_all_frequent_sets(txs in arb_txs(), threshold in 1u64..30) {
+        let all = mine(&txs, &MiningConfig {
+            min_support: MinSupport::Absolute(threshold),
+            ..MiningConfig::default()
+        });
+        let maximal = maximal_only(all.clone());
+        // Every frequent itemset is a subset of some maximal itemset.
+        for f in &all {
+            prop_assert!(
+                maximal.iter().any(|m| f.itemset.is_subset_of(&m.itemset)),
+                "{} not covered", f.itemset
+            );
+        }
+        // No maximal itemset is a subset of another.
+        for a in &maximal {
+            for b in &maximal {
+                if a.itemset != b.itemset {
+                    prop_assert!(!a.itemset.is_subset_of(&b.itemset));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_preserves_support_information(txs in arb_txs(), threshold in 1u64..30) {
+        let all = mine(&txs, &MiningConfig {
+            min_support: MinSupport::Absolute(threshold),
+            ..MiningConfig::default()
+        });
+        let closed = closed_only(all.clone());
+        // Closure property: the support of any frequent itemset equals the
+        // max support among closed supersets.
+        for f in &all {
+            let recovered = closed
+                .iter()
+                .filter(|c| f.itemset.is_subset_of(&c.itemset))
+                .map(|c| c.support)
+                .max();
+            prop_assert_eq!(recovered, Some(f.support), "itemset {}", f.itemset);
+        }
+    }
+
+    #[test]
+    fn topk_returns_at_most_k_and_respects_floor(
+        txs in arb_txs(),
+        k in 1usize..20,
+        floor in 1u64..20,
+    ) {
+        let r = mine_top_k(&txs, &TopKConfig {
+            k,
+            floor,
+            max_rounds: 24,
+            max_len: 0,
+            algorithm: Algorithm::Apriori,
+        });
+        prop_assert!(r.itemsets.len() <= k);
+        prop_assert!(r.chosen_support >= floor.min(txs.total_weight().max(1)));
+        for f in &r.itemsets {
+            prop_assert!(f.support >= r.chosen_support);
+            prop_assert_eq!(f.support, txs.support_of(&f.itemset));
+        }
+    }
+
+    #[test]
+    fn topk_finds_k_when_k_exist_above_floor(txs in arb_txs(), k in 1usize..8) {
+        let floor = 1;
+        let available = maximal_only(mine(&txs, &MiningConfig {
+            min_support: MinSupport::Absolute(floor),
+            ..MiningConfig::default()
+        })).len();
+        let r = mine_top_k(&txs, &TopKConfig {
+            k,
+            floor,
+            max_rounds: 64,
+            max_len: 0,
+            algorithm: Algorithm::Apriori,
+        });
+        // The search prefers meaningful itemsets over reaching k: the
+        // regression guard may stop the descent early when lower
+        // thresholds displace high-support structure with noise
+        // supersets. The contract is:
+        // (1) never more than k;
+        prop_assert!(r.itemsets.len() <= k);
+        // (2) something is returned whenever anything is frequent at all;
+        if available >= 1 {
+            prop_assert!(!r.itemsets.is_empty(), "floor offers {available}, got none");
+        }
+        // (3) every returned support clears the chosen threshold & floor;
+        prop_assert!(r.chosen_support >= floor);
+        for f in &r.itemsets {
+            prop_assert!(f.support >= r.chosen_support);
+        }
+        // (4) the returned set is subset-free (maximal among itself).
+        for a in &r.itemsets {
+            for b in &r.itemsets {
+                if a.itemset != b.itemset {
+                    prop_assert!(!a.itemset.is_subset_of(&b.itemset));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_len_bound_is_respected_by_all(txs in arb_txs(), max_len in 1usize..4) {
+        for algorithm in [Algorithm::Apriori, Algorithm::FpGrowth, Algorithm::Eclat] {
+            let results = mine(&txs, &MiningConfig {
+                algorithm,
+                min_support: MinSupport::Absolute(1),
+                max_len,
+                threads: 1,
+            });
+            prop_assert!(results.iter().all(|f| f.itemset.len() <= max_len));
+            // And the bounded output equals the unbounded output filtered.
+            let full = mine(&txs, &MiningConfig {
+                algorithm,
+                min_support: MinSupport::Absolute(1),
+                max_len: 0,
+                threads: 1,
+            });
+            let filtered: Vec<_> = full.into_iter()
+                .filter(|f| f.itemset.len() <= max_len)
+                .collect();
+            prop_assert_eq!(results, filtered);
+        }
+    }
+}

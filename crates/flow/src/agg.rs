@@ -1,0 +1,257 @@
+//! Flow aggregation and top-N statistics (nfdump `-A`/`-s` equivalents).
+//!
+//! Groups flows by a chosen set of [`Feature`] dimensions and accumulates
+//! flow/packet/byte counters per group — the workhorse behind "top talkers"
+//! views and the drill-down tables the operator console renders.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::feature::{Feature, FeatureItem, FeatureValue};
+use crate::record::FlowRecord;
+use crate::store::FlowStats;
+
+/// Which counter to rank aggregates by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Number of flow records.
+    Flows,
+    /// Sum of packet counters.
+    Packets,
+    /// Sum of byte counters.
+    Bytes,
+}
+
+impl Metric {
+    /// Extract the metric from accumulated stats.
+    pub fn of(self, stats: &FlowStats) -> u64 {
+        match self {
+            Metric::Flows => stats.flows,
+            Metric::Packets => stats.packets,
+            Metric::Bytes => stats.bytes,
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Metric::Flows => "flows",
+            Metric::Packets => "packets",
+            Metric::Bytes => "bytes",
+        })
+    }
+}
+
+/// One aggregated row: the grouping key plus accumulated counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggRow {
+    /// Key items, one per grouping feature, in grouping order.
+    pub key: Vec<FeatureItem>,
+    /// Accumulated counters.
+    pub stats: FlowStats,
+}
+
+impl fmt::Display for AggRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, item) in self.key.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(
+            f,
+            "  flows={} packets={} bytes={}",
+            self.stats.flows, self.stats.packets, self.stats.bytes
+        )
+    }
+}
+
+/// Streaming group-by aggregator.
+#[derive(Debug, Clone)]
+pub struct Aggregator {
+    features: Vec<Feature>,
+    groups: HashMap<Vec<FeatureValue>, FlowStats>,
+}
+
+impl Aggregator {
+    /// Group by the given features (order defines key order).
+    ///
+    /// # Panics
+    /// Panics if `features` is empty or contains duplicates.
+    pub fn new(features: &[Feature]) -> Aggregator {
+        assert!(!features.is_empty(), "need at least one grouping feature");
+        let mut seen = features.to_vec();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), features.len(), "duplicate grouping feature");
+        Aggregator { features: features.to_vec(), groups: HashMap::new() }
+    }
+
+    /// Accumulate one record.
+    pub fn add(&mut self, r: &FlowRecord) {
+        let key: Vec<FeatureValue> = self.features.iter().map(|&f| r.feature(f)).collect();
+        self.groups.entry(key).or_default().add(r);
+    }
+
+    /// Accumulate many records.
+    pub fn add_all<'a, I: IntoIterator<Item = &'a FlowRecord>>(&mut self, records: I) {
+        for r in records {
+            self.add(r);
+        }
+    }
+
+    /// Number of distinct groups so far.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// All rows, unsorted.
+    pub fn rows(&self) -> Vec<AggRow> {
+        self.groups
+            .iter()
+            .map(|(values, stats)| AggRow {
+                key: self
+                    .features
+                    .iter()
+                    .zip(values)
+                    .map(|(&feature, &value)| FeatureItem { feature, value })
+                    .collect(),
+                stats: *stats,
+            })
+            .collect()
+    }
+
+    /// The `n` largest groups by `metric`, descending; ties broken by key
+    /// for deterministic output.
+    pub fn top_n(&self, metric: Metric, n: usize) -> Vec<AggRow> {
+        let mut rows = self.rows();
+        rows.sort_by(|a, b| {
+            metric
+                .of(&b.stats)
+                .cmp(&metric.of(&a.stats))
+                .then_with(|| a.key.cmp(&b.key))
+        });
+        rows.truncate(n);
+        rows
+    }
+}
+
+/// Convenience: one-shot top-N over a slice of records.
+pub fn top_n(
+    records: &[FlowRecord],
+    features: &[Feature],
+    metric: Metric,
+    n: usize,
+) -> Vec<AggRow> {
+    let mut agg = Aggregator::new(features);
+    agg.add_all(records);
+    agg.top_n(metric, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Protocol;
+    use std::net::Ipv4Addr;
+
+    fn rec(src: [u8; 4], dport: u16, packets: u64, bytes: u64) -> FlowRecord {
+        FlowRecord::builder()
+            .src(Ipv4Addr::from(src), 1234)
+            .dst(Ipv4Addr::new(192, 0, 2, 1), dport)
+            .proto(Protocol::TCP)
+            .volume(packets, bytes)
+            .build()
+    }
+
+    #[test]
+    fn groups_by_single_feature() {
+        let flows = vec![
+            rec([10, 0, 0, 1], 80, 1, 100),
+            rec([10, 0, 0, 1], 443, 2, 200),
+            rec([10, 0, 0, 2], 80, 4, 400),
+        ];
+        let rows = top_n(&flows, &[Feature::SrcIp], Metric::Flows, 10);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].stats.flows, 2);
+        assert_eq!(rows[0].key[0], FeatureItem::src_ip(Ipv4Addr::new(10, 0, 0, 1)));
+    }
+
+    #[test]
+    fn groups_by_composite_key() {
+        let flows = vec![
+            rec([10, 0, 0, 1], 80, 1, 100),
+            rec([10, 0, 0, 1], 80, 1, 100),
+            rec([10, 0, 0, 1], 443, 1, 100),
+        ];
+        let rows = top_n(
+            &flows,
+            &[Feature::SrcIp, Feature::DstPort],
+            Metric::Flows,
+            10,
+        );
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].stats.flows, 2);
+        assert_eq!(rows[0].key[1], FeatureItem::dst_port(80));
+    }
+
+    #[test]
+    fn ranking_respects_metric() {
+        let flows = vec![
+            rec([1, 1, 1, 1], 80, 100, 10), // most packets
+            rec([2, 2, 2, 2], 80, 1, 9_000), // most bytes
+            rec([3, 3, 3, 3], 80, 1, 10),
+            rec([3, 3, 3, 3], 80, 1, 10), // most flows
+        ];
+        let by_pkts = top_n(&flows, &[Feature::SrcIp], Metric::Packets, 1);
+        assert_eq!(by_pkts[0].key[0], FeatureItem::src_ip(Ipv4Addr::new(1, 1, 1, 1)));
+        let by_bytes = top_n(&flows, &[Feature::SrcIp], Metric::Bytes, 1);
+        assert_eq!(by_bytes[0].key[0], FeatureItem::src_ip(Ipv4Addr::new(2, 2, 2, 2)));
+        let by_flows = top_n(&flows, &[Feature::SrcIp], Metric::Flows, 1);
+        assert_eq!(by_flows[0].key[0], FeatureItem::src_ip(Ipv4Addr::new(3, 3, 3, 3)));
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let flows = vec![rec([9, 0, 0, 1], 80, 1, 1), rec([1, 0, 0, 1], 80, 1, 1)];
+        let a = top_n(&flows, &[Feature::SrcIp], Metric::Flows, 2);
+        let b = top_n(&flows, &[Feature::SrcIp], Metric::Flows, 2);
+        assert_eq!(a, b);
+        assert_eq!(a[0].key[0], FeatureItem::src_ip(Ipv4Addr::new(1, 0, 0, 1)));
+    }
+
+    #[test]
+    fn truncates_to_n() {
+        let flows: Vec<FlowRecord> =
+            (0..20).map(|i| rec([10, 0, 0, i as u8], 80, 1, 1)).collect();
+        assert_eq!(top_n(&flows, &[Feature::SrcIp], Metric::Flows, 5).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_features_panics() {
+        Aggregator::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_features_panics() {
+        Aggregator::new(&[Feature::SrcIp, Feature::SrcIp]);
+    }
+
+    #[test]
+    fn row_display_is_readable() {
+        let rows = top_n(&[rec([1, 2, 3, 4], 80, 5, 500)], &[Feature::SrcIp], Metric::Flows, 1);
+        let s = rows[0].to_string();
+        assert!(s.contains("srcIP=1.2.3.4"));
+        assert!(s.contains("packets=5"));
+    }
+
+    #[test]
+    fn empty_input_yields_no_rows() {
+        assert!(top_n(&[], &[Feature::DstPort], Metric::Bytes, 3).is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Error types for the flow substrate.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by the NetFlow v5/v9 codecs and the on-disk store codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before a complete structure could be read.
+    Truncated {
+        /// Bytes required to continue decoding.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The version field did not match the expected protocol version.
+    BadVersion {
+        /// Version the codec expected.
+        expected: u16,
+        /// Version found on the wire.
+        got: u16,
+    },
+    /// A count or length field is inconsistent with the payload.
+    BadLength {
+        /// Human-readable description of which length failed.
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+    },
+    /// A v9 data flowset referenced a template that has not been seen.
+    UnknownTemplate {
+        /// Exporter observation domain.
+        source_id: u32,
+        /// The missing template id.
+        template_id: u16,
+    },
+    /// A v9 template declared a field with an unsupported length for its type.
+    BadFieldLength {
+        /// IANA field type.
+        field_type: u16,
+        /// Declared length.
+        length: u16,
+    },
+    /// The store file's magic number or checksum did not match.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, have } => {
+                write!(f, "truncated input: need {needed} bytes, have {have}")
+            }
+            CodecError::BadVersion { expected, got } => {
+                write!(f, "bad version: expected {expected}, got {got}")
+            }
+            CodecError::BadLength { what, value } => {
+                write!(f, "inconsistent length for {what}: {value}")
+            }
+            CodecError::UnknownTemplate { source_id, template_id } => write!(
+                f,
+                "data flowset references unknown template {template_id} (source {source_id})"
+            ),
+            CodecError::BadFieldLength { field_type, length } => {
+                write!(f, "unsupported length {length} for v9 field type {field_type}")
+            }
+            CodecError::Corrupt(what) => write!(f, "corrupt store file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Errors from the flow store (I/O wrapped around codec failures).
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The stored bytes failed to decode.
+    Codec(CodecError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Codec(e) => write!(f, "store codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Codec(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_error_messages_are_specific() {
+        let e = CodecError::Truncated { needed: 48, have: 12 };
+        assert!(e.to_string().contains("need 48"));
+        let e = CodecError::BadVersion { expected: 5, got: 9 };
+        assert!(e.to_string().contains("expected 5"));
+        let e = CodecError::UnknownTemplate { source_id: 3, template_id: 260 };
+        assert!(e.to_string().contains("260"));
+    }
+
+    #[test]
+    fn store_error_wraps_sources() {
+        let e = StoreError::from(CodecError::Corrupt("magic"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = StoreError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,310 @@
+//! Traffic features: the dimensions over which anomalies are mined.
+//!
+//! The paper models a flow as an itemset over its feature values
+//! (srcIP, dstIP, srcPort, dstPort — we also expose the protocol). This
+//! module defines the feature vocabulary shared by detectors (which report
+//! *feature hints* in alarm meta-data) and the miner (which builds items
+//! from feature values).
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::{FlowRecord, Protocol};
+
+/// A traffic feature dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Feature {
+    /// Source IPv4 address.
+    SrcIp,
+    /// Destination IPv4 address.
+    DstIp,
+    /// Source transport port.
+    SrcPort,
+    /// Destination transport port.
+    DstPort,
+    /// IP protocol number.
+    Proto,
+}
+
+impl Feature {
+    /// The four features the paper mines over (without protocol).
+    pub const MINING: [Feature; 4] = [
+        Feature::SrcIp,
+        Feature::DstIp,
+        Feature::SrcPort,
+        Feature::DstPort,
+    ];
+
+    /// All defined features.
+    pub const ALL: [Feature; 5] = [
+        Feature::SrcIp,
+        Feature::DstIp,
+        Feature::SrcPort,
+        Feature::DstPort,
+        Feature::Proto,
+    ];
+
+    /// Stable small integer tag (used for item encoding and store layout).
+    pub fn tag(self) -> u8 {
+        match self {
+            Feature::SrcIp => 0,
+            Feature::DstIp => 1,
+            Feature::SrcPort => 2,
+            Feature::DstPort => 3,
+            Feature::Proto => 4,
+        }
+    }
+
+    /// Inverse of [`Feature::tag`].
+    pub fn from_tag(tag: u8) -> Option<Feature> {
+        Some(match tag {
+            0 => Feature::SrcIp,
+            1 => Feature::DstIp,
+            2 => Feature::SrcPort,
+            3 => Feature::DstPort,
+            4 => Feature::Proto,
+            _ => return None,
+        })
+    }
+
+    /// Short column label as used in the paper's Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            Feature::SrcIp => "srcIP",
+            Feature::DstIp => "dstIP",
+            Feature::SrcPort => "srcPort",
+            Feature::DstPort => "dstPort",
+            Feature::Proto => "proto",
+        }
+    }
+
+    /// Whether this feature's values are IP addresses.
+    pub fn is_ip(self) -> bool {
+        matches!(self, Feature::SrcIp | Feature::DstIp)
+    }
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A concrete value of some [`Feature`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FeatureValue {
+    /// An IPv4 address (for [`Feature::SrcIp`] / [`Feature::DstIp`]).
+    Ip(Ipv4Addr),
+    /// A transport port (for [`Feature::SrcPort`] / [`Feature::DstPort`]).
+    Port(u16),
+    /// A protocol number (for [`Feature::Proto`]).
+    Proto(Protocol),
+}
+
+impl FeatureValue {
+    /// Raw 32-bit payload of the value (IPs as big-endian u32).
+    pub fn raw(self) -> u32 {
+        match self {
+            FeatureValue::Ip(ip) => u32::from(ip),
+            FeatureValue::Port(p) => u32::from(p),
+            FeatureValue::Proto(p) => u32::from(p.0),
+        }
+    }
+
+    /// Rebuild a value for `feature` from its raw payload.
+    ///
+    /// Returns `None` if the payload is out of range for the feature
+    /// (e.g. a port above 65535).
+    pub fn from_raw(feature: Feature, raw: u32) -> Option<FeatureValue> {
+        Some(match feature {
+            Feature::SrcIp | Feature::DstIp => FeatureValue::Ip(Ipv4Addr::from(raw)),
+            Feature::SrcPort | Feature::DstPort => {
+                FeatureValue::Port(u16::try_from(raw).ok()?)
+            }
+            Feature::Proto => FeatureValue::Proto(Protocol(u8::try_from(raw).ok()?)),
+        })
+    }
+}
+
+impl fmt::Display for FeatureValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureValue::Ip(ip) => write!(f, "{ip}"),
+            FeatureValue::Port(p) => write!(f, "{p}"),
+            FeatureValue::Proto(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A `(feature, value)` pair: one coordinate of a flow, one "item" in the
+/// mining vocabulary, and the unit of detector meta-data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FeatureItem {
+    /// Which dimension.
+    pub feature: Feature,
+    /// The concrete value.
+    pub value: FeatureValue,
+}
+
+impl FeatureItem {
+    /// Build an item, checking the value kind matches the feature.
+    ///
+    /// Returns `None` on kind mismatch (e.g. a port value for `SrcIp`).
+    pub fn checked(feature: Feature, value: FeatureValue) -> Option<FeatureItem> {
+        let ok = matches!(
+            (feature, value),
+            (Feature::SrcIp | Feature::DstIp, FeatureValue::Ip(_))
+                | (Feature::SrcPort | Feature::DstPort, FeatureValue::Port(_))
+                | (Feature::Proto, FeatureValue::Proto(_))
+        );
+        ok.then_some(FeatureItem { feature, value })
+    }
+
+    /// Source-IP item.
+    pub fn src_ip(ip: Ipv4Addr) -> FeatureItem {
+        FeatureItem { feature: Feature::SrcIp, value: FeatureValue::Ip(ip) }
+    }
+
+    /// Destination-IP item.
+    pub fn dst_ip(ip: Ipv4Addr) -> FeatureItem {
+        FeatureItem { feature: Feature::DstIp, value: FeatureValue::Ip(ip) }
+    }
+
+    /// Source-port item.
+    pub fn src_port(port: u16) -> FeatureItem {
+        FeatureItem { feature: Feature::SrcPort, value: FeatureValue::Port(port) }
+    }
+
+    /// Destination-port item.
+    pub fn dst_port(port: u16) -> FeatureItem {
+        FeatureItem { feature: Feature::DstPort, value: FeatureValue::Port(port) }
+    }
+
+    /// Protocol item.
+    pub fn proto(proto: Protocol) -> FeatureItem {
+        FeatureItem { feature: Feature::Proto, value: FeatureValue::Proto(proto) }
+    }
+
+    /// Does `record` carry this value in this dimension?
+    pub fn matches(&self, record: &FlowRecord) -> bool {
+        record.feature(self.feature) == self.value
+    }
+}
+
+impl fmt::Display for FeatureItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.feature, self.value)
+    }
+}
+
+impl FlowRecord {
+    /// Project the record onto one feature dimension.
+    pub fn feature(&self, feature: Feature) -> FeatureValue {
+        match feature {
+            Feature::SrcIp => FeatureValue::Ip(self.src_ip),
+            Feature::DstIp => FeatureValue::Ip(self.dst_ip),
+            Feature::SrcPort => FeatureValue::Port(self.src_port),
+            Feature::DstPort => FeatureValue::Port(self.dst_port),
+            Feature::Proto => FeatureValue::Proto(self.proto),
+        }
+    }
+
+    /// All mining items of this record (srcIP, dstIP, srcPort, dstPort).
+    pub fn mining_items(&self) -> [FeatureItem; 4] {
+        [
+            FeatureItem::src_ip(self.src_ip),
+            FeatureItem::dst_ip(self.dst_ip),
+            FeatureItem::src_port(self.src_port),
+            FeatureItem::dst_port(self.dst_port),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn tags_roundtrip() {
+        for f in Feature::ALL {
+            assert_eq!(Feature::from_tag(f.tag()), Some(f));
+        }
+        assert_eq!(Feature::from_tag(9), None);
+    }
+
+    #[test]
+    fn raw_roundtrip_all_kinds() {
+        let cases = [
+            (Feature::SrcIp, FeatureValue::Ip(ip("203.0.113.9"))),
+            (Feature::DstIp, FeatureValue::Ip(ip("0.0.0.0"))),
+            (Feature::SrcPort, FeatureValue::Port(65535)),
+            (Feature::DstPort, FeatureValue::Port(0)),
+            (Feature::Proto, FeatureValue::Proto(Protocol::UDP)),
+        ];
+        for (f, v) in cases {
+            assert_eq!(FeatureValue::from_raw(f, v.raw()), Some(v));
+        }
+    }
+
+    #[test]
+    fn from_raw_rejects_out_of_range() {
+        assert_eq!(FeatureValue::from_raw(Feature::SrcPort, 70_000), None);
+        assert_eq!(FeatureValue::from_raw(Feature::Proto, 300), None);
+        assert!(FeatureValue::from_raw(Feature::SrcIp, u32::MAX).is_some());
+    }
+
+    #[test]
+    fn checked_rejects_kind_mismatch() {
+        assert!(FeatureItem::checked(Feature::SrcIp, FeatureValue::Port(1)).is_none());
+        assert!(FeatureItem::checked(Feature::DstPort, FeatureValue::Ip(ip("1.1.1.1"))).is_none());
+        assert!(
+            FeatureItem::checked(Feature::Proto, FeatureValue::Proto(Protocol::TCP)).is_some()
+        );
+    }
+
+    #[test]
+    fn record_projection_and_matching() {
+        let r = FlowRecord::builder()
+            .src(ip("10.0.0.1"), 4242)
+            .dst(ip("192.0.2.80"), 80)
+            .proto(Protocol::TCP)
+            .build();
+        assert_eq!(r.feature(Feature::SrcIp), FeatureValue::Ip(ip("10.0.0.1")));
+        assert_eq!(r.feature(Feature::DstPort), FeatureValue::Port(80));
+        assert!(FeatureItem::dst_port(80).matches(&r));
+        assert!(!FeatureItem::dst_port(443).matches(&r));
+        assert!(FeatureItem::proto(Protocol::TCP).matches(&r));
+    }
+
+    #[test]
+    fn mining_items_covers_four_dims() {
+        let r = FlowRecord::builder()
+            .src(ip("1.1.1.1"), 1)
+            .dst(ip("2.2.2.2"), 2)
+            .build();
+        let items = r.mining_items();
+        assert_eq!(items.len(), 4);
+        let feats: Vec<Feature> = items.iter().map(|i| i.feature).collect();
+        assert_eq!(feats, Feature::MINING.to_vec());
+        assert!(items.iter().all(|i| i.matches(&r)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FeatureItem::dst_port(80).to_string(), "dstPort=80");
+        assert_eq!(
+            FeatureItem::src_ip(ip("10.0.0.1")).to_string(),
+            "srcIP=10.0.0.1"
+        );
+        assert_eq!(
+            FeatureItem::proto(Protocol::UDP).to_string(),
+            "proto=udp"
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! Tokenizer for the nfdump-style filter language.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+/// Comparison operators accepted by numeric predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=` / `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Apply the operator to two ordered values.
+    pub fn eval<T: PartialOrd>(self, lhs: T, rhs: T) -> bool {
+        match self {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        })
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Bare word: keyword, protocol name, or flag string.
+    Word(String),
+    /// Decimal number.
+    Number(u64),
+    /// Dotted-quad IPv4 literal.
+    Ip(Ipv4Addr),
+    /// CIDR literal `a.b.c.d/p`.
+    Cidr(Ipv4Addr, u8),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// Comparison operator.
+    Cmp(CmpOp),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Word(w) => write!(f, "{w}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Ip(ip) => write!(f, "{ip}"),
+            Token::Cidr(ip, p) => write!(f, "{ip}/{p}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Cmp(op) => write!(f, "{op}"),
+        }
+    }
+}
+
+/// Lexical error: the offending byte offset and a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset into the input.
+    pub pos: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a filter expression.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Cmp(CmpOp::Le));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Cmp(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Cmp(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Cmp(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                tokens.push(Token::Cmp(CmpOp::Eq));
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Cmp(CmpOp::Ne));
+                    i += 2;
+                } else {
+                    return Err(LexError { pos: i, message: "expected '!=' ".into() });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'/')
+                {
+                    i += 1;
+                }
+                tokens.push(numeric_token(&input[start..i], start)?);
+            }
+            c if c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'-')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Word(input[start..i].to_ascii_lowercase()));
+            }
+            other => {
+                return Err(LexError {
+                    pos: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Classify a digit-initiated token: number, IP, or CIDR.
+fn numeric_token(text: &str, pos: usize) -> Result<Token, LexError> {
+    if let Some((addr, prefix)) = text.split_once('/') {
+        let ip: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| LexError { pos, message: format!("bad IPv4 address {addr:?}") })?;
+        let p: u8 = prefix
+            .parse()
+            .map_err(|_| LexError { pos, message: format!("bad prefix length {prefix:?}") })?;
+        if p > 32 {
+            return Err(LexError { pos, message: format!("prefix length {p} > 32") });
+        }
+        return Ok(Token::Cidr(ip, p));
+    }
+    if text.contains('.') {
+        let ip: Ipv4Addr = text
+            .parse()
+            .map_err(|_| LexError { pos, message: format!("bad IPv4 address {text:?}") })?;
+        return Ok(Token::Ip(ip));
+    }
+    let n: u64 = text
+        .parse()
+        .map_err(|_| LexError { pos, message: format!("bad number {text:?}") })?;
+    Ok(Token::Number(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_mixed_expression() {
+        let toks = lex("src ip 10.0.0.1 and (dst port 80 or packets >= 100)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("src".into()),
+                Token::Word("ip".into()),
+                Token::Ip("10.0.0.1".parse().unwrap()),
+                Token::Word("and".into()),
+                Token::LParen,
+                Token::Word("dst".into()),
+                Token::Word("port".into()),
+                Token::Number(80),
+                Token::Word("or".into()),
+                Token::Word("packets".into()),
+                Token::Cmp(CmpOp::Ge),
+                Token::Number(100),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_cidr_and_operators() {
+        let toks = lex("net 192.168.0.0/16 and bytes != 0 and pps < 5").unwrap();
+        assert!(toks.contains(&Token::Cidr("192.168.0.0".parse().unwrap(), 16)));
+        assert!(toks.contains(&Token::Cmp(CmpOp::Ne)));
+        assert!(toks.contains(&Token::Cmp(CmpOp::Lt)));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = lex("SRC IP 1.2.3.4").unwrap();
+        assert_eq!(toks[0], Token::Word("src".into()));
+        assert_eq!(toks[1], Token::Word("ip".into()));
+    }
+
+    #[test]
+    fn double_equals_is_eq() {
+        assert_eq!(
+            lex("packets == 3").unwrap(),
+            vec![
+                Token::Word("packets".into()),
+                Token::Cmp(CmpOp::Eq),
+                Token::Number(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_ip_and_prefix() {
+        assert!(lex("ip 300.1.1.1").is_err());
+        assert!(lex("net 10.0.0.0/40").is_err());
+        assert!(lex("ip 1.2.3").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        let err = lex("port 80 & port 443").unwrap_err();
+        assert_eq!(err.pos, 8);
+        assert!(lex("port #80").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_no_tokens() {
+        assert_eq!(lex("   ").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn cmp_op_eval_table() {
+        assert!(CmpOp::Lt.eval(1, 2));
+        assert!(CmpOp::Le.eval(2, 2));
+        assert!(CmpOp::Gt.eval(3, 2));
+        assert!(CmpOp::Ge.eval(2, 2));
+        assert!(CmpOp::Eq.eval(2, 2));
+        assert!(CmpOp::Ne.eval(1, 2));
+        assert!(!CmpOp::Lt.eval(2, 2));
+    }
+}

@@ -1,0 +1,445 @@
+//! nfdump-style flow filter language.
+//!
+//! The paper's system sits on top of NfDump; operators drill into itemsets
+//! by filtering raw flows. This module provides the equivalent substrate: a
+//! small expression language over flow records,
+//!
+//! ```text
+//! src ip 10.0.0.1 and (dst port 80 or dst port 443) and packets >= 10
+//! proto udp and not dst net 192.168.0.0/16
+//! flags S and bpp < 60
+//! ```
+//!
+//! parsed into an [`Expr`] AST evaluated directly against [`FlowRecord`]s.
+//! `Display` prints a canonical form that re-parses to the same AST, which
+//! the property tests exploit.
+
+pub mod lexer;
+pub mod parser;
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::feature::{Feature, FeatureItem, FeatureValue};
+use crate::record::{FlowRecord, Protocol, TcpFlags};
+
+pub use lexer::{CmpOp, LexError};
+pub use parser::ParseError;
+
+/// An IPv4 network in CIDR notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ipv4Net {
+    /// Network address (host bits need not be zero; they are masked off).
+    pub addr: Ipv4Addr,
+    /// Prefix length, `0..=32`.
+    pub prefix: u8,
+}
+
+impl Ipv4Net {
+    /// Build a network, clamping the prefix to 32.
+    pub fn new(addr: Ipv4Addr, prefix: u8) -> Ipv4Net {
+        Ipv4Net { addr, prefix: prefix.min(32) }
+    }
+
+    /// The prefix mask as a u32.
+    pub fn mask(&self) -> u32 {
+        if self.prefix == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(self.prefix))
+        }
+    }
+
+    /// Whether `ip` falls inside this network.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        (u32::from(ip) ^ u32::from(self.addr)) & self.mask() == 0
+    }
+}
+
+impl fmt::Display for Ipv4Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.prefix)
+    }
+}
+
+/// Direction qualifier for address/port predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dir {
+    /// Match the source field only.
+    Src,
+    /// Match the destination field only.
+    Dst,
+    /// Match either field.
+    Either,
+}
+
+impl Dir {
+    fn prefix(self) -> &'static str {
+        match self {
+            Dir::Src => "src ",
+            Dir::Dst => "dst ",
+            Dir::Either => "",
+        }
+    }
+}
+
+/// A leaf predicate over one flow record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pred {
+    /// Matches every record.
+    Any,
+    /// Exact address match in the given direction.
+    Ip(Dir, Ipv4Addr),
+    /// CIDR containment in the given direction.
+    Net(Dir, Ipv4Net),
+    /// Port comparison in the given direction.
+    Port(Dir, CmpOp, u16),
+    /// AS-number comparison in the given direction.
+    As(Dir, CmpOp, u32),
+    /// Protocol equality.
+    Proto(Protocol),
+    /// Packet-count comparison.
+    Packets(CmpOp, u64),
+    /// Byte-count comparison.
+    Bytes(CmpOp, u64),
+    /// Duration comparison (milliseconds).
+    Duration(CmpOp, u64),
+    /// Bytes-per-packet comparison.
+    Bpp(CmpOp, u64),
+    /// Packets-per-second comparison.
+    Pps(CmpOp, u64),
+    /// All the given TCP flags are set.
+    Flags(TcpFlags),
+    /// Ingress point of presence equality.
+    Pop(u16),
+}
+
+impl Pred {
+    /// Evaluate against one record.
+    pub fn matches(&self, r: &FlowRecord) -> bool {
+        match *self {
+            Pred::Any => true,
+            Pred::Ip(dir, ip) => match dir {
+                Dir::Src => r.src_ip == ip,
+                Dir::Dst => r.dst_ip == ip,
+                Dir::Either => r.src_ip == ip || r.dst_ip == ip,
+            },
+            Pred::Net(dir, net) => match dir {
+                Dir::Src => net.contains(r.src_ip),
+                Dir::Dst => net.contains(r.dst_ip),
+                Dir::Either => net.contains(r.src_ip) || net.contains(r.dst_ip),
+            },
+            Pred::Port(dir, op, p) => match dir {
+                Dir::Src => op.eval(r.src_port, p),
+                Dir::Dst => op.eval(r.dst_port, p),
+                Dir::Either => op.eval(r.src_port, p) || op.eval(r.dst_port, p),
+            },
+            Pred::As(dir, op, asn) => match dir {
+                Dir::Src => op.eval(r.src_as, asn),
+                Dir::Dst => op.eval(r.dst_as, asn),
+                Dir::Either => op.eval(r.src_as, asn) || op.eval(r.dst_as, asn),
+            },
+            Pred::Proto(p) => r.proto == p,
+            Pred::Packets(op, n) => op.eval(r.packets, n),
+            Pred::Bytes(op, n) => op.eval(r.bytes, n),
+            Pred::Duration(op, n) => op.eval(r.duration_ms(), n),
+            Pred::Bpp(op, n) => op.eval(r.bytes_per_packet(), n as f64),
+            Pred::Pps(op, n) => op.eval(r.pps(), n as f64),
+            Pred::Flags(flags) => r.tcp_flags.contains(flags),
+            Pred::Pop(p) => r.pop == p,
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Pred::Any => write!(f, "any"),
+            Pred::Ip(dir, ip) => write!(f, "{}ip {ip}", dir.prefix()),
+            Pred::Net(dir, net) => write!(f, "{}net {net}", dir.prefix()),
+            Pred::Port(dir, op, p) => write!(f, "{}port {op} {p}", dir.prefix()),
+            Pred::As(dir, op, asn) => write!(f, "{}as {op} {asn}", dir.prefix()),
+            Pred::Proto(p) => write!(f, "proto {p}"),
+            Pred::Packets(op, n) => write!(f, "packets {op} {n}"),
+            Pred::Bytes(op, n) => write!(f, "bytes {op} {n}"),
+            Pred::Duration(op, n) => write!(f, "duration {op} {n}"),
+            Pred::Bpp(op, n) => write!(f, "bpp {op} {n}"),
+            Pred::Pps(op, n) => write!(f, "pps {op} {n}"),
+            Pred::Flags(flags) => {
+                write!(f, "flags ")?;
+                let mut any = false;
+                for (bit, ch) in [
+                    (TcpFlags::FIN, 'F'),
+                    (TcpFlags::SYN, 'S'),
+                    (TcpFlags::RST, 'R'),
+                    (TcpFlags::PSH, 'P'),
+                    (TcpFlags::ACK, 'A'),
+                    (TcpFlags::URG, 'U'),
+                ] {
+                    if flags.contains(bit) {
+                        write!(f, "{ch}")?;
+                        any = true;
+                    }
+                }
+                if !any {
+                    // `flags none` parses back to the empty flag set.
+                    write!(f, "none")?;
+                }
+                Ok(())
+            }
+            Pred::Pop(p) => write!(f, "pop {p}"),
+        }
+    }
+}
+
+/// A boolean filter expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Leaf predicate.
+    Pred(Pred),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluate against one record.
+    pub fn matches(&self, r: &FlowRecord) -> bool {
+        match self {
+            Expr::Pred(p) => p.matches(r),
+            Expr::Not(e) => !e.matches(r),
+            Expr::And(a, b) => a.matches(r) && b.matches(r),
+            Expr::Or(a, b) => a.matches(r) || b.matches(r),
+        }
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation helper.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Pred(p) => write!(f, "{p}"),
+            Expr::Not(e) => write!(f, "not ({e})"),
+            Expr::And(a, b) => write!(f, "({a} and {b})"),
+            Expr::Or(a, b) => write!(f, "({a} or {b})"),
+        }
+    }
+}
+
+/// A compiled filter: the user-facing entry point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Filter {
+    expr: Expr,
+}
+
+impl Filter {
+    /// Parse a filter expression.
+    ///
+    /// # Errors
+    /// Returns a [`ParseError`] describing the first offending token.
+    pub fn parse(input: &str) -> Result<Filter, ParseError> {
+        parser::parse(input).map(|expr| Filter { expr })
+    }
+
+    /// The match-everything filter.
+    pub fn any() -> Filter {
+        Filter { expr: Expr::Pred(Pred::Any) }
+    }
+
+    /// Wrap an already-built expression.
+    pub fn from_expr(expr: Expr) -> Filter {
+        Filter { expr }
+    }
+
+    /// Borrow the underlying expression.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// Evaluate against one record.
+    pub fn matches(&self, r: &FlowRecord) -> bool {
+        self.expr.matches(r)
+    }
+
+    /// Count matches in a slice.
+    pub fn count<'a, I: IntoIterator<Item = &'a FlowRecord>>(&self, flows: I) -> usize {
+        flows.into_iter().filter(|r| self.matches(r)).count()
+    }
+
+    /// Build the *union* filter of detector meta-data hints: a record is a
+    /// candidate if it matches **any** hinted feature value. This is the
+    /// candidate-selection semantics of the paper (§2: the system "selects
+    /// flows … and tries all possible combinations of their union").
+    ///
+    /// An empty hint list yields [`Filter::any`] — with no meta-data the
+    /// whole interval is the candidate set.
+    pub fn union_of_hints(hints: &[FeatureItem]) -> Filter {
+        let mut expr: Option<Expr> = None;
+        for hint in hints {
+            let pred = match (hint.feature, hint.value) {
+                (Feature::SrcIp, FeatureValue::Ip(ip)) => Pred::Ip(Dir::Src, ip),
+                (Feature::DstIp, FeatureValue::Ip(ip)) => Pred::Ip(Dir::Dst, ip),
+                (Feature::SrcPort, FeatureValue::Port(p)) => Pred::Port(Dir::Src, CmpOp::Eq, p),
+                (Feature::DstPort, FeatureValue::Port(p)) => Pred::Port(Dir::Dst, CmpOp::Eq, p),
+                (Feature::Proto, FeatureValue::Proto(p)) => Pred::Proto(p),
+                // Kind-mismatched hints cannot match anything; skip them.
+                _ => continue,
+            };
+            let leaf = Expr::Pred(pred);
+            expr = Some(match expr {
+                None => leaf,
+                Some(e) => e.or(leaf),
+            });
+        }
+        Filter { expr: expr.unwrap_or(Expr::Pred(Pred::Any)) }
+    }
+}
+
+impl fmt::Display for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.expr)
+    }
+}
+
+impl std::str::FromStr for Filter {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Filter::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn flow(src: &str, sp: u16, dst: &str, dp: u16, proto: Protocol) -> FlowRecord {
+        FlowRecord::builder()
+            .src(ip(src), sp)
+            .dst(ip(dst), dp)
+            .proto(proto)
+            .volume(10, 1000)
+            .time(0, 1000)
+            .build()
+    }
+
+    #[test]
+    fn cidr_containment() {
+        let net = Ipv4Net::new(ip("10.0.0.0"), 8);
+        assert!(net.contains(ip("10.255.1.2")));
+        assert!(!net.contains(ip("11.0.0.1")));
+        let all = Ipv4Net::new(ip("0.0.0.0"), 0);
+        assert!(all.contains(ip("255.255.255.255")));
+        let host = Ipv4Net::new(ip("192.0.2.1"), 32);
+        assert!(host.contains(ip("192.0.2.1")));
+        assert!(!host.contains(ip("192.0.2.2")));
+    }
+
+    #[test]
+    fn cidr_masks_host_bits() {
+        let net = Ipv4Net::new(ip("10.1.2.3"), 16);
+        assert!(net.contains(ip("10.1.200.200")));
+        assert!(!net.contains(ip("10.2.2.3")));
+    }
+
+    #[test]
+    fn direction_semantics() {
+        let f = flow("10.0.0.1", 5555, "192.0.2.1", 80, Protocol::TCP);
+        assert!(Pred::Ip(Dir::Src, ip("10.0.0.1")).matches(&f));
+        assert!(!Pred::Ip(Dir::Dst, ip("10.0.0.1")).matches(&f));
+        assert!(Pred::Ip(Dir::Either, ip("10.0.0.1")).matches(&f));
+        assert!(Pred::Port(Dir::Either, CmpOp::Eq, 80).matches(&f));
+        assert!(!Pred::Port(Dir::Src, CmpOp::Eq, 80).matches(&f));
+    }
+
+    #[test]
+    fn rate_predicates() {
+        // 10 packets / 1000 bytes over 1 s → pps 10, bpp 100.
+        let f = flow("1.1.1.1", 1, "2.2.2.2", 2, Protocol::UDP);
+        assert!(Pred::Pps(CmpOp::Ge, 10).matches(&f));
+        assert!(!Pred::Pps(CmpOp::Gt, 10).matches(&f));
+        assert!(Pred::Bpp(CmpOp::Eq, 100).matches(&f));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let f = flow("10.0.0.1", 5555, "192.0.2.1", 80, Protocol::TCP);
+        let e = Expr::Pred(Pred::Proto(Protocol::TCP))
+            .and(Expr::Pred(Pred::Port(Dir::Dst, CmpOp::Eq, 80)));
+        assert!(e.matches(&f));
+        let e2 = e.clone().not();
+        assert!(!e2.matches(&f));
+        let e3 = e2.or(Expr::Pred(Pred::Any));
+        assert!(e3.matches(&f));
+    }
+
+    #[test]
+    fn union_of_hints_is_or_semantics() {
+        let hints = vec![FeatureItem::src_ip(ip("10.0.0.1")), FeatureItem::dst_port(80)];
+        let filter = Filter::union_of_hints(&hints);
+        // Matches on either hint alone.
+        assert!(filter.matches(&flow("10.0.0.1", 1, "9.9.9.9", 9, Protocol::TCP)));
+        assert!(filter.matches(&flow("8.8.8.8", 1, "9.9.9.9", 80, Protocol::TCP)));
+        assert!(!filter.matches(&flow("8.8.8.8", 1, "9.9.9.9", 81, Protocol::TCP)));
+    }
+
+    #[test]
+    fn empty_hints_match_everything() {
+        let filter = Filter::union_of_hints(&[]);
+        assert!(filter.matches(&flow("8.8.8.8", 1, "9.9.9.9", 81, Protocol::UDP)));
+        assert_eq!(filter.to_string(), "any");
+    }
+
+    #[test]
+    fn filter_count() {
+        let flows = vec![
+            flow("10.0.0.1", 1, "2.2.2.2", 80, Protocol::TCP),
+            flow("10.0.0.2", 1, "2.2.2.2", 80, Protocol::TCP),
+            flow("10.0.0.3", 1, "2.2.2.2", 443, Protocol::TCP),
+        ];
+        let f = Filter::parse("dst port 80").unwrap();
+        assert_eq!(f.count(&flows), 2);
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let cases = [
+            "src ip 10.0.0.1",
+            "(proto tcp and dst port = 80)",
+            "not (flags S)",
+            "((packets > 100 or bytes <= 5) and pop 3)",
+            "any",
+            "dst net 10.0.0.0/24",
+        ];
+        for case in cases {
+            let f = Filter::parse(case).unwrap();
+            let printed = f.to_string();
+            let reparsed = Filter::parse(&printed).unwrap();
+            assert_eq!(f, reparsed, "case {case:?} printed as {printed:?}");
+        }
+    }
+}

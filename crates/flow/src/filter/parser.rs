@@ -1,0 +1,405 @@
+//! Recursive-descent parser for the filter language.
+//!
+//! Grammar (lowest to highest precedence):
+//!
+//! ```text
+//! expr    := and ( "or" and )*
+//! and     := unary ( "and" unary )*
+//! unary   := "not" unary | "(" expr ")" | pred
+//! pred    := [dir] "ip" IP
+//!          | [dir] "net" CIDR
+//!          | [dir] "port" [cmp] NUM
+//!          | [dir] "as" [cmp] NUM
+//!          | "proto" (NAME | NUM)
+//!          | ("packets"|"bytes"|"duration"|"bpp"|"pps") cmp NUM
+//!          | "flags" FLAGSTR | "flags" "none"
+//!          | "pop" NUM
+//!          | "any"
+//! dir     := "src" | "dst"
+//! ```
+//!
+//! A port/AS predicate without an operator means equality
+//! (`dst port 80` ≡ `dst port = 80`).
+
+use std::fmt;
+
+use crate::record::{Protocol, TcpFlags};
+
+use super::lexer::{lex, CmpOp, LexError, Token};
+use super::{Dir, Expr, Ipv4Net, Pred};
+
+/// Parse failure: position (token index) plus description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Index of the offending token (input length = end of input).
+    pub pos: usize,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError { pos: e.pos, message: e.message }
+    }
+}
+
+/// Parse a complete filter expression.
+pub fn parse(input: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.error(format!("unexpected trailing token {}", p.tokens[p.pos])));
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, message: String) -> ParseError {
+        ParseError { pos: self.pos, message }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Word(w)) if w == word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_number(&mut self, what: &str) -> Result<u64, ParseError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(n),
+            other => Err(self.error(format!(
+                "expected {what}, found {}",
+                other.map_or("end of input".to_string(), |t| t.to_string())
+            ))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_word("or") {
+            let rhs = self.and_expr()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        while self.eat_word("and") {
+            let rhs = self.unary()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_word("not") {
+            return Ok(self.unary()?.not());
+        }
+        if matches!(self.peek(), Some(Token::LParen)) {
+            self.pos += 1;
+            let inner = self.expr()?;
+            match self.next() {
+                Some(Token::RParen) => return Ok(inner),
+                _ => return Err(self.error("expected ')'".into())),
+            }
+        }
+        Ok(Expr::Pred(self.pred()?))
+    }
+
+    /// Optional comparison operator; equality when absent.
+    fn cmp_or_eq(&mut self) -> CmpOp {
+        if let Some(Token::Cmp(op)) = self.peek() {
+            let op = *op;
+            self.pos += 1;
+            op
+        } else {
+            CmpOp::Eq
+        }
+    }
+
+    fn required_cmp(&mut self, what: &str) -> Result<CmpOp, ParseError> {
+        match self.next() {
+            Some(Token::Cmp(op)) => Ok(op),
+            other => Err(self.error(format!(
+                "expected comparison operator after {what}, found {}",
+                other.map_or("end of input".to_string(), |t| t.to_string())
+            ))),
+        }
+    }
+
+    fn pred(&mut self) -> Result<Pred, ParseError> {
+        let dir = if self.eat_word("src") {
+            Some(Dir::Src)
+        } else if self.eat_word("dst") {
+            Some(Dir::Dst)
+        } else {
+            None
+        };
+
+        let word = match self.next() {
+            Some(Token::Word(w)) => w,
+            other => {
+                return Err(self.error(format!(
+                    "expected predicate keyword, found {}",
+                    other.map_or("end of input".to_string(), |t| t.to_string())
+                )))
+            }
+        };
+
+        let dir_or_either = dir.unwrap_or(Dir::Either);
+        match word.as_str() {
+            "ip" | "host" => match self.next() {
+                Some(Token::Ip(ip)) => Ok(Pred::Ip(dir_or_either, ip)),
+                other => Err(self.error(format!(
+                    "expected IPv4 address, found {}",
+                    other.map_or("end of input".to_string(), |t| t.to_string())
+                ))),
+            },
+            "net" => match self.next() {
+                Some(Token::Cidr(ip, p)) => Ok(Pred::Net(dir_or_either, Ipv4Net::new(ip, p))),
+                Some(Token::Ip(ip)) => Ok(Pred::Net(dir_or_either, Ipv4Net::new(ip, 32))),
+                other => Err(self.error(format!(
+                    "expected CIDR network, found {}",
+                    other.map_or("end of input".to_string(), |t| t.to_string())
+                ))),
+            },
+            "port" => {
+                let op = self.cmp_or_eq();
+                let n = self.expect_number("port number")?;
+                let port = u16::try_from(n)
+                    .map_err(|_| self.error(format!("port {n} out of range")))?;
+                Ok(Pred::Port(dir_or_either, op, port))
+            }
+            "as" => {
+                let op = self.cmp_or_eq();
+                let n = self.expect_number("AS number")?;
+                let asn = u32::try_from(n)
+                    .map_err(|_| self.error(format!("AS number {n} out of range")))?;
+                Ok(Pred::As(dir_or_either, op, asn))
+            }
+            _ if dir.is_some() => {
+                Err(self.error(format!("'{word}' cannot take a src/dst qualifier")))
+            }
+            "proto" => match self.next() {
+                Some(Token::Word(name)) => Protocol::parse(&name)
+                    .map(Pred::Proto)
+                    .ok_or_else(|| self.error(format!("unknown protocol {name:?}"))),
+                Some(Token::Number(n)) => {
+                    let p = u8::try_from(n)
+                        .map_err(|_| self.error(format!("protocol {n} out of range")))?;
+                    Ok(Pred::Proto(Protocol(p)))
+                }
+                other => Err(self.error(format!(
+                    "expected protocol, found {}",
+                    other.map_or("end of input".to_string(), |t| t.to_string())
+                ))),
+            },
+            "packets" => {
+                let op = self.required_cmp("packets")?;
+                Ok(Pred::Packets(op, self.expect_number("packet count")?))
+            }
+            "bytes" => {
+                let op = self.required_cmp("bytes")?;
+                Ok(Pred::Bytes(op, self.expect_number("byte count")?))
+            }
+            "duration" => {
+                let op = self.required_cmp("duration")?;
+                Ok(Pred::Duration(op, self.expect_number("duration (ms)")?))
+            }
+            "bpp" => {
+                let op = self.required_cmp("bpp")?;
+                Ok(Pred::Bpp(op, self.expect_number("bytes per packet")?))
+            }
+            "pps" => {
+                let op = self.required_cmp("pps")?;
+                Ok(Pred::Pps(op, self.expect_number("packets per second")?))
+            }
+            "flags" => match self.next() {
+                Some(Token::Word(s)) if s == "none" => Ok(Pred::Flags(TcpFlags::NONE)),
+                Some(Token::Word(s)) => TcpFlags::parse(&s)
+                    .map(Pred::Flags)
+                    .ok_or_else(|| self.error(format!("bad flag string {s:?}"))),
+                other => Err(self.error(format!(
+                    "expected flag string, found {}",
+                    other.map_or("end of input".to_string(), |t| t.to_string())
+                ))),
+            },
+            "pop" => {
+                let n = self.expect_number("PoP id")?;
+                let p = u16::try_from(n)
+                    .map_err(|_| self.error(format!("PoP id {n} out of range")))?;
+                Ok(Pred::Pop(p))
+            }
+            "any" => Ok(Pred::Any),
+            other => Err(self.error(format!("unknown predicate {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::FlowRecord;
+    use std::net::Ipv4Addr;
+
+    fn ok(input: &str) -> Expr {
+        parse(input).unwrap_or_else(|e| panic!("parse {input:?}: {e}"))
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        // a or b and c  ==  a or (b and c)
+        let e = ok("src port 1 or src port 2 and src port 3");
+        match e {
+            Expr::Or(lhs, rhs) => {
+                assert!(matches!(*lhs, Expr::Pred(_)));
+                assert!(matches!(*rhs, Expr::And(_, _)));
+            }
+            other => panic!("expected Or at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let e = ok("(src port 1 or src port 2) and src port 3");
+        assert!(matches!(e, Expr::And(_, _)));
+    }
+
+    #[test]
+    fn not_is_right_associative_and_stacks() {
+        let e = ok("not not flags S");
+        let f = FlowRecord::builder().tcp_flags(TcpFlags::SYN).build();
+        assert!(e.matches(&f));
+        let e = ok("not flags S");
+        assert!(!e.matches(&f));
+    }
+
+    #[test]
+    fn implicit_equality_on_ports() {
+        assert_eq!(ok("dst port 80"), ok("dst port = 80"));
+    }
+
+    #[test]
+    fn directionless_predicates() {
+        let e = ok("ip 10.0.0.1");
+        let from = FlowRecord::builder().src(Ipv4Addr::new(10, 0, 0, 1), 1).build();
+        let to = FlowRecord::builder().dst(Ipv4Addr::new(10, 0, 0, 1), 1).build();
+        assert!(e.matches(&from));
+        assert!(e.matches(&to));
+    }
+
+    #[test]
+    fn host_is_alias_for_ip() {
+        assert_eq!(ok("host 1.2.3.4"), ok("ip 1.2.3.4"));
+    }
+
+    #[test]
+    fn net_accepts_bare_ip_as_host_route() {
+        assert_eq!(ok("net 1.2.3.4"), ok("net 1.2.3.4/32"));
+    }
+
+    #[test]
+    fn proto_by_name_and_number() {
+        assert_eq!(ok("proto tcp"), ok("proto 6"));
+        assert_eq!(ok("proto udp"), ok("proto 17"));
+    }
+
+    #[test]
+    fn flags_none_roundtrip() {
+        let e = ok("flags none");
+        assert_eq!(e, Expr::Pred(Pred::Flags(TcpFlags::NONE)));
+    }
+
+    #[test]
+    fn error_cases_have_positions() {
+        for bad in [
+            "port 80 80",
+            "src proto tcp",
+            "dst port",
+            "packets 7",  // missing operator
+            "ip",
+            "net 10.0.0.0/8 extra",
+            "port 99999",
+            "proto 300",
+            "pop 70000",
+            "flags XYZ",
+            "()",
+            "(src port 80",
+            "and",
+            "",
+            "bogus 7",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(!err.message.is_empty(), "case {bad:?}");
+        }
+    }
+
+    #[test]
+    fn volume_predicates_require_operator() {
+        assert!(parse("bytes > 100").is_ok());
+        assert!(parse("bytes 100").is_err());
+        assert!(parse("duration <= 5000").is_ok());
+        assert!(parse("pps >= 10").is_ok());
+        assert!(parse("bpp != 1500").is_ok());
+    }
+
+    #[test]
+    fn deep_nesting_parses() {
+        let mut s = String::new();
+        for _ in 0..50 {
+            s.push('(');
+        }
+        s.push_str("any");
+        for _ in 0..50 {
+            s.push(')');
+        }
+        assert!(parse(&s).is_ok());
+    }
+
+    #[test]
+    fn complex_realistic_expression() {
+        let e = ok(
+            "proto tcp and dst port 80 and flags S and not src net 10.0.0.0/8 \
+             and packets >= 3 and (pop 2 or pop 3)",
+        );
+        let f = FlowRecord::builder()
+            .src(Ipv4Addr::new(172, 16, 0, 1), 55555)
+            .dst(Ipv4Addr::new(192, 0, 2, 1), 80)
+            .proto(Protocol::TCP)
+            .tcp_flags(TcpFlags::SYN)
+            .volume(5, 300)
+            .pop(2)
+            .build();
+        assert!(e.matches(&f));
+    }
+}

@@ -1,0 +1,62 @@
+//! # anomex-flow
+//!
+//! The flow substrate of the anomaly-extraction system: everything the
+//! paper's NfDump back-end provided, reimplemented as a library.
+//!
+//! - [`record`] — the [`record::FlowRecord`] model shared by every crate.
+//! - [`feature`] — the srcIP/dstIP/srcPort/dstPort feature vocabulary that
+//!   detectors hint about and the miner builds itemsets from.
+//! - [`v5`] / [`v9`] — NetFlow wire codecs (fixed-format v5 and
+//!   template-based v9 with a cross-packet template cache).
+//! - [`store`] — time-binned flow storage with an on-disk binary format
+//!   (CRC-protected) and range+filter queries.
+//! - [`filter`] — the nfdump-style filter language
+//!   (`src ip 10.0.0.1 and dst port 80 and packets >= 10`).
+//! - [`sampling`] — 1/N packet-sampling simulation (random and systematic),
+//!   reproducing the Sampled-NetFlow regime of the GEANT evaluation.
+//! - [`agg`] — group-by aggregation and top-N statistics.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use anomex_flow::prelude::*;
+//!
+//! let store = FlowStore::new(60_000);
+//! store.insert(
+//!     FlowRecord::builder()
+//!         .time(1_000, 2_000)
+//!         .src("10.0.0.1".parse().unwrap(), 4242)
+//!         .dst("192.0.2.7".parse().unwrap(), 80)
+//!         .proto(Protocol::TCP)
+//!         .volume(10, 1400)
+//!         .build(),
+//! );
+//! let filter = Filter::parse("dst port 80 and proto tcp").unwrap();
+//! assert_eq!(store.query(TimeRange::all(), &filter).len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod agg;
+pub mod error;
+pub mod feature;
+pub mod filter;
+pub mod record;
+pub mod sampling;
+pub mod store;
+pub mod v5;
+pub mod v9;
+
+/// One-stop imports for downstream crates.
+pub mod prelude {
+    pub use crate::agg::{top_n, AggRow, Aggregator, Metric};
+    pub use crate::error::{CodecError, StoreError};
+    pub use crate::feature::{Feature, FeatureItem, FeatureValue};
+    pub use crate::filter::{CmpOp, Dir, Expr, Filter, Ipv4Net, Pred};
+    pub use crate::record::{FlowKey, FlowRecord, Protocol, TcpFlags};
+    pub use crate::sampling::{PacketSampler, SamplingMode, Xoshiro256};
+    pub use crate::store::{FlowStats, FlowStore, TimeRange, DEFAULT_BIN_WIDTH_MS};
+}
+
+pub use prelude::*;

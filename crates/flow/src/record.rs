@@ -1,0 +1,524 @@
+//! Flow record model.
+//!
+//! A [`FlowRecord`] is the unit of data everything in this workspace operates
+//! on: one unidirectional NetFlow-style flow with its 5-tuple key, timing and
+//! volume counters, plus backbone context (ingress point of presence,
+//! autonomous systems, interfaces).
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+/// IP protocol number newtype.
+///
+/// Only a handful of protocols matter for anomaly extraction; the rest are
+/// carried through verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Protocol(pub u8);
+
+impl Protocol {
+    /// ICMP (protocol number 1).
+    pub const ICMP: Protocol = Protocol(1);
+    /// TCP (protocol number 6).
+    pub const TCP: Protocol = Protocol(6);
+    /// UDP (protocol number 17).
+    pub const UDP: Protocol = Protocol(17);
+
+    /// Protocol name if well known (`tcp`, `udp`, `icmp`), else `None`.
+    pub fn name(self) -> Option<&'static str> {
+        match self {
+            Protocol::ICMP => Some("icmp"),
+            Protocol::TCP => Some("tcp"),
+            Protocol::UDP => Some("udp"),
+            _ => None,
+        }
+    }
+
+    /// Parse a protocol from a name or a decimal number.
+    pub fn parse(s: &str) -> Option<Protocol> {
+        match s.to_ascii_lowercase().as_str() {
+            "tcp" => Some(Protocol::TCP),
+            "udp" => Some(Protocol::UDP),
+            "icmp" => Some(Protocol::ICMP),
+            other => other.parse::<u8>().ok().map(Protocol),
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name() {
+            Some(n) => f.write_str(n),
+            None => write!(f, "{}", self.0),
+        }
+    }
+}
+
+/// TCP flags accumulated over a flow, as exported by NetFlow.
+///
+/// Hand-rolled bitflags: the standard six flag bits in their wire positions.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// No flags set.
+    pub const NONE: TcpFlags = TcpFlags(0);
+    /// FIN: sender finished.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN: connection setup.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST: connection reset.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH: push buffered data.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK: acknowledgment.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// URG: urgent pointer significant.
+    pub const URG: TcpFlags = TcpFlags(0x20);
+
+    /// A normal completed connection's accumulated flags: SYN+ACK+PSH+FIN.
+    pub const COMPLETE: TcpFlags = TcpFlags(0x01 | 0x02 | 0x08 | 0x10);
+
+    /// Whether every flag in `other` is also set in `self`.
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union of two flag sets.
+    pub fn union(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+
+    /// True when exactly SYN is set — signature of one-packet scan probes
+    /// and SYN-flood members.
+    pub fn is_syn_only(self) -> bool {
+        self.0 == TcpFlags::SYN.0
+    }
+
+    /// Parse the nfdump-style compact form, e.g. `"S"`, `"SA"`, `"APSF"`.
+    pub fn parse(s: &str) -> Option<TcpFlags> {
+        let mut flags = TcpFlags::NONE;
+        for c in s.chars() {
+            flags = flags.union(match c.to_ascii_uppercase() {
+                'F' => TcpFlags::FIN,
+                'S' => TcpFlags::SYN,
+                'R' => TcpFlags::RST,
+                'P' => TcpFlags::PSH,
+                'A' => TcpFlags::ACK,
+                'U' => TcpFlags::URG,
+                _ => return None,
+            });
+        }
+        Some(flags)
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // nfdump-style fixed-order string; '.' for unset bits.
+        for (bit, ch) in [
+            (TcpFlags::URG, 'U'),
+            (TcpFlags::ACK, 'A'),
+            (TcpFlags::PSH, 'P'),
+            (TcpFlags::RST, 'R'),
+            (TcpFlags::SYN, 'S'),
+            (TcpFlags::FIN, 'F'),
+        ] {
+            if self.contains(bit) {
+                write!(f, "{ch}")?;
+            } else {
+                write!(f, ".")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The classic 5-tuple identifying a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// Source transport port (0 for portless protocols).
+    pub src_port: u16,
+    /// Destination transport port (0 for portless protocols).
+    pub dst_port: u16,
+    /// IP protocol.
+    pub proto: Protocol,
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} -> {}:{}",
+            self.proto, self.src_ip, self.src_port, self.dst_ip, self.dst_port
+        )
+    }
+}
+
+/// One unidirectional flow record, the common denominator of NetFlow v5/v9.
+///
+/// Timestamps are epoch **milliseconds**; counters are 64-bit so that
+/// renormalized (sampling-corrected) volumes never overflow.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Flow start, epoch milliseconds.
+    pub start_ms: u64,
+    /// Flow end, epoch milliseconds (`>= start_ms`).
+    pub end_ms: u64,
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// IP protocol.
+    pub proto: Protocol,
+    /// Accumulated TCP flags (zero for non-TCP).
+    pub tcp_flags: TcpFlags,
+    /// Packet count.
+    pub packets: u64,
+    /// Byte count.
+    pub bytes: u64,
+    /// IP type-of-service byte.
+    pub tos: u8,
+    /// SNMP input interface index.
+    pub input_if: u16,
+    /// SNMP output interface index.
+    pub output_if: u16,
+    /// Source autonomous system number.
+    pub src_as: u32,
+    /// Destination autonomous system number.
+    pub dst_as: u32,
+    /// Ingress point-of-presence identifier (exporter), e.g. one of the
+    /// 18 GEANT PoPs. Not part of NetFlow proper; carried as `source_id`
+    /// in v9 exports and dropped by the v5 codec.
+    pub pop: u16,
+}
+
+impl Default for FlowRecord {
+    fn default() -> Self {
+        FlowRecord {
+            start_ms: 0,
+            end_ms: 0,
+            src_ip: Ipv4Addr::UNSPECIFIED,
+            dst_ip: Ipv4Addr::UNSPECIFIED,
+            src_port: 0,
+            dst_port: 0,
+            proto: Protocol::TCP,
+            tcp_flags: TcpFlags::NONE,
+            packets: 1,
+            bytes: 64,
+            tos: 0,
+            input_if: 0,
+            output_if: 0,
+            src_as: 0,
+            dst_as: 0,
+            pop: 0,
+        }
+    }
+}
+
+impl FlowRecord {
+    /// Start building a record flowing `src -> dst`.
+    pub fn builder() -> FlowRecordBuilder {
+        FlowRecordBuilder::default()
+    }
+
+    /// The flow's 5-tuple key.
+    pub fn key(&self) -> FlowKey {
+        FlowKey {
+            src_ip: self.src_ip,
+            dst_ip: self.dst_ip,
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            proto: self.proto,
+        }
+    }
+
+    /// Flow duration in milliseconds (0 for single-packet flows).
+    pub fn duration_ms(&self) -> u64 {
+        self.end_ms.saturating_sub(self.start_ms)
+    }
+
+    /// Average packet rate in packets/second; `packets` if duration is zero.
+    pub fn pps(&self) -> f64 {
+        let d = self.duration_ms();
+        if d == 0 {
+            self.packets as f64
+        } else {
+            self.packets as f64 * 1000.0 / d as f64
+        }
+    }
+
+    /// Average bit rate in bits/second; `bytes * 8` if duration is zero.
+    pub fn bps(&self) -> f64 {
+        let d = self.duration_ms();
+        if d == 0 {
+            self.bytes as f64 * 8.0
+        } else {
+            self.bytes as f64 * 8.0 * 1000.0 / d as f64
+        }
+    }
+
+    /// Bytes per packet (0 when the record carries no packets).
+    pub fn bytes_per_packet(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.packets as f64
+        }
+    }
+
+    /// Whether this is a TCP flow.
+    pub fn is_tcp(&self) -> bool {
+        self.proto == Protocol::TCP
+    }
+
+    /// Whether this is a UDP flow.
+    pub fn is_udp(&self) -> bool {
+        self.proto == Protocol::UDP
+    }
+
+    /// Whether the flow overlaps the half-open interval `[from_ms, to_ms)`.
+    pub fn overlaps(&self, from_ms: u64, to_ms: u64) -> bool {
+        self.start_ms < to_ms && self.end_ms >= from_ms
+    }
+
+    /// Scale volume counters by an integer factor (sampling renormalization).
+    pub fn scaled(&self, factor: u64) -> FlowRecord {
+        let mut r = self.clone();
+        r.packets = r.packets.saturating_mul(factor);
+        r.bytes = r.bytes.saturating_mul(factor);
+        r
+    }
+}
+
+impl fmt::Display for FlowRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} flags={} pkts={} bytes={} [{}..{}] pop={}",
+            self.key(),
+            self.tcp_flags,
+            self.packets,
+            self.bytes,
+            self.start_ms,
+            self.end_ms,
+            self.pop
+        )
+    }
+}
+
+/// Fluent builder for [`FlowRecord`].
+///
+/// ```
+/// use anomex_flow::record::{FlowRecord, Protocol, TcpFlags};
+/// let r = FlowRecord::builder()
+///     .time(1_000, 2_000)
+///     .src("10.0.0.1".parse().unwrap(), 4242)
+///     .dst("192.0.2.7".parse().unwrap(), 80)
+///     .proto(Protocol::TCP)
+///     .tcp_flags(TcpFlags::SYN)
+///     .volume(3, 180)
+///     .build();
+/// assert_eq!(r.dst_port, 80);
+/// assert_eq!(r.duration_ms(), 1_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlowRecordBuilder {
+    record: FlowRecord,
+}
+
+impl FlowRecordBuilder {
+    /// Set start and end timestamps (epoch ms). `end` is clamped up to `start`.
+    pub fn time(mut self, start_ms: u64, end_ms: u64) -> Self {
+        self.record.start_ms = start_ms;
+        self.record.end_ms = end_ms.max(start_ms);
+        self
+    }
+
+    /// Set source address and port.
+    pub fn src(mut self, ip: Ipv4Addr, port: u16) -> Self {
+        self.record.src_ip = ip;
+        self.record.src_port = port;
+        self
+    }
+
+    /// Set destination address and port.
+    pub fn dst(mut self, ip: Ipv4Addr, port: u16) -> Self {
+        self.record.dst_ip = ip;
+        self.record.dst_port = port;
+        self
+    }
+
+    /// Set the IP protocol.
+    pub fn proto(mut self, proto: Protocol) -> Self {
+        self.record.proto = proto;
+        self
+    }
+
+    /// Set accumulated TCP flags.
+    pub fn tcp_flags(mut self, flags: TcpFlags) -> Self {
+        self.record.tcp_flags = flags;
+        self
+    }
+
+    /// Set packet and byte counters.
+    pub fn volume(mut self, packets: u64, bytes: u64) -> Self {
+        self.record.packets = packets;
+        self.record.bytes = bytes;
+        self
+    }
+
+    /// Set the ingress point of presence.
+    pub fn pop(mut self, pop: u16) -> Self {
+        self.record.pop = pop;
+        self
+    }
+
+    /// Set source/destination AS numbers.
+    pub fn asns(mut self, src_as: u32, dst_as: u32) -> Self {
+        self.record.src_as = src_as;
+        self.record.dst_as = dst_as;
+        self
+    }
+
+    /// Set SNMP interface indexes.
+    pub fn interfaces(mut self, input_if: u16, output_if: u16) -> Self {
+        self.record.input_if = input_if;
+        self.record.output_if = output_if;
+        self
+    }
+
+    /// Set the type-of-service byte.
+    pub fn tos(mut self, tos: u8) -> Self {
+        self.record.tos = tos;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> FlowRecord {
+        self.record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn protocol_names_roundtrip() {
+        assert_eq!(Protocol::parse("tcp"), Some(Protocol::TCP));
+        assert_eq!(Protocol::parse("UDP"), Some(Protocol::UDP));
+        assert_eq!(Protocol::parse("icmp"), Some(Protocol::ICMP));
+        assert_eq!(Protocol::parse("47"), Some(Protocol(47)));
+        assert_eq!(Protocol::parse("bogus"), None);
+        assert_eq!(Protocol::TCP.to_string(), "tcp");
+        assert_eq!(Protocol(89).to_string(), "89");
+    }
+
+    #[test]
+    fn tcp_flags_parse_and_display() {
+        let sa = TcpFlags::parse("SA").unwrap();
+        assert!(sa.contains(TcpFlags::SYN));
+        assert!(sa.contains(TcpFlags::ACK));
+        assert!(!sa.contains(TcpFlags::FIN));
+        assert_eq!(sa.to_string(), ".A..S.");
+        assert_eq!(TcpFlags::parse("x"), None);
+        assert!(TcpFlags::parse("S").unwrap().is_syn_only());
+        assert!(!TcpFlags::parse("SA").unwrap().is_syn_only());
+    }
+
+    #[test]
+    fn flags_union_is_commutative_and_idempotent() {
+        let a = TcpFlags::SYN.union(TcpFlags::ACK);
+        let b = TcpFlags::ACK.union(TcpFlags::SYN);
+        assert_eq!(a, b);
+        assert_eq!(a.union(a), a);
+    }
+
+    #[test]
+    fn builder_produces_expected_record() {
+        let r = FlowRecord::builder()
+            .time(5_000, 4_000) // end before start gets clamped
+            .src(ip("10.1.2.3"), 1234)
+            .dst(ip("192.0.2.1"), 53)
+            .proto(Protocol::UDP)
+            .volume(10, 800)
+            .pop(7)
+            .build();
+        assert_eq!(r.end_ms, 5_000);
+        assert_eq!(r.duration_ms(), 0);
+        assert_eq!(r.key().dst_port, 53);
+        assert_eq!(r.pop, 7);
+        assert!(r.is_udp());
+        assert!(!r.is_tcp());
+    }
+
+    #[test]
+    fn rates_handle_zero_duration() {
+        let r = FlowRecord::builder().time(10, 10).volume(5, 500).build();
+        assert_eq!(r.pps(), 5.0);
+        assert_eq!(r.bps(), 4000.0);
+        assert_eq!(r.bytes_per_packet(), 100.0);
+    }
+
+    #[test]
+    fn rates_with_duration() {
+        let r = FlowRecord::builder().time(0, 2_000).volume(10, 1000).build();
+        assert!((r.pps() - 5.0).abs() < 1e-9);
+        assert!((r.bps() - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlaps_half_open_semantics() {
+        let r = FlowRecord::builder().time(1_000, 2_000).build();
+        assert!(r.overlaps(0, 1_001));
+        assert!(!r.overlaps(0, 1_000)); // to is exclusive
+        assert!(r.overlaps(2_000, 3_000)); // end inclusive
+        assert!(!r.overlaps(2_001, 3_000));
+        assert!(r.overlaps(1_500, 1_600));
+    }
+
+    #[test]
+    fn scaled_multiplies_counters_saturating() {
+        let r = FlowRecord::builder().volume(3, 100).build();
+        let s = r.scaled(100);
+        assert_eq!(s.packets, 300);
+        assert_eq!(s.bytes, 10_000);
+        let big = FlowRecord::builder().volume(u64::MAX, u64::MAX).build();
+        assert_eq!(big.scaled(2).packets, u64::MAX);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = FlowRecord::builder()
+            .src(ip("1.2.3.4"), 1)
+            .dst(ip("5.6.7.8"), 2)
+            .proto(Protocol::TCP)
+            .build();
+        let s = r.to_string();
+        assert!(s.contains("1.2.3.4:1"));
+        assert!(s.contains("5.6.7.8:2"));
+        assert!(s.contains("tcp"));
+    }
+
+    #[test]
+    fn bytes_per_packet_zero_packets() {
+        let r = FlowRecord::builder().volume(0, 0).build();
+        assert_eq!(r.bytes_per_packet(), 0.0);
+    }
+}

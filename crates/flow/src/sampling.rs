@@ -1,0 +1,320 @@
+//! Packet-sampling simulation (Sampled NetFlow).
+//!
+//! GEANT exports 1/100 packet-sampled NetFlow; SWITCH exports unsampled.
+//! To reproduce both settings from the same synthetic trace we *thin* full
+//! flow records the way a sampling router would: each packet of a flow
+//! survives with probability `1/N` (random mode) or deterministically every
+//! `N`-th packet (systematic mode). Flows whose packets all disappear are
+//! dropped entirely — exactly the effect that makes low-flow anomalies hard
+//! for flow-support mining.
+//!
+//! The module carries its own tiny PRNG (SplitMix64-seeded xoshiro256**)
+//! so sampling is deterministic and independent of external crates.
+
+use crate::record::FlowRecord;
+
+/// SplitMix64: seeds the main generator and breaks up poor user seeds.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** — small, fast, statistically solid PRNG.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seed the generator; any seed (including 0) is acceptable.
+    pub fn seeded(seed: u64) -> Xoshiro256 {
+        let mut sm = SplitMix64(seed);
+        Xoshiro256 { s: [sm.next(), sm.next(), sm.next(), sm.next()] }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 top bits → uniform double.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be nonzero.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift bound; bias is negligible for our n << 2^64.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Standard normal via Box-Muller (one value per call, second discarded).
+    pub fn next_gaussian(&mut self) -> f64 {
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Sampling discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// Independent per-packet selection with probability `1/rate`.
+    Random,
+    /// Deterministic every-`rate`-th packet, with a running phase carried
+    /// across flows (how line cards actually do it).
+    Systematic,
+}
+
+/// A packet sampler with rate `1/rate`.
+#[derive(Debug, Clone)]
+pub struct PacketSampler {
+    rate: u32,
+    mode: SamplingMode,
+    rng: Xoshiro256,
+    phase: u64,
+}
+
+impl PacketSampler {
+    /// Create a sampler keeping one packet in `rate` (rate 1 = keep all).
+    ///
+    /// # Panics
+    /// Panics if `rate == 0`.
+    pub fn new(rate: u32, mode: SamplingMode, seed: u64) -> PacketSampler {
+        assert!(rate > 0, "sampling rate must be >= 1");
+        PacketSampler { rate, mode, rng: Xoshiro256::seeded(seed), phase: 0 }
+    }
+
+    /// The configured `N` of 1-in-N sampling.
+    pub fn rate(&self) -> u32 {
+        self.rate
+    }
+
+    /// Sample one flow. Returns `None` when no packet survives.
+    ///
+    /// Byte counts are scaled proportionally to surviving packets, mimicking
+    /// a router that only meters sampled packets.
+    pub fn sample(&mut self, flow: &FlowRecord) -> Option<FlowRecord> {
+        if self.rate == 1 {
+            return Some(flow.clone());
+        }
+        let kept = match self.mode {
+            SamplingMode::Random => self.binomial(flow.packets),
+            SamplingMode::Systematic => {
+                let n = flow.packets;
+                let rate = u64::from(self.rate);
+                // Every rate-th packet of the global packet stream is
+                // selected (the rate-th, 2·rate-th, …).
+                let k = (self.phase + n) / rate - self.phase / rate;
+                self.phase += n;
+                k
+            }
+        };
+        if kept == 0 {
+            return None;
+        }
+        let mut sampled = flow.clone();
+        sampled.bytes = ((flow.bytes as u128 * u128::from(kept))
+            / u128::from(flow.packets.max(1))) as u64;
+        sampled.packets = kept;
+        Some(sampled)
+    }
+
+    /// Sample a batch, dropping invisible flows.
+    pub fn sample_all(&mut self, flows: &[FlowRecord]) -> Vec<FlowRecord> {
+        flows.iter().filter_map(|f| self.sample(f)).collect()
+    }
+
+    /// Draw from Binomial(n, 1/rate).
+    ///
+    /// Exact Bernoulli loop for small `n`; for large `n` a clamped normal
+    /// approximation (error far below sampling noise at those sizes).
+    fn binomial(&mut self, n: u64) -> u64 {
+        let rate = u64::from(self.rate);
+        if n == 0 {
+            return 0;
+        }
+        if n <= 4096 {
+            let mut k = 0;
+            for _ in 0..n {
+                if self.rng.next_below(rate) == 0 {
+                    k += 1;
+                }
+            }
+            k
+        } else {
+            let p = 1.0 / rate as f64;
+            let mean = n as f64 * p;
+            let sd = (n as f64 * p * (1.0 - p)).sqrt();
+            let draw = mean + sd * self.rng.next_gaussian();
+            draw.round().clamp(0.0, n as f64) as u64
+        }
+    }
+}
+
+/// Renormalize sampled flows back to estimated original volumes by
+/// multiplying the counters with the sampling rate.
+pub fn renormalize(flows: &[FlowRecord], rate: u32) -> Vec<FlowRecord> {
+    flows.iter().map(|f| f.scaled(u64::from(rate))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(packets: u64, bytes: u64) -> FlowRecord {
+        FlowRecord::builder().volume(packets, bytes).build()
+    }
+
+    #[test]
+    fn rate_one_is_identity() {
+        let mut s = PacketSampler::new(1, SamplingMode::Random, 7);
+        let f = flow(10, 1000);
+        assert_eq!(s.sample(&f), Some(f));
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate")]
+    fn zero_rate_panics() {
+        let _ = PacketSampler::new(0, SamplingMode::Random, 0);
+    }
+
+    #[test]
+    fn small_flows_mostly_vanish_at_1_in_100() {
+        let mut s = PacketSampler::new(100, SamplingMode::Random, 42);
+        let survivors = (0..1000)
+            .filter(|_| s.sample(&flow(2, 120)).is_some())
+            .count();
+        // P(survive) = 1 - 0.99^2 ≈ 2%; allow generous slack.
+        assert!(survivors < 80, "got {survivors}");
+        assert!(survivors > 0);
+    }
+
+    #[test]
+    fn random_sampling_is_unbiased_after_renormalization() {
+        let mut s = PacketSampler::new(100, SamplingMode::Random, 1);
+        let original = flow(1_000_000, 500_000_000);
+        let mut total_pkts = 0u64;
+        let trials = 50;
+        for _ in 0..trials {
+            let sampled = s.sample(&original).unwrap();
+            total_pkts += sampled.packets * 100;
+        }
+        let mean = total_pkts as f64 / trials as f64;
+        let err = (mean - 1_000_000.0).abs() / 1_000_000.0;
+        assert!(err < 0.02, "relative error {err}");
+    }
+
+    #[test]
+    fn systematic_sampling_is_exact_in_aggregate() {
+        let mut s = PacketSampler::new(10, SamplingMode::Systematic, 0);
+        // 100 flows x 7 packets = 700 packets → exactly 70 sampled.
+        let flows: Vec<FlowRecord> = (0..100).map(|_| flow(7, 700)).collect();
+        let sampled = s.sample_all(&flows);
+        let kept: u64 = sampled.iter().map(|f| f.packets).sum();
+        assert_eq!(kept, 70);
+    }
+
+    #[test]
+    fn systematic_phase_carries_across_flows() {
+        let mut s = PacketSampler::new(4, SamplingMode::Systematic, 0);
+        // Three 2-packet flows cover global packets 1..=2, 3..=4, 5..=6.
+        // Every 4th packet is selected, so only the second flow (packet 4)
+        // keeps anything.
+        let kept: Vec<Option<u64>> = (0..3)
+            .map(|_| s.sample(&flow(2, 100)).map(|f| f.packets))
+            .collect();
+        assert_eq!(kept, vec![None, Some(1), None]);
+    }
+
+    #[test]
+    fn bytes_scale_with_surviving_packets() {
+        let mut s = PacketSampler::new(2, SamplingMode::Systematic, 0);
+        let sampled = s.sample(&flow(10, 1500)).unwrap();
+        assert_eq!(sampled.packets, 5);
+        assert_eq!(sampled.bytes, 750);
+    }
+
+    #[test]
+    fn large_flow_normal_approximation_is_reasonable() {
+        let mut s = PacketSampler::new(100, SamplingMode::Random, 3);
+        let f = flow(10_000_000, 10_000_000_000);
+        let sampled = s.sample(&f).unwrap();
+        let expected = 100_000.0;
+        let err = (sampled.packets as f64 - expected).abs() / expected;
+        assert!(err < 0.05, "relative error {err}");
+    }
+
+    #[test]
+    fn renormalize_scales_counters() {
+        let out = renormalize(&[flow(3, 100)], 100);
+        assert_eq!(out[0].packets, 300);
+        assert_eq!(out[0].bytes, 10_000);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_seed() {
+        let flows: Vec<FlowRecord> = (1..200).map(|i| flow(i, i * 100)).collect();
+        let a = PacketSampler::new(10, SamplingMode::Random, 99).sample_all(&flows);
+        let b = PacketSampler::new(10, SamplingMode::Random, 99).sample_all(&flows);
+        assert_eq!(a, b);
+        let c = PacketSampler::new(10, SamplingMode::Random, 100).sample_all(&flows);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_packet_flow_never_survives() {
+        let mut s = PacketSampler::new(10, SamplingMode::Random, 0);
+        assert_eq!(s.sample(&flow(0, 0)), None);
+    }
+
+    #[test]
+    fn xoshiro_uniformity_smoke() {
+        let mut rng = Xoshiro256::seeded(123);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += rng.next_f64();
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        // below-bound draws respect the bound
+        for _ in 0..1000 {
+            assert!(rng.next_below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_smoke() {
+        let mut rng = Xoshiro256::seeded(5);
+        let n = 200_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = rng.next_gaussian();
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

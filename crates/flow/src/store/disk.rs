@@ -1,0 +1,316 @@
+//! On-disk flow store format.
+//!
+//! A deliberately simple, robust binary layout (one file per store):
+//!
+//! ```text
+//! +--------+-----------+--------------+----------------+-----------+
+//! | magic  | bin width | record count | records ...    | CRC-32    |
+//! | 6 B    | u64 BE    | u64 BE       | 64 B each      | u32 BE    |
+//! +--------+-----------+--------------+----------------+-----------+
+//! ```
+//!
+//! The trailing CRC-32 (IEEE, hand-rolled table) covers everything after the
+//! magic, so truncation and bit flips are both detected — the failure modes
+//! the corruption tests inject.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::error::{CodecError, StoreError};
+use crate::record::{FlowRecord, Protocol, TcpFlags};
+
+use super::FlowStore;
+
+/// File magic: "ANFX" + format version 1 + newline.
+pub const MAGIC: &[u8; 6] = b"ANFX1\n";
+/// Bytes per serialized record.
+pub const RECORD_LEN: usize = 64;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected).
+pub fn crc32(data: &[u8]) -> u32 {
+    // Table generated at first use; 256 u32s, cheap enough to compute once.
+    fn table() -> &'static [u32; 256] {
+        use std::sync::OnceLock;
+        static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut t = [0u32; 256];
+            for (i, entry) in t.iter_mut().enumerate() {
+                let mut c = i as u32;
+                for _ in 0..8 {
+                    c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
+                }
+                *entry = c;
+            }
+            t
+        })
+    }
+    let t = table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = t[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+fn encode_record(buf: &mut BytesMut, r: &FlowRecord) {
+    buf.put_u64(r.start_ms);
+    buf.put_u64(r.end_ms);
+    buf.put_u32(u32::from(r.src_ip));
+    buf.put_u32(u32::from(r.dst_ip));
+    buf.put_u16(r.src_port);
+    buf.put_u16(r.dst_port);
+    buf.put_u8(r.proto.0);
+    buf.put_u8(r.tcp_flags.0);
+    buf.put_u8(r.tos);
+    buf.put_u8(0);
+    buf.put_u64(r.packets);
+    buf.put_u64(r.bytes);
+    buf.put_u16(r.input_if);
+    buf.put_u16(r.output_if);
+    buf.put_u32(r.src_as);
+    buf.put_u32(r.dst_as);
+    buf.put_u16(r.pop);
+    buf.put_u16(0);
+}
+
+fn decode_record(buf: &mut &[u8]) -> FlowRecord {
+    let start_ms = buf.get_u64();
+    let end_ms = buf.get_u64();
+    let src_ip = buf.get_u32().into();
+    let dst_ip = buf.get_u32().into();
+    let src_port = buf.get_u16();
+    let dst_port = buf.get_u16();
+    let proto = Protocol(buf.get_u8());
+    let tcp_flags = TcpFlags(buf.get_u8());
+    let tos = buf.get_u8();
+    let _pad = buf.get_u8();
+    let packets = buf.get_u64();
+    let bytes = buf.get_u64();
+    let input_if = buf.get_u16();
+    let output_if = buf.get_u16();
+    let src_as = buf.get_u32();
+    let dst_as = buf.get_u32();
+    let pop = buf.get_u16();
+    let _pad2 = buf.get_u16();
+    FlowRecord {
+        start_ms,
+        end_ms: end_ms.max(start_ms),
+        src_ip,
+        dst_ip,
+        src_port,
+        dst_port,
+        proto,
+        tcp_flags,
+        packets,
+        bytes,
+        tos,
+        input_if,
+        output_if,
+        src_as,
+        dst_as,
+        pop,
+    }
+}
+
+/// Serialize records to the store format (in memory).
+pub fn encode(bin_width_ms: u64, records: &[FlowRecord]) -> Vec<u8> {
+    let mut body = BytesMut::with_capacity(16 + records.len() * RECORD_LEN);
+    body.put_u64(bin_width_ms);
+    body.put_u64(records.len() as u64);
+    for r in records {
+        encode_record(&mut body, r);
+    }
+    let crc = crc32(&body);
+    let mut out = Vec::with_capacity(MAGIC.len() + body.len() + 4);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc.to_be_bytes());
+    out
+}
+
+/// Deserialize the store format.
+///
+/// # Errors
+/// [`CodecError::Corrupt`] for bad magic or checksum;
+/// [`CodecError::Truncated`] / [`CodecError::BadLength`] for structural
+/// damage.
+pub fn decode(data: &[u8]) -> Result<(u64, Vec<FlowRecord>), CodecError> {
+    if data.len() < MAGIC.len() + 16 + 4 {
+        return Err(CodecError::Truncated { needed: MAGIC.len() + 20, have: data.len() });
+    }
+    if &data[..MAGIC.len()] != MAGIC {
+        return Err(CodecError::Corrupt("bad magic"));
+    }
+    let body = &data[MAGIC.len()..data.len() - 4];
+    let stored_crc = u32::from_be_bytes(data[data.len() - 4..].try_into().unwrap());
+    if crc32(body) != stored_crc {
+        return Err(CodecError::Corrupt("checksum mismatch"));
+    }
+    let mut cursor = body;
+    let bin_width_ms = cursor.get_u64();
+    if bin_width_ms == 0 {
+        return Err(CodecError::BadLength { what: "bin width", value: 0 });
+    }
+    let count = cursor.get_u64() as usize;
+    if cursor.len() != count * RECORD_LEN {
+        return Err(CodecError::BadLength { what: "record payload", value: cursor.len() });
+    }
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        records.push(decode_record(&mut cursor));
+    }
+    Ok((bin_width_ms, records))
+}
+
+/// Write a store to disk.
+pub fn save(store: &FlowStore, path: &Path) -> Result<(), StoreError> {
+    let data = encode(store.bin_width_ms(), &store.snapshot());
+    let mut file = fs::File::create(path)?;
+    file.write_all(&data)?;
+    file.sync_all()?;
+    Ok(())
+}
+
+/// Load a store from disk.
+pub fn load(path: &Path) -> Result<FlowStore, StoreError> {
+    let data = fs::read(path)?;
+    let (bin_width_ms, records) = decode(&data)?;
+    Ok(FlowStore::from_records(bin_width_ms, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn sample(i: u64) -> FlowRecord {
+        FlowRecord::builder()
+            .time(i * 1000, i * 1000 + 500)
+            .src(Ipv4Addr::from(0x0A000000 + i as u32), (i % 65536) as u16)
+            .dst(Ipv4Addr::new(192, 0, 2, (i % 250) as u8), 80)
+            .volume(i + 1, (i + 1) * 100)
+            .pop((i % 18) as u16)
+            .asns(65000 + i as u32, 2)
+            .build()
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector: "123456789" → 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let records: Vec<FlowRecord> = (0..100).map(sample).collect();
+        let data = encode(60_000, &records);
+        let (width, got) = decode(&data).unwrap();
+        assert_eq!(width, 60_000);
+        assert_eq!(got, records);
+    }
+
+    #[test]
+    fn empty_store_roundtrip() {
+        let data = encode(1000, &[]);
+        let (width, got) = decode(&data).unwrap();
+        assert_eq!(width, 1000);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let mut data = encode(1000, &[sample(0)]);
+        data[0] = b'X';
+        assert_eq!(decode(&data), Err(CodecError::Corrupt("bad magic")));
+    }
+
+    #[test]
+    fn detects_bit_flip_anywhere_in_body() {
+        let records: Vec<FlowRecord> = (0..10).map(sample).collect();
+        let clean = encode(1000, &records);
+        for pos in [MAGIC.len(), MAGIC.len() + 9, clean.len() / 2, clean.len() - 5] {
+            let mut data = clean.clone();
+            data[pos] ^= 0x40;
+            assert!(
+                matches!(decode(&data), Err(CodecError::Corrupt(_))),
+                "bit flip at {pos} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let data = encode(1000, &[sample(0), sample(1)]);
+        for cut in [3, MAGIC.len() + 10, data.len() - 1] {
+            assert!(decode(&data[..cut]).is_err(), "cut at {cut} undetected");
+        }
+    }
+
+    #[test]
+    fn rejects_zero_bin_width() {
+        // Hand-build a file with bin width 0 and a valid checksum.
+        let mut body = BytesMut::new();
+        body.put_u64(0);
+        body.put_u64(0);
+        let crc = crc32(&body);
+        let mut data = MAGIC.to_vec();
+        data.extend_from_slice(&body);
+        data.extend_from_slice(&crc.to_be_bytes());
+        assert!(matches!(
+            decode(&data),
+            Err(CodecError::BadLength { what: "bin width", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_count_payload_mismatch() {
+        // Claim 5 records but provide 1; fix up the CRC so only the length
+        // check can catch it.
+        let one = sample(0);
+        let mut body = BytesMut::new();
+        body.put_u64(1000);
+        body.put_u64(5);
+        super::encode_record(&mut body, &one);
+        let crc = crc32(&body);
+        let mut data = MAGIC.to_vec();
+        data.extend_from_slice(&body);
+        data.extend_from_slice(&crc.to_be_bytes());
+        assert!(matches!(
+            decode(&data),
+            Err(CodecError::BadLength { what: "record payload", .. })
+        ));
+    }
+
+    #[test]
+    fn save_load_via_filesystem() {
+        let dir = std::env::temp_dir().join("anomex-flow-disk-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.anfx");
+        let records: Vec<FlowRecord> = (0..50).map(sample).collect();
+        let store = FlowStore::from_records(2000, records.clone());
+        save(&store, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.bin_width_ms(), 2000);
+        let mut want = records;
+        want.sort_by_key(|r| r.start_ms);
+        assert_eq!(loaded.snapshot(), want);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load(Path::new("/nonexistent/anomex-store.anfx")).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
+    }
+
+    #[test]
+    fn record_len_constant_is_accurate() {
+        let mut buf = BytesMut::new();
+        encode_record(&mut buf, &sample(3));
+        assert_eq!(buf.len(), RECORD_LEN);
+    }
+}

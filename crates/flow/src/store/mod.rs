@@ -1,0 +1,369 @@
+//! Time-binned flow storage — the NfDump-equivalent back-end.
+//!
+//! Flows are partitioned into fixed-width time bins (nfcapd-style, default
+//! 5 minutes), indexed by flow start time. Queries combine a [`TimeRange`]
+//! with a [`Filter`]. The store is internally synchronized
+//! (`parking_lot::RwLock`) so collectors can ingest while operators query.
+
+pub mod disk;
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::filter::Filter;
+use crate::record::FlowRecord;
+
+/// Default bin width: 5 minutes, like nfcapd rotation.
+pub const DEFAULT_BIN_WIDTH_MS: u64 = 5 * 60 * 1000;
+
+/// A half-open time interval `[from_ms, to_ms)` in epoch milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeRange {
+    /// Inclusive start.
+    pub from_ms: u64,
+    /// Exclusive end.
+    pub to_ms: u64,
+}
+
+impl TimeRange {
+    /// Build a range; `to_ms` is clamped up to `from_ms`.
+    pub fn new(from_ms: u64, to_ms: u64) -> TimeRange {
+        TimeRange { from_ms, to_ms: to_ms.max(from_ms) }
+    }
+
+    /// The whole timeline.
+    pub fn all() -> TimeRange {
+        TimeRange { from_ms: 0, to_ms: u64::MAX }
+    }
+
+    /// Length in milliseconds.
+    pub fn len_ms(&self) -> u64 {
+        self.to_ms - self.from_ms
+    }
+
+    /// Whether an instant falls inside.
+    pub fn contains(&self, t_ms: u64) -> bool {
+        t_ms >= self.from_ms && t_ms < self.to_ms
+    }
+
+    /// Whether a flow overlaps this range.
+    pub fn overlaps(&self, flow: &FlowRecord) -> bool {
+        flow.overlaps(self.from_ms, self.to_ms)
+    }
+
+    /// Split into consecutive sub-intervals of `width_ms` (last one clipped).
+    pub fn intervals(&self, width_ms: u64) -> Vec<TimeRange> {
+        assert!(width_ms > 0, "interval width must be positive");
+        let mut out = Vec::new();
+        let mut t = self.from_ms;
+        while t < self.to_ms {
+            let end = (t + width_ms).min(self.to_ms);
+            out.push(TimeRange { from_ms: t, to_ms: end });
+            t = end;
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TimeRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}..{})", self.from_ms, self.to_ms)
+    }
+}
+
+/// Summary statistics of a store or query result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Number of flow records.
+    pub flows: u64,
+    /// Sum of packet counters.
+    pub packets: u64,
+    /// Sum of byte counters.
+    pub bytes: u64,
+}
+
+impl FlowStats {
+    /// Accumulate one record.
+    pub fn add(&mut self, r: &FlowRecord) {
+        self.flows += 1;
+        self.packets += r.packets;
+        self.bytes += r.bytes;
+    }
+
+    /// Compute stats over a slice.
+    pub fn of(flows: &[FlowRecord]) -> FlowStats {
+        let mut s = FlowStats::default();
+        for f in flows {
+            s.add(f);
+        }
+        s
+    }
+}
+
+/// In-memory, time-binned flow store.
+#[derive(Debug)]
+pub struct FlowStore {
+    bin_width_ms: u64,
+    inner: RwLock<BTreeMap<u64, Vec<FlowRecord>>>,
+}
+
+impl FlowStore {
+    /// Create a store with the given bin width (milliseconds).
+    ///
+    /// # Panics
+    /// Panics if `bin_width_ms` is zero.
+    pub fn new(bin_width_ms: u64) -> FlowStore {
+        assert!(bin_width_ms > 0, "bin width must be positive");
+        FlowStore { bin_width_ms, inner: RwLock::new(BTreeMap::new()) }
+    }
+
+    /// Create a store with the nfcapd-style 5-minute bins.
+    pub fn with_default_bins() -> FlowStore {
+        FlowStore::new(DEFAULT_BIN_WIDTH_MS)
+    }
+
+    /// Build a store directly from records.
+    pub fn from_records(bin_width_ms: u64, records: Vec<FlowRecord>) -> FlowStore {
+        let store = FlowStore::new(bin_width_ms);
+        store.insert_batch(records);
+        store
+    }
+
+    /// The configured bin width.
+    pub fn bin_width_ms(&self) -> u64 {
+        self.bin_width_ms
+    }
+
+    /// Insert one record (indexed by its start time).
+    pub fn insert(&self, record: FlowRecord) {
+        let bin = record.start_ms / self.bin_width_ms;
+        self.inner.write().entry(bin).or_default().push(record);
+    }
+
+    /// Insert many records.
+    pub fn insert_batch(&self, records: Vec<FlowRecord>) {
+        let mut guard = self.inner.write();
+        for record in records {
+            let bin = record.start_ms / self.bin_width_ms;
+            guard.entry(bin).or_default().push(record);
+        }
+    }
+
+    /// Total number of stored records.
+    pub fn len(&self) -> usize {
+        self.inner.read().values().map(Vec::len).sum()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().values().all(Vec::is_empty)
+    }
+
+    /// Number of non-empty time bins.
+    pub fn bin_count(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Earliest start and latest end across all records, if any.
+    pub fn time_span(&self) -> Option<TimeRange> {
+        let guard = self.inner.read();
+        let mut from = u64::MAX;
+        let mut to = 0u64;
+        for recs in guard.values() {
+            for r in recs {
+                from = from.min(r.start_ms);
+                to = to.max(r.end_ms + 1);
+            }
+        }
+        (from < u64::MAX).then(|| TimeRange::new(from, to))
+    }
+
+    /// Flows overlapping `range` and matching `filter`, ordered by start
+    /// time (stable within equal timestamps).
+    pub fn query(&self, range: TimeRange, filter: &Filter) -> Vec<FlowRecord> {
+        let guard = self.inner.read();
+        // A flow that *overlaps* the range may start in an earlier bin; we
+        // conservatively scan from the beginning of time up to the range end
+        // bin. Flows are indexed by start, so bins after the range end are
+        // safely excluded.
+        let end_bin = if range.to_ms == u64::MAX {
+            u64::MAX
+        } else {
+            range.to_ms / self.bin_width_ms
+        };
+        let mut out: Vec<FlowRecord> = guard
+            .range(..=end_bin)
+            .flat_map(|(_, recs)| recs.iter())
+            .filter(|r| range.overlaps(r) && filter.matches(r))
+            .cloned()
+            .collect();
+        out.sort_by_key(|r| r.start_ms);
+        out
+    }
+
+    /// Stats of the flows a query would return, without materializing them.
+    pub fn query_stats(&self, range: TimeRange, filter: &Filter) -> FlowStats {
+        let guard = self.inner.read();
+        let end_bin = if range.to_ms == u64::MAX {
+            u64::MAX
+        } else {
+            range.to_ms / self.bin_width_ms
+        };
+        let mut stats = FlowStats::default();
+        for (_, recs) in guard.range(..=end_bin) {
+            for r in recs {
+                if range.overlaps(r) && filter.matches(r) {
+                    stats.add(r);
+                }
+            }
+        }
+        stats
+    }
+
+    /// All records, ordered by start time.
+    pub fn snapshot(&self) -> Vec<FlowRecord> {
+        self.query(TimeRange::all(), &Filter::any())
+    }
+
+    /// Remove everything.
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Protocol;
+    use std::net::Ipv4Addr;
+
+    fn rec(start: u64, end: u64, dst_port: u16) -> FlowRecord {
+        FlowRecord::builder()
+            .time(start, end)
+            .src(Ipv4Addr::new(10, 0, 0, 1), 1000)
+            .dst(Ipv4Addr::new(192, 0, 2, 1), dst_port)
+            .proto(Protocol::TCP)
+            .volume(2, 100)
+            .build()
+    }
+
+    #[test]
+    fn time_range_basics() {
+        let r = TimeRange::new(100, 50); // clamps
+        assert_eq!(r.len_ms(), 0);
+        let r = TimeRange::new(0, 1000);
+        assert!(r.contains(0));
+        assert!(!r.contains(1000));
+        assert_eq!(r.intervals(300).len(), 4);
+        assert_eq!(r.intervals(300)[3], TimeRange::new(900, 1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "interval width")]
+    fn zero_interval_width_panics() {
+        TimeRange::new(0, 10).intervals(0);
+    }
+
+    #[test]
+    fn insert_and_query_by_range() {
+        let store = FlowStore::new(1000);
+        store.insert(rec(100, 200, 80));
+        store.insert(rec(1100, 1200, 80));
+        store.insert(rec(2100, 2200, 80));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.bin_count(), 3);
+        let hits = store.query(TimeRange::new(1000, 2000), &Filter::any());
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].start_ms, 1100);
+    }
+
+    #[test]
+    fn query_includes_flows_spanning_bin_boundaries() {
+        let store = FlowStore::new(1000);
+        // Starts in bin 0 but lasts into bin 2.
+        store.insert(rec(500, 2500, 80));
+        let hits = store.query(TimeRange::new(2000, 3000), &Filter::any());
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn query_applies_filter() {
+        let store = FlowStore::new(1000);
+        store.insert(rec(0, 10, 80));
+        store.insert(rec(0, 10, 443));
+        let f = Filter::parse("dst port 80").unwrap();
+        assert_eq!(store.query(TimeRange::all(), &f).len(), 1);
+    }
+
+    #[test]
+    fn query_results_sorted_by_start() {
+        let store = FlowStore::new(1000);
+        store.insert(rec(5000, 5100, 1));
+        store.insert(rec(100, 200, 2));
+        store.insert(rec(3000, 3100, 3));
+        let hits = store.snapshot();
+        let starts: Vec<u64> = hits.iter().map(|r| r.start_ms).collect();
+        assert_eq!(starts, vec![100, 3000, 5000]);
+    }
+
+    #[test]
+    fn stats_match_query() {
+        let store = FlowStore::new(1000);
+        for i in 0..10 {
+            store.insert(rec(i * 100, i * 100 + 50, 80));
+        }
+        let stats = store.query_stats(TimeRange::all(), &Filter::any());
+        assert_eq!(stats.flows, 10);
+        assert_eq!(stats.packets, 20);
+        assert_eq!(stats.bytes, 1000);
+    }
+
+    #[test]
+    fn time_span_reflects_contents() {
+        let store = FlowStore::new(1000);
+        assert!(store.time_span().is_none());
+        store.insert(rec(500, 900, 1));
+        store.insert(rec(100, 4000, 1));
+        let span = store.time_span().unwrap();
+        assert_eq!(span.from_ms, 100);
+        assert_eq!(span.to_ms, 4001);
+    }
+
+    #[test]
+    fn clear_empties_store() {
+        let store = FlowStore::new(1000);
+        store.insert(rec(0, 1, 1));
+        assert!(!store.is_empty());
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn concurrent_ingest_and_query() {
+        use std::sync::Arc;
+        let store = Arc::new(FlowStore::new(1000));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250 {
+                    store.insert(rec(t * 10_000 + i * 10, t * 10_000 + i * 10 + 5, 80));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 1000);
+        assert_eq!(store.query(TimeRange::all(), &Filter::any()).len(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn zero_bin_width_panics() {
+        FlowStore::new(0);
+    }
+}

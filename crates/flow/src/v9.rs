@@ -1,0 +1,613 @@
+//! NetFlow v9 wire codec (RFC 3954 subset).
+//!
+//! v9 is template-based: exporters first describe record layouts in
+//! *template flowsets* (flowset id 0), then ship *data flowsets* whose id
+//! names the template to decode them with. The decoder therefore carries a
+//! [`TemplateCache`] across packets — exactly the statefulness collectors
+//! like nfdump have to implement.
+//!
+//! The encoder emits a single standard template (id [`STANDARD_TEMPLATE_ID`])
+//! wide enough to carry every [`FlowRecord`] field, including 64-bit
+//! counters (v9 field lengths are declared per template, so `IN_BYTES` /
+//! `IN_PKTS` are exported at 8 bytes) and the ingress PoP via the header's
+//! `source_id`.
+
+use std::collections::HashMap;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::CodecError;
+use crate::record::{FlowRecord, Protocol, TcpFlags};
+use crate::v5::ExportBase;
+
+/// Protocol version tag.
+pub const VERSION: u16 = 9;
+/// Packet header size in bytes.
+pub const HEADER_LEN: usize = 20;
+/// Flowset id announcing templates.
+pub const TEMPLATE_FLOWSET_ID: u16 = 0;
+/// First id usable by data templates.
+pub const MIN_TEMPLATE_ID: u16 = 256;
+/// Template id used by [`encode`].
+pub const STANDARD_TEMPLATE_ID: u16 = 400;
+
+/// IANA field types used by this codec.
+pub mod field {
+    /// Incoming byte counter.
+    pub const IN_BYTES: u16 = 1;
+    /// Incoming packet counter.
+    pub const IN_PKTS: u16 = 2;
+    /// IP protocol.
+    pub const PROTOCOL: u16 = 4;
+    /// Type of service byte.
+    pub const SRC_TOS: u16 = 5;
+    /// Accumulated TCP flags.
+    pub const TCP_FLAGS: u16 = 6;
+    /// Source transport port.
+    pub const L4_SRC_PORT: u16 = 7;
+    /// Source IPv4 address.
+    pub const IPV4_SRC_ADDR: u16 = 8;
+    /// SNMP input interface.
+    pub const INPUT_SNMP: u16 = 10;
+    /// Destination transport port.
+    pub const L4_DST_PORT: u16 = 11;
+    /// Destination IPv4 address.
+    pub const IPV4_DST_ADDR: u16 = 12;
+    /// SNMP output interface.
+    pub const OUTPUT_SNMP: u16 = 14;
+    /// Source AS number.
+    pub const SRC_AS: u16 = 16;
+    /// Destination AS number.
+    pub const DST_AS: u16 = 17;
+    /// Uptime ms at which the last packet was switched.
+    pub const LAST_SWITCHED: u16 = 21;
+    /// Uptime ms at which the first packet was switched.
+    pub const FIRST_SWITCHED: u16 = 22;
+}
+
+/// One `(type, length)` template field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemplateField {
+    /// IANA field type.
+    pub field_type: u16,
+    /// Field length in bytes.
+    pub length: u16,
+}
+
+/// A decoded v9 template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    /// Template id (>= 256).
+    pub id: u16,
+    /// Ordered field layout.
+    pub fields: Vec<TemplateField>,
+}
+
+impl Template {
+    /// Total bytes of one record encoded with this template.
+    pub fn record_len(&self) -> usize {
+        self.fields.iter().map(|f| usize::from(f.length)).sum()
+    }
+
+    /// The standard template used by the encoder.
+    pub fn standard() -> Template {
+        use field::*;
+        let f = |field_type, length| TemplateField { field_type, length };
+        Template {
+            id: STANDARD_TEMPLATE_ID,
+            fields: vec![
+                f(IPV4_SRC_ADDR, 4),
+                f(IPV4_DST_ADDR, 4),
+                f(L4_SRC_PORT, 2),
+                f(L4_DST_PORT, 2),
+                f(PROTOCOL, 1),
+                f(TCP_FLAGS, 1),
+                f(SRC_TOS, 1),
+                f(IN_PKTS, 8),
+                f(IN_BYTES, 8),
+                f(FIRST_SWITCHED, 4),
+                f(LAST_SWITCHED, 4),
+                f(INPUT_SNMP, 2),
+                f(OUTPUT_SNMP, 2),
+                f(SRC_AS, 4),
+                f(DST_AS, 4),
+            ],
+        }
+    }
+}
+
+/// Per-collector template state, keyed by `(source_id, template_id)`.
+///
+/// Real exporters re-announce templates periodically; the cache simply
+/// keeps the latest definition.
+#[derive(Debug, Default, Clone)]
+pub struct TemplateCache {
+    templates: HashMap<(u32, u16), Template>,
+}
+
+impl TemplateCache {
+    /// Empty cache.
+    pub fn new() -> TemplateCache {
+        TemplateCache::default()
+    }
+
+    /// Register (or replace) a template for an observation domain.
+    pub fn insert(&mut self, source_id: u32, template: Template) {
+        self.templates.insert((source_id, template.id), template);
+    }
+
+    /// Look up a template.
+    pub fn get(&self, source_id: u32, template_id: u16) -> Option<&Template> {
+        self.templates.get(&(source_id, template_id))
+    }
+
+    /// Number of cached templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+}
+
+/// Outcome of decoding one v9 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct V9Decode {
+    /// Flow records decoded from data flowsets with known templates.
+    pub records: Vec<FlowRecord>,
+    /// Template ids learned from this packet.
+    pub templates_learned: Vec<u16>,
+    /// Data flowsets skipped because their template was unknown.
+    pub skipped_flowsets: Vec<u16>,
+    /// Header sequence number.
+    pub sequence: u32,
+    /// Header observation domain (we map it to [`FlowRecord::pop`]).
+    pub source_id: u32,
+}
+
+/// Encode `records` as one v9 packet carrying the standard template followed
+/// by a single data flowset.
+///
+/// `source_id` becomes the observation domain (and the decoded records'
+/// `pop`, which overrides whatever `pop` the input records carried).
+pub fn encode(
+    records: &[FlowRecord],
+    base: ExportBase,
+    sequence: u32,
+    source_id: u32,
+) -> Bytes {
+    let template = Template::standard();
+    let mut buf = BytesMut::with_capacity(
+        HEADER_LEN + 12 + template.fields.len() * 4 + records.len() * template.record_len() + 8,
+    );
+
+    // Header. `count` = template records + data records (RFC 3954 §5.1).
+    buf.put_u16(VERSION);
+    buf.put_u16((1 + records.len()) as u16);
+    buf.put_u32(base.sys_uptime_ms);
+    buf.put_u32(base.unix_secs);
+    buf.put_u32(sequence);
+    buf.put_u32(source_id);
+
+    // Template flowset.
+    let tmpl_len = 4 + 4 + template.fields.len() * 4;
+    buf.put_u16(TEMPLATE_FLOWSET_ID);
+    buf.put_u16(tmpl_len as u16);
+    buf.put_u16(template.id);
+    buf.put_u16(template.fields.len() as u16);
+    for f in &template.fields {
+        buf.put_u16(f.field_type);
+        buf.put_u16(f.length);
+    }
+
+    // Data flowset, padded to a 4-byte boundary.
+    let data_payload = records.len() * template.record_len();
+    let padding = (4 - (data_payload % 4)) % 4;
+    buf.put_u16(template.id);
+    buf.put_u16((4 + data_payload + padding) as u16);
+    for r in records {
+        encode_record(&mut buf, r, &base);
+    }
+    buf.put_bytes(0, padding);
+
+    buf.freeze()
+}
+
+fn encode_record(buf: &mut BytesMut, r: &FlowRecord, base: &ExportBase) {
+    buf.put_u32(u32::from(r.src_ip));
+    buf.put_u32(u32::from(r.dst_ip));
+    buf.put_u16(r.src_port);
+    buf.put_u16(r.dst_port);
+    buf.put_u8(r.proto.0);
+    buf.put_u8(r.tcp_flags.0);
+    buf.put_u8(r.tos);
+    buf.put_u64(r.packets);
+    buf.put_u64(r.bytes);
+    buf.put_u32(base.epoch_ms_to_uptime(r.start_ms));
+    buf.put_u32(base.epoch_ms_to_uptime(r.end_ms));
+    buf.put_u16(r.input_if);
+    buf.put_u16(r.output_if);
+    buf.put_u32(r.src_as);
+    buf.put_u32(r.dst_as);
+}
+
+/// Decode one v9 packet, updating `cache` with any templates it announces.
+///
+/// Data flowsets referencing unknown templates are *skipped* (reported in
+/// [`V9Decode::skipped_flowsets`]) rather than failing the whole packet —
+/// this mirrors collector behaviour when packets arrive before templates.
+///
+/// # Errors
+/// Structural failures only: truncation, bad version, inconsistent flowset
+/// lengths, or a template field too wide for its type.
+pub fn decode(mut buf: &[u8], cache: &mut TemplateCache) -> Result<V9Decode, CodecError> {
+    if buf.len() < HEADER_LEN {
+        return Err(CodecError::Truncated { needed: HEADER_LEN, have: buf.len() });
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(CodecError::BadVersion { expected: VERSION, got: version });
+    }
+    let _count = buf.get_u16();
+    let sys_uptime_ms = buf.get_u32();
+    let unix_secs = buf.get_u32();
+    let sequence = buf.get_u32();
+    let source_id = buf.get_u32();
+    let base = ExportBase { sys_uptime_ms, unix_secs, unix_nsecs: 0 };
+
+    let mut out = V9Decode {
+        records: Vec::new(),
+        templates_learned: Vec::new(),
+        skipped_flowsets: Vec::new(),
+        sequence,
+        source_id,
+    };
+
+    while !buf.is_empty() {
+        if buf.len() < 4 {
+            return Err(CodecError::Truncated { needed: 4, have: buf.len() });
+        }
+        let flowset_id = buf.get_u16();
+        let flowset_len = buf.get_u16() as usize;
+        if flowset_len < 4 {
+            return Err(CodecError::BadLength { what: "v9 flowset length", value: flowset_len });
+        }
+        let body_len = flowset_len - 4;
+        if buf.len() < body_len {
+            return Err(CodecError::Truncated { needed: body_len, have: buf.len() });
+        }
+        let mut body = &buf[..body_len];
+        buf.advance(body_len);
+
+        if flowset_id == TEMPLATE_FLOWSET_ID {
+            decode_templates(&mut body, source_id, cache, &mut out)?;
+        } else if flowset_id >= MIN_TEMPLATE_ID {
+            match cache.get(source_id, flowset_id) {
+                Some(template) => {
+                    let template = template.clone();
+                    decode_data(&mut body, &template, &base, source_id, &mut out)?;
+                }
+                None => out.skipped_flowsets.push(flowset_id),
+            }
+        }
+        // Flowset ids 1..255 are options templates/scopes: not modeled, skipped.
+    }
+    Ok(out)
+}
+
+fn decode_templates(
+    body: &mut &[u8],
+    source_id: u32,
+    cache: &mut TemplateCache,
+    out: &mut V9Decode,
+) -> Result<(), CodecError> {
+    // A template flowset may announce several templates back to back;
+    // trailing padding (< 4 bytes of zeros) is permitted.
+    while body.len() >= 4 {
+        let id = body.get_u16();
+        let field_count = body.get_u16() as usize;
+        if id < MIN_TEMPLATE_ID {
+            // Padding or malformed trailing bytes: stop at a zero id.
+            if id == 0 && field_count == 0 {
+                break;
+            }
+            return Err(CodecError::BadLength { what: "v9 template id", value: id as usize });
+        }
+        let need = field_count * 4;
+        if body.len() < need {
+            return Err(CodecError::Truncated { needed: need, have: body.len() });
+        }
+        let mut fields = Vec::with_capacity(field_count);
+        for _ in 0..field_count {
+            let field_type = body.get_u16();
+            let length = body.get_u16();
+            if length == 0 || length > 8 {
+                return Err(CodecError::BadFieldLength { field_type, length });
+            }
+            fields.push(TemplateField { field_type, length });
+        }
+        cache.insert(source_id, Template { id, fields });
+        out.templates_learned.push(id);
+    }
+    Ok(())
+}
+
+fn decode_data(
+    body: &mut &[u8],
+    template: &Template,
+    base: &ExportBase,
+    source_id: u32,
+    out: &mut V9Decode,
+) -> Result<(), CodecError> {
+    let rec_len = template.record_len();
+    if rec_len == 0 {
+        return Err(CodecError::BadLength { what: "v9 template record length", value: 0 });
+    }
+    while body.len() >= rec_len {
+        let mut r = FlowRecord {
+            pop: source_id.min(u32::from(u16::MAX)) as u16,
+            packets: 0,
+            bytes: 0,
+            ..FlowRecord::default()
+        };
+        let mut first: Option<u32> = None;
+        let mut last: Option<u32> = None;
+        for f in &template.fields {
+            let v = read_uint(body, usize::from(f.length));
+            apply_field(&mut r, f.field_type, v, &mut first, &mut last);
+        }
+        if let Some(first) = first {
+            r.start_ms = base.uptime_to_epoch_ms(first);
+        }
+        if let Some(last) = last {
+            r.end_ms = base.uptime_to_epoch_ms(last);
+        }
+        r.end_ms = r.end_ms.max(r.start_ms);
+        out.records.push(r);
+    }
+    // Remaining bytes (< rec_len) are padding.
+    Ok(())
+}
+
+/// Read a big-endian unsigned integer of 1..=8 bytes.
+fn read_uint(body: &mut &[u8], len: usize) -> u64 {
+    let mut v: u64 = 0;
+    for _ in 0..len {
+        v = (v << 8) | u64::from(body.get_u8());
+    }
+    v
+}
+
+fn apply_field(
+    r: &mut FlowRecord,
+    field_type: u16,
+    v: u64,
+    first: &mut Option<u32>,
+    last: &mut Option<u32>,
+) {
+    use field::*;
+    match field_type {
+        IPV4_SRC_ADDR => r.src_ip = (v as u32).into(),
+        IPV4_DST_ADDR => r.dst_ip = (v as u32).into(),
+        L4_SRC_PORT => r.src_port = v as u16,
+        L4_DST_PORT => r.dst_port = v as u16,
+        PROTOCOL => r.proto = Protocol(v as u8),
+        TCP_FLAGS => r.tcp_flags = TcpFlags(v as u8),
+        SRC_TOS => r.tos = v as u8,
+        IN_PKTS => r.packets = v,
+        IN_BYTES => r.bytes = v,
+        FIRST_SWITCHED => *first = Some(v as u32),
+        LAST_SWITCHED => *last = Some(v as u32),
+        INPUT_SNMP => r.input_if = v as u16,
+        OUTPUT_SNMP => r.output_if = v as u16,
+        SRC_AS => r.src_as = v as u32,
+        DST_AS => r.dst_as = v as u32,
+        _ => {} // unknown field types are decoded past and ignored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn sample(i: u32) -> FlowRecord {
+        FlowRecord::builder()
+            .time(1_000 + u64::from(i) * 100, 2_000 + u64::from(i) * 100)
+            .src(Ipv4Addr::from(0x0A000000 + i), 1024 + i as u16)
+            .dst(Ipv4Addr::new(198, 51, 100, 7), 443)
+            .proto(Protocol::TCP)
+            .tcp_flags(TcpFlags::parse("SAF").unwrap())
+            .volume(u64::from(u32::MAX) + 17, 1 << 40) // needs 64-bit counters
+            .asns(3_000_000, 65_550)
+            .interfaces(11, 12)
+            .tos(0x20)
+            .pop(5)
+            .build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything_including_64bit_counters() {
+        let records: Vec<FlowRecord> = (0..5).map(sample).collect();
+        let bytes = encode(&records, ExportBase::epoch(), 9, 5);
+        let mut cache = TemplateCache::new();
+        let got = decode(&bytes, &mut cache).unwrap();
+        assert_eq!(got.templates_learned, vec![STANDARD_TEMPLATE_ID]);
+        assert!(got.skipped_flowsets.is_empty());
+        assert_eq!(got.sequence, 9);
+        assert_eq!(got.source_id, 5);
+        assert_eq!(got.records, records);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn pop_comes_from_source_id() {
+        let r = sample(0);
+        let bytes = encode(&[r], ExportBase::epoch(), 0, 13);
+        let mut cache = TemplateCache::new();
+        let got = decode(&bytes, &mut cache).unwrap();
+        assert_eq!(got.records[0].pop, 13);
+    }
+
+    #[test]
+    fn data_before_template_is_skipped_then_decodable() {
+        let records: Vec<FlowRecord> = (0..3).map(sample).collect();
+        let bytes = encode(&records, ExportBase::epoch(), 0, 5);
+        // Split the packet: header + template flowset | header + data flowset.
+        // Simpler: decode the data-only packet with a fresh cache by
+        // re-encoding and stripping the template flowset.
+        let tmpl_flowset_len = 4 + 4 + Template::standard().fields.len() * 4;
+        let mut data_only = bytes[..HEADER_LEN].to_vec();
+        data_only.extend_from_slice(&bytes[HEADER_LEN + tmpl_flowset_len..]);
+
+        let mut cache = TemplateCache::new();
+        let first = decode(&data_only, &mut cache).unwrap();
+        assert!(first.records.is_empty());
+        assert_eq!(first.skipped_flowsets, vec![STANDARD_TEMPLATE_ID]);
+
+        // Now learn the template from the full packet, then the data-only
+        // packet decodes fine: the cache carries across packets.
+        decode(&bytes, &mut cache).unwrap();
+        let second = decode(&data_only, &mut cache).unwrap();
+        assert_eq!(second.records, records);
+    }
+
+    #[test]
+    fn template_cache_is_per_source() {
+        let records = vec![sample(1)];
+        let bytes = encode(&records, ExportBase::epoch(), 0, 5);
+        let mut cache = TemplateCache::new();
+        decode(&bytes, &mut cache).unwrap();
+        // Same template id under a different source_id is unknown.
+        let mut other = bytes.to_vec();
+        other[16..20].copy_from_slice(&77u32.to_be_bytes());
+        // Strip template flowset so only data remains.
+        let tmpl_flowset_len = 4 + 4 + Template::standard().fields.len() * 4;
+        let mut data_only = other[..HEADER_LEN].to_vec();
+        data_only.extend_from_slice(&other[HEADER_LEN + tmpl_flowset_len..]);
+        let got = decode(&data_only, &mut cache).unwrap();
+        assert_eq!(got.skipped_flowsets, vec![STANDARD_TEMPLATE_ID]);
+    }
+
+    #[test]
+    fn rejects_bad_version_and_truncation() {
+        let bytes = encode(&[sample(0)], ExportBase::epoch(), 0, 1);
+        let mut cache = TemplateCache::new();
+        let mut bad = bytes.to_vec();
+        bad[0] = 0;
+        bad[1] = 5;
+        assert!(matches!(
+            decode(&bad, &mut cache),
+            Err(CodecError::BadVersion { expected: 9, got: 5 })
+        ));
+        assert!(matches!(
+            decode(&bytes[..10], &mut cache),
+            Err(CodecError::Truncated { .. })
+        ));
+        // Cut mid-flowset.
+        assert!(matches!(
+            decode(&bytes[..HEADER_LEN + 6], &mut cache),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_length_flowset() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(VERSION);
+        buf.put_u16(0);
+        buf.put_u32(0);
+        buf.put_u32(0);
+        buf.put_u32(0);
+        buf.put_u32(1);
+        buf.put_u16(256); // data flowset id
+        buf.put_u16(2); // length < 4: malformed
+        let mut cache = TemplateCache::new();
+        assert!(matches!(
+            decode(&buf, &mut cache),
+            Err(CodecError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_template_field_wider_than_8() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(VERSION);
+        buf.put_u16(1);
+        buf.put_u32(0);
+        buf.put_u32(0);
+        buf.put_u32(0);
+        buf.put_u32(1);
+        // Template flowset with one 16-byte field.
+        buf.put_u16(TEMPLATE_FLOWSET_ID);
+        buf.put_u16(4 + 4 + 4);
+        buf.put_u16(300);
+        buf.put_u16(1);
+        buf.put_u16(field::IN_BYTES);
+        buf.put_u16(16);
+        let mut cache = TemplateCache::new();
+        assert!(matches!(
+            decode(&buf, &mut cache),
+            Err(CodecError::BadFieldLength { field_type: 1, length: 16 })
+        ));
+    }
+
+    #[test]
+    fn unknown_field_types_are_ignored() {
+        // Template with an exotic field sandwiched between known ones.
+        let mut buf = BytesMut::new();
+        buf.put_u16(VERSION);
+        buf.put_u16(2);
+        buf.put_u32(0);
+        buf.put_u32(0);
+        buf.put_u32(0);
+        buf.put_u32(9);
+        buf.put_u16(TEMPLATE_FLOWSET_ID);
+        buf.put_u16(4 + 4 + 3 * 4);
+        buf.put_u16(333);
+        buf.put_u16(3);
+        buf.put_u16(field::IPV4_SRC_ADDR);
+        buf.put_u16(4);
+        buf.put_u16(999); // unknown type
+        buf.put_u16(3);
+        buf.put_u16(field::L4_DST_PORT);
+        buf.put_u16(2);
+        // Data flowset: 4+3+2 = 9 bytes payload + 3 padding.
+        buf.put_u16(333);
+        buf.put_u16(4 + 9 + 3);
+        buf.put_u32(u32::from(Ipv4Addr::new(1, 2, 3, 4)));
+        buf.put_bytes(0xAB, 3);
+        buf.put_u16(8080);
+        buf.put_bytes(0, 3);
+        let mut cache = TemplateCache::new();
+        let got = decode(&buf, &mut cache).unwrap();
+        assert_eq!(got.records.len(), 1);
+        assert_eq!(got.records[0].src_ip, Ipv4Addr::new(1, 2, 3, 4));
+        assert_eq!(got.records[0].dst_port, 8080);
+    }
+
+    #[test]
+    fn empty_records_packet_roundtrips() {
+        let bytes = encode(&[], ExportBase::epoch(), 3, 2);
+        let mut cache = TemplateCache::new();
+        let got = decode(&bytes, &mut cache).unwrap();
+        assert!(got.records.is_empty());
+        assert_eq!(got.templates_learned, vec![STANDARD_TEMPLATE_ID]);
+    }
+
+    #[test]
+    fn uptime_base_shifts_epochs() {
+        let base = ExportBase { sys_uptime_ms: 5_000, unix_secs: 1_000, unix_nsecs: 0 };
+        let r = FlowRecord::builder()
+            .time(base.boot_epoch_ms() + 100, base.boot_epoch_ms() + 200)
+            .volume(1, 40)
+            .build();
+        let bytes = encode(&[r.clone()], base, 0, 0);
+        let mut cache = TemplateCache::new();
+        let got = decode(&bytes, &mut cache).unwrap();
+        assert_eq!(got.records[0].start_ms, r.start_ms);
+        assert_eq!(got.records[0].end_ms, r.end_ms);
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests for the flow substrate: codec roundtrips, filter
+//! print→parse fixpoints, CIDR algebra, sampling invariants, and CRC
+//! error detection.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use anomex_flow::filter::{lexer::CmpOp, Dir, Expr, Filter, Ipv4Net, Pred};
+use anomex_flow::record::{FlowRecord, Protocol, TcpFlags};
+use anomex_flow::sampling::{PacketSampler, SamplingMode};
+use anomex_flow::store::disk;
+use anomex_flow::v5::{self, ExportBase};
+use anomex_flow::v9::{self, TemplateCache};
+
+/// Arbitrary flow record with full-range fields (for v9/disk codecs).
+fn arb_record() -> impl Strategy<Value = FlowRecord> {
+    (
+        0u64..u64::from(u32::MAX / 2),  // start (uptime-representable)
+        0u64..1_000_000,                // duration
+        any::<u32>(),                   // src ip
+        any::<u32>(),                   // dst ip
+        any::<u16>(),                   // src port
+        any::<u16>(),                   // dst port
+        any::<u8>(),                    // proto
+        0u8..64,                        // flags (6 bits)
+        any::<u64>(),                   // packets
+        any::<u64>(),                   // bytes
+    )
+        .prop_map(
+            |(start, dur, src, dst, sp, dp, proto, flags, packets, bytes)| FlowRecord {
+                start_ms: start,
+                end_ms: start + dur,
+                src_ip: Ipv4Addr::from(src),
+                dst_ip: Ipv4Addr::from(dst),
+                src_port: sp,
+                dst_port: dp,
+                proto: Protocol(proto),
+                tcp_flags: TcpFlags(flags),
+                packets,
+                bytes,
+                tos: 0,
+                input_if: 1,
+                output_if: 2,
+                src_as: 65000,
+                dst_as: 65001,
+                pop: 0,
+            },
+        )
+}
+
+/// Record constrained to what NetFlow v5 can represent.
+fn arb_v5_record() -> impl Strategy<Value = FlowRecord> {
+    arb_record().prop_map(|mut r| {
+        r.packets = r.packets.min(u64::from(u32::MAX));
+        r.bytes = r.bytes.min(u64::from(u32::MAX));
+        r
+    })
+}
+
+proptest! {
+    #[test]
+    fn v5_roundtrip(records in prop::collection::vec(arb_v5_record(), 0..30)) {
+        let base = ExportBase::epoch();
+        let bytes = v5::encode(&records, base, 1).unwrap();
+        let pkt = v5::decode(&bytes).unwrap();
+        prop_assert_eq!(pkt.records, records);
+    }
+
+    #[test]
+    fn v9_roundtrip(records in prop::collection::vec(arb_record(), 0..60), source_id in 0u32..18) {
+        let bytes = v9::encode(&records, ExportBase::epoch(), 0, source_id);
+        let mut cache = TemplateCache::new();
+        let got = v9::decode(&bytes, &mut cache).unwrap();
+        // v9 sets pop from source_id; normalize the expectation.
+        let want: Vec<FlowRecord> = records
+            .into_iter()
+            .map(|mut r| { r.pop = source_id as u16; r })
+            .collect();
+        prop_assert_eq!(got.records, want);
+    }
+
+    #[test]
+    fn disk_roundtrip(records in prop::collection::vec(arb_record(), 0..200), width in 1u64..10_000_000) {
+        let data = disk::encode(width, &records);
+        let (w, got) = disk::decode(&data).unwrap();
+        prop_assert_eq!(w, width);
+        prop_assert_eq!(got, records);
+    }
+
+    #[test]
+    fn disk_detects_any_single_bit_flip(
+        records in prop::collection::vec(arb_record(), 1..20),
+        flip_seed in any::<u64>(),
+    ) {
+        let data = disk::encode(1000, &records);
+        // Flip one bit somewhere after the magic.
+        let pos = 6 + (flip_seed as usize % (data.len() - 6));
+        let bit = 1u8 << (flip_seed % 8);
+        let mut bad = data.clone();
+        bad[pos] ^= bit;
+        prop_assert!(disk::decode(&bad).is_err(), "flip at byte {} undetected", pos);
+    }
+
+    #[test]
+    fn cidr_contains_matches_mask_arithmetic(addr in any::<u32>(), probe in any::<u32>(), prefix in 0u8..=32) {
+        let net = Ipv4Net::new(Ipv4Addr::from(addr), prefix);
+        let expect = if prefix == 0 {
+            true
+        } else {
+            (addr ^ probe) >> (32 - u32::from(prefix)) == 0
+        };
+        prop_assert_eq!(net.contains(Ipv4Addr::from(probe)), expect);
+    }
+
+    #[test]
+    fn systematic_sampling_keeps_exactly_total_over_rate(
+        packet_counts in prop::collection::vec(1u64..5_000, 1..50),
+        rate in 1u32..500,
+    ) {
+        let flows: Vec<FlowRecord> = packet_counts
+            .iter()
+            .map(|&p| FlowRecord::builder().volume(p, p * 100).build())
+            .collect();
+        let total: u64 = packet_counts.iter().sum();
+        let mut s = PacketSampler::new(rate, SamplingMode::Systematic, 0);
+        let kept: u64 = s.sample_all(&flows).iter().map(|f| f.packets).sum();
+        prop_assert_eq!(kept, total / u64::from(rate));
+    }
+
+    #[test]
+    fn random_sampling_never_inflates(
+        packets in 1u64..100_000,
+        rate in 1u32..1_000,
+        seed in any::<u64>(),
+    ) {
+        let f = FlowRecord::builder().volume(packets, packets * 64).build();
+        let mut s = PacketSampler::new(rate, SamplingMode::Random, seed);
+        if let Some(sampled) = s.sample(&f) {
+            prop_assert!(sampled.packets <= packets);
+            prop_assert!(sampled.bytes <= f.bytes);
+            prop_assert!(sampled.packets >= 1);
+        }
+    }
+}
+
+/// Strategy for filter predicates.
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    let dir = prop_oneof![Just(Dir::Src), Just(Dir::Dst), Just(Dir::Either)];
+    let op = prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+    ];
+    prop_oneof![
+        Just(Pred::Any),
+        (dir.clone(), any::<u32>()).prop_map(|(d, a)| Pred::Ip(d, Ipv4Addr::from(a))),
+        (dir.clone(), any::<u32>(), 0u8..=32)
+            .prop_map(|(d, a, p)| Pred::Net(d, Ipv4Net::new(Ipv4Addr::from(a), p))),
+        (dir.clone(), op.clone(), any::<u16>()).prop_map(|(d, o, p)| Pred::Port(d, o, p)),
+        (dir, op.clone(), any::<u32>()).prop_map(|(d, o, a)| Pred::As(d, o, a)),
+        any::<u8>().prop_map(|p| Pred::Proto(Protocol(p))),
+        (op.clone(), any::<u64>()).prop_map(|(o, n)| Pred::Packets(o, n)),
+        (op.clone(), any::<u64>()).prop_map(|(o, n)| Pred::Bytes(o, n)),
+        (op.clone(), any::<u64>()).prop_map(|(o, n)| Pred::Duration(o, n)),
+        (op.clone(), 0u64..1_000_000).prop_map(|(o, n)| Pred::Bpp(o, n)),
+        (op, 0u64..1_000_000).prop_map(|(o, n)| Pred::Pps(o, n)),
+        (0u8..64).prop_map(|f| Pred::Flags(TcpFlags(f))),
+        any::<u16>().prop_map(Pred::Pop),
+    ]
+}
+
+/// Recursive strategy for whole filter expressions.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    arb_pred().prop_map(Expr::Pred).prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| e.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.or(b)),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn filter_display_parse_fixpoint(expr in arb_expr()) {
+        let filter = Filter::from_expr(expr);
+        let printed = filter.to_string();
+        let reparsed = Filter::parse(&printed)
+            .unwrap_or_else(|e| panic!("printed form {printed:?} failed to parse: {e}"));
+        prop_assert_eq!(&filter, &reparsed, "printed: {}", printed);
+    }
+
+    #[test]
+    fn filter_eval_agrees_after_reprint(expr in arb_expr(), record in arb_record()) {
+        let filter = Filter::from_expr(expr);
+        let reparsed = Filter::parse(&filter.to_string()).unwrap();
+        prop_assert_eq!(filter.matches(&record), reparsed.matches(&record));
+    }
+
+    #[test]
+    fn de_morgan_not_and(expr_a in arb_expr(), expr_b in arb_expr(), record in arb_record()) {
+        let lhs = expr_a.clone().and(expr_b.clone()).not();
+        let rhs = expr_a.not().or(expr_b.not());
+        prop_assert_eq!(lhs.matches(&record), rhs.matches(&record));
+    }
+}

@@ -1,0 +1,530 @@
+//! Labeled anomaly injection.
+//!
+//! Each injector reproduces the flow-level structure of one anomaly class
+//! from the paper's corpus (GEANT NOC incidents and the SWITCH labeled
+//! traces): scans, distributed floods, point-to-point floods and alpha
+//! flows. Injected records are real [`FlowRecord`]s mixed into the benign
+//! background; ground truth is carried separately (see
+//! [`crate::truth`]), never encoded in the records themselves, so the
+//! extractor cannot cheat.
+
+use std::net::Ipv4Addr;
+
+use anomex_flow::feature::FeatureItem;
+use anomex_flow::record::{FlowRecord, Protocol, TcpFlags};
+use anomex_flow::sampling::Xoshiro256;
+use serde::{Deserialize, Serialize};
+
+/// Anomaly classes reproduced from the paper's evaluation corpus.
+///
+/// The paper names: port scans, network scans, DoS/DDoS (TCP and UDP
+/// based), point-to-point UDP floods ("involving a small number of flows
+/// but a large number of packets") and low-volume/stealthy events behind
+/// the 6% failure rate. Alpha flows model the benign-but-huge transfers
+/// that trip volume detectors (false-positive alarms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnomalyKind {
+    /// One source sweeping destination ports on one target.
+    PortScan,
+    /// One source probing one port across an address range.
+    NetworkScan,
+    /// Distributed TCP SYN flood against one `victim:port`.
+    SynFlood,
+    /// Distributed UDP flood against one `victim:port`.
+    UdpDdos,
+    /// Point-to-point UDP flood: very few flows, very many packets.
+    UdpFlood,
+    /// ICMP (ping) flood from one source.
+    IcmpFlood,
+    /// High-volume benign transfer (false-positive alarm bait).
+    AlphaFlow,
+    /// Scan slowed below the miner's meaningful-support floor.
+    StealthyScan,
+}
+
+impl AnomalyKind {
+    /// Human-readable label used in reports and ground truth.
+    pub fn label(self) -> &'static str {
+        match self {
+            AnomalyKind::PortScan => "port scan",
+            AnomalyKind::NetworkScan => "network scan",
+            AnomalyKind::SynFlood => "TCP SYN DDoS",
+            AnomalyKind::UdpDdos => "UDP DDoS",
+            AnomalyKind::UdpFlood => "point-to-point UDP flood",
+            AnomalyKind::IcmpFlood => "ICMP flood",
+            AnomalyKind::AlphaFlow => "alpha flow",
+            AnomalyKind::StealthyScan => "stealthy scan",
+        }
+    }
+
+    /// True for the classes a security engineer would act on (everything
+    /// except the benign alpha flow).
+    pub fn is_malicious(self) -> bool {
+        !matches!(self, AnomalyKind::AlphaFlow)
+    }
+}
+
+impl std::fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A fully parameterized anomaly to inject.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnomalySpec {
+    /// Which class.
+    pub kind: AnomalyKind,
+    /// Attacking host (for distributed floods: ignored per-flow, sources
+    /// are drawn from a spoofed pool around it).
+    pub attacker: Ipv4Addr,
+    /// Victim host (for network scans: base of the swept range).
+    pub victim: Ipv4Addr,
+    /// Fixed source port, if the tool binds one (0 = ephemeral per flow).
+    /// Table 1's scanner used 55548; its DDoS waves used 3072 and 1024.
+    pub src_port: u16,
+    /// Destination port (scanned port, flooded service); for port scans
+    /// this is the *starting* port of the sweep.
+    pub dst_port: u16,
+    /// Number of flows to emit.
+    pub flows: usize,
+    /// Total packets across all flows (split per-flow by the injector).
+    pub packets: u64,
+    /// Injection window start, epoch ms.
+    pub start_ms: u64,
+    /// Injection window length, ms.
+    pub duration_ms: u64,
+    /// Exporter PoP stamped on the records.
+    pub pop: u16,
+}
+
+impl AnomalySpec {
+    /// A canonical spec for `kind`, sized like the paper's incidents.
+    /// Callers override fields for specific scenarios.
+    pub fn template(kind: AnomalyKind, attacker: Ipv4Addr, victim: Ipv4Addr) -> AnomalySpec {
+        let (src_port, dst_port, flows, packets) = match kind {
+            AnomalyKind::PortScan => (55_548, 1, 40_000, 60_000),
+            AnomalyKind::NetworkScan => (0, 445, 30_000, 45_000),
+            AnomalyKind::SynFlood => (3_072, 80, 25_000, 60_000),
+            AnomalyKind::UdpDdos => (0, 53, 20_000, 80_000),
+            AnomalyKind::UdpFlood => (4_500, 5_060, 3, 900_000),
+            AnomalyKind::IcmpFlood => (0, 0, 1_500, 300_000),
+            AnomalyKind::AlphaFlow => (33_000, 873, 2, 500_000),
+            AnomalyKind::StealthyScan => (61_000, 1, 60, 90),
+        };
+        AnomalySpec {
+            kind,
+            attacker,
+            victim,
+            src_port,
+            dst_port,
+            flows,
+            packets,
+            start_ms: 0,
+            duration_ms: 5 * 60 * 1000,
+            pop: 0,
+        }
+    }
+
+    /// End of the injection window, epoch ms.
+    pub fn end_ms(&self) -> u64 {
+        self.start_ms + self.duration_ms
+    }
+
+    /// The feature items that characterize this anomaly — the itemset an
+    /// ideal extractor would report. Wildcarded dimensions are absent.
+    ///
+    /// For [`AnomalyKind::AlphaFlow`] the signature describes the forward
+    /// (data) direction; the mirrored ACK flow is part of the anomaly's
+    /// footprint but not of its reported itemset.
+    pub fn signature(&self) -> Vec<FeatureItem> {
+        let mut items = Vec::new();
+        match self.kind {
+            AnomalyKind::PortScan | AnomalyKind::StealthyScan => {
+                // Sweeps dstPort; srcIP/dstIP fixed, srcPort fixed if bound.
+                items.push(FeatureItem::src_ip(self.attacker));
+                items.push(FeatureItem::dst_ip(self.victim));
+                if self.src_port != 0 {
+                    items.push(FeatureItem::src_port(self.src_port));
+                }
+            }
+            AnomalyKind::NetworkScan => {
+                // Sweeps dstIP; srcIP and probed port fixed.
+                items.push(FeatureItem::src_ip(self.attacker));
+                items.push(FeatureItem::dst_port(self.dst_port));
+            }
+            AnomalyKind::SynFlood | AnomalyKind::UdpDdos => {
+                // Spoofed/distributed srcIP; victim and service fixed,
+                // plus the tool's source port when it binds one.
+                items.push(FeatureItem::dst_ip(self.victim));
+                items.push(FeatureItem::dst_port(self.dst_port));
+                if self.src_port != 0 {
+                    items.push(FeatureItem::src_port(self.src_port));
+                }
+            }
+            AnomalyKind::UdpFlood | AnomalyKind::AlphaFlow => {
+                items.push(FeatureItem::src_ip(self.attacker));
+                items.push(FeatureItem::dst_ip(self.victim));
+                if self.src_port != 0 {
+                    items.push(FeatureItem::src_port(self.src_port));
+                }
+                items.push(FeatureItem::dst_port(self.dst_port));
+            }
+            AnomalyKind::IcmpFlood => {
+                items.push(FeatureItem::src_ip(self.attacker));
+                items.push(FeatureItem::dst_ip(self.victim));
+            }
+        }
+        items
+    }
+
+    /// Inject the anomaly: emit its flow records.
+    pub fn inject(&self, rng: &mut Xoshiro256) -> Vec<FlowRecord> {
+        assert!(self.duration_ms > 0, "anomaly window must be non-empty");
+        match self.kind {
+            AnomalyKind::PortScan | AnomalyKind::StealthyScan => self.inject_port_scan(rng),
+            AnomalyKind::NetworkScan => self.inject_network_scan(rng),
+            AnomalyKind::SynFlood => self.inject_syn_flood(rng),
+            AnomalyKind::UdpDdos => self.inject_udp_ddos(rng),
+            AnomalyKind::UdpFlood => self.inject_udp_flood(rng),
+            AnomalyKind::IcmpFlood => self.inject_icmp_flood(rng),
+            AnomalyKind::AlphaFlow => self.inject_alpha_flow(rng),
+        }
+    }
+
+    fn stamp(&self, rng: &mut Xoshiro256) -> (u64, u64) {
+        let start = self.start_ms + rng.next_below(self.duration_ms);
+        let dur = rng.next_below(1_000);
+        (start, (start + dur).min(self.end_ms()))
+    }
+
+    fn inject_port_scan(&self, rng: &mut Xoshiro256) -> Vec<FlowRecord> {
+        let mut out = Vec::with_capacity(self.flows);
+        for i in 0..self.flows {
+            let (start, end) = self.stamp(rng);
+            // Sweep the port space cyclically from the starting port.
+            let port = ((self.dst_port as usize + i) % 65_535 + 1) as u16;
+            let sport = if self.src_port != 0 { self.src_port } else { ephemeral(rng) };
+            out.push(
+                FlowRecord::builder()
+                    .time(start, end)
+                    .src(self.attacker, sport)
+                    .dst(self.victim, port)
+                    .proto(Protocol::TCP)
+                    .tcp_flags(TcpFlags::SYN)
+                    .volume(1 + rng.next_below(2), 44)
+                    .pop(self.pop)
+                    .build(),
+            );
+        }
+        out
+    }
+
+    fn inject_network_scan(&self, rng: &mut Xoshiro256) -> Vec<FlowRecord> {
+        let base = u32::from(self.victim);
+        let mut out = Vec::with_capacity(self.flows);
+        for i in 0..self.flows {
+            let (start, end) = self.stamp(rng);
+            // Walk a /16 around the victim base address.
+            let target = Ipv4Addr::from((base & 0xFFFF_0000) | (i as u32 & 0xFFFF));
+            out.push(
+                FlowRecord::builder()
+                    .time(start, end)
+                    .src(self.attacker, ephemeral(rng))
+                    .dst(target, self.dst_port)
+                    .proto(Protocol::TCP)
+                    .tcp_flags(TcpFlags::SYN)
+                    .volume(1, 40)
+                    .pop(self.pop)
+                    .build(),
+            );
+        }
+        out
+    }
+
+    fn inject_syn_flood(&self, rng: &mut Xoshiro256) -> Vec<FlowRecord> {
+        let mut out = Vec::with_capacity(self.flows);
+        for _ in 0..self.flows {
+            let (start, end) = self.stamp(rng);
+            let source = spoofed_source(self.attacker, rng);
+            let sport = if self.src_port != 0 { self.src_port } else { ephemeral(rng) };
+            let packets = 1 + rng.next_below(3);
+            out.push(
+                FlowRecord::builder()
+                    .time(start, end)
+                    .src(source, sport)
+                    .dst(self.victim, self.dst_port)
+                    .proto(Protocol::TCP)
+                    .tcp_flags(TcpFlags::SYN)
+                    .volume(packets, packets * 40)
+                    .pop(self.pop)
+                    .build(),
+            );
+        }
+        out
+    }
+
+    fn inject_udp_ddos(&self, rng: &mut Xoshiro256) -> Vec<FlowRecord> {
+        let per_flow = (self.packets / self.flows.max(1) as u64).max(1);
+        let mut out = Vec::with_capacity(self.flows);
+        for _ in 0..self.flows {
+            let (start, end) = self.stamp(rng);
+            let source = spoofed_source(self.attacker, rng);
+            let sport = if self.src_port != 0 { self.src_port } else { ephemeral(rng) };
+            let packets = per_flow + rng.next_below(per_flow.max(2));
+            out.push(
+                FlowRecord::builder()
+                    .time(start, end)
+                    .src(source, sport)
+                    .dst(self.victim, self.dst_port)
+                    .proto(Protocol::UDP)
+                    .volume(packets, packets * 512)
+                    .pop(self.pop)
+                    .build(),
+            );
+        }
+        out
+    }
+
+    fn inject_udp_flood(&self, rng: &mut Xoshiro256) -> Vec<FlowRecord> {
+        // The GEANT signature case: a handful of flows (often one per
+        // 5-minute export) carrying an enormous packet count.
+        let per_flow = (self.packets / self.flows.max(1) as u64).max(1);
+        let mut out = Vec::with_capacity(self.flows);
+        for _ in 0..self.flows.max(1) {
+            let start = self.start_ms + rng.next_below(self.duration_ms / 2 + 1);
+            let end = self.end_ms().min(start + self.duration_ms / 2);
+            out.push(
+                FlowRecord::builder()
+                    .time(start, end)
+                    .src(self.attacker, self.src_port)
+                    .dst(self.victim, self.dst_port)
+                    .proto(Protocol::UDP)
+                    .volume(per_flow, per_flow * 1_200)
+                    .pop(self.pop)
+                    .build(),
+            );
+        }
+        out
+    }
+
+    fn inject_icmp_flood(&self, rng: &mut Xoshiro256) -> Vec<FlowRecord> {
+        let per_flow = (self.packets / self.flows.max(1) as u64).max(1);
+        let mut out = Vec::with_capacity(self.flows);
+        for _ in 0..self.flows {
+            let (start, end) = self.stamp(rng);
+            out.push(
+                FlowRecord::builder()
+                    .time(start, end)
+                    .src(self.attacker, 0)
+                    .dst(self.victim, 0)
+                    .proto(Protocol::ICMP)
+                    .volume(per_flow, per_flow * 84)
+                    .pop(self.pop)
+                    .build(),
+            );
+        }
+        out
+    }
+
+    fn inject_alpha_flow(&self, rng: &mut Xoshiro256) -> Vec<FlowRecord> {
+        // A large benign transfer: forward data flow plus ACK return flow.
+        let data_packets = self.packets.max(1);
+        let start = self.start_ms + rng.next_below(self.duration_ms / 4 + 1);
+        let end = self.end_ms();
+        let forward = FlowRecord::builder()
+            .time(start, end)
+            .src(self.attacker, self.src_port)
+            .dst(self.victim, self.dst_port)
+            .proto(Protocol::TCP)
+            .tcp_flags(TcpFlags::COMPLETE)
+            .volume(data_packets, data_packets * 1_400)
+            .pop(self.pop)
+            .build();
+        let acks = (data_packets / 2).max(1);
+        let back = FlowRecord::builder()
+            .time(start, end)
+            .src(self.victim, self.dst_port)
+            .dst(self.attacker, self.src_port)
+            .proto(Protocol::TCP)
+            .tcp_flags(TcpFlags::COMPLETE)
+            .volume(acks, acks * 52)
+            .pop(self.pop)
+            .build();
+        vec![forward, back]
+    }
+}
+
+/// Spoofed source addresses for distributed floods: a /12 around the
+/// nominal attacker, so sources share no single IP but the victim-side
+/// items stay fixed — exactly the structure behind Table 1's
+/// `(*, dstIP, srcPort, dstPort)` DDoS itemsets.
+fn spoofed_source(base: Ipv4Addr, rng: &mut Xoshiro256) -> Ipv4Addr {
+    let prefix = u32::from(base) & 0xFFF0_0000;
+    Ipv4Addr::from(prefix | (rng.next_below(1 << 20) as u32))
+}
+
+fn ephemeral(rng: &mut Xoshiro256) -> u16 {
+    1024 + rng.next_below(64_512) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn spec(kind: AnomalyKind) -> AnomalySpec {
+        AnomalySpec::template(kind, ip("10.9.1.1"), ip("172.16.3.7"))
+    }
+
+    #[test]
+    fn port_scan_sweeps_ports_from_fixed_source() {
+        let mut s = spec(AnomalyKind::PortScan);
+        s.flows = 5_000;
+        let flows = s.inject(&mut Xoshiro256::seeded(1));
+        assert_eq!(flows.len(), 5_000);
+        let ports: HashSet<u16> = flows.iter().map(|f| f.dst_port).collect();
+        assert!(ports.len() > 4_000, "not sweeping: {} ports", ports.len());
+        assert!(flows.iter().all(|f| f.src_ip == s.attacker && f.dst_ip == s.victim));
+        assert!(flows.iter().all(|f| f.src_port == 55_548));
+        assert!(flows.iter().all(|f| f.tcp_flags.is_syn_only()));
+    }
+
+    #[test]
+    fn port_scan_never_emits_port_zero() {
+        let mut s = spec(AnomalyKind::PortScan);
+        s.flows = 70_000; // wraps the port space
+        let flows = s.inject(&mut Xoshiro256::seeded(2));
+        assert!(flows.iter().all(|f| f.dst_port != 0));
+    }
+
+    #[test]
+    fn network_scan_sweeps_hosts_on_one_port() {
+        let mut s = spec(AnomalyKind::NetworkScan);
+        s.flows = 3_000;
+        let flows = s.inject(&mut Xoshiro256::seeded(1));
+        let hosts: HashSet<Ipv4Addr> = flows.iter().map(|f| f.dst_ip).collect();
+        assert!(hosts.len() == 3_000, "swept {} hosts", hosts.len());
+        assert!(flows.iter().all(|f| f.dst_port == 445 && f.src_ip == s.attacker));
+    }
+
+    #[test]
+    fn syn_flood_spreads_sources_hits_one_service() {
+        let mut s = spec(AnomalyKind::SynFlood);
+        s.flows = 4_000;
+        let flows = s.inject(&mut Xoshiro256::seeded(1));
+        let sources: HashSet<Ipv4Addr> = flows.iter().map(|f| f.src_ip).collect();
+        assert!(sources.len() > 3_000, "sources not distributed: {}", sources.len());
+        assert!(flows.iter().all(|f| f.dst_ip == s.victim && f.dst_port == 80));
+        assert!(flows.iter().all(|f| f.src_port == 3_072));
+        assert!(flows.iter().all(|f| f.tcp_flags.is_syn_only()));
+    }
+
+    #[test]
+    fn udp_flood_few_flows_many_packets() {
+        let s = spec(AnomalyKind::UdpFlood);
+        let flows = s.inject(&mut Xoshiro256::seeded(1));
+        assert!(flows.len() <= 3);
+        let packets: u64 = flows.iter().map(|f| f.packets).sum();
+        assert!(packets >= 800_000, "flood too small: {packets} packets");
+        assert!(flows.iter().all(|f| f.proto == Protocol::UDP));
+    }
+
+    #[test]
+    fn stealthy_scan_is_tiny() {
+        let s = spec(AnomalyKind::StealthyScan);
+        let flows = s.inject(&mut Xoshiro256::seeded(1));
+        assert!(flows.len() <= 60);
+        assert!(flows.iter().map(|f| f.packets).sum::<u64>() < 200);
+    }
+
+    #[test]
+    fn alpha_flow_is_two_sided_and_huge() {
+        let s = spec(AnomalyKind::AlphaFlow);
+        let flows = s.inject(&mut Xoshiro256::seeded(1));
+        assert_eq!(flows.len(), 2);
+        assert!(flows[0].bytes > 100_000_000, "not alpha-sized: {}", flows[0].bytes);
+        assert_eq!(flows[0].src_ip, flows[1].dst_ip);
+    }
+
+    #[test]
+    fn icmp_flood_uses_protocol_one_port_zero() {
+        let s = spec(AnomalyKind::IcmpFlood);
+        let flows = s.inject(&mut Xoshiro256::seeded(1));
+        assert!(flows.iter().all(|f| f.proto == Protocol::ICMP));
+        assert!(flows.iter().all(|f| f.src_port == 0 && f.dst_port == 0));
+    }
+
+    #[test]
+    fn all_flows_respect_window() {
+        for kind in [
+            AnomalyKind::PortScan,
+            AnomalyKind::NetworkScan,
+            AnomalyKind::SynFlood,
+            AnomalyKind::UdpDdos,
+            AnomalyKind::UdpFlood,
+            AnomalyKind::IcmpFlood,
+            AnomalyKind::AlphaFlow,
+            AnomalyKind::StealthyScan,
+        ] {
+            let mut s = spec(kind);
+            s.start_ms = 60_000;
+            s.duration_ms = 120_000;
+            s.flows = s.flows.min(500);
+            for f in s.inject(&mut Xoshiro256::seeded(9)) {
+                assert!(f.start_ms >= 60_000 && f.start_ms < 180_000, "{kind}: start {}", f.start_ms);
+                assert!(f.end_ms <= 180_000, "{kind}: end {}", f.end_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn signatures_match_injected_flows() {
+        for kind in [
+            AnomalyKind::PortScan,
+            AnomalyKind::NetworkScan,
+            AnomalyKind::SynFlood,
+            AnomalyKind::UdpDdos,
+            AnomalyKind::UdpFlood,
+            AnomalyKind::IcmpFlood,
+            AnomalyKind::AlphaFlow,
+        ] {
+            let mut s = spec(kind);
+            s.flows = s.flows.min(200);
+            let sig = s.signature();
+            assert!(!sig.is_empty(), "{kind}: empty signature");
+            for f in s.inject(&mut Xoshiro256::seeded(4)) {
+                // Alpha flows carry a mirrored ACK flow; the signature
+                // describes the forward (data) direction only.
+                if kind == AnomalyKind::AlphaFlow && f.src_ip != s.attacker {
+                    continue;
+                }
+                for item in &sig {
+                    assert!(item.matches(&f), "{kind}: {item} missing from {f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spoofed_sources_share_prefix_not_address() {
+        let mut rng = Xoshiro256::seeded(5);
+        let base = ip("100.64.0.1");
+        let set: HashSet<Ipv4Addr> = (0..1000).map(|_| spoofed_source(base, &mut rng)).collect();
+        assert!(set.len() > 900);
+        for a in set {
+            assert_eq!(u32::from(a) & 0xFFF0_0000, u32::from(base) & 0xFFF0_0000);
+        }
+    }
+
+    #[test]
+    fn kind_labels_and_malice() {
+        assert_eq!(AnomalyKind::UdpFlood.to_string(), "point-to-point UDP flood");
+        assert!(AnomalyKind::SynFlood.is_malicious());
+        assert!(!AnomalyKind::AlphaFlow.is_malicious());
+    }
+}

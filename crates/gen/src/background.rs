@@ -1,0 +1,287 @@
+//! Benign backbone traffic.
+//!
+//! The extractor's job is to find anomalous structure *inside* realistic
+//! noise, so the background model matters more than raw volume. It
+//! reproduces the joint-frequency properties frequent itemset mining is
+//! sensitive to:
+//!
+//! - **Skewed host popularity** — Zipf-distributed clients and servers per
+//!   PoP, so popular hosts form legitimate high-support 1-itemsets (the
+//!   false-positive trap the paper's meta-data pre-filtering addresses).
+//! - **Concentrated service ports** — a realistic port mix dominated by
+//!   web/DNS, so `dstPort=80` alone is frequent but full anomalous
+//!   combinations (`srcIP, dstIP, dstPort`) are not.
+//! - **Heavy-tailed volumes** — Pareto packet counts, per-service packet
+//!   sizes, so packet-support and flow-support rankings genuinely differ.
+//! - **Request/reply structure** — a fraction of flows is mirrored, as in
+//!   real unidirectional NetFlow from a backbone.
+
+use anomex_flow::record::{FlowRecord, Protocol, TcpFlags};
+use anomex_flow::sampling::Xoshiro256;
+use serde::{Deserialize, Serialize};
+
+use crate::dist::{Exponential, Pareto, WeightedIndex, Zipf};
+use crate::topology::Topology;
+
+/// One entry of the service mix: a well-known destination port with its
+/// traffic share and volume profile.
+#[derive(Debug, Clone, Copy)]
+struct Service {
+    port: u16,
+    proto: Protocol,
+    weight: f64,
+    /// Mean payload bytes per packet (packet sizes are jittered around it).
+    bpp: u64,
+    /// Probability that the flow gets a mirrored reply flow.
+    reply_prob: f64,
+}
+
+/// The default service mix. Shares follow the usual backbone breakdown:
+/// web dominates flows, DNS dominates flow *count* per byte, mail/ssh/ntp
+/// trail, and a high-port TCP bucket stands in for P2P.
+const SERVICES: [Service; 10] = [
+    Service { port: 80, proto: Protocol::TCP, weight: 33.0, bpp: 900, reply_prob: 0.55 },
+    Service { port: 443, proto: Protocol::TCP, weight: 24.0, bpp: 850, reply_prob: 0.55 },
+    Service { port: 53, proto: Protocol::UDP, weight: 16.0, bpp: 120, reply_prob: 0.80 },
+    Service { port: 25, proto: Protocol::TCP, weight: 5.0, bpp: 600, reply_prob: 0.50 },
+    Service { port: 22, proto: Protocol::TCP, weight: 3.0, bpp: 250, reply_prob: 0.45 },
+    Service { port: 993, proto: Protocol::TCP, weight: 2.5, bpp: 400, reply_prob: 0.45 },
+    Service { port: 123, proto: Protocol::UDP, weight: 2.5, bpp: 76, reply_prob: 0.70 },
+    Service { port: 3389, proto: Protocol::TCP, weight: 1.5, bpp: 300, reply_prob: 0.40 },
+    // High-port bucket: the concrete port is randomized per flow.
+    Service { port: 0, proto: Protocol::TCP, weight: 9.0, bpp: 700, reply_prob: 0.35 },
+    Service { port: 0, proto: Protocol::UDP, weight: 3.5, bpp: 450, reply_prob: 0.30 },
+];
+
+/// Parameters of the background generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundConfig {
+    /// Window start, epoch milliseconds.
+    pub start_ms: u64,
+    /// Window length, milliseconds.
+    pub duration_ms: u64,
+    /// Number of *request* flows to emit (replies come on top, so the
+    /// total record count is roughly `1.5x` this).
+    pub flows: usize,
+    /// Client pool size per PoP (Zipf-ranked).
+    pub clients_per_pop: usize,
+    /// Server pool size per PoP (Zipf-ranked).
+    pub servers_per_pop: usize,
+    /// Zipf exponent for client popularity.
+    pub client_skew: f64,
+    /// Zipf exponent for server popularity.
+    pub server_skew: f64,
+}
+
+impl Default for BackgroundConfig {
+    fn default() -> Self {
+        BackgroundConfig {
+            start_ms: 0,
+            duration_ms: 5 * 60 * 1000, // one detector interval
+            flows: 20_000,
+            clients_per_pop: 4_000,
+            servers_per_pop: 300,
+            client_skew: 0.9,
+            server_skew: 1.1,
+        }
+    }
+}
+
+impl BackgroundConfig {
+    /// Window end, epoch milliseconds.
+    pub fn end_ms(&self) -> u64 {
+        self.start_ms + self.duration_ms
+    }
+}
+
+/// Generate benign traffic across `topology` for the configured window.
+///
+/// Deterministic in (`config`, `topology`, RNG seed). The records come out
+/// unsorted in time, exactly like NetFlow export batches.
+pub fn generate_background(
+    config: &BackgroundConfig,
+    topology: &Topology,
+    rng: &mut Xoshiro256,
+) -> Vec<FlowRecord> {
+    assert!(!topology.is_empty(), "background over an empty topology");
+    assert!(config.duration_ms > 0, "background window must be non-empty");
+
+    let pop_sampler = topology.sampler();
+    let service_mix = WeightedIndex::new(&SERVICES.map(|s| s.weight));
+    let client_rank = Zipf::new(config.clients_per_pop.max(1), config.client_skew);
+    let server_rank = Zipf::new(config.servers_per_pop.max(1), config.server_skew);
+    let packets_dist = Pareto::new(1.0, 1.25);
+    let duration_dist = Exponential::new(1.0 / 2_000.0); // mean 2 s
+
+    let mut out = Vec::with_capacity(config.flows + config.flows / 2);
+    for _ in 0..config.flows {
+        let src_pop = &topology.pops[pop_sampler.sample(rng)];
+        let dst_pop = &topology.pops[pop_sampler.sample(rng)];
+        let service = &SERVICES[service_mix.sample(rng)];
+
+        let client = src_pop.client_addr(client_rank.sample(rng) as u32);
+        let server = dst_pop.server_addr(server_rank.sample(rng) as u32);
+        let sport = ephemeral_port(rng);
+        let dport = if service.port != 0 { service.port } else { ephemeral_port(rng) };
+
+        let packets = packets_dist.sample_clamped(rng, 1, 50_000);
+        let bytes = jittered_bytes(packets, service.bpp, rng);
+        let start = config.start_ms + rng.next_below(config.duration_ms);
+        let dur = (duration_dist.sample(rng) as u64).min(config.end_ms() - start);
+
+        let flags = if service.proto == Protocol::TCP {
+            // A small share of benign TCP flows are unanswered SYNs
+            // (timeouts, rate-limited servers) — keeps SYN-only from being
+            // an anomaly signature by itself.
+            if rng.next_f64() < 0.03 {
+                TcpFlags::SYN
+            } else {
+                TcpFlags::COMPLETE
+            }
+        } else {
+            TcpFlags::NONE
+        };
+
+        let request = FlowRecord::builder()
+            .time(start, start + dur)
+            .src(client, sport)
+            .dst(server, dport)
+            .proto(service.proto)
+            .tcp_flags(flags)
+            .volume(packets, bytes)
+            .pop(src_pop.id)
+            .build();
+
+        if rng.next_f64() < service.reply_prob {
+            let reply_packets = (packets as f64 * (0.6 + rng.next_f64())) as u64;
+            let reply_packets = reply_packets.max(1);
+            let reply = FlowRecord::builder()
+                .time(start, start + dur)
+                .src(server, dport)
+                .dst(client, sport)
+                .proto(service.proto)
+                .tcp_flags(flags)
+                .volume(reply_packets, jittered_bytes(reply_packets, service.bpp, rng))
+                .pop(dst_pop.id)
+                .build();
+            out.push(reply);
+        }
+        out.push(request);
+    }
+    out
+}
+
+/// Draw an ephemeral (client-side) port.
+fn ephemeral_port(rng: &mut Xoshiro256) -> u16 {
+    1024 + rng.next_below(64_512) as u16
+}
+
+/// Bytes for `packets` packets around a mean per-packet size, with
+/// +-35% multiplicative jitter and the 64-byte minimum frame floor.
+fn jittered_bytes(packets: u64, bpp: u64, rng: &mut Xoshiro256) -> u64 {
+    let jitter = 0.65 + 0.7 * rng.next_f64();
+    ((packets as f64) * (bpp as f64) * jitter).max(packets as f64 * 64.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn small() -> Vec<FlowRecord> {
+        let config = BackgroundConfig { flows: 5_000, ..BackgroundConfig::default() };
+        let mut rng = Xoshiro256::seeded(42);
+        generate_background(&config, &Topology::geant(), &mut rng)
+    }
+
+    #[test]
+    fn emits_requests_plus_replies() {
+        let flows = small();
+        assert!(flows.len() >= 5_000, "lost requests: {}", flows.len());
+        assert!(flows.len() <= 5_000 * 2, "too many replies: {}", flows.len());
+    }
+
+    #[test]
+    fn flows_stay_inside_window() {
+        let config = BackgroundConfig { start_ms: 10_000, duration_ms: 60_000, flows: 2_000, ..BackgroundConfig::default() };
+        let mut rng = Xoshiro256::seeded(1);
+        for f in generate_background(&config, &Topology::geant(), &mut rng) {
+            assert!(f.start_ms >= 10_000 && f.start_ms < 70_000, "start {}", f.start_ms);
+            assert!(f.end_ms <= 70_000, "end {}", f.end_ms);
+            assert!(f.end_ms >= f.start_ms);
+        }
+    }
+
+    #[test]
+    fn port_mix_dominated_by_web_and_dns() {
+        let flows = small();
+        let mut by_port: HashMap<u16, usize> = HashMap::new();
+        for f in &flows {
+            *by_port.entry(f.dst_port).or_default() += 1;
+        }
+        let web = by_port.get(&80).copied().unwrap_or(0);
+        let dns = by_port.get(&53).copied().unwrap_or(0);
+        assert!(web > flows.len() / 20, "port 80 share too small: {web}");
+        assert!(dns > flows.len() / 40, "port 53 share too small: {dns}");
+    }
+
+    #[test]
+    fn host_popularity_is_skewed() {
+        let flows = small();
+        let mut by_dst: HashMap<std::net::Ipv4Addr, usize> = HashMap::new();
+        for f in &flows {
+            *by_dst.entry(f.dst_ip).or_default() += 1;
+        }
+        let mut counts: Vec<usize> = by_dst.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        // The busiest destination should dwarf the median one.
+        let top = counts[0];
+        let median = counts[counts.len() / 2];
+        assert!(top >= median * 5, "top {top} median {median}");
+    }
+
+    #[test]
+    fn volumes_are_positive_and_heavy_tailed() {
+        let flows = small();
+        assert!(flows.iter().all(|f| f.packets >= 1 && f.bytes >= 64));
+        let max = flows.iter().map(|f| f.packets).max().unwrap();
+        let mean = flows.iter().map(|f| f.packets).sum::<u64>() / flows.len() as u64;
+        assert!(max > mean * 20, "no elephants: max {max} mean {mean}");
+    }
+
+    #[test]
+    fn udp_flows_carry_no_tcp_flags() {
+        for f in small() {
+            if f.proto == Protocol::UDP {
+                assert_eq!(f.tcp_flags, TcpFlags::NONE);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = BackgroundConfig { flows: 1_000, ..BackgroundConfig::default() };
+        let t = Topology::switch();
+        let mut r1 = Xoshiro256::seeded(7);
+        let mut r2 = Xoshiro256::seeded(7);
+        assert_eq!(
+            generate_background(&config, &t, &mut r1),
+            generate_background(&config, &t, &mut r2)
+        );
+        let mut r3 = Xoshiro256::seeded(8);
+        assert_ne!(
+            generate_background(&config, &t, &mut r2),
+            generate_background(&config, &t, &mut r3)
+        );
+    }
+
+    #[test]
+    fn pop_ids_come_from_topology() {
+        let t = Topology::switch();
+        let config = BackgroundConfig { flows: 500, ..BackgroundConfig::default() };
+        let mut rng = Xoshiro256::seeded(3);
+        for f in generate_background(&config, &t, &mut rng) {
+            assert!(t.pop(f.pop).is_some(), "unknown pop {}", f.pop);
+        }
+    }
+}

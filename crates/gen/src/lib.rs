@@ -1,0 +1,62 @@
+//! # anomex-gen
+//!
+//! Seeded synthetic backbone traffic with labeled anomaly injection — the
+//! stand-in for the proprietary GEANT and SWITCH NetFlow traces of the
+//! paper's evaluation (see DESIGN.md §2 for the substitution argument).
+//!
+//! - [`dist`] — hand-rolled Zipf / Pareto / log-normal / Poisson /
+//!   exponential samplers on the workspace PRNG.
+//! - [`topology`] — the 18-PoP GEANT-like and 4-PoP SWITCH-like backbones.
+//! - [`background`] — benign traffic with realistic joint-frequency
+//!   structure (skewed hosts, concentrated ports, heavy-tailed volumes).
+//! - [`anomaly`] — injectors for every anomaly class in the paper's
+//!   corpus, each with an exact itemset signature.
+//! - [`truth`] — flow-exact ground truth (replaces manual NOC labeling).
+//! - [`scenario`] — background + anomalies + optional 1/N sampling,
+//!   built into a queryable store.
+//! - [`corpus`] — the SWITCH-31 and GEANT-40 campaigns and the Table 1
+//!   incident as pure functions of a seed.
+//!
+//! ## Example
+//!
+//! ```
+//! use anomex_gen::prelude::*;
+//!
+//! let mut spec = AnomalySpec::template(
+//!     AnomalyKind::PortScan,
+//!     "10.0.0.99".parse().unwrap(),
+//!     "172.16.1.7".parse().unwrap(),
+//! );
+//! spec.flows = 500;
+//! let mut scenario = Scenario::new("demo", 7, Backbone::Switch).with_anomaly(spec);
+//! scenario.background.flows = 1_000;
+//! let built = scenario.build();
+//! assert_eq!(built.truth.len(), 1);
+//! assert!(built.observed_flows() >= 1_500);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod anomaly;
+pub mod background;
+pub mod corpus;
+pub mod dist;
+pub mod scenario;
+pub mod topology;
+pub mod truth;
+
+/// One-stop imports for downstream crates.
+pub mod prelude {
+    pub use crate::anomaly::{AnomalyKind, AnomalySpec};
+    pub use crate::background::{generate_background, BackgroundConfig};
+    pub use crate::corpus::{
+        geant_corpus, switch_corpus, table1_scenario, CaseClass, CorpusConfig, GeantCase,
+    };
+    pub use crate::dist::{Exponential, LogNormal, Pareto, Poisson, WeightedIndex, Zipf};
+    pub use crate::scenario::{Backbone, BuiltScenario, Scenario};
+    pub use crate::topology::{Pop, PopSampler, Topology};
+    pub use crate::truth::{GroundTruth, LabeledAnomaly};
+}
+
+pub use prelude::*;

@@ -1,0 +1,230 @@
+//! Network topologies the paper's traces came from.
+//!
+//! Flows are generated per point-of-presence (PoP): the GEANT evaluation
+//! ran on "live and historical data from the 18 points-of-presence of the
+//! GEANT network"; the earlier IMC'09 evaluation used the medium-size
+//! SWITCH backbone. Each [`Pop`] owns a client prefix and a server prefix
+//! so that generated addresses are structured like a real backbone (hosts
+//! cluster per PoP) instead of being uniform noise.
+
+use std::net::Ipv4Addr;
+
+use anomex_flow::filter::Ipv4Net;
+use anomex_flow::sampling::Xoshiro256;
+use serde::{Deserialize, Serialize};
+
+use crate::dist::WeightedIndex;
+
+/// One point of presence: an ingress/egress site of the backbone.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pop {
+    /// Exporter id carried in [`anomex_flow::record::FlowRecord::pop`].
+    pub id: u16,
+    /// Human-readable site name.
+    pub name: &'static str,
+    /// Relative share of backbone traffic entering here.
+    pub weight: u32,
+    /// Address block of client-side hosts behind this PoP.
+    pub client_net: Ipv4Net,
+    /// Address block of server-side hosts behind this PoP.
+    pub server_net: Ipv4Net,
+}
+
+impl Pop {
+    /// Draw a random client address inside this PoP's client block.
+    pub fn client_addr(&self, index: u32) -> Ipv4Addr {
+        addr_in(self.client_net, index)
+    }
+
+    /// Draw a random server address inside this PoP's server block.
+    pub fn server_addr(&self, index: u32) -> Ipv4Addr {
+        addr_in(self.server_net, index)
+    }
+}
+
+/// Deterministically pick the `index`-th host inside `net`, skipping the
+/// network and broadcast addresses.
+fn addr_in(net: Ipv4Net, index: u32) -> Ipv4Addr {
+    let host_bits = 32 - net.prefix;
+    let size = if host_bits >= 32 { u32::MAX } else { (1u32 << host_bits) - 2 };
+    let base = u32::from(net.addr) & net.mask();
+    Ipv4Addr::from(base + 1 + (index % size.max(1)))
+}
+
+/// A backbone topology: a weighted set of PoPs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    /// Topology name (`"geant"` / `"switch"` / custom).
+    pub name: &'static str,
+    /// The sites.
+    pub pops: Vec<Pop>,
+}
+
+/// The 18 GEANT points of presence (site list as of the paper's 2009/2010
+/// measurement period). Weights approximate the relative traffic volumes
+/// of the larger western-European sites versus the smaller eastern ones.
+const GEANT_SITES: [(&str, u32); 18] = [
+    ("London", 14),
+    ("Amsterdam", 13),
+    ("Frankfurt", 13),
+    ("Paris", 11),
+    ("Geneva", 10),
+    ("Milan", 8),
+    ("Vienna", 7),
+    ("Madrid", 6),
+    ("Copenhagen", 5),
+    ("Stockholm", 5),
+    ("Prague", 4),
+    ("Budapest", 4),
+    ("Warsaw", 4),
+    ("Brussels", 3),
+    ("Lisbon", 3),
+    ("Athens", 3),
+    ("Zagreb", 2),
+    ("Bucharest", 2),
+];
+
+impl Topology {
+    /// The 18-PoP GEANT backbone of the paper's second evaluation.
+    ///
+    /// Client hosts live in `10.p.0.0/16` and servers in `172.16.p.0/24`
+    /// for PoP index `p` — private space so generated traces can never be
+    /// confused with real addresses (the paper itself anonymizes as
+    /// `X.191.64.165`).
+    pub fn geant() -> Topology {
+        let pops = GEANT_SITES
+            .iter()
+            .enumerate()
+            .map(|(i, &(name, weight))| Pop {
+                id: i as u16,
+                name,
+                weight,
+                client_net: Ipv4Net::new(Ipv4Addr::new(10, i as u8, 0, 0), 16),
+                server_net: Ipv4Net::new(Ipv4Addr::new(172, 16, i as u8, 0), 24),
+            })
+            .collect();
+        Topology { name: "geant", pops }
+    }
+
+    /// A SWITCH-like medium-size backbone: 4 sites, one dominant.
+    pub fn switch() -> Topology {
+        let sites: [(&str, u32); 4] =
+            [("Zurich", 10), ("Geneva", 6), ("Lausanne", 5), ("Basel", 3)];
+        let pops = sites
+            .iter()
+            .enumerate()
+            .map(|(i, &(name, weight))| Pop {
+                id: i as u16,
+                name,
+                weight,
+                client_net: Ipv4Net::new(Ipv4Addr::new(10, 100 + i as u8, 0, 0), 16),
+                server_net: Ipv4Net::new(Ipv4Addr::new(172, 20, i as u8, 0), 24),
+            })
+            .collect();
+        Topology { name: "switch", pops }
+    }
+
+    /// Number of PoPs.
+    pub fn len(&self) -> usize {
+        self.pops.len()
+    }
+
+    /// True when the topology has no PoPs.
+    pub fn is_empty(&self) -> bool {
+        self.pops.is_empty()
+    }
+
+    /// Weighted sampler over the PoPs.
+    pub fn sampler(&self) -> PopSampler {
+        let weights: Vec<f64> = self.pops.iter().map(|p| p.weight as f64).collect();
+        PopSampler { index: WeightedIndex::new(&weights) }
+    }
+
+    /// Look a PoP up by exporter id.
+    pub fn pop(&self, id: u16) -> Option<&Pop> {
+        self.pops.iter().find(|p| p.id == id)
+    }
+}
+
+/// Weighted PoP selection, split from [`Topology`] so the topology stays
+/// serializable and cheap to clone.
+#[derive(Debug, Clone)]
+pub struct PopSampler {
+    index: WeightedIndex,
+}
+
+impl PopSampler {
+    /// Draw a PoP index according to traffic weight.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        self.index.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geant_has_18_pops_with_unique_ids_and_nets() {
+        let t = Topology::geant();
+        assert_eq!(t.len(), 18);
+        let mut ids: Vec<u16> = t.pops.iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 18, "duplicate PoP ids");
+        let mut nets: Vec<String> = t.pops.iter().map(|p| p.client_net.to_string()).collect();
+        nets.sort();
+        nets.dedup();
+        assert_eq!(nets.len(), 18, "duplicate client nets");
+    }
+
+    #[test]
+    fn switch_is_smaller_than_geant() {
+        assert!(Topology::switch().len() < Topology::geant().len());
+    }
+
+    #[test]
+    fn client_addrs_stay_inside_block() {
+        let t = Topology::geant();
+        for pop in &t.pops {
+            for idx in [0u32, 1, 100, 65_533, u32::MAX] {
+                assert!(
+                    pop.client_net.contains(pop.client_addr(idx)),
+                    "pop {} idx {idx} escaped {}",
+                    pop.name,
+                    pop.client_net
+                );
+                assert!(pop.server_net.contains(pop.server_addr(idx)));
+            }
+        }
+    }
+
+    #[test]
+    fn addr_skips_network_address() {
+        let net = Ipv4Net::new(Ipv4Addr::new(10, 0, 0, 0), 24);
+        for idx in 0..300 {
+            let a = addr_in(net, idx);
+            assert_ne!(a, Ipv4Addr::new(10, 0, 0, 0), "network addr at idx {idx}");
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_heavy_pops() {
+        let t = Topology::geant();
+        let sampler = t.sampler();
+        let mut rng = Xoshiro256::seeded(99);
+        let mut counts = vec![0u32; t.len()];
+        for _ in 0..50_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        // London (weight 14) must be drawn more than Bucharest (weight 2).
+        assert!(counts[0] > counts[17] * 3);
+    }
+
+    #[test]
+    fn pop_lookup_by_id() {
+        let t = Topology::geant();
+        assert_eq!(t.pop(0).unwrap().name, "London");
+        assert!(t.pop(200).is_none());
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests for the traffic generator: distribution sanity,
+//! injector invariants and scenario determinism under arbitrary
+//! parameters.
+
+use anomex_flow::sampling::Xoshiro256;
+use anomex_gen::prelude::*;
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = AnomalyKind> {
+    prop_oneof![
+        Just(AnomalyKind::PortScan),
+        Just(AnomalyKind::NetworkScan),
+        Just(AnomalyKind::SynFlood),
+        Just(AnomalyKind::UdpDdos),
+        Just(AnomalyKind::UdpFlood),
+        Just(AnomalyKind::IcmpFlood),
+        Just(AnomalyKind::AlphaFlow),
+        Just(AnomalyKind::StealthyScan),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Zipf samples always land in the domain, for any size/exponent.
+    #[test]
+    fn zipf_in_domain(n in 1usize..2_000, s in 0.0f64..3.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, s);
+        let mut rng = Xoshiro256::seeded(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Pareto never emits below its scale parameter.
+    #[test]
+    fn pareto_floor(xm in 0.1f64..100.0, alpha in 0.2f64..5.0, seed in any::<u64>()) {
+        let p = Pareto::new(xm, alpha);
+        let mut rng = Xoshiro256::seeded(seed);
+        for _ in 0..200 {
+            prop_assert!(p.sample(&mut rng) >= xm);
+        }
+    }
+
+    /// Weighted choice never picks a zero-weight outcome.
+    #[test]
+    fn weighted_skips_zero(w0 in 0.1f64..10.0, w2 in 0.1f64..10.0, seed in any::<u64>()) {
+        let w = WeightedIndex::new(&[w0, 0.0, w2]);
+        let mut rng = Xoshiro256::seeded(seed);
+        for _ in 0..200 {
+            prop_assert_ne!(w.sample(&mut rng), 1);
+        }
+    }
+
+    /// Every injector respects its window and volume invariants, and its
+    /// signature matches every flow it emits.
+    #[test]
+    fn injectors_sound(
+        kind in arb_kind(),
+        flows in 2usize..300,
+        packets in 10u64..50_000,
+        start in 0u64..10_000_000,
+        dur in 1_000u64..600_000,
+        seed in any::<u64>(),
+    ) {
+        let mut spec = AnomalySpec::template(
+            kind,
+            "10.1.2.3".parse().unwrap(),
+            "172.16.4.5".parse().unwrap(),
+        );
+        spec.flows = flows;
+        spec.packets = packets;
+        spec.start_ms = start;
+        spec.duration_ms = dur;
+        let out = spec.inject(&mut Xoshiro256::seeded(seed));
+        prop_assert!(!out.is_empty());
+        let sig = spec.signature();
+        for f in &out {
+            prop_assert!(f.start_ms >= start && f.start_ms < start + dur);
+            prop_assert!(f.end_ms <= start + dur && f.end_ms >= f.start_ms);
+            prop_assert!(f.packets >= 1);
+            prop_assert!(f.bytes >= 1);
+            // Alpha flows: the mirrored ACK flow is labeled but the
+            // signature describes the forward direction only.
+            if kind == AnomalyKind::AlphaFlow && f.src_ip != spec.attacker {
+                continue;
+            }
+            for item in &sig {
+                prop_assert!(item.matches(f), "{item} vs {f}");
+            }
+        }
+    }
+
+    /// Building the same scenario twice yields identical wire traffic;
+    /// ground-truth labels always cover exactly the injected flows.
+    #[test]
+    fn scenario_deterministic_and_labeled(
+        seed in any::<u64>(),
+        bg in 100usize..800,
+        anom in 50usize..400,
+        sampling in prop_oneof![Just(1u32), Just(10u32), Just(100u32)],
+    ) {
+        let mut spec = AnomalySpec::template(
+            AnomalyKind::SynFlood,
+            "10.2.0.1".parse().unwrap(),
+            "172.16.1.1".parse().unwrap(),
+        );
+        spec.flows = anom;
+        let mut scenario = Scenario::new("p", seed, Backbone::Switch)
+            .with_anomaly(spec)
+            .with_sampling(sampling);
+        scenario.background.flows = bg;
+
+        let a = scenario.build();
+        let b = scenario.build();
+        prop_assert_eq!(&a.wire_flows, &b.wire_flows);
+        prop_assert_eq!(a.store.len(), b.store.len());
+        prop_assert_eq!(a.truth.anomalies[0].flows, anom);
+
+        // Sampling can only shrink the store.
+        prop_assert!(a.store.len() <= a.wire_flows.len());
+
+        // Every observed flow marked anomalous must exist in wire truth.
+        let label = &a.truth.anomalies[0];
+        for f in a.store.snapshot() {
+            if label.contains(&f) {
+                prop_assert!(label.keys.contains(&f.key()));
+            }
+        }
+    }
+
+    /// Background generation respects its window and emits ≥ requested flows.
+    #[test]
+    fn background_sound(
+        seed in any::<u64>(),
+        flows in 50usize..1_500,
+        start in 0u64..1_000_000,
+        dur in 10_000u64..900_000,
+    ) {
+        let config = BackgroundConfig { start_ms: start, duration_ms: dur, flows, ..BackgroundConfig::default() };
+        let mut rng = Xoshiro256::seeded(seed);
+        let out = generate_background(&config, &Topology::switch(), &mut rng);
+        prop_assert!(out.len() >= flows);
+        for f in &out {
+            prop_assert!(f.start_ms >= start && f.end_ms <= start + dur);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! The NOC workflow: detectors fill the alarm DB, the operator works the
+//! console — the paper's Figure 1 wearing a terminal instead of a GUI.
+//!
+//! ```text
+//! # scripted session (default):
+//! cargo run --release --example operator_console
+//! # interactive session:
+//! cargo run --release --example operator_console -- -i
+//! ```
+
+use std::io::{BufRead, Write};
+
+use anomex::prelude::*;
+
+fn main() {
+    // A trace with two incidents: a port scan (interval 9) and a SYN
+    // flood (interval 6), inside 12 one-minute intervals of backbone
+    // noise.
+    let width = 60_000u64;
+    let mut scenario = Scenario::new("noc", 0x0C0FFEE, Backbone::Switch);
+    scenario.background.duration_ms = 12 * width;
+    scenario.background.flows = 24_000;
+
+    let mut scan = AnomalySpec::template(
+        AnomalyKind::PortScan,
+        "10.103.0.66".parse().unwrap(),
+        "172.20.1.40".parse().unwrap(),
+    );
+    scan.flows = 8_000;
+    scan.start_ms = 9 * width;
+    scan.duration_ms = width;
+
+    let mut flood = AnomalySpec::template(
+        AnomalyKind::SynFlood,
+        "10.101.7.1".parse().unwrap(),
+        "172.20.2.9".parse().unwrap(),
+    );
+    flood.flows = 6_000;
+    flood.start_ms = 6 * width;
+    flood.duration_ms = width;
+
+    let built = scenario.with_anomaly(scan).with_anomaly(flood).build();
+    let flows = built.store.snapshot();
+    let span = TimeRange::new(0, 12 * width);
+
+    // Detectors feed the alarm database — the paper's integration point.
+    let mut db = AlarmDb::in_memory();
+    let mut kl = KlDetector::new(KlConfig { interval_ms: width, ..KlConfig::default() });
+    let kl_alarms = kl.detect(&flows, span);
+    let mut pca = PcaDetector::new(PcaConfig { interval_ms: width, ..PcaConfig::default() });
+    let pca_alarms = pca.detect(&flows, span);
+    println!(
+        "detectors raised {} (KL) + {} (entropy-PCA) alarms",
+        kl_alarms.len(),
+        pca_alarms.len()
+    );
+    db.add_all(kl_alarms);
+    db.add_all(pca_alarms);
+
+    let mut console = Console::new(built.store, db);
+    let interactive = std::env::args().any(|a| a == "-i" || a == "--interactive");
+    if interactive {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        console.run(stdin.lock(), stdout.lock()).expect("console I/O");
+    } else {
+        // The canned session an operator would type.
+        let script = "alarms\nalarm 0\nextract\nflows 0 5\nclassify 0\nfilter dst port 80 and flags S\nquit\n";
+        println!("--- scripted session ---");
+        run_scripted(&mut console, script);
+    }
+}
+
+fn run_scripted(console: &mut Console, script: &str) {
+    let mut out = Vec::new();
+    console
+        .run(std::io::Cursor::new(script.to_string()), &mut out)
+        .expect("console I/O");
+    std::io::stdout().write_all(&out).unwrap();
+    let _ = std::io::stdout().flush();
+    // Keep the compiler honest about the BufRead bound being exercised.
+    let _ = std::io::Cursor::new(Vec::<u8>::new()).lines();
+}

@@ -1,0 +1,67 @@
+//! The paper's Table 1 incident, end to end.
+//!
+//! ```text
+//! cargo run --release --example table1_portscan
+//! ```
+//!
+//! One victim, four overlapping anomalies: the detector flags only
+//! scanner A; extraction surfaces scanner B and two TCP-SYN DDoS waves
+//! the detector never reported — the "particularly interesting cases"
+//! (26% in the paper's demo corpus) where the miner finds flows the
+//! detector missed.
+
+use anomex::prelude::*;
+
+fn main() {
+    // Scaled to 10% of the paper's volumes so the example runs instantly;
+    // crates/bench/benches/table1.rs runs the full-scale version.
+    let config = CorpusConfig { scale: 0.1, seed: 0x5EED_2010 };
+    let scenario = table1_scenario(&config);
+    let built = scenario.build();
+    println!(
+        "GEANT-like trace: {} wire flows, 1/{} sampled -> {} observed",
+        built.wire_flows.len(),
+        scenario.sampling,
+        built.observed_flows()
+    );
+    for a in &built.truth.anomalies {
+        println!("  injected: {}", a.describe());
+    }
+
+    // NetReflex-style meta-data: only scanner A (anomaly #0) is flagged.
+    let label = &built.truth.anomalies[0];
+    let alarm = Alarm::new(0, "netreflex", built.scenario.window())
+        .with_hints(vec![
+            FeatureItem::src_ip(label.spec.attacker),
+            FeatureItem::dst_ip(label.spec.victim),
+            FeatureItem::src_port(label.spec.src_port),
+        ])
+        .with_kind("port scan");
+    println!("\ndetector says: {}", alarm.describe());
+
+    let extraction = Extractor::new(ExtractorConfig::geant_paper()).extract(&built.store, &alarm);
+    println!(
+        "\nitemsets (supports x{} = wire-scale estimates):\n{}",
+        scenario.sampling,
+        render_table(&extraction, scenario.sampling as u64)
+    );
+
+    // How many injected anomalies did the itemsets reach?
+    let mut matched = 0;
+    for anomaly in &built.truth.anomalies {
+        let hit = extraction.itemsets.iter().any(|e| {
+            let covered = drill(&built.store, &alarm, e);
+            let of_this = covered.iter().filter(|f| anomaly.contains(f)).count();
+            covered.len() > 0 && of_this * 2 > covered.len()
+        });
+        println!(
+            "  anomaly #{} ({}) {}",
+            anomaly.id,
+            anomaly.kind,
+            if hit { "-> surfaced by extraction" } else { "-> MISSED" }
+        );
+        matched += hit as usize;
+    }
+    assert_eq!(matched, 4, "all four Table 1 anomalies should surface");
+    println!("\nall four anomalies surfaced from one alarm — Table 1 reproduced.");
+}

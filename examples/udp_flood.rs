@@ -1,0 +1,67 @@
+//! The packet-support extension on the anomaly that motivated it.
+//!
+//! ```text
+//! cargo run --release --example udp_flood
+//! ```
+//!
+//! "If an anomaly is not characterized by a significant volume of flows,
+//! Apriori cannot extract it. For instance, this occurs in the case of
+//! point to point UDP floods (involving a small number of flows but a
+//! large number of packets)" — so the paper extended Apriori to compute
+//! support in packets too. This example runs both configurations on the
+//! same flood and prints what each sees.
+
+use anomex::prelude::*;
+
+fn main() {
+    // 3 flows, ~900K packets, buried in 40K background flows.
+    let attacker: std::net::Ipv4Addr = "10.4.128.77".parse().unwrap();
+    let victim: std::net::Ipv4Addr = "172.16.9.40".parse().unwrap();
+    let mut spec = AnomalySpec::template(AnomalyKind::UdpFlood, attacker, victim);
+    spec.packets = 900_000;
+    let mut scenario = Scenario::new("udp-flood", 0xF100D, Backbone::Geant)
+        .with_anomaly(spec)
+        .with_sampling(100); // the GEANT regime
+    scenario.background.flows = 40_000;
+    let built = scenario.build();
+    let label = &built.truth.anomalies[0];
+    println!(
+        "injected: {} ({} wire flows, {} wire packets); observed {} flows total",
+        label.describe(),
+        label.flows,
+        label.packets,
+        built.observed_flows()
+    );
+
+    let alarm = Alarm::new(0, "netreflex", built.scenario.window())
+        .with_hints(vec![FeatureItem::src_ip(attacker), FeatureItem::dst_ip(victim)])
+        .with_kind("volume anomaly");
+
+    for (name, config) in [
+        ("flow support only (pre-extension Apriori)", ExtractorConfig::switch_paper()),
+        ("flow + packet support (this paper)", ExtractorConfig::geant_paper()),
+    ] {
+        println!("\n=== {name} ===");
+        let extraction = Extractor::new(config).extract(&built.store, &alarm);
+        if extraction.is_empty() {
+            println!("no itemsets above the meaningful-support floor");
+            continue;
+        }
+        println!("{}", render_table(&extraction, 1));
+        let found_flood = extraction
+            .itemsets
+            .iter()
+            .any(|e| e.items.contains(&FeatureItem::src_ip(attacker)) && e.items.len() >= 2);
+        println!(
+            "flood itemset present: {}",
+            if found_flood { "YES" } else { "no — invisible to this metric" }
+        );
+    }
+
+    println!(
+        "\nThe flood's flow support ({} observed flows) sits under any sane flow \
+         threshold, but its packet support dominates the interval — exactly why \
+         the paper mines both.",
+        built.observed_anomalous(0).len()
+    );
+}

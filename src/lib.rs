@@ -1,0 +1,65 @@
+//! # anomex — anomaly extraction via frequent itemset mining
+//!
+//! A full reproduction of *Automating Root-Cause Analysis of Network
+//! Anomalies using Frequent Itemset Mining* (Paredes-Oliva et al.,
+//! SIGCOMM 2010): given an alarm from any anomaly detector (a time
+//! interval plus feature meta-data), extract and summarize the traffic
+//! flows that caused the anomaly as a short list of high-support
+//! itemsets.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`flow`] | `anomex-flow` | flow records, NetFlow v5/v9 codecs, store, filters, sampling |
+//! | [`gen`] | `anomex-gen` | synthetic backbone traffic + labeled anomaly injection |
+//! | [`detect`] | `anomex-detect` | KL-histogram and entropy-PCA detectors, alarms |
+//! | [`fim`] | `anomex-fim` | Apriori / FP-Growth / Eclat, weighted support, top-k tuning |
+//! | [`core`] | `anomex-core` | the paper's extraction pipeline |
+//! | [`console`] | `anomex-console` | alarm DB + operator console |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use anomex::prelude::*;
+//!
+//! // 1. A trace with a port scan inside (normally: your NetFlow feed).
+//! let mut spec = AnomalySpec::template(
+//!     AnomalyKind::PortScan,
+//!     "10.0.0.99".parse().unwrap(),
+//!     "172.16.1.7".parse().unwrap(),
+//! );
+//! spec.flows = 2_000;
+//! let mut scenario = Scenario::new("quickstart", 7, Backbone::Switch).with_anomaly(spec);
+//! scenario.background.flows = 3_000;
+//! let built = scenario.build();
+//!
+//! // 2. An alarm (normally: from your detector / the alarm DB).
+//! let alarm = Alarm::new(0, "demo", built.scenario.window())
+//!     .with_hints(vec![FeatureItem::src_ip("10.0.0.99".parse().unwrap())]);
+//!
+//! // 3. Extract and report.
+//! let extraction = Extractor::with_defaults().extract(&built.store, &alarm);
+//! println!("{}", render_table(&extraction, 1));
+//! assert!(!extraction.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use anomex_console as console;
+pub use anomex_core as core;
+pub use anomex_detect as detect;
+pub use anomex_fim as fim;
+pub use anomex_flow as flow;
+pub use anomex_gen as gen;
+
+/// Everything a typical user needs, in one import.
+pub mod prelude {
+    pub use anomex_console::prelude::*;
+    pub use anomex_core::prelude::*;
+    pub use anomex_detect::prelude::*;
+    pub use anomex_fim::prelude::*;
+    pub use anomex_flow::prelude::*;
+    pub use anomex_gen::prelude::*;
+}

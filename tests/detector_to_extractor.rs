@@ -1,0 +1,122 @@
+//! Integration: real detector meta-data (not oracle alarms) driving
+//! extraction — the paper's actual operating mode, where "NetReflex …
+//! provides the initial meta-data that Apriori uses as input".
+
+use anomex::prelude::*;
+
+/// Twelve 1-minute intervals of background with one anomaly confined to
+/// a single interval.
+fn trace(kind: AnomalyKind, anomaly_flows: usize, seed: u64) -> (BuiltScenario, u64) {
+    let width = 60_000u64;
+    let mut scenario = Scenario::new("det2ex", seed, Backbone::Switch);
+    scenario.background.duration_ms = 12 * width;
+    scenario.background.flows = 18_000;
+    let mut spec = AnomalySpec::template(
+        kind,
+        "10.103.0.66".parse().unwrap(),
+        "172.20.1.40".parse().unwrap(),
+    );
+    spec.flows = anomaly_flows;
+    spec.start_ms = 8 * width;
+    spec.duration_ms = width;
+    (scenario.with_anomaly(spec).build(), width)
+}
+
+fn truth_set(truth: &GroundTruth) -> TruthSet {
+    TruthSet::new(
+        truth
+            .anomalies
+            .iter()
+            .map(|a| TruthEntry { id: a.id, keys: a.keys.clone(), malicious: a.kind.is_malicious() })
+            .collect(),
+    )
+}
+
+/// Run detector alarms through the extractor and validate.
+fn extract_from_detector_alarms(built: &BuiltScenario, alarms: &[Alarm]) -> bool {
+    let truth = truth_set(&built.truth);
+    let extractor = Extractor::with_defaults();
+    for alarm in alarms {
+        let extraction = extractor.extract(&built.store, alarm);
+        let observed = built.store.query(alarm.window, &Filter::any());
+        let verdict = validate(&extraction, &observed, &truth, &ValidationConfig::default());
+        if verdict.is_useful() {
+            return true;
+        }
+    }
+    false
+}
+
+#[test]
+fn kl_alarm_meta_data_suffices_for_extraction() {
+    let (built, width) = trace(AnomalyKind::PortScan, 6_000, 21);
+    let flows = built.store.snapshot();
+    let span = TimeRange::new(0, 12 * width);
+    let mut detector = KlDetector::new(KlConfig { interval_ms: width, ..KlConfig::default() });
+    let alarms = detector.detect(&flows, span);
+    assert!(!alarms.is_empty(), "KL missed the scan");
+    assert!(
+        extract_from_detector_alarms(&built, &alarms),
+        "extraction failed on KL meta-data: {:?}",
+        alarms.iter().map(|a| a.describe()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn pca_alarm_meta_data_suffices_for_extraction() {
+    let (built, width) = trace(AnomalyKind::PortScan, 6_000, 22);
+    let flows = built.store.snapshot();
+    let span = TimeRange::new(0, 12 * width);
+    let mut detector = PcaDetector::new(PcaConfig { interval_ms: width, ..PcaConfig::default() });
+    let alarms = detector.detect(&flows, span);
+    assert!(!alarms.is_empty(), "PCA missed the scan");
+    assert!(
+        extract_from_detector_alarms(&built, &alarms),
+        "extraction failed on PCA meta-data: {:?}",
+        alarms.iter().map(|a| a.describe()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn detector_alarm_windows_confine_candidates() {
+    let (built, width) = trace(AnomalyKind::SynFlood, 5_000, 23);
+    let flows = built.store.snapshot();
+    let span = TimeRange::new(0, 12 * width);
+    let mut detector = KlDetector::new(KlConfig { interval_ms: width, ..KlConfig::default() });
+    let alarms = detector.detect(&flows, span);
+    for alarm in &alarms {
+        // Candidates must come from the alarmed interval only.
+        let cands = candidates(&built.store, alarm, CandidatePolicy::HintUnion);
+        for c in &cands {
+            assert!(
+                alarm.window.overlaps(c),
+                "candidate outside alarm window: {c}"
+            );
+        }
+    }
+}
+
+#[test]
+fn quiet_interval_alarms_do_not_fabricate_incidents() {
+    // Alarm pointing at a quiet interval with hints for a busy benign
+    // server: extraction runs, validation refuses usefulness.
+    let (built, width) = trace(AnomalyKind::PortScan, 6_000, 24);
+    let benign_window = TimeRange::new(2 * width, 3 * width); // pre-anomaly
+    let busy_server = built
+        .store
+        .query(benign_window, &Filter::parse("dst port 80").unwrap())
+        .first()
+        .map(|f| f.dst_ip)
+        .expect("some web traffic");
+    let alarm = Alarm::new(9, "fp", benign_window)
+        .with_hints(vec![FeatureItem::dst_ip(busy_server)]);
+    let extraction = Extractor::with_defaults().extract(&built.store, &alarm);
+    let observed = built.store.query(alarm.window, &Filter::any());
+    let verdict = validate(
+        &extraction,
+        &observed,
+        &truth_set(&built.truth),
+        &ValidationConfig::default(),
+    );
+    assert!(!verdict.is_useful(), "benign traffic reported as incident");
+}

@@ -1,0 +1,160 @@
+//! Integration: the pipeline's behavior on degenerate and hostile
+//! inputs — empty intervals, hint mismatches, all-identical candidate
+//! sets, zero-weight records, stealthy anomalies under deep sampling.
+
+use anomex::prelude::*;
+
+#[test]
+fn alarm_over_empty_interval_yields_empty_extraction() {
+    let store = FlowStore::new(60_000);
+    let alarm = Alarm::new(0, "t", TimeRange::new(0, 300_000));
+    let extraction = Extractor::with_defaults().extract(&store, &alarm);
+    assert!(extraction.is_empty());
+    assert_eq!(extraction.candidate_flows, 0);
+}
+
+#[test]
+fn hints_matching_nothing_fall_back_to_nothing_not_panic() {
+    let store = FlowStore::new(60_000);
+    store.insert(FlowRecord::builder().time(1, 2).build());
+    // Hints point at hosts that do not exist in the trace.
+    let alarm = Alarm::new(0, "t", TimeRange::all())
+        .with_hints(vec![FeatureItem::src_ip("203.0.113.99".parse().unwrap())]);
+    let extraction = Extractor::with_defaults().extract(&store, &alarm);
+    assert!(extraction.is_empty());
+}
+
+#[test]
+fn alarm_window_outside_trace_time() {
+    let store = FlowStore::new(60_000);
+    store.insert(FlowRecord::builder().time(1_000, 2_000).build());
+    let alarm = Alarm::new(0, "t", TimeRange::new(10_000_000, 10_300_000));
+    let extraction = Extractor::with_defaults().extract(&store, &alarm);
+    assert!(extraction.is_empty());
+}
+
+#[test]
+fn all_identical_candidates_produce_single_full_itemset() {
+    let store = FlowStore::new(60_000);
+    for i in 0..500u64 {
+        store.insert(
+            FlowRecord::builder()
+                .time(i, i + 1)
+                .src("10.0.0.1".parse().unwrap(), 4000)
+                .dst("172.16.0.1".parse().unwrap(), 80)
+                .volume(2, 100)
+                .build(),
+        );
+    }
+    let alarm = Alarm::new(0, "t", TimeRange::all());
+    let extraction = Extractor::with_defaults().extract(&store, &alarm);
+    assert_eq!(extraction.itemsets.len(), 1);
+    assert_eq!(extraction.itemsets[0].items.len(), 4);
+    assert_eq!(extraction.itemsets[0].flow_support, 500);
+}
+
+#[test]
+fn zero_packet_records_cannot_poison_packet_mining() {
+    let store = FlowStore::new(60_000);
+    for i in 0..100u64 {
+        let mut f = FlowRecord::builder()
+            .time(i, i + 1)
+            .src("10.0.0.1".parse().unwrap(), 4000)
+            .dst("172.16.0.1".parse().unwrap(), 80)
+            .build();
+        f.packets = 0; // malformed exporter output
+        store.insert(f);
+    }
+    let alarm = Alarm::new(0, "t", TimeRange::all());
+    let extraction = Extractor::with_defaults().extract(&store, &alarm);
+    // Flow-support pass still sees them; packet pass must not panic.
+    assert_eq!(extraction.candidate_flows, 100);
+    for e in &extraction.itemsets {
+        assert_eq!(e.packet_support, 0);
+    }
+}
+
+#[test]
+fn stealthy_scan_under_sampling_is_the_documented_failure() {
+    // The paper's 6%: an anomaly too small to mine meaningfully.
+    let mut spec = AnomalySpec::template(
+        AnomalyKind::StealthyScan,
+        "10.8.8.8".parse().unwrap(),
+        "172.16.3.3".parse().unwrap(),
+    );
+    spec.flows = 40;
+    let mut scenario = Scenario::new("stealthy", 5, Backbone::Geant)
+        .with_anomaly(spec)
+        .with_sampling(100);
+    scenario.background.flows = 30_000;
+    let built = scenario.build();
+    let alarm = Alarm::new(0, "t", built.scenario.window()).with_hints(vec![
+        FeatureItem::src_ip("10.8.8.8".parse().unwrap()),
+        FeatureItem::dst_ip("172.16.3.3".parse().unwrap()),
+    ]);
+    let extraction = Extractor::with_defaults().extract(&built.store, &alarm);
+    let observed = built.store.query(alarm.window, &Filter::any());
+    let truth = TruthSet::new(vec![TruthEntry {
+        id: 0,
+        keys: built.truth.anomalies[0].keys.clone(),
+        malicious: true,
+    }]);
+    let verdict = validate(&extraction, &observed, &truth, &ValidationConfig::default());
+    assert!(
+        !verdict.is_useful(),
+        "a 40-flow scan sampled 1/100 must not be extractable"
+    );
+}
+
+#[test]
+fn detector_on_constant_traffic_stays_silent() {
+    // Perfectly flat traffic: PCA must not fabricate alarms from noise.
+    let flows: Vec<FlowRecord> = (0..1200u64)
+        .map(|i| {
+            FlowRecord::builder()
+                .time(i * 600, i * 600 + 100)
+                .src(std::net::Ipv4Addr::from(0x0A000000 + (i % 10) as u32), 1000)
+                .dst("172.16.0.1".parse().unwrap(), 80)
+                .volume(2, 200)
+                .build()
+        })
+        .collect();
+    let span = TimeRange::new(0, 720_000);
+    let mut pca = PcaDetector::new(PcaConfig { interval_ms: 60_000, ..PcaConfig::default() });
+    assert!(pca.detect(&flows, span).is_empty());
+    let mut kl = KlDetector::new(KlConfig { interval_ms: 60_000, ..KlConfig::default() });
+    assert!(kl.detect(&flows, span).is_empty());
+}
+
+#[test]
+fn extractor_handles_single_flow_candidate_set() {
+    let store = FlowStore::new(60_000);
+    store.insert(
+        FlowRecord::builder()
+            .time(10, 20)
+            .src("10.0.0.1".parse().unwrap(), 1)
+            .dst("172.16.0.1".parse().unwrap(), 2)
+            .volume(1_000_000, 1_000_000_000)
+            .build(),
+    );
+    let alarm = Alarm::new(0, "t", TimeRange::all());
+    let extraction = Extractor::with_defaults().extract(&store, &alarm);
+    // One flow is below the flow floor but far above the packet floor.
+    assert_eq!(extraction.itemsets.len(), 1);
+    assert_eq!(extraction.itemsets[0].packet_support, 1_000_000);
+}
+
+#[test]
+fn console_survives_garbage_input() {
+    let store = FlowStore::new(60_000);
+    let db = AlarmDb::in_memory();
+    let mut console = Console::new(store, db);
+    let garbage = "alarm\nalarm nine\nflows -3\nset\nset k\nfilter ((((\nextract\nitemsets\n\u{0}\u{1}\nquit\n";
+    let mut out = Vec::new();
+    console
+        .run(std::io::Cursor::new(garbage.to_string()), &mut out)
+        .expect("console must not error on garbage");
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("usage: alarm"));
+    assert!(text.contains("filter error"));
+}

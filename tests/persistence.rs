@@ -1,0 +1,142 @@
+//! Integration: everything that touches bytes — the disk store under the
+//! pipeline, NetFlow wire codecs feeding the store, the alarm DB — plus
+//! failure injection on corrupted inputs.
+
+use anomex::flow::store::disk;
+use anomex::flow::v5::{self, ExportBase};
+use anomex::flow::v9;
+use anomex::prelude::*;
+
+fn scan_scenario(seed: u64) -> BuiltScenario {
+    let mut spec = AnomalySpec::template(
+        AnomalyKind::PortScan,
+        "10.9.0.1".parse().unwrap(),
+        "172.16.1.2".parse().unwrap(),
+    );
+    spec.flows = 3_000;
+    let mut scenario = Scenario::new("persist", seed, Backbone::Switch).with_anomaly(spec);
+    scenario.background.flows = 2_000;
+    scenario.build()
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("anomex-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn extraction_identical_before_and_after_disk_roundtrip() {
+    let built = scan_scenario(1);
+    let path = tmp("roundtrip.anomex");
+    disk::save(&built.store, &path).unwrap();
+    let reloaded = disk::load(&path).unwrap();
+    assert_eq!(reloaded.len(), built.store.len());
+
+    let alarm = Alarm::new(0, "it", built.scenario.window())
+        .with_hints(vec![FeatureItem::src_ip("10.9.0.1".parse().unwrap())]);
+    let ex = Extractor::with_defaults();
+    let before = ex.extract(&built.store, &alarm);
+    let after = ex.extract(&reloaded, &alarm);
+    assert_eq!(before.itemsets, after.itemsets, "disk roundtrip changed mining results");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn corrupted_store_file_is_rejected_not_misread() {
+    let built = scan_scenario(2);
+    let path = tmp("corrupt.anomex");
+    disk::save(&built.store, &path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(disk::load(&path).is_err(), "bit flip must fail the CRC");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn truncated_store_file_is_rejected() {
+    let built = scan_scenario(3);
+    let path = tmp("truncated.anomex");
+    disk::save(&built.store, &path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+    assert!(disk::load(&path).is_err());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn v5_export_feeds_the_pipeline() {
+    // Flows -> v5 packets -> decode -> store -> extract.
+    let built = scan_scenario(4);
+    let flows = built.store.snapshot();
+    let base = ExportBase::epoch();
+    let store = FlowStore::new(60_000);
+    let mut sequence = 0u32;
+    for chunk in flows.chunks(30) {
+        let packet = v5::encode(chunk, base, sequence).unwrap();
+        sequence += chunk.len() as u32;
+        let decoded = v5::decode(&packet).unwrap();
+        store.insert_batch(decoded.records);
+    }
+    assert_eq!(store.len(), flows.len());
+
+    let alarm = Alarm::new(0, "it", built.scenario.window())
+        .with_hints(vec![FeatureItem::src_ip("10.9.0.1".parse().unwrap())]);
+    let extraction = Extractor::with_defaults().extract(&store, &alarm);
+    assert!(!extraction.is_empty(), "scan lost crossing the v5 wire");
+    assert_eq!(extraction.itemsets[0].flow_support, 3_000);
+}
+
+#[test]
+fn v9_export_feeds_the_pipeline() {
+    let built = scan_scenario(5);
+    let flows = built.store.snapshot();
+    let base = ExportBase::epoch();
+    let store = FlowStore::new(60_000);
+    let mut cache = v9::TemplateCache::new();
+    for chunk in flows.chunks(100) {
+        let packet = v9::encode(chunk, base, 0, 7);
+        let decoded = v9::decode(&packet, &mut cache).unwrap();
+        store.insert_batch(decoded.records);
+    }
+    assert_eq!(store.len(), flows.len());
+    let alarm = Alarm::new(0, "it", built.scenario.window())
+        .with_hints(vec![FeatureItem::src_ip("10.9.0.1".parse().unwrap())]);
+    let extraction = Extractor::with_defaults().extract(&store, &alarm);
+    assert!(!extraction.is_empty(), "scan lost crossing the v9 wire");
+}
+
+#[test]
+fn alarm_db_survives_detector_to_console_handoff() {
+    let built = scan_scenario(6);
+    let flows = built.store.snapshot();
+    let span = built.scenario.window();
+    let mut detector = KlDetector::new(KlConfig { interval_ms: 60_000, ..KlConfig::default() });
+    let alarms = detector.detect(&flows, span);
+
+    let path = tmp("alarms-it.json");
+    let _ = std::fs::remove_file(&path);
+    let mut db = AlarmDb::open(&path).unwrap();
+    db.add_all(alarms);
+    // Synthesize one alarm in case the 5-minute single window gave the
+    // detector nothing to baseline against.
+    db.add(
+        Alarm::new(0, "manual", span)
+            .with_hints(vec![FeatureItem::src_ip("10.9.0.1".parse().unwrap())]),
+    );
+    db.save().unwrap();
+
+    let db2 = AlarmDb::open(&path).unwrap();
+    assert_eq!(db2.len(), db.len());
+    let mut console = Console::new(built.store, db2);
+    let mut out = Vec::new();
+    let last = format!("alarm {}\nextract\nquit\n", db.len() - 1);
+    console
+        .run(std::io::Cursor::new(format!("alarms\n{last}")), &mut out)
+        .unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("10.9.0.1"), "{text}");
+    std::fs::remove_file(&path).unwrap();
+}

@@ -1,0 +1,185 @@
+//! Integration: the full pipeline (generate → alarm → extract →
+//! validate) for every anomaly class the paper's corpus contains.
+
+use std::collections::HashSet;
+
+use anomex::prelude::*;
+
+/// Convert generator truth into validator labels.
+fn truth_set(truth: &GroundTruth) -> TruthSet {
+    TruthSet::new(
+        truth
+            .anomalies
+            .iter()
+            .map(|a| TruthEntry {
+                id: a.id,
+                keys: a.keys.clone(),
+                malicious: a.kind.is_malicious(),
+            })
+            .collect(),
+    )
+}
+
+/// Detector-shaped alarm for the primary anomaly.
+fn alarm_for(built: &BuiltScenario, id: usize) -> Alarm {
+    let spec = &built.truth.anomalies[id].spec;
+    let hints = match built.truth.anomalies[id].kind {
+        AnomalyKind::PortScan | AnomalyKind::StealthyScan => {
+            vec![FeatureItem::src_ip(spec.attacker), FeatureItem::dst_ip(spec.victim)]
+        }
+        AnomalyKind::NetworkScan => {
+            vec![FeatureItem::src_ip(spec.attacker), FeatureItem::dst_port(spec.dst_port)]
+        }
+        AnomalyKind::SynFlood | AnomalyKind::UdpDdos => {
+            vec![FeatureItem::dst_ip(spec.victim), FeatureItem::dst_port(spec.dst_port)]
+        }
+        _ => vec![FeatureItem::src_ip(spec.attacker), FeatureItem::dst_ip(spec.victim)],
+    };
+    Alarm::new(0, "it", built.scenario.window()).with_hints(hints)
+}
+
+fn run_kind(kind: AnomalyKind, seed: u64) -> (BuiltScenario, Validation) {
+    let mut spec = AnomalySpec::template(
+        kind,
+        "10.2.3.4".parse().unwrap(),
+        "172.16.2.77".parse().unwrap(),
+    );
+    spec.flows = spec.flows.min(10_000);
+    let mut scenario = Scenario::new(format!("it-{kind}"), seed, Backbone::Switch)
+        .with_anomaly(spec);
+    scenario.background.flows = 8_000;
+    let built = scenario.build();
+    let alarm = alarm_for(&built, 0);
+    let extraction = Extractor::with_defaults().extract(&built.store, &alarm);
+    let observed = built.store.query(alarm.window, &Filter::any());
+    let verdict = validate(
+        &extraction,
+        &observed,
+        &truth_set(&built.truth),
+        &ValidationConfig::default(),
+    );
+    (built, verdict)
+}
+
+#[test]
+fn port_scan_pipeline() {
+    let (_, v) = run_kind(AnomalyKind::PortScan, 1);
+    assert!(v.is_useful());
+    assert_eq!(v.recalled, vec![0]);
+}
+
+#[test]
+fn network_scan_pipeline() {
+    let (_, v) = run_kind(AnomalyKind::NetworkScan, 2);
+    assert!(v.is_useful());
+    assert_eq!(v.recalled, vec![0]);
+}
+
+#[test]
+fn syn_flood_pipeline() {
+    let (_, v) = run_kind(AnomalyKind::SynFlood, 3);
+    assert!(v.is_useful());
+    assert_eq!(v.recalled, vec![0]);
+}
+
+#[test]
+fn udp_ddos_pipeline() {
+    let (_, v) = run_kind(AnomalyKind::UdpDdos, 4);
+    assert!(v.is_useful());
+    assert_eq!(v.recalled, vec![0]);
+}
+
+#[test]
+fn udp_flood_pipeline_needs_packet_support() {
+    let (_, v) = run_kind(AnomalyKind::UdpFlood, 5);
+    assert!(v.is_useful(), "dual-support extractor must find the flood");
+}
+
+#[test]
+fn icmp_flood_pipeline() {
+    let (_, v) = run_kind(AnomalyKind::IcmpFlood, 6);
+    assert!(v.is_useful());
+}
+
+#[test]
+fn alpha_flow_is_never_a_security_finding() {
+    let (_, v) = run_kind(AnomalyKind::AlphaFlow, 7);
+    // The transfer is labeled benign: extraction may see it, validation
+    // must not count it as a useful (security) itemset.
+    assert!(!v.is_useful());
+}
+
+#[test]
+fn two_overlapping_anomalies_one_alarm() {
+    // Table-1-like: alarm points at the scan; the flood on the same
+    // victim must surface as additional flows.
+    let victim: std::net::Ipv4Addr = "172.16.0.50".parse().unwrap();
+    let mut scan =
+        AnomalySpec::template(AnomalyKind::PortScan, "10.1.1.1".parse().unwrap(), victim);
+    scan.flows = 9_000;
+    let mut flood =
+        AnomalySpec::template(AnomalyKind::SynFlood, "10.5.5.5".parse().unwrap(), victim);
+    flood.flows = 7_000;
+    let mut scenario = Scenario::new("overlap", 8, Backbone::Switch)
+        .with_anomaly(scan)
+        .with_anomaly(flood);
+    scenario.background.flows = 8_000;
+    let built = scenario.build();
+    let alarm = alarm_for(&built, 0);
+    let extraction = Extractor::with_defaults().extract(&built.store, &alarm);
+    let observed = built.store.query(alarm.window, &Filter::any());
+    let verdict = validate(
+        &extraction,
+        &observed,
+        &truth_set(&built.truth),
+        &ValidationConfig::default(),
+    );
+    let matched: HashSet<usize> = verdict.matched_anomalies().into_iter().collect();
+    assert!(matched.contains(&0), "flagged scan missing");
+    assert!(matched.contains(&1), "co-occurring flood not surfaced");
+}
+
+#[test]
+fn classification_agrees_with_injected_kind() {
+    for (kind, expect) in [
+        (AnomalyKind::PortScan, ItemsetClass::PortScan),
+        (AnomalyKind::SynFlood, ItemsetClass::SynFlood),
+        (AnomalyKind::UdpFlood, ItemsetClass::UdpFlood),
+    ] {
+        let (built, v) = run_kind(kind, 9);
+        assert!(v.is_useful(), "{kind}");
+        // Classify the first useful itemset.
+        let alarm = alarm_for(&built, 0);
+        let extraction = Extractor::with_defaults().extract(&built.store, &alarm);
+        let idx = v.verdicts.iter().find(|x| x.useful).unwrap().index;
+        let itemset = &extraction.itemsets[idx];
+        let flows = drill(&built.store, &alarm, itemset);
+        let summary = DrillSummary::of(&flows);
+        let proto = flows.first().map(|f| f.proto).unwrap_or(Protocol::TCP);
+        assert_eq!(classify(itemset, &summary, proto), expect, "{kind}");
+    }
+}
+
+#[test]
+fn whole_interval_policy_still_finds_dominant_anomaly() {
+    let mut spec = AnomalySpec::template(
+        AnomalyKind::PortScan,
+        "10.2.3.4".parse().unwrap(),
+        "172.16.2.77".parse().unwrap(),
+    );
+    spec.flows = 20_000;
+    let mut scenario = Scenario::new("nohints", 10, Backbone::Switch).with_anomaly(spec);
+    scenario.background.flows = 6_000;
+    let built = scenario.build();
+    // Alarm with NO meta-data at all.
+    let alarm = Alarm::new(0, "blind", built.scenario.window());
+    let extraction = Extractor::with_defaults().extract(&built.store, &alarm);
+    let observed = built.store.query(alarm.window, &Filter::any());
+    let verdict = validate(
+        &extraction,
+        &observed,
+        &truth_set(&built.truth),
+        &ValidationConfig::default(),
+    );
+    assert!(verdict.is_useful(), "dominant anomaly must survive blind mining");
+}

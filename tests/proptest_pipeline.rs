@@ -1,0 +1,163 @@
+//! Property tests across crate boundaries: the pipeline's invariants
+//! under arbitrary scenario parameters.
+
+use anomex::prelude::*;
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = AnomalyKind> {
+    prop_oneof![
+        Just(AnomalyKind::PortScan),
+        Just(AnomalyKind::NetworkScan),
+        Just(AnomalyKind::SynFlood),
+        Just(AnomalyKind::UdpDdos),
+        Just(AnomalyKind::UdpFlood),
+        Just(AnomalyKind::IcmpFlood),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Extraction never reports an itemset whose exact supports disagree
+    /// with a recount over its own candidate set, and reported itemsets
+    /// are subset-free after the closed-subsumption merge.
+    #[test]
+    fn extraction_supports_are_exact(
+        kind in arb_kind(),
+        anomaly_flows in 50usize..2_000,
+        bg in 200usize..2_000,
+        seed in any::<u64>(),
+    ) {
+        let mut spec = AnomalySpec::template(
+            kind,
+            "10.1.0.1".parse().unwrap(),
+            "172.16.0.9".parse().unwrap(),
+        );
+        spec.flows = anomaly_flows;
+        let mut scenario = Scenario::new("prop", seed, Backbone::Switch).with_anomaly(spec);
+        scenario.background.flows = bg;
+        let built = scenario.build();
+        let alarm = Alarm::new(0, "p", built.scenario.window());
+        let cands = candidates(&built.store, &alarm, CandidatePolicy::WholeInterval);
+        let extraction = Extractor::with_defaults().extract_from_candidates(&cands);
+
+        for e in &extraction.itemsets {
+            let flow_recount = cands.iter().filter(|f| e.covers(f)).count() as u64;
+            let packet_recount: u64 =
+                cands.iter().filter(|f| e.covers(f)).map(|f| f.packets).sum();
+            prop_assert_eq!(e.flow_support, flow_recount, "flow support {}", e.pattern());
+            prop_assert_eq!(e.packet_support, packet_recount, "packet support {}", e.pattern());
+            // The filter agrees with covers().
+            for f in &cands {
+                prop_assert_eq!(e.filter().matches(f), e.covers(f));
+            }
+        }
+        // Subset-free report.
+        for a in &extraction.itemsets {
+            for b in &extraction.itemsets {
+                if a != b {
+                    prop_assert!(
+                        !(a.items.iter().all(|x| b.items.contains(x))
+                            && a.items.len() < b.items.len()
+                            && (b.flow_support * 5 >= a.flow_support * 4
+                                || b.packet_support * 5 >= a.packet_support * 4)),
+                        "{} absorbed by {} but reported",
+                        a.pattern(),
+                        b.pattern()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Validation counts are internally consistent for arbitrary
+    /// extraction results.
+    #[test]
+    fn validation_bookkeeping_consistent(
+        kind in arb_kind(),
+        anomaly_flows in 50usize..1_000,
+        seed in any::<u64>(),
+    ) {
+        let mut spec = AnomalySpec::template(
+            kind,
+            "10.1.0.1".parse().unwrap(),
+            "172.16.0.9".parse().unwrap(),
+        );
+        spec.flows = anomaly_flows;
+        let mut scenario = Scenario::new("prop", seed, Backbone::Switch).with_anomaly(spec);
+        scenario.background.flows = 500;
+        let built = scenario.build();
+        let alarm = Alarm::new(0, "p", built.scenario.window());
+        let extraction = Extractor::with_defaults().extract(&built.store, &alarm);
+        let observed = built.store.query(alarm.window, &Filter::any());
+        let truth = TruthSet::new(vec![TruthEntry {
+            id: 0,
+            keys: built.truth.anomalies[0].keys.clone(),
+            malicious: true,
+        }]);
+        let v = validate(&extraction, &observed, &truth, &ValidationConfig::default());
+
+        prop_assert_eq!(v.verdicts.len(), extraction.itemsets.len());
+        prop_assert_eq!(v.useful_itemsets + v.false_itemsets, v.verdicts.len());
+        for verdict in &v.verdicts {
+            prop_assert!(verdict.malicious_covered <= verdict.covered);
+            prop_assert!((0.0..=1.0).contains(&verdict.precision));
+            if verdict.useful {
+                prop_assert!(!verdict.matched.is_empty());
+            }
+        }
+        for (_, r) in &v.recall {
+            prop_assert!((0.0..=1.0).contains(r), "recall {r}");
+        }
+        // Recalled is a subset of scored anomalies.
+        for id in &v.recalled {
+            prop_assert!(v.recall.iter().any(|(i, _)| i == id));
+        }
+    }
+
+    /// The console never panics and never writes malformed output for
+    /// arbitrary command sequences drawn from its vocabulary.
+    #[test]
+    fn console_is_total(
+        commands in prop::collection::vec(
+            prop_oneof![
+                Just("alarms".to_string()),
+                Just("alarm 0".to_string()),
+                Just("alarm 999".to_string()),
+                Just("extract".to_string()),
+                Just("itemsets".to_string()),
+                Just("flows 0".to_string()),
+                Just("flows 42".to_string()),
+                Just("classify 0".to_string()),
+                Just("set k 3".to_string()),
+                Just("set packet-support off".to_string()),
+                Just("set policy interval".to_string()),
+                Just("show".to_string()),
+                Just("filter dst port 80".to_string()),
+                Just("filter nonsense here".to_string()),
+                Just("bogus".to_string()),
+            ],
+            0..12,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let mut spec = AnomalySpec::template(
+            AnomalyKind::PortScan,
+            "10.1.0.1".parse().unwrap(),
+            "172.16.0.9".parse().unwrap(),
+        );
+        spec.flows = 300;
+        let mut scenario = Scenario::new("prop", seed, Backbone::Switch).with_anomaly(spec);
+        scenario.background.flows = 300;
+        let built = scenario.build();
+        let mut db = AlarmDb::in_memory();
+        db.add(Alarm::new(0, "p", built.scenario.window())
+            .with_hints(vec![FeatureItem::src_ip("10.1.0.1".parse().unwrap())]));
+        let mut console = Console::new(built.store, db);
+        let script = commands.join("\n") + "\nquit\n";
+        let mut out = Vec::new();
+        console.run(std::io::Cursor::new(script), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        prop_assert!(text.starts_with("anomex console"));
+    }
+}

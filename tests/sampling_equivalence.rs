@@ -1,0 +1,91 @@
+//! Integration: sampled vs unsampled pipeline equivalence — the paper's
+//! system worked on unsampled SWITCH data and 1/100-sampled GEANT data;
+//! the *conclusions* must agree even though the observed counts differ.
+
+use anomex::prelude::*;
+
+fn flood_scenario(sampling: u32, seed: u64) -> BuiltScenario {
+    let mut spec = AnomalySpec::template(
+        AnomalyKind::SynFlood,
+        "10.3.3.3".parse().unwrap(),
+        "172.16.8.8".parse().unwrap(),
+    );
+    spec.flows = 30_000;
+    let mut scenario = Scenario::new("samp", seed, Backbone::Geant)
+        .with_anomaly(spec)
+        .with_sampling(sampling);
+    scenario.background.flows = 20_000;
+    scenario.build()
+}
+
+fn extract_flood(built: &BuiltScenario) -> (Extraction, Alarm) {
+    let alarm = Alarm::new(0, "t", built.scenario.window()).with_hints(vec![
+        FeatureItem::dst_ip("172.16.8.8".parse().unwrap()),
+        FeatureItem::dst_port(80),
+    ]);
+    (Extractor::with_defaults().extract(&built.store, &alarm), alarm)
+}
+
+#[test]
+fn volume_anomaly_same_verdict_at_all_rates() {
+    for sampling in [1u32, 10, 100] {
+        let built = flood_scenario(sampling, 11);
+        let (extraction, _) = extract_flood(&built);
+        assert!(!extraction.is_empty(), "1/{sampling}: flood vanished");
+        let top = &extraction.itemsets[0];
+        // The flood signature survives sampling: victim + port 80 fixed.
+        assert!(
+            top.items.contains(&FeatureItem::dst_ip("172.16.8.8".parse().unwrap())),
+            "1/{sampling}: wrong top itemset {}",
+            top.pattern()
+        );
+        assert!(
+            top.items.contains(&FeatureItem::dst_port(80)),
+            "1/{sampling}: port missing from {}",
+            top.pattern()
+        );
+    }
+}
+
+#[test]
+fn observed_support_scales_roughly_with_rate() {
+    let full = flood_scenario(1, 12);
+    let sampled = flood_scenario(100, 12);
+    let (full_ex, _) = extract_flood(&full);
+    let (samp_ex, _) = extract_flood(&sampled);
+    let full_support = full_ex.itemsets[0].flow_support as f64;
+    let samp_support = samp_ex.itemsets[0].flow_support as f64;
+    // SYN-flood flows carry 1-3 packets; with random per-packet 1/100
+    // sampling the kept-flow ratio lands near E[pkts]/100. Demand the
+    // right order of magnitude, not the exact constant.
+    let ratio = full_support / samp_support.max(1.0);
+    assert!(
+        (20.0..=300.0).contains(&ratio),
+        "support ratio {ratio} (full {full_support}, sampled {samp_support})"
+    );
+}
+
+#[test]
+fn renormalization_recovers_wire_scale_volumes() {
+    let built = flood_scenario(100, 13);
+    let observed = built.store.snapshot();
+    let renormalized = anomex::flow::sampling::renormalize(&observed, 100);
+    let wire_packets: u64 = built.wire_flows.iter().map(|f| f.packets).sum();
+    let estimated: u64 = renormalized.iter().map(|f| f.packets).sum();
+    let err = (estimated as f64 - wire_packets as f64).abs() / wire_packets as f64;
+    assert!(
+        err < 0.15,
+        "renormalized packet estimate off by {:.1}% ({estimated} vs {wire_packets})",
+        err * 100.0
+    );
+}
+
+#[test]
+fn sampling_is_deterministic_per_seed() {
+    let a = flood_scenario(100, 14);
+    let b = flood_scenario(100, 14);
+    assert_eq!(a.store.len(), b.store.len());
+    let (ea, _) = extract_flood(&a);
+    let (eb, _) = extract_flood(&b);
+    assert_eq!(ea.itemsets, eb.itemsets);
+}
