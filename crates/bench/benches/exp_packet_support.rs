@@ -26,13 +26,9 @@ fn flood_scenario(sampling: u32) -> Scenario {
         "172.16.9.40".parse().unwrap(),
     );
     spec.packets = 900_000;
-    let mut s = Scenario::new(
-        format!("udp-flood-1in{sampling}"),
-        0xF100D,
-        Backbone::Geant,
-    )
-    .with_anomaly(spec)
-    .with_sampling(sampling);
+    let mut s = Scenario::new(format!("udp-flood-1in{sampling}"), 0xF100D, Backbone::Geant)
+        .with_anomaly(spec)
+        .with_sampling(sampling);
     s.background.flows = 40_000;
     s
 }
@@ -40,7 +36,9 @@ fn flood_scenario(sampling: u32) -> Scenario {
 fn main() {
     println!(
         "{}",
-        banner("E3: point-to-point UDP flood — flow support vs the paper's packet-support extension")
+        banner(
+            "E3: point-to-point UDP flood — flow support vs the paper's packet-support extension"
+        )
     );
 
     let mut rows = vec![vec![

@@ -46,7 +46,8 @@ fn extract_fixed(cands: &[anomex_flow::record::FlowRecord], support: u64) -> Ext
         })
         .filter(|e| !e.items.is_empty())
         .collect();
-    itemsets.sort_by(|a, b| b.flow_support.cmp(&a.flow_support).then(a.pattern().cmp(&b.pattern())));
+    itemsets
+        .sort_by(|a, b| b.flow_support.cmp(&a.flow_support).then(a.pattern().cmp(&b.pattern())));
     Extraction {
         itemsets,
         candidate_flows: cands.len(),
@@ -73,8 +74,7 @@ fn scenarios() -> Vec<(String, Scenario)> {
         );
         spec.flows = flows;
         spec.packets = packets;
-        let mut s =
-            Scenario::new(label, 0xE5_000 + i as u64, Backbone::Geant).with_anomaly(spec);
+        let mut s = Scenario::new(label, 0xE5_000 + i as u64, Backbone::Geant).with_anomaly(spec);
         s.background.flows = 40_000;
         out.push((label.to_string(), s));
     }

@@ -62,7 +62,10 @@ fn main() {
     println!("{}", banner("ablation: candidate selection = whole interval (no meta-data)"));
     let whole = run_switch_campaign(
         &corpus,
-        ExtractorConfig { policy: CandidatePolicy::WholeInterval, ..ExtractorConfig::switch_paper() },
+        ExtractorConfig {
+            policy: CandidatePolicy::WholeInterval,
+            ..ExtractorConfig::switch_paper()
+        },
     );
     println!(
         "extracted: {}/31 ({}), false-positive itemsets per case: {:.2}",

@@ -30,7 +30,7 @@ fn main() {
     // (1) Traffic: 12 one-minute intervals of backbone noise with a port
     // scan confined to interval 9.
     let t0 = Instant::now();
-    let mut scenario = Scenario::new("figure1", 0xF16_1, Backbone::Switch);
+    let mut scenario = Scenario::new("figure1", 0xF161, Backbone::Switch);
     scenario.background.duration_ms = intervals * width;
     scenario.background.flows = 24_000;
     let mut spec = AnomalySpec::template(
@@ -96,7 +96,12 @@ fn main() {
     db.add_all(pca_alarms);
     db.save().expect("alarm db save");
     let db = AlarmDb::open(&db_path).expect("alarm db reload");
-    println!("[4] alarm DB       -> {} alarm(s) persisted at {} ({:?})", db.len(), db_path.display(), t3.elapsed());
+    println!(
+        "[4] alarm DB       -> {} alarm(s) persisted at {} ({:?})",
+        db.len(),
+        db_path.display(),
+        t3.elapsed()
+    );
 
     // (5) Operator console: the GUI workflow, scripted.
     let t4 = Instant::now();
@@ -111,9 +116,8 @@ fn main() {
     }
 
     let extraction = console.last_extraction().expect("extraction ran");
-    let ok = !extraction.is_empty()
-        && transcript.contains("port scan")
-        && transcript.contains("srcIP");
+    let ok =
+        !extraction.is_empty() && transcript.contains("port scan") && transcript.contains("srcIP");
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_file(&db_path);
     println!(

@@ -25,15 +25,16 @@ fn records(n: usize) -> Vec<anomex_flow::record::FlowRecord> {
 
 fn bench_codecs(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     // v5: packets carry at most 30 records.
     let batch = records(30);
     let base = ExportBase::epoch();
     group.throughput(Throughput::Elements(30));
-    group.bench_function("v5/encode/30", |b| {
-        b.iter(|| v5::encode(&batch, base, 0).unwrap())
-    });
+    group.bench_function("v5/encode/30", |b| b.iter(|| v5::encode(&batch, base, 0).unwrap()));
     let packet = v5::encode(&batch, base, 0).unwrap();
     group.bench_function("v5/decode/30", |b| b.iter(|| v5::decode(&packet).unwrap()));
 

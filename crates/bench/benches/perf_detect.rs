@@ -32,7 +32,10 @@ fn trace(intervals: u64, flows_total: usize) -> (Vec<anomex_flow::record::FlowRe
 
 fn bench_detectors(c: &mut Criterion) {
     let mut group = c.benchmark_group("detect");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     let (flows, span) = trace(16, 48_000);
     let n = flows.len() as u64;
@@ -59,9 +62,8 @@ fn bench_detectors(c: &mut Criterion) {
 
     // Eigendecomposition micro-bench: the PCA inner kernel.
     let cov = {
-        let rows: Vec<Vec<f64>> = (0..32)
-            .map(|i| (0..7).map(|j| ((i * 7 + j) as f64 * 0.37).sin()).collect())
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..32).map(|i| (0..7).map(|j| ((i * 7 + j) as f64 * 0.37).sin()).collect()).collect();
         let mut m = Matrix::from_rows(&rows);
         m.standardize_columns();
         m.covariance()

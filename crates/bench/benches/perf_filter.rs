@@ -19,7 +19,10 @@ const COMPLEX: &str =
 
 fn bench_filters(c: &mut Criterion) {
     let mut group = c.benchmark_group("filter");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     group.bench_function("parse/simple", |b| b.iter(|| Filter::parse(SIMPLE).unwrap()));
     group.bench_function("parse/complex", |b| b.iter(|| Filter::parse(COMPLEX).unwrap()));

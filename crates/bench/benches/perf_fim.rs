@@ -30,7 +30,10 @@ fn transactions(n_flows: usize) -> TransactionSet {
 
 fn bench_miners(c: &mut Criterion) {
     let mut group = c.benchmark_group("fim");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     for &n in &[10_000usize, 40_000] {
         let txs = transactions(n);
@@ -60,23 +63,19 @@ fn bench_miners(c: &mut Criterion) {
     // Parallel Apriori counting (crossbeam) — DESIGN.md §5 ablation.
     let txs = transactions(40_000);
     for threads in [1usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("apriori-threads", threads),
-            &txs,
-            |b, txs| {
-                b.iter(|| {
-                    mine(
-                        txs,
-                        &MiningConfig {
-                            algorithm: Algorithm::Apriori,
-                            min_support: MinSupport::Fraction(0.002),
-                            max_len: 4,
-                            threads,
-                        },
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("apriori-threads", threads), &txs, |b, txs| {
+            b.iter(|| {
+                mine(
+                    txs,
+                    &MiningConfig {
+                        algorithm: Algorithm::Apriori,
+                        min_support: MinSupport::Fraction(0.002),
+                        max_len: 4,
+                        threads,
+                    },
+                )
+            })
+        });
     }
 
     // The paper's full extraction step (dual metric + self-tuning).

@@ -61,12 +61,8 @@ fn main() {
 
     // Validation against exact ground truth.
     let observed = built.store.query(alarm.window, &Filter::any());
-    let verdict = validate(
-        &extraction,
-        &observed,
-        &truth_set(&built.truth),
-        &ValidationConfig::default(),
-    );
+    let verdict =
+        validate(&extraction, &observed, &truth_set(&built.truth), &ValidationConfig::default());
     let matched = verdict.matched_anomalies();
     println!(
         "useful itemsets: {} / {}; anomalies matched: {:?} of {:?}",
@@ -107,9 +103,11 @@ fn main() {
     }
 
     // Drill-down, as the demo narrative does: the DDoS is a SYN flood.
-    if let Some(ddos) = extraction.itemsets.iter().find(|e| {
-        e.items.iter().any(|i| i.feature == Feature::SrcPort && i.value.raw() == 3_072)
-    }) {
+    if let Some(ddos) = extraction
+        .itemsets
+        .iter()
+        .find(|e| e.items.iter().any(|i| i.feature == Feature::SrcPort && i.value.raw() == 3_072))
+    {
         let flows = drill(&built.store, &alarm, ddos);
         let summary = DrillSummary::of(&flows);
         println!(

@@ -133,8 +133,7 @@ impl CampaignSummary {
         if self.cases.is_empty() {
             return 0.0;
         }
-        self.cases.iter().map(|c| c.false_itemsets).sum::<usize>() as f64
-            / self.cases.len() as f64
+        self.cases.iter().map(|c| c.false_itemsets).sum::<usize>() as f64 / self.cases.len() as f64
     }
 
     /// Mean primary recall over cases where it is defined.
@@ -165,9 +164,8 @@ pub fn run_case(
     let additional = primary
         .map(|p| verdict.matched_anomalies().iter().any(|&id| id != p))
         .unwrap_or(!verdict.matched_anomalies().is_empty());
-    let primary_recall = primary.and_then(|p| {
-        verdict.recall.iter().find(|(id, _)| *id == p).map(|&(_, r)| r)
-    });
+    let primary_recall =
+        primary.and_then(|p| verdict.recall.iter().find(|(id, _)| *id == p).map(|&(_, r)| r));
 
     CaseResult {
         name: scenario.name.clone(),
@@ -208,9 +206,7 @@ pub fn run_geant_campaign(
     let validation = ValidationConfig::default();
     let cases = geant_corpus(corpus)
         .iter()
-        .map(|case| {
-            run_case(&case.scenario, case.class, case.primary, &extractor, &validation)
-        })
+        .map(|case| run_case(&case.scenario, case.class, case.primary, &extractor, &validation))
         .collect();
     CampaignSummary { cases }
 }
@@ -233,12 +229,7 @@ mod tests {
             summary.useful() >= 28,
             "useful {}/31: {:?}",
             summary.useful(),
-            summary
-                .cases
-                .iter()
-                .filter(|c| !c.useful)
-                .map(|c| &c.name)
-                .collect::<Vec<_>>()
+            summary.cases.iter().filter(|c| !c.useful).map(|c| &c.name).collect::<Vec<_>>()
         );
     }
 

@@ -19,7 +19,7 @@ pub fn table(rows: &[Vec<String>]) -> String {
                 out.push_str("  ");
             }
             out.push_str(cell);
-            out.extend(std::iter::repeat(' ').take(widths[i] - cell.len()));
+            out.extend(std::iter::repeat_n(' ', widths[i] - cell.len()));
         }
         while out.ends_with(' ') {
             out.pop();
@@ -48,10 +48,7 @@ mod tests {
 
     #[test]
     fn table_pads_columns() {
-        let t = table(&[
-            vec!["a".into(), "long-header".into()],
-            vec!["xxxx".into(), "b".into()],
-        ]);
+        let t = table(&[vec!["a".into(), "long-header".into()], vec!["xxxx".into(), "b".into()]]);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines[0], "a     long-header");
         assert_eq!(lines[1], "xxxx  b");

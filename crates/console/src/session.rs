@@ -137,10 +137,7 @@ impl Console {
         let extraction = Extractor::new(self.config).extract(&self.store, alarm);
         write!(out, "{}", render_summary(&extraction))?;
         if extraction.is_empty() {
-            writeln!(
-                out,
-                "no meaningful itemsets — stealthy anomaly or false-positive alarm?"
-            )?;
+            writeln!(out, "no meaningful itemsets — stealthy anomaly or false-positive alarm?")?;
         } else {
             write!(out, "{}", render_table(&extraction, self.report_scale))?;
         }
@@ -160,10 +157,8 @@ impl Console {
 
     fn itemset_at(&self, args: &[&str]) -> Result<(&ExtractedItemset, usize), String> {
         let extraction = self.last.as_ref().ok_or("nothing extracted yet ('extract')")?;
-        let index: usize = args
-            .first()
-            .and_then(|s| s.parse().ok())
-            .ok_or("usage: <command> <itemset-index>")?;
+        let index: usize =
+            args.first().and_then(|s| s.parse().ok()).ok_or("usage: <command> <itemset-index>")?;
         let itemset = extraction
             .itemsets
             .get(index)
@@ -211,7 +206,8 @@ impl Console {
     }
 
     fn cmd_set(&mut self, args: &[&str], out: &mut impl Write) -> std::io::Result<()> {
-        let usage = "usage: set k|flow-floor|packet-floor|packet-support|policy|algorithm|scale <value>";
+        let usage =
+            "usage: set k|flow-floor|packet-floor|packet-support|policy|algorithm|scale <value>";
         let (Some(param), Some(value)) = (args.first(), args.get(1)) else {
             return writeln!(out, "{usage}");
         };
@@ -363,10 +359,8 @@ mod tests {
     #[test]
     fn full_workflow_session() {
         let mut c = console();
-        let out = run_script(
-            &mut c,
-            "alarms\nalarm 0\nextract\nitemsets\nflows 0 3\nclassify 0\nquit\n",
-        );
+        let out =
+            run_script(&mut c, "alarms\nalarm 0\nextract\nitemsets\nflows 0 3\nclassify 0\nquit\n");
         assert!(out.contains("port scan"), "{out}");
         assert!(out.contains("selected: alarm #0"), "{out}");
         assert!(out.contains("srcIP"), "table header expected: {out}");
@@ -392,10 +386,8 @@ mod tests {
     #[test]
     fn set_and_show_parameters() {
         let mut c = console();
-        let out = run_script(
-            &mut c,
-            "set k 5\nset packet-support off\nset policy interval\nshow\n",
-        );
+        let out =
+            run_script(&mut c, "set k 5\nset packet-support off\nset policy interval\nshow\n");
         assert!(out.contains("set k = 5"), "{out}");
         assert!(out.contains("k=5"), "{out}");
         assert!(out.contains("packet-support=false"), "{out}");

@@ -71,11 +71,7 @@ pub fn candidates_from_slice(
     policy: CandidatePolicy,
 ) -> Vec<FlowRecord> {
     let filter = candidate_filter(alarm, policy);
-    flows
-        .iter()
-        .filter(|f| window.overlaps(f) && filter.matches(f))
-        .cloned()
-        .collect()
+    flows.iter().filter(|f| window.overlaps(f) && filter.matches(f)).cloned().collect()
 }
 
 #[cfg(test)]
@@ -130,10 +126,8 @@ mod tests {
 
     #[test]
     fn union_keeps_any_hint_match() {
-        let a = alarm(vec![
-            FeatureItem::src_ip(ip("10.0.0.9")),
-            FeatureItem::dst_ip(ip("172.16.0.1")),
-        ]);
+        let a =
+            alarm(vec![FeatureItem::src_ip(ip("10.0.0.9")), FeatureItem::dst_ip(ip("172.16.0.1"))]);
         let got = candidates(&store(), &a, CandidatePolicy::HintUnion);
         // Scanner flow (src match) + victim flow (dst match); unrelated
         // and out-of-window flows excluded.
@@ -174,10 +168,7 @@ mod tests {
 
     #[test]
     fn candidate_filter_is_printable_and_reparsable() {
-        let a = alarm(vec![
-            FeatureItem::src_ip(ip("10.0.0.9")),
-            FeatureItem::dst_port(80),
-        ]);
+        let a = alarm(vec![FeatureItem::src_ip(ip("10.0.0.9")), FeatureItem::dst_port(80)]);
         let filter = candidate_filter(&a, CandidatePolicy::HintUnion);
         assert!(Filter::parse(&filter.to_string()).is_ok(), "{}", filter);
     }

@@ -96,7 +96,10 @@ pub fn classify(
     }
 
     // Scans: tiny flows (probe packets), high fan-out on the swept axis.
-    if src_fixed && dst_fixed && !dport_fixed && summary.distinct_dst_ports > 50
+    if src_fixed
+        && dst_fixed
+        && !dport_fixed
+        && summary.distinct_dst_ports > 50
         && packets_per_flow < 10.0
     {
         return ItemsetClass::PortScan;

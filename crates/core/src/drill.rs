@@ -209,10 +209,8 @@ mod tests {
 
     #[test]
     fn benign_traffic_is_not_a_syn_flood() {
-        let flows = vec![FlowRecord::builder()
-            .tcp_flags(TcpFlags::COMPLETE)
-            .volume(10, 1000)
-            .build()];
+        let flows =
+            vec![FlowRecord::builder().tcp_flags(TcpFlags::COMPLETE).volume(10, 1000).build()];
         assert!(!looks_like_syn_flood(&DrillSummary::of(&flows)));
     }
 

@@ -271,11 +271,8 @@ impl Extractor {
                 }
             }
         }
-        let mut itemsets: Vec<ExtractedItemset> = merged
-            .into_iter()
-            .zip(keep)
-            .filter_map(|(e, k)| k.then_some(e))
-            .collect();
+        let mut itemsets: Vec<ExtractedItemset> =
+            merged.into_iter().zip(keep).filter_map(|(e, k)| k.then_some(e)).collect();
 
         // Rank by the stronger of the two normalized supports, so a
         // 2-flow/1M-packet flood and a 300K-flow scan both rise to the top.

@@ -59,7 +59,9 @@ pub mod validate;
 
 /// One-stop imports for downstream crates.
 pub mod prelude {
-    pub use crate::candidate::{candidate_filter, candidates, candidates_from_slice, CandidatePolicy};
+    pub use crate::candidate::{
+        candidate_filter, candidates, candidates_from_slice, CandidatePolicy,
+    };
     pub use crate::classify::{classify, ItemsetClass};
     pub use crate::drill::{
         drill, drill_window, flag_histogram, looks_like_syn_flood, DrillSummary,
@@ -71,9 +73,7 @@ pub mod prelude {
     pub use crate::extract::{
         ExtractedItemset, Extraction, Extractor, ExtractorConfig, TuningInfo,
     };
-    pub use crate::report::{
-        human_count, render_rows, render_summary, render_table, ReportRow,
-    };
+    pub use crate::report::{human_count, render_rows, render_summary, render_table, ReportRow};
     pub use crate::validate::{
         validate, ItemsetVerdict, TruthEntry, TruthSet, Validation, ValidationConfig,
     };

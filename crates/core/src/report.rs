@@ -112,7 +112,7 @@ pub fn render_rows(rows: &[ReportRow], scale: u64) -> String {
                 out.push_str("  ");
             }
             out.push_str(cell);
-            out.extend(std::iter::repeat(' ').take(w - cell.len()));
+            out.extend(std::iter::repeat_n(' ', w - cell.len()));
         }
         // Trim the padding of the last column.
         while out.ends_with(' ') {

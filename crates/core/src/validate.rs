@@ -147,8 +147,7 @@ pub fn validate(
 
     let mut verdicts = Vec::with_capacity(extraction.itemsets.len());
     // Union coverage per malicious entry across useful itemsets.
-    let mut covered_union: Vec<HashSet<FlowKey>> =
-        vec![HashSet::new(); malicious.len()];
+    let mut covered_union: Vec<HashSet<FlowKey>> = vec![HashSet::new(); malicious.len()];
 
     for (index, itemset) in extraction.itemsets.iter().enumerate() {
         let mut covered = 0usize;
@@ -173,8 +172,7 @@ pub fn validate(
                 malicious_covered += 1;
             }
         }
-        let precision =
-            if covered > 0 { malicious_covered as f64 / covered as f64 } else { 0.0 };
+        let precision = if covered > 0 { malicious_covered as f64 / covered as f64 } else { 0.0 };
         let matched: Vec<usize> = malicious
             .iter()
             .enumerate()
@@ -211,11 +209,8 @@ pub fn validate(
         }
         // Count distinct covered observed keys (multiple observed records
         // can share a key; key-level recall is the operator-relevant one).
-        let observed_keys: HashSet<FlowKey> = observed
-            .iter()
-            .map(FlowRecord::key)
-            .filter(|k| e.keys.contains(k))
-            .collect();
+        let observed_keys: HashSet<FlowKey> =
+            observed.iter().map(FlowRecord::key).filter(|k| e.keys.contains(k)).collect();
         let r = covered_union[i].len() as f64 / observed_keys.len().max(1) as f64;
         recall.push((e.id, r));
         if r >= config.recall_threshold {
@@ -385,20 +380,12 @@ mod tests {
         let truth = scan_truth(&flows);
         // An itemset pinning one scanned port covers 1/100 of the scan.
         let narrow = ExtractedItemset {
-            items: vec![
-                FeatureItem::src_ip(ip("10.0.0.9")),
-                FeatureItem::dst_port(7),
-            ],
+            items: vec![FeatureItem::src_ip(ip("10.0.0.9")), FeatureItem::dst_port(7)],
             flow_support: 1,
             packet_support: 1,
             found_by: vec![SupportMetric::Flows],
         };
-        let v = validate(
-            &extraction(vec![narrow]),
-            &flows,
-            &truth,
-            &ValidationConfig::default(),
-        );
+        let v = validate(&extraction(vec![narrow]), &flows, &truth, &ValidationConfig::default());
         // Precise (covers only scan flows) but matches below the 10%
         // anomaly-coverage bar -> not useful.
         assert_eq!(v.verdicts[0].precision, 1.0);

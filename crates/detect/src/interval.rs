@@ -272,8 +272,11 @@ mod tests {
 
     #[test]
     fn cut_assigns_by_start_time() {
-        let flows =
-            vec![flow(0, "10.0.0.1", 80, 2), flow(59_999, "10.0.0.2", 80, 2), flow(60_000, "10.0.0.3", 53, 4)];
+        let flows = vec![
+            flow(0, "10.0.0.1", 80, 2),
+            flow(59_999, "10.0.0.2", 80, 2),
+            flow(60_000, "10.0.0.3", 53, 4),
+        ];
         let series = IntervalSeries::cut(&flows, TimeRange::new(0, 120_000), 60_000);
         assert_eq!(series.len(), 2);
         assert_eq!(series.intervals[0].flows, 2);

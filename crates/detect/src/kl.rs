@@ -142,11 +142,8 @@ impl KlDetector {
                 let baseline = average_hist(&hists, t, self.config.window, f, bins);
                 let kl = kl_divergence(&hists[t][f], &baseline);
                 kls[f] = kl;
-                let threshold = adaptive_threshold(
-                    &history[f],
-                    self.config.sigma,
-                    self.config.floor,
-                );
+                let threshold =
+                    adaptive_threshold(&history[f], self.config.sigma, self.config.floor);
                 if kl > threshold {
                     flagged.push(KlScore { feature: Feature::MINING[f], kl, threshold });
                 }
@@ -174,10 +171,11 @@ impl KlDetector {
                 ));
             }
 
-            let worst =
-                flagged.iter().cloned().max_by(|a, b| {
-                    (a.kl / a.threshold).partial_cmp(&(b.kl / b.threshold)).unwrap()
-                }).expect("flagged is non-empty");
+            let worst = flagged
+                .iter()
+                .cloned()
+                .max_by(|a, b| (a.kl / a.threshold).partial_cmp(&(b.kl / b.threshold)).unwrap())
+                .expect("flagged is non-empty");
             let alarm = Alarm::new(self.next_id, "kl", series.intervals[t].range)
                 .with_hints(hints)
                 .with_kind(guess_kind(&flagged))
@@ -294,10 +292,8 @@ fn top_deviating_values(
 
     let flagged: Vec<usize> = contributions.iter().map(|&(b, _)| b).collect();
     // Heaviest concrete values inside the flagged bins.
-    let mut candidates: Vec<(u32, u64)> = dist
-        .iter()
-        .filter(|&(v, _)| flagged.contains(&bin_of(v, bins)))
-        .collect();
+    let mut candidates: Vec<(u32, u64)> =
+        dist.iter().filter(|&(v, _)| flagged.contains(&bin_of(v, bins))).collect();
     candidates.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     candidates.truncate(max);
     candidates
@@ -345,7 +341,10 @@ mod tests {
                     FlowRecord::builder()
                         .time(base + (i as u64 * 91) % width, base + (i as u64 * 91) % width + 50)
                         .src(Ipv4Addr::from(0x0A00_0000 + (i % 40)), 1024 + (i % 500) as u16)
-                        .dst(Ipv4Addr::from(0xAC10_0000 + (i % 7)), if i % 3 == 0 { 443 } else { 80 })
+                        .dst(
+                            Ipv4Addr::from(0xAC10_0000 + (i % 7)),
+                            if i % 3 == 0 { 443 } else { 80 },
+                        )
                         .proto(Protocol::TCP)
                         .volume(3, 1800)
                         .build(),

@@ -123,7 +123,8 @@ impl Matrix {
             let var = (0..self.rows).map(|r| (self.get(r, c) - mean).powi(2)).sum::<f64>() / n;
             let std = var.sqrt();
             for r in 0..self.rows {
-                let z = if std > 1e-12 { (self.get(r, c) - mean) / std } else { self.get(r, c) - mean };
+                let z =
+                    if std > 1e-12 { (self.get(r, c) - mean) / std } else { self.get(r, c) - mean };
                 self.set(r, c, z);
             }
             stats.push((mean, if std > 1e-12 { std } else { 0.0 }));
@@ -288,12 +289,8 @@ mod tests {
 
     #[test]
     fn covariance_of_perfectly_correlated_columns() {
-        let mut m = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-            vec![4.0, 8.0],
-        ]);
+        let mut m =
+            Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0], vec![4.0, 8.0]]);
         // Center only (std irrelevant here): covariance off-diagonal != 0.
         m.standardize_columns();
         let cov = m.covariance();
@@ -325,15 +322,11 @@ mod tests {
     #[test]
     fn jacobi_reconstructs_matrix() {
         // A = V diag(w) V^T must reproduce the input.
-        let a = Matrix::from_rows(&[
-            vec![4.0, 1.0, 0.5],
-            vec![1.0, 3.0, 0.2],
-            vec![0.5, 0.2, 1.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![4.0, 1.0, 0.5], vec![1.0, 3.0, 0.2], vec![0.5, 0.2, 1.0]]);
         let (vals, vecs) = jacobi_eigen(&a);
         let mut d = Matrix::zeros(3, 3);
-        for i in 0..3 {
-            d.set(i, i, vals[i]);
+        for (i, &v) in vals.iter().enumerate() {
+            d.set(i, i, v);
         }
         let rebuilt = vecs.matmul(&d).matmul(&vecs.transpose());
         for r in 0..3 {
@@ -363,11 +356,7 @@ mod tests {
 
     #[test]
     fn eigenvalues_sorted_descending() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 0.0, 0.0],
-            vec![0.0, 5.0, 0.0],
-            vec![0.0, 0.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 5.0, 0.0], vec![0.0, 0.0, 3.0]]);
         let (vals, _) = jacobi_eigen(&a);
         assert!(vals[0] >= vals[1] && vals[1] >= vals[2]);
         approx(vals[0], 5.0);

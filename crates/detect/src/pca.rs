@@ -105,7 +105,10 @@ impl PcaDetector {
     /// ("subspace contamination", the classic failure mode of PCA
     /// detectors) and hides inside the normal subspace. At 7 dimensions a
     /// per-interval refit costs microseconds, so robustness is free.
-    pub fn detect_series(&mut self, series: &IntervalSeries) -> (Vec<Alarm>, Option<PcaDiagnostics>) {
+    pub fn detect_series(
+        &mut self,
+        series: &IntervalSeries,
+    ) -> (Vec<Alarm>, Option<PcaDiagnostics>) {
         let n = series.len();
         if n < self.config.min_intervals {
             return (Vec::new(), None);
@@ -132,12 +135,12 @@ impl PcaDetector {
             }
             let mut s = 0.0;
             let mut res = [0.0f64; DIMS];
-            for r in 0..DIMS {
+            for (r, slot) in res.iter_mut().enumerate() {
                 let mut acc = 0.0;
-                for c in 0..DIMS {
-                    acc += fit.residual_projector.get(r, c) * y[c];
+                for (c, &yc) in y.iter().enumerate() {
+                    acc += fit.residual_projector.get(r, c) * yc;
                 }
-                res[r] = acc;
+                *slot = acc;
                 s += acc * acc;
             }
             spe[t] = s;
@@ -266,7 +269,7 @@ fn fit_without(rows: &[Vec<f64>], skip: usize, energy: f64) -> Option<LooFit> {
             break;
         }
     }
-    kept = kept.min(DIMS - 1).max(1); // always leave a residual space
+    kept = kept.clamp(1, DIMS - 1); // always leave a residual space
 
     // The residual subspace must retain positive variance, or the Q-limit
     // degenerates to infinity and nothing can ever alarm. Low-rank
@@ -274,8 +277,7 @@ fn fit_without(rows: &[Vec<f64>], skip: usize, energy: f64) -> Option<LooFit> {
     // criterion swallows the whole spectrum: release components back into
     // the residual until it owns variance.
     let residual_floor = total * 1e-9;
-    while kept > 1
-        && eigenvalues[kept..].iter().map(|&l| l.max(0.0)).sum::<f64>() <= residual_floor
+    while kept > 1 && eigenvalues[kept..].iter().map(|&l| l.max(0.0)).sum::<f64>() <= residual_floor
     {
         kept -= 1;
     }
@@ -372,7 +374,12 @@ mod tests {
 
     /// Benign traffic for `intervals` intervals; optionally a scan or a
     /// flood in one interval.
-    fn trace(intervals: usize, width: u64, anomaly_at: Option<usize>, flood: bool) -> (Vec<FlowRecord>, TimeRange) {
+    fn trace(
+        intervals: usize,
+        width: u64,
+        anomaly_at: Option<usize>,
+        flood: bool,
+    ) -> (Vec<FlowRecord>, TimeRange) {
         let mut flows = Vec::new();
         let span = TimeRange::new(0, intervals as u64 * width);
         for t in 0..intervals {
@@ -383,8 +390,14 @@ mod tests {
                 flows.push(
                     FlowRecord::builder()
                         .time(base + (i as u64 * 77) % width, base + (i as u64 * 77) % width + 40)
-                        .src(Ipv4Addr::from(0x0A00_0000 + ((i * 7 + t as u32) % 60)), 1024 + (i % 700) as u16)
-                        .dst(Ipv4Addr::from(0xAC10_0000 + (i % 9)), if i % 4 == 0 { 443 } else { 80 })
+                        .src(
+                            Ipv4Addr::from(0x0A00_0000 + ((i * 7 + t as u32) % 60)),
+                            1024 + (i % 700) as u16,
+                        )
+                        .dst(
+                            Ipv4Addr::from(0xAC10_0000 + (i % 9)),
+                            if i % 4 == 0 { 443 } else { 80 },
+                        )
                         .proto(Protocol::TCP)
                         .volume(2 + (i % 5) as u64, 1200)
                         .build(),
@@ -427,7 +440,11 @@ mod tests {
         let (flows, span) = trace(16, 60_000, None, false);
         let mut det = PcaDetector::new(PcaConfig { interval_ms: 60_000, ..PcaConfig::default() });
         let alarms = det.detect(&flows, span);
-        assert!(alarms.is_empty(), "false alarms: {:?}", alarms.iter().map(|a| a.describe()).collect::<Vec<_>>());
+        assert!(
+            alarms.is_empty(),
+            "false alarms: {:?}",
+            alarms.iter().map(|a| a.describe()).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -436,7 +453,10 @@ mod tests {
         let mut det = PcaDetector::new(PcaConfig { interval_ms: 60_000, ..PcaConfig::default() });
         let alarms = det.detect(&flows, span);
         assert!(!alarms.is_empty(), "scan not detected");
-        let hit = alarms.iter().find(|a| a.window.from_ms == 11 * 60_000).expect("wrong interval flagged");
+        let hit = alarms
+            .iter()
+            .find(|a| a.window.from_ms == 11 * 60_000)
+            .expect("wrong interval flagged");
         assert!(
             hit.hints.iter().any(|h| *h == FeatureItem::src_ip(ip("10.66.66.66"))
                 || *h == FeatureItem::dst_ip(ip("172.16.0.99"))
@@ -451,7 +471,10 @@ mod tests {
         let (flows, span) = trace(16, 60_000, Some(9), true);
         let mut det = PcaDetector::new(PcaConfig { interval_ms: 60_000, ..PcaConfig::default() });
         let alarms = det.detect(&flows, span);
-        assert!(alarms.iter().any(|a| a.window.from_ms == 9 * 60_000), "flood interval not flagged");
+        assert!(
+            alarms.iter().any(|a| a.window.from_ms == 9 * 60_000),
+            "flood interval not flagged"
+        );
     }
 
     #[test]
@@ -473,13 +496,8 @@ mod tests {
         assert!(diag.q_limit.is_finite() && diag.q_limit > 0.0);
         assert!(diag.normal_components >= 1 && diag.normal_components < DIMS);
         // The anomalous interval carries the max SPE.
-        let max_idx = diag
-            .spe
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let max_idx =
+            diag.spe.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(max_idx, 11);
     }
 

@@ -56,8 +56,8 @@ proptest! {
         }
         // V D V^T == M.
         let mut d = Matrix::zeros(4, 4);
-        for i in 0..4 {
-            d.set(i, i, vals[i]);
+        for (i, &v) in vals.iter().enumerate() {
+            d.set(i, i, v);
         }
         let rebuilt = vecs.matmul(&d).matmul(&vecs.transpose());
         for r in 0..4 {
@@ -174,10 +174,8 @@ fn detectors_catch_generated_scan() {
 
     let mut pca = PcaDetector::new(PcaConfig { interval_ms: width, ..PcaConfig::default() });
     let pca_alarms = pca.detect(&flows, span);
-    let hit = pca_alarms
-        .iter()
-        .find(|a| a.window.contains(9 * width))
-        .expect("PCA missed the scan");
+    let hit =
+        pca_alarms.iter().find(|a| a.window.contains(9 * width)).expect("PCA missed the scan");
     let scanner: std::net::Ipv4Addr = "10.103.0.66".parse().unwrap();
     let victim: std::net::Ipv4Addr = "172.20.1.40".parse().unwrap();
     assert!(

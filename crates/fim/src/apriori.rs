@@ -53,11 +53,8 @@ pub fn apriori(txs: &TransactionSet, config: &AprioriConfig) -> Vec<FrequentItem
             *item_counts.entry(item).or_insert(0) += t.weight();
         }
     }
-    let mut frequent_items: Vec<Item> = item_counts
-        .iter()
-        .filter(|&(_, &c)| c >= threshold)
-        .map(|(&i, _)| i)
-        .collect();
+    let mut frequent_items: Vec<Item> =
+        item_counts.iter().filter(|&(_, &c)| c >= threshold).map(|(&i, _)| i).collect();
     frequent_items.sort_unstable();
     for &item in &frequent_items {
         results.push(FrequentItemset::new(Itemset::single(item), item_counts[&item]));
@@ -74,12 +71,8 @@ pub fn apriori(txs: &TransactionSet, config: &AprioriConfig) -> Vec<FrequentItem
         .transactions()
         .iter()
         .filter_map(|t| {
-            let items: Vec<Item> = t
-                .items()
-                .iter()
-                .copied()
-                .filter(|i| frequent_set.contains(i))
-                .collect();
+            let items: Vec<Item> =
+                t.items().iter().copied().filter(|i| frequent_set.contains(i)).collect();
             (items.len() >= 2 && t.weight() > 0).then_some((items, t.weight()))
         })
         .collect();
@@ -121,10 +114,8 @@ fn generate_candidates(level: &[Itemset]) -> Vec<Itemset> {
             match a.apriori_join(b) {
                 Some(joined) => {
                     // Prune: all k-subsets must be frequent.
-                    let all_frequent = joined
-                        .proper_subsets()
-                        .iter()
-                        .all(|s| previous.contains(s.items()));
+                    let all_frequent =
+                        joined.proper_subsets().iter().all(|s| previous.contains(s.items()));
                     if all_frequent {
                         candidates.push(joined);
                     }
@@ -145,10 +136,7 @@ fn count_candidates(
     threads: usize,
 ) -> HashMap<Vec<Item>, u64> {
     let make_table = || -> HashMap<Vec<Item>, u64> {
-        candidates
-            .iter()
-            .map(|c| (c.items().to_vec(), 0u64))
-            .collect()
+        candidates.iter().map(|c| (c.items().to_vec(), 0u64)).collect()
     };
 
     if threads <= 1 || projected.len() < 4 * threads {
@@ -326,11 +314,7 @@ mod tests {
     fn max_len_caps_itemset_size() {
         let results = apriori(
             &classic_dataset(),
-            &AprioriConfig {
-                min_support: MinSupport::Absolute(2),
-                max_len: 1,
-                threads: 1,
-            },
+            &AprioriConfig { min_support: MinSupport::Absolute(2), max_len: 1, threads: 1 },
         );
         assert!(results.iter().all(|f| f.itemset.len() == 1));
         assert_eq!(results.len(), 5);
@@ -370,8 +354,14 @@ mod tests {
                 t(&items, 1 + next() % 100)
             })
             .collect();
-        let seq = apriori(&txs, &AprioriConfig { min_support: MinSupport::Absolute(200), max_len: 0, threads: 1 });
-        let par = apriori(&txs, &AprioriConfig { min_support: MinSupport::Absolute(200), max_len: 0, threads: 4 });
+        let seq = apriori(
+            &txs,
+            &AprioriConfig { min_support: MinSupport::Absolute(200), max_len: 0, threads: 1 },
+        );
+        let par = apriori(
+            &txs,
+            &AprioriConfig { min_support: MinSupport::Absolute(200), max_len: 0, threads: 4 },
+        );
         assert_eq!(seq, par);
         assert!(!seq.is_empty());
     }

@@ -46,9 +46,7 @@ pub fn eclat(txs: &TransactionSet, config: &EclatConfig) -> Vec<FrequentItemset>
         }
     }
 
-    let support = |tids: &[u32]| -> u64 {
-        tids.iter().map(|&t| weights[t as usize]).sum()
-    };
+    let support = |tids: &[u32]| -> u64 { tids.iter().map(|&t| weights[t as usize]).sum() };
 
     // Frequent 1-items, ascending item order for deterministic DFS.
     let mut roots: Vec<(Item, Vec<u32>, u64)> = tidlists
@@ -145,10 +143,7 @@ mod tests {
     }
 
     fn run(txs: &TransactionSet, abs: u64) -> Vec<FrequentItemset> {
-        eclat(
-            txs,
-            &EclatConfig { min_support: MinSupport::Absolute(abs), max_len: 0 },
-        )
+        eclat(txs, &EclatConfig { min_support: MinSupport::Absolute(abs), max_len: 0 })
     }
 
     #[test]
@@ -166,21 +161,16 @@ mod tests {
             &txs,
             &AprioriConfig { min_support: MinSupport::Absolute(2), max_len: 0, threads: 1 },
         );
-        let fp = fpgrowth(
-            &txs,
-            &FpGrowthConfig { min_support: MinSupport::Absolute(2), max_len: 0 },
-        );
+        let fp =
+            fpgrowth(&txs, &FpGrowthConfig { min_support: MinSupport::Absolute(2), max_len: 0 });
         assert_eq!(ec, ap);
         assert_eq!(ec, fp);
     }
 
     #[test]
     fn weighted_supports() {
-        let txs = TransactionSet::from_transactions(vec![
-            t(&[1, 2], 7),
-            t(&[1, 2], 5),
-            t(&[2], 100),
-        ]);
+        let txs =
+            TransactionSet::from_transactions(vec![t(&[1, 2], 7), t(&[1, 2], 5), t(&[2], 100)]);
         let results = run(&txs, 12);
         let find = |vals: &[u64]| {
             let set = Itemset::new(vals.iter().map(|&v| Item(v)).collect());
@@ -194,10 +184,8 @@ mod tests {
     #[test]
     fn max_len_respected() {
         let txs = classic_dataset();
-        let results = eclat(
-            &txs,
-            &EclatConfig { min_support: MinSupport::Absolute(2), max_len: 1 },
-        );
+        let results =
+            eclat(&txs, &EclatConfig { min_support: MinSupport::Absolute(2), max_len: 1 });
         assert!(results.iter().all(|f| f.itemset.len() == 1));
         assert_eq!(results.len(), 5);
     }

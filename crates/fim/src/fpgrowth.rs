@@ -60,10 +60,8 @@ impl FpTree {
         }
         // Frequent items, descending frequency (ties: item order) — the
         // canonical FP-tree insertion order.
-        let mut frequent: Vec<(Item, u64)> = counts
-            .into_iter()
-            .filter(|&(_, c)| c >= threshold)
-            .collect();
+        let mut frequent: Vec<(Item, u64)> =
+            counts.into_iter().filter(|&(_, c)| c >= threshold).collect();
         frequent.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let rank: HashMap<Item, usize> =
             frequent.iter().enumerate().map(|(i, &(item, _))| (item, i)).collect();
@@ -75,10 +73,7 @@ impl FpTree {
                 parent: ROOT,
                 children: Vec::new(),
             }],
-            header: frequent
-                .iter()
-                .map(|&(item, count)| (item, count, Vec::new()))
-                .collect(),
+            header: frequent.iter().map(|&(item, count)| (item, count, Vec::new())).collect(),
         };
 
         for (items, weight) in paths {
@@ -86,10 +81,8 @@ impl FpTree {
                 continue;
             }
             // Keep frequent items, sort by rank (most frequent first).
-            let mut ranked: Vec<(usize, Item)> = items
-                .iter()
-                .filter_map(|item| rank.get(item).map(|&r| (r, *item)))
-                .collect();
+            let mut ranked: Vec<(usize, Item)> =
+                items.iter().filter_map(|item| rank.get(item).map(|&r| (r, *item))).collect();
             ranked.sort_unstable();
             ranked.dedup();
             tree.insert(&ranked, *weight);
@@ -100,9 +93,7 @@ impl FpTree {
     fn insert(&mut self, ranked: &[(usize, Item)], weight: u64) {
         let mut current = ROOT;
         for &(rank, item) in ranked {
-            let pos = self.nodes[current]
-                .children
-                .binary_search_by_key(&item, |&(i, _)| i);
+            let pos = self.nodes[current].children.binary_search_by_key(&item, |&(i, _)| i);
             current = match pos {
                 Ok(i) => {
                     let child = self.nodes[current].children[i].1;
@@ -111,12 +102,7 @@ impl FpTree {
                 }
                 Err(i) => {
                     let child = self.nodes.len();
-                    self.nodes.push(Node {
-                        item,
-                        weight,
-                        parent: current,
-                        children: Vec::new(),
-                    });
+                    self.nodes.push(Node { item, weight, parent: current, children: Vec::new() });
                     self.nodes[current].children.insert(i, (item, child));
                     self.header[rank].2.push(child);
                     child
@@ -143,11 +129,8 @@ impl FpTree {
 pub fn fpgrowth(txs: &TransactionSet, config: &FpGrowthConfig) -> Vec<FrequentItemset> {
     let threshold = config.min_support.resolve(txs);
     let max_len = if config.max_len == 0 { usize::MAX } else { config.max_len };
-    let paths: Vec<(Vec<Item>, u64)> = txs
-        .transactions()
-        .iter()
-        .map(|t| (t.items().to_vec(), t.weight()))
-        .collect();
+    let paths: Vec<(Vec<Item>, u64)> =
+        txs.transactions().iter().map(|t| (t.items().to_vec(), t.weight())).collect();
     let tree = FpTree::build(&paths, threshold);
     let mut results = Vec::new();
     mine(&tree, threshold, max_len, &Itemset::empty(), &mut results);
@@ -213,10 +196,7 @@ mod tests {
     }
 
     fn run(txs: &TransactionSet, abs: u64) -> Vec<FrequentItemset> {
-        fpgrowth(
-            txs,
-            &FpGrowthConfig { min_support: MinSupport::Absolute(abs), max_len: 0 },
-        )
+        fpgrowth(txs, &FpGrowthConfig { min_support: MinSupport::Absolute(abs), max_len: 0 })
     }
 
     #[test]
@@ -260,10 +240,8 @@ mod tests {
     #[test]
     fn max_len_respected() {
         let txs = classic_dataset();
-        let results = fpgrowth(
-            &txs,
-            &FpGrowthConfig { min_support: MinSupport::Absolute(2), max_len: 2 },
-        );
+        let results =
+            fpgrowth(&txs, &FpGrowthConfig { min_support: MinSupport::Absolute(2), max_len: 2 });
         assert!(results.iter().all(|f| f.itemset.len() <= 2));
         assert!(results.iter().any(|f| f.itemset.len() == 2));
     }
@@ -289,10 +267,7 @@ mod tests {
         let txs = TransactionSet::from_transactions(vec![t(&[1, 1, 2], 1), t(&[1, 2], 1)]);
         let results = run(&txs, 2);
         let one = Itemset::new(vec![Item(1)]);
-        assert_eq!(
-            results.iter().find(|f| f.itemset == one).unwrap().support,
-            2
-        );
+        assert_eq!(results.iter().find(|f| f.itemset == one).unwrap().support, 2);
     }
 
     #[test]

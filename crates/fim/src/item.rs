@@ -14,9 +14,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Ordering is plain `u64` order; with the tag in the high bits, items
 /// group by dimension, which keeps itemsets readable and joins cheap.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Item(pub u64);
 
 impl Item {
@@ -225,7 +223,7 @@ mod tests {
         assert!(small.is_subset_of(&big));
         assert!(!big.is_subset_of(&small));
         assert!(set(&[]).is_subset_of(&big));
-        assert!(set(&[5]).is_subset_of(&big) == false);
+        assert!(!set(&[5]).is_subset_of(&big));
         assert!(big.is_subset_of(&big));
     }
 

@@ -122,10 +122,9 @@ pub fn mine(txs: &TransactionSet, config: &MiningConfig) -> Vec<FrequentItemset>
             txs,
             &FpGrowthConfig { min_support: config.min_support, max_len: config.max_len },
         ),
-        Algorithm::Eclat => eclat(
-            txs,
-            &EclatConfig { min_support: config.min_support, max_len: config.max_len },
-        ),
+        Algorithm::Eclat => {
+            eclat(txs, &EclatConfig { min_support: config.min_support, max_len: config.max_len })
+        }
     }
 }
 
@@ -145,9 +144,8 @@ mod tests {
 
     #[test]
     fn dispatch_runs_each_algorithm() {
-        let txs: TransactionSet = (0..10)
-            .map(|_| Transaction::new(vec![Item(1), Item(2)], 1))
-            .collect();
+        let txs: TransactionSet =
+            (0..10).map(|_| Transaction::new(vec![Item(1), Item(2)], 1)).collect();
         for algorithm in [Algorithm::Apriori, Algorithm::FpGrowth, Algorithm::Eclat] {
             let out = mine(
                 &txs,

@@ -16,12 +16,10 @@ use crate::support::{sort_canonical, FrequentItemset};
 pub fn maximal_only(mut results: Vec<FrequentItemset>) -> Vec<FrequentItemset> {
     // Sort by length descending; any superset of x is strictly longer, so
     // it suffices to compare against already-kept longer sets.
-    results.sort_by(|a, b| b.itemset.len().cmp(&a.itemset.len()));
+    results.sort_by_key(|f| std::cmp::Reverse(f.itemset.len()));
     let mut kept: Vec<FrequentItemset> = Vec::new();
     for candidate in results {
-        let dominated = kept
-            .iter()
-            .any(|k| candidate.itemset.is_subset_of(&k.itemset));
+        let dominated = kept.iter().any(|k| candidate.itemset.is_subset_of(&k.itemset));
         if !dominated {
             kept.push(candidate);
         }
@@ -99,13 +97,7 @@ mod tests {
 
     #[test]
     fn closed_is_superset_of_maximal() {
-        let input = vec![
-            f(&[1], 6),
-            f(&[2], 6),
-            f(&[1, 2], 6),
-            f(&[3], 4),
-            f(&[1, 3], 2),
-        ];
+        let input = vec![f(&[1], 6), f(&[2], 6), f(&[1, 2], 6), f(&[3], 4), f(&[1, 3], 2)];
         let maximal = maximal_only(input.clone());
         let closed = closed_only(input);
         for m in &maximal {

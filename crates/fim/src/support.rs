@@ -83,10 +83,7 @@ mod tests {
     use crate::transaction::Transaction;
 
     fn txs(weights: &[u64]) -> TransactionSet {
-        weights
-            .iter()
-            .map(|&w| Transaction::new(vec![Item(1)], w))
-            .collect()
+        weights.iter().map(|&w| Transaction::new(vec![Item(1)], w)).collect()
     }
 
     #[test]

@@ -37,13 +37,7 @@ pub struct TopKConfig {
 
 impl Default for TopKConfig {
     fn default() -> Self {
-        TopKConfig {
-            k: 10,
-            floor: 2,
-            max_rounds: 24,
-            max_len: 0,
-            algorithm: Algorithm::Apriori,
-        }
+        TopKConfig { k: 10, floor: 2, max_rounds: 24, max_len: 0, algorithm: Algorithm::Apriori }
     }
 }
 
@@ -82,7 +76,12 @@ pub fn mine_top_k(txs: &TransactionSet, config: &TopKConfig) -> TopKResult {
     };
 
     if total == 0 || txs.is_empty() {
-        return TopKResult { itemsets: Vec::new(), chosen_support: floor, total_found: 0, rounds: 0 };
+        return TopKResult {
+            itemsets: Vec::new(),
+            chosen_support: floor,
+            total_found: 0,
+            rounds: 0,
+        };
     }
 
     // Phase 1: geometric descent from the top until enough itemsets appear
@@ -206,10 +205,7 @@ mod tests {
             txs.push(t(&[1, 2, 500 + i % 100], 1));
         }
         let txs = TransactionSet::from_transactions(txs);
-        let r = mine_top_k(
-            &txs,
-            &TopKConfig { k: 10, floor: 2, ..TopKConfig::default() },
-        );
+        let r = mine_top_k(&txs, &TopKConfig { k: 10, floor: 2, ..TopKConfig::default() });
         // Without the guard this returns ten support-10 noise supersets;
         // with it, the support-1000 pair survives.
         assert!(
@@ -223,10 +219,7 @@ mod tests {
     fn finds_the_dominant_pattern_with_k1() {
         let r = mine_top_k(&skewed(), &TopKConfig { k: 1, ..TopKConfig::default() });
         assert_eq!(r.itemsets.len(), 1);
-        assert_eq!(
-            r.itemsets[0].itemset,
-            crate::item::Itemset::new(vec![Item(1), Item(2)])
-        );
+        assert_eq!(r.itemsets[0].itemset, crate::item::Itemset::new(vec![Item(1), Item(2)]));
         assert_eq!(r.itemsets[0].support, 1000);
         // Threshold stayed high: noise never surfaced.
         assert!(r.chosen_support > 100, "chosen {}", r.chosen_support);
@@ -244,10 +237,7 @@ mod tests {
     #[test]
     fn floor_prevents_noise_harvest() {
         // Ask for far more itemsets than exist above the floor.
-        let r = mine_top_k(
-            &skewed(),
-            &TopKConfig { k: 500, floor: 5, ..TopKConfig::default() },
-        );
+        let r = mine_top_k(&skewed(), &TopKConfig { k: 500, floor: 5, ..TopKConfig::default() });
         // Only the two real patterns have support >= 5.
         assert_eq!(r.chosen_support, 5);
         assert!(r.total_found < 500);
@@ -256,10 +246,7 @@ mod tests {
 
     #[test]
     fn floor_one_harvests_everything_when_asked() {
-        let r = mine_top_k(
-            &skewed(),
-            &TopKConfig { k: 60, floor: 1, ..TopKConfig::default() },
-        );
+        let r = mine_top_k(&skewed(), &TopKConfig { k: 60, floor: 1, ..TopKConfig::default() });
         // 52 maximal patterns exist ({1,2}, {10,11}, 50 noise pairs).
         assert_eq!(r.total_found, 52);
     }
@@ -273,20 +260,14 @@ mod tests {
 
     #[test]
     fn rounds_stay_bounded() {
-        let r = mine_top_k(
-            &skewed(),
-            &TopKConfig { k: 3, max_rounds: 5, ..TopKConfig::default() },
-        );
+        let r = mine_top_k(&skewed(), &TopKConfig { k: 3, max_rounds: 5, ..TopKConfig::default() });
         assert!(r.rounds <= 5, "rounds {}", r.rounds);
     }
 
     #[test]
     fn all_algorithms_agree() {
         for algorithm in [Algorithm::Apriori, Algorithm::FpGrowth, Algorithm::Eclat] {
-            let r = mine_top_k(
-                &skewed(),
-                &TopKConfig { k: 2, algorithm, ..TopKConfig::default() },
-            );
+            let r = mine_top_k(&skewed(), &TopKConfig { k: 2, algorithm, ..TopKConfig::default() });
             assert_eq!(r.itemsets.len(), 2, "{algorithm:?}");
             assert_eq!(r.itemsets[0].support, 1000, "{algorithm:?}");
             assert_eq!(r.itemsets[1].support, 100, "{algorithm:?}");
@@ -302,10 +283,7 @@ mod tests {
         }
         let set = TransactionSet::from_transactions(txs);
         let r = mine_top_k(&set, &TopKConfig { k: 1, ..TopKConfig::default() });
-        assert_eq!(
-            r.itemsets[0].itemset,
-            crate::item::Itemset::new(vec![Item(1), Item(2)])
-        );
+        assert_eq!(r.itemsets[0].itemset, crate::item::Itemset::new(vec![Item(1), Item(2)]));
         assert_eq!(r.itemsets[0].support, 1_000_000);
     }
 

@@ -95,11 +95,7 @@ impl TransactionSet {
     /// the mining algorithms are tested against, and the tool used for
     /// one-off queries.
     pub fn support_of(&self, itemset: &Itemset) -> u64 {
-        self.transactions
-            .iter()
-            .filter(|t| t.contains(itemset))
-            .map(Transaction::weight)
-            .sum()
+        self.transactions.iter().filter(|t| t.contains(itemset)).map(Transaction::weight).sum()
     }
 
     /// Distinct items across all transactions, sorted.
@@ -114,10 +110,7 @@ impl TransactionSet {
     /// Re-weight every transaction to 1 (flow-support view).
     pub fn unit_weights(&self) -> TransactionSet {
         TransactionSet::from_transactions(
-            self.transactions
-                .iter()
-                .map(|t| Transaction::new(t.items().to_vec(), 1))
-                .collect(),
+            self.transactions.iter().map(|t| Transaction::new(t.items().to_vec(), 1)).collect(),
         )
     }
 }
@@ -167,11 +160,8 @@ mod tests {
 
     #[test]
     fn support_of_sums_weights() {
-        let set = TransactionSet::from_transactions(vec![
-            t(&[1, 2], 10),
-            t(&[1, 3], 5),
-            t(&[2, 3], 2),
-        ]);
+        let set =
+            TransactionSet::from_transactions(vec![t(&[1, 2], 10), t(&[1, 3], 5), t(&[2, 3], 2)]);
         assert_eq!(set.support_of(&iset(&[1])), 15);
         assert_eq!(set.support_of(&iset(&[1, 2])), 10);
         assert_eq!(set.support_of(&iset(&[4])), 0);

@@ -21,10 +21,8 @@ fn brute_force(txs: &TransactionSet, threshold: u64) -> Vec<FrequentItemset> {
         let items = t.items();
         let n = items.len();
         for mask in 1u32..(1 << n) {
-            let subset: Itemset = (0..n)
-                .filter(|&i| mask & (1 << i) != 0)
-                .map(|i| items[i])
-                .collect();
+            let subset: Itemset =
+                (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| items[i]).collect();
             results.entry(subset).or_insert(0);
         }
     }
@@ -44,14 +42,7 @@ fn brute_force(txs: &TransactionSet, threshold: u64) -> Vec<FrequentItemset> {
 /// Small random transaction sets: up to 12 transactions, items 0..8,
 /// weights 0..50 — tiny enough for brute force, rich enough to bite.
 fn arb_txs() -> impl Strategy<Value = TransactionSet> {
-    prop::collection::vec(
-        (
-            prop::collection::vec(0u64..8, 1..5),
-            0u64..50,
-        ),
-        1..12,
-    )
-    .prop_map(|raw| {
+    prop::collection::vec((prop::collection::vec(0u64..8, 1..5), 0u64..50), 1..12).prop_map(|raw| {
         raw.into_iter()
             .map(|(vals, w)| Transaction::new(vals.into_iter().map(Item).collect(), w))
             .collect()

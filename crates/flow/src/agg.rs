@@ -130,10 +130,7 @@ impl Aggregator {
     pub fn top_n(&self, metric: Metric, n: usize) -> Vec<AggRow> {
         let mut rows = self.rows();
         rows.sort_by(|a, b| {
-            metric
-                .of(&b.stats)
-                .cmp(&metric.of(&a.stats))
-                .then_with(|| a.key.cmp(&b.key))
+            metric.of(&b.stats).cmp(&metric.of(&a.stats)).then_with(|| a.key.cmp(&b.key))
         });
         rows.truncate(n);
         rows
@@ -187,12 +184,7 @@ mod tests {
             rec([10, 0, 0, 1], 80, 1, 100),
             rec([10, 0, 0, 1], 443, 1, 100),
         ];
-        let rows = top_n(
-            &flows,
-            &[Feature::SrcIp, Feature::DstPort],
-            Metric::Flows,
-            10,
-        );
+        let rows = top_n(&flows, &[Feature::SrcIp, Feature::DstPort], Metric::Flows, 10);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].stats.flows, 2);
         assert_eq!(rows[0].key[1], FeatureItem::dst_port(80));
@@ -201,7 +193,7 @@ mod tests {
     #[test]
     fn ranking_respects_metric() {
         let flows = vec![
-            rec([1, 1, 1, 1], 80, 100, 10), // most packets
+            rec([1, 1, 1, 1], 80, 100, 10),  // most packets
             rec([2, 2, 2, 2], 80, 1, 9_000), // most bytes
             rec([3, 3, 3, 3], 80, 1, 10),
             rec([3, 3, 3, 3], 80, 1, 10), // most flows
@@ -225,8 +217,7 @@ mod tests {
 
     #[test]
     fn truncates_to_n() {
-        let flows: Vec<FlowRecord> =
-            (0..20).map(|i| rec([10, 0, 0, i as u8], 80, 1, 1)).collect();
+        let flows: Vec<FlowRecord> = (0..20).map(|i| rec([10, 0, 0, i as u8], 80, 1, 1)).collect();
         assert_eq!(top_n(&flows, &[Feature::SrcIp], Metric::Flows, 5).len(), 5);
     }
 

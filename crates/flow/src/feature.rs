@@ -30,21 +30,12 @@ pub enum Feature {
 
 impl Feature {
     /// The four features the paper mines over (without protocol).
-    pub const MINING: [Feature; 4] = [
-        Feature::SrcIp,
-        Feature::DstIp,
-        Feature::SrcPort,
-        Feature::DstPort,
-    ];
+    pub const MINING: [Feature; 4] =
+        [Feature::SrcIp, Feature::DstIp, Feature::SrcPort, Feature::DstPort];
 
     /// All defined features.
-    pub const ALL: [Feature; 5] = [
-        Feature::SrcIp,
-        Feature::DstIp,
-        Feature::SrcPort,
-        Feature::DstPort,
-        Feature::Proto,
-    ];
+    pub const ALL: [Feature; 5] =
+        [Feature::SrcIp, Feature::DstIp, Feature::SrcPort, Feature::DstPort, Feature::Proto];
 
     /// Stable small integer tag (used for item encoding and store layout).
     pub fn tag(self) -> u8 {
@@ -120,9 +111,7 @@ impl FeatureValue {
     pub fn from_raw(feature: Feature, raw: u32) -> Option<FeatureValue> {
         Some(match feature {
             Feature::SrcIp | Feature::DstIp => FeatureValue::Ip(Ipv4Addr::from(raw)),
-            Feature::SrcPort | Feature::DstPort => {
-                FeatureValue::Port(u16::try_from(raw).ok()?)
-            }
+            Feature::SrcPort | Feature::DstPort => FeatureValue::Port(u16::try_from(raw).ok()?),
             Feature::Proto => FeatureValue::Proto(Protocol(u8::try_from(raw).ok()?)),
         })
     }
@@ -263,9 +252,7 @@ mod tests {
     fn checked_rejects_kind_mismatch() {
         assert!(FeatureItem::checked(Feature::SrcIp, FeatureValue::Port(1)).is_none());
         assert!(FeatureItem::checked(Feature::DstPort, FeatureValue::Ip(ip("1.1.1.1"))).is_none());
-        assert!(
-            FeatureItem::checked(Feature::Proto, FeatureValue::Proto(Protocol::TCP)).is_some()
-        );
+        assert!(FeatureItem::checked(Feature::Proto, FeatureValue::Proto(Protocol::TCP)).is_some());
     }
 
     #[test]
@@ -284,10 +271,7 @@ mod tests {
 
     #[test]
     fn mining_items_covers_four_dims() {
-        let r = FlowRecord::builder()
-            .src(ip("1.1.1.1"), 1)
-            .dst(ip("2.2.2.2"), 2)
-            .build();
+        let r = FlowRecord::builder().src(ip("1.1.1.1"), 1).dst(ip("2.2.2.2"), 2).build();
         let items = r.mining_items();
         assert_eq!(items.len(), 4);
         let feats: Vec<Feature> = items.iter().map(|i| i.feature).collect();
@@ -298,13 +282,7 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(FeatureItem::dst_port(80).to_string(), "dstPort=80");
-        assert_eq!(
-            FeatureItem::src_ip(ip("10.0.0.1")).to_string(),
-            "srcIP=10.0.0.1"
-        );
-        assert_eq!(
-            FeatureItem::proto(Protocol::UDP).to_string(),
-            "proto=udp"
-        );
+        assert_eq!(FeatureItem::src_ip(ip("10.0.0.1")).to_string(), "srcIP=10.0.0.1");
+        assert_eq!(FeatureItem::proto(Protocol::UDP).to_string(), "proto=udp");
     }
 }

@@ -169,10 +169,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 tokens.push(Token::Word(input[start..i].to_ascii_lowercase()));
             }
             other => {
-                return Err(LexError {
-                    pos: i,
-                    message: format!("unexpected character {other:?}"),
-                })
+                return Err(LexError { pos: i, message: format!("unexpected character {other:?}") })
             }
         }
     }
@@ -199,9 +196,8 @@ fn numeric_token(text: &str, pos: usize) -> Result<Token, LexError> {
             .map_err(|_| LexError { pos, message: format!("bad IPv4 address {text:?}") })?;
         return Ok(Token::Ip(ip));
     }
-    let n: u64 = text
-        .parse()
-        .map_err(|_| LexError { pos, message: format!("bad number {text:?}") })?;
+    let n: u64 =
+        text.parse().map_err(|_| LexError { pos, message: format!("bad number {text:?}") })?;
     Ok(Token::Number(n))
 }
 
@@ -251,11 +247,7 @@ mod tests {
     fn double_equals_is_eq() {
         assert_eq!(
             lex("packets == 3").unwrap(),
-            vec![
-                Token::Word("packets".into()),
-                Token::Cmp(CmpOp::Eq),
-                Token::Number(3)
-            ]
+            vec![Token::Word("packets".into()), Token::Cmp(CmpOp::Eq), Token::Number(3)]
         );
     }
 

@@ -388,8 +388,11 @@ mod tests {
     #[test]
     fn boolean_combinators() {
         let f = flow("10.0.0.1", 5555, "192.0.2.1", 80, Protocol::TCP);
-        let e = Expr::Pred(Pred::Proto(Protocol::TCP))
-            .and(Expr::Pred(Pred::Port(Dir::Dst, CmpOp::Eq, 80)));
+        let e = Expr::Pred(Pred::Proto(Protocol::TCP)).and(Expr::Pred(Pred::Port(
+            Dir::Dst,
+            CmpOp::Eq,
+            80,
+        )));
         assert!(e.matches(&f));
         let e2 = e.clone().not();
         assert!(!e2.matches(&f));

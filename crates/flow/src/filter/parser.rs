@@ -196,8 +196,8 @@ impl Parser {
             "port" => {
                 let op = self.cmp_or_eq();
                 let n = self.expect_number("port number")?;
-                let port = u16::try_from(n)
-                    .map_err(|_| self.error(format!("port {n} out of range")))?;
+                let port =
+                    u16::try_from(n).map_err(|_| self.error(format!("port {n} out of range")))?;
                 Ok(Pred::Port(dir_or_either, op, port))
             }
             "as" => {
@@ -256,8 +256,8 @@ impl Parser {
             },
             "pop" => {
                 let n = self.expect_number("PoP id")?;
-                let p = u16::try_from(n)
-                    .map_err(|_| self.error(format!("PoP id {n} out of range")))?;
+                let p =
+                    u16::try_from(n).map_err(|_| self.error(format!("PoP id {n} out of range")))?;
                 Ok(Pred::Pop(p))
             }
             "any" => Ok(Pred::Any),
@@ -346,7 +346,7 @@ mod tests {
             "port 80 80",
             "src proto tcp",
             "dst port",
-            "packets 7",  // missing operator
+            "packets 7", // missing operator
             "ip",
             "net 10.0.0.0/8 extra",
             "port 99999",
@@ -388,10 +388,8 @@ mod tests {
 
     #[test]
     fn complex_realistic_expression() {
-        let e = ok(
-            "proto tcp and dst port 80 and flags S and not src net 10.0.0.0/8 \
-             and packets >= 3 and (pop 2 or pop 3)",
-        );
+        let e = ok("proto tcp and dst port 80 and flags S and not src net 10.0.0.0/8 \
+             and packets >= 3 and (pop 2 or pop 3)");
         let f = FlowRecord::builder()
             .src(Ipv4Addr::new(172, 16, 0, 1), 55555)
             .dst(Ipv4Addr::new(192, 0, 2, 1), 80)

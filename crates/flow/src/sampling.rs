@@ -132,8 +132,8 @@ impl PacketSampler {
             return None;
         }
         let mut sampled = flow.clone();
-        sampled.bytes = ((flow.bytes as u128 * u128::from(kept))
-            / u128::from(flow.packets.max(1))) as u64;
+        sampled.bytes =
+            ((flow.bytes as u128 * u128::from(kept)) / u128::from(flow.packets.max(1))) as u64;
         sampled.packets = kept;
         Some(sampled)
     }
@@ -200,9 +200,7 @@ mod tests {
     #[test]
     fn small_flows_mostly_vanish_at_1_in_100() {
         let mut s = PacketSampler::new(100, SamplingMode::Random, 42);
-        let survivors = (0..1000)
-            .filter(|_| s.sample(&flow(2, 120)).is_some())
-            .count();
+        let survivors = (0..1000).filter(|_| s.sample(&flow(2, 120)).is_some()).count();
         // P(survive) = 1 - 0.99^2 ≈ 2%; allow generous slack.
         assert!(survivors < 80, "got {survivors}");
         assert!(survivors > 0);
@@ -239,9 +237,8 @@ mod tests {
         // Three 2-packet flows cover global packets 1..=2, 3..=4, 5..=6.
         // Every 4th packet is selected, so only the second flow (packet 4)
         // keeps anything.
-        let kept: Vec<Option<u64>> = (0..3)
-            .map(|_| s.sample(&flow(2, 100)).map(|f| f.packets))
-            .collect();
+        let kept: Vec<Option<u64>> =
+            (0..3).map(|_| s.sample(&flow(2, 100)).map(|f| f.packets)).collect();
         assert_eq!(kept, vec![None, Some(1), None]);
     }
 

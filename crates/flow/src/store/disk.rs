@@ -260,10 +260,7 @@ mod tests {
         let mut data = MAGIC.to_vec();
         data.extend_from_slice(&body);
         data.extend_from_slice(&crc.to_be_bytes());
-        assert!(matches!(
-            decode(&data),
-            Err(CodecError::BadLength { what: "bin width", .. })
-        ));
+        assert!(matches!(decode(&data), Err(CodecError::BadLength { what: "bin width", .. })));
     }
 
     #[test]
@@ -279,10 +276,7 @@ mod tests {
         let mut data = MAGIC.to_vec();
         data.extend_from_slice(&body);
         data.extend_from_slice(&crc.to_be_bytes());
-        assert!(matches!(
-            decode(&data),
-            Err(CodecError::BadLength { what: "record payload", .. })
-        ));
+        assert!(matches!(decode(&data), Err(CodecError::BadLength { what: "record payload", .. })));
     }
 
     #[test]

@@ -188,11 +188,8 @@ impl FlowStore {
         // conservatively scan from the beginning of time up to the range end
         // bin. Flows are indexed by start, so bins after the range end are
         // safely excluded.
-        let end_bin = if range.to_ms == u64::MAX {
-            u64::MAX
-        } else {
-            range.to_ms / self.bin_width_ms
-        };
+        let end_bin =
+            if range.to_ms == u64::MAX { u64::MAX } else { range.to_ms / self.bin_width_ms };
         let mut out: Vec<FlowRecord> = guard
             .range(..=end_bin)
             .flat_map(|(_, recs)| recs.iter())
@@ -206,11 +203,8 @@ impl FlowStore {
     /// Stats of the flows a query would return, without materializing them.
     pub fn query_stats(&self, range: TimeRange, filter: &Filter) -> FlowStats {
         let guard = self.inner.read();
-        let end_bin = if range.to_ms == u64::MAX {
-            u64::MAX
-        } else {
-            range.to_ms / self.bin_width_ms
-        };
+        let end_bin =
+            if range.to_ms == u64::MAX { u64::MAX } else { range.to_ms / self.bin_width_ms };
         let mut stats = FlowStats::default();
         for (_, recs) in guard.range(..=end_bin) {
             for r in recs {

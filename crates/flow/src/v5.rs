@@ -37,8 +37,7 @@ pub struct ExportBase {
 impl ExportBase {
     /// Epoch milliseconds at which the router booted.
     pub fn boot_epoch_ms(&self) -> u64 {
-        let wall_ms =
-            u64::from(self.unix_secs) * 1000 + u64::from(self.unix_nsecs) / 1_000_000;
+        let wall_ms = u64::from(self.unix_secs) * 1000 + u64::from(self.unix_nsecs) / 1_000_000;
         wall_ms.saturating_sub(u64::from(self.sys_uptime_ms))
     }
 
@@ -50,9 +49,7 @@ impl ExportBase {
     /// Convert epoch milliseconds to flow uptime, clamping to the
     /// representable `u32` range.
     pub fn epoch_ms_to_uptime(&self, epoch_ms: u64) -> u32 {
-        epoch_ms
-            .saturating_sub(self.boot_epoch_ms())
-            .min(u64::from(u32::MAX)) as u32
+        epoch_ms.saturating_sub(self.boot_epoch_ms()).min(u64::from(u32::MAX)) as u32
     }
 
     /// A base whose boot time is the epoch: uptime == epoch ms. Convenient
@@ -179,14 +176,7 @@ pub fn decode(mut buf: &[u8]) -> Result<V5Packet, CodecError> {
     for _ in 0..count {
         records.push(decode_record(&mut buf, &base));
     }
-    Ok(V5Packet {
-        base,
-        flow_sequence,
-        engine_type,
-        engine_id,
-        sampling,
-        records,
-    })
+    Ok(V5Packet { base, flow_sequence, engine_type, engine_id, sampling, records })
 }
 
 fn decode_record(buf: &mut &[u8], base: &ExportBase) -> FlowRecord {
@@ -268,9 +258,8 @@ mod tests {
     #[test]
     fn roundtrip_preserves_fields() {
         let base = ExportBase { sys_uptime_ms: 10_000, unix_secs: 1_600_000_000, unix_nsecs: 0 };
-        let records: Vec<FlowRecord> = (0..7)
-            .map(|i| sample_record(base.boot_epoch_ms() + 1_000 * i))
-            .collect();
+        let records: Vec<FlowRecord> =
+            (0..7).map(|i| sample_record(base.boot_epoch_ms() + 1_000 * i)).collect();
         let bytes = encode(&records, base, 42).unwrap();
         assert_eq!(bytes.len(), HEADER_LEN + 7 * RECORD_LEN);
         let pkt = decode(&bytes).unwrap();
@@ -284,18 +273,12 @@ mod tests {
         let bytes = encode(&[sample_record(0)], base, 0).unwrap();
         let mut bad = bytes.to_vec();
         bad[1] = 9; // version low byte
-        assert_eq!(
-            decode(&bad),
-            Err(CodecError::BadVersion { expected: 5, got: 9 })
-        );
+        assert_eq!(decode(&bad), Err(CodecError::BadVersion { expected: 5, got: 9 }));
     }
 
     #[test]
     fn rejects_truncated_header_and_body() {
-        assert!(matches!(
-            decode(&[0u8; 10]),
-            Err(CodecError::Truncated { needed: 24, .. })
-        ));
+        assert!(matches!(decode(&[0u8; 10]), Err(CodecError::Truncated { needed: 24, .. })));
         let bytes = encode(&[sample_record(0)], ExportBase::epoch(), 0).unwrap();
         let cut = &bytes[..HEADER_LEN + 20];
         assert!(matches!(decode(cut), Err(CodecError::Truncated { .. })));
@@ -313,10 +296,7 @@ mod tests {
         buf.put_u16(5);
         buf.put_u16(31);
         buf.put_slice(&[0u8; 20]);
-        assert!(matches!(
-            decode(&buf),
-            Err(CodecError::BadLength { value: 31, .. })
-        ));
+        assert!(matches!(decode(&buf), Err(CodecError::BadLength { value: 31, .. })));
     }
 
     #[test]

@@ -172,12 +172,7 @@ pub struct V9Decode {
 ///
 /// `source_id` becomes the observation domain (and the decoded records'
 /// `pop`, which overrides whatever `pop` the input records carried).
-pub fn encode(
-    records: &[FlowRecord],
-    base: ExportBase,
-    sequence: u32,
-    source_id: u32,
-) -> Bytes {
+pub fn encode(records: &[FlowRecord], base: ExportBase, sequence: u32, source_id: u32) -> Bytes {
     let template = Template::standard();
     let mut buf = BytesMut::with_capacity(
         HEADER_LEN + 12 + template.fields.len() * 4 + records.len() * template.record_len() + 8,
@@ -502,10 +497,7 @@ mod tests {
             decode(&bad, &mut cache),
             Err(CodecError::BadVersion { expected: 9, got: 5 })
         ));
-        assert!(matches!(
-            decode(&bytes[..10], &mut cache),
-            Err(CodecError::Truncated { .. })
-        ));
+        assert!(matches!(decode(&bytes[..10], &mut cache), Err(CodecError::Truncated { .. })));
         // Cut mid-flowset.
         assert!(matches!(
             decode(&bytes[..HEADER_LEN + 6], &mut cache),
@@ -525,10 +517,7 @@ mod tests {
         buf.put_u16(256); // data flowset id
         buf.put_u16(2); // length < 4: malformed
         let mut cache = TemplateCache::new();
-        assert!(matches!(
-            decode(&buf, &mut cache),
-            Err(CodecError::BadLength { .. })
-        ));
+        assert!(matches!(decode(&buf, &mut cache), Err(CodecError::BadLength { .. })));
     }
 
     #[test]
@@ -604,7 +593,7 @@ mod tests {
             .time(base.boot_epoch_ms() + 100, base.boot_epoch_ms() + 200)
             .volume(1, 40)
             .build();
-        let bytes = encode(&[r.clone()], base, 0, 0);
+        let bytes = encode(std::slice::from_ref(&r), base, 0, 0);
         let mut cache = TemplateCache::new();
         let got = decode(&bytes, &mut cache).unwrap();
         assert_eq!(got.records[0].start_ms, r.start_ms);

@@ -16,37 +16,35 @@ use anomex_flow::v9::{self, TemplateCache};
 /// Arbitrary flow record with full-range fields (for v9/disk codecs).
 fn arb_record() -> impl Strategy<Value = FlowRecord> {
     (
-        0u64..u64::from(u32::MAX / 2),  // start (uptime-representable)
-        0u64..1_000_000,                // duration
-        any::<u32>(),                   // src ip
-        any::<u32>(),                   // dst ip
-        any::<u16>(),                   // src port
-        any::<u16>(),                   // dst port
-        any::<u8>(),                    // proto
-        0u8..64,                        // flags (6 bits)
-        any::<u64>(),                   // packets
-        any::<u64>(),                   // bytes
+        0u64..u64::from(u32::MAX / 2), // start (uptime-representable)
+        0u64..1_000_000,               // duration
+        any::<u32>(),                  // src ip
+        any::<u32>(),                  // dst ip
+        any::<u16>(),                  // src port
+        any::<u16>(),                  // dst port
+        any::<u8>(),                   // proto
+        0u8..64,                       // flags (6 bits)
+        any::<u64>(),                  // packets
+        any::<u64>(),                  // bytes
     )
-        .prop_map(
-            |(start, dur, src, dst, sp, dp, proto, flags, packets, bytes)| FlowRecord {
-                start_ms: start,
-                end_ms: start + dur,
-                src_ip: Ipv4Addr::from(src),
-                dst_ip: Ipv4Addr::from(dst),
-                src_port: sp,
-                dst_port: dp,
-                proto: Protocol(proto),
-                tcp_flags: TcpFlags(flags),
-                packets,
-                bytes,
-                tos: 0,
-                input_if: 1,
-                output_if: 2,
-                src_as: 65000,
-                dst_as: 65001,
-                pop: 0,
-            },
-        )
+        .prop_map(|(start, dur, src, dst, sp, dp, proto, flags, packets, bytes)| FlowRecord {
+            start_ms: start,
+            end_ms: start + dur,
+            src_ip: Ipv4Addr::from(src),
+            dst_ip: Ipv4Addr::from(dst),
+            src_port: sp,
+            dst_port: dp,
+            proto: Protocol(proto),
+            tcp_flags: TcpFlags(flags),
+            packets,
+            bytes,
+            tos: 0,
+            input_if: 1,
+            output_if: 2,
+            src_as: 65000,
+            dst_as: 65001,
+            pop: 0,
+        })
 }
 
 /// Record constrained to what NetFlow v5 can represent.

@@ -476,7 +476,11 @@ mod tests {
             s.duration_ms = 120_000;
             s.flows = s.flows.min(500);
             for f in s.inject(&mut Xoshiro256::seeded(9)) {
-                assert!(f.start_ms >= 60_000 && f.start_ms < 180_000, "{kind}: start {}", f.start_ms);
+                assert!(
+                    f.start_ms >= 60_000 && f.start_ms < 180_000,
+                    "{kind}: start {}",
+                    f.start_ms
+                );
                 assert!(f.end_ms <= 180_000, "{kind}: end {}", f.end_ms);
             }
         }

@@ -203,7 +203,12 @@ mod tests {
 
     #[test]
     fn flows_stay_inside_window() {
-        let config = BackgroundConfig { start_ms: 10_000, duration_ms: 60_000, flows: 2_000, ..BackgroundConfig::default() };
+        let config = BackgroundConfig {
+            start_ms: 10_000,
+            duration_ms: 60_000,
+            flows: 2_000,
+            ..BackgroundConfig::default()
+        };
         let mut rng = Xoshiro256::seeded(1);
         for f in generate_background(&config, &Topology::geant(), &mut rng) {
             assert!(f.start_ms >= 10_000 && f.start_ms < 70_000, "start {}", f.start_ms);

@@ -134,7 +134,8 @@ pub fn switch_corpus(config: &CorpusConfig) -> Vec<Scenario> {
     MIX.iter()
         .enumerate()
         .map(|(i, &kind)| {
-            let mut spec = AnomalySpec::template(kind, attacker(&topology, i), victim(&topology, i));
+            let mut spec =
+                AnomalySpec::template(kind, attacker(&topology, i), victim(&topology, i));
             spec.flows = config.flows(spec.flows);
             spec.packets = config.packets(spec.packets);
             // Stagger tool source ports so cases are not clones.

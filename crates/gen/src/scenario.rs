@@ -180,13 +180,9 @@ mod tests {
         assert_eq!(built.truth.len(), 1);
         let label = &built.truth.anomalies[0];
         assert_eq!(label.flows, 8_000);
-        let anomalous = built
-            .wire_flows
-            .iter()
-            .filter(|f| built.truth.is_anomalous(f))
-            .count();
+        let anomalous = built.wire_flows.iter().filter(|f| built.truth.is_anomalous(f)).count();
         // Background collisions with scan keys are possible but must be rare.
-        assert!(anomalous >= 8_000 && anomalous < 8_100, "{anomalous}");
+        assert!((8_000..8_100).contains(&anomalous), "{anomalous}");
     }
 
     #[test]

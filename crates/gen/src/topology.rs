@@ -11,12 +11,12 @@ use std::net::Ipv4Addr;
 
 use anomex_flow::filter::Ipv4Net;
 use anomex_flow::sampling::Xoshiro256;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 use crate::dist::WeightedIndex;
 
 /// One point of presence: an ingress/egress site of the backbone.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct Pop {
     /// Exporter id carried in [`anomex_flow::record::FlowRecord::pop`].
     pub id: u16,
@@ -52,7 +52,7 @@ fn addr_in(net: Ipv4Net, index: u32) -> Ipv4Addr {
 }
 
 /// A backbone topology: a weighted set of PoPs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct Topology {
     /// Topology name (`"geant"` / `"switch"` / custom).
     pub name: &'static str,

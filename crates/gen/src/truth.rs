@@ -102,11 +102,7 @@ impl GroundTruth {
 
     /// The anomalies whose flows `record` belongs to.
     pub fn memberships(&self, record: &FlowRecord) -> Vec<usize> {
-        self.anomalies
-            .iter()
-            .filter(|a| a.contains(record))
-            .map(|a| a.id)
-            .collect()
+        self.anomalies.iter().filter(|a| a.contains(record)).map(|a| a.id).collect()
     }
 
     /// Union of all labeled keys.
@@ -149,10 +145,8 @@ mod tests {
     #[test]
     fn background_flow_is_not_labeled() {
         let (truth, _) = labeled(AnomalyKind::SynFlood, 3);
-        let benign = FlowRecord::builder()
-            .src(ip("10.200.0.1"), 40_000)
-            .dst(ip("172.16.9.9"), 80)
-            .build();
+        let benign =
+            FlowRecord::builder().src(ip("10.200.0.1"), 40_000).dst(ip("172.16.9.9"), 80).build();
         assert!(!truth.is_anomalous(&benign));
         assert!(truth.memberships(&benign).is_empty());
     }

@@ -73,9 +73,7 @@ fn main() {
 
 fn run_scripted(console: &mut Console, script: &str) {
     let mut out = Vec::new();
-    console
-        .run(std::io::Cursor::new(script.to_string()), &mut out)
-        .expect("console I/O");
+    console.run(std::io::Cursor::new(script.to_string()), &mut out).expect("console I/O");
     std::io::stdout().write_all(&out).unwrap();
     let _ = std::io::stdout().flush();
     // Keep the compiler honest about the BufRead bound being exercised.

@@ -52,7 +52,7 @@ fn main() {
         let hit = extraction.itemsets.iter().any(|e| {
             let covered = drill(&built.store, &alarm, e);
             let of_this = covered.iter().filter(|f| anomaly.contains(f)).count();
-            covered.len() > 0 && of_this * 2 > covered.len()
+            !covered.is_empty() && of_this * 2 > covered.len()
         });
         println!(
             "  anomaly #{} ({}) {}",

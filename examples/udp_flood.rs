@@ -19,9 +19,8 @@ fn main() {
     let victim: std::net::Ipv4Addr = "172.16.9.40".parse().unwrap();
     let mut spec = AnomalySpec::template(AnomalyKind::UdpFlood, attacker, victim);
     spec.packets = 900_000;
-    let mut scenario = Scenario::new("udp-flood", 0xF100D, Backbone::Geant)
-        .with_anomaly(spec)
-        .with_sampling(100); // the GEANT regime
+    let mut scenario =
+        Scenario::new("udp-flood", 0xF100D, Backbone::Geant).with_anomaly(spec).with_sampling(100); // the GEANT regime
     scenario.background.flows = 40_000;
     let built = scenario.build();
     let label = &built.truth.anomalies[0];

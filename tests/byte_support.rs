@@ -22,10 +22,7 @@ fn byte_weighted_mining_finds_the_transfer() {
     let built = alpha_scenario(31);
     let flows = built.store.snapshot();
     let txs = encode_flows(&flows, SupportMetric::Bytes);
-    let result = mine_top_k(
-        &txs,
-        &TopKConfig { k: 3, floor: 1_000_000, ..TopKConfig::default() },
-    );
+    let result = mine_top_k(&txs, &TopKConfig { k: 3, floor: 1_000_000, ..TopKConfig::default() });
     assert!(!result.itemsets.is_empty(), "byte mining found nothing");
     // The top byte-support itemset is the transfer's full 4-tuple.
     let top = decode_itemset(&result.itemsets[0].itemset);
@@ -56,27 +53,16 @@ fn byte_and_packet_rankings_can_disagree() {
         "172.16.4.4".parse().unwrap(),
     );
     alpha.packets = 700_000;
-    let mut scenario = Scenario::new("mixed", 32, Backbone::Switch)
-        .with_anomaly(scan)
-        .with_anomaly(alpha);
+    let mut scenario =
+        Scenario::new("mixed", 32, Backbone::Switch).with_anomaly(scan).with_anomaly(alpha);
     scenario.background.flows = 5_000;
     let built = scenario.build();
     let flows = built.store.snapshot();
 
-    let scan_sig = Itemset::new(
-        built.truth.anomalies[0]
-            .signature
-            .iter()
-            .map(|&fi| item_of(fi))
-            .collect(),
-    );
-    let alpha_sig = Itemset::new(
-        built.truth.anomalies[1]
-            .signature
-            .iter()
-            .map(|&fi| item_of(fi))
-            .collect(),
-    );
+    let scan_sig =
+        Itemset::new(built.truth.anomalies[0].signature.iter().map(|&fi| item_of(fi)).collect());
+    let alpha_sig =
+        Itemset::new(built.truth.anomalies[1].signature.iter().map(|&fi| item_of(fi)).collect());
 
     let by_flows = encode_flows(&flows, SupportMetric::Flows);
     let by_bytes = encode_flows(&flows, SupportMetric::Bytes);

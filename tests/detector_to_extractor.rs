@@ -11,11 +11,8 @@ fn trace(kind: AnomalyKind, anomaly_flows: usize, seed: u64) -> (BuiltScenario, 
     let mut scenario = Scenario::new("det2ex", seed, Backbone::Switch);
     scenario.background.duration_ms = 12 * width;
     scenario.background.flows = 18_000;
-    let mut spec = AnomalySpec::template(
-        kind,
-        "10.103.0.66".parse().unwrap(),
-        "172.20.1.40".parse().unwrap(),
-    );
+    let mut spec =
+        AnomalySpec::template(kind, "10.103.0.66".parse().unwrap(), "172.20.1.40".parse().unwrap());
     spec.flows = anomaly_flows;
     spec.start_ms = 8 * width;
     spec.duration_ms = width;
@@ -27,7 +24,11 @@ fn truth_set(truth: &GroundTruth) -> TruthSet {
         truth
             .anomalies
             .iter()
-            .map(|a| TruthEntry { id: a.id, keys: a.keys.clone(), malicious: a.kind.is_malicious() })
+            .map(|a| TruthEntry {
+                id: a.id,
+                keys: a.keys.clone(),
+                malicious: a.kind.is_malicious(),
+            })
             .collect(),
     )
 }
@@ -88,10 +89,7 @@ fn detector_alarm_windows_confine_candidates() {
         // Candidates must come from the alarmed interval only.
         let cands = candidates(&built.store, alarm, CandidatePolicy::HintUnion);
         for c in &cands {
-            assert!(
-                alarm.window.overlaps(c),
-                "candidate outside alarm window: {c}"
-            );
+            assert!(alarm.window.overlaps(c), "candidate outside alarm window: {c}");
         }
     }
 }
@@ -108,15 +106,11 @@ fn quiet_interval_alarms_do_not_fabricate_incidents() {
         .first()
         .map(|f| f.dst_ip)
         .expect("some web traffic");
-    let alarm = Alarm::new(9, "fp", benign_window)
-        .with_hints(vec![FeatureItem::dst_ip(busy_server)]);
+    let alarm =
+        Alarm::new(9, "fp", benign_window).with_hints(vec![FeatureItem::dst_ip(busy_server)]);
     let extraction = Extractor::with_defaults().extract(&built.store, &alarm);
     let observed = built.store.query(alarm.window, &Filter::any());
-    let verdict = validate(
-        &extraction,
-        &observed,
-        &truth_set(&built.truth),
-        &ValidationConfig::default(),
-    );
+    let verdict =
+        validate(&extraction, &observed, &truth_set(&built.truth), &ValidationConfig::default());
     assert!(!verdict.is_useful(), "benign traffic reported as incident");
 }

@@ -83,9 +83,8 @@ fn stealthy_scan_under_sampling_is_the_documented_failure() {
         "172.16.3.3".parse().unwrap(),
     );
     spec.flows = 40;
-    let mut scenario = Scenario::new("stealthy", 5, Backbone::Geant)
-        .with_anomaly(spec)
-        .with_sampling(100);
+    let mut scenario =
+        Scenario::new("stealthy", 5, Backbone::Geant).with_anomaly(spec).with_sampling(100);
     scenario.background.flows = 30_000;
     let built = scenario.build();
     let alarm = Alarm::new(0, "t", built.scenario.window()).with_hints(vec![
@@ -100,10 +99,7 @@ fn stealthy_scan_under_sampling_is_the_documented_failure() {
         malicious: true,
     }]);
     let verdict = validate(&extraction, &observed, &truth, &ValidationConfig::default());
-    assert!(
-        !verdict.is_useful(),
-        "a 40-flow scan sampled 1/100 must not be extractable"
-    );
+    assert!(!verdict.is_useful(), "a 40-flow scan sampled 1/100 must not be extractable");
 }
 
 #[test]

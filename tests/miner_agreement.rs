@@ -1,0 +1,106 @@
+//! Cross-miner equivalence smoke test.
+//!
+//! The fim docs promise that Apriori, FP-Growth and Eclat are three
+//! independent implementations producing *identical*, canonically
+//! ordered output. The proptests in `crates/fim` fuzz that invariant;
+//! this deterministic fixture guards it in every plain `cargo test`
+//! run with hand-checkable expectations, including weighted
+//! (packet-support) transactions and both threshold flavors.
+
+use anomex::prelude::*;
+
+/// A small market-basket-style fixture with known supports:
+///
+/// | transaction        | weight |
+/// |--------------------|--------|
+/// | {1, 2, 3}          | 4      |
+/// | {1, 2}             | 3      |
+/// | {1, 3}             | 2      |
+/// | {2, 3}             | 2      |
+/// | {1}                | 1      |
+///
+/// Weighted supports: {1}=10, {2}=9, {3}=8, {1,2}=7, {1,3}=6, {2,3}=6,
+/// {1,2,3}=4.
+fn fixture() -> TransactionSet {
+    [(vec![1, 2, 3], 4), (vec![1, 2], 3), (vec![1, 3], 2), (vec![2, 3], 2), (vec![1], 1)]
+        .into_iter()
+        .map(|(items, weight)| Transaction::new(items.into_iter().map(Item).collect(), weight))
+        .collect()
+}
+
+const ALGORITHMS: [Algorithm; 3] = [Algorithm::Apriori, Algorithm::FpGrowth, Algorithm::Eclat];
+
+fn mine_with(algorithm: Algorithm, min_support: MinSupport) -> Vec<FrequentItemset> {
+    mine(&fixture(), &MiningConfig { algorithm, min_support, max_len: 0, threads: 1 })
+}
+
+#[test]
+fn three_miners_agree_on_fixed_transactions() {
+    for threshold in [1, 4, 6, 7, 9, 10, 11] {
+        let reference = mine_with(Algorithm::Apriori, MinSupport::Absolute(threshold));
+        for algorithm in ALGORITHMS {
+            let got = mine_with(algorithm, MinSupport::Absolute(threshold));
+            assert_eq!(got, reference, "{algorithm} differs from apriori at threshold {threshold}");
+        }
+    }
+}
+
+#[test]
+fn supports_match_hand_computed_values() {
+    let got = mine_with(Algorithm::Apriori, MinSupport::Absolute(4));
+    let expect: Vec<(Vec<u64>, u64)> = vec![
+        (vec![1], 10),
+        (vec![2], 9),
+        (vec![3], 8),
+        (vec![1, 2], 7),
+        (vec![1, 3], 6),
+        (vec![2, 3], 6),
+        (vec![1, 2, 3], 4),
+    ];
+    assert_eq!(got.len(), expect.len());
+    for (items, support) in expect {
+        let itemset: Itemset = items.into_iter().map(Item).collect();
+        let found = got
+            .iter()
+            .find(|f| f.itemset == itemset)
+            .unwrap_or_else(|| panic!("missing itemset {itemset}"));
+        assert_eq!(found.support, support, "wrong support for {itemset}");
+    }
+}
+
+#[test]
+fn fractional_threshold_agrees_across_miners() {
+    // Total weight is 12; 0.5 means support >= 6.
+    let reference = mine_with(Algorithm::Apriori, MinSupport::Fraction(0.5));
+    assert_eq!(reference.len(), 6, "expected all but {{1,2,3}} at half support");
+    for algorithm in ALGORITHMS {
+        assert_eq!(mine_with(algorithm, MinSupport::Fraction(0.5)), reference, "{algorithm}");
+    }
+}
+
+#[test]
+fn max_len_and_parallel_counting_preserve_agreement() {
+    let txs = fixture();
+    let bounded_reference = mine(
+        &txs,
+        &MiningConfig {
+            algorithm: Algorithm::Apriori,
+            min_support: MinSupport::Absolute(4),
+            max_len: 2,
+            threads: 1,
+        },
+    );
+    assert!(bounded_reference.iter().all(|f| f.itemset.len() <= 2));
+    for algorithm in ALGORITHMS {
+        let got = mine(
+            &txs,
+            &MiningConfig {
+                algorithm,
+                min_support: MinSupport::Absolute(4),
+                max_len: 2,
+                threads: 4,
+            },
+        );
+        assert_eq!(got, bounded_reference, "{algorithm} with max_len=2");
+    }
+}

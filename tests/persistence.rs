@@ -133,9 +133,7 @@ fn alarm_db_survives_detector_to_console_handoff() {
     let mut console = Console::new(built.store, db2);
     let mut out = Vec::new();
     let last = format!("alarm {}\nextract\nquit\n", db.len() - 1);
-    console
-        .run(std::io::Cursor::new(format!("alarms\n{last}")), &mut out)
-        .unwrap();
+    console.run(std::io::Cursor::new(format!("alarms\n{last}")), &mut out).unwrap();
     let text = String::from_utf8(out).unwrap();
     assert!(text.contains("10.9.0.1"), "{text}");
     std::fs::remove_file(&path).unwrap();

@@ -39,25 +39,18 @@ fn alarm_for(built: &BuiltScenario, id: usize) -> Alarm {
 }
 
 fn run_kind(kind: AnomalyKind, seed: u64) -> (BuiltScenario, Validation) {
-    let mut spec = AnomalySpec::template(
-        kind,
-        "10.2.3.4".parse().unwrap(),
-        "172.16.2.77".parse().unwrap(),
-    );
+    let mut spec =
+        AnomalySpec::template(kind, "10.2.3.4".parse().unwrap(), "172.16.2.77".parse().unwrap());
     spec.flows = spec.flows.min(10_000);
-    let mut scenario = Scenario::new(format!("it-{kind}"), seed, Backbone::Switch)
-        .with_anomaly(spec);
+    let mut scenario =
+        Scenario::new(format!("it-{kind}"), seed, Backbone::Switch).with_anomaly(spec);
     scenario.background.flows = 8_000;
     let built = scenario.build();
     let alarm = alarm_for(&built, 0);
     let extraction = Extractor::with_defaults().extract(&built.store, &alarm);
     let observed = built.store.query(alarm.window, &Filter::any());
-    let verdict = validate(
-        &extraction,
-        &observed,
-        &truth_set(&built.truth),
-        &ValidationConfig::default(),
-    );
+    let verdict =
+        validate(&extraction, &observed, &truth_set(&built.truth), &ValidationConfig::default());
     (built, verdict)
 }
 
@@ -120,20 +113,15 @@ fn two_overlapping_anomalies_one_alarm() {
     let mut flood =
         AnomalySpec::template(AnomalyKind::SynFlood, "10.5.5.5".parse().unwrap(), victim);
     flood.flows = 7_000;
-    let mut scenario = Scenario::new("overlap", 8, Backbone::Switch)
-        .with_anomaly(scan)
-        .with_anomaly(flood);
+    let mut scenario =
+        Scenario::new("overlap", 8, Backbone::Switch).with_anomaly(scan).with_anomaly(flood);
     scenario.background.flows = 8_000;
     let built = scenario.build();
     let alarm = alarm_for(&built, 0);
     let extraction = Extractor::with_defaults().extract(&built.store, &alarm);
     let observed = built.store.query(alarm.window, &Filter::any());
-    let verdict = validate(
-        &extraction,
-        &observed,
-        &truth_set(&built.truth),
-        &ValidationConfig::default(),
-    );
+    let verdict =
+        validate(&extraction, &observed, &truth_set(&built.truth), &ValidationConfig::default());
     let matched: HashSet<usize> = verdict.matched_anomalies().into_iter().collect();
     assert!(matched.contains(&0), "flagged scan missing");
     assert!(matched.contains(&1), "co-occurring flood not surfaced");
@@ -175,11 +163,7 @@ fn whole_interval_policy_still_finds_dominant_anomaly() {
     let alarm = Alarm::new(0, "blind", built.scenario.window());
     let extraction = Extractor::with_defaults().extract(&built.store, &alarm);
     let observed = built.store.query(alarm.window, &Filter::any());
-    let verdict = validate(
-        &extraction,
-        &observed,
-        &truth_set(&built.truth),
-        &ValidationConfig::default(),
-    );
+    let verdict =
+        validate(&extraction, &observed, &truth_set(&built.truth), &ValidationConfig::default());
     assert!(verdict.is_useful(), "dominant anomaly must survive blind mining");
 }

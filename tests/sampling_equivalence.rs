@@ -11,9 +11,8 @@ fn flood_scenario(sampling: u32, seed: u64) -> BuiltScenario {
         "172.16.8.8".parse().unwrap(),
     );
     spec.flows = 30_000;
-    let mut scenario = Scenario::new("samp", seed, Backbone::Geant)
-        .with_anomaly(spec)
-        .with_sampling(sampling);
+    let mut scenario =
+        Scenario::new("samp", seed, Backbone::Geant).with_anomaly(spec).with_sampling(sampling);
     scenario.background.flows = 20_000;
     scenario.build()
 }

@@ -1,0 +1,279 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the authoring API the benches use (`criterion_group!`,
+//! `criterion_main!`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId`, `black_box`) and
+//! measures with a plain `Instant` loop: a short warm-up, then timed
+//! batches until the configured measurement time elapses, reporting
+//! mean ns/iter and derived throughput. No statistics, plots, or
+//! baseline comparison. Passing `--test` (as `cargo test --benches`
+//! does) runs each benchmark once for a smoke check.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle; one per bench binary.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Apply command-line arguments (`--test` switches to smoke mode;
+    /// everything else criterion accepts is ignored here).
+    pub fn configure_from_args(mut self) -> Criterion {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name.to_string(), f);
+        group.finish();
+        self
+    }
+}
+
+/// How work per iteration is expressed in reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Identifies a parameterized benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Build from a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Allows plain strings and `BenchmarkId`s as benchmark names.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured batches (accepted for API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time spent measuring each benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Time spent warming up before measuring.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Set the work-per-iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<N, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        N: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let label = if self.name.is_empty() {
+            name.into_id()
+        } else {
+            format!("{}/{}", self.name, name.into_id())
+        };
+        let mut bencher = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut bencher);
+        report(&label, &bencher, self.throughput);
+        self
+    }
+
+    /// Benchmark a closure over one input value.
+    pub fn bench_with_input<N, I, F>(&mut self, name: N, input: &I, mut f: F) -> &mut Self
+    where
+        N: IntoBenchmarkId,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(name, |b| f(b, input))
+    }
+
+    /// End the group (reports are already printed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Runs and times the benchmarked closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Measure `routine` until the measurement time is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            self.iters_done = 1;
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        // Warm-up: also sizes the timed batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().checked_div(warm_iters as u32).unwrap_or_default();
+        let batch =
+            (Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64;
+
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement_time {
+            let batch_start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed += batch_start.elapsed();
+            self.iters_done += batch;
+        }
+    }
+}
+
+fn report(label: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if bencher.iters_done == 0 {
+        println!("{label:<40} (no iterations)");
+        return;
+    }
+    let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters_done as f64;
+    let mut line = format!("{label:<40} {:>12.1} ns/iter", ns_per_iter);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / (ns_per_iter / 1e9);
+            line.push_str(&format!("  ({:.2} Melem/s)", per_sec / 1e6));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / (ns_per_iter / 1e9);
+            line.push_str(&format!("  ({:.2} MiB/s)", per_sec / (1024.0 * 1024.0)));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Bundle benchmark functions into a group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_runs() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5).measurement_time(Duration::from_millis(10));
+        group.throughput(Throughput::Elements(4));
+        let mut calls = 0u32;
+        group.bench_function("f", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::new("with-input", 3), &3u32, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        assert!(calls >= 1);
+    }
+}

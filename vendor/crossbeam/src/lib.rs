@@ -1,0 +1,77 @@
+//! Offline, API-compatible subset of `crossbeam`.
+//!
+//! Provides `crossbeam::scope` scoped threads, implemented over
+//! `std::thread::scope` (stable since 1.63). Differences from real
+//! crossbeam: a panic in a thread that is never joined propagates as a
+//! panic out of [`scope`] instead of an `Err` — callers here join every
+//! handle, so the distinction never bites.
+
+use std::any::Any;
+
+/// Result of joining a scoped thread (panic payload on the error side).
+pub type ThreadResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// A handle to the scope, passed to the closure and to every spawned
+/// thread (crossbeam-style: `scope.spawn(|inner_scope| ...)`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl Clone for Scope<'_, '_> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl Copy for Scope<'_, '_> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope. The closure receives the scope
+    /// again so workers can themselves spawn.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+    }
+}
+
+/// Owns a spawned thread; joining yields its return value.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread; `Err` carries the panic payload.
+    pub fn join(self) -> ThreadResult<T> {
+        self.inner.join()
+    }
+}
+
+/// Run `f` with a scope in which borrowing threads can be spawned; all
+/// threads are joined before this returns.
+pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_sum() {
+        let data = [1u64, 2, 3, 4];
+        let total = super::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

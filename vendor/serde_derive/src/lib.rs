@@ -1,0 +1,481 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the offline
+//! serde stand-in.
+//!
+//! No `syn`/`quote` (the registry is unreachable), so this parses the
+//! item's `TokenStream` directly and emits generated impls by
+//! formatting source text and re-parsing it. Supported shapes — all
+//! the workspace uses: non-generic structs (named, tuple, unit) and
+//! enums whose variants are unit, tuple, or struct-like. `#[serde]`
+//! attributes are not supported and will be rejected loudly rather
+//! than silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+use std::iter::Peekable;
+
+/// Shape of one enum variant.
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Parsed item: its name plus field/variant structure.
+enum Item {
+    NamedStruct(String, Vec<String>),
+    TupleStruct(String, usize),
+    UnitStruct(String),
+    Enum(String, Vec<(String, Shape)>),
+}
+
+type Tokens = Peekable<std::vec::IntoIter<TokenTree>>;
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Skip `#[...]` attribute sequences, rejecting `#[serde(...)]`.
+fn skip_attrs(tokens: &mut Tokens) {
+    while tokens.peek().map(|t| is_punct(t, '#')).unwrap_or(false) {
+        tokens.next();
+        if let Some(TokenTree::Group(group)) = tokens.next() {
+            let mut inner = group.stream().into_iter();
+            if let Some(TokenTree::Ident(head)) = inner.next() {
+                if head.to_string() == "serde" {
+                    panic!("offline serde_derive does not support #[serde(...)] attributes");
+                }
+            }
+        }
+    }
+}
+
+/// Skip `pub`, `pub(...)`, etc.
+fn skip_visibility(tokens: &mut Tokens) {
+    if tokens
+        .peek()
+        .map(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "pub"))
+        .unwrap_or(false)
+    {
+        tokens.next();
+        if tokens
+            .peek()
+            .map(|t| matches!(t, TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis))
+            .unwrap_or(false)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Consume tokens up to a top-level `,` (angle-bracket aware); returns
+/// false when the stream ended first.
+fn skip_to_comma(tokens: &mut Tokens) -> bool {
+    let mut angle_depth = 0i32;
+    for tt in tokens.by_ref() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Field names of a `{ ... }` struct body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens: Tokens = stream.into_iter().collect::<Vec<_>>().into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(name)) => {
+                fields.push(name.to_string());
+                match tokens.next() {
+                    Some(tt) if is_punct(&tt, ':') => {}
+                    other => panic!("expected `:` after field name, got {other:?}"),
+                }
+                if !skip_to_comma(&mut tokens) {
+                    break;
+                }
+            }
+            None => break,
+            other => panic!("unexpected token in struct body: {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Arity of a `( ... )` tuple body.
+fn parse_tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle_depth = 0i32;
+    for (i, tt) in tokens.iter().enumerate() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p)
+                if p.as_char() == ',' && angle_depth == 0 && i + 1 < tokens.len() =>
+            {
+                arity += 1;
+            }
+            _ => {}
+        }
+    }
+    arity
+}
+
+/// Variants of an `enum { ... }` body.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Shape)> {
+    let mut tokens: Tokens = stream.into_iter().collect::<Vec<_>>().into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(name)) => name.to_string(),
+            None => break,
+            other => panic!("unexpected token in enum body: {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = parse_tuple_arity(g.stream());
+                tokens.next();
+                Shape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push((name, shape));
+        if !skip_to_comma(&mut tokens) {
+            break;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens: Tokens = input.into_iter().collect::<Vec<_>>().into_iter().peekable();
+    skip_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(kw)) => kw.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(name)) => name.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if tokens.peek().map(|t| is_punct(t, '<')).unwrap_or(false) {
+        panic!("offline serde_derive does not support generic type `{name}`");
+    }
+    match (kind.as_str(), tokens.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::NamedStruct(name, parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::TupleStruct(name, parse_tuple_arity(g.stream()))
+        }
+        ("struct", Some(tt)) if is_punct(&tt, ';') => Item::UnitStruct(name),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::Enum(name, parse_variants(g.stream()))
+        }
+        (kind, other) => panic!("unsupported {kind} body: {other:?}"),
+    }
+}
+
+/// Derive `Serialize` (value-tree flavor) for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match &item {
+        Item::NamedStruct(name, fields) => {
+            let mut body = String::new();
+            for field in fields {
+                write!(
+                    body,
+                    "(::std::string::String::from({field:?}), \
+                     ::serde::Serialize::to_json_value(&self.{field})),"
+                )
+                .unwrap();
+            }
+            write!(
+                out,
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_json_value(&self) -> ::serde::Value {{ \
+                     ::serde::Value::Object(::std::vec![{body}]) \
+                   }} \
+                 }}"
+            )
+            .unwrap();
+        }
+        Item::TupleStruct(name, arity) => {
+            let body = match arity {
+                0 => "::serde::Value::Null".to_string(),
+                1 => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+                n => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+                }
+            };
+            write!(
+                out,
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_json_value(&self) -> ::serde::Value {{ {body} }} \
+                 }}"
+            )
+            .unwrap();
+        }
+        Item::UnitStruct(name) => {
+            write!(
+                out,
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_json_value(&self) -> ::serde::Value {{ ::serde::Value::Null }} \
+                 }}"
+            )
+            .unwrap();
+        }
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for (variant, shape) in variants {
+                match shape {
+                    Shape::Unit => write!(
+                        arms,
+                        "{name}::{variant} => ::serde::Value::Str(\
+                           ::std::string::String::from({variant:?})),"
+                    )
+                    .unwrap(),
+                    Shape::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_json_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+                        };
+                        write!(
+                            arms,
+                            "{name}::{variant}({binds}) => ::serde::Value::Object(::std::vec![(\
+                               ::std::string::String::from({variant:?}), {inner})]),",
+                            binds = binders.join(",")
+                        )
+                        .unwrap();
+                    }
+                    Shape::Named(fields) => {
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::to_json_value({f}))"
+                                )
+                            })
+                            .collect();
+                        write!(
+                            arms,
+                            "{name}::{variant} {{ {binds} }} => \
+                               ::serde::Value::Object(::std::vec![(\
+                               ::std::string::String::from({variant:?}), \
+                               ::serde::Value::Object(::std::vec![{pairs}]))]),",
+                            binds = fields.join(","),
+                            pairs = pairs.join(",")
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            write!(
+                out,
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_json_value(&self) -> ::serde::Value {{ \
+                     match self {{ {arms} }} \
+                   }} \
+                 }}"
+            )
+            .unwrap();
+        }
+    }
+    out.parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive `Deserialize` (value-tree flavor) for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match &item {
+        Item::NamedStruct(name, fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json_value(\
+                         ::serde::Value::field(fields, {f:?}))?"
+                    )
+                })
+                .collect();
+            write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_json_value(value: &::serde::Value) \
+                       -> ::std::result::Result<Self, ::serde::Error> {{ \
+                     let fields = value.as_object().ok_or_else(|| \
+                       ::serde::Error::custom(concat!(\"expected object for \", {name:?})))?; \
+                     ::std::result::Result::Ok({name} {{ {inits} }}) \
+                   }} \
+                 }}",
+                inits = inits.join(",")
+            )
+            .unwrap();
+        }
+        Item::TupleStruct(name, arity) => {
+            let body = match arity {
+                0 => format!("::std::result::Result::Ok({name})"),
+                1 => format!(
+                    "::std::result::Result::Ok({name}(\
+                     ::serde::Deserialize::from_json_value(value)?))"
+                ),
+                n => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_json_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let items = value.as_array().ok_or_else(|| \
+                           ::serde::Error::custom(concat!(\"expected array for \", {name:?})))?; \
+                         if items.len() != {n} {{ \
+                           return ::std::result::Result::Err(::serde::Error::custom(\
+                             concat!(\"wrong arity for \", {name:?}))); \
+                         }} \
+                         ::std::result::Result::Ok({name}({elems}))",
+                        elems = elems.join(",")
+                    )
+                }
+            };
+            write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_json_value(value: &::serde::Value) \
+                       -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+                 }}"
+            )
+            .unwrap();
+        }
+        Item::UnitStruct(name) => {
+            write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_json_value(_value: &::serde::Value) \
+                       -> ::std::result::Result<Self, ::serde::Error> {{ \
+                     ::std::result::Result::Ok({name}) \
+                   }} \
+                 }}"
+            )
+            .unwrap();
+        }
+        Item::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (variant, shape) in variants {
+                match shape {
+                    Shape::Unit => write!(
+                        unit_arms,
+                        "{variant:?} => ::std::result::Result::Ok({name}::{variant}),"
+                    )
+                    .unwrap(),
+                    Shape::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{variant}(\
+                                 ::serde::Deserialize::from_json_value(inner)?))"
+                            )
+                        } else {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_json_value(&items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "let items = inner.as_array().ok_or_else(|| \
+                                   ::serde::Error::custom(concat!(\"expected array for \", \
+                                   {name:?}, \"::\", {variant:?})))?; \
+                                 if items.len() != {arity} {{ \
+                                   return ::std::result::Result::Err(::serde::Error::custom(\
+                                     concat!(\"wrong arity for \", {name:?}, \"::\", \
+                                     {variant:?}))); \
+                                 }} \
+                                 ::std::result::Result::Ok({name}::{variant}({elems}))",
+                                elems = elems.join(",")
+                            )
+                        };
+                        write!(data_arms, "{variant:?} => {{ {body} }},").unwrap();
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_json_value(\
+                                     ::serde::Value::field(vfields, {f:?}))?"
+                                )
+                            })
+                            .collect();
+                        write!(
+                            data_arms,
+                            "{variant:?} => {{ \
+                               let vfields = inner.as_object().ok_or_else(|| \
+                                 ::serde::Error::custom(concat!(\"expected object for \", \
+                                 {name:?}, \"::\", {variant:?})))?; \
+                               ::std::result::Result::Ok({name}::{variant} {{ {inits} }}) \
+                             }},",
+                            inits = inits.join(",")
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_json_value(value: &::serde::Value) \
+                       -> ::std::result::Result<Self, ::serde::Error> {{ \
+                     match value {{ \
+                       ::serde::Value::Str(tag) => match tag.as_str() {{ \
+                         {unit_arms} \
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                           format!(concat!(\"unknown variant {{}} for \", {name:?}), other))), \
+                       }}, \
+                       ::serde::Value::Object(tagged) if tagged.len() == 1 => {{ \
+                         let (tag, inner) = &tagged[0]; \
+                         let _ = inner; \
+                         match tag.as_str() {{ \
+                           {data_arms} \
+                           other => ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(concat!(\"unknown variant {{}} for \", {name:?}), other))), \
+                         }} \
+                       }}, \
+                       other => ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(concat!(\"cannot deserialize \", {name:?}, \" from {{:?}}\"), \
+                         other))), \
+                     }} \
+                   }} \
+                 }}"
+            )
+            .unwrap();
+        }
+    }
+    out.parse().expect("serde_derive generated invalid Deserialize impl")
+}
