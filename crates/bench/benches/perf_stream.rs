@@ -1,0 +1,117 @@
+//! **P5 — streaming ingest throughput: records/sec vs shard count.**
+//!
+//! Replays a GEANT-like scenario (background + port scan) through the
+//! full streaming pipeline — sharded windowing, incremental KL
+//! detection, continuous extraction — at 1/2/4/8 shards, reporting
+//! end-to-end records/sec. Results land on stdout and in
+//! `BENCH_stream.json` (override the path with `BENCH_STREAM_OUT`) so
+//! CI can track the perf trajectory.
+//!
+//! Run: `cargo bench -p anomex-bench --bench perf_stream`
+//! Sizing: `STREAM_BENCH_FLOWS=500000` scales the corpus; `--test`
+//! (what `cargo test --benches` passes) switches to a small smoke run.
+//!
+//! Caveat: shard *scaling* needs physical cores; on a single-CPU
+//! machine expect flat-to-slightly-declining numbers with shard count,
+//! not speedup.
+
+use std::time::Instant;
+
+use anomex_bench::fmt;
+use anomex_detect::kl::KlConfig;
+use anomex_gen::prelude::*;
+use anomex_stream::prelude::*;
+use serde::Value;
+
+const WIDTH_MS: u64 = 60_000;
+const WINDOWS: u64 = 8;
+
+fn corpus(
+    total_flows: usize,
+) -> (Vec<anomex_flow::record::FlowRecord>, anomex_flow::store::TimeRange) {
+    let mut spec = AnomalySpec::template(
+        AnomalyKind::PortScan,
+        "10.3.0.99".parse().unwrap(),
+        "172.16.5.5".parse().unwrap(),
+    );
+    spec.flows = total_flows / 6;
+    spec.start_ms = 6 * WIDTH_MS;
+    spec.duration_ms = WIDTH_MS;
+    let mut scenario = Scenario::new("perf-stream", 0x57_12EA, Backbone::Geant).with_anomaly(spec);
+    scenario.background.flows = total_flows - total_flows / 6;
+    scenario.background.duration_ms = WINDOWS * WIDTH_MS;
+    let built = scenario.build();
+    let mut records = built.store.snapshot();
+    records.sort_by_key(|r| r.start_ms);
+    (records, scenario.window())
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let total_flows: usize = std::env::var("STREAM_BENCH_FLOWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if test_mode { 20_000 } else { 150_000 });
+    let (records, span) = corpus(total_flows);
+
+    print!("{}", fmt::banner("P5: streaming pipeline throughput (records/sec by shard count)"));
+    println!("corpus: {} records over {} one-minute windows\n", records.len(), WINDOWS);
+
+    let mut rows = vec![vec![
+        "shards".to_string(),
+        "records/sec".to_string(),
+        "elapsed ms".to_string(),
+        "alarms".to_string(),
+        "reports".to_string(),
+    ]];
+    let mut measurements: Vec<Value> = Vec::new();
+    for &shards in &[1usize, 2, 4, 8] {
+        let config = StreamConfig {
+            shards,
+            queue_depth: 4_096,
+            lateness_ms: 30_000,
+            watermark_every: 512,
+            span: Some(span),
+            detector: DetectorConfig::Kl(KlConfig { interval_ms: WIDTH_MS, ..KlConfig::default() }),
+            retain_windows: 2,
+            ..StreamConfig::default()
+        };
+        let start = Instant::now();
+        let (mut ingest, reports) = anomex_stream::pipeline::launch(config);
+        ingest.push_batch(records.iter().cloned());
+        let stats = ingest.finish();
+        let drained = reports.iter().count() as u64;
+        let elapsed = start.elapsed();
+        assert_eq!(stats.ingested, records.len() as u64, "pipeline lost records");
+        assert_eq!(drained, stats.reports, "report channel lost reports");
+
+        let records_per_sec = stats.ingested as f64 / elapsed.as_secs_f64();
+        rows.push(vec![
+            shards.to_string(),
+            format!("{records_per_sec:.0}"),
+            format!("{:.1}", elapsed.as_secs_f64() * 1_000.0),
+            stats.alarms.to_string(),
+            stats.reports.to_string(),
+        ]);
+        measurements.push(Value::Object(vec![
+            ("shards".to_string(), Value::U64(shards as u64)),
+            ("records_per_sec".to_string(), Value::F64((records_per_sec * 10.0).round() / 10.0)),
+            ("elapsed_ms".to_string(), Value::F64(elapsed.as_secs_f64() * 1_000.0)),
+            ("alarms".to_string(), Value::U64(stats.alarms)),
+            ("reports".to_string(), Value::U64(stats.reports)),
+        ]));
+    }
+    print!("{}", fmt::table(&rows));
+
+    let doc = Value::Object(vec![
+        ("bench".to_string(), Value::Str("perf_stream".to_string())),
+        ("corpus_records".to_string(), Value::U64(records.len() as u64)),
+        ("windows".to_string(), Value::U64(WINDOWS)),
+        ("results".to_string(), Value::Array(measurements)),
+    ]);
+    let path =
+        std::env::var("BENCH_STREAM_OUT").unwrap_or_else(|_| "BENCH_stream.json".to_string());
+    let json = serde_json::to_string_pretty(&doc).expect("render bench json");
+    std::fs::write(&path, json + "\n").expect("write bench json");
+    println!("\nwrote {path}");
+}

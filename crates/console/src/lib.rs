@@ -1,9 +1,11 @@
 //! # anomex-console
 //!
 //! The operator-facing layer of the extraction system: a JSON alarm
-//! database (so "any anomaly detection system" can feed alarms in) and a
+//! database (so "any anomaly detection system" can feed alarms in), a
 //! scriptable console covering every workflow of the paper's GUI —
-//! list alarms, compute itemsets, investigate raw flows, tune parameters.
+//! list alarms, compute itemsets, investigate raw flows, tune parameters
+//! — and a [`live`] session source consuming the streaming pipeline's
+//! report channel.
 //!
 //! The console runs over any `BufRead`/`Write` pair, which keeps the
 //! whole operator workflow headless and testable; see
@@ -32,11 +34,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod db;
+pub mod live;
 pub mod session;
 
 /// One-stop imports.
 pub mod prelude {
     pub use crate::db::AlarmDb;
+    pub use crate::live::LiveSession;
     pub use crate::session::Console;
 }
 

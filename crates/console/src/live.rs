@@ -1,0 +1,170 @@
+//! Live session source: the console end of the streaming pipeline.
+//!
+//! A [`LiveSession`] consumes [`StreamReport`]s from the pipeline's
+//! subscriber channel, renders each one as it arrives (alarm line +
+//! Table-1 itemset table), and files the alarms into an [`AlarmDb`] so
+//! the operator can keep investigating interactively with the ordinary
+//! [`Console`](crate::session::Console) afterwards.
+
+use std::io::{self, Write};
+
+use anomex_core::report::{render_summary, render_table};
+use anomex_stream::report::StreamReport;
+use crossbeam::channel::Receiver;
+
+use crate::db::AlarmDb;
+
+/// Accumulates streamed reports and the alarms behind them.
+#[derive(Default)]
+pub struct LiveSession {
+    db: AlarmDb,
+    reports: Vec<StreamReport>,
+    /// Support columns are multiplied by this in rendered tables (set
+    /// to the sampling rate for wire-scale estimates).
+    pub report_scale: u64,
+}
+
+impl LiveSession {
+    /// Empty session with an in-memory alarm database.
+    pub fn new() -> LiveSession {
+        LiveSession { db: AlarmDb::in_memory(), reports: Vec::new(), report_scale: 1 }
+    }
+
+    /// Render one report to `out` and file its alarm.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the output writer.
+    pub fn ingest(&mut self, report: StreamReport, out: &mut impl Write) -> io::Result<()> {
+        let id = self.db.add(report.alarm.clone());
+        writeln!(out, "live: {}", self.db.get(id).expect("alarm just added").describe())?;
+        write!(out, "{}", render_summary(&report.extraction))?;
+        if report.extraction.is_empty() {
+            writeln!(out, "no meaningful itemsets — stealthy anomaly or false positive?")?;
+        } else {
+            write!(out, "{}", render_table(&report.extraction, self.report_scale.max(1)))?;
+        }
+        self.reports.push(report);
+        Ok(())
+    }
+
+    /// Consume the channel until the pipeline hangs up; returns how
+    /// many reports arrived.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the output writer.
+    pub fn drain(
+        &mut self,
+        reports: &Receiver<StreamReport>,
+        out: &mut impl Write,
+    ) -> io::Result<usize> {
+        let mut n = 0;
+        while let Ok(report) = reports.recv() {
+            self.ingest(report, out)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Every report received so far, in arrival order.
+    pub fn reports(&self) -> &[StreamReport] {
+        &self.reports
+    }
+
+    /// The accumulated alarm database (ids as filed, in arrival order).
+    pub fn alarms(&self) -> &AlarmDb {
+        &self.db
+    }
+
+    /// Hand the accumulated alarms to an interactive console over
+    /// `store` for post-hoc drill-down.
+    pub fn into_console(self, store: anomex_flow::store::FlowStore) -> crate::session::Console {
+        crate::session::Console::new(store, self.db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anomex_detect::kl::KlConfig;
+    use anomex_flow::prelude::*;
+    use anomex_stream::prelude::*;
+    use std::net::Ipv4Addr;
+
+    /// End to end: pipeline reports flow into a live session, then the
+    /// alarms remain investigable through the ordinary console.
+    #[test]
+    fn live_session_renders_reports_and_feeds_the_console() {
+        let span = TimeRange::new(0, 8 * 60_000);
+        let config = StreamConfig {
+            shards: 2,
+            span: Some(span),
+            detector: DetectorConfig::Kl(KlConfig { interval_ms: 60_000, ..KlConfig::default() }),
+            ..StreamConfig::default()
+        };
+        let (mut ingest, reports) = anomex_stream::pipeline::launch(config);
+        let mut wire = Vec::new();
+        for t in 0..8u64 {
+            for i in 0..150u32 {
+                wire.push(
+                    FlowRecord::builder()
+                        .time(t * 60_000 + i as u64 * 350, t * 60_000 + i as u64 * 350 + 40)
+                        .src(Ipv4Addr::from(0x0A00_0000 + (i % 30)), 1_024 + (i % 300) as u16)
+                        .dst(Ipv4Addr::from(0xAC10_0000 + (i % 6)), 80)
+                        .volume(2, 1_200)
+                        .build(),
+                );
+            }
+        }
+        for p in 1..=1_000u32 {
+            wire.push(
+                FlowRecord::builder()
+                    .time(6 * 60_000 + p as u64 % 60_000, 6 * 60_000 + p as u64 % 60_000 + 1)
+                    .src("10.9.9.9".parse().unwrap(), 55_548)
+                    .dst("172.16.0.7".parse().unwrap(), p as u16)
+                    .volume(1, 44)
+                    .build(),
+            );
+        }
+        wire.sort_by_key(|f| f.start_ms);
+        let store = FlowStore::from_records(60_000, wire.clone());
+        ingest.push_batch(wire);
+        let stats = ingest.finish();
+        assert!(stats.reports >= 1);
+
+        let mut session = LiveSession::new();
+        let mut out = Vec::new();
+        let n = session.drain(&reports, &mut out).unwrap();
+        assert_eq!(n as u64, stats.reports);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("live: alarm #0"), "{text}");
+        assert!(text.contains("srcIP"), "itemset table expected: {text}");
+        assert!(text.contains("10.9.9.9"), "{text}");
+
+        // The same alarms drive the interactive console afterwards.
+        let mut console = session.into_console(store);
+        let mut console_out = Vec::new();
+        console
+            .run(std::io::Cursor::new("alarm 0\nextract\nquit\n".to_string()), &mut console_out)
+            .unwrap();
+        let console_text = String::from_utf8(console_out).unwrap();
+        assert!(console_text.contains("selected: alarm #0"), "{console_text}");
+        assert!(console_text.contains("10.9.9.9"), "{console_text}");
+    }
+
+    #[test]
+    fn empty_extraction_renders_a_note() {
+        let mut session = LiveSession::new();
+        let report = StreamReport {
+            alarm: anomex_detect::alarm::Alarm::new(0, "kl", TimeRange::new(0, 60_000)),
+            extraction: anomex_core::extract::Extractor::with_defaults()
+                .extract_from_candidates(&[]),
+            window_flows: 0,
+        };
+        let mut out = Vec::new();
+        session.ingest(report, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("no meaningful itemsets"), "{text}");
+        assert_eq!(session.reports().len(), 1);
+        assert_eq!(session.alarms().len(), 1);
+    }
+}

@@ -181,6 +181,23 @@ impl Extractor {
         self.extract_from_candidates(&cands)
     }
 
+    /// Extract the itemsets of `alarm` from a borrowed slice of window
+    /// records — the streaming entry point, where the alarmed window's
+    /// flows already sit in memory and no [`FlowStore`] query is needed.
+    ///
+    /// Candidate selection applies the same window-overlap + hint-union
+    /// filter as [`Extractor::extract`], so over identical records both
+    /// entry points mine identical candidate sets.
+    pub fn extract_from_window(&self, window_flows: &[FlowRecord], alarm: &Alarm) -> Extraction {
+        let cands = crate::candidate::candidates_from_slice(
+            window_flows,
+            alarm.window,
+            alarm,
+            self.config.policy,
+        );
+        self.extract_from_candidates(&cands)
+    }
+
     /// Extract from a pre-selected candidate set.
     pub fn extract_from_candidates(&self, cands: &[FlowRecord]) -> Extraction {
         let candidate_packets: u64 = cands.iter().map(|f| f.packets).sum();
@@ -454,6 +471,22 @@ mod tests {
         let result = ex.extract(&store, &alarm);
         assert_eq!(result.candidate_flows, 400, "hints must pre-filter candidates");
         assert_eq!(result.itemsets[0].flow_support, 400);
+    }
+
+    #[test]
+    fn window_slice_extraction_matches_store_extraction() {
+        let store = FlowStore::new(60_000);
+        for f in scan_candidates() {
+            store.insert(f);
+        }
+        let slice = store.snapshot();
+        let alarm = Alarm::new(0, "test", TimeRange::new(0, 10_000))
+            .with_hints(vec![FeatureItem::src_ip(ip("10.0.0.9"))]);
+        let ex = Extractor::with_defaults();
+        let from_store = ex.extract(&store, &alarm);
+        let from_window = ex.extract_from_window(&slice, &alarm);
+        assert_eq!(from_store.candidate_flows, from_window.candidate_flows);
+        assert_eq!(from_store.itemsets, from_window.itemsets);
     }
 
     #[test]

@@ -96,6 +96,14 @@ impl ValueDist {
             self.count(value) as f64 / self.total as f64
         }
     }
+
+    /// Fold another distribution into this one (counts add).
+    pub fn merge(&mut self, other: &ValueDist) {
+        for (&value, &count) in &other.counts {
+            *self.counts.entry(value).or_default() += count;
+        }
+        self.total += other.total;
+    }
 }
 
 /// One interval's summary: volumes plus the four feature distributions.
@@ -133,6 +141,19 @@ impl IntervalStat {
         self.bytes += r.bytes;
         for (i, feature) in Feature::MINING.iter().enumerate() {
             self.dists[i].add(r.feature(*feature).raw(), 1);
+        }
+    }
+
+    /// Fold another shard's summary of the **same** interval into this
+    /// one — how the window manager combines per-shard partials into
+    /// the full interval summary without re-scanning any flow.
+    pub fn merge(&mut self, other: &IntervalStat) {
+        debug_assert_eq!(self.range, other.range, "merging different intervals");
+        self.flows += other.flows;
+        self.packets += other.packets;
+        self.bytes += other.bytes;
+        for (mine, theirs) in self.dists.iter_mut().zip(&other.dists) {
+            mine.merge(theirs);
         }
     }
 
@@ -299,6 +320,23 @@ mod tests {
         assert_eq!(stat.dist(Feature::SrcIp).unwrap().distinct(), 2);
         assert_eq!(stat.dist(Feature::DstPort).unwrap().distinct(), 1);
         assert_eq!(stat.dist(Feature::Proto), None, "proto is not a mining feature");
+    }
+
+    #[test]
+    fn merged_shard_stats_equal_unsharded_stat() {
+        let flows: Vec<FlowRecord> = (0..40)
+            .map(|i| flow(i, &format!("10.0.0.{}", i % 7), 80 + (i % 3) as u16, 2))
+            .collect();
+        let range = TimeRange::new(0, 1000);
+        let mut whole = IntervalStat::empty(range);
+        let mut shards = [IntervalStat::empty(range), IntervalStat::empty(range)];
+        for f in &flows {
+            whole.add(f);
+            shards[(f.key().stable_hash() % 2) as usize].add(f);
+        }
+        let mut merged = shards[0].clone();
+        merged.merge(&shards[1]);
+        assert_eq!(merged, whole);
     }
 
     #[test]

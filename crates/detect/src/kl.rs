@@ -16,7 +16,7 @@ use anomex_flow::record::FlowRecord;
 use anomex_flow::store::TimeRange;
 
 use crate::alarm::Alarm;
-use crate::interval::{IntervalSeries, ValueDist};
+use crate::interval::{IntervalSeries, IntervalStat, ValueDist};
 
 /// KL detector configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,95 +98,164 @@ impl KlDetector {
     }
 
     /// Run detection over a pre-cut series (shared with benchmarks).
+    ///
+    /// Equivalent to feeding every interval through [`KlOnline::push`];
+    /// this delegation is what guarantees the streaming pipeline and
+    /// the batch pipeline agree alarm-for-alarm.
     pub fn detect_series(&mut self, series: &IntervalSeries) -> Vec<Alarm> {
-        let bins = 1usize << self.config.bins_log2;
-        let n = series.len();
-        let mut alarms = Vec::new();
-        if n == 0 {
-            return alarms;
+        let mut online = KlOnline::with_start_id(self.config, self.next_id);
+        let alarms =
+            series.intervals.iter().filter_map(|stat| online.push(stat)).collect::<Vec<_>>();
+        self.next_id = online.next_id();
+        alarms
+    }
+}
+
+/// Incremental KL detection state: one interval in, at most one alarm
+/// out, no re-scan of history.
+///
+/// Keeps the last `window` interval histograms (the sliding baseline)
+/// plus the scalar KL history per feature for the adaptive threshold —
+/// a few KiB per detector regardless of how long the stream runs, aside
+/// from the threshold history, which grows by four `f64`s per interval
+/// to stay bit-identical with the batch detector's statistics.
+#[derive(Debug, Clone)]
+pub struct KlOnline {
+    config: KlConfig,
+    bins: usize,
+    /// Histograms of up to `config.window` preceding intervals.
+    recent: std::collections::VecDeque<[Vec<f64>; 4]>,
+    /// Trailing un-alarmed KL values per feature.
+    history: [Vec<f64>; 4],
+    /// Intervals consumed so far.
+    t: usize,
+    next_id: u64,
+}
+
+impl KlOnline {
+    /// Fresh online state with the given configuration.
+    pub fn new(config: KlConfig) -> KlOnline {
+        KlOnline::with_start_id(config, 0)
+    }
+
+    /// Fresh online state whose first alarm takes id `next_id`.
+    pub fn with_start_id(config: KlConfig, next_id: u64) -> KlOnline {
+        assert!(config.bins_log2 >= 2 && config.bins_log2 <= 16, "bins_log2 out of range");
+        assert!(config.window >= 1, "baseline window must be >= 1");
+        KlOnline {
+            config,
+            bins: 1usize << config.bins_log2,
+            recent: std::collections::VecDeque::with_capacity(config.window + 1),
+            history: Default::default(),
+            t: 0,
+            next_id,
         }
+    }
 
-        // Histograms per interval per feature.
-        let hists: Vec<[Vec<f64>; 4]> = series
-            .intervals
-            .iter()
-            .map(|stat| {
-                [
-                    histogram(&stat.dists[0], bins),
-                    histogram(&stat.dists[1], bins),
-                    histogram(&stat.dists[2], bins),
-                    histogram(&stat.dists[3], bins),
-                ]
-            })
-            .collect();
+    /// The id the next alarm will take.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
 
-        // Trailing KL history per feature for the adaptive threshold.
-        let mut history: [Vec<f64>; 4] = Default::default();
+    /// Number of intervals consumed.
+    pub fn intervals_seen(&self) -> usize {
+        self.t
+    }
 
-        for t in 0..n {
-            if t < self.config.min_training {
-                // Warm-up: record KL against whatever baseline exists so the
-                // threshold has history, but never alarm.
-                if t > 0 {
-                    for f in 0..4 {
-                        let baseline = average_hist(&hists, t, self.config.window, f, bins);
-                        history[f].push(kl_divergence(&hists[t][f], &baseline));
-                    }
+    /// Feed the next closed interval; returns an alarm if it deviates.
+    ///
+    /// Intervals must arrive in time order; gaps must be fed as empty
+    /// [`IntervalStat`]s (exactly what [`IntervalSeries::cut`] produces
+    /// for quiet intervals), or the adaptive threshold sees a different
+    /// history than the batch detector would.
+    pub fn push(&mut self, stat: &IntervalStat) -> Option<Alarm> {
+        let hist: [Vec<f64>; 4] = [
+            histogram(&stat.dists[0], self.bins),
+            histogram(&stat.dists[1], self.bins),
+            histogram(&stat.dists[2], self.bins),
+            histogram(&stat.dists[3], self.bins),
+        ];
+        let baselines: [Vec<f64>; 4] = std::array::from_fn(|f| self.baseline(f));
+
+        let result = if self.t < self.config.min_training {
+            // Warm-up: record KL against whatever baseline exists so the
+            // threshold has history, but never alarm.
+            if self.t > 0 {
+                for ((history, h), b) in self.history.iter_mut().zip(&hist).zip(&baselines) {
+                    history.push(kl_divergence(h, b));
                 }
-                continue;
             }
-
+            None
+        } else {
             let mut flagged: Vec<KlScore> = Vec::new();
             let mut kls = [0.0f64; 4];
-            for f in 0..4 {
-                let baseline = average_hist(&hists, t, self.config.window, f, bins);
-                let kl = kl_divergence(&hists[t][f], &baseline);
-                kls[f] = kl;
+            for (f, kl_slot) in kls.iter_mut().enumerate() {
+                let kl = kl_divergence(&hist[f], &baselines[f]);
+                *kl_slot = kl;
                 let threshold =
-                    adaptive_threshold(&history[f], self.config.sigma, self.config.floor);
+                    adaptive_threshold(&self.history[f], self.config.sigma, self.config.floor);
                 if kl > threshold {
                     flagged.push(KlScore { feature: Feature::MINING[f], kl, threshold });
                 }
             }
 
             if flagged.is_empty() {
-                for f in 0..4 {
-                    history[f].push(kls[f]);
+                for (history, &kl) in self.history.iter_mut().zip(&kls) {
+                    history.push(kl);
                 }
-                continue;
+                None
+            } else {
+                // Meta-data: top contributing values of every flagged
+                // feature. Alarmed intervals do not pollute the threshold
+                // history (shield the baseline from contamination).
+                let mut hints = Vec::new();
+                for score in &flagged {
+                    let f = Feature::MINING.iter().position(|&x| x == score.feature).unwrap();
+                    hints.extend(top_deviating_values(
+                        &stat.dists[f],
+                        &hist[f],
+                        &baselines[f],
+                        score.feature,
+                        self.config.hints_per_feature,
+                    ));
+                }
+                let worst = flagged
+                    .iter()
+                    .cloned()
+                    .max_by(|a, b| (a.kl / a.threshold).partial_cmp(&(b.kl / b.threshold)).unwrap())
+                    .expect("flagged is non-empty");
+                let alarm = Alarm::new(self.next_id, "kl", stat.range)
+                    .with_hints(hints)
+                    .with_kind(guess_kind(&flagged))
+                    .with_score(worst.kl, worst.threshold);
+                self.next_id += 1;
+                Some(alarm)
             }
+        };
 
-            // Meta-data: top contributing values of every flagged feature.
-            let mut hints = Vec::new();
-            for score in &flagged {
-                let f = Feature::MINING.iter().position(|&x| x == score.feature).unwrap();
-                let baseline = average_hist(&hists, t, self.config.window, f, bins);
-                let stat = &series.intervals[t];
-                hints.extend(top_deviating_values(
-                    &stat.dists[f],
-                    &hists[t][f],
-                    &baseline,
-                    score.feature,
-                    self.config.hints_per_feature,
-                ));
-            }
-
-            let worst = flagged
-                .iter()
-                .cloned()
-                .max_by(|a, b| (a.kl / a.threshold).partial_cmp(&(b.kl / b.threshold)).unwrap())
-                .expect("flagged is non-empty");
-            let alarm = Alarm::new(self.next_id, "kl", series.intervals[t].range)
-                .with_hints(hints)
-                .with_kind(guess_kind(&flagged))
-                .with_score(worst.kl, worst.threshold);
-            self.next_id += 1;
-            alarms.push(alarm);
-
-            // Alarmed intervals do not pollute the threshold history
-            // (shield the baseline from contamination).
+        self.recent.push_back(hist);
+        if self.recent.len() > self.config.window {
+            self.recent.pop_front();
         }
-        alarms
+        self.t += 1;
+        result
+    }
+
+    /// Average histogram of the retained preceding intervals.
+    fn baseline(&self, feature: usize) -> Vec<f64> {
+        let mut avg = vec![0.0f64; self.bins];
+        let n = self.recent.len();
+        for h in &self.recent {
+            for (a, &x) in avg.iter_mut().zip(&h[feature]) {
+                *a += x;
+            }
+        }
+        if n > 0 {
+            for a in &mut avg {
+                *a /= n as f64;
+            }
+        }
+        avg
     }
 }
 
@@ -210,31 +279,6 @@ fn histogram(dist: &ValueDist, bins: usize) -> Vec<f64> {
         }
     }
     h
-}
-
-/// Average histogram of up to `window` intervals preceding `t`.
-fn average_hist(
-    hists: &[[Vec<f64>; 4]],
-    t: usize,
-    window: usize,
-    feature: usize,
-    bins: usize,
-) -> Vec<f64> {
-    let from = t.saturating_sub(window);
-    let mut avg = vec![0.0f64; bins];
-    let mut n = 0usize;
-    for h in hists.iter().take(t).skip(from) {
-        for (a, &x) in avg.iter_mut().zip(&h[feature]) {
-            *a += x;
-        }
-        n += 1;
-    }
-    if n > 0 {
-        for a in &mut avg {
-            *a /= n as f64;
-        }
-    }
-    avg
 }
 
 /// `KL(p || q)` in bits, with the baseline mixed toward uniform so empty
@@ -472,6 +516,24 @@ mod tests {
                 assert!(bin_of(v, bins) < bins);
             }
         }
+    }
+
+    #[test]
+    fn online_push_equals_batch_detect() {
+        let (flows, span) = trace(8, 60_000, true);
+        let series = IntervalSeries::cut(&flows, span, 60_000);
+        let config = KlConfig { interval_ms: 60_000, ..KlConfig::default() };
+
+        let mut batch = KlDetector::new(config);
+        let batch_alarms = batch.detect_series(&series);
+
+        let mut online = KlOnline::new(config);
+        let online_alarms: Vec<Alarm> =
+            series.intervals.iter().filter_map(|stat| online.push(stat)).collect();
+
+        assert_eq!(batch_alarms, online_alarms);
+        assert_eq!(online.intervals_seen(), series.len());
+        assert_eq!(online.next_id(), batch_alarms.len() as u64);
     }
 
     #[test]

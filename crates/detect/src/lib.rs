@@ -55,9 +55,9 @@ pub mod pca;
 pub mod prelude {
     pub use crate::alarm::{Alarm, Severity};
     pub use crate::interval::{IntervalSeries, IntervalStat, ValueDist};
-    pub use crate::kl::{KlConfig, KlDetector, KlScore};
+    pub use crate::kl::{KlConfig, KlDetector, KlOnline, KlScore};
     pub use crate::linalg::{jacobi_eigen, Matrix};
-    pub use crate::pca::{PcaConfig, PcaDetector, PcaDiagnostics, DIMS};
+    pub use crate::pca::{PcaConfig, PcaDetector, PcaDiagnostics, PcaSliding, DIMS};
 }
 
 pub use prelude::*;

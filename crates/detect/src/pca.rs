@@ -231,6 +231,68 @@ impl PcaDetector {
     }
 }
 
+/// Incremental front-end for the PCA detector: a bounded sliding window
+/// of interval summaries, refit on every new interval.
+///
+/// Unlike [`crate::kl::KlOnline`] this is not bit-identical with the
+/// batch detector — PCA's leave-one-out fit fundamentally trains on the
+/// whole series, so the online variant trains on the trailing `history`
+/// intervals instead (the standard sliding-window PCA compromise).
+/// Memory and per-interval cost are bounded by `history`, independent
+/// of stream length; only an alarm on the **newest** interval is
+/// reported, since older intervals were already judged when they were
+/// newest.
+#[derive(Debug, Clone)]
+pub struct PcaSliding {
+    config: PcaConfig,
+    history: std::collections::VecDeque<IntervalStat>,
+    cap: usize,
+    next_id: u64,
+}
+
+impl PcaSliding {
+    /// Sliding detector keeping the last `history` intervals (clamped
+    /// up to `config.min_intervals`).
+    pub fn new(config: PcaConfig, history: usize) -> PcaSliding {
+        assert!(config.energy > 0.0 && config.energy < 1.0, "energy must be in (0,1)");
+        let cap = history.max(config.min_intervals);
+        PcaSliding {
+            config,
+            history: std::collections::VecDeque::with_capacity(cap + 1),
+            cap,
+            next_id: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PcaConfig {
+        &self.config
+    }
+
+    /// Feed the next closed interval; returns an alarm if the newest
+    /// interval deviates from the trailing window's subspace.
+    pub fn push(&mut self, stat: &IntervalStat) -> Option<Alarm> {
+        self.history.push_back(stat.clone());
+        if self.history.len() > self.cap {
+            self.history.pop_front();
+        }
+        if self.history.len() < self.config.min_intervals {
+            return None;
+        }
+        let series = IntervalSeries {
+            width_ms: self.config.interval_ms,
+            intervals: self.history.iter().cloned().collect(),
+        };
+        let mut detector = PcaDetector::new(self.config);
+        let (alarms, _) = detector.detect_series(&series);
+        alarms.into_iter().find(|a| a.window == stat.range).map(|mut alarm| {
+            alarm.id = self.next_id;
+            self.next_id += 1;
+            alarm
+        })
+    }
+}
+
 /// One leave-one-out PCA fit.
 struct LooFit {
     /// Per-dimension `(mean, std)` of the training rows.
@@ -499,6 +561,40 @@ mod tests {
         let max_idx =
             diag.spe.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(max_idx, 11);
+    }
+
+    #[test]
+    fn sliding_pca_flags_scan_in_newest_interval_only() {
+        let (flows, span) = trace(16, 60_000, Some(12), false);
+        let series = IntervalSeries::cut(&flows, span, 60_000);
+        let config = PcaConfig { interval_ms: 60_000, ..PcaConfig::default() };
+        let mut sliding = PcaSliding::new(config, 12);
+        let mut fired: Vec<(usize, Alarm)> = Vec::new();
+        for (t, stat) in series.intervals.iter().enumerate() {
+            if let Some(alarm) = sliding.push(stat) {
+                fired.push((t, alarm));
+            }
+        }
+        assert!(
+            fired.iter().any(|(t, _)| *t == 12),
+            "scan interval not flagged: {:?}",
+            fired.iter().map(|(t, a)| (*t, a.describe())).collect::<Vec<_>>()
+        );
+        // Alarm ids are assigned by the sliding adapter, in order.
+        for (i, (_, alarm)) in fired.iter().enumerate() {
+            assert_eq!(alarm.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn sliding_pca_is_quiet_on_benign_traffic() {
+        let (flows, span) = trace(16, 60_000, None, false);
+        let series = IntervalSeries::cut(&flows, span, 60_000);
+        let config = PcaConfig { interval_ms: 60_000, ..PcaConfig::default() };
+        let mut sliding = PcaSliding::new(config, 12);
+        let fired: Vec<Alarm> =
+            series.intervals.iter().filter_map(|stat| sliding.push(stat)).collect();
+        assert!(fired.is_empty(), "{:?}", fired.iter().map(|a| a.describe()).collect::<Vec<_>>());
     }
 
     #[test]

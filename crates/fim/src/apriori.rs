@@ -169,12 +169,58 @@ fn count_candidates(
     })
     .expect("apriori counting scope panicked");
 
-    let mut merged = tables.pop().unwrap_or_default();
-    for table in tables {
-        for (key, value) in table {
-            *merged.entry(key).or_insert(0) += value;
+    merge_tables(tables, candidates, threads)
+}
+
+/// Sum the per-worker count tables.
+///
+/// The merge itself is sharded **by candidate**: every worker table
+/// holds an entry for every candidate (pre-inserted by `make_table`),
+/// so summing a candidate across tables is independent of every other
+/// candidate. With many candidates a single-threaded fold of the
+/// tables dominates the levelwise pass; slicing the candidate list
+/// across the same thread pool parallelizes it with no contention.
+fn merge_tables(
+    tables: Vec<HashMap<Vec<Item>, u64>>,
+    candidates: &[Itemset],
+    threads: usize,
+) -> HashMap<Vec<Item>, u64> {
+    if tables.len() <= 1 || threads <= 1 || candidates.len() < 2 * threads {
+        let mut tables = tables;
+        let mut merged = tables.pop().unwrap_or_default();
+        for table in tables {
+            for (key, value) in table {
+                *merged.entry(key).or_insert(0) += value;
+            }
         }
+        return merged;
     }
+
+    let shard_len = candidates.len().div_ceil(threads);
+    let tables = &tables;
+    let mut merged: HashMap<Vec<Item>, u64> = HashMap::with_capacity(candidates.len());
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(shard_len)
+            .map(|shard| {
+                scope.spawn(move |_| {
+                    let mut partial: HashMap<Vec<Item>, u64> = HashMap::with_capacity(shard.len());
+                    for candidate in shard {
+                        let total = tables
+                            .iter()
+                            .map(|t| t.get(candidate.items()).copied().unwrap_or(0))
+                            .sum();
+                        partial.insert(candidate.items().to_vec(), total);
+                    }
+                    partial
+                })
+            })
+            .collect();
+        for h in handles {
+            merged.extend(h.join().expect("apriori merge worker panicked"));
+        }
+    })
+    .expect("apriori merge scope panicked");
     merged
 }
 
@@ -364,6 +410,26 @@ mod tests {
         );
         assert_eq!(seq, par);
         assert!(!seq.is_empty());
+    }
+
+    #[test]
+    fn sharded_merge_matches_sequential_fold() {
+        // Hand-built worker tables over a known candidate list.
+        let candidates: Vec<Itemset> = (0..37u64).map(|v| iset(&[v, v + 100])).collect();
+        let mut tables: Vec<HashMap<Vec<Item>, u64>> = Vec::new();
+        for w in 0..4u64 {
+            let table: HashMap<Vec<Item>, u64> = candidates
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (c.items().to_vec(), w * 1_000 + i as u64))
+                .collect();
+            tables.push(table);
+        }
+        let sharded = merge_tables(tables.clone(), &candidates, 4);
+        let sequential = merge_tables(tables, &candidates, 1);
+        assert_eq!(sharded, sequential);
+        // Spot-check one sum: candidate i totals Σ_w (w*1000 + i).
+        assert_eq!(sharded[candidates[5].items()], 6_000 + 4 * 5);
     }
 
     #[test]

@@ -65,6 +65,28 @@ impl TimeRange {
         }
         out
     }
+
+    /// Index of the tumbling window containing `t_ms` on a grid of
+    /// `width_ms`-wide windows anchored at `origin_ms`; `None` when
+    /// `t_ms` precedes the origin.
+    ///
+    /// # Panics
+    /// Panics if `width_ms` is zero.
+    pub fn window_index(t_ms: u64, origin_ms: u64, width_ms: u64) -> Option<u64> {
+        assert!(width_ms > 0, "window width must be positive");
+        t_ms.checked_sub(origin_ms).map(|offset| offset / width_ms)
+    }
+
+    /// The `index`-th tumbling window on the same grid, i.e. the
+    /// inverse of [`TimeRange::window_index`].
+    ///
+    /// # Panics
+    /// Panics if `width_ms` is zero.
+    pub fn window_at(index: u64, origin_ms: u64, width_ms: u64) -> TimeRange {
+        assert!(width_ms > 0, "window width must be positive");
+        let from = origin_ms + index * width_ms;
+        TimeRange { from_ms: from, to_ms: from + width_ms }
+    }
 }
 
 impl std::fmt::Display for TimeRange {
@@ -359,5 +381,22 @@ mod tests {
     #[should_panic(expected = "bin width")]
     fn zero_bin_width_panics() {
         FlowStore::new(0);
+    }
+
+    #[test]
+    fn window_index_and_window_at_are_inverses() {
+        for (t, origin, width) in [(0u64, 0u64, 60_000u64), (125_000, 5_000, 60_000), (7, 7, 1)] {
+            let idx = TimeRange::window_index(t, origin, width).unwrap();
+            let range = TimeRange::window_at(idx, origin, width);
+            assert!(range.contains(t), "{t} not in {range} (idx {idx})");
+            assert_eq!(range.len_ms(), width);
+            assert_eq!((range.from_ms - origin) % width, 0);
+        }
+    }
+
+    #[test]
+    fn window_index_before_origin_is_none() {
+        assert_eq!(TimeRange::window_index(999, 1_000, 60_000), None);
+        assert_eq!(TimeRange::window_index(1_000, 1_000, 60_000), Some(0));
     }
 }

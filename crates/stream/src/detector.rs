@@ -1,0 +1,120 @@
+//! The online detector adapter: one closed window in, alarms out.
+//!
+//! Wraps the incremental detector states of `anomex-detect`
+//! ([`KlOnline`], [`PcaSliding`]) behind one enum so the pipeline's
+//! control thread is detector-agnostic — the paper's premise ("can be
+//! integrated with any anomaly detection system") carried into the
+//! streaming layer.
+
+use anomex_detect::alarm::Alarm;
+use anomex_detect::interval::IntervalStat;
+use anomex_detect::kl::{KlConfig, KlOnline};
+use anomex_detect::pca::{PcaConfig, PcaSliding};
+
+use crate::window::ClosedWindow;
+
+/// Which detector the pipeline runs, with its configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DetectorConfig {
+    /// Histogram/KL detector — bit-identical with the batch
+    /// `KlDetector` over the same windows.
+    Kl(KlConfig),
+    /// Entropy-PCA detector refit over a trailing window of the given
+    /// length (sliding-window PCA; approximates the batch detector).
+    Pca(PcaConfig, usize),
+}
+
+impl DetectorConfig {
+    /// The detection interval the windows must be cut to.
+    pub fn interval_ms(&self) -> u64 {
+        match self {
+            DetectorConfig::Kl(c) => c.interval_ms,
+            DetectorConfig::Pca(c, _) => c.interval_ms,
+        }
+    }
+}
+
+/// Incremental detector state fed one closed window at a time.
+#[derive(Debug, Clone)]
+pub enum OnlineDetector {
+    /// KL histogram state.
+    Kl(KlOnline),
+    /// Sliding-window PCA state.
+    Pca(PcaSliding),
+}
+
+impl OnlineDetector {
+    /// Fresh state for `config`.
+    pub fn new(config: DetectorConfig) -> OnlineDetector {
+        match config {
+            DetectorConfig::Kl(c) => OnlineDetector::Kl(KlOnline::new(c)),
+            DetectorConfig::Pca(c, history) => OnlineDetector::Pca(PcaSliding::new(c, history)),
+        }
+    }
+
+    /// Feed one closed window's summary; returns the alarm it raised,
+    /// if any.
+    pub fn push(&mut self, stat: &IntervalStat) -> Option<Alarm> {
+        match self {
+            OnlineDetector::Kl(state) => state.push(stat),
+            OnlineDetector::Pca(state) => state.push(stat),
+        }
+    }
+
+    /// Feed one closed window; returns the alarm it raised, if any.
+    pub fn push_window(&mut self, window: &ClosedWindow) -> Option<Alarm> {
+        self.push(&window.stat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anomex_flow::record::FlowRecord;
+    use anomex_flow::store::TimeRange;
+    use std::net::Ipv4Addr;
+
+    /// Quiet windows then a scan window: the KL adapter must alarm on
+    /// the scan window and stay quiet otherwise.
+    #[test]
+    fn kl_adapter_alarms_on_scan_window() {
+        let config = KlConfig { interval_ms: 1_000, ..KlConfig::default() };
+        let mut detector = OnlineDetector::new(DetectorConfig::Kl(config));
+        let mut alarms = Vec::new();
+        for t in 0..8u64 {
+            let range = TimeRange::new(t * 1_000, (t + 1) * 1_000);
+            let mut stat = IntervalStat::empty(range);
+            for i in 0..150u32 {
+                stat.add(
+                    &FlowRecord::builder()
+                        .time(range.from_ms + i as u64, range.from_ms + i as u64 + 5)
+                        .src(Ipv4Addr::from(0x0A00_0000 + (i % 30)), 1_024 + (i % 400) as u16)
+                        .dst(Ipv4Addr::from(0xAC10_0000 + (i % 5)), 80)
+                        .volume(2, 1_000)
+                        .build(),
+                );
+            }
+            if t == 7 {
+                for p in 1..=1_200u32 {
+                    stat.add(
+                        &FlowRecord::builder()
+                            .time(
+                                range.from_ms + p as u64 % 1_000,
+                                range.from_ms + p as u64 % 1_000 + 1,
+                            )
+                            .src("10.66.66.66".parse().unwrap(), 55_548)
+                            .dst("172.16.0.99".parse().unwrap(), p as u16)
+                            .volume(1, 44)
+                            .build(),
+                    );
+                }
+            }
+            if let Some(alarm) = detector.push(&stat) {
+                alarms.push(alarm);
+            }
+        }
+        assert_eq!(alarms.len(), 1);
+        assert_eq!(alarms[0].window.from_ms, 7_000);
+        assert_eq!(alarms[0].detector, "kl");
+    }
+}

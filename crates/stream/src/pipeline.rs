@@ -1,0 +1,512 @@
+//! The assembled pipeline: sharded ingest workers, one merge/detect/
+//! extract control thread, and a subscriber channel of reports.
+//!
+//! ```text
+//! IngestHandle ──(bounded, by flow-key shard)──> shard worker 0..N   [ShardWindows]
+//!       │                                              │
+//!       └── watermark broadcast ──────────────────────>│ closed shard windows
+//!                                                      v
+//!                                   control thread  [WindowManager]
+//!                                                      │ gapless ClosedWindows
+//!                                                      v
+//!                                    [OnlineDetector] ─> alarms
+//!                                                      v
+//!                               [ContinuousExtractor] ─> StreamReports
+//!                                                      v
+//!                                      subscriber Receiver<StreamReport>
+//! ```
+//!
+//! Every channel along the record path is bounded, so a slow miner
+//! backpressures through the workers into [`IngestHandle::push`] rather
+//! than buffering without limit. The report channel is unbounded (low
+//! rate: one message per alarm, not per record) so a lazy subscriber
+//! can never deadlock the pipeline against [`IngestHandle::finish`].
+
+use std::thread::JoinHandle;
+
+use anomex_core::extract::ExtractorConfig;
+use anomex_flow::error::CodecError;
+use anomex_flow::record::FlowRecord;
+use anomex_flow::store::TimeRange;
+use anomex_flow::{v5, v9};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+
+use crate::detector::{DetectorConfig, OnlineDetector};
+use crate::report::{ContinuousExtractor, StreamReport};
+use crate::window::{ShardWindows, WindowConfig, WindowManager, WindowShard};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamConfig {
+    /// Ingest worker threads; records are routed by 5-tuple shard.
+    pub shards: usize,
+    /// Capacity of each bounded channel on the record path — the
+    /// backpressure depth.
+    pub queue_depth: usize,
+    /// Bounded out-of-orderness: the watermark trails the maximum event
+    /// time seen by this much. Records older than the watermark are
+    /// dropped (and counted) as late.
+    pub lateness_ms: u64,
+    /// Broadcast a watermark to every shard after this many records.
+    pub watermark_every: usize,
+    /// Replay span; see [`WindowConfig::span`]. `None` = open-ended.
+    pub span: Option<TimeRange>,
+    /// Which detector judges each closed window.
+    pub detector: DetectorConfig,
+    /// Extraction parameters applied on every alarm.
+    pub extractor: ExtractorConfig,
+    /// Closed windows retained for extraction (candidate horizon).
+    ///
+    /// Candidate selection matches the batch store's overlap query
+    /// only for flows still resident: size this so
+    /// `retain_windows * interval_ms` exceeds the longest flow
+    /// duration on the wire, or flows that started before the horizon
+    /// (but still overlap the alarmed window) are missing from the
+    /// mined candidates.
+    pub retain_windows: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            shards: 2,
+            queue_depth: 1_024,
+            lateness_ms: 30_000,
+            watermark_every: 256,
+            span: None,
+            detector: DetectorConfig::Kl(anomex_detect::kl::KlConfig::default()),
+            extractor: ExtractorConfig::default(),
+            retain_windows: 2,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// The tumbling-window grid the configuration implies.
+    pub fn window_config(&self) -> WindowConfig {
+        WindowConfig { width_ms: self.detector.interval_ms(), span: self.span }
+    }
+}
+
+/// Counters accumulated over one pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Records accepted by [`IngestHandle::push`] (including ones later
+    /// dropped as late).
+    pub ingested: u64,
+    /// NetFlow packets that failed to decode.
+    pub decode_errors: u64,
+    /// Records dropped behind the watermark.
+    pub late_dropped: u64,
+    /// Records outside the configured span.
+    pub out_of_span: u64,
+    /// Windows closed and fed to the detector.
+    pub windows: u64,
+    /// Alarms the detector raised.
+    pub alarms: u64,
+    /// Reports emitted to the subscriber channel.
+    pub reports: u64,
+}
+
+enum ShardMsg {
+    Record(FlowRecord),
+    Watermark(u64),
+    Flush,
+}
+
+enum CtrlMsg {
+    Report { shard: usize, frontier: u64, windows: Vec<WindowShard> },
+    Done { late_dropped: u64, out_of_span: u64 },
+}
+
+/// Launch the pipeline; returns the ingest handle and the subscriber
+/// end of the report channel.
+///
+/// # Panics
+/// Panics if `shards` is zero or the detector interval is zero.
+pub fn launch(config: StreamConfig) -> (IngestHandle, Receiver<StreamReport>) {
+    assert!(config.shards > 0, "shard count must be positive");
+    let window_config = config.window_config();
+
+    let (ctrl_tx, ctrl_rx) = bounded::<CtrlMsg>(config.queue_depth);
+    let (report_tx, report_rx) = unbounded::<StreamReport>();
+
+    let mut senders = Vec::with_capacity(config.shards);
+    let mut workers = Vec::with_capacity(config.shards);
+    for shard in 0..config.shards {
+        let (tx, rx) = bounded::<ShardMsg>(config.queue_depth);
+        senders.push(tx);
+        let ctrl = ctrl_tx.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("anomex-shard-{shard}"))
+                .spawn(move || shard_worker(shard, rx, ctrl, window_config))
+                .expect("spawn shard worker"),
+        );
+    }
+    drop(ctrl_tx);
+
+    let control = std::thread::Builder::new()
+        .name("anomex-stream-control".into())
+        .spawn(move || control_loop(config, window_config, ctrl_rx, report_tx))
+        .expect("spawn control thread");
+
+    let handle = IngestHandle {
+        senders,
+        shards: config.shards,
+        lateness_ms: config.lateness_ms,
+        watermark_every: config.watermark_every.max(1),
+        since_watermark: 0,
+        max_event_ms: 0,
+        ingested: 0,
+        decode_errors: 0,
+        v9_cache: v9::TemplateCache::new(),
+        workers,
+        control,
+    };
+    (handle, report_rx)
+}
+
+/// One ingest shard: windows its records, closes them on watermarks.
+fn shard_worker(shard: usize, rx: Receiver<ShardMsg>, ctrl: Sender<CtrlMsg>, config: WindowConfig) {
+    let mut windows = ShardWindows::new(shard, config);
+    for msg in rx.iter() {
+        match msg {
+            ShardMsg::Record(record) => {
+                windows.push(record);
+            }
+            ShardMsg::Watermark(watermark_ms) => {
+                let closed = windows.close_up_to(watermark_ms);
+                let report =
+                    CtrlMsg::Report { shard, frontier: windows.frontier(), windows: closed };
+                if ctrl.send(report).is_err() {
+                    return; // control thread gone; nothing left to do
+                }
+            }
+            ShardMsg::Flush => break,
+        }
+    }
+    // Flush (or ingest handle dropped): close everything and seal.
+    let closed = windows.flush();
+    let _ = ctrl.send(CtrlMsg::Report { shard, frontier: windows.frontier(), windows: closed });
+    let _ = ctrl.send(CtrlMsg::Done {
+        late_dropped: windows.late_dropped(),
+        out_of_span: windows.out_of_span(),
+    });
+}
+
+/// The single consumer of shard reports: merge, detect, extract, emit.
+fn control_loop(
+    config: StreamConfig,
+    window_config: WindowConfig,
+    ctrl_rx: Receiver<CtrlMsg>,
+    report_tx: Sender<StreamReport>,
+) -> StreamStats {
+    let mut manager = WindowManager::new(config.shards, window_config);
+    let mut detector = OnlineDetector::new(config.detector);
+    let mut extractor = ContinuousExtractor::new(config.extractor, config.retain_windows);
+    let mut stats = StreamStats::default();
+
+    let process = |closed: Vec<crate::window::ClosedWindow>,
+                   stats: &mut StreamStats,
+                   detector: &mut OnlineDetector,
+                   extractor: &mut ContinuousExtractor| {
+        for window in closed {
+            stats.windows += 1;
+            let alarms: Vec<_> = detector.push_window(&window).into_iter().collect();
+            stats.alarms += alarms.len() as u64;
+            for report in extractor.push_window(window, &alarms) {
+                stats.reports += 1;
+                // A dropped subscriber must not stall detection.
+                let _ = report_tx.send(report);
+            }
+        }
+    };
+
+    let mut done = 0usize;
+    while done < config.shards {
+        let Ok(msg) = ctrl_rx.recv() else {
+            break; // every worker gone (panic path): emit what we can
+        };
+        match msg {
+            CtrlMsg::Report { shard, frontier, windows } => {
+                let closed = manager.offer(shard, frontier, windows);
+                process(closed, &mut stats, &mut detector, &mut extractor);
+            }
+            CtrlMsg::Done { late_dropped, out_of_span } => {
+                stats.late_dropped += late_dropped;
+                stats.out_of_span += out_of_span;
+                done += 1;
+            }
+        }
+    }
+    process(manager.finish(), &mut stats, &mut detector, &mut extractor);
+    stats
+}
+
+/// The ingest front-end: routes records to shard workers, tracks event
+/// time, broadcasts watermarks, and decodes NetFlow packets in place.
+///
+/// Single-threaded by design (one handle per collector socket); the
+/// parallelism lives behind the shard channels it feeds.
+pub struct IngestHandle {
+    senders: Vec<Sender<ShardMsg>>,
+    shards: usize,
+    lateness_ms: u64,
+    watermark_every: usize,
+    since_watermark: usize,
+    max_event_ms: u64,
+    ingested: u64,
+    decode_errors: u64,
+    v9_cache: v9::TemplateCache,
+    workers: Vec<JoinHandle<()>>,
+    control: JoinHandle<StreamStats>,
+}
+
+impl IngestHandle {
+    /// Ingest one record. Blocks when the target shard's queue is full
+    /// — the backpressure point.
+    pub fn push(&mut self, record: FlowRecord) {
+        self.ingested += 1;
+        self.max_event_ms = self.max_event_ms.max(record.start_ms);
+        let shard = record.key().shard(self.shards);
+        let _ = self.senders[shard].send(ShardMsg::Record(record));
+        self.since_watermark += 1;
+        if self.since_watermark >= self.watermark_every {
+            self.broadcast_watermark();
+        }
+    }
+
+    /// Ingest a batch of records.
+    pub fn push_batch(&mut self, records: impl IntoIterator<Item = FlowRecord>) {
+        for record in records {
+            self.push(record);
+        }
+    }
+
+    /// Decode one NetFlow v5 packet and ingest its records; returns the
+    /// record count.
+    ///
+    /// # Errors
+    /// Propagates codec errors (counted in [`StreamStats::decode_errors`]).
+    pub fn push_v5(&mut self, packet: &[u8]) -> Result<usize, CodecError> {
+        match v5::decode(packet) {
+            Ok(decoded) => {
+                let n = decoded.records.len();
+                self.push_batch(decoded.records);
+                Ok(n)
+            }
+            Err(e) => {
+                self.decode_errors += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Decode one NetFlow v9 packet (templates cached across packets)
+    /// and ingest its records; returns the record count.
+    ///
+    /// # Errors
+    /// Propagates codec errors (counted in [`StreamStats::decode_errors`]).
+    pub fn push_v9(&mut self, packet: &[u8]) -> Result<usize, CodecError> {
+        let mut cache = std::mem::take(&mut self.v9_cache);
+        let result = v9::decode(packet, &mut cache);
+        self.v9_cache = cache;
+        match result {
+            Ok(decoded) => {
+                let n = decoded.records.len();
+                self.push_batch(decoded.records);
+                Ok(n)
+            }
+            Err(e) => {
+                self.decode_errors += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Records ingested so far.
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// The current event-time watermark.
+    pub fn watermark_ms(&self) -> u64 {
+        self.max_event_ms.saturating_sub(self.lateness_ms)
+    }
+
+    fn broadcast_watermark(&mut self) {
+        self.since_watermark = 0;
+        let watermark = self.watermark_ms();
+        for tx in &self.senders {
+            let _ = tx.send(ShardMsg::Watermark(watermark));
+        }
+    }
+
+    /// End the stream: flush every window, join all threads, and return
+    /// the run's statistics. Reports still queued remain readable on
+    /// the subscriber channel, which disconnects after the last one.
+    pub fn finish(self) -> StreamStats {
+        for tx in &self.senders {
+            let _ = tx.send(ShardMsg::Flush);
+        }
+        drop(self.senders);
+        for worker in self.workers {
+            worker.join().expect("shard worker panicked");
+        }
+        let mut stats = self.control.join().expect("stream control thread panicked");
+        stats.ingested = self.ingested;
+        stats.decode_errors = self.decode_errors;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anomex_detect::kl::KlConfig;
+    use std::net::Ipv4Addr;
+
+    fn scan_config(shards: usize) -> StreamConfig {
+        StreamConfig {
+            shards,
+            queue_depth: 64,
+            lateness_ms: 10_000,
+            watermark_every: 50,
+            span: Some(TimeRange::new(0, 8 * 60_000)),
+            detector: DetectorConfig::Kl(KlConfig { interval_ms: 60_000, ..KlConfig::default() }),
+            retain_windows: 2,
+            ..StreamConfig::default()
+        }
+    }
+
+    /// Eight 1-minute windows of benign traffic; a port scan in the last.
+    fn trace() -> Vec<FlowRecord> {
+        let mut flows = Vec::new();
+        for t in 0..8u64 {
+            let base = t * 60_000;
+            for i in 0..200u32 {
+                flows.push(
+                    FlowRecord::builder()
+                        .time(base + (i as u64 * 91) % 60_000, base + (i as u64 * 91) % 60_000 + 50)
+                        .src(Ipv4Addr::from(0x0A00_0000 + (i % 40)), 1_024 + (i % 500) as u16)
+                        .dst(
+                            Ipv4Addr::from(0xAC10_0000 + (i % 7)),
+                            if i % 3 == 0 { 443 } else { 80 },
+                        )
+                        .volume(3, 1_800)
+                        .build(),
+                );
+            }
+            if t == 7 {
+                for p in 1..=1_500u32 {
+                    flows.push(
+                        FlowRecord::builder()
+                            .time(base + (p as u64 % 60_000), base + (p as u64 % 60_000) + 1)
+                            .src("10.66.66.66".parse().unwrap(), 55_548)
+                            .dst("172.16.0.99".parse().unwrap(), p as u16)
+                            .volume(1, 44)
+                            .build(),
+                    );
+                }
+            }
+        }
+        flows
+    }
+
+    #[test]
+    fn pipeline_detects_and_reports_the_scan() {
+        let (mut ingest, reports) = launch(scan_config(2));
+        ingest.push_batch(trace());
+        let stats = ingest.finish();
+        let received: Vec<StreamReport> = reports.iter().collect();
+
+        assert_eq!(stats.ingested, 8 * 200 + 1_500);
+        assert_eq!(stats.late_dropped, 0, "in-order feed must drop nothing");
+        assert_eq!(stats.windows, 8, "bounded span closes every window");
+        assert_eq!(stats.alarms, 1);
+        assert_eq!(stats.reports, 1);
+        assert_eq!(received.len(), 1);
+        let report = &received[0];
+        assert_eq!(report.alarm.window.from_ms, 7 * 60_000);
+        assert!(
+            report.extraction.itemsets[0]
+                .items
+                .iter()
+                .any(|i| i.to_string() == "srcIP=10.66.66.66"),
+            "scanner missing from top itemset: {}",
+            report.extraction.itemsets[0].pattern()
+        );
+    }
+
+    #[test]
+    fn shard_counts_agree_on_stats_and_reports() {
+        let mut baseline: Option<(StreamStats, Vec<StreamReport>)> = None;
+        for shards in [1usize, 3] {
+            let (mut ingest, reports) = launch(scan_config(shards));
+            ingest.push_batch(trace());
+            let mut stats = ingest.finish();
+            let received: Vec<StreamReport> = reports.iter().collect();
+            match &baseline {
+                None => baseline = Some((stats, received)),
+                Some((expected_stats, expected_reports)) => {
+                    // Candidate *order* differs across shard counts;
+                    // mined itemsets and supports must not.
+                    assert_eq!(&received.len(), &expected_reports.len());
+                    for (a, b) in received.iter().zip(expected_reports) {
+                        assert_eq!(a.alarm.window, b.alarm.window);
+                        assert_eq!(a.extraction.itemsets, b.extraction.itemsets);
+                        assert_eq!(a.extraction.candidate_flows, b.extraction.candidate_flows);
+                    }
+                    stats.ingested = expected_stats.ingested; // identical by construction
+                    assert_eq!(&stats, expected_stats);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v5_packets_feed_the_pipeline() {
+        let flows = trace();
+        let packets = v5::encode_all(&flows, v5::ExportBase::epoch(), 0).expect("encode v5 stream");
+        let (mut ingest, reports) = launch(scan_config(2));
+        for packet in &packets {
+            let n = ingest.push_v5(packet).expect("decode own packets");
+            assert!(n > 0);
+        }
+        let stats = ingest.finish();
+        assert_eq!(stats.ingested, flows.len() as u64);
+        assert_eq!(stats.decode_errors, 0);
+        assert_eq!(reports.iter().count(), 1, "scan still found after codec round-trip");
+    }
+
+    #[test]
+    fn garbage_packet_is_counted_not_fatal() {
+        let (mut ingest, _reports) = launch(scan_config(1));
+        assert!(ingest.push_v5(&[0u8; 7]).is_err());
+        ingest.push_batch(trace());
+        let stats = ingest.finish();
+        assert_eq!(stats.decode_errors, 1);
+        assert_eq!(stats.alarms, 1, "pipeline survives bad input");
+    }
+
+    #[test]
+    fn dropped_subscriber_does_not_stall_finish() {
+        let (mut ingest, reports) = launch(scan_config(2));
+        drop(reports);
+        ingest.push_batch(trace());
+        let stats = ingest.finish();
+        assert_eq!(stats.reports, 1, "report was produced even if nobody listened");
+    }
+
+    #[test]
+    fn open_ended_stream_emits_through_last_window() {
+        let config = StreamConfig { span: None, ..scan_config(2) };
+        let (mut ingest, reports) = launch(config);
+        ingest.push_batch(trace());
+        let stats = ingest.finish();
+        assert_eq!(stats.windows, 8);
+        assert_eq!(reports.iter().count(), 1);
+    }
+}

@@ -1,0 +1,442 @@
+//! Event-time tumbling windows with watermarks.
+//!
+//! Each ingest shard owns a [`ShardWindows`]: records are assigned to
+//! the tumbling window containing their **start timestamp** (the same
+//! NetFlow convention as `IntervalSeries::cut`), windows close when the
+//! event-time watermark passes their end, and records arriving behind
+//! the watermark are counted as late and dropped. The single
+//! [`WindowManager`] downstream merges the per-shard partials and emits
+//! gapless, in-order [`ClosedWindow`]s — deterministically, regardless
+//! of how shard messages interleave, because a window is only emitted
+//! once every shard's watermark frontier has passed it and partials are
+//! always folded in shard order.
+
+use std::collections::BTreeMap;
+
+use anomex_detect::interval::IntervalStat;
+use anomex_flow::record::FlowRecord;
+use anomex_flow::store::TimeRange;
+
+/// Tumbling-window grid parameters shared by every shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Window width in milliseconds (the detection interval).
+    pub width_ms: u64,
+    /// Replay span. When set, the grid is anchored at `span.from_ms`,
+    /// records outside the span are rejected, and a final flush emits
+    /// exactly `span.intervals(width_ms)` windows — mirroring the batch
+    /// pipeline's `IntervalSeries::cut`. When `None` the grid is
+    /// anchored at epoch 0 and runs open-ended.
+    pub span: Option<TimeRange>,
+}
+
+impl WindowConfig {
+    /// Grid origin: the start of window 0.
+    pub fn origin_ms(&self) -> u64 {
+        self.span.map_or(0, |s| s.from_ms)
+    }
+
+    /// Number of windows when the span is bounded.
+    pub fn window_count(&self) -> Option<u64> {
+        self.span.map(|s| s.len_ms().div_ceil(self.width_ms))
+    }
+
+    /// The time range of window `index` (last span window clipped, like
+    /// `TimeRange::intervals`).
+    pub fn range_of(&self, index: u64) -> TimeRange {
+        let mut range = TimeRange::window_at(index, self.origin_ms(), self.width_ms);
+        if let Some(span) = self.span {
+            range.to_ms = range.to_ms.min(span.to_ms);
+        }
+        range
+    }
+}
+
+/// One shard's partial of one closed window.
+#[derive(Debug, Clone)]
+pub struct WindowShard {
+    /// Which shard produced it.
+    pub shard: usize,
+    /// Window index on the grid.
+    pub index: u64,
+    /// Partial interval summary over this shard's records.
+    pub stat: IntervalStat,
+    /// This shard's records of the window, in arrival order.
+    pub records: Vec<FlowRecord>,
+}
+
+/// Per-shard window state: open windows plus the closed frontier.
+#[derive(Debug)]
+pub struct ShardWindows {
+    shard: usize,
+    config: WindowConfig,
+    open: BTreeMap<u64, WindowShard>,
+    /// First window index not yet closed on this shard.
+    frontier: u64,
+    late_dropped: u64,
+    out_of_span: u64,
+}
+
+impl ShardWindows {
+    /// Empty window state for `shard`.
+    ///
+    /// # Panics
+    /// Panics if the configured width is zero.
+    pub fn new(shard: usize, config: WindowConfig) -> ShardWindows {
+        assert!(config.width_ms > 0, "window width must be positive");
+        ShardWindows {
+            shard,
+            config,
+            open: BTreeMap::new(),
+            frontier: 0,
+            late_dropped: 0,
+            out_of_span: 0,
+        }
+    }
+
+    /// Records dropped for arriving behind the watermark.
+    pub fn late_dropped(&self) -> u64 {
+        self.late_dropped
+    }
+
+    /// Records rejected for falling outside the configured span.
+    pub fn out_of_span(&self) -> u64 {
+        self.out_of_span
+    }
+
+    /// First window index not yet closed.
+    pub fn frontier(&self) -> u64 {
+        self.frontier
+    }
+
+    /// Account one record; `false` when it was dropped (late or out of
+    /// span).
+    pub fn push(&mut self, record: FlowRecord) -> bool {
+        let Some(index) =
+            TimeRange::window_index(record.start_ms, self.config.origin_ms(), self.config.width_ms)
+        else {
+            self.out_of_span += 1;
+            return false;
+        };
+        if self.config.window_count().is_some_and(|count| index >= count) {
+            self.out_of_span += 1;
+            return false;
+        }
+        if index < self.frontier {
+            self.late_dropped += 1;
+            return false;
+        }
+        let config = &self.config;
+        let shard = self.shard;
+        let slot = self.open.entry(index).or_insert_with(|| WindowShard {
+            shard,
+            index,
+            stat: IntervalStat::empty(config.range_of(index)),
+            records: Vec::new(),
+        });
+        slot.stat.add(&record);
+        slot.records.push(record);
+        true
+    }
+
+    /// Advance the watermark to `watermark_ms` event time, closing and
+    /// returning every window whose end it passed (in index order).
+    pub fn close_up_to(&mut self, watermark_ms: u64) -> Vec<WindowShard> {
+        let origin = self.config.origin_ms();
+        let mut target = watermark_ms.saturating_sub(origin) / self.config.width_ms;
+        if let Some(count) = self.config.window_count() {
+            target = target.min(count);
+        }
+        self.close_to_target(target)
+    }
+
+    /// Stream end: close every remaining window and seal the shard (the
+    /// frontier jumps to `u64::MAX`, so any further record is late).
+    pub fn flush(&mut self) -> Vec<WindowShard> {
+        self.close_to_target(u64::MAX)
+    }
+
+    fn close_to_target(&mut self, target: u64) -> Vec<WindowShard> {
+        if target <= self.frontier {
+            return Vec::new();
+        }
+        self.frontier = target;
+        let still_open = self.open.split_off(&target);
+        let closed = std::mem::replace(&mut self.open, still_open);
+        closed.into_values().collect()
+    }
+}
+
+/// One fully-merged window, every shard's records included.
+#[derive(Debug, Clone)]
+pub struct ClosedWindow {
+    /// Window index on the grid.
+    pub index: u64,
+    /// The window's time range.
+    pub range: TimeRange,
+    /// Merged interval summary (detector input).
+    pub stat: IntervalStat,
+    /// Merged records in shard order (extraction input).
+    pub records: Vec<FlowRecord>,
+}
+
+/// Cross-shard merger: collects [`WindowShard`]s and per-shard watermark
+/// frontiers, emits [`ClosedWindow`]s gapless and in order once every
+/// shard has passed them.
+#[derive(Debug)]
+pub struct WindowManager {
+    shards: usize,
+    config: WindowConfig,
+    frontiers: Vec<u64>,
+    pending: BTreeMap<u64, Vec<Option<WindowShard>>>,
+    /// Next index to emit; `None` until the first emittable window is
+    /// known (open-ended streams have no natural first window).
+    next_emit: Option<u64>,
+}
+
+impl WindowManager {
+    /// Merger over `shards` upstream shards.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero or the configured width is zero.
+    pub fn new(shards: usize, config: WindowConfig) -> WindowManager {
+        assert!(shards > 0, "shard count must be positive");
+        assert!(config.width_ms > 0, "window width must be positive");
+        WindowManager {
+            shards,
+            config,
+            frontiers: vec![0; shards],
+            pending: BTreeMap::new(),
+            next_emit: None,
+        }
+    }
+
+    /// Accept one shard's report: its closed windows plus its new
+    /// frontier. Returns every window that became globally closed.
+    pub fn offer(
+        &mut self,
+        from_shard: usize,
+        frontier: u64,
+        windows: Vec<WindowShard>,
+    ) -> Vec<ClosedWindow> {
+        for w in windows {
+            debug_assert_eq!(w.shard, from_shard, "shard partial routed to wrong slot");
+            let shards = self.shards;
+            let slots = self.pending.entry(w.index).or_insert_with(|| {
+                let mut v = Vec::with_capacity(shards);
+                v.resize_with(shards, || None);
+                v
+            });
+            slots[from_shard] = Some(w);
+        }
+        self.frontiers[from_shard] = self.frontiers[from_shard].max(frontier);
+        self.emit()
+    }
+
+    /// Stream end: emit everything left. Callers must first [`offer`]
+    /// every shard's flush report (frontier `u64::MAX`), or trailing
+    /// windows stay unemitted.
+    ///
+    /// [`offer`]: WindowManager::offer
+    pub fn finish(&mut self) -> Vec<ClosedWindow> {
+        self.emit()
+    }
+
+    fn emit(&mut self) -> Vec<ClosedWindow> {
+        let global = *self.frontiers.iter().min().expect("at least one shard");
+        if self.next_emit.is_none() {
+            self.next_emit = match self.config.window_count() {
+                // Bounded replay: the grid starts at window 0 no matter
+                // where the first record lands.
+                Some(_) => Some(0),
+                // Open-ended: start at the first occupied window.
+                None => self.pending.keys().next().copied().filter(|&k| k < global),
+            };
+        }
+        let Some(mut idx) = self.next_emit else {
+            return Vec::new();
+        };
+        // Emission ceiling: the global frontier, capped for open-ended
+        // streams at the last occupied window (an infinite tail of empty
+        // windows is meaningless without a span).
+        let end = match self.config.window_count() {
+            Some(count) => global.min(count),
+            None => match self.pending.keys().next_back() {
+                Some(&last) => global.min(last + 1),
+                None => idx,
+            },
+        };
+        let mut out = Vec::new();
+        while idx < end {
+            let range = self.config.range_of(idx);
+            let mut stat = IntervalStat::empty(range);
+            let mut records = Vec::new();
+            if let Some(slots) = self.pending.remove(&idx) {
+                for shard in slots.into_iter().flatten() {
+                    stat.merge(&shard.stat);
+                    records.extend(shard.records);
+                }
+            }
+            out.push(ClosedWindow { index: idx, range, stat, records });
+            idx += 1;
+        }
+        self.next_emit = Some(idx);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn rec(start_ms: u64, salt: u32) -> FlowRecord {
+        FlowRecord::builder()
+            .time(start_ms, start_ms + 10)
+            .src(Ipv4Addr::from(0x0A00_0000 + salt), 1_000 + (salt % 500) as u16)
+            .dst(Ipv4Addr::from(0xAC10_0001), 80)
+            .volume(2, 120)
+            .build()
+    }
+
+    fn bounded(width: u64, span_ms: u64) -> WindowConfig {
+        WindowConfig { width_ms: width, span: Some(TimeRange::new(0, span_ms)) }
+    }
+
+    #[test]
+    fn shard_assigns_by_start_and_closes_on_watermark() {
+        let mut sw = ShardWindows::new(0, bounded(100, 1_000));
+        assert!(sw.push(rec(5, 1)));
+        assert!(sw.push(rec(99, 2)));
+        assert!(sw.push(rec(100, 3)));
+        // Watermark 200: both [0,100) and [100,200) are complete.
+        let closed = sw.close_up_to(200);
+        assert_eq!(closed.len(), 2);
+        assert_eq!(closed[0].index, 0);
+        assert_eq!(closed[0].records.len(), 2);
+        assert_eq!(closed[1].index, 1);
+        assert_eq!(closed[1].records.len(), 1);
+        assert_eq!(sw.frontier(), 2);
+        // A watermark that does not advance closes nothing further.
+        let more = sw.close_up_to(200);
+        assert!(more.is_empty());
+    }
+
+    #[test]
+    fn late_records_are_dropped_and_counted() {
+        let mut sw = ShardWindows::new(0, bounded(100, 1_000));
+        sw.push(rec(150, 1));
+        sw.close_up_to(200); // frontier passes window 0 and 1
+        assert!(!sw.push(rec(50, 2)), "behind the watermark");
+        assert_eq!(sw.late_dropped(), 1);
+        assert!(sw.push(rec(250, 3)), "ahead of the watermark");
+    }
+
+    #[test]
+    fn out_of_span_records_are_rejected() {
+        let mut sw = ShardWindows::new(0, bounded(100, 300));
+        assert!(!sw.push(rec(300, 1)), "at span end");
+        assert!(!sw.push(rec(5_000, 2)), "far past span");
+        assert_eq!(sw.out_of_span(), 2);
+        let mut anchored = ShardWindows::new(
+            0,
+            WindowConfig { width_ms: 100, span: Some(TimeRange::new(500, 900)) },
+        );
+        assert!(!anchored.push(rec(400, 3)), "before span origin");
+        assert_eq!(anchored.out_of_span(), 1);
+    }
+
+    #[test]
+    fn flush_closes_everything_and_seals() {
+        let mut sw = ShardWindows::new(0, bounded(100, 1_000));
+        sw.push(rec(50, 1));
+        sw.push(rec(950, 2));
+        let closed = sw.flush();
+        assert_eq!(closed.len(), 2);
+        assert_eq!(sw.frontier(), u64::MAX);
+        assert!(!sw.push(rec(999, 3)), "sealed shard drops everything");
+    }
+
+    #[test]
+    fn manager_emits_in_order_with_gap_fill_regardless_of_arrival() {
+        // Two shards; windows 0..5 over a 500ms span. Shard 0 owns
+        // records in windows 0 and 3, shard 1 in window 1. Offer the
+        // reports in both orders; the emitted sequence must be identical.
+        let run = |first_shard: usize| {
+            let config = bounded(100, 500);
+            let mut shard0 = ShardWindows::new(0, config);
+            let mut shard1 = ShardWindows::new(1, config);
+            shard0.push(rec(10, 1));
+            shard0.push(rec(310, 2));
+            shard1.push(rec(110, 3));
+            let f0 = {
+                let w = shard0.flush();
+                (0usize, u64::MAX, w)
+            };
+            let f1 = {
+                let w = shard1.flush();
+                (1usize, u64::MAX, w)
+            };
+            let mut manager = WindowManager::new(2, config);
+            let mut emitted = Vec::new();
+            let (a, b) = if first_shard == 0 { (f0, f1) } else { (f1, f0) };
+            emitted.extend(manager.offer(a.0, a.1, a.2));
+            emitted.extend(manager.offer(b.0, b.1, b.2));
+            emitted.extend(manager.finish());
+            emitted
+        };
+        let forward = run(0);
+        let backward = run(1);
+        assert_eq!(forward.len(), 5, "bounded span must emit every window");
+        let summarize = |ws: &[ClosedWindow]| -> Vec<(u64, u64)> {
+            ws.iter().map(|w| (w.index, w.stat.flows)).collect()
+        };
+        assert_eq!(summarize(&forward), summarize(&backward));
+        assert_eq!(summarize(&forward), vec![(0, 1), (1, 1), (2, 0), (3, 1), (4, 0)]);
+        for w in &forward {
+            assert_eq!(w.records.len() as u64, w.stat.flows);
+        }
+    }
+
+    #[test]
+    fn manager_waits_for_slowest_shard() {
+        let config = bounded(100, 500);
+        let mut manager = WindowManager::new(2, config);
+        let mut shard0 = ShardWindows::new(0, config);
+        shard0.push(rec(10, 1));
+        let closed = shard0.close_up_to(200);
+        // Shard 0 passed window 0, shard 1 has not reported: no emission.
+        assert!(manager.offer(0, shard0.frontier(), closed).is_empty());
+        // Shard 1 catches up: window 0 (and the empty window 1) emit.
+        let emitted = manager.offer(1, 2, Vec::new());
+        assert_eq!(emitted.len(), 2);
+        assert_eq!(emitted[0].stat.flows, 1);
+        assert_eq!(emitted[1].stat.flows, 0);
+    }
+
+    #[test]
+    fn open_ended_stream_starts_at_first_occupied_window() {
+        let config = WindowConfig { width_ms: 100, span: None };
+        let mut manager = WindowManager::new(1, config);
+        let mut sw = ShardWindows::new(0, config);
+        sw.push(rec(720, 1)); // window 7
+        sw.push(rec(930, 2)); // window 9
+        let windows = sw.flush();
+        let mut emitted = manager.offer(0, sw.frontier(), windows);
+        emitted.extend(manager.finish());
+        let indices: Vec<u64> = emitted.iter().map(|w| w.index).collect();
+        assert_eq!(indices, vec![7, 8, 9], "gap filled, no leading empties");
+        assert_eq!(emitted[1].stat.flows, 0);
+    }
+
+    #[test]
+    fn clipped_last_window_matches_batch_intervals() {
+        let span = TimeRange::new(0, 250);
+        let config = WindowConfig { width_ms: 100, span: Some(span) };
+        assert_eq!(config.window_count(), Some(3));
+        let batch = span.intervals(100);
+        for (i, expected) in batch.iter().enumerate() {
+            assert_eq!(config.range_of(i as u64), *expected);
+        }
+    }
+}

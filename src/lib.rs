@@ -16,7 +16,8 @@
 //! | [`detect`] | `anomex-detect` | KL-histogram and entropy-PCA detectors, alarms |
 //! | [`fim`] | `anomex-fim` | Apriori / FP-Growth / Eclat, weighted support, top-k tuning |
 //! | [`core`] | `anomex-core` | the paper's extraction pipeline |
-//! | [`console`] | `anomex-console` | alarm DB + operator console |
+//! | [`stream`] | `anomex-stream` | sharded streaming ingestion + continuous extraction |
+//! | [`console`] | `anomex-console` | alarm DB + operator console + live session source |
 //!
 //! ## Quickstart
 //!
@@ -53,6 +54,7 @@ pub use anomex_detect as detect;
 pub use anomex_fim as fim;
 pub use anomex_flow as flow;
 pub use anomex_gen as gen;
+pub use anomex_stream as stream;
 
 /// Everything a typical user needs, in one import.
 pub mod prelude {
@@ -62,4 +64,5 @@ pub mod prelude {
     pub use anomex_fim::prelude::*;
     pub use anomex_flow::prelude::*;
     pub use anomex_gen::prelude::*;
+    pub use anomex_stream::prelude::*;
 }

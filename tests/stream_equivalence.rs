@@ -1,0 +1,125 @@
+//! Streaming/batch equivalence: fed the same corpus — even with
+//! shuffled, bounded-lateness arrival — the sharded streaming pipeline
+//! must raise exactly the alarms of the batch `KlDetector` and mine
+//! exactly the itemsets of the batch `Extractor`.
+//!
+//! This holds bit-for-bit, not just approximately: KL histograms
+//! accumulate integer-valued `f64`s into fixed-order bins, so shard
+//! merging and arrival order cannot perturb even the alarm scores.
+
+use anomex::prelude::*;
+use anomex::stream::pipeline;
+use anomex_detect::kl::KlConfig;
+
+const WIDTH_MS: u64 = 60_000;
+const INTERVALS: u64 = 8;
+const LATENESS_MS: u64 = 30_000;
+const JITTER_MS: u64 = 20_000; // strictly inside the lateness bound
+
+/// A GEANT-like scenario: 8 minutes of background with a port scan in
+/// the 7th minute.
+fn corpus() -> (Vec<FlowRecord>, TimeRange) {
+    let mut spec = AnomalySpec::template(
+        AnomalyKind::PortScan,
+        "10.3.0.99".parse().unwrap(),
+        "172.16.5.5".parse().unwrap(),
+    );
+    spec.flows = 3_000;
+    spec.start_ms = 6 * WIDTH_MS;
+    spec.duration_ms = WIDTH_MS;
+    let mut scenario =
+        Scenario::new("stream-equivalence", 0xA5_17EA, Backbone::Geant).with_anomaly(spec);
+    scenario.background.flows = 5_000;
+    scenario.background.duration_ms = INTERVALS * WIDTH_MS;
+    let built = scenario.build();
+    (built.store.snapshot(), scenario.window())
+}
+
+/// Deterministically shuffle arrival order with displacement < `JITTER_MS`.
+fn bounded_shuffle(records: &[FlowRecord]) -> Vec<FlowRecord> {
+    let mut rng = Xoshiro256::seeded(0xD150_BEEF);
+    let mut keyed: Vec<(u64, FlowRecord)> =
+        records.iter().map(|r| (r.start_ms + rng.next_below(JITTER_MS), r.clone())).collect();
+    keyed.sort_by_key(|(key, _)| *key); // stable: ties keep relative order
+    keyed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[test]
+fn streaming_equals_batch_under_out_of_order_arrival() {
+    let (records, span) = corpus();
+    let kl = KlConfig { interval_ms: WIDTH_MS, ..KlConfig::default() };
+
+    // --- Batch reference: detector over the whole corpus, extractor
+    // over the alarm windows.
+    let mut batch_detector = KlDetector::new(kl);
+    let batch_alarms = batch_detector.detect(&records, span);
+    assert!(!batch_alarms.is_empty(), "scenario must trip the detector");
+    let extractor = Extractor::with_defaults();
+    let batch_extractions: Vec<Extraction> =
+        batch_alarms.iter().map(|a| extractor.extract_from_window(&records, a)).collect();
+
+    // --- Streaming run: same records, shuffled within the lateness
+    // bound, sharded 4 ways.
+    let shuffled = bounded_shuffle(&records);
+    let inversions = shuffled.windows(2).filter(|pair| pair[0].start_ms > pair[1].start_ms).count();
+    assert!(inversions > records.len() / 10, "shuffle must actually disorder arrival");
+
+    let config = StreamConfig {
+        shards: 4,
+        queue_depth: 256,
+        lateness_ms: LATENESS_MS,
+        watermark_every: 64,
+        span: Some(span),
+        detector: DetectorConfig::Kl(kl),
+        extractor: *extractor.config(),
+        retain_windows: 3,
+    };
+    let (mut ingest, reports) = pipeline::launch(config);
+    ingest.push_batch(shuffled);
+    let stats = ingest.finish();
+    let received: Vec<StreamReport> = reports.iter().collect();
+
+    // --- Accounting: nothing may be lost within the lateness bound.
+    assert_eq!(stats.ingested, records.len() as u64);
+    assert_eq!(stats.late_dropped, 0, "jitter stayed inside the lateness bound");
+    assert_eq!(stats.out_of_span, 0);
+    assert_eq!(stats.windows, INTERVALS);
+
+    // --- Alarms: bit-identical with the batch detector.
+    let stream_alarms: Vec<Alarm> = received.iter().map(|r| r.alarm.clone()).collect();
+    assert_eq!(stream_alarms, batch_alarms);
+
+    // --- Itemsets: identical patterns and both supports per alarm.
+    assert_eq!(received.len(), batch_extractions.len());
+    for (report, batch) in received.iter().zip(&batch_extractions) {
+        assert_eq!(report.extraction.candidate_flows, batch.candidate_flows);
+        assert_eq!(report.extraction.candidate_packets, batch.candidate_packets);
+        assert_eq!(report.extraction.itemsets, batch.itemsets);
+        assert_eq!(report.extraction.tuning, batch.tuning);
+        assert!(!report.extraction.is_empty(), "scan must yield itemsets");
+    }
+}
+
+#[test]
+fn streaming_equals_batch_in_arrival_order_too() {
+    // Degenerate case: perfectly ordered arrival must agree as well
+    // (guards the window bookkeeping rather than the lateness logic).
+    let (records, span) = corpus();
+    let kl = KlConfig { interval_ms: WIDTH_MS, ..KlConfig::default() };
+    let mut batch_detector = KlDetector::new(kl);
+    let batch_alarms = batch_detector.detect(&records, span);
+
+    let mut ordered = records.clone();
+    ordered.sort_by_key(|r| r.start_ms);
+    let config = StreamConfig {
+        shards: 2,
+        span: Some(span),
+        detector: DetectorConfig::Kl(kl),
+        ..StreamConfig::default()
+    };
+    let (mut ingest, reports) = pipeline::launch(config);
+    ingest.push_batch(ordered);
+    ingest.finish();
+    let stream_alarms: Vec<Alarm> = reports.iter().map(|r| r.alarm).collect();
+    assert_eq!(stream_alarms, batch_alarms);
+}

@@ -5,8 +5,15 @@
 //! [`Bytes`], [`BytesMut`], and big-endian [`Buf`] / [`BufMut`]
 //! accessors. Semantics (panics on short reads, network byte order)
 //! match the real crate so it can be swapped back in unchanged.
+//!
+//! Like the real crate, [`Bytes`] is a view `(start, end)` into a
+//! reference-counted `Arc<[u8]>` allocation: `clone`, `slice` and
+//! `advance` are O(1) pointer arithmetic and never copy the payload —
+//! the property the NetFlow decode hot path relies on when one ingest
+//! packet fans out across shard channels.
 
 use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
 
 /// Read access to a contiguous buffer, network byte order.
 pub trait Buf {
@@ -122,10 +129,16 @@ impl BufMut for Vec<u8> {
     }
 }
 
-/// An immutable byte buffer (plain `Vec` inside; cloning copies).
-#[derive(Clone, Default, PartialEq, Eq, Hash)]
+/// An immutable, reference-counted byte buffer.
+///
+/// A `(start, end)` view into a shared `Arc<[u8]>` allocation:
+/// cloning, slicing and advancing adjust the view without touching the
+/// payload. Equality and hashing are over the viewed bytes.
+#[derive(Clone)]
 pub struct Bytes {
-    data: Vec<u8>,
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
@@ -134,29 +147,64 @@ impl Bytes {
         Bytes::default()
     }
 
-    /// Copy a slice into a new buffer.
+    /// Copy a slice into a new buffer (the one unavoidable copy).
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes { data: data.to_vec() }
+        Bytes::from_shared(Arc::from(data))
     }
 
-    /// Number of bytes.
+    fn from_shared(data: Arc<[u8]>) -> Bytes {
+        let end = data.len();
+        Bytes { data, start: 0, end }
+    }
+
+    /// Number of bytes in view.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
-    /// Whether the buffer is empty.
+    /// Whether the view is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
     }
 
-    /// A sub-buffer for `range` (copies).
+    /// A sub-view for `range` of this view; zero-copy, shares the
+    /// backing allocation.
+    ///
+    /// # Panics
+    /// Panics when `range` exceeds `len()` or is inverted.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
-        Bytes { data: self.data[range].to_vec() }
+        assert!(range.start <= range.end, "slice range inverted");
+        assert!(range.end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
     }
 
-    /// The bytes as a vector.
+    /// The viewed bytes as a freshly-allocated vector.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.clone()
+        self.as_ref().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::from_shared(Arc::from([]))
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
     }
 }
 
@@ -164,19 +212,19 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start..self.end]
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Bytes {
-        Bytes { data }
+        Bytes::from_shared(Arc::from(data))
     }
 }
 
@@ -189,7 +237,7 @@ impl From<&[u8]> for Bytes {
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "b\"")?;
-        for &b in &self.data {
+        for &b in self.as_ref() {
             write!(f, "\\x{b:02x}")?;
         }
         write!(f, "\"")
@@ -198,16 +246,16 @@ impl std::fmt::Debug for Bytes {
 
 impl Buf for Bytes {
     fn remaining(&self) -> usize {
-        self.data.len()
+        self.len()
     }
 
     fn chunk(&self) -> &[u8] {
-        &self.data
+        self.as_ref()
     }
 
     fn advance(&mut self, cnt: usize) {
-        assert!(cnt <= self.data.len(), "buffer underflow");
-        self.data.drain(..cnt);
+        assert!(cnt <= self.len(), "buffer underflow");
+        self.start += cnt;
     }
 }
 
@@ -249,8 +297,12 @@ impl BytesMut {
     }
 
     /// Freeze into an immutable [`Bytes`].
+    ///
+    /// This stand-in copies once into the shared `Arc<[u8]>` allocation
+    /// (the real crate moves it); every later clone/slice/advance of
+    /// the result is then zero-copy.
     pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data }
+        Bytes::from(self.data)
     }
 
     /// The bytes as a vector.
@@ -286,7 +338,7 @@ impl AsRef<[u8]> for BytesMut {
 
 impl std::fmt::Debug for BytesMut {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        std::fmt::Debug::fmt(&Bytes { data: self.data.clone() }, f)
+        std::fmt::Debug::fmt(&Bytes::copy_from_slice(&self.data), f)
     }
 }
 
@@ -330,5 +382,45 @@ mod tests {
     fn short_read_panics() {
         let mut rd: &[u8] = &[1u8];
         let _ = rd.get_u16();
+    }
+
+    #[test]
+    fn clone_and_slice_share_the_allocation() {
+        let original = Bytes::copy_from_slice(&[1, 2, 3, 4, 5]);
+        let cloned = original.clone();
+        let sliced = original.slice(1..4);
+        assert!(Arc::ptr_eq(&original.data, &cloned.data), "clone must not copy");
+        assert!(Arc::ptr_eq(&original.data, &sliced.data), "slice must not copy");
+        assert_eq!(sliced.as_ref(), &[2, 3, 4]);
+        assert_eq!(sliced.slice(1..2).as_ref(), &[3]);
+    }
+
+    #[test]
+    fn advance_is_a_view_move() {
+        let mut b = Bytes::copy_from_slice(&[9, 8, 7, 6]);
+        let backing = Arc::clone(&b.data);
+        b.advance(2);
+        assert!(Arc::ptr_eq(&backing, &b.data), "advance must not reallocate");
+        assert_eq!(b.as_ref(), &[7, 6]);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn equality_and_hash_are_content_based() {
+        use std::collections::HashSet;
+        let a = Bytes::copy_from_slice(&[1, 2, 3]);
+        let b = Bytes::copy_from_slice(&[0, 1, 2, 3, 4]).slice(1..4);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_past_view_panics() {
+        let b = Bytes::copy_from_slice(&[1, 2, 3]).slice(1..3);
+        let _ = b.slice(0..3);
     }
 }

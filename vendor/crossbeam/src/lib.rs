@@ -1,10 +1,15 @@
 //! Offline, API-compatible subset of `crossbeam`.
 //!
 //! Provides `crossbeam::scope` scoped threads, implemented over
-//! `std::thread::scope` (stable since 1.63). Differences from real
+//! `std::thread::scope` (stable since 1.63), and [`channel`] MPMC
+//! channels (bounded with blocking backpressure, and unbounded),
+//! implemented over `Mutex` + `Condvar`. Differences from real
 //! crossbeam: a panic in a thread that is never joined propagates as a
 //! panic out of [`scope`] instead of an `Err` — callers here join every
-//! handle, so the distinction never bites.
+//! handle, so the distinction never bites — and `channel::bounded(0)`
+//! is a capacity-1 queue rather than a rendezvous channel.
+
+pub mod channel;
 
 use std::any::Any;
 

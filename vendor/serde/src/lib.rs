@@ -37,6 +37,89 @@ pub enum Value {
 }
 
 impl Value {
+    /// Total order over value trees for deterministic serialization:
+    /// variants rank `Null < Bool < numbers < Str < Array < Object`,
+    /// numbers compare numerically across `I64`/`U64`/`F64` (NaN sorts
+    /// last among numbers), sequences lexicographically.
+    pub fn canonical_cmp(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::I64(_) | Value::U64(_) | Value::F64(_) => 2,
+                Value::Str(_) => 3,
+                Value::Array(_) => 4,
+                Value::Object(_) => 5,
+            }
+        }
+        fn as_f64(v: &Value) -> Option<f64> {
+            match v {
+                Value::I64(n) => Some(*n as f64),
+                Value::U64(n) => Some(*n as f64),
+                Value::F64(n) => Some(*n),
+                _ => None,
+            }
+        }
+        match rank(self).cmp(&rank(other)) {
+            Ordering::Equal => {}
+            unequal => return unequal,
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Array(a), Value::Array(b)) => {
+                for (x, y) in a.iter().zip(b) {
+                    match x.canonical_cmp(y) {
+                        Ordering::Equal => {}
+                        unequal => return unequal,
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Value::Object(a), Value::Object(b)) => {
+                for ((ka, va), (kb, vb)) in a.iter().zip(b) {
+                    match ka.cmp(kb).then_with(|| va.canonical_cmp(vb)) {
+                        Ordering::Equal => {}
+                        unequal => return unequal,
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            // Integers compare exactly (f64 would collapse distinct
+            // values above 2^53 and re-introduce nondeterminism).
+            (Value::I64(x), Value::I64(y)) => x.cmp(y),
+            (Value::U64(x), Value::U64(y)) => x.cmp(y),
+            (Value::I64(x), Value::U64(y)) => {
+                if *x < 0 {
+                    Ordering::Less
+                } else {
+                    (*x as u64).cmp(y)
+                }
+            }
+            (Value::U64(x), Value::I64(y)) => {
+                if *y < 0 {
+                    Ordering::Greater
+                } else {
+                    x.cmp(&(*y as u64))
+                }
+            }
+            (a, b) => {
+                let (x, y) = (as_f64(a), as_f64(b));
+                debug_assert!(x.is_some() && y.is_some(), "rank matched non-numbers");
+                x.partial_cmp(&y).unwrap_or_else(|| {
+                    // NaN: sort after every real number, equal to itself.
+                    match (x.is_some_and(f64::is_nan), y.is_some_and(f64::is_nan)) {
+                        (true, true) => Ordering::Equal,
+                        (true, false) => Ordering::Greater,
+                        _ => Ordering::Less,
+                    }
+                })
+            }
+        }
+    }
+
     /// The fields if this is an object.
     pub fn as_object(&self) -> Option<&[(String, Value)]> {
         match self {
@@ -327,13 +410,18 @@ impl_tuple! {
     (A: 0, B: 1, C: 2, D: 3)
 }
 
+// Hash containers serialize via a canonical sort so the output is
+// byte-deterministic across runs (std's `RandomState` randomizes
+// iteration order per process). This intentionally diverges from real
+// serde, which emits hash-iteration order; round-trips are unaffected.
 impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
     fn to_json_value(&self) -> Value {
-        Value::Array(
-            self.iter()
-                .map(|(k, v)| Value::Array(vec![k.to_json_value(), v.to_json_value()]))
-                .collect(),
-        )
+        let mut pairs: Vec<Value> = self
+            .iter()
+            .map(|(k, v)| Value::Array(vec![k.to_json_value(), v.to_json_value()]))
+            .collect();
+        pairs.sort_by(|a, b| a.canonical_cmp(b));
+        Value::Array(pairs)
     }
 }
 
@@ -371,7 +459,9 @@ where
 
 impl<T: Serialize, S> Serialize for HashSet<T, S> {
     fn to_json_value(&self) -> Value {
-        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_json_value).collect();
+        items.sort_by(|a, b| a.canonical_cmp(b));
+        Value::Array(items)
     }
 }
 
@@ -454,5 +544,76 @@ impl Serialize for Value {
 impl Deserialize for Value {
     fn from_json_value(value: &Value) -> Result<Self, Error> {
         Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_map_serializes_sorted_by_key() {
+        let mut map = HashMap::new();
+        for k in [9u32, 3, 7, 1, 5] {
+            map.insert(k, k * 10);
+        }
+        let value = map.to_json_value();
+        let pairs = value.as_array().expect("array of pairs");
+        let keys: Vec<u64> = pairs
+            .iter()
+            .map(|p| match p.as_array().expect("pair")[0] {
+                Value::U64(k) => k,
+                ref other => panic!("unexpected key {other:?}"),
+            })
+            .collect();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn hash_set_serializes_sorted() {
+        let set: HashSet<String> =
+            ["pear", "apple", "mango"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(
+            set.to_json_value(),
+            Value::Array(vec![
+                Value::Str("apple".into()),
+                Value::Str("mango".into()),
+                Value::Str("pear".into()),
+            ])
+        );
+    }
+
+    #[test]
+    fn hash_containers_are_byte_deterministic_across_instances() {
+        // Two maps built in different insertion orders (thus different
+        // internal layouts) must serialize identically.
+        let mut a = HashMap::new();
+        let mut b = HashMap::new();
+        for k in 0u32..64 {
+            a.insert(k, k);
+        }
+        for k in (0u32..64).rev() {
+            b.insert(k, k);
+        }
+        assert_eq!(a.to_json_value(), b.to_json_value());
+    }
+
+    #[test]
+    fn canonical_cmp_orders_variants_then_contents() {
+        use std::cmp::Ordering;
+        assert_eq!(Value::Null.canonical_cmp(&Value::Bool(false)), Ordering::Less);
+        assert_eq!(Value::U64(2).canonical_cmp(&Value::I64(3)), Ordering::Less);
+        assert_eq!(Value::F64(2.5).canonical_cmp(&Value::U64(2)), Ordering::Greater);
+        // Exact above 2^53: adjacent u64s that collide as f64 still order.
+        assert_eq!(
+            Value::U64((1 << 53) + 1).canonical_cmp(&Value::U64((1 << 53) + 2)),
+            Ordering::Less
+        );
+        assert_eq!(Value::I64(-1).canonical_cmp(&Value::U64(u64::MAX)), Ordering::Less);
+        assert_eq!(Value::U64(u64::MAX).canonical_cmp(&Value::I64(-1)), Ordering::Greater);
+        assert_eq!(Value::Str("a".into()).canonical_cmp(&Value::Str("b".into())), Ordering::Less);
+        let short = Value::Array(vec![Value::U64(1)]);
+        let long = Value::Array(vec![Value::U64(1), Value::U64(2)]);
+        assert_eq!(short.canonical_cmp(&long), Ordering::Less);
     }
 }
