@@ -19,6 +19,7 @@ use crate::db::AlarmDb;
 pub struct LiveSession {
     db: AlarmDb,
     reports: Vec<StreamReport>,
+    reports_dropped: u64,
     /// Support columns are multiplied by this in rendered tables (set
     /// to the sampling rate for wire-scale estimates).
     pub report_scale: u64,
@@ -27,7 +28,12 @@ pub struct LiveSession {
 impl LiveSession {
     /// Empty session with an in-memory alarm database.
     pub fn new() -> LiveSession {
-        LiveSession { db: AlarmDb::in_memory(), reports: Vec::new(), report_scale: 1 }
+        LiveSession {
+            db: AlarmDb::in_memory(),
+            reports: Vec::new(),
+            reports_dropped: 0,
+            report_scale: 1,
+        }
     }
 
     /// Render one report to `out` and file its alarm.
@@ -35,6 +41,16 @@ impl LiveSession {
     /// # Errors
     /// Propagates I/O errors from the output writer.
     pub fn ingest(&mut self, report: StreamReport, out: &mut impl Write) -> io::Result<()> {
+        if report.dropped_before > self.reports_dropped {
+            let gap = report.dropped_before - self.reports_dropped;
+            self.reports_dropped = report.dropped_before;
+            writeln!(
+                out,
+                "live: {gap} report(s) dropped on the bounded channel (slow subscriber); \
+                 {} dropped in total",
+                self.reports_dropped
+            )?;
+        }
         let id = self.db.add(report.alarm.clone());
         writeln!(out, "live: {}", self.db.get(id).expect("alarm just added").describe())?;
         write!(out, "{}", render_summary(&report.extraction))?;
@@ -68,6 +84,13 @@ impl LiveSession {
     /// Every report received so far, in arrival order.
     pub fn reports(&self) -> &[StreamReport] {
         &self.reports
+    }
+
+    /// Reports the pipeline dropped on the bounded subscriber channel
+    /// before the last ingested report (from
+    /// [`StreamReport::dropped_before`]).
+    pub fn reports_dropped(&self) -> u64 {
+        self.reports_dropped
     }
 
     /// The accumulated alarm database (ids as filed, in arrival order).
@@ -152,6 +175,26 @@ mod tests {
     }
 
     #[test]
+    fn dropped_reports_surface_as_a_gap_note() {
+        let mut session = LiveSession::new();
+        let make = |id: u64, dropped_before: u64| StreamReport {
+            alarm: anomex_detect::alarm::Alarm::new(id, "kl", TimeRange::new(0, 60_000)),
+            extraction: anomex_core::extract::Extractor::with_defaults()
+                .extract_from_candidates(&[]),
+            window_flows: 0,
+            dropped_before,
+        };
+        let mut out = Vec::new();
+        session.ingest(make(0, 0), &mut out).unwrap();
+        session.ingest(make(1, 3), &mut out).unwrap();
+        session.ingest(make(2, 3), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(session.reports_dropped(), 3);
+        assert_eq!(text.matches("dropped on the bounded channel").count(), 1, "{text}");
+        assert!(text.contains("3 report(s) dropped"), "{text}");
+    }
+
+    #[test]
     fn empty_extraction_renders_a_note() {
         let mut session = LiveSession::new();
         let report = StreamReport {
@@ -159,6 +202,7 @@ mod tests {
             extraction: anomex_core::extract::Extractor::with_defaults()
                 .extract_from_candidates(&[]),
             window_flows: 0,
+            dropped_before: 0,
         };
         let mut out = Vec::new();
         session.ingest(report, &mut out).unwrap();

@@ -4,8 +4,15 @@
 //! transaction over four items — its srcIP, dstIP, srcPort and dstPort
 //! values. The paper's packet-support extension is a weighting choice on
 //! the same transactions: weight 1 per flow, or `packets` per flow.
+//!
+//! Encoding goes straight into the columnar
+//! [`TransactionMatrix`](anomex_fim::TransactionMatrix): rows stream into
+//! flat buffers with **no per-flow heap allocation**, and the dual-metric
+//! entry point ([`EncodedFlows`]) encodes the structure once and derives
+//! the flow- and packet-weight views from the same CSR buffers (sharing
+//! the bitset tid-list cache between both mining passes).
 
-use anomex_fim::{Item, Itemset, Transaction, TransactionSet};
+use anomex_fim::{Item, Itemset, MatrixBuilder, TransactionMatrix};
 use anomex_flow::feature::{Feature, FeatureItem, FeatureValue};
 use anomex_flow::filter::{CmpOp, Dir, Expr, Filter, Pred};
 use anomex_flow::record::FlowRecord;
@@ -58,24 +65,93 @@ pub fn items_of_flow(flow: &FlowRecord) -> Vec<Item> {
     flow.mining_items().iter().map(|fi| item_of(*fi)).collect()
 }
 
-/// Encode flows into transactions under the chosen support metric.
+fn metric_weight(flow: &FlowRecord, metric: SupportMetric) -> u64 {
+    match metric {
+        SupportMetric::Flows => 1,
+        SupportMetric::Packets => flow.packets,
+        SupportMetric::Bytes => flow.bytes,
+    }
+}
+
+/// Encode flows into a columnar transaction matrix under the chosen
+/// support metric.
 ///
 /// Zero-weight records (possible after aggressive sampling arithmetic)
 /// are kept for [`SupportMetric::Flows`] and dropped for the volume
 /// metrics — a weight of zero can never contribute support and would
-/// only slow the miner down.
-pub fn encode_flows(flows: &[FlowRecord], metric: SupportMetric) -> TransactionSet {
-    flows
-        .iter()
-        .filter_map(|f| {
-            let weight = match metric {
-                SupportMetric::Flows => 1,
-                SupportMetric::Packets => f.packets,
-                SupportMetric::Bytes => f.bytes,
-            };
-            (weight > 0).then(|| Transaction::new(items_of_flow(f), weight))
-        })
-        .collect()
+/// only slow the miner down. The encode itself performs no per-flow heap
+/// allocation: each record's four items land directly in the matrix
+/// builder's flat buffers.
+pub fn encode_flows(flows: &[FlowRecord], metric: SupportMetric) -> TransactionMatrix {
+    let mut builder = MatrixBuilder::with_capacity(flows.len(), 4);
+    for f in flows {
+        let weight = metric_weight(f, metric);
+        if weight > 0 {
+            builder.push_row(f.mining_items().iter().map(|&fi| item_of(fi)), weight);
+        }
+    }
+    builder.build()
+}
+
+/// One candidate set encoded once, mined under both of the paper's
+/// support metrics.
+///
+/// The CSR structure (dictionary, rows, bitset tid-list cache) is built
+/// a single time and shared between the flow-weight and packet-weight
+/// views — re-mining the same window under the second metric, or at
+/// another threshold of the top-k search, never re-encodes.
+#[derive(Debug, Clone)]
+pub struct EncodedFlows {
+    flow_matrix: TransactionMatrix,
+    packet_weights: Vec<u64>,
+    /// Materialized on first use — a flow-support-only extraction never
+    /// pays the packet view's support-counting pass.
+    packet_matrix: std::sync::OnceLock<TransactionMatrix>,
+    candidate_packets: u64,
+}
+
+impl EncodedFlows {
+    /// Encode `flows` once; the packet-weight view is derived lazily
+    /// from the same structure.
+    pub fn encode(flows: &[FlowRecord]) -> EncodedFlows {
+        let mut builder = MatrixBuilder::with_capacity(flows.len(), 4);
+        for f in flows {
+            builder.push_row(f.mining_items().iter().map(|&fi| item_of(fi)), 1);
+        }
+        let flow_matrix = builder.build();
+        let packet_weights: Vec<u64> = flows.iter().map(|f| f.packets).collect();
+        let candidate_packets = packet_weights.iter().sum();
+        EncodedFlows {
+            flow_matrix,
+            packet_weights,
+            packet_matrix: std::sync::OnceLock::new(),
+            candidate_packets,
+        }
+    }
+
+    /// The flow-support view (weight 1 per record).
+    pub fn flow_matrix(&self) -> &TransactionMatrix {
+        &self.flow_matrix
+    }
+
+    /// The packet-support view (weight = packet count), sharing the
+    /// flow view's CSR structure and bitset cache. Zero-packet rows stay
+    /// in the structure but are inert (weight 0 never contributes
+    /// support).
+    pub fn packet_matrix(&self) -> &TransactionMatrix {
+        self.packet_matrix
+            .get_or_init(|| self.flow_matrix.with_weights(self.packet_weights.clone()))
+    }
+
+    /// Number of encoded candidate flows.
+    pub fn candidate_flows(&self) -> usize {
+        self.flow_matrix.len()
+    }
+
+    /// Packet total of the candidates.
+    pub fn candidate_packets(&self) -> u64 {
+        self.candidate_packets
+    }
 }
 
 /// Decode a mined itemset into feature items, canonically ordered by

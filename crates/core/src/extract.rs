@@ -18,7 +18,7 @@ use anomex_flow::store::FlowStore;
 use serde::{Deserialize, Serialize};
 
 use crate::candidate::{candidates, CandidatePolicy};
-use crate::encode::{decode_itemset, encode_flows, itemset_filter, SupportMetric};
+use crate::encode::{decode_itemset, itemset_filter, EncodedFlows, SupportMetric};
 
 /// Extraction configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -198,27 +198,35 @@ impl Extractor {
         self.extract_from_candidates(&cands)
     }
 
-    /// Extract from a pre-selected candidate set.
+    /// Extract from a pre-selected candidate set. Encodes the candidates
+    /// once (see [`EncodedFlows`]) and mines both support metrics from
+    /// the shared matrix.
     pub fn extract_from_candidates(&self, cands: &[FlowRecord]) -> Extraction {
-        let candidate_packets: u64 = cands.iter().map(|f| f.packets).sum();
+        self.extract_encoded(&EncodedFlows::encode(cands))
+    }
+
+    /// Extract from an already-encoded candidate set — the zero-encode
+    /// path for callers that hold a reusable [`EncodedFlows`] (the
+    /// streaming extractor re-mining one window under several alarms).
+    pub fn extract_encoded(&self, encoded: &EncodedFlows) -> Extraction {
         let mut extraction = Extraction {
             itemsets: Vec::new(),
-            candidate_flows: cands.len(),
-            candidate_packets,
+            candidate_flows: encoded.candidate_flows(),
+            candidate_packets: encoded.candidate_packets(),
             tuning: Vec::new(),
         };
-        if cands.is_empty() {
+        if encoded.flow_matrix().is_empty() {
             return extraction;
         }
 
-        let flow_txs = encode_flows(cands, SupportMetric::Flows);
-        let packet_txs = encode_flows(cands, SupportMetric::Packets);
+        let flow_txs = encoded.flow_matrix();
+        let packet_txs = encoded.packet_matrix();
 
         let mut merged: Vec<ExtractedItemset> = Vec::new();
-        let mut passes: Vec<(SupportMetric, &TransactionSet, u64)> =
-            vec![(SupportMetric::Flows, &flow_txs, self.config.flow_floor)];
+        let mut passes: Vec<(SupportMetric, &TransactionMatrix, u64)> =
+            vec![(SupportMetric::Flows, flow_txs, self.config.flow_floor)];
         if self.config.packet_support {
-            passes.push((SupportMetric::Packets, &packet_txs, self.config.packet_floor));
+            passes.push((SupportMetric::Packets, packet_txs, self.config.packet_floor));
         }
 
         for (metric, txs, floor) in passes {
@@ -293,8 +301,8 @@ impl Extractor {
 
         // Rank by the stronger of the two normalized supports, so a
         // 2-flow/1M-packet flood and a 300K-flow scan both rise to the top.
-        let total_flows = cands.len().max(1) as f64;
-        let total_packets = candidate_packets.max(1) as f64;
+        let total_flows = extraction.candidate_flows.max(1) as f64;
+        let total_packets = extraction.candidate_packets.max(1) as f64;
         let score = |e: &ExtractedItemset| -> f64 {
             let ff = e.flow_support as f64 / total_flows;
             let pf = e.packet_support as f64 / total_packets;

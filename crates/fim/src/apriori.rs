@@ -1,164 +1,182 @@
-//! Apriori — the miner the paper builds on.
+//! Apriori — the miner the paper builds on, over the columnar matrix.
 //!
 //! Classic levelwise search: frequent k-itemsets are extended to (k+1)
 //! candidates by prefix join, pruned by the antimonotone property (every
 //! subset of a frequent itemset is frequent), then counted in one pass over
-//! the transactions. Counting enumerates each transaction's k-subsets and
+//! the CSR rows. Counting enumerates each row's k-subsets of dense ids and
 //! looks them up in the candidate table — cheap here because flow
-//! transactions are at most a handful of items wide.
+//! transactions are at most a handful of items wide, and cheaper than the
+//! old row-oriented miner because the keys are `u16` ids, level-1 counts
+//! come free from the matrix dictionary, and the projected rows live in
+//! one flat buffer.
 //!
 //! Counting is optionally parallelized with crossbeam scoped threads:
-//! transactions are sharded, each thread fills a local table, and the
-//! shards are summed. Weighted transactions make the same code compute
-//! flow-support (weight 1) or packet-support (weight = packets).
+//! rows are sharded, each thread fills a local table, and the shards are
+//! summed (the merge itself sharded by candidate). Weighted rows make the
+//! same code compute flow-support (weight 1) or packet-support (weight =
+//! packets).
 
 use std::collections::{HashMap, HashSet};
 
-use crate::item::{Item, Itemset};
-use crate::support::{sort_canonical, FrequentItemset, MinSupport};
-use crate::transaction::TransactionSet;
+use crate::matrix::TransactionMatrix;
+use crate::support::{sort_canonical, FrequentItemset};
+use crate::{Miner, MiningConfig};
 
-/// Apriori tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct AprioriConfig {
-    /// Support threshold.
-    pub min_support: MinSupport,
-    /// Longest itemset to mine (0 = unbounded).
-    pub max_len: usize,
-    /// Worker threads for candidate counting (1 = sequential).
-    pub threads: usize,
-}
+/// Levelwise candidate-generation miner ([`Miner`] implementation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Apriori;
 
-impl Default for AprioriConfig {
-    fn default() -> Self {
-        AprioriConfig { min_support: MinSupport::Fraction(0.01), max_len: 0, threads: 1 }
-    }
-}
-
-/// Mine all frequent itemsets.
-///
-/// Results are in canonical order (support descending, longer first).
-pub fn apriori(txs: &TransactionSet, config: &AprioriConfig) -> Vec<FrequentItemset> {
-    let threshold = config.min_support.resolve(txs);
-    let max_len = if config.max_len == 0 { usize::MAX } else { config.max_len };
-    let mut results = Vec::new();
-    if txs.is_empty() {
-        return results;
-    }
-
-    // Level 1: plain item counting.
-    let mut item_counts: HashMap<Item, u64> = HashMap::new();
-    for t in txs.transactions() {
-        for &item in t.items() {
-            *item_counts.entry(item).or_insert(0) += t.weight();
+impl Miner for Apriori {
+    fn mine(&self, matrix: &TransactionMatrix, config: &MiningConfig) -> Vec<FrequentItemset> {
+        let threshold = config.min_support.resolve(matrix.total_weight());
+        let max_len = if config.max_len == 0 { usize::MAX } else { config.max_len };
+        let mut results = Vec::new();
+        if matrix.is_empty() {
+            return results;
         }
-    }
-    let mut frequent_items: Vec<Item> =
-        item_counts.iter().filter(|&(_, &c)| c >= threshold).map(|(&i, _)| i).collect();
-    frequent_items.sort_unstable();
-    for &item in &frequent_items {
-        results.push(FrequentItemset::new(Itemset::single(item), item_counts[&item]));
-    }
-    if max_len == 1 || frequent_items.len() < 2 {
-        sort_canonical(&mut results);
-        return results;
-    }
 
-    // Project transactions onto frequent items once; everything infrequent
-    // can never appear in a larger frequent itemset.
-    let frequent_set: HashSet<Item> = frequent_items.iter().copied().collect();
-    let projected: Vec<(Vec<Item>, u64)> = txs
-        .transactions()
-        .iter()
-        .filter_map(|t| {
-            let items: Vec<Item> =
-                t.items().iter().copied().filter(|i| frequent_set.contains(i)).collect();
-            (items.len() >= 2 && t.weight() > 0).then_some((items, t.weight()))
-        })
-        .collect();
-
-    // Levelwise loop.
-    let mut level: Vec<Itemset> = frequent_items.iter().map(|&i| Itemset::single(i)).collect();
-    let mut k = 2;
-    while !level.is_empty() && k <= max_len {
-        let candidates = generate_candidates(&level);
-        if candidates.is_empty() {
-            break;
+        // Level 1 is free: the matrix dictionary carries weighted
+        // supports from the build pass.
+        // `0..n_items()` runs in usize: a full dictionary holds exactly
+        // 65,536 items, which overflows a u16 counter.
+        let frequent_items: Vec<u16> = (0..matrix.n_items())
+            .filter(|&id| matrix.item_supports()[id] >= threshold)
+            .map(|id| id as u16)
+            .collect();
+        for &id in &frequent_items {
+            results.push(FrequentItemset::new(
+                matrix.itemset_of(&[id]),
+                matrix.item_supports()[id as usize],
+            ));
         }
-        let counts = count_candidates(&projected, &candidates, k, config.threads.max(1));
-        let mut next_level: Vec<Itemset> = Vec::new();
-        for (items, count) in counts {
-            if count >= threshold {
-                let itemset = Itemset::new(items);
-                results.push(FrequentItemset::new(itemset.clone(), count));
-                next_level.push(itemset);
+        if max_len == 1 || frequent_items.len() < 2 {
+            sort_canonical(&mut results);
+            return results;
+        }
+
+        // Project rows onto frequent ids once, into one flat CSR scratch;
+        // everything infrequent can never appear in a larger frequent
+        // itemset. `frequent` is a dense id → keep flag.
+        let mut frequent = vec![false; matrix.n_items()];
+        for &id in &frequent_items {
+            frequent[id as usize] = true;
+        }
+        let mut proj_ids: Vec<u16> = Vec::new();
+        let mut proj_rows: Vec<(u32, u32, u64)> = Vec::new(); // (start, end, weight)
+        for (row, weight) in matrix.rows() {
+            if weight == 0 {
+                continue;
+            }
+            let start = proj_ids.len() as u32;
+            proj_ids.extend(row.iter().copied().filter(|&id| frequent[id as usize]));
+            let end = proj_ids.len() as u32;
+            if end - start >= 2 {
+                proj_rows.push((start, end, weight));
+            } else {
+                proj_ids.truncate(start as usize);
             }
         }
-        next_level.sort();
-        level = next_level;
-        k += 1;
-    }
 
-    sort_canonical(&mut results);
-    results
+        // Levelwise loop over dense-id candidate sets.
+        let mut level: Vec<Vec<u16>> = frequent_items.iter().map(|&id| vec![id]).collect();
+        let mut k = 2;
+        while !level.is_empty() && k <= max_len {
+            let candidates = generate_candidates(&level);
+            if candidates.is_empty() {
+                break;
+            }
+            let counts =
+                count_candidates(&proj_ids, &proj_rows, &candidates, k, config.threads.max(1));
+            let mut next_level: Vec<Vec<u16>> = Vec::new();
+            for (ids, count) in counts {
+                if count >= threshold {
+                    results.push(FrequentItemset::new(matrix.itemset_of(&ids), count));
+                    next_level.push(ids);
+                }
+            }
+            next_level.sort();
+            level = next_level;
+            k += 1;
+        }
+
+        sort_canonical(&mut results);
+        results
+    }
 }
 
-/// Join + prune: candidates of size k+1 from frequent k-itemsets.
-fn generate_candidates(level: &[Itemset]) -> Vec<Itemset> {
-    let previous: HashSet<&[Item]> = level.iter().map(|s| s.items()).collect();
+/// Join + prune: candidates of size k+1 from frequent k-id-sets.
+fn generate_candidates(level: &[Vec<u16>]) -> Vec<Vec<u16>> {
+    let previous: HashSet<&[u16]> = level.iter().map(|s| s.as_slice()).collect();
     let mut candidates = Vec::new();
+    let mut scratch: Vec<u16> = Vec::new();
     // `level` is sorted, so join partners share a prefix and are adjacent
     // in a window; the quadratic scan stops at the first prefix mismatch.
     for (i, a) in level.iter().enumerate() {
+        let k = a.len();
         for b in &level[i + 1..] {
-            match a.apriori_join(b) {
-                Some(joined) => {
-                    // Prune: all k-subsets must be frequent.
-                    let all_frequent =
-                        joined.proper_subsets().iter().all(|s| previous.contains(s.items()));
-                    if all_frequent {
-                        candidates.push(joined);
-                    }
-                }
-                // Prefix mismatch: no later b can match either (sorted).
-                None => break,
+            if a[..k - 1] != b[..k - 1] {
+                break; // prefix mismatch: no later b can match (sorted)
+            }
+            debug_assert!(a[k - 1] < b[k - 1]);
+            let mut joined = a.clone();
+            joined.push(b[k - 1]);
+            // Prune: all k-subsets must be frequent.
+            let all_frequent = (0..joined.len()).all(|skip| {
+                scratch.clear();
+                scratch.extend(
+                    joined.iter().enumerate().filter_map(|(j, &id)| (j != skip).then_some(id)),
+                );
+                previous.contains(scratch.as_slice())
+            });
+            if all_frequent {
+                candidates.push(joined);
             }
         }
     }
     candidates
 }
 
-/// Count candidate occurrences across (projected) transactions.
+/// Count candidate occurrences across the projected rows.
 fn count_candidates(
-    projected: &[(Vec<Item>, u64)],
-    candidates: &[Itemset],
+    proj_ids: &[u16],
+    proj_rows: &[(u32, u32, u64)],
+    candidates: &[Vec<u16>],
     k: usize,
     threads: usize,
-) -> HashMap<Vec<Item>, u64> {
-    let make_table = || -> HashMap<Vec<Item>, u64> {
-        candidates.iter().map(|c| (c.items().to_vec(), 0u64)).collect()
+) -> HashMap<Vec<u16>, u64> {
+    let make_table =
+        || -> HashMap<Vec<u16>, u64> { candidates.iter().map(|c| (c.clone(), 0u64)).collect() };
+    let count_shard = |shard: &[(u32, u32, u64)], table: &mut HashMap<Vec<u16>, u64>| {
+        let mut scratch: Vec<u16> = Vec::with_capacity(k);
+        for &(start, end, weight) in shard {
+            let row = &proj_ids[start as usize..end as usize];
+            if row.len() < k {
+                continue;
+            }
+            combinations(row, k, &mut scratch, &mut |subset: &[u16]| {
+                if let Some(count) = table.get_mut(subset) {
+                    *count += weight;
+                }
+            });
+        }
     };
 
-    if threads <= 1 || projected.len() < 4 * threads {
+    if threads <= 1 || proj_rows.len() < 4 * threads {
         let mut table = make_table();
-        for (items, weight) in projected {
-            count_one(items, *weight, k, &mut table);
-        }
+        count_shard(proj_rows, &mut table);
         return table;
     }
 
-    // Shard transactions; each worker counts into a private table.
-    let chunk = projected.len().div_ceil(threads);
-    let mut tables: Vec<HashMap<Vec<Item>, u64>> = Vec::with_capacity(threads);
+    // Shard rows; each worker counts into a private table.
+    let chunk = proj_rows.len().div_ceil(threads);
+    let mut tables: Vec<HashMap<Vec<u16>, u64>> = Vec::with_capacity(threads);
     crossbeam::scope(|scope| {
-        let handles: Vec<_> = projected
+        let handles: Vec<_> = proj_rows
             .chunks(chunk)
             .map(|shard| {
                 let mut table = make_table();
                 scope.spawn(move |_| {
-                    for (items, weight) in shard {
-                        count_one(items, *weight, k, &mut table);
-                    }
+                    count_shard(shard, &mut table);
                     table
                 })
             })
@@ -181,10 +199,10 @@ fn count_candidates(
 /// tables dominates the levelwise pass; slicing the candidate list
 /// across the same thread pool parallelizes it with no contention.
 fn merge_tables(
-    tables: Vec<HashMap<Vec<Item>, u64>>,
-    candidates: &[Itemset],
+    tables: Vec<HashMap<Vec<u16>, u64>>,
+    candidates: &[Vec<u16>],
     threads: usize,
-) -> HashMap<Vec<Item>, u64> {
+) -> HashMap<Vec<u16>, u64> {
     if tables.len() <= 1 || threads <= 1 || candidates.len() < 2 * threads {
         let mut tables = tables;
         let mut merged = tables.pop().unwrap_or_default();
@@ -198,19 +216,19 @@ fn merge_tables(
 
     let shard_len = candidates.len().div_ceil(threads);
     let tables = &tables;
-    let mut merged: HashMap<Vec<Item>, u64> = HashMap::with_capacity(candidates.len());
+    let mut merged: HashMap<Vec<u16>, u64> = HashMap::with_capacity(candidates.len());
     crossbeam::scope(|scope| {
         let handles: Vec<_> = candidates
             .chunks(shard_len)
             .map(|shard| {
                 scope.spawn(move |_| {
-                    let mut partial: HashMap<Vec<Item>, u64> = HashMap::with_capacity(shard.len());
+                    let mut partial: HashMap<Vec<u16>, u64> = HashMap::with_capacity(shard.len());
                     for candidate in shard {
                         let total = tables
                             .iter()
-                            .map(|t| t.get(candidate.items()).copied().unwrap_or(0))
+                            .map(|t| t.get(candidate.as_slice()).copied().unwrap_or(0))
                             .sum();
-                        partial.insert(candidate.items().to_vec(), total);
+                        partial.insert(candidate.clone(), total);
                     }
                     partial
                 })
@@ -224,21 +242,8 @@ fn merge_tables(
     merged
 }
 
-/// Add `weight` to every k-subset of `items` present in `table`.
-fn count_one(items: &[Item], weight: u64, k: usize, table: &mut HashMap<Vec<Item>, u64>) {
-    if items.len() < k {
-        return;
-    }
-    let mut scratch: Vec<Item> = Vec::with_capacity(k);
-    combinations(items, k, &mut scratch, &mut |subset: &[Item]| {
-        if let Some(count) = table.get_mut(subset) {
-            *count += weight;
-        }
-    });
-}
-
 /// Enumerate k-combinations of a sorted slice in lexicographic order.
-fn combinations(items: &[Item], k: usize, scratch: &mut Vec<Item>, f: &mut impl FnMut(&[Item])) {
+fn combinations(items: &[u16], k: usize, scratch: &mut Vec<u16>, f: &mut impl FnMut(&[u16])) {
     if k == 0 {
         f(scratch);
         return;
@@ -256,7 +261,9 @@ fn combinations(items: &[Item], k: usize, scratch: &mut Vec<Item>, f: &mut impl 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::transaction::Transaction;
+    use crate::item::{Item, Itemset};
+    use crate::support::MinSupport;
+    use crate::transaction::{Transaction, TransactionSet};
 
     fn t(vals: &[u64], w: u64) -> Transaction {
         Transaction::new(vals.iter().map(|&v| Item(v)).collect(), w)
@@ -281,8 +288,12 @@ mod tests {
         ])
     }
 
-    fn cfg(abs: u64) -> AprioriConfig {
-        AprioriConfig { min_support: MinSupport::Absolute(abs), max_len: 0, threads: 1 }
+    fn cfg(abs: u64) -> MiningConfig {
+        MiningConfig { min_support: MinSupport::Absolute(abs), ..MiningConfig::default() }
+    }
+
+    fn run(txs: &TransactionSet, config: &MiningConfig) -> Vec<FrequentItemset> {
+        Apriori.mine(&txs.to_matrix(), config)
     }
 
     fn support_of(results: &[FrequentItemset], set: &Itemset) -> Option<u64> {
@@ -291,7 +302,7 @@ mod tests {
 
     #[test]
     fn textbook_example_level_counts() {
-        let results = apriori(&classic_dataset(), &cfg(2));
+        let results = run(&classic_dataset(), &cfg(2));
         // Known frequent itemsets at min support 2:
         assert_eq!(support_of(&results, &iset(&[1])), Some(6));
         assert_eq!(support_of(&results, &iset(&[2])), Some(7));
@@ -314,7 +325,7 @@ mod tests {
     #[test]
     fn supports_match_linear_scan_reference() {
         let txs = classic_dataset();
-        for f in apriori(&txs, &cfg(2)) {
+        for f in run(&txs, &cfg(2)) {
             assert_eq!(f.support, txs.support_of(&f.itemset), "itemset {}", f.itemset);
         }
     }
@@ -331,19 +342,19 @@ mod tests {
             t(&[3], 1),
             t(&[3], 1),
         ]);
-        let results = apriori(&txs, &cfg(1_000_000));
+        let results = run(&txs, &cfg(1_000_000));
         // Only the heavy pair (and its subsets) reaches 1M packets.
         assert_eq!(support_of(&results, &iset(&[1, 2])), Some(1_000_000));
         assert_eq!(support_of(&results, &iset(&[3])), None);
         // Under flow support the picture inverts.
-        let flow_results = apriori(&txs.unit_weights(), &cfg(5));
+        let flow_results = run(&txs.unit_weights(), &cfg(5));
         assert_eq!(support_of(&flow_results, &iset(&[3])), Some(5));
         assert_eq!(support_of(&flow_results, &iset(&[1, 2])), None);
     }
 
     #[test]
     fn antimonotone_property_holds() {
-        let results = apriori(&classic_dataset(), &cfg(2));
+        let results = run(&classic_dataset(), &cfg(2));
         for f in &results {
             for sub in f.itemset.proper_subsets() {
                 if sub.is_empty() {
@@ -358,28 +369,25 @@ mod tests {
 
     #[test]
     fn max_len_caps_itemset_size() {
-        let results = apriori(
-            &classic_dataset(),
-            &AprioriConfig { min_support: MinSupport::Absolute(2), max_len: 1, threads: 1 },
-        );
+        let results = run(&classic_dataset(), &MiningConfig { max_len: 1, ..cfg(2) });
         assert!(results.iter().all(|f| f.itemset.len() == 1));
         assert_eq!(results.len(), 5);
     }
 
     #[test]
     fn empty_and_degenerate_inputs() {
-        assert!(apriori(&TransactionSet::new(), &cfg(1)).is_empty());
+        assert!(run(&TransactionSet::new(), &cfg(1)).is_empty());
         let txs = TransactionSet::from_transactions(vec![t(&[], 5)]);
-        assert!(apriori(&txs, &cfg(1)).is_empty());
+        assert!(run(&txs, &cfg(1)).is_empty());
         // Threshold above total weight finds nothing.
         let txs = classic_dataset();
-        assert!(apriori(&txs, &cfg(100)).is_empty());
+        assert!(run(&txs, &cfg(100)).is_empty());
     }
 
     #[test]
     fn all_identical_transactions() {
         let txs: TransactionSet = (0..10).map(|_| t(&[1, 2, 3], 1)).collect();
-        let results = apriori(&txs, &cfg(10));
+        let results = run(&txs, &cfg(10));
         // Every one of the 7 nonempty subsets has support 10.
         assert_eq!(results.len(), 7);
         assert!(results.iter().all(|f| f.support == 10));
@@ -400,14 +408,8 @@ mod tests {
                 t(&items, 1 + next() % 100)
             })
             .collect();
-        let seq = apriori(
-            &txs,
-            &AprioriConfig { min_support: MinSupport::Absolute(200), max_len: 0, threads: 1 },
-        );
-        let par = apriori(
-            &txs,
-            &AprioriConfig { min_support: MinSupport::Absolute(200), max_len: 0, threads: 4 },
-        );
+        let seq = run(&txs, &MiningConfig { threads: 1, ..cfg(200) });
+        let par = run(&txs, &MiningConfig { threads: 4, ..cfg(200) });
         assert_eq!(seq, par);
         assert!(!seq.is_empty());
     }
@@ -415,13 +417,13 @@ mod tests {
     #[test]
     fn sharded_merge_matches_sequential_fold() {
         // Hand-built worker tables over a known candidate list.
-        let candidates: Vec<Itemset> = (0..37u64).map(|v| iset(&[v, v + 100])).collect();
-        let mut tables: Vec<HashMap<Vec<Item>, u64>> = Vec::new();
+        let candidates: Vec<Vec<u16>> = (0..37u16).map(|v| vec![v, v + 100]).collect();
+        let mut tables: Vec<HashMap<Vec<u16>, u64>> = Vec::new();
         for w in 0..4u64 {
-            let table: HashMap<Vec<Item>, u64> = candidates
+            let table: HashMap<Vec<u16>, u64> = candidates
                 .iter()
                 .enumerate()
-                .map(|(i, c)| (c.items().to_vec(), w * 1_000 + i as u64))
+                .map(|(i, c)| (c.clone(), w * 1_000 + i as u64))
                 .collect();
             tables.push(table);
         }
@@ -429,23 +431,20 @@ mod tests {
         let sequential = merge_tables(tables, &candidates, 1);
         assert_eq!(sharded, sequential);
         // Spot-check one sum: candidate i totals Σ_w (w*1000 + i).
-        assert_eq!(sharded[candidates[5].items()], 6_000 + 4 * 5);
+        assert_eq!(sharded[candidates[5].as_slice()], 6_000 + 4 * 5);
     }
 
     #[test]
     fn fraction_threshold_scales_with_total_weight() {
         let txs = classic_dataset(); // 9 unit transactions
-        let results = apriori(
-            &txs,
-            &AprioriConfig { min_support: MinSupport::Fraction(0.5), max_len: 0, threads: 1 },
-        );
+        let results = run(&txs, &MiningConfig { min_support: MinSupport::Fraction(0.5), ..cfg(0) });
         // ceil(0.5 * 9) = 5: only items 1 (6), 2 (7), 3 (6) qualify.
         assert_eq!(results.len(), 3);
     }
 
     #[test]
     fn results_are_canonically_ordered() {
-        let results = apriori(&classic_dataset(), &cfg(2));
+        let results = run(&classic_dataset(), &cfg(2));
         for w in results.windows(2) {
             let ok = w[0].support > w[1].support
                 || (w[0].support == w[1].support && w[0].itemset.len() > w[1].itemset.len())
@@ -458,7 +457,7 @@ mod tests {
 
     #[test]
     fn combinations_enumerates_n_choose_k() {
-        let items: Vec<Item> = (0..6).map(Item).collect();
+        let items: Vec<u16> = (0..6).collect();
         let mut count = 0;
         let mut scratch = Vec::new();
         combinations(&items, 3, &mut scratch, &mut |s| {

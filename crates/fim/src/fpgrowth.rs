@@ -1,88 +1,123 @@
-//! FP-Growth — pattern-growth baseline.
+//! FP-Growth — pattern-growth miner.
 //!
 //! Builds a compressed prefix tree (FP-tree) of the transactions, then
 //! recursively mines conditional trees per item, avoiding Apriori's
-//! candidate generation entirely. Included as the standard comparison
-//! point for the performance benches and as an independent implementation
-//! to cross-check Apriori's output (the equivalence property tests).
+//! candidate generation entirely. The tree is built straight from the
+//! matrix's dense `u16` ids (global frequencies come free from the
+//! dictionary), so nodes are small and rank lookups are array indexing
+//! rather than hashing. Included as the standard comparison point for the
+//! performance benches and as an independent implementation to cross-check
+//! Apriori's output (the equivalence property tests).
 
-use std::collections::HashMap;
+use crate::matrix::TransactionMatrix;
+use crate::support::{sort_canonical, FrequentItemset};
+use crate::{Miner, MiningConfig};
 
-use crate::item::{Item, Itemset};
-use crate::support::{sort_canonical, FrequentItemset, MinSupport};
-use crate::transaction::TransactionSet;
+/// Pattern-growth miner ([`Miner`] implementation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FpGrowth;
 
-/// FP-Growth tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct FpGrowthConfig {
-    /// Support threshold.
-    pub min_support: MinSupport,
-    /// Longest itemset to mine (0 = unbounded).
-    pub max_len: usize,
-}
+impl Miner for FpGrowth {
+    fn mine(&self, matrix: &TransactionMatrix, config: &MiningConfig) -> Vec<FrequentItemset> {
+        let threshold = config.min_support.resolve(matrix.total_weight());
+        let max_len = if config.max_len == 0 { usize::MAX } else { config.max_len };
+        if matrix.is_empty() {
+            return Vec::new();
+        }
 
-impl Default for FpGrowthConfig {
-    fn default() -> Self {
-        FpGrowthConfig { min_support: MinSupport::Fraction(0.01), max_len: 0 }
+        // Root tree: global frequencies are the dictionary supports —
+        // no counting pass over the rows.
+        let frequent: Vec<(u16, u64)> = {
+            let mut f: Vec<(u16, u64)> = (0..matrix.n_items())
+                .map(|id| (id as u16, matrix.item_supports()[id]))
+                .filter(|&(_, c)| c >= threshold)
+                .collect();
+            // Descending frequency (ties: ascending id = ascending item)
+            // — the canonical FP-tree insertion order.
+            f.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            f
+        };
+        let mut rank = vec![u32::MAX; matrix.n_items()];
+        for (r, &(id, _)) in frequent.iter().enumerate() {
+            rank[id as usize] = r as u32;
+        }
+
+        let mut tree = FpTree::with_header(&frequent);
+        let mut ranked: Vec<(u32, u16)> = Vec::new();
+        for (row, weight) in matrix.rows() {
+            if weight == 0 {
+                continue;
+            }
+            ranked.clear();
+            ranked.extend(row.iter().filter_map(|&id| {
+                let r = rank[id as usize];
+                (r != u32::MAX).then_some((r, id))
+            }));
+            ranked.sort_unstable();
+            tree.insert(&ranked, weight);
+        }
+
+        let mut results = Vec::new();
+        let mut prefix: Vec<u16> = Vec::new();
+        mine_tree(matrix, &tree, threshold, max_len, &mut prefix, &mut results);
+        sort_canonical(&mut results);
+        results
     }
 }
 
 /// One FP-tree node.
 #[derive(Debug, Clone)]
 struct Node {
-    item: Item,
+    item: u16,
     weight: u64,
     parent: usize,
-    /// Child links, keyed by item. Flow transactions are narrow, so a
+    /// Child links, keyed by item id. Flow transactions are narrow, so a
     /// sorted Vec outperforms a HashMap here.
-    children: Vec<(Item, usize)>,
+    children: Vec<(u16, usize)>,
 }
 
 /// The FP-tree plus its header table (per-item node lists).
 struct FpTree {
     nodes: Vec<Node>,
     /// Items in *descending* global frequency, with their node lists.
-    header: Vec<(Item, u64, Vec<usize>)>,
+    header: Vec<(u16, u64, Vec<usize>)>,
 }
 
 const ROOT: usize = 0;
 
 impl FpTree {
-    /// Build from weighted item lists. `paths` items need not be sorted by
-    /// frequency; that ordering happens here.
-    fn build(paths: &[(Vec<Item>, u64)], threshold: u64) -> FpTree {
-        // Global weighted frequencies.
-        let mut counts: HashMap<Item, u64> = HashMap::new();
+    fn with_header(frequent: &[(u16, u64)]) -> FpTree {
+        FpTree {
+            nodes: vec![Node { item: u16::MAX, weight: 0, parent: ROOT, children: Vec::new() }],
+            header: frequent.iter().map(|&(id, count)| (id, count, Vec::new())).collect(),
+        }
+    }
+
+    /// Build a conditional tree from weighted id lists (items unsorted).
+    /// Conditional bases are small, so counting goes through a compact
+    /// hash table rather than dictionary-sized arrays.
+    fn build(paths: &[(Vec<u16>, u64)], threshold: u64) -> FpTree {
+        // Weighted frequencies local to this conditional base.
+        let mut counts: std::collections::HashMap<u16, u64> = std::collections::HashMap::new();
         for (items, weight) in paths {
-            for &item in items {
-                *counts.entry(item).or_insert(0) += weight;
+            for &id in items {
+                *counts.entry(id).or_insert(0) += weight;
             }
         }
-        // Frequent items, descending frequency (ties: item order) — the
-        // canonical FP-tree insertion order.
-        let mut frequent: Vec<(Item, u64)> =
-            counts.into_iter().filter(|&(_, c)| c >= threshold).collect();
+        let mut frequent: Vec<(u16, u64)> =
+            counts.iter().filter(|&(_, &c)| c >= threshold).map(|(&id, &c)| (id, c)).collect();
         frequent.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        let rank: HashMap<Item, usize> =
-            frequent.iter().enumerate().map(|(i, &(item, _))| (item, i)).collect();
+        let rank: std::collections::HashMap<u16, u32> =
+            frequent.iter().enumerate().map(|(r, &(id, _))| (id, r as u32)).collect();
 
-        let mut tree = FpTree {
-            nodes: vec![Node {
-                item: Item(u64::MAX),
-                weight: 0,
-                parent: ROOT,
-                children: Vec::new(),
-            }],
-            header: frequent.iter().map(|&(item, count)| (item, count, Vec::new())).collect(),
-        };
-
+        let mut tree = FpTree::with_header(&frequent);
+        let mut ranked: Vec<(u32, u16)> = Vec::new();
         for (items, weight) in paths {
             if *weight == 0 {
                 continue;
             }
-            // Keep frequent items, sort by rank (most frequent first).
-            let mut ranked: Vec<(usize, Item)> =
-                items.iter().filter_map(|item| rank.get(item).map(|&r| (r, *item))).collect();
+            ranked.clear();
+            ranked.extend(items.iter().filter_map(|&id| rank.get(&id).map(|&r| (r, id))));
             ranked.sort_unstable();
             ranked.dedup();
             tree.insert(&ranked, *weight);
@@ -90,7 +125,7 @@ impl FpTree {
         tree
     }
 
-    fn insert(&mut self, ranked: &[(usize, Item)], weight: u64) {
+    fn insert(&mut self, ranked: &[(u32, u16)], weight: u64) {
         let mut current = ROOT;
         for &(rank, item) in ranked {
             let pos = self.nodes[current].children.binary_search_by_key(&item, |&(i, _)| i);
@@ -104,7 +139,7 @@ impl FpTree {
                     let child = self.nodes.len();
                     self.nodes.push(Node { item, weight, parent: current, children: Vec::new() });
                     self.nodes[current].children.insert(i, (item, child));
-                    self.header[rank].2.push(child);
+                    self.header[rank as usize].2.push(child);
                     child
                 }
             };
@@ -112,7 +147,7 @@ impl FpTree {
     }
 
     /// Path from a node's parent up to (excluding) the root.
-    fn prefix_path(&self, mut node: usize) -> Vec<Item> {
+    fn prefix_path(&self, mut node: usize) -> Vec<u16> {
         let mut path = Vec::new();
         node = self.nodes[node].parent;
         while node != ROOT {
@@ -123,37 +158,24 @@ impl FpTree {
     }
 }
 
-/// Mine all frequent itemsets with FP-Growth.
-///
-/// Results are in canonical order and agree exactly with [`crate::apriori`].
-pub fn fpgrowth(txs: &TransactionSet, config: &FpGrowthConfig) -> Vec<FrequentItemset> {
-    let threshold = config.min_support.resolve(txs);
-    let max_len = if config.max_len == 0 { usize::MAX } else { config.max_len };
-    let paths: Vec<(Vec<Item>, u64)> =
-        txs.transactions().iter().map(|t| (t.items().to_vec(), t.weight())).collect();
-    let tree = FpTree::build(&paths, threshold);
-    let mut results = Vec::new();
-    mine(&tree, threshold, max_len, &Itemset::empty(), &mut results);
-    sort_canonical(&mut results);
-    results
-}
-
-fn mine(
+fn mine_tree(
+    matrix: &TransactionMatrix,
     tree: &FpTree,
     threshold: u64,
     max_len: usize,
-    prefix: &Itemset,
+    prefix: &mut Vec<u16>,
     out: &mut Vec<FrequentItemset>,
 ) {
     // Walk header items from least frequent upward (classic order).
     for (item, support, node_list) in tree.header.iter().rev() {
-        let extended = prefix.with(*item);
-        out.push(FrequentItemset::new(extended.clone(), *support));
-        if extended.len() >= max_len {
+        prefix.push(*item);
+        out.push(FrequentItemset::new(matrix.itemset_of(prefix), *support));
+        if prefix.len() >= max_len {
+            prefix.pop();
             continue;
         }
         // Conditional pattern base: prefix paths weighted by node weight.
-        let base: Vec<(Vec<Item>, u64)> = node_list
+        let base: Vec<(Vec<u16>, u64)> = node_list
             .iter()
             .filter_map(|&n| {
                 let path = tree.prefix_path(n);
@@ -161,21 +183,23 @@ fn mine(
                 (!path.is_empty() && weight > 0).then_some((path, weight))
             })
             .collect();
-        if base.is_empty() {
-            continue;
+        if !base.is_empty() {
+            let conditional = FpTree::build(&base, threshold);
+            if !conditional.header.is_empty() {
+                mine_tree(matrix, &conditional, threshold, max_len, prefix, out);
+            }
         }
-        let conditional = FpTree::build(&base, threshold);
-        if !conditional.header.is_empty() {
-            mine(&conditional, threshold, max_len, &extended, out);
-        }
+        prefix.pop();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::apriori::{apriori, AprioriConfig};
-    use crate::transaction::Transaction;
+    use crate::apriori::Apriori;
+    use crate::item::{Item, Itemset};
+    use crate::support::MinSupport;
+    use crate::transaction::{Transaction, TransactionSet};
 
     fn t(vals: &[u64], w: u64) -> Transaction {
         Transaction::new(vals.iter().map(|&v| Item(v)).collect(), w)
@@ -195,18 +219,19 @@ mod tests {
         ])
     }
 
+    fn cfg(abs: u64) -> MiningConfig {
+        MiningConfig { min_support: MinSupport::Absolute(abs), ..MiningConfig::default() }
+    }
+
     fn run(txs: &TransactionSet, abs: u64) -> Vec<FrequentItemset> {
-        fpgrowth(txs, &FpGrowthConfig { min_support: MinSupport::Absolute(abs), max_len: 0 })
+        FpGrowth.mine(&txs.to_matrix(), &cfg(abs))
     }
 
     #[test]
     fn matches_apriori_on_textbook_example() {
-        let txs = classic_dataset();
-        let fp = run(&txs, 2);
-        let ap = apriori(
-            &txs,
-            &AprioriConfig { min_support: MinSupport::Absolute(2), max_len: 0, threads: 1 },
-        );
+        let matrix = classic_dataset().to_matrix();
+        let fp = FpGrowth.mine(&matrix, &cfg(2));
+        let ap = Apriori.mine(&matrix, &cfg(2));
         assert_eq!(fp, ap);
         assert_eq!(fp.len(), 13);
     }
@@ -240,8 +265,7 @@ mod tests {
     #[test]
     fn max_len_respected() {
         let txs = classic_dataset();
-        let results =
-            fpgrowth(&txs, &FpGrowthConfig { min_support: MinSupport::Absolute(2), max_len: 2 });
+        let results = FpGrowth.mine(&txs.to_matrix(), &MiningConfig { max_len: 2, ..cfg(2) });
         assert!(results.iter().all(|f| f.itemset.len() <= 2));
         assert!(results.iter().any(|f| f.itemset.len() == 2));
     }

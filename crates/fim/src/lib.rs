@@ -4,16 +4,22 @@
 //! underneath the paper's "extended Apriori".
 //!
 //! - [`item`] — opaque items and the sorted-set algebra ([`Itemset`]).
-//! - [`transaction`] — **weighted** transactions: the paper's flow-support
-//!   vs packet-support extension falls out of one weight field.
+//! - [`transaction`] — **weighted** row-oriented transactions: the
+//!   ergonomic builder and linear-scan reference the miners are tested
+//!   against.
+//! - [`matrix`] — the columnar [`TransactionMatrix`] every miner runs on:
+//!   dictionary-encoded dense `u16` ids, CSR rows, shared weight views and
+//!   cached bitset tid-lists.
 //! - [`apriori`] — the levelwise miner the paper uses (optionally
 //!   crossbeam-parallel candidate counting).
 //! - [`fpgrowth`] / [`eclat`] — independent baseline miners; all three
-//!   produce identical output (enforced by property tests).
+//!   implement [`Miner`] and produce identical output (enforced by
+//!   property tests and a golden fixture).
 //! - [`post`] — maximal/closed itemset compaction for operator-readable
 //!   summaries.
 //! - [`topk`] — the self-adjusting minimum-support search ("automatically
-//!   self-adjusting … configuration parameters", §1 of the paper).
+//!   self-adjusting … configuration parameters", §1 of the paper); mines
+//!   one matrix at many thresholds, reusing its vertical views.
 //!
 //! ## Example
 //!
@@ -23,8 +29,9 @@
 //! let txs: TransactionSet = (0..100)
 //!     .map(|i| Transaction::new(vec![Item(1), Item(2), Item(10 + i % 3)], 1))
 //!     .collect();
+//! let matrix = txs.to_matrix();
 //! let result = mine(
-//!     &txs,
+//!     &matrix,
 //!     &MiningConfig {
 //!         algorithm: Algorithm::Apriori,
 //!         min_support: MinSupport::Absolute(100),
@@ -44,6 +51,7 @@ pub mod apriori;
 pub mod eclat;
 pub mod fpgrowth;
 pub mod item;
+pub mod matrix;
 pub mod post;
 pub mod support;
 pub mod topk;
@@ -51,10 +59,11 @@ pub mod transaction;
 
 use serde::{Deserialize, Serialize};
 
-pub use apriori::{apriori, AprioriConfig};
-pub use eclat::{eclat, EclatConfig};
-pub use fpgrowth::{fpgrowth, FpGrowthConfig};
+pub use apriori::Apriori;
+pub use eclat::Eclat;
+pub use fpgrowth::FpGrowth;
 pub use item::{Item, Itemset};
+pub use matrix::{MatrixBuilder, TransactionMatrix};
 pub use post::{closed_only, maximal_only};
 pub use support::{sort_canonical, FrequentItemset, MinSupport};
 pub use topk::{mine_top_k, TopKConfig, TopKResult};
@@ -67,8 +76,19 @@ pub enum Algorithm {
     Apriori,
     /// Pattern growth over an FP-tree.
     FpGrowth,
-    /// Vertical tidlist intersection.
+    /// Vertical bitset tid-list intersection.
     Eclat,
+}
+
+impl Algorithm {
+    /// The [`Miner`] implementation behind this algorithm.
+    pub fn miner(self) -> &'static dyn Miner {
+        match self {
+            Algorithm::Apriori => &Apriori,
+            Algorithm::FpGrowth => &FpGrowth,
+            Algorithm::Eclat => &Eclat,
+        }
+    }
 }
 
 impl std::fmt::Display for Algorithm {
@@ -105,37 +125,35 @@ impl Default for MiningConfig {
     }
 }
 
+/// A frequent-itemset miner over the columnar [`TransactionMatrix`].
+///
+/// All implementations return identical, canonically ordered results
+/// ([`sort_canonical`]) with exact weighted supports — the three built-in
+/// miners cross-check one another in the equivalence property tests.
+pub trait Miner {
+    /// Mine all frequent itemsets of `matrix` under `config`.
+    ///
+    /// Implementations ignore `config.algorithm` (the caller picked this
+    /// miner already); [`mine`] is the dispatching front door.
+    fn mine(&self, matrix: &TransactionMatrix, config: &MiningConfig) -> Vec<FrequentItemset>;
+}
+
 /// Mine all frequent itemsets with the configured algorithm.
 ///
 /// All three algorithms return identical, canonically ordered results.
-pub fn mine(txs: &TransactionSet, config: &MiningConfig) -> Vec<FrequentItemset> {
-    match config.algorithm {
-        Algorithm::Apriori => apriori(
-            txs,
-            &AprioriConfig {
-                min_support: config.min_support,
-                max_len: config.max_len,
-                threads: config.threads,
-            },
-        ),
-        Algorithm::FpGrowth => fpgrowth(
-            txs,
-            &FpGrowthConfig { min_support: config.min_support, max_len: config.max_len },
-        ),
-        Algorithm::Eclat => {
-            eclat(txs, &EclatConfig { min_support: config.min_support, max_len: config.max_len })
-        }
-    }
+pub fn mine(matrix: &TransactionMatrix, config: &MiningConfig) -> Vec<FrequentItemset> {
+    config.algorithm.miner().mine(matrix, config)
 }
 
 /// One-stop imports.
 pub mod prelude {
     pub use crate::item::{Item, Itemset};
+    pub use crate::matrix::{MatrixBuilder, TransactionMatrix};
     pub use crate::post::{closed_only, maximal_only};
     pub use crate::support::{FrequentItemset, MinSupport};
     pub use crate::topk::{mine_top_k, TopKConfig, TopKResult};
     pub use crate::transaction::{Transaction, TransactionSet};
-    pub use crate::{mine, Algorithm, MiningConfig};
+    pub use crate::{mine, Algorithm, Miner, MiningConfig};
 }
 
 #[cfg(test)]
@@ -146,9 +164,10 @@ mod tests {
     fn dispatch_runs_each_algorithm() {
         let txs: TransactionSet =
             (0..10).map(|_| Transaction::new(vec![Item(1), Item(2)], 1)).collect();
+        let matrix = txs.to_matrix();
         for algorithm in [Algorithm::Apriori, Algorithm::FpGrowth, Algorithm::Eclat] {
             let out = mine(
-                &txs,
+                &matrix,
                 &MiningConfig {
                     algorithm,
                     min_support: MinSupport::Absolute(10),
@@ -156,6 +175,19 @@ mod tests {
                 },
             );
             assert_eq!(out.len(), 3, "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn trait_objects_dispatch_like_the_enum() {
+        let txs: TransactionSet =
+            (0..5).map(|_| Transaction::new(vec![Item(1), Item(2)], 2)).collect();
+        let matrix = txs.to_matrix();
+        let config =
+            MiningConfig { min_support: MinSupport::Absolute(10), ..MiningConfig::default() };
+        let reference = Apriori.mine(&matrix, &config);
+        for algorithm in [Algorithm::Apriori, Algorithm::FpGrowth, Algorithm::Eclat] {
+            assert_eq!(algorithm.miner().mine(&matrix, &config), reference, "{algorithm}");
         }
     }
 

@@ -5,7 +5,6 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::item::Itemset;
-use crate::transaction::TransactionSet;
 
 /// A minimum-support threshold, absolute or relative.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -17,17 +16,18 @@ pub enum MinSupport {
 }
 
 impl MinSupport {
-    /// Resolve to an absolute weight threshold for a transaction set.
+    /// Resolve to an absolute weight threshold given a corpus's total
+    /// weight (see [`crate::matrix::TransactionMatrix::total_weight`]).
     ///
     /// Fractions round *up* (an itemset must meet or beat the fraction) and
     /// the result is never below 1 — an itemset with zero support is never
     /// "frequent".
-    pub fn resolve(self, txs: &TransactionSet) -> u64 {
+    pub fn resolve(self, total_weight: u64) -> u64 {
         match self {
             MinSupport::Absolute(v) => v.max(1),
             MinSupport::Fraction(f) => {
                 let f = f.clamp(0.0, 1.0);
-                let raw = (f * txs.total_weight() as f64).ceil() as u64;
+                let raw = (f * total_weight as f64).ceil() as u64;
                 raw.max(1)
             }
         }
@@ -80,32 +80,25 @@ pub fn sort_canonical(results: &mut [FrequentItemset]) {
 mod tests {
     use super::*;
     use crate::item::Item;
-    use crate::transaction::Transaction;
-
-    fn txs(weights: &[u64]) -> TransactionSet {
-        weights.iter().map(|&w| Transaction::new(vec![Item(1)], w)).collect()
-    }
 
     #[test]
     fn absolute_resolves_identity_with_floor_one() {
-        assert_eq!(MinSupport::Absolute(10).resolve(&txs(&[100])), 10);
-        assert_eq!(MinSupport::Absolute(0).resolve(&txs(&[100])), 1);
+        assert_eq!(MinSupport::Absolute(10).resolve(100), 10);
+        assert_eq!(MinSupport::Absolute(0).resolve(100), 1);
     }
 
     #[test]
     fn fraction_rounds_up() {
-        let set = txs(&[10, 10, 10]); // total 30
-        assert_eq!(MinSupport::Fraction(0.5).resolve(&set), 15);
-        assert_eq!(MinSupport::Fraction(0.34).resolve(&set), 11);
-        assert_eq!(MinSupport::Fraction(0.0).resolve(&set), 1);
-        assert_eq!(MinSupport::Fraction(1.0).resolve(&set), 30);
+        assert_eq!(MinSupport::Fraction(0.5).resolve(30), 15);
+        assert_eq!(MinSupport::Fraction(0.34).resolve(30), 11);
+        assert_eq!(MinSupport::Fraction(0.0).resolve(30), 1);
+        assert_eq!(MinSupport::Fraction(1.0).resolve(30), 30);
     }
 
     #[test]
     fn fraction_clamps_out_of_range() {
-        let set = txs(&[10]);
-        assert_eq!(MinSupport::Fraction(2.0).resolve(&set), 10);
-        assert_eq!(MinSupport::Fraction(-1.0).resolve(&set), 1);
+        assert_eq!(MinSupport::Fraction(2.0).resolve(10), 10);
+        assert_eq!(MinSupport::Fraction(-1.0).resolve(10), 1);
     }
 
     #[test]

@@ -12,11 +12,16 @@
 //! support threshold whose *maximal* itemsets number at least `k` (or the
 //! best achievable above an absolute floor). The search exploits that the
 //! number of frequent itemsets is non-increasing in the threshold.
+//!
+//! Every round mines the **same** [`TransactionMatrix`]: the dictionary,
+//! CSR rows and level-1 supports are computed once, and Eclat's bitset
+//! tid-lists persist in the matrix's vertical-view cache across rounds —
+//! the search re-thresholds, it does not re-scan transactions.
 
+use crate::matrix::TransactionMatrix;
 use crate::mine;
 use crate::post::maximal_only;
 use crate::support::{FrequentItemset, MinSupport};
-use crate::transaction::TransactionSet;
 use crate::{Algorithm, MiningConfig};
 
 /// Configuration of the adaptive search.
@@ -56,15 +61,15 @@ pub struct TopKResult {
 }
 
 /// Mine the top-k maximal itemsets with a self-adjusted support threshold.
-pub fn mine_top_k(txs: &TransactionSet, config: &TopKConfig) -> TopKResult {
-    let total = txs.total_weight();
+pub fn mine_top_k(matrix: &TransactionMatrix, config: &TopKConfig) -> TopKResult {
+    let total = matrix.total_weight();
     let floor = config.floor.max(1);
     let rounds = std::cell::Cell::new(0usize);
 
     let mine_at = |threshold: u64| -> Vec<FrequentItemset> {
         rounds.set(rounds.get() + 1);
         let mined = mine(
-            txs,
+            matrix,
             &MiningConfig {
                 algorithm: config.algorithm,
                 min_support: MinSupport::Absolute(threshold),
@@ -75,7 +80,7 @@ pub fn mine_top_k(txs: &TransactionSet, config: &TopKConfig) -> TopKResult {
         maximal_only(mined)
     };
 
-    if total == 0 || txs.is_empty() {
+    if total == 0 || matrix.is_empty() {
         return TopKResult {
             itemsets: Vec::new(),
             chosen_support: floor,
@@ -170,7 +175,7 @@ fn finish(
 mod tests {
     use super::*;
     use crate::item::Item;
-    use crate::transaction::Transaction;
+    use crate::transaction::{Transaction, TransactionSet};
 
     fn t(vals: &[u64], w: u64) -> Transaction {
         Transaction::new(vals.iter().map(|&v| Item(v)).collect(), w)
@@ -205,7 +210,8 @@ mod tests {
             txs.push(t(&[1, 2, 500 + i % 100], 1));
         }
         let txs = TransactionSet::from_transactions(txs);
-        let r = mine_top_k(&txs, &TopKConfig { k: 10, floor: 2, ..TopKConfig::default() });
+        let r =
+            mine_top_k(&txs.to_matrix(), &TopKConfig { k: 10, floor: 2, ..TopKConfig::default() });
         // Without the guard this returns ten support-10 noise supersets;
         // with it, the support-1000 pair survives.
         assert!(
@@ -217,7 +223,7 @@ mod tests {
 
     #[test]
     fn finds_the_dominant_pattern_with_k1() {
-        let r = mine_top_k(&skewed(), &TopKConfig { k: 1, ..TopKConfig::default() });
+        let r = mine_top_k(&skewed().to_matrix(), &TopKConfig { k: 1, ..TopKConfig::default() });
         assert_eq!(r.itemsets.len(), 1);
         assert_eq!(r.itemsets[0].itemset, crate::item::Itemset::new(vec![Item(1), Item(2)]));
         assert_eq!(r.itemsets[0].support, 1000);
@@ -227,7 +233,7 @@ mod tests {
 
     #[test]
     fn k2_descends_to_capture_the_medium_pattern() {
-        let r = mine_top_k(&skewed(), &TopKConfig { k: 2, ..TopKConfig::default() });
+        let r = mine_top_k(&skewed().to_matrix(), &TopKConfig { k: 2, ..TopKConfig::default() });
         assert!(r.itemsets.len() >= 2);
         assert_eq!(r.itemsets[1].support, 100);
         assert!(r.chosen_support <= 100);
@@ -237,7 +243,10 @@ mod tests {
     #[test]
     fn floor_prevents_noise_harvest() {
         // Ask for far more itemsets than exist above the floor.
-        let r = mine_top_k(&skewed(), &TopKConfig { k: 500, floor: 5, ..TopKConfig::default() });
+        let r = mine_top_k(
+            &skewed().to_matrix(),
+            &TopKConfig { k: 500, floor: 5, ..TopKConfig::default() },
+        );
         // Only the two real patterns have support >= 5.
         assert_eq!(r.chosen_support, 5);
         assert!(r.total_found < 500);
@@ -246,28 +255,37 @@ mod tests {
 
     #[test]
     fn floor_one_harvests_everything_when_asked() {
-        let r = mine_top_k(&skewed(), &TopKConfig { k: 60, floor: 1, ..TopKConfig::default() });
+        let r = mine_top_k(
+            &skewed().to_matrix(),
+            &TopKConfig { k: 60, floor: 1, ..TopKConfig::default() },
+        );
         // 52 maximal patterns exist ({1,2}, {10,11}, 50 noise pairs).
         assert_eq!(r.total_found, 52);
     }
 
     #[test]
     fn empty_transactions() {
-        let r = mine_top_k(&TransactionSet::new(), &TopKConfig::default());
+        let r = mine_top_k(&TransactionSet::new().to_matrix(), &TopKConfig::default());
         assert!(r.itemsets.is_empty());
         assert_eq!(r.rounds, 0);
     }
 
     #[test]
     fn rounds_stay_bounded() {
-        let r = mine_top_k(&skewed(), &TopKConfig { k: 3, max_rounds: 5, ..TopKConfig::default() });
+        let r = mine_top_k(
+            &skewed().to_matrix(),
+            &TopKConfig { k: 3, max_rounds: 5, ..TopKConfig::default() },
+        );
         assert!(r.rounds <= 5, "rounds {}", r.rounds);
     }
 
     #[test]
     fn all_algorithms_agree() {
         for algorithm in [Algorithm::Apriori, Algorithm::FpGrowth, Algorithm::Eclat] {
-            let r = mine_top_k(&skewed(), &TopKConfig { k: 2, algorithm, ..TopKConfig::default() });
+            let r = mine_top_k(
+                &skewed().to_matrix(),
+                &TopKConfig { k: 2, algorithm, ..TopKConfig::default() },
+            );
             assert_eq!(r.itemsets.len(), 2, "{algorithm:?}");
             assert_eq!(r.itemsets[0].support, 1000, "{algorithm:?}");
             assert_eq!(r.itemsets[1].support, 100, "{algorithm:?}");
@@ -282,14 +300,14 @@ mod tests {
             txs.push(t(&[50 + (i % 20), 100 + (i % 7)], 1));
         }
         let set = TransactionSet::from_transactions(txs);
-        let r = mine_top_k(&set, &TopKConfig { k: 1, ..TopKConfig::default() });
+        let r = mine_top_k(&set.to_matrix(), &TopKConfig { k: 1, ..TopKConfig::default() });
         assert_eq!(r.itemsets[0].itemset, crate::item::Itemset::new(vec![Item(1), Item(2)]));
         assert_eq!(r.itemsets[0].support, 1_000_000);
     }
 
     #[test]
     fn returned_itemsets_are_maximal() {
-        let r = mine_top_k(&skewed(), &TopKConfig { k: 10, ..TopKConfig::default() });
+        let r = mine_top_k(&skewed().to_matrix(), &TopKConfig { k: 10, ..TopKConfig::default() });
         for a in &r.itemsets {
             for b in &r.itemsets {
                 if a != b {

@@ -107,6 +107,11 @@ impl TransactionSet {
         items
     }
 
+    /// Dictionary-encode into the columnar mining representation.
+    pub fn to_matrix(&self) -> crate::matrix::TransactionMatrix {
+        crate::matrix::TransactionMatrix::from(self)
+    }
+
     /// Re-weight every transaction to 1 (flow-support view).
     pub fn unit_weights(&self) -> TransactionSet {
         TransactionSet::from_transactions(

@@ -55,9 +55,10 @@ proptest! {
     #[test]
     fn three_algorithms_match_brute_force(txs in arb_txs(), threshold in 1u64..100) {
         let reference = brute_force(&txs, threshold);
+        let matrix = txs.to_matrix();
         for algorithm in [Algorithm::Apriori, Algorithm::FpGrowth, Algorithm::Eclat] {
             let got = mine(
-                &txs,
+                &matrix,
                 &MiningConfig {
                     algorithm,
                     min_support: MinSupport::Absolute(threshold),
@@ -70,14 +71,38 @@ proptest! {
     }
 
     #[test]
+    fn matrix_agrees_with_row_oriented_reference(txs in arb_txs()) {
+        // The columnar encoding is lossless: weights, universe and the
+        // support of any itemset drawn from the data match the
+        // row-oriented linear-scan reference.
+        let matrix = txs.to_matrix();
+        prop_assert_eq!(matrix.len(), txs.len());
+        prop_assert_eq!(matrix.total_weight(), txs.total_weight());
+        prop_assert_eq!(matrix.item_universe(), txs.item_universe());
+        prop_assert_eq!(matrix.dropped_items(), 0);
+        for t in txs.transactions() {
+            let set: Itemset = t.items().iter().copied().collect();
+            prop_assert_eq!(matrix.support_of(&set), txs.support_of(&set), "itemset {}", set);
+        }
+        // Re-weighting to unit weights matches the row-oriented view.
+        let unit = matrix.unit_weights();
+        let unit_txs = txs.unit_weights();
+        prop_assert_eq!(unit.total_weight(), unit_txs.total_weight());
+        for t in txs.transactions() {
+            let set: Itemset = t.items().iter().copied().collect();
+            prop_assert_eq!(unit.support_of(&set), unit_txs.support_of(&set));
+        }
+    }
+
+    #[test]
     fn parallel_apriori_matches_sequential(txs in arb_txs(), threshold in 1u64..100) {
-        let seq = mine(&txs, &MiningConfig {
+        let seq = mine(&txs.to_matrix(), &MiningConfig {
             algorithm: Algorithm::Apriori,
             min_support: MinSupport::Absolute(threshold),
             max_len: 0,
             threads: 1,
         });
-        let par = mine(&txs, &MiningConfig {
+        let par = mine(&txs.to_matrix(), &MiningConfig {
             algorithm: Algorithm::Apriori,
             min_support: MinSupport::Absolute(threshold),
             max_len: 0,
@@ -88,7 +113,7 @@ proptest! {
 
     #[test]
     fn support_is_antimonotone(txs in arb_txs(), threshold in 1u64..30) {
-        let results = mine(&txs, &MiningConfig {
+        let results = mine(&txs.to_matrix(), &MiningConfig {
             min_support: MinSupport::Absolute(threshold),
             ..MiningConfig::default()
         });
@@ -110,7 +135,7 @@ proptest! {
 
     #[test]
     fn mined_supports_are_exact(txs in arb_txs(), threshold in 1u64..50) {
-        let results = mine(&txs, &MiningConfig {
+        let results = mine(&txs.to_matrix(), &MiningConfig {
             min_support: MinSupport::Absolute(threshold),
             ..MiningConfig::default()
         });
@@ -121,7 +146,7 @@ proptest! {
 
     #[test]
     fn maximal_sets_cover_all_frequent_sets(txs in arb_txs(), threshold in 1u64..30) {
-        let all = mine(&txs, &MiningConfig {
+        let all = mine(&txs.to_matrix(), &MiningConfig {
             min_support: MinSupport::Absolute(threshold),
             ..MiningConfig::default()
         });
@@ -145,7 +170,7 @@ proptest! {
 
     #[test]
     fn closed_preserves_support_information(txs in arb_txs(), threshold in 1u64..30) {
-        let all = mine(&txs, &MiningConfig {
+        let all = mine(&txs.to_matrix(), &MiningConfig {
             min_support: MinSupport::Absolute(threshold),
             ..MiningConfig::default()
         });
@@ -168,7 +193,7 @@ proptest! {
         k in 1usize..20,
         floor in 1u64..20,
     ) {
-        let r = mine_top_k(&txs, &TopKConfig {
+        let r = mine_top_k(&txs.to_matrix(), &TopKConfig {
             k,
             floor,
             max_rounds: 24,
@@ -186,11 +211,11 @@ proptest! {
     #[test]
     fn topk_finds_k_when_k_exist_above_floor(txs in arb_txs(), k in 1usize..8) {
         let floor = 1;
-        let available = maximal_only(mine(&txs, &MiningConfig {
+        let available = maximal_only(mine(&txs.to_matrix(), &MiningConfig {
             min_support: MinSupport::Absolute(floor),
             ..MiningConfig::default()
         })).len();
-        let r = mine_top_k(&txs, &TopKConfig {
+        let r = mine_top_k(&txs.to_matrix(), &TopKConfig {
             k,
             floor,
             max_rounds: 64,
@@ -225,7 +250,8 @@ proptest! {
     #[test]
     fn max_len_bound_is_respected_by_all(txs in arb_txs(), max_len in 1usize..4) {
         for algorithm in [Algorithm::Apriori, Algorithm::FpGrowth, Algorithm::Eclat] {
-            let results = mine(&txs, &MiningConfig {
+            let matrix = txs.to_matrix();
+            let results = mine(&matrix, &MiningConfig {
                 algorithm,
                 min_support: MinSupport::Absolute(1),
                 max_len,
@@ -233,7 +259,7 @@ proptest! {
             });
             prop_assert!(results.iter().all(|f| f.itemset.len() <= max_len));
             // And the bounded output equals the unbounded output filtered.
-            let full = mine(&txs, &MiningConfig {
+            let full = mine(&matrix, &MiningConfig {
                 algorithm,
                 min_support: MinSupport::Absolute(1),
                 max_len: 0,

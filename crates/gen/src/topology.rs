@@ -7,21 +7,25 @@
 //! so that generated addresses are structured like a real backbone (hosts
 //! cluster per PoP) instead of being uniform noise.
 
+use std::borrow::Cow;
 use std::net::Ipv4Addr;
 
 use anomex_flow::filter::Ipv4Net;
 use anomex_flow::sampling::Xoshiro256;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::dist::WeightedIndex;
 
 /// One point of presence: an ingress/egress site of the backbone.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+///
+/// Serializable *and* deserializable: built-in topologies borrow their
+/// names (`Cow::Borrowed`), config-loaded ones own them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Pop {
     /// Exporter id carried in [`anomex_flow::record::FlowRecord::pop`].
     pub id: u16,
     /// Human-readable site name.
-    pub name: &'static str,
+    pub name: Cow<'static, str>,
     /// Relative share of backbone traffic entering here.
     pub weight: u32,
     /// Address block of client-side hosts behind this PoP.
@@ -52,10 +56,13 @@ fn addr_in(net: Ipv4Net, index: u32) -> Ipv4Addr {
 }
 
 /// A backbone topology: a weighted set of PoPs.
-#[derive(Debug, Clone, Serialize)]
+///
+/// Round-trips through serde, so deployments can load custom
+/// topologies from configuration instead of compiling them in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Topology {
     /// Topology name (`"geant"` / `"switch"` / custom).
-    pub name: &'static str,
+    pub name: Cow<'static, str>,
     /// The sites.
     pub pops: Vec<Pop>,
 }
@@ -97,13 +104,13 @@ impl Topology {
             .enumerate()
             .map(|(i, &(name, weight))| Pop {
                 id: i as u16,
-                name,
+                name: Cow::Borrowed(name),
                 weight,
                 client_net: Ipv4Net::new(Ipv4Addr::new(10, i as u8, 0, 0), 16),
                 server_net: Ipv4Net::new(Ipv4Addr::new(172, 16, i as u8, 0), 24),
             })
             .collect();
-        Topology { name: "geant", pops }
+        Topology { name: Cow::Borrowed("geant"), pops }
     }
 
     /// A SWITCH-like medium-size backbone: 4 sites, one dominant.
@@ -115,13 +122,13 @@ impl Topology {
             .enumerate()
             .map(|(i, &(name, weight))| Pop {
                 id: i as u16,
-                name,
+                name: Cow::Borrowed(name),
                 weight,
                 client_net: Ipv4Net::new(Ipv4Addr::new(10, 100 + i as u8, 0, 0), 16),
                 server_net: Ipv4Net::new(Ipv4Addr::new(172, 20, i as u8, 0), 24),
             })
             .collect();
-        Topology { name: "switch", pops }
+        Topology { name: Cow::Borrowed("switch"), pops }
     }
 
     /// Number of PoPs.
@@ -226,5 +233,21 @@ mod tests {
         let t = Topology::geant();
         assert_eq!(t.pop(0).unwrap().name, "London");
         assert!(t.pop(200).is_none());
+    }
+
+    #[test]
+    fn topology_is_config_loadable() {
+        // Serialize → deserialize round-trips exactly: deployments can
+        // ship custom topologies as JSON config instead of compiling
+        // them in (the deserialized names are owned Cows).
+        for t in [Topology::geant(), Topology::switch()] {
+            let json = serde_json::to_string(&t).expect("serialize topology");
+            let back: Topology = serde_json::from_str(&json).expect("deserialize topology");
+            assert_eq!(back, t);
+            assert!(matches!(back.name, Cow::Owned(_)));
+            // And the loaded topology is fully functional.
+            let mut rng = Xoshiro256::seeded(5);
+            let _ = back.sampler().sample(&mut rng);
+        }
     }
 }

@@ -18,9 +18,14 @@
 //!
 //! Every channel along the record path is bounded, so a slow miner
 //! backpressures through the workers into [`IngestHandle::push`] rather
-//! than buffering without limit. The report channel is unbounded (low
-//! rate: one message per alarm, not per record) so a lazy subscriber
-//! can never deadlock the pipeline against [`IngestHandle::finish`].
+//! than buffering without limit. The report channel is bounded too, but
+//! with a **drop-and-count** policy instead of backpressure: reports are
+//! `try_send`-ed, a full queue drops the report and bumps
+//! [`StreamStats::reports_dropped`], and the next delivered report
+//! carries the cumulative drop count in
+//! [`StreamReport::dropped_before`] — so a lazy subscriber can never
+//! deadlock the pipeline against [`IngestHandle::finish`], yet sees the
+//! size of any gap it caused.
 
 use std::thread::JoinHandle;
 
@@ -29,7 +34,7 @@ use anomex_flow::error::CodecError;
 use anomex_flow::record::FlowRecord;
 use anomex_flow::store::TimeRange;
 use anomex_flow::{v5, v9};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use serde::{Deserialize, Serialize};
 
 use crate::detector::{DetectorConfig, OnlineDetector};
@@ -52,6 +57,10 @@ pub struct StreamConfig {
     pub watermark_every: usize,
     /// Replay span; see [`WindowConfig::span`]. `None` = open-ended.
     pub span: Option<TimeRange>,
+    /// Capacity of the bounded subscriber (report) channel. A full
+    /// queue drops reports (counted in [`StreamStats::reports_dropped`])
+    /// rather than stalling detection.
+    pub report_queue: usize,
     /// Which detector judges each closed window.
     pub detector: DetectorConfig,
     /// Extraction parameters applied on every alarm.
@@ -75,6 +84,7 @@ impl Default for StreamConfig {
             lateness_ms: 30_000,
             watermark_every: 256,
             span: None,
+            report_queue: 1_024,
             detector: DetectorConfig::Kl(anomex_detect::kl::KlConfig::default()),
             extractor: ExtractorConfig::default(),
             retain_windows: 2,
@@ -105,8 +115,10 @@ pub struct StreamStats {
     pub windows: u64,
     /// Alarms the detector raised.
     pub alarms: u64,
-    /// Reports emitted to the subscriber channel.
+    /// Reports produced by the extractor (delivered or dropped).
     pub reports: u64,
+    /// Reports dropped because the bounded subscriber channel was full.
+    pub reports_dropped: u64,
 }
 
 enum ShardMsg {
@@ -130,7 +142,7 @@ pub fn launch(config: StreamConfig) -> (IngestHandle, Receiver<StreamReport>) {
     let window_config = config.window_config();
 
     let (ctrl_tx, ctrl_rx) = bounded::<CtrlMsg>(config.queue_depth);
-    let (report_tx, report_rx) = unbounded::<StreamReport>();
+    let (report_tx, report_rx) = bounded::<StreamReport>(config.report_queue.max(1));
 
     let mut senders = Vec::with_capacity(config.shards);
     let mut workers = Vec::with_capacity(config.shards);
@@ -216,10 +228,17 @@ fn control_loop(
             stats.windows += 1;
             let alarms: Vec<_> = detector.push_window(&window).into_iter().collect();
             stats.alarms += alarms.len() as u64;
-            for report in extractor.push_window(window, &alarms) {
+            for mut report in extractor.push_window(window, &alarms) {
                 stats.reports += 1;
-                // A dropped subscriber must not stall detection.
-                let _ = report_tx.send(report);
+                report.dropped_before = stats.reports_dropped;
+                // Never block detection on the subscriber: a full queue
+                // drops the report and counts it; a dropped subscriber
+                // just discards.
+                match report_tx.try_send(report) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => stats.reports_dropped += 1,
+                    Err(TrySendError::Disconnected(_)) => {}
+                }
             }
         }
     };
@@ -498,6 +517,51 @@ mod tests {
         ingest.push_batch(trace());
         let stats = ingest.finish();
         assert_eq!(stats.reports, 1, "report was produced even if nobody listened");
+    }
+
+    #[test]
+    fn full_report_queue_drops_and_counts_instead_of_stalling() {
+        // Scans in several windows produce several reports; a queue of 1
+        // with nobody draining keeps exactly one and counts the rest as
+        // dropped — finish() must not deadlock on the lazy subscriber.
+        let mut flows = Vec::new();
+        for t in 0..8u64 {
+            let base = t * 60_000;
+            for i in 0..200u32 {
+                flows.push(
+                    FlowRecord::builder()
+                        .time(base + (i as u64 * 91) % 60_000, base + (i as u64 * 91) % 60_000 + 50)
+                        .src(Ipv4Addr::from(0x0A00_0000 + (i % 40)), 1_024 + (i % 500) as u16)
+                        .dst(
+                            Ipv4Addr::from(0xAC10_0000 + (i % 7)),
+                            if i % 3 == 0 { 443 } else { 80 },
+                        )
+                        .volume(3, 1_800)
+                        .build(),
+                );
+            }
+            if t >= 5 {
+                for p in 1..=1_500u32 {
+                    flows.push(
+                        FlowRecord::builder()
+                            .time(base + (p as u64 % 60_000), base + (p as u64 % 60_000) + 1)
+                            .src("10.66.66.66".parse().unwrap(), 55_548)
+                            .dst("172.16.0.99".parse().unwrap(), p as u16)
+                            .volume(1, 44)
+                            .build(),
+                    );
+                }
+            }
+        }
+        let config = StreamConfig { report_queue: 1, ..scan_config(2) };
+        let (mut ingest, reports) = launch(config);
+        ingest.push_batch(flows);
+        let stats = ingest.finish();
+        assert!(stats.reports >= 2, "need several reports to exercise dropping: {stats:?}");
+        let received: Vec<StreamReport> = reports.iter().collect();
+        assert_eq!(received.len(), 1, "queue of 1 keeps exactly one report");
+        assert_eq!(stats.reports_dropped, stats.reports - 1, "{stats:?}");
+        assert_eq!(received[0].dropped_before, 0, "first report preceded every drop");
     }
 
     #[test]

@@ -4,8 +4,11 @@
 
 use std::collections::VecDeque;
 
+use anomex_core::candidate::{candidate_filter, candidates_from_slice};
+use anomex_core::encode::EncodedFlows;
 use anomex_core::extract::{Extraction, Extractor, ExtractorConfig};
 use anomex_detect::alarm::Alarm;
+use anomex_flow::store::TimeRange;
 use serde::{Deserialize, Serialize};
 
 use crate::window::ClosedWindow;
@@ -19,6 +22,9 @@ pub struct StreamReport {
     pub extraction: Extraction,
     /// Flows resident in the alarmed window when extraction ran.
     pub window_flows: usize,
+    /// Reports dropped on the bounded subscriber channel before this one
+    /// was emitted — a slow subscriber sees the gap size, not silence.
+    pub dropped_before: u64,
 }
 
 /// Extraction stage of the pipeline: retains the last few closed
@@ -31,6 +37,12 @@ pub struct StreamReport {
 /// `horizon × window width` that started before the oldest retained
 /// window is invisible here but a candidate in batch. Size `horizon`
 /// above the longest flow duration you expect on the wire.
+///
+/// Each alarm's candidates are encoded into a columnar
+/// [`EncodedFlows`] **once** — both support metrics and every round of
+/// the self-adjusting top-k search mine the same matrix — and alarms on
+/// the same window whose candidate selection coincides (same window,
+/// same hint filter) reuse the previous alarm's matrix outright.
 #[derive(Debug)]
 pub struct ContinuousExtractor {
     extractor: Extractor,
@@ -69,12 +81,30 @@ impl ContinuousExtractor {
         // window order (deterministic: windows arrive in index order).
         let resident: Vec<anomex_flow::record::FlowRecord> =
             self.retained.iter().flat_map(|w| w.records.iter().cloned()).collect();
+        // One encoded matrix per distinct candidate selection: alarms
+        // sharing (window, hint filter) mine the same EncodedFlows.
+        let policy = self.extractor.config().policy;
+        let mut encoded: Vec<(TimeRange, String, EncodedFlows)> = Vec::new();
         alarms
             .iter()
-            .map(|alarm| StreamReport {
-                alarm: alarm.clone(),
-                extraction: self.extractor.extract_from_window(&resident, alarm),
-                window_flows,
+            .map(|alarm| {
+                let filter = candidate_filter(alarm, policy).to_string();
+                let enc =
+                    match encoded.iter().position(|(w, f, _)| *w == alarm.window && *f == filter) {
+                        Some(i) => &encoded[i].2,
+                        None => {
+                            let cands =
+                                candidates_from_slice(&resident, alarm.window, alarm, policy);
+                            encoded.push((alarm.window, filter, EncodedFlows::encode(&cands)));
+                            &encoded.last().expect("just pushed").2
+                        }
+                    };
+                StreamReport {
+                    alarm: alarm.clone(),
+                    extraction: self.extractor.extract_encoded(enc),
+                    window_flows,
+                    dropped_before: 0,
+                }
             })
             .collect()
     }
@@ -131,6 +161,21 @@ mod tests {
         let json = serde_json::to_string(report).unwrap();
         let back: StreamReport = serde_json::from_str(&json).unwrap();
         assert_eq!(&back, report);
+    }
+
+    #[test]
+    fn alarms_with_identical_selection_share_one_extraction() {
+        // Two detectors alarm the same window with the same (absent)
+        // hints: both reports must carry identical extractions — mined
+        // from one shared encoded matrix.
+        let mut ce = ContinuousExtractor::new(ExtractorConfig::default(), 2);
+        let window = window_with_scan(1, 60_000, 300);
+        let a = Alarm::new(0, "kl", window.range);
+        let b = Alarm::new(1, "pca", window.range);
+        let reports = ce.push_window(window, &[a, b]);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].extraction, reports[1].extraction);
+        assert_eq!(reports[0].extraction.itemsets[0].flow_support, 300);
     }
 
     #[test]

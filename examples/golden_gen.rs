@@ -1,0 +1,72 @@
+//! Regenerator for `tests/fixtures/miner_agreement_golden.json`.
+//!
+//! The committed fixture was captured from the **pre-refactor,
+//! row-oriented** miners (the seed's `TransactionSet` engine) at the
+//! commit that introduced the columnar `TransactionMatrix`; the
+//! byte-identical check in `tests/miner_agreement.rs` proves the
+//! columnar engine reproduces that output exactly.
+//!
+//! Running this program today regenerates the fixture from the
+//! **current** miners — doing so re-baselines the golden test and
+//! discards the cross-refactor guarantee. Only regenerate when the
+//! corpus generator (`anomex-gen`) itself changes deliberately, and
+//! review the fixture diff: it must be explainable by the generator
+//! change alone.
+
+use anomex::prelude::*;
+use serde::{Serialize, Value};
+
+include!("../tests/fixtures/golden_corpus.rs");
+
+fn main() {
+    let flows = golden_corpus();
+    let cases: [(SupportMetric, u64, usize); 6] = [
+        (SupportMetric::Flows, 8, 0),
+        (SupportMetric::Flows, 40, 0),
+        (SupportMetric::Flows, 200, 4),
+        (SupportMetric::Packets, 500, 0),
+        (SupportMetric::Packets, 4_000, 0),
+        (SupportMetric::Packets, 20_000, 4),
+    ];
+    let mut out_cases = Vec::new();
+    for (metric, threshold, max_len) in cases {
+        let txs = encode_flows(&flows, metric);
+        let mined = mine(
+            &txs,
+            &MiningConfig {
+                algorithm: Algorithm::Apriori,
+                min_support: MinSupport::Absolute(threshold),
+                max_len,
+                threads: 1,
+            },
+        );
+        // All miners must agree before anything is baselined.
+        for algorithm in [Algorithm::FpGrowth, Algorithm::Eclat] {
+            let other = mine(
+                &txs,
+                &MiningConfig {
+                    algorithm,
+                    min_support: MinSupport::Absolute(threshold),
+                    max_len,
+                    threads: 1,
+                },
+            );
+            assert_eq!(other, mined, "{algorithm} disagrees at {metric}/{threshold}");
+        }
+        out_cases.push(Value::Object(vec![
+            ("metric".to_string(), Value::Str(metric.to_string())),
+            ("min_support".to_string(), Value::U64(threshold)),
+            ("max_len".to_string(), Value::U64(max_len as u64)),
+            ("results".to_string(), mined.to_json_value()),
+        ]));
+    }
+    let doc = Value::Object(vec![
+        ("corpus".to_string(), Value::Str("golden seed 0x601D: 1200 scan + 2400 bg".to_string())),
+        ("cases".to_string(), Value::Array(out_cases)),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("render golden json");
+    std::fs::create_dir_all("tests/fixtures").expect("mkdir fixtures");
+    std::fs::write("tests/fixtures/miner_agreement_golden.json", json + "\n")
+        .expect("write fixture");
+    println!("wrote tests/fixtures/miner_agreement_golden.json");
+}

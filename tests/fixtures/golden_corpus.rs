@@ -1,0 +1,17 @@
+// The deterministic seed corpus behind the miner-agreement golden
+// fixture. `include!`d by BOTH `tests/miner_agreement.rs` and
+// `examples/golden_gen.rs` so the mined corpus and the fixture
+// generator cannot drift apart.
+
+/// 1,200 port-scan flows + 2,400 background flows, fixed seed.
+fn golden_corpus() -> Vec<anomex::flow::record::FlowRecord> {
+    let mut spec = AnomalySpec::template(
+        AnomalyKind::PortScan,
+        "10.0.0.9".parse().unwrap(),
+        "172.16.0.1".parse().unwrap(),
+    );
+    spec.flows = 1_200;
+    let mut scenario = Scenario::new("golden", 0x601D, Backbone::Geant).with_anomaly(spec);
+    scenario.background.flows = 2_400;
+    scenario.build().store.snapshot()
+}

@@ -1,13 +1,25 @@
-//! Cross-miner equivalence smoke test.
+//! Cross-miner equivalence: property test + pre-refactor golden fixture.
 //!
 //! The fim docs promise that Apriori, FP-Growth and Eclat are three
-//! independent implementations producing *identical*, canonically
-//! ordered output. The proptests in `crates/fim` fuzz that invariant;
-//! this deterministic fixture guards it in every plain `cargo test`
-//! run with hand-checkable expectations, including weighted
-//! (packet-support) transactions and both threshold flavors.
+//! independent [`Miner`] implementations over the columnar
+//! `TransactionMatrix` producing *identical*, canonically ordered
+//! output. Three layers of proof here:
+//!
+//! 1. a deterministic hand-checkable fixture (weighted supports computed
+//!    by hand, both threshold flavors);
+//! 2. a **golden fixture** captured from the seed's row-oriented miners
+//!    *before* the columnar refactor
+//!    (`tests/fixtures/miner_agreement_golden.json`, regenerate with
+//!    `cargo run --release --example golden_gen`): the columnar miners
+//!    must reproduce it **byte-identically**, for flow-support and
+//!    packet-support weights alike;
+//! 3. a property test over random weighted corpora, mining every
+//!    algorithm under both weight views against a brute-force
+//!    linear-scan reference.
 
 use anomex::prelude::*;
+use proptest::prelude::*;
+use serde::{Serialize, Value};
 
 /// A small market-basket-style fixture with known supports:
 ///
@@ -31,7 +43,7 @@ fn fixture() -> TransactionSet {
 const ALGORITHMS: [Algorithm; 3] = [Algorithm::Apriori, Algorithm::FpGrowth, Algorithm::Eclat];
 
 fn mine_with(algorithm: Algorithm, min_support: MinSupport) -> Vec<FrequentItemset> {
-    mine(&fixture(), &MiningConfig { algorithm, min_support, max_len: 0, threads: 1 })
+    mine(&fixture().to_matrix(), &MiningConfig { algorithm, min_support, max_len: 0, threads: 1 })
 }
 
 #[test]
@@ -80,9 +92,9 @@ fn fractional_threshold_agrees_across_miners() {
 
 #[test]
 fn max_len_and_parallel_counting_preserve_agreement() {
-    let txs = fixture();
+    let matrix = fixture().to_matrix();
     let bounded_reference = mine(
-        &txs,
+        &matrix,
         &MiningConfig {
             algorithm: Algorithm::Apriori,
             min_support: MinSupport::Absolute(4),
@@ -93,7 +105,7 @@ fn max_len_and_parallel_counting_preserve_agreement() {
     assert!(bounded_reference.iter().all(|f| f.itemset.len() <= 2));
     for algorithm in ALGORITHMS {
         let got = mine(
-            &txs,
+            &matrix,
             &MiningConfig {
                 algorithm,
                 min_support: MinSupport::Absolute(4),
@@ -102,5 +114,135 @@ fn max_len_and_parallel_counting_preserve_agreement() {
             },
         );
         assert_eq!(got, bounded_reference, "{algorithm} with max_len=2");
+    }
+}
+
+// One corpus definition shared with the fixture regenerator.
+include!("fixtures/golden_corpus.rs");
+
+#[test]
+fn columnar_miners_reproduce_the_pre_refactor_golden_fixture() {
+    let raw = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/miner_agreement_golden.json"
+    ))
+    .expect("golden fixture present (see examples/golden_gen.rs before regenerating)");
+    let doc: Value = serde_json::from_str(&raw).expect("fixture parses");
+    let Value::Object(fields) = &doc else { panic!("fixture root must be an object") };
+    let cases =
+        fields.iter().find_map(|(k, v)| (k == "cases").then_some(v)).expect("fixture has cases");
+    let Value::Array(cases) = cases else { panic!("cases must be an array") };
+    assert!(cases.len() >= 6, "fixture covers both metrics at several thresholds");
+
+    let flows = golden_corpus();
+    for case in cases {
+        let Value::Object(case) = case else { panic!("case must be an object") };
+        let get = |name: &str| {
+            case.iter().find_map(|(k, v)| (k == name).then_some(v)).expect("case field")
+        };
+        let metric = match get("metric") {
+            Value::Str(s) if s == "flows" => SupportMetric::Flows,
+            Value::Str(s) if s == "packets" => SupportMetric::Packets,
+            other => panic!("unknown metric {other:?}"),
+        };
+        let Value::U64(min_support) = get("min_support") else { panic!("min_support") };
+        let Value::U64(max_len) = get("max_len") else { panic!("max_len") };
+        let expected =
+            serde_json::to_string(get("results")).expect("re-serialize expected results");
+
+        let matrix = encode_flows(&flows, metric);
+        for algorithm in ALGORITHMS {
+            let mined = mine(
+                &matrix,
+                &MiningConfig {
+                    algorithm,
+                    min_support: MinSupport::Absolute(*min_support),
+                    max_len: *max_len as usize,
+                    threads: 1,
+                },
+            );
+            let got =
+                serde_json::to_string(&mined.to_json_value()).expect("serialize mined results");
+            assert_eq!(
+                got, expected,
+                "{algorithm} diverges from the pre-refactor output at \
+                 {metric}/{min_support} (max_len {max_len})"
+            );
+        }
+    }
+}
+
+/// Brute force: enumerate every itemset appearing in the data, count by
+/// linear scan over the row-oriented reference, keep those meeting the
+/// threshold.
+fn brute_force(txs: &TransactionSet, threshold: u64) -> Vec<FrequentItemset> {
+    let mut seen: std::collections::HashSet<Itemset> = std::collections::HashSet::new();
+    for t in txs.transactions() {
+        let items = t.items();
+        let n = items.len();
+        for mask in 1u32..(1 << n) {
+            seen.insert(
+                (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| items[i]).collect::<Itemset>(),
+            );
+        }
+    }
+    let mut out: Vec<FrequentItemset> = seen
+        .into_iter()
+        .map(|itemset| {
+            let support = txs.support_of(&itemset);
+            FrequentItemset::new(itemset, support)
+        })
+        .filter(|f| f.support >= threshold)
+        .collect();
+    anomex::fim::sort_canonical(&mut out);
+    out
+}
+
+/// Random weighted corpora shaped like encoded flows: narrow rows,
+/// skewed "packet" weights.
+fn arb_txs() -> impl Strategy<Value = TransactionSet> {
+    prop::collection::vec((prop::collection::vec(0u64..10, 1..5), 1u64..2_000), 1..14).prop_map(
+        |raw| {
+            raw.into_iter()
+                .map(|(vals, w)| Transaction::new(vals.into_iter().map(Item).collect(), w))
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// All three miners on the columnar matrix equal the row-oriented
+    /// brute force — under packet-support weights AND the unit-weight
+    /// (flow-support) view derived from the same shared structure.
+    #[test]
+    fn miners_match_brute_force_under_both_weightings(
+        txs in arb_txs(),
+        threshold in 1u64..3_000,
+    ) {
+        let matrix = txs.to_matrix();
+        let views = [
+            ("packet-support", matrix.clone(), txs.clone()),
+            ("flow-support", matrix.unit_weights(), txs.unit_weights()),
+        ];
+        for (label, view, rows) in &views {
+            // Scale the threshold into each view's weight range so the
+            // flow view isn't vacuously empty.
+            let t = (threshold * view.total_weight() / txs.total_weight().max(1)).max(1);
+            let reference = brute_force(rows, t);
+            for algorithm in ALGORITHMS {
+                let got = mine(view, &MiningConfig {
+                    algorithm,
+                    min_support: MinSupport::Absolute(t),
+                    max_len: 0,
+                    threads: 1,
+                });
+                prop_assert_eq!(
+                    &got, &reference,
+                    "{} disagrees with brute force under {}", algorithm, label
+                );
+            }
+        }
     }
 }

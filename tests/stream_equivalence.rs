@@ -73,6 +73,7 @@ fn streaming_equals_batch_under_out_of_order_arrival() {
         detector: DetectorConfig::Kl(kl),
         extractor: *extractor.config(),
         retain_windows: 3,
+        report_queue: 1_024,
     };
     let (mut ingest, reports) = pipeline::launch(config);
     ingest.push_batch(shuffled);

@@ -74,6 +74,35 @@ impl<T> fmt::Display for SendError<T> {
 
 impl<T> std::error::Error for SendError<T> {}
 
+/// Error returned by [`Sender::try_send`].
+#[derive(PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity; the message comes back.
+    Full(T),
+    /// Every receiver is gone; the message comes back.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TrySendError::Full(_) => "Full(..)",
+            TrySendError::Disconnected(_) => "Disconnected(..)",
+        })
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TrySendError::Full(_) => "sending on a full channel",
+            TrySendError::Disconnected(_) => "sending on a disconnected channel",
+        })
+    }
+}
+
+impl<T> std::error::Error for TrySendError<T> {}
+
 /// Error returned by [`Receiver::recv`]: the channel is empty and every
 /// sender is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +160,26 @@ impl<T> Sender<T> {
             }
             state = self.shared.not_full.wait(state).expect("channel poisoned");
         }
+    }
+
+    /// Enqueue `msg` without blocking.
+    ///
+    /// # Errors
+    /// [`TrySendError::Full`] when the channel is at capacity,
+    /// [`TrySendError::Disconnected`] when every [`Receiver`] is gone;
+    /// both return the message.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if state.is_full() {
+            return Err(TrySendError::Full(msg));
+        }
+        state.queue.push_back(msg);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
     }
 
     /// Number of messages currently queued.
@@ -344,6 +393,17 @@ mod tests {
         let (tx, rx) = bounded(1);
         drop(rx);
         assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn try_send_distinguishes_full_from_disconnected() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]

@@ -317,6 +317,25 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl<T> Serialize for std::borrow::Cow<'_, T>
+where
+    T: Serialize + ToOwned + ?Sized,
+{
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T> Deserialize for std::borrow::Cow<'_, T>
+where
+    T: ToOwned + ?Sized,
+    T::Owned: Deserialize,
+{
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        Ok(std::borrow::Cow::Owned(T::Owned::from_json_value(value)?))
+    }
+}
+
 impl<T: Serialize> Serialize for Box<T> {
     fn to_json_value(&self) -> Value {
         (**self).to_json_value()
