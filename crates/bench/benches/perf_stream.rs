@@ -72,7 +72,10 @@ fn main() {
             lateness_ms: 30_000,
             watermark_every: 512,
             span: Some(span),
-            detector: DetectorConfig::Kl(KlConfig { interval_ms: WIDTH_MS, ..KlConfig::default() }),
+            detectors: DetectorRegistry::kl(KlConfig {
+                interval_ms: WIDTH_MS,
+                ..KlConfig::default()
+            }),
             retain_windows: 2,
             ..StreamConfig::default()
         };

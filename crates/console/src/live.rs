@@ -20,6 +20,9 @@ pub struct LiveSession {
     db: AlarmDb,
     reports: Vec<StreamReport>,
     reports_dropped: u64,
+    /// Alarms per source detector, in first-seen order (pre-merge
+    /// attribution: a window two detectors flag counts once for each).
+    detector_alarms: Vec<(String, u64)>,
     /// Support columns are multiplied by this in rendered tables (set
     /// to the sampling rate for wire-scale estimates).
     pub report_scale: u64,
@@ -32,6 +35,7 @@ impl LiveSession {
             db: AlarmDb::in_memory(),
             reports: Vec::new(),
             reports_dropped: 0,
+            detector_alarms: Vec::new(),
             report_scale: 1,
         }
     }
@@ -53,6 +57,16 @@ impl LiveSession {
         }
         let id = self.db.add(report.alarm.clone());
         writeln!(out, "live: {}", self.db.get(id).expect("alarm just added").describe())?;
+        for source in &report.sources {
+            match self.detector_alarms.iter_mut().find(|(name, _)| *name == source.detector) {
+                Some((_, count)) => *count += 1,
+                None => self.detector_alarms.push((source.detector.clone(), 1)),
+            }
+            // A lone source is the alarm itself — nothing to attribute.
+            if report.sources.len() > 1 {
+                writeln!(out, "live:   └ {}", source.describe())?;
+            }
+        }
         write!(out, "{}", render_summary(&report.extraction))?;
         if report.extraction.is_empty() {
             writeln!(out, "no meaningful itemsets — stealthy anomaly or false positive?")?;
@@ -93,6 +107,12 @@ impl LiveSession {
         self.reports_dropped
     }
 
+    /// Alarms seen per source detector, in first-seen order — the
+    /// per-detector attribution across every ingested report.
+    pub fn detector_alarms(&self) -> &[(String, u64)] {
+        &self.detector_alarms
+    }
+
     /// The accumulated alarm database (ids as filed, in arrival order).
     pub fn alarms(&self) -> &AlarmDb {
         &self.db
@@ -121,7 +141,10 @@ mod tests {
         let config = StreamConfig {
             shards: 2,
             span: Some(span),
-            detector: DetectorConfig::Kl(KlConfig { interval_ms: 60_000, ..KlConfig::default() }),
+            detectors: DetectorRegistry::kl(KlConfig {
+                interval_ms: 60_000,
+                ..KlConfig::default()
+            }),
             ..StreamConfig::default()
         };
         let (mut ingest, reports) = anomex_stream::pipeline::launch(config);
@@ -177,12 +200,16 @@ mod tests {
     #[test]
     fn dropped_reports_surface_as_a_gap_note() {
         let mut session = LiveSession::new();
-        let make = |id: u64, dropped_before: u64| StreamReport {
-            alarm: anomex_detect::alarm::Alarm::new(id, "kl", TimeRange::new(0, 60_000)),
-            extraction: anomex_core::extract::Extractor::with_defaults()
-                .extract_from_candidates(&[]),
-            window_flows: 0,
-            dropped_before,
+        let make = |id: u64, dropped_before: u64| {
+            let alarm = anomex_detect::alarm::Alarm::new(id, "kl", TimeRange::new(0, 60_000));
+            StreamReport {
+                sources: vec![alarm.clone()],
+                alarm,
+                extraction: anomex_core::extract::Extractor::with_defaults()
+                    .extract_from_candidates(&[]),
+                window_flows: 0,
+                dropped_before,
+            }
         };
         let mut out = Vec::new();
         session.ingest(make(0, 0), &mut out).unwrap();
@@ -192,13 +219,16 @@ mod tests {
         assert_eq!(session.reports_dropped(), 3);
         assert_eq!(text.matches("dropped on the bounded channel").count(), 1, "{text}");
         assert!(text.contains("3 report(s) dropped"), "{text}");
+        assert_eq!(session.detector_alarms(), &[("kl".to_string(), 3)]);
     }
 
     #[test]
     fn empty_extraction_renders_a_note() {
         let mut session = LiveSession::new();
+        let alarm = anomex_detect::alarm::Alarm::new(0, "kl", TimeRange::new(0, 60_000));
         let report = StreamReport {
-            alarm: anomex_detect::alarm::Alarm::new(0, "kl", TimeRange::new(0, 60_000)),
+            sources: vec![alarm.clone()],
+            alarm,
             extraction: anomex_core::extract::Extractor::with_defaults()
                 .extract_from_candidates(&[]),
             window_flows: 0,
@@ -210,5 +240,35 @@ mod tests {
         assert!(text.contains("no meaningful itemsets"), "{text}");
         assert_eq!(session.reports().len(), 1);
         assert_eq!(session.alarms().len(), 1);
+    }
+
+    #[test]
+    fn merged_report_renders_per_detector_attribution() {
+        use anomex_detect::alarm::Alarm;
+        let window = TimeRange::new(60_000, 120_000);
+        let kl = Alarm::new(4, "kl", window).with_score(2.0, 0.5);
+        let pca = Alarm::new(1, "entropy-pca", window).with_score(30.0, 3.0);
+        let mut merged = Alarm::new(0, "kl+entropy-pca", window);
+        merged.score = pca.score;
+        merged.severity = pca.severity;
+        let report = StreamReport {
+            alarm: merged,
+            sources: vec![kl, pca],
+            extraction: anomex_core::extract::Extractor::with_defaults()
+                .extract_from_candidates(&[]),
+            window_flows: 0,
+            dropped_before: 0,
+        };
+        let mut session = LiveSession::new();
+        let mut out = Vec::new();
+        session.ingest(report, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("[kl+entropy-pca]"), "{text}");
+        assert!(text.contains("└ alarm #4 [kl]"), "{text}");
+        assert!(text.contains("└ alarm #1 [entropy-pca]"), "{text}");
+        assert_eq!(
+            session.detector_alarms(),
+            &[("kl".to_string(), 1), ("entropy-pca".to_string(), 1)]
+        );
     }
 }

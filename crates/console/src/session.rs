@@ -84,6 +84,7 @@ impl Console {
         match command {
             "help" => self.cmd_help(out)?,
             "alarms" => self.cmd_alarms(out)?,
+            "detectors" => self.cmd_detectors(out)?,
             "alarm" => self.cmd_alarm(&args, out)?,
             "extract" => self.cmd_extract(out)?,
             "itemsets" => self.cmd_itemsets(out)?,
@@ -101,7 +102,7 @@ impl Console {
     fn cmd_help(&self, out: &mut impl Write) -> std::io::Result<()> {
         writeln!(
             out,
-            "commands:\n  alarms                    list alarms\n  alarm <id>                select an alarm\n  extract                   mine itemsets for the selected alarm\n  itemsets                  show the last extraction table\n  flows <n> [limit]         drill into itemset n's raw flows\n  classify <n>              classify itemset n\n  set <param> <value>       tune: k, flow-floor, packet-floor,\n                            packet-support on|off, policy union|interval,\n                            algorithm apriori|fpgrowth|eclat, scale <n>\n  show                      show configuration\n  filter <expr>             count flows matching an nfdump-style filter\n  quit                      leave"
+            "commands:\n  alarms                    list alarms\n  detectors                 alarms per detector (ensemble merges split by '+')\n  alarm <id>                select an alarm\n  extract                   mine itemsets for the selected alarm\n  itemsets                  show the last extraction table\n  flows <n> [limit]         drill into itemset n's raw flows\n  classify <n>              classify itemset n\n  set <param> <value>       tune: k, flow-floor, packet-floor,\n                            packet-support on|off, policy union|interval,\n                            algorithm apriori|fpgrowth|eclat, scale <n>\n  show                      show configuration\n  filter <expr>             count flows matching an nfdump-style filter\n  quit                      leave"
         )
     }
 
@@ -111,6 +112,27 @@ impl Console {
         }
         for alarm in self.db.all() {
             writeln!(out, "{}", alarm.describe())?;
+        }
+        Ok(())
+    }
+
+    fn cmd_detectors(&self, out: &mut impl Write) -> std::io::Result<()> {
+        if self.db.is_empty() {
+            return writeln!(out, "no alarms in the database");
+        }
+        // Ensemble-merged alarms carry "kl+entropy-pca"-style names;
+        // credit each contributing detector.
+        let mut counts: Vec<(&str, u64)> = Vec::new();
+        for alarm in self.db.all() {
+            for name in alarm.detector.split('+') {
+                match counts.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, c)) => *c += 1,
+                    None => counts.push((name, 1)),
+                }
+            }
+        }
+        for (name, count) in counts {
+            writeln!(out, "{name:<16} {count} alarm(s)")?;
         }
         Ok(())
     }
@@ -367,6 +389,15 @@ mod tests {
         assert!(out.contains("10.0.0.9"), "{out}");
         assert!(out.contains("500"), "scan support expected: {out}");
         assert!(out.contains("-> port scan"), "classification expected: {out}");
+    }
+
+    #[test]
+    fn detectors_command_splits_ensemble_names() {
+        let mut c = console();
+        c.db.add(Alarm::new(0, "kl+entropy-pca", TimeRange::new(60_000, 120_000)));
+        let out = run_script(&mut c, "detectors\nquit\n");
+        assert!(out.contains("entropy-pca      2 alarm(s)"), "{out}");
+        assert!(out.contains("kl               1 alarm(s)"), "{out}");
     }
 
     #[test]

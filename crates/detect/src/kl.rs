@@ -16,7 +16,9 @@ use anomex_flow::record::FlowRecord;
 use anomex_flow::store::TimeRange;
 
 use crate::alarm::Alarm;
+use crate::detector::Detector;
 use crate::interval::{IntervalSeries, IntervalStat, ValueDist};
+use crate::threshold::{ThresholdMode, ThresholdState};
 
 /// KL detector configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,6 +38,10 @@ pub struct KlConfig {
     pub floor: f64,
     /// Meta-data size cap: values reported per flagged feature.
     pub hints_per_feature: usize,
+    /// How the adaptive threshold keeps its score history: Welford
+    /// running moments (O(1) memory, the default) or the exact full
+    /// history (bit-identical with the seed detector's arithmetic).
+    pub threshold: ThresholdMode,
 }
 
 impl Default for KlConfig {
@@ -48,6 +54,7 @@ impl Default for KlConfig {
             sigma: 3.0,
             floor: 0.05,
             hints_per_feature: 3,
+            threshold: ThresholdMode::default(),
         }
     }
 }
@@ -115,18 +122,20 @@ impl KlDetector {
 /// out, no re-scan of history.
 ///
 /// Keeps the last `window` interval histograms (the sliding baseline)
-/// plus the scalar KL history per feature for the adaptive threshold —
-/// a few KiB per detector regardless of how long the stream runs, aside
-/// from the threshold history, which grows by four `f64`s per interval
-/// to stay bit-identical with the batch detector's statistics.
+/// plus a [`ThresholdState`] per feature for the adaptive threshold. In
+/// the default [`ThresholdMode::Welford`] the whole state is a few KiB
+/// per detector regardless of how long the stream runs;
+/// [`ThresholdMode::Exact`] instead retains every un-alarmed KL score
+/// to stay bit-identical with the seed detector's two-pass statistics.
 #[derive(Debug, Clone)]
 pub struct KlOnline {
     config: KlConfig,
     bins: usize,
     /// Histograms of up to `config.window` preceding intervals.
     recent: std::collections::VecDeque<[Vec<f64>; 4]>,
-    /// Trailing un-alarmed KL values per feature.
-    history: [Vec<f64>; 4],
+    /// Adaptive-threshold state over trailing un-alarmed KL values, per
+    /// feature.
+    history: [ThresholdState; 4],
     /// Intervals consumed so far.
     t: usize,
     next_id: u64,
@@ -146,7 +155,7 @@ impl KlOnline {
             config,
             bins: 1usize << config.bins_log2,
             recent: std::collections::VecDeque::with_capacity(config.window + 1),
-            history: Default::default(),
+            history: std::array::from_fn(|_| ThresholdState::new(config.threshold)),
             t: 0,
             next_id,
         }
@@ -160,6 +169,13 @@ impl KlOnline {
     /// Number of intervals consumed.
     pub fn intervals_seen(&self) -> usize {
         self.t
+    }
+
+    /// `f64`s of threshold history physically retained across all four
+    /// features — constant (12) in Welford mode, growing per interval
+    /// in Exact mode. Exposed so boundedness is testable.
+    pub fn retained_threshold_samples(&self) -> usize {
+        self.history.iter().map(ThresholdState::retained).sum()
     }
 
     /// Feed the next closed interval; returns an alarm if it deviates.
@@ -192,8 +208,7 @@ impl KlOnline {
             for (f, kl_slot) in kls.iter_mut().enumerate() {
                 let kl = kl_divergence(&hist[f], &baselines[f]);
                 *kl_slot = kl;
-                let threshold =
-                    adaptive_threshold(&self.history[f], self.config.sigma, self.config.floor);
+                let threshold = self.history[f].threshold(self.config.sigma, self.config.floor);
                 if kl > threshold {
                     flagged.push(KlScore { feature: Feature::MINING[f], kl, threshold });
                 }
@@ -259,6 +274,20 @@ impl KlOnline {
     }
 }
 
+impl Detector for KlOnline {
+    fn name(&self) -> &str {
+        "kl"
+    }
+
+    fn interval_ms(&self) -> u64 {
+        self.config.interval_ms
+    }
+
+    fn push(&mut self, stat: &IntervalStat) -> Vec<Alarm> {
+        KlOnline::push(self, stat).into_iter().collect()
+    }
+}
+
 /// Multiply-shift hash of a feature value into `bins` (power of two).
 #[inline]
 fn bin_of(value: u32, bins: usize) -> usize {
@@ -295,17 +324,6 @@ fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
         }
     }
     kl.max(0.0)
-}
-
-/// `mean + sigma * std` over the trailing KL history, floored.
-fn adaptive_threshold(history: &[f64], sigma: f64, floor: f64) -> f64 {
-    if history.is_empty() {
-        return floor.max(1e-6);
-    }
-    let n = history.len() as f64;
-    let mean = history.iter().sum::<f64>() / n;
-    let var = history.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-    (mean + sigma * var.sqrt()).max(floor)
 }
 
 /// Values of the current interval that land in the bins with the largest
@@ -485,18 +503,54 @@ mod tests {
     }
 
     #[test]
-    fn adaptive_threshold_floors() {
-        assert!(adaptive_threshold(&[], 3.0, 0.05) >= 0.05);
-        assert!(adaptive_threshold(&[0.0, 0.0, 0.0], 3.0, 0.05) >= 0.05);
+    fn welford_mode_keeps_threshold_state_constant() {
+        let config = KlConfig { interval_ms: 60_000, ..KlConfig::default() };
+        assert_eq!(config.threshold, ThresholdMode::Welford, "Welford is the default");
+        let mut online = KlOnline::new(config);
+        let (flows, span) = trace(16, 60_000, false);
+        let series = IntervalSeries::cut(&flows, span, 60_000);
+        let mut sizes = Vec::new();
+        for stat in &series.intervals {
+            online.push(stat);
+            sizes.push(online.retained_threshold_samples());
+        }
+        assert!(sizes.iter().all(|&s| s == 12), "O(1) threshold state violated: {sizes:?}");
     }
 
     #[test]
-    fn adaptive_threshold_tracks_noise_level() {
-        let noisy = [0.5, 0.6, 0.4, 0.55, 0.45];
-        let quiet = [0.01, 0.02, 0.01, 0.015, 0.012];
-        assert!(
-            adaptive_threshold(&noisy, 3.0, 0.05) > adaptive_threshold(&quiet, 3.0, 0.05) * 5.0
-        );
+    fn exact_mode_retains_full_history() {
+        let config = KlConfig {
+            interval_ms: 60_000,
+            threshold: ThresholdMode::Exact,
+            ..KlConfig::default()
+        };
+        let mut online = KlOnline::new(config);
+        let (flows, span) = trace(8, 60_000, false);
+        let series = IntervalSeries::cut(&flows, span, 60_000);
+        for stat in &series.intervals {
+            online.push(stat);
+        }
+        // 7 un-alarmed post-warmup intervals recorded across 4 features
+        // (interval 0 has no baseline and records nothing).
+        assert_eq!(online.retained_threshold_samples(), 7 * 4);
+    }
+
+    #[test]
+    fn exact_and_welford_agree_on_clear_signal() {
+        let (flows, span) = trace(8, 60_000, true);
+        let series = IntervalSeries::cut(&flows, span, 60_000);
+        let mut alarms_by_mode = Vec::new();
+        for mode in [ThresholdMode::Exact, ThresholdMode::Welford] {
+            let config = KlConfig { interval_ms: 60_000, threshold: mode, ..KlConfig::default() };
+            let mut online = KlOnline::new(config);
+            let alarms: Vec<Alarm> =
+                series.intervals.iter().filter_map(|stat| online.push(stat)).collect();
+            alarms_by_mode.push(alarms);
+        }
+        assert_eq!(alarms_by_mode[0].len(), 1);
+        assert_eq!(alarms_by_mode[0][0].window, alarms_by_mode[1][0].window);
+        let (a, b) = (&alarms_by_mode[0][0], &alarms_by_mode[1][0]);
+        assert!((a.score - b.score).abs() < 1e-9, "{} vs {}", a.score, b.score);
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //!   fine-grained feature meta-data) that makes the extraction system
 //!   integrable "with any anomaly detection system that provides these
 //!   data".
+//! - [`detector`] — the unified [`Detector`] trait both incremental
+//!   states implement: intervals in, alarms out, batch detection as a
+//!   thin driver over the same state.
+//! - [`threshold`] — the adaptive-threshold state behind the KL
+//!   detector: exact full-history or O(1) Welford running moments.
 //!
 //! Detectors are deliberately *not* perfect oracles: their meta-data can
 //! be partial or polluted, which is exactly the regime the extraction
@@ -46,18 +51,22 @@
 #![warn(rust_2018_idioms)]
 
 pub mod alarm;
+pub mod detector;
 pub mod interval;
 pub mod kl;
 pub mod linalg;
 pub mod pca;
+pub mod threshold;
 
 /// One-stop imports for downstream crates.
 pub mod prelude {
     pub use crate::alarm::{Alarm, Severity};
+    pub use crate::detector::Detector;
     pub use crate::interval::{IntervalSeries, IntervalStat, ValueDist};
     pub use crate::kl::{KlConfig, KlDetector, KlOnline, KlScore};
     pub use crate::linalg::{jacobi_eigen, Matrix};
-    pub use crate::pca::{PcaConfig, PcaDetector, PcaDiagnostics, PcaSliding, DIMS};
+    pub use crate::pca::{PcaConfig, PcaDetector, PcaDiagnostics, PcaMode, PcaSliding, DIMS};
+    pub use crate::threshold::{ThresholdMode, ThresholdState};
 }
 
 pub use prelude::*;

@@ -1,0 +1,210 @@
+//! Adaptive-threshold state: `mean + sigma · std` over a detector's
+//! trailing score history.
+//!
+//! Two interchangeable representations of the same statistic:
+//!
+//! - [`ThresholdMode::Exact`] keeps every score and recomputes the
+//!   two-pass mean/variance on demand — bit-identical with the original
+//!   batch detector's arithmetic, at the cost of one `f64` per interval
+//!   forever (~1 MiB per decade of 5-minute intervals, the ROADMAP's
+//!   `KlOnline` history item).
+//! - [`ThresholdMode::Welford`] folds each score into Welford running
+//!   moments — O(1) memory regardless of stream length, mathematically
+//!   the same mean and population variance, different float rounding
+//!   (agreement is within ~1e-12 relative; proptests in
+//!   `tests/detector_equivalence.rs` pin it down).
+//!
+//! Welford is the default: boundedness wins for long-running
+//! deployments. Exact mode stays available for byte-for-byte
+//! reproduction of historical batch runs.
+
+use serde::{Deserialize, Serialize};
+
+/// Which representation a [`ThresholdState`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ThresholdMode {
+    /// Full score history; two-pass mean/variance — bit-identical with
+    /// the pre-refactor batch detector, unbounded memory.
+    Exact,
+    /// Welford running moments — O(1) memory, rounding-level deviation.
+    #[default]
+    Welford,
+}
+
+/// Running state of one adaptive threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThresholdState {
+    /// Every un-alarmed score, in arrival order.
+    Exact(Vec<f64>),
+    /// Welford accumulator: count, running mean, sum of squared
+    /// deviations (`M2`).
+    Welford {
+        /// Scores folded in so far.
+        n: u64,
+        /// Running mean.
+        mean: f64,
+        /// Running sum of squared deviations from the mean.
+        m2: f64,
+    },
+}
+
+impl ThresholdState {
+    /// Fresh state for `mode`.
+    pub fn new(mode: ThresholdMode) -> ThresholdState {
+        match mode {
+            ThresholdMode::Exact => ThresholdState::Exact(Vec::new()),
+            ThresholdMode::Welford => ThresholdState::Welford { n: 0, mean: 0.0, m2: 0.0 },
+        }
+    }
+
+    /// Fold one un-alarmed score into the history.
+    pub fn push(&mut self, score: f64) {
+        match self {
+            ThresholdState::Exact(history) => history.push(score),
+            ThresholdState::Welford { n, mean, m2 } => {
+                *n += 1;
+                let delta = score - *mean;
+                *mean += delta / *n as f64;
+                *m2 += delta * (score - *mean);
+            }
+        }
+    }
+
+    /// Number of scores folded in.
+    pub fn len(&self) -> u64 {
+        match self {
+            ThresholdState::Exact(history) => history.len() as u64,
+            ThresholdState::Welford { n, .. } => *n,
+        }
+    }
+
+    /// True before any score arrived.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `f64`s of history physically retained — what actually grows.
+    /// Exact mode retains one per score; Welford retains three, total.
+    pub fn retained(&self) -> usize {
+        match self {
+            ThresholdState::Exact(history) => history.len(),
+            ThresholdState::Welford { .. } => 3,
+        }
+    }
+
+    /// `mean + sigma * std` over the history, floored at `floor`
+    /// (`floor.max(1e-6)` when no history exists yet).
+    pub fn threshold(&self, sigma: f64, floor: f64) -> f64 {
+        match self {
+            ThresholdState::Exact(history) => {
+                // The original two-pass formula, expression for
+                // expression: bit-identical with the seed detector.
+                if history.is_empty() {
+                    return floor.max(1e-6);
+                }
+                let n = history.len() as f64;
+                let mean = history.iter().sum::<f64>() / n;
+                let var = history.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+                (mean + sigma * var.sqrt()).max(floor)
+            }
+            ThresholdState::Welford { n, mean, m2 } => {
+                if *n == 0 {
+                    return floor.max(1e-6);
+                }
+                let var = (m2 / *n as f64).max(0.0);
+                (mean + sigma * var.sqrt()).max(floor)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_state_floors() {
+        for mode in [ThresholdMode::Exact, ThresholdMode::Welford] {
+            let state = ThresholdState::new(mode);
+            assert!(state.is_empty());
+            assert_eq!(state.threshold(3.0, 0.05), 0.05);
+            assert_eq!(state.threshold(3.0, 0.0), 1e-6);
+        }
+    }
+
+    #[test]
+    fn modes_agree_within_tolerance() {
+        let scores = [0.5, 0.61, 0.43, 0.555, 0.467, 0.012, 3.4, 0.5001];
+        let mut exact = ThresholdState::new(ThresholdMode::Exact);
+        let mut welford = ThresholdState::new(ThresholdMode::Welford);
+        for (i, &s) in scores.iter().enumerate() {
+            exact.push(s);
+            welford.push(s);
+            let te = exact.threshold(3.0, 0.05);
+            let tw = welford.threshold(3.0, 0.05);
+            assert!(
+                (te - tw).abs() <= 1e-9 * te.abs().max(1.0),
+                "after {} scores: exact {te} vs welford {tw}",
+                i + 1
+            );
+        }
+        assert_eq!(exact.len(), welford.len());
+    }
+
+    #[test]
+    fn welford_memory_is_constant() {
+        let mut state = ThresholdState::new(ThresholdMode::Welford);
+        for i in 0..100_000 {
+            state.push((i % 17) as f64 * 0.01);
+        }
+        assert_eq!(state.retained(), 3, "Welford must not grow");
+        let mut exact = ThresholdState::new(ThresholdMode::Exact);
+        for i in 0..1_000 {
+            exact.push(i as f64);
+        }
+        assert_eq!(exact.retained(), 1_000, "Exact retains everything");
+    }
+
+    #[test]
+    fn exact_matches_two_pass_formula() {
+        let history = [0.5, 0.6, 0.4, 0.55, 0.45];
+        let mut state = ThresholdState::new(ThresholdMode::Exact);
+        for &x in &history {
+            state.push(x);
+        }
+        let n = history.len() as f64;
+        let mean = history.iter().sum::<f64>() / n;
+        let var = history.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let expect = (mean + 3.0 * var.sqrt()).max(0.05);
+        assert_eq!(state.threshold(3.0, 0.05), expect, "must be the seed formula bit-for-bit");
+    }
+
+    #[test]
+    fn threshold_tracks_noise_level() {
+        for mode in [ThresholdMode::Exact, ThresholdMode::Welford] {
+            let mut noisy = ThresholdState::new(mode);
+            let mut quiet = ThresholdState::new(mode);
+            for &x in &[0.5, 0.6, 0.4, 0.55, 0.45] {
+                noisy.push(x);
+            }
+            for &x in &[0.01, 0.02, 0.01, 0.015, 0.012] {
+                quiet.push(x);
+            }
+            assert!(noisy.threshold(3.0, 0.05) > quiet.threshold(3.0, 0.05) * 5.0);
+        }
+    }
+
+    #[test]
+    fn mode_default_is_welford() {
+        assert_eq!(ThresholdMode::default(), ThresholdMode::Welford);
+    }
+
+    #[test]
+    fn mode_serde_roundtrip() {
+        for mode in [ThresholdMode::Exact, ThresholdMode::Welford] {
+            let json = serde_json::to_string(&mode).unwrap();
+            let back: ThresholdMode = serde_json::from_str(&json).unwrap();
+            assert_eq!(mode, back);
+        }
+    }
+}

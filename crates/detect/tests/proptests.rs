@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::profile_cases(48))]
 
     /// 0 <= H <= log2(distinct); normalized entropy in [0, 1].
     #[test]

@@ -50,7 +50,7 @@ fn arb_txs() -> impl Strategy<Value = TransactionSet> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(ProptestConfig::profile_cases(128))]
 
     #[test]
     fn three_algorithms_match_brute_force(txs in arb_txs(), threshold in 1u64..100) {

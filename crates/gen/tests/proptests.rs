@@ -20,7 +20,7 @@ fn arb_kind() -> impl Strategy<Value = AnomalyKind> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::profile_cases(48))]
 
     /// Zipf samples always land in the domain, for any size/exponent.
     #[test]

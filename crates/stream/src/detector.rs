@@ -1,120 +1,546 @@
-//! The online detector adapter: one closed window in, alarms out.
+//! The detection stage of the pipeline: a registry of detector builders
+//! and the running bank they assemble into.
 //!
-//! Wraps the incremental detector states of `anomex-detect`
-//! ([`KlOnline`], [`PcaSliding`]) behind one enum so the pipeline's
-//! control thread is detector-agnostic — the paper's premise ("can be
-//! integrated with any anomaly detection system") carried into the
-//! streaming layer.
+//! Where the seed had a closed two-variant enum, the pipeline now runs
+//! any number of [`Detector`] implementations side by side over the
+//! same shard-merge stream — the paper's premise ("can be integrated
+//! with any anomaly detection system") taken to its operational
+//! conclusion, the way SENATUS and Facebook's Fast Dimensional Analysis
+//! feed one root-cause mining stage from a detector ensemble.
+//!
+//! - [`DetectorSpec`] — plain-data configuration for the built-in
+//!   detectors (KL histograms, sliding entropy-PCA).
+//! - [`DetectorRegistry`] — named builders, pre-populated from specs
+//!   and open to [`register`](DetectorRegistry::register)ed custom
+//!   detectors; lives in [`StreamConfig`](crate::pipeline::StreamConfig).
+//! - [`DetectorBank`] — the live ensemble the control thread feeds:
+//!   every closed window goes to every detector, alarms on the same
+//!   window are merged into one [`EnsembleAlarm`] (one extraction per
+//!   flagged window, however many detectors fired) with per-detector
+//!   attribution and counters kept intact.
+
+use std::sync::Arc;
 
 use anomex_detect::alarm::Alarm;
+use anomex_detect::detector::Detector;
 use anomex_detect::interval::IntervalStat;
 use anomex_detect::kl::{KlConfig, KlOnline};
 use anomex_detect::pca::{PcaConfig, PcaSliding};
+use anomex_flow::store::TimeRange;
+use serde::{Deserialize, Serialize};
 
 use crate::window::ClosedWindow;
 
-/// Which detector the pipeline runs, with its configuration.
+/// Configuration of one built-in detector slot.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub enum DetectorConfig {
+pub enum DetectorSpec {
     /// Histogram/KL detector — bit-identical with the batch
     /// `KlDetector` over the same windows.
     Kl(KlConfig),
-    /// Entropy-PCA detector refit over a trailing window of the given
-    /// length (sliding-window PCA; approximates the batch detector).
+    /// Entropy-PCA detector over a trailing window of the given length
+    /// (incremental sliding-window PCA; approximates the batch
+    /// detector).
     Pca(PcaConfig, usize),
 }
 
-impl DetectorConfig {
+impl DetectorSpec {
     /// The detection interval the windows must be cut to.
     pub fn interval_ms(&self) -> u64 {
         match self {
-            DetectorConfig::Kl(c) => c.interval_ms,
-            DetectorConfig::Pca(c, _) => c.interval_ms,
-        }
-    }
-}
-
-/// Incremental detector state fed one closed window at a time.
-#[derive(Debug, Clone)]
-pub enum OnlineDetector {
-    /// KL histogram state.
-    Kl(KlOnline),
-    /// Sliding-window PCA state.
-    Pca(PcaSliding),
-}
-
-impl OnlineDetector {
-    /// Fresh state for `config`.
-    pub fn new(config: DetectorConfig) -> OnlineDetector {
-        match config {
-            DetectorConfig::Kl(c) => OnlineDetector::Kl(KlOnline::new(c)),
-            DetectorConfig::Pca(c, history) => OnlineDetector::Pca(PcaSliding::new(c, history)),
+            DetectorSpec::Kl(c) => c.interval_ms,
+            DetectorSpec::Pca(c, _) => c.interval_ms,
         }
     }
 
-    /// Feed one closed window's summary; returns the alarm it raised,
-    /// if any.
-    pub fn push(&mut self, stat: &IntervalStat) -> Option<Alarm> {
+    /// The attribution name of the detector this spec builds.
+    pub fn name(&self) -> &'static str {
         match self {
-            OnlineDetector::Kl(state) => state.push(stat),
-            OnlineDetector::Pca(state) => state.push(stat),
+            DetectorSpec::Kl(_) => "kl",
+            DetectorSpec::Pca(..) => "entropy-pca",
         }
     }
 
-    /// Feed one closed window; returns the alarm it raised, if any.
-    pub fn push_window(&mut self, window: &ClosedWindow) -> Option<Alarm> {
+    /// Build a fresh incremental state.
+    pub fn build(&self) -> Box<dyn Detector> {
+        match *self {
+            DetectorSpec::Kl(c) => Box::new(KlOnline::new(c)),
+            DetectorSpec::Pca(c, history) => Box::new(PcaSliding::new(c, history)),
+        }
+    }
+}
+
+type BuildFn = Arc<dyn Fn() -> Box<dyn Detector> + Send + Sync>;
+
+#[derive(Clone)]
+struct RegistryEntry {
+    name: String,
+    interval_ms: u64,
+    build: BuildFn,
+}
+
+/// Named detector builders: what a pipeline's detection stage runs.
+///
+/// Built-in detectors enter via [`DetectorSpec`]s; anything implementing
+/// [`Detector`] can be [`register`](DetectorRegistry::register)ed
+/// alongside them. Every entry must agree on the detection interval —
+/// [`launch`](crate::pipeline::launch) validates it, since the tumbling
+/// window grid is shared by the whole bank.
+#[derive(Clone, Default)]
+pub struct DetectorRegistry {
+    entries: Vec<RegistryEntry>,
+}
+
+impl DetectorRegistry {
+    /// Empty registry (invalid to launch with — add at least one
+    /// detector).
+    pub fn new() -> DetectorRegistry {
+        DetectorRegistry { entries: Vec::new() }
+    }
+
+    /// Registry running a single KL detector.
+    pub fn kl(config: KlConfig) -> DetectorRegistry {
+        DetectorRegistry::from_specs(&[DetectorSpec::Kl(config)])
+    }
+
+    /// Registry running a single sliding-PCA detector.
+    pub fn pca(config: PcaConfig, history: usize) -> DetectorRegistry {
+        DetectorRegistry::from_specs(&[DetectorSpec::Pca(config, history)])
+    }
+
+    /// Registry running every spec'd detector as an ensemble.
+    pub fn from_specs(specs: &[DetectorSpec]) -> DetectorRegistry {
+        let mut registry = DetectorRegistry::new();
+        for spec in specs {
+            registry.add_spec(*spec);
+        }
+        registry
+    }
+
+    /// Append one built-in detector.
+    pub fn add_spec(&mut self, spec: DetectorSpec) -> &mut DetectorRegistry {
+        let build: BuildFn = Arc::new(move || spec.build());
+        self.entries.push(RegistryEntry {
+            name: spec.name().to_string(),
+            interval_ms: spec.interval_ms(),
+            build,
+        });
+        self
+    }
+
+    /// Builder-style [`add_spec`](DetectorRegistry::add_spec).
+    pub fn with_spec(mut self, spec: DetectorSpec) -> DetectorRegistry {
+        self.add_spec(spec);
+        self
+    }
+
+    /// Register a custom detector under `name`: `build` is called once
+    /// per pipeline launch to create the incremental state. The name
+    /// appears in alarm attribution and per-detector counters; it
+    /// should match what the built states report from
+    /// [`Detector::name`].
+    ///
+    /// # Panics
+    /// Panics when `name` contains `'+'` — that is the merged-alarm
+    /// attribution separator ("kl+entropy-pca"), and a name embedding
+    /// it would be indistinguishable from a cross-detector merge.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        interval_ms: u64,
+        build: impl Fn() -> Box<dyn Detector> + Send + Sync + 'static,
+    ) -> &mut DetectorRegistry {
+        let name = name.into();
+        assert!(
+            !name.contains('+'),
+            "detector name '{name}' may not contain '+': it is the ensemble attribution separator"
+        );
+        self.entries.push(RegistryEntry { name, interval_ms, build: Arc::new(build) });
+        self
+    }
+
+    /// Names of the registered detectors, in run order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// Number of registered detectors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no detector is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The common detection interval.
+    ///
+    /// # Panics
+    /// Panics when the registry is empty or the entries disagree —
+    /// the tumbling-window grid is shared, so a mixed-interval bank
+    /// cannot be windowed.
+    pub fn interval_ms(&self) -> u64 {
+        let first = self.entries.first().expect("detector registry is empty").interval_ms;
+        for e in &self.entries {
+            assert_eq!(
+                e.interval_ms, first,
+                "detector '{}' wants a {} ms interval but the bank runs at {} ms",
+                e.name, e.interval_ms, first
+            );
+        }
+        first
+    }
+
+    /// Build the live bank the control thread feeds.
+    pub fn build_bank(&self) -> DetectorBank {
+        DetectorBank {
+            slots: self
+                .entries
+                .iter()
+                .map(|e| BankSlot {
+                    name: e.name.clone(),
+                    state: (e.build)(),
+                    windows: 0,
+                    alarms: 0,
+                })
+                .collect(),
+            next_id: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for DetectorRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectorRegistry").field("detectors", &self.names()).finish()
+    }
+}
+
+/// One merged alarm with its per-detector sources.
+///
+/// `alarm` is what drives extraction: when a single detector fired it
+/// is that detector's alarm verbatim (id included — a single-detector
+/// pipeline stays bit-identical with batch detection); when several
+/// detectors flagged the same window it is a synthesized alarm whose
+/// detector name joins the sources ("kl+entropy-pca"), whose hints are
+/// the deduplicated union of the sources' hints, and whose id counts
+/// merged alarms in this pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleAlarm {
+    /// The merged alarm extraction runs on.
+    pub alarm: Alarm,
+    /// The contributing alarms, one per detector that fired, in bank
+    /// order (detector-native ids).
+    pub sources: Vec<Alarm>,
+}
+
+impl EnsembleAlarm {
+    /// Wrap a single detector's alarm (attribution = itself).
+    pub fn solo(alarm: Alarm) -> EnsembleAlarm {
+        EnsembleAlarm { sources: vec![alarm.clone()], alarm }
+    }
+}
+
+/// Per-detector counters of one pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorCounters {
+    /// Detector (registry) name.
+    pub name: String,
+    /// Windows this detector consumed.
+    pub windows: u64,
+    /// Alarms this detector raised (before cross-detector merging).
+    pub alarms: u64,
+}
+
+struct BankSlot {
+    name: String,
+    state: Box<dyn Detector>,
+    windows: u64,
+    alarms: u64,
+}
+
+/// The running detector ensemble: every closed window is fed to every
+/// detector; alarms on the same window are merged into one
+/// [`EnsembleAlarm`] so downstream extraction runs once per flagged
+/// window regardless of how many detectors agree.
+pub struct DetectorBank {
+    slots: Vec<BankSlot>,
+    next_id: u64,
+}
+
+impl DetectorBank {
+    /// Number of detectors in the bank.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the bank holds no detector.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Per-detector counters so far, in bank order.
+    pub fn counters(&self) -> Vec<DetectorCounters> {
+        self.slots
+            .iter()
+            .map(|s| DetectorCounters {
+                name: s.name.clone(),
+                windows: s.windows,
+                alarms: s.alarms,
+            })
+            .collect()
+    }
+
+    /// Feed one closed window's summary to every detector; returns the
+    /// merged alarms (usually empty or one), in window order.
+    pub fn push(&mut self, stat: &IntervalStat) -> Vec<EnsembleAlarm> {
+        // Collect (window, source alarms in bank order).
+        let mut groups: Vec<(TimeRange, Vec<Alarm>)> = Vec::new();
+        for slot in &mut self.slots {
+            slot.windows += 1;
+            for alarm in slot.state.push(stat) {
+                slot.alarms += 1;
+                match groups.iter_mut().find(|(w, _)| *w == alarm.window) {
+                    Some((_, sources)) => sources.push(alarm),
+                    None => groups.push((alarm.window, vec![alarm])),
+                }
+            }
+        }
+        groups.sort_by_key(|(w, _)| w.from_ms);
+        groups
+            .into_iter()
+            .map(|(window, sources)| {
+                let merged = self.merge(window, &sources);
+                EnsembleAlarm { alarm: merged, sources }
+            })
+            .collect()
+    }
+
+    /// Feed one closed window; returns the merged alarms it raised.
+    pub fn push_window(&mut self, window: &ClosedWindow) -> Vec<EnsembleAlarm> {
         self.push(&window.stat)
+    }
+
+    /// One alarm out of the window's sources. A lone source passes
+    /// through verbatim except for the id, which always counts merged
+    /// alarms — for a single-detector bank the two numberings coincide,
+    /// preserving the batch==stream bit-identity.
+    fn merge(&mut self, window: TimeRange, sources: &[Alarm]) -> Alarm {
+        let id = self.next_id;
+        self.next_id += 1;
+        if sources.len() == 1 {
+            let mut alarm = sources[0].clone();
+            alarm.id = id;
+            return alarm;
+        }
+        let detector = sources.iter().map(|a| a.detector.as_str()).collect::<Vec<_>>().join("+");
+        // Union of hints, first-seen order (earlier bank slots first).
+        let mut hints = Vec::new();
+        for source in sources {
+            for hint in &source.hints {
+                if !hints.contains(hint) {
+                    hints.push(*hint);
+                }
+            }
+        }
+        // Scores live on detector-specific scales; carry the most
+        // severe source's score/severity — and its kind guess, so the
+        // label matches the severity it is reported with — rather than
+        // inventing a unit.
+        // total_cmp, not partial_cmp: a custom detector emitting a NaN
+        // score must not panic the pipeline control thread.
+        let worst = sources
+            .iter()
+            .max_by(|a, b| a.severity.cmp(&b.severity).then(a.score.total_cmp(&b.score)))
+            .expect("merge called with sources");
+        let mut merged = Alarm::new(id, detector, window).with_hints(hints);
+        let kind =
+            worst.kind_hint.clone().or_else(|| sources.iter().find_map(|s| s.kind_hint.clone()));
+        if let Some(kind) = kind {
+            merged = merged.with_kind(kind);
+        }
+        merged.score = worst.score;
+        merged.severity = worst.severity;
+        merged
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use anomex_detect::alarm::Severity;
+    use anomex_flow::feature::FeatureItem;
     use anomex_flow::record::FlowRecord;
     use anomex_flow::store::TimeRange;
     use std::net::Ipv4Addr;
 
-    /// Quiet windows then a scan window: the KL adapter must alarm on
-    /// the scan window and stay quiet otherwise.
-    #[test]
-    fn kl_adapter_alarms_on_scan_window() {
-        let config = KlConfig { interval_ms: 1_000, ..KlConfig::default() };
-        let mut detector = OnlineDetector::new(DetectorConfig::Kl(config));
-        let mut alarms = Vec::new();
-        for t in 0..8u64 {
+    fn scan_stat(range: TimeRange, benign: u32, scan: u32) -> IntervalStat {
+        let mut stat = IntervalStat::empty(range);
+        for i in 0..benign {
+            stat.add(
+                &FlowRecord::builder()
+                    .time(range.from_ms + i as u64, range.from_ms + i as u64 + 5)
+                    .src(Ipv4Addr::from(0x0A00_0000 + (i % 30)), 1_024 + (i % 400) as u16)
+                    .dst(Ipv4Addr::from(0xAC10_0000 + (i % 5)), 80)
+                    .volume(2, 1_000)
+                    .build(),
+            );
+        }
+        for p in 1..=scan {
+            stat.add(
+                &FlowRecord::builder()
+                    .time(range.from_ms + p as u64 % 1_000, range.from_ms + p as u64 % 1_000 + 1)
+                    .src("10.66.66.66".parse().unwrap(), 55_548)
+                    .dst("172.16.0.99".parse().unwrap(), p as u16)
+                    .volume(1, 44)
+                    .build(),
+            );
+        }
+        stat
+    }
+
+    fn feed(bank: &mut DetectorBank, windows: u64, scan_in_last: bool) -> Vec<EnsembleAlarm> {
+        let mut merged = Vec::new();
+        for t in 0..windows {
             let range = TimeRange::new(t * 1_000, (t + 1) * 1_000);
-            let mut stat = IntervalStat::empty(range);
-            for i in 0..150u32 {
-                stat.add(
-                    &FlowRecord::builder()
-                        .time(range.from_ms + i as u64, range.from_ms + i as u64 + 5)
-                        .src(Ipv4Addr::from(0x0A00_0000 + (i % 30)), 1_024 + (i % 400) as u16)
-                        .dst(Ipv4Addr::from(0xAC10_0000 + (i % 5)), 80)
-                        .volume(2, 1_000)
-                        .build(),
-                );
+            let scan = if scan_in_last && t == windows - 1 { 1_200 } else { 0 };
+            // Wobble the benign load so PCA's training variance is
+            // non-degenerate.
+            let benign = 150 + (t % 4) as u32 * 13;
+            merged.extend(bank.push(&scan_stat(range, benign, scan)));
+        }
+        merged
+    }
+
+    #[test]
+    fn single_kl_bank_alarms_on_scan_window() {
+        let config = KlConfig { interval_ms: 1_000, ..KlConfig::default() };
+        let mut bank = DetectorRegistry::kl(config).build_bank();
+        let alarms = feed(&mut bank, 8, true);
+        assert_eq!(alarms.len(), 1);
+        assert_eq!(alarms[0].alarm.window.from_ms, 7_000);
+        assert_eq!(alarms[0].alarm.detector, "kl");
+        assert_eq!(alarms[0].sources.len(), 1);
+        let counters = bank.counters();
+        assert_eq!(counters.len(), 1);
+        assert_eq!(counters[0].name, "kl");
+        assert_eq!(counters[0].windows, 8);
+        assert_eq!(counters[0].alarms, 1);
+    }
+
+    #[test]
+    fn ensemble_merges_same_window_alarms_with_attribution() {
+        let kl = KlConfig { interval_ms: 1_000, ..KlConfig::default() };
+        let pca = PcaConfig { interval_ms: 1_000, ..PcaConfig::default() };
+        let registry =
+            DetectorRegistry::from_specs(&[DetectorSpec::Kl(kl), DetectorSpec::Pca(pca, 12)]);
+        assert_eq!(registry.names(), vec!["kl", "entropy-pca"]);
+        assert_eq!(registry.interval_ms(), 1_000);
+
+        let mut bank = registry.build_bank();
+        let alarms = feed(&mut bank, 12, true);
+        assert_eq!(alarms.len(), 1, "one merged alarm per flagged window");
+        let ensemble = &alarms[0];
+        assert_eq!(ensemble.sources.len(), 2, "both detectors must flag the scan");
+        assert_eq!(ensemble.alarm.detector, "kl+entropy-pca");
+        assert_eq!(ensemble.alarm.id, 0, "merged ids count merged alarms");
+        assert_eq!(ensemble.sources[0].detector, "kl");
+        assert_eq!(ensemble.sources[1].detector, "entropy-pca");
+        // The union meta-data carries the scanner from either source.
+        assert!(
+            ensemble
+                .alarm
+                .hints
+                .iter()
+                .any(|h| *h == FeatureItem::src_ip("10.66.66.66".parse().unwrap())),
+            "union hints lost the scanner: {:?}",
+            ensemble.alarm.hints
+        );
+        let counters = bank.counters();
+        assert_eq!(counters[0].alarms, 1);
+        assert_eq!(counters[1].alarms, 1);
+        assert_eq!(counters[1].windows, 12);
+    }
+
+    #[test]
+    fn custom_detector_registers_and_runs() {
+        struct EveryWindow {
+            next_id: u64,
+        }
+        impl Detector for EveryWindow {
+            fn name(&self) -> &str {
+                "every-window"
             }
-            if t == 7 {
-                for p in 1..=1_200u32 {
-                    stat.add(
-                        &FlowRecord::builder()
-                            .time(
-                                range.from_ms + p as u64 % 1_000,
-                                range.from_ms + p as u64 % 1_000 + 1,
-                            )
-                            .src("10.66.66.66".parse().unwrap(), 55_548)
-                            .dst("172.16.0.99".parse().unwrap(), p as u16)
-                            .volume(1, 44)
-                            .build(),
-                    );
-                }
+            fn interval_ms(&self) -> u64 {
+                1_000
             }
-            if let Some(alarm) = detector.push(&stat) {
-                alarms.push(alarm);
+            fn push(&mut self, stat: &IntervalStat) -> Vec<Alarm> {
+                let alarm = Alarm::new(self.next_id, self.name(), stat.range);
+                self.next_id += 1;
+                vec![alarm]
             }
         }
-        assert_eq!(alarms.len(), 1);
-        assert_eq!(alarms[0].window.from_ms, 7_000);
-        assert_eq!(alarms[0].detector, "kl");
+        let mut registry = DetectorRegistry::new();
+        registry.register("every-window", 1_000, || Box::new(EveryWindow { next_id: 0 }));
+        let mut bank = registry.build_bank();
+        let merged = feed(&mut bank, 3, false);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[2].alarm.id, 2);
+        assert_eq!(bank.counters()[0].alarms, 3);
+    }
+
+    #[test]
+    fn merged_alarm_takes_most_severe_source() {
+        let kl = KlConfig { interval_ms: 1_000, ..KlConfig::default() };
+        let mut bank = DetectorRegistry::kl(kl).build_bank();
+        // Craft a merge directly: two sources with conflicting kind
+        // guesses, the second more severe — score, severity AND kind
+        // must all come from the same (worst) source.
+        let window = TimeRange::new(0, 1_000);
+        let a = Alarm::new(0, "kl", window).with_score(2.0, 1.9).with_kind("port scan");
+        let b = Alarm::new(0, "entropy-pca", window).with_score(50.0, 1.0).with_kind("flood");
+        let merged = bank.merge(window, &[a, b]);
+        assert_eq!(merged.severity, Severity::High);
+        assert_eq!(merged.score, 50.0);
+        assert_eq!(merged.detector, "kl+entropy-pca");
+        assert_eq!(merged.kind_hint.as_deref(), Some("flood"), "kind follows the worst source");
+    }
+
+    #[test]
+    fn merge_survives_nan_scores_from_custom_detectors() {
+        let kl = KlConfig { interval_ms: 1_000, ..KlConfig::default() };
+        let mut bank = DetectorRegistry::kl(kl).build_bank();
+        let window = TimeRange::new(0, 1_000);
+        let mut a = Alarm::new(0, "bad-custom", window);
+        a.score = f64::NAN; // same (default Medium) severity as `b`
+        let b = Alarm::new(0, "kl", window).with_score(3.0, 1.9);
+        let merged = bank.merge(window, &[a, b]);
+        assert_eq!(merged.detector, "bad-custom+kl", "NaN must not panic the merge");
+    }
+
+    #[test]
+    #[should_panic(expected = "may not contain '+'")]
+    fn registering_a_plus_name_is_rejected() {
+        struct Never;
+        impl Detector for Never {
+            fn name(&self) -> &str {
+                "ips+ids"
+            }
+            fn interval_ms(&self) -> u64 {
+                1_000
+            }
+            fn push(&mut self, _stat: &IntervalStat) -> Vec<Alarm> {
+                Vec::new()
+            }
+        }
+        DetectorRegistry::new().register("ips+ids", 1_000, || Box::new(Never));
+    }
+
+    #[test]
+    #[should_panic(expected = "wants a 2000 ms interval")]
+    fn mixed_intervals_panic() {
+        let kl = KlConfig { interval_ms: 1_000, ..KlConfig::default() };
+        let pca = PcaConfig { interval_ms: 2_000, ..PcaConfig::default() };
+        DetectorRegistry::from_specs(&[DetectorSpec::Kl(kl), DetectorSpec::Pca(pca, 8)])
+            .interval_ms();
     }
 }

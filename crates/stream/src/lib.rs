@@ -13,8 +13,9 @@
 //!   [`StreamReport`] channel out, bounded queues (backpressure) between.
 //! - [`window`] — event-time tumbling windows, watermarks with bounded
 //!   out-of-orderness, deterministic cross-shard merge.
-//! - [`detector`] — the incremental detector adapter over
-//!   `KlOnline`/`PcaSliding`.
+//! - [`detector`] — the detector registry and the running ensemble
+//!   bank: any number of `Detector` implementations per stream, alarms
+//!   merged per window with per-detector attribution.
 //! - [`report`] — continuous extraction over retained windows.
 //!
 //! Fed the same records, the streaming pipeline raises the same alarms
@@ -33,7 +34,7 @@
 //! let config = StreamConfig {
 //!     shards: 2,
 //!     span: Some(span),
-//!     detector: DetectorConfig::Kl(KlConfig { interval_ms: 60_000, ..KlConfig::default() }),
+//!     detectors: DetectorRegistry::kl(KlConfig { interval_ms: 60_000, ..KlConfig::default() }),
 //!     ..StreamConfig::default()
 //! };
 //! let (mut ingest, reports) = launch(config);
@@ -81,7 +82,9 @@ pub mod window;
 
 /// One-stop imports for downstream crates.
 pub mod prelude {
-    pub use crate::detector::{DetectorConfig, OnlineDetector};
+    pub use crate::detector::{
+        DetectorBank, DetectorCounters, DetectorRegistry, DetectorSpec, EnsembleAlarm,
+    };
     pub use crate::pipeline::{launch, IngestHandle, StreamConfig, StreamStats};
     pub use crate::report::{ContinuousExtractor, StreamReport};
     pub use crate::window::{ClosedWindow, ShardWindows, WindowConfig, WindowManager, WindowShard};

@@ -9,7 +9,7 @@
 //!                                   control thread  [WindowManager]
 //!                                                      │ gapless ClosedWindows
 //!                                                      v
-//!                                    [OnlineDetector] ─> alarms
+//!                                      [DetectorBank] ─> merged EnsembleAlarms
 //!                                                      v
 //!                               [ContinuousExtractor] ─> StreamReports
 //!                                                      v
@@ -37,12 +37,12 @@ use anomex_flow::{v5, v9};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use serde::{Deserialize, Serialize};
 
-use crate::detector::{DetectorConfig, OnlineDetector};
+use crate::detector::{DetectorCounters, DetectorRegistry};
 use crate::report::{ContinuousExtractor, StreamReport};
 use crate::window::{ShardWindows, WindowConfig, WindowManager, WindowShard};
 
 /// Pipeline configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct StreamConfig {
     /// Ingest worker threads; records are routed by 5-tuple shard.
     pub shards: usize,
@@ -61,8 +61,9 @@ pub struct StreamConfig {
     /// queue drops reports (counted in [`StreamStats::reports_dropped`])
     /// rather than stalling detection.
     pub report_queue: usize,
-    /// Which detector judges each closed window.
-    pub detector: DetectorConfig,
+    /// The detector bank judging each closed window: one or many
+    /// detectors (an ensemble), every entry on the same interval.
+    pub detectors: DetectorRegistry,
     /// Extraction parameters applied on every alarm.
     pub extractor: ExtractorConfig,
     /// Closed windows retained for extraction (candidate horizon).
@@ -85,7 +86,7 @@ impl Default for StreamConfig {
             watermark_every: 256,
             span: None,
             report_queue: 1_024,
-            detector: DetectorConfig::Kl(anomex_detect::kl::KlConfig::default()),
+            detectors: DetectorRegistry::kl(anomex_detect::kl::KlConfig::default()),
             extractor: ExtractorConfig::default(),
             retain_windows: 2,
         }
@@ -94,13 +95,17 @@ impl Default for StreamConfig {
 
 impl StreamConfig {
     /// The tumbling-window grid the configuration implies.
+    ///
+    /// # Panics
+    /// Panics when the detector registry is empty or its entries
+    /// disagree on the detection interval.
     pub fn window_config(&self) -> WindowConfig {
-        WindowConfig { width_ms: self.detector.interval_ms(), span: self.span }
+        WindowConfig { width_ms: self.detectors.interval_ms(), span: self.span }
     }
 }
 
 /// Counters accumulated over one pipeline run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct StreamStats {
     /// Records accepted by [`IngestHandle::push`] (including ones later
     /// dropped as late).
@@ -111,10 +116,14 @@ pub struct StreamStats {
     pub late_dropped: u64,
     /// Records outside the configured span.
     pub out_of_span: u64,
-    /// Windows closed and fed to the detector.
+    /// Windows closed and fed to the detector bank.
     pub windows: u64,
-    /// Alarms the detector raised.
+    /// Merged alarms the detector bank raised (flagged windows; a
+    /// window several detectors flag counts once).
     pub alarms: u64,
+    /// Per-detector windows/alarms, in bank order — the pre-merge
+    /// attribution.
+    pub per_detector: Vec<DetectorCounters>,
     /// Reports produced by the extractor (delivered or dropped).
     pub reports: u64,
     /// Reports dropped because the bounded subscriber channel was full.
@@ -136,9 +145,11 @@ enum CtrlMsg {
 /// end of the report channel.
 ///
 /// # Panics
-/// Panics if `shards` is zero or the detector interval is zero.
+/// Panics if `shards` is zero, the detector registry is empty or
+/// mixed-interval, or the detection interval is zero.
 pub fn launch(config: StreamConfig) -> (IngestHandle, Receiver<StreamReport>) {
     assert!(config.shards > 0, "shard count must be positive");
+    assert!(!config.detectors.is_empty(), "detector registry must hold at least one detector");
     let window_config = config.window_config();
 
     let (ctrl_tx, ctrl_rx) = bounded::<CtrlMsg>(config.queue_depth);
@@ -159,6 +170,8 @@ pub fn launch(config: StreamConfig) -> (IngestHandle, Receiver<StreamReport>) {
     }
     drop(ctrl_tx);
 
+    let (shards, lateness_ms, watermark_every) =
+        (config.shards, config.lateness_ms, config.watermark_every);
     let control = std::thread::Builder::new()
         .name("anomex-stream-control".into())
         .spawn(move || control_loop(config, window_config, ctrl_rx, report_tx))
@@ -166,9 +179,9 @@ pub fn launch(config: StreamConfig) -> (IngestHandle, Receiver<StreamReport>) {
 
     let handle = IngestHandle {
         senders,
-        shards: config.shards,
-        lateness_ms: config.lateness_ms,
-        watermark_every: config.watermark_every.max(1),
+        shards,
+        lateness_ms,
+        watermark_every: watermark_every.max(1),
         since_watermark: 0,
         max_event_ms: 0,
         ingested: 0,
@@ -180,23 +193,32 @@ pub fn launch(config: StreamConfig) -> (IngestHandle, Receiver<StreamReport>) {
     (handle, report_rx)
 }
 
+/// Messages a shard worker drains per channel lock acquisition. On the
+/// ~1M records/sec ingest path the per-message `Mutex`+`Condvar`
+/// round-trip dominates the channel cost; draining in batches divides
+/// it by the batch size.
+const SHARD_RECV_BATCH: usize = 256;
+
 /// One ingest shard: windows its records, closes them on watermarks.
 fn shard_worker(shard: usize, rx: Receiver<ShardMsg>, ctrl: Sender<CtrlMsg>, config: WindowConfig) {
     let mut windows = ShardWindows::new(shard, config);
-    for msg in rx.iter() {
-        match msg {
-            ShardMsg::Record(record) => {
-                windows.push(record);
-            }
-            ShardMsg::Watermark(watermark_ms) => {
-                let closed = windows.close_up_to(watermark_ms);
-                let report =
-                    CtrlMsg::Report { shard, frontier: windows.frontier(), windows: closed };
-                if ctrl.send(report).is_err() {
-                    return; // control thread gone; nothing left to do
+    let mut batch: Vec<ShardMsg> = Vec::with_capacity(SHARD_RECV_BATCH);
+    'recv: while rx.recv_many(&mut batch, SHARD_RECV_BATCH) > 0 {
+        for msg in batch.drain(..) {
+            match msg {
+                ShardMsg::Record(record) => {
+                    windows.push(record);
                 }
+                ShardMsg::Watermark(watermark_ms) => {
+                    let closed = windows.close_up_to(watermark_ms);
+                    let report =
+                        CtrlMsg::Report { shard, frontier: windows.frontier(), windows: closed };
+                    if ctrl.send(report).is_err() {
+                        return; // control thread gone; nothing left to do
+                    }
+                }
+                ShardMsg::Flush => break 'recv,
             }
-            ShardMsg::Flush => break,
         }
     }
     // Flush (or ingest handle dropped): close everything and seal.
@@ -216,17 +238,17 @@ fn control_loop(
     report_tx: Sender<StreamReport>,
 ) -> StreamStats {
     let mut manager = WindowManager::new(config.shards, window_config);
-    let mut detector = OnlineDetector::new(config.detector);
+    let mut bank = config.detectors.build_bank();
     let mut extractor = ContinuousExtractor::new(config.extractor, config.retain_windows);
     let mut stats = StreamStats::default();
 
     let process = |closed: Vec<crate::window::ClosedWindow>,
                    stats: &mut StreamStats,
-                   detector: &mut OnlineDetector,
+                   bank: &mut crate::detector::DetectorBank,
                    extractor: &mut ContinuousExtractor| {
         for window in closed {
             stats.windows += 1;
-            let alarms: Vec<_> = detector.push_window(&window).into_iter().collect();
+            let alarms = bank.push_window(&window);
             stats.alarms += alarms.len() as u64;
             for mut report in extractor.push_window(window, &alarms) {
                 stats.reports += 1;
@@ -251,7 +273,7 @@ fn control_loop(
         match msg {
             CtrlMsg::Report { shard, frontier, windows } => {
                 let closed = manager.offer(shard, frontier, windows);
-                process(closed, &mut stats, &mut detector, &mut extractor);
+                process(closed, &mut stats, &mut bank, &mut extractor);
             }
             CtrlMsg::Done { late_dropped, out_of_span } => {
                 stats.late_dropped += late_dropped;
@@ -260,7 +282,8 @@ fn control_loop(
             }
         }
     }
-    process(manager.finish(), &mut stats, &mut detector, &mut extractor);
+    process(manager.finish(), &mut stats, &mut bank, &mut extractor);
+    stats.per_detector = bank.counters();
     stats
 }
 
@@ -394,7 +417,10 @@ mod tests {
             lateness_ms: 10_000,
             watermark_every: 50,
             span: Some(TimeRange::new(0, 8 * 60_000)),
-            detector: DetectorConfig::Kl(KlConfig { interval_ms: 60_000, ..KlConfig::default() }),
+            detectors: DetectorRegistry::kl(KlConfig {
+                interval_ms: 60_000,
+                ..KlConfig::default()
+            }),
             retain_windows: 2,
             ..StreamConfig::default()
         }
@@ -457,6 +483,85 @@ mod tests {
             "scanner missing from top itemset: {}",
             report.extraction.itemsets[0].pattern()
         );
+    }
+
+    #[test]
+    fn kl_pca_ensemble_runs_end_to_end_with_attribution() {
+        use anomex_detect::pca::PcaConfig;
+        let kl = KlConfig { interval_ms: 60_000, ..KlConfig::default() };
+        let pca = PcaConfig { interval_ms: 60_000, ..PcaConfig::default() };
+        let config = StreamConfig {
+            detectors: DetectorRegistry::from_specs(&[
+                crate::detector::DetectorSpec::Kl(kl),
+                crate::detector::DetectorSpec::Pca(pca, 12),
+            ]),
+            span: Some(TimeRange::new(0, 12 * 60_000)),
+            ..scan_config(2)
+        };
+        // Twelve windows so sliding PCA has training room; scan in the
+        // last one.
+        let mut flows = Vec::new();
+        for t in 0..12u64 {
+            let base = t * 60_000;
+            let n = 200 + (t % 3) as u32 * 11;
+            for i in 0..n {
+                flows.push(
+                    FlowRecord::builder()
+                        .time(base + (i as u64 * 91) % 60_000, base + (i as u64 * 91) % 60_000 + 50)
+                        .src(
+                            Ipv4Addr::from(0x0A00_0000 + ((i * 3 + t as u32) % 40)),
+                            1_024 + (i % 500) as u16,
+                        )
+                        .dst(
+                            Ipv4Addr::from(0xAC10_0000 + (i % 7)),
+                            if i % 3 == 0 { 443 } else { 80 },
+                        )
+                        .volume(3, 1_800)
+                        .build(),
+                );
+            }
+            if t == 11 {
+                for p in 1..=2_000u32 {
+                    flows.push(
+                        FlowRecord::builder()
+                            .time(base + (p as u64 % 60_000), base + (p as u64 % 60_000) + 1)
+                            .src("10.66.66.66".parse().unwrap(), 55_548)
+                            .dst("172.16.0.99".parse().unwrap(), p as u16)
+                            .volume(1, 44)
+                            .build(),
+                    );
+                }
+            }
+        }
+        let (mut ingest, reports) = launch(config);
+        ingest.push_batch(flows);
+        let stats = ingest.finish();
+        let received: Vec<StreamReport> = reports.iter().collect();
+
+        assert_eq!(stats.windows, 12);
+        assert_eq!(stats.per_detector.len(), 2, "per-detector counters: {:?}", stats.per_detector);
+        assert_eq!(stats.per_detector[0].name, "kl");
+        assert_eq!(stats.per_detector[1].name, "entropy-pca");
+        assert_eq!(stats.per_detector[0].windows, 12);
+        assert_eq!(stats.per_detector[1].windows, 12);
+        assert!(stats.per_detector[0].alarms >= 1, "KL missed the scan: {:?}", stats.per_detector);
+        assert!(stats.per_detector[1].alarms >= 1, "PCA missed the scan: {:?}", stats.per_detector);
+
+        let scan = received
+            .iter()
+            .find(|r| r.alarm.window.from_ms == 11 * 60_000)
+            .expect("scan window must be reported");
+        assert_eq!(scan.sources.len(), 2, "both detectors attribute: {:?}", scan.alarm);
+        assert_eq!(scan.alarm.detector, "kl+entropy-pca");
+        assert!(
+            scan.extraction.itemsets[0].items.iter().any(|i| i.to_string() == "srcIP=10.66.66.66"),
+            "scanner missing from merged extraction: {}",
+            scan.extraction.itemsets[0].pattern()
+        );
+        // Merged per window: reports never repeat a window per detector.
+        let mut windows: Vec<u64> = received.iter().map(|r| r.alarm.window.from_ms).collect();
+        windows.dedup();
+        assert_eq!(windows.len(), received.len(), "duplicate window reports: {windows:?}");
     }
 
     #[test]

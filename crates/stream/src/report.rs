@@ -11,13 +11,19 @@ use anomex_detect::alarm::Alarm;
 use anomex_flow::store::TimeRange;
 use serde::{Deserialize, Serialize};
 
+use crate::detector::EnsembleAlarm;
 use crate::window::ClosedWindow;
 
-/// One alarm's root-cause report, as emitted on the subscriber channel.
+/// One merged alarm's root-cause report, as emitted on the subscriber
+/// channel.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StreamReport {
-    /// The alarm that triggered extraction.
+    /// The (merged) alarm that triggered extraction.
     pub alarm: Alarm,
+    /// Per-detector attribution: the source alarms behind `alarm`, in
+    /// bank order (one entry that equals `alarm` except for the id when
+    /// a single detector fired).
+    pub sources: Vec<Alarm>,
     /// The mined itemsets (the paper's Table-1 content).
     pub extraction: Extraction,
     /// Flows resident in the alarmed window when extraction ran.
@@ -66,9 +72,13 @@ impl ContinuousExtractor {
         self.retained.iter().map(|w| w.records.len()).sum()
     }
 
-    /// Accept the next closed window and the alarms the detector raised
-    /// on it; returns one report per alarm.
-    pub fn push_window(&mut self, window: ClosedWindow, alarms: &[Alarm]) -> Vec<StreamReport> {
+    /// Accept the next closed window and the merged alarms the detector
+    /// bank raised on it; returns one report per merged alarm.
+    pub fn push_window(
+        &mut self,
+        window: ClosedWindow,
+        alarms: &[EnsembleAlarm],
+    ) -> Vec<StreamReport> {
         let window_flows = window.records.len();
         self.retained.push_back(window);
         while self.retained.len() > self.horizon {
@@ -87,7 +97,8 @@ impl ContinuousExtractor {
         let mut encoded: Vec<(TimeRange, String, EncodedFlows)> = Vec::new();
         alarms
             .iter()
-            .map(|alarm| {
+            .map(|ensemble| {
+                let alarm = &ensemble.alarm;
                 let filter = candidate_filter(alarm, policy).to_string();
                 let enc =
                     match encoded.iter().position(|(w, f, _)| *w == alarm.window && *f == filter) {
@@ -101,6 +112,7 @@ impl ContinuousExtractor {
                     };
                 StreamReport {
                     alarm: alarm.clone(),
+                    sources: ensemble.sources.clone(),
                     extraction: self.extractor.extract_encoded(enc),
                     window_flows,
                     dropped_before: 0,
@@ -152,11 +164,13 @@ mod tests {
         let alarm = Alarm::new(0, "kl", window.range).with_hints(vec![
             anomex_flow::feature::FeatureItem::src_ip("10.0.0.9".parse().unwrap()),
         ]);
-        let reports = ce.push_window(window, &[alarm]);
+        let reports = ce.push_window(window, &[EnsembleAlarm::solo(alarm)]);
         assert_eq!(reports.len(), 1);
         let report = &reports[0];
         assert_eq!(report.extraction.itemsets[0].flow_support, 400);
         assert_eq!(report.window_flows, 440);
+        assert_eq!(report.sources.len(), 1, "solo attribution travels with the report");
+        assert_eq!(report.sources[0], report.alarm);
         // Reports serialize: the console and disk sinks depend on it.
         let json = serde_json::to_string(report).unwrap();
         let back: StreamReport = serde_json::from_str(&json).unwrap();
@@ -165,13 +179,13 @@ mod tests {
 
     #[test]
     fn alarms_with_identical_selection_share_one_extraction() {
-        // Two detectors alarm the same window with the same (absent)
+        // Two merged alarms on the same window with the same (absent)
         // hints: both reports must carry identical extractions — mined
         // from one shared encoded matrix.
         let mut ce = ContinuousExtractor::new(ExtractorConfig::default(), 2);
         let window = window_with_scan(1, 60_000, 300);
-        let a = Alarm::new(0, "kl", window.range);
-        let b = Alarm::new(1, "pca", window.range);
+        let a = EnsembleAlarm::solo(Alarm::new(0, "kl", window.range));
+        let b = EnsembleAlarm::solo(Alarm::new(1, "pca", window.range));
         let reports = ce.push_window(window, &[a, b]);
         assert_eq!(reports.len(), 2);
         assert_eq!(reports[0].extraction, reports[1].extraction);

@@ -1,24 +1,46 @@
-//! Regenerator for `tests/fixtures/miner_agreement_golden.json`.
+//! Regenerator for the golden fixtures:
 //!
-//! The committed fixture was captured from the **pre-refactor,
+//! - `tests/fixtures/miner_agreement_golden.json` (`-- miner`)
+//! - `tests/fixtures/ensemble_alarms_golden.json` (`-- ensemble`)
+//!
+//! No argument regenerates both.
+//!
+//! The miner fixture was captured from the **pre-refactor,
 //! row-oriented** miners (the seed's `TransactionSet` engine) at the
 //! commit that introduced the columnar `TransactionMatrix`; the
 //! byte-identical check in `tests/miner_agreement.rs` proves the
-//! columnar engine reproduces that output exactly.
+//! columnar engine reproduces that output exactly. The ensemble
+//! fixture was captured when the detector bank landed (PR 4) and pins
+//! the KL+PCA merged-alarm surface the same way for
+//! `tests/detector_equivalence.rs`.
 //!
-//! Running this program today regenerates the fixture from the
-//! **current** miners — doing so re-baselines the golden test and
+//! Running this program today regenerates a fixture from the
+//! **current** code — doing so re-baselines the golden test and
 //! discards the cross-refactor guarantee. Only regenerate when the
-//! corpus generator (`anomex-gen`) itself changes deliberately, and
-//! review the fixture diff: it must be explainable by the generator
-//! change alone.
+//! corpus generator (`anomex-gen`) or a detector/miner itself changes
+//! deliberately, and review the fixture diff: it must be explainable
+//! by that change alone.
 
 use anomex::prelude::*;
 use serde::{Serialize, Value};
 
 include!("../tests/fixtures/golden_corpus.rs");
+include!("../tests/fixtures/ensemble_corpus.rs");
 
 fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    std::fs::create_dir_all("tests/fixtures").expect("mkdir fixtures");
+    if matches!(which.as_str(), "all" | "miner") {
+        miner_fixture();
+    }
+    if matches!(which.as_str(), "all" | "ensemble") {
+        std::fs::write("tests/fixtures/ensemble_alarms_golden.json", ensemble_golden_json())
+            .expect("write ensemble fixture");
+        println!("wrote tests/fixtures/ensemble_alarms_golden.json");
+    }
+}
+
+fn miner_fixture() {
     let flows = golden_corpus();
     let cases: [(SupportMetric, u64, usize); 6] = [
         (SupportMetric::Flows, 8, 0),
@@ -65,7 +87,6 @@ fn main() {
         ("cases".to_string(), Value::Array(out_cases)),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("render golden json");
-    std::fs::create_dir_all("tests/fixtures").expect("mkdir fixtures");
     std::fs::write("tests/fixtures/miner_agreement_golden.json", json + "\n")
         .expect("write fixture");
     println!("wrote tests/fixtures/miner_agreement_golden.json");

@@ -6,41 +6,51 @@
 //!
 //! A GEANT-like trace (background + a port scan in the 7th minute) is
 //! encoded into real NetFlow v5 packets and replayed through the
-//! sharded streaming pipeline. Each closed one-minute window feeds the
-//! KL detector incrementally; the scan window trips an alarm, the
-//! continuous extractor mines the in-memory window shards, and the
-//! report lands on the live console — no archive ever queried.
+//! sharded streaming pipeline. Each closed one-minute window feeds a
+//! KL + entropy-PCA detector **ensemble** incrementally; the scan
+//! window trips both detectors, the bank merges their alarms into one
+//! attributed alarm, the continuous extractor mines the in-memory
+//! window shards once, and the report lands on the live console — no
+//! archive ever queried.
 
 use anomex::flow::v5;
 use anomex::prelude::*;
 use anomex::stream::pipeline;
 use anomex_detect::kl::KlConfig;
+use anomex_detect::pca::PcaConfig;
 
 fn main() {
     const WIDTH_MS: u64 = 60_000;
 
-    // 1. The "wire": a labeled scenario rendered into v5 packets.
+    // 1. The "wire": a labeled scenario rendered into v5 packets. The
+    //    scan sits late enough (minute 12 of 14) that the sliding-PCA
+    //    detector has a trained subspace when it arrives — so the scan
+    //    window exercises a genuine cross-detector merge.
     let scanner: std::net::Ipv4Addr = "10.3.0.99".parse().unwrap();
     let mut spec =
         AnomalySpec::template(AnomalyKind::PortScan, scanner, "172.16.5.5".parse().unwrap());
-    spec.flows = 2_500;
-    spec.start_ms = 6 * WIDTH_MS;
+    spec.flows = 4_000;
+    spec.start_ms = 11 * WIDTH_MS;
     spec.duration_ms = WIDTH_MS;
     let mut scenario = Scenario::new("live", 42, Backbone::Geant).with_anomaly(spec);
-    scenario.background.flows = 5_000;
-    scenario.background.duration_ms = 8 * WIDTH_MS;
+    scenario.background.flows = 9_000;
+    scenario.background.duration_ms = 14 * WIDTH_MS;
     let built = scenario.build();
     let mut wire = built.store.snapshot();
     wire.sort_by_key(|f| f.start_ms); // collectors see roughly time order
     let packets = v5::encode_all(&wire, v5::ExportBase::epoch(), 0).expect("encode v5");
     println!("replaying {} flows in {} v5 packets", wire.len(), packets.len());
 
-    // 2. The pipeline: 4 shards, 1-minute windows, 30 s lateness bound.
+    // 2. The pipeline: 4 shards, 1-minute windows, 30 s lateness bound,
+    //    a two-detector ensemble judging every window.
     let config = StreamConfig {
         shards: 4,
         span: Some(scenario.window()),
         lateness_ms: 30_000,
-        detector: DetectorConfig::Kl(KlConfig { interval_ms: WIDTH_MS, ..KlConfig::default() }),
+        detectors: DetectorRegistry::from_specs(&[
+            DetectorSpec::Kl(KlConfig { interval_ms: WIDTH_MS, ..KlConfig::default() }),
+            DetectorSpec::Pca(PcaConfig { interval_ms: WIDTH_MS, ..PcaConfig::default() }, 12),
+        ]),
         ..StreamConfig::default()
     };
     let (mut ingest, reports) = pipeline::launch(config);
@@ -49,9 +59,15 @@ fn main() {
     }
     let stats = ingest.finish();
     println!(
-        "ingested {} records over {} windows: {} alarm(s), {} late, {} decode errors",
+        "ingested {} records over {} windows: {} merged alarm(s), {} late, {} decode errors",
         stats.ingested, stats.windows, stats.alarms, stats.late_dropped, stats.decode_errors
     );
+    for counter in &stats.per_detector {
+        println!(
+            "  {:<12} {} window(s), {} alarm(s)",
+            counter.name, counter.windows, counter.alarms
+        );
+    }
 
     // 3. The console end: render reports as they drain, keep the alarm
     //    DB for interactive follow-up.
@@ -61,11 +77,25 @@ fn main() {
     print!("{}", String::from_utf8(out).expect("utf8 report text"));
 
     assert!(received >= 1, "the scan window must produce a report");
-    let top = &session.reports()[0].extraction.itemsets[0];
+    let scan_report = session
+        .reports()
+        .iter()
+        .find(|r| r.alarm.window.from_ms == 11 * WIDTH_MS)
+        .expect("the scan window must be among the reports");
+    let top = &scan_report.extraction.itemsets[0];
     assert!(
         top.items.iter().any(|i| i.to_string() == format!("srcIP={scanner}")),
         "scanner missing from the top itemset: {}",
         top.pattern()
     );
     println!("\ntop itemset correctly pins the scanner: {}", top.pattern());
+    println!(
+        "per-detector attribution: {}",
+        session
+            .detector_alarms()
+            .iter()
+            .map(|(name, count)| format!("{name}={count}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 }

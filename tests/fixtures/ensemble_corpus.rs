@@ -1,0 +1,76 @@
+// Shared between `tests/detector_equivalence.rs` (the golden check) and
+// `examples/golden_gen.rs` (the regenerator): one deterministic KL+PCA
+// ensemble pipeline run, rendered to the canonical JSON that
+// `tests/fixtures/ensemble_alarms_golden.json` pins down.
+//
+// Everything here must be deterministic: the scenario is seeded, shard
+// merge is order-independent, extraction is canonical, and the vendor
+// serde sorts map keys — so the JSON is byte-stable across runs and
+// shard counts.
+
+/// The golden surface: per-detector counters plus every stream report
+/// (merged alarm, per-detector sources, extraction).
+#[derive(serde::Serialize)]
+struct EnsembleGolden {
+    scenario: String,
+    windows: u64,
+    merged_alarms: u64,
+    per_detector: Vec<DetectorCounters>,
+    reports: Vec<StreamReport>,
+}
+
+/// Run the fixture pipeline and render the canonical pretty JSON.
+fn ensemble_golden_json() -> String {
+    const WIDTH_MS: u64 = 60_000;
+    const WINDOWS: u64 = 14;
+
+    // GEANT-like background with a hard port scan in window 11 — strong
+    // enough that both detectors flag it decisively (no threshold-edge
+    // flakiness baked into the fixture).
+    let mut spec = AnomalySpec::template(
+        AnomalyKind::PortScan,
+        "10.31.7.77".parse().unwrap(),
+        "172.16.9.9".parse().unwrap(),
+    );
+    spec.flows = 4_000;
+    spec.start_ms = 11 * WIDTH_MS;
+    spec.duration_ms = WIDTH_MS;
+    let mut scenario =
+        Scenario::new("ensemble-golden", 0x60_1DE2, Backbone::Geant).with_anomaly(spec);
+    scenario.background.flows = 9_000;
+    scenario.background.duration_ms = WINDOWS * WIDTH_MS;
+    let built = scenario.build();
+    let mut records = built.store.snapshot();
+    records.sort_by_key(|r| r.start_ms);
+
+    let kl = KlConfig { interval_ms: WIDTH_MS, ..KlConfig::default() };
+    let pca = PcaConfig { interval_ms: WIDTH_MS, ..PcaConfig::default() };
+    let config = StreamConfig {
+        shards: 2,
+        span: Some(scenario.window()),
+        detectors: DetectorRegistry::from_specs(&[
+            DetectorSpec::Kl(kl),
+            DetectorSpec::Pca(pca, 12),
+        ]),
+        ..StreamConfig::default()
+    };
+    let (mut ingest, reports) = anomex::stream::pipeline::launch(config);
+    ingest.push_batch(records);
+    let stats = ingest.finish();
+    let reports: Vec<StreamReport> = reports.iter().collect();
+    assert_eq!(stats.windows, WINDOWS, "fixture span must close every window");
+    assert!(
+        reports.iter().any(|r| r.sources.len() == 2),
+        "fixture must exercise a genuine cross-detector merge; got {:?}",
+        reports.iter().map(|r| (&r.alarm.detector, r.alarm.window)).collect::<Vec<_>>()
+    );
+
+    let golden = EnsembleGolden {
+        scenario: "ensemble-golden seed 0x601DE2: 9000 bg + 4000 scan @ w11".to_string(),
+        windows: stats.windows,
+        merged_alarms: stats.alarms,
+        per_detector: stats.per_detector,
+        reports,
+    };
+    serde_json::to_string_pretty(&golden).expect("render ensemble golden json") + "\n"
+}

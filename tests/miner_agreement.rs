@@ -211,7 +211,7 @@ fn arb_txs() -> impl Strategy<Value = TransactionSet> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+    #![proptest_config(ProptestConfig::profile_cases(96))]
 
     /// All three miners on the columnar matrix equal the row-oriented
     /// brute force — under packet-support weights AND the unit-weight

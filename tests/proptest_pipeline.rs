@@ -16,7 +16,7 @@ fn arb_kind() -> impl Strategy<Value = AnomalyKind> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::profile_cases(24))]
 
     /// Extraction never reports an itemset whose exact supports disagree
     /// with a recount over its own candidate set, and reported itemsets

@@ -70,7 +70,7 @@ fn streaming_equals_batch_under_out_of_order_arrival() {
         lateness_ms: LATENESS_MS,
         watermark_every: 64,
         span: Some(span),
-        detector: DetectorConfig::Kl(kl),
+        detectors: DetectorRegistry::kl(kl),
         extractor: *extractor.config(),
         retain_windows: 3,
         report_queue: 1_024,
@@ -115,7 +115,7 @@ fn streaming_equals_batch_in_arrival_order_too() {
     let config = StreamConfig {
         shards: 2,
         span: Some(span),
-        detector: DetectorConfig::Kl(kl),
+        detectors: DetectorRegistry::kl(kl),
         ..StreamConfig::default()
     };
     let (mut ingest, reports) = pipeline::launch(config);

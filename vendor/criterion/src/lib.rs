@@ -4,14 +4,52 @@
 //! `criterion_main!`, `benchmark_group`, `bench_function`,
 //! `bench_with_input`, `Throughput`, `BenchmarkId`, `black_box`) and
 //! measures with a plain `Instant` loop: a short warm-up, then timed
-//! batches until the configured measurement time elapses, reporting
-//! mean ns/iter and derived throughput. No statistics, plots, or
-//! baseline comparison. Passing `--test` (as `cargo test --benches`
+//! batches until the configured measurement time elapses. Each batch
+//! yields one ns/iter sample; the report carries **mean** (after a
+//! top-decile outlier trim), **median**, and **min** — enough signal
+//! that a perf regression shows as a shifted median rather than a
+//! guess about one noisy mean. [`summarize`] exposes the same
+//! statistics to main-style benches emitting `BENCH_*.json`. No plots
+//! or baseline comparison. Passing `--test` (as `cargo test --benches`
 //! does) runs each benchmark once for a smoke check.
 
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Robust summary of a set of ns/iter samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Mean over the trimmed samples.
+    pub mean: f64,
+    /// Median over the trimmed samples.
+    pub median: f64,
+    /// Fastest sample (untrimmed): the least-noise floor.
+    pub min: f64,
+    /// Samples measured (before trimming).
+    pub samples: usize,
+}
+
+/// Summarize ns/iter samples with a simple top-decile outlier trim:
+/// the slowest 10% of batches (scheduler noise, cache cold starts) are
+/// dropped before computing mean and median; `min` always comes from
+/// the full set. Empty input yields all-zero stats.
+pub fn summarize(samples: &[f64]) -> Stats {
+    if samples.is_empty() {
+        return Stats { mean: 0.0, median: 0.0, min: 0.0, samples: 0 };
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let keep = (sorted.len() - sorted.len() / 10).max(1);
+    let trimmed = &sorted[..keep];
+    let mean = trimmed.iter().sum::<f64>() / trimmed.len() as f64;
+    let median = if trimmed.len() % 2 == 1 {
+        trimmed[trimmed.len() / 2]
+    } else {
+        (trimmed[trimmed.len() / 2 - 1] + trimmed[trimmed.len() / 2]) / 2.0
+    };
+    Stats { mean, median, min: sorted[0], samples: samples.len() }
+}
 
 /// Top-level harness handle; one per bench binary.
 #[derive(Default)]
@@ -151,6 +189,7 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher {
             iters_done: 0,
             elapsed: Duration::ZERO,
+            samples: Vec::new(),
             warm_up_time: self.warm_up_time,
             measurement_time: self.measurement_time,
             test_mode: self.criterion.test_mode,
@@ -178,6 +217,8 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     iters_done: u64,
     elapsed: Duration,
+    /// ns/iter of each timed batch.
+    samples: Vec<f64>,
     warm_up_time: Duration,
     measurement_time: Duration,
     test_mode: bool,
@@ -193,6 +234,7 @@ impl Bencher {
             black_box(routine());
             self.iters_done = 1;
             self.elapsed = Duration::from_nanos(1);
+            self.samples.push(1.0);
             return;
         }
         // Warm-up: also sizes the timed batches.
@@ -212,8 +254,10 @@ impl Bencher {
             for _ in 0..batch {
                 black_box(routine());
             }
-            self.elapsed += batch_start.elapsed();
+            let batch_elapsed = batch_start.elapsed();
+            self.elapsed += batch_elapsed;
             self.iters_done += batch;
+            self.samples.push(batch_elapsed.as_nanos() as f64 / batch as f64);
         }
     }
 }
@@ -223,15 +267,20 @@ fn report(label: &str, bencher: &Bencher, throughput: Option<Throughput>) {
         println!("{label:<40} (no iterations)");
         return;
     }
-    let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters_done as f64;
-    let mut line = format!("{label:<40} {:>12.1} ns/iter", ns_per_iter);
+    let stats = summarize(&bencher.samples);
+    let mut line = format!(
+        "{label:<40} mean {:>11.1}  median {:>11.1}  min {:>11.1} ns/iter",
+        stats.mean, stats.median, stats.min
+    );
+    // Throughput from the median: robust to the stragglers the trim
+    // already discounts.
     match throughput {
         Some(Throughput::Elements(n)) => {
-            let per_sec = n as f64 / (ns_per_iter / 1e9);
+            let per_sec = n as f64 / (stats.median.max(f64::MIN_POSITIVE) / 1e9);
             line.push_str(&format!("  ({:.2} Melem/s)", per_sec / 1e6));
         }
         Some(Throughput::Bytes(n)) => {
-            let per_sec = n as f64 / (ns_per_iter / 1e9);
+            let per_sec = n as f64 / (stats.median.max(f64::MIN_POSITIVE) / 1e9);
             line.push_str(&format!("  ({:.2} MiB/s)", per_sec / (1024.0 * 1024.0)));
         }
         None => {}
@@ -263,6 +312,36 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn summarize_trims_top_decile() {
+        // 19 fast samples and one 100x outlier: the outlier must not
+        // move the mean (trimmed) or median, but min stays the floor.
+        let mut samples: Vec<f64> = (0..19).map(|i| 100.0 + i as f64).collect();
+        samples.push(10_000.0);
+        let stats = summarize(&samples);
+        assert_eq!(stats.samples, 20);
+        assert_eq!(stats.min, 100.0);
+        assert!(stats.mean < 120.0, "outlier leaked into trimmed mean: {}", stats.mean);
+        assert!(stats.median < 120.0, "outlier leaked into median: {}", stats.median);
+    }
+
+    #[test]
+    fn summarize_median_of_even_and_odd() {
+        let odd = summarize(&[3.0, 1.0, 2.0]);
+        assert_eq!(odd.median, 2.0);
+        // Four samples: top decile trims 0 (4/10 == 0), median averages.
+        let even = summarize(&[4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(even.median, 2.5);
+        assert_eq!(even.mean, 2.5);
+    }
+
+    #[test]
+    fn summarize_empty_and_single() {
+        assert_eq!(summarize(&[]).samples, 0);
+        let one = summarize(&[7.0]);
+        assert_eq!((one.mean, one.median, one.min), (7.0, 7.0, 7.0));
+    }
 
     #[test]
     fn smoke_bench_runs() {

@@ -241,6 +241,45 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Dequeue up to `max` messages under **one** lock acquisition,
+    /// appending them to `buf`; blocks while the channel is empty.
+    ///
+    /// Returns how many messages were appended — `0` only when the
+    /// queue is drained and every [`Sender`] is gone. This is the
+    /// batched counterpart of [`recv`](Receiver::recv): a consumer
+    /// draining a hot channel pays one `Mutex`+`Condvar` round-trip
+    /// per batch instead of one per message (the streaming shard
+    /// ingest loop's fast path).
+    pub fn recv_many(&self, buf: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        loop {
+            if !state.queue.is_empty() {
+                let take = max.min(state.queue.len());
+                buf.extend(state.queue.drain(..take));
+                let bounded = state.cap.is_some();
+                drop(state);
+                if bounded {
+                    // Up to `take` senders may be parked on a full
+                    // queue; wake them all rather than chaining
+                    // notify_one handoffs through each sender.
+                    if take > 1 {
+                        self.shared.not_full.notify_all();
+                    } else {
+                        self.shared.not_full.notify_one();
+                    }
+                }
+                return take;
+            }
+            if state.senders == 0 {
+                return 0;
+            }
+            state = self.shared.not_empty.wait(state).expect("channel poisoned");
+        }
+    }
+
     /// Dequeue without blocking.
     ///
     /// # Errors
@@ -374,6 +413,60 @@ mod tests {
         assert_eq!(rx.recv(), Ok(4));
         handle.join().unwrap();
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_many_drains_in_batches_and_preserves_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let mut buf = Vec::new();
+        assert_eq!(rx.recv_many(&mut buf, 4), 4);
+        assert_eq!(rx.recv_many(&mut buf, 100), 6, "second batch takes the rest");
+        assert_eq!(buf, (0..10).collect::<Vec<i32>>());
+        drop(tx);
+        assert_eq!(rx.recv_many(&mut buf, 4), 0, "disconnected + empty returns 0");
+        assert_eq!(rx.recv_many(&mut buf, 0), 0, "zero max is a no-op");
+    }
+
+    #[test]
+    fn recv_many_blocks_until_a_message_arrives() {
+        let (tx, rx) = bounded::<u32>(4);
+        let consumer = std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            let n = rx.recv_many(&mut buf, 8);
+            (n, buf)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        tx.send(42).unwrap();
+        let (n, buf) = consumer.join().unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(buf, vec![42]);
+    }
+
+    #[test]
+    fn recv_many_unblocks_senders_parked_on_a_full_queue() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let producers: Vec<_> = (0..2)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(10 + i).unwrap())
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        let mut buf = Vec::new();
+        assert_eq!(rx.recv_many(&mut buf, 2), 2, "both parked producers must wake");
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut rest = Vec::new();
+        rx.recv_many(&mut rest, 4);
+        rest.extend(buf);
+        rest.sort_unstable();
+        assert_eq!(rest, vec![1, 2, 10, 11]);
     }
 
     #[test]

@@ -80,9 +80,27 @@ pub struct ProptestConfig {
 }
 
 impl ProptestConfig {
-    /// Config running `cases` iterations.
+    /// Config running exactly `cases` iterations.
     pub fn with_cases(cases: u32) -> ProptestConfig {
         ProptestConfig { cases }
+    }
+
+    /// Profile-scaled case count: `release_cases` in optimized builds,
+    /// a quarter of it (floor 8) under `debug_assertions`, where each
+    /// case runs an order of magnitude slower. When `PROPTEST_CASES`
+    /// is set it acts as a **cap** — CI pins it to bound the whole
+    /// suite without inflating tests that asked for fewer cases.
+    pub fn profile_cases(release_cases: u32) -> ProptestConfig {
+        let profiled = if cfg!(debug_assertions) {
+            (release_cases / 4).clamp(8.min(release_cases), release_cases)
+        } else {
+            release_cases
+        };
+        let cases = match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()) {
+            Some(cap) => profiled.min(cap),
+            None => profiled,
+        };
+        ProptestConfig { cases: cases.max(1) }
     }
 }
 
