@@ -1,20 +1,34 @@
-//! **P5 — streaming ingest throughput: records/sec vs shard count.**
+//! **P5 — streaming ingest throughput: channel, batching, sharding.**
 //!
-//! Replays a GEANT-like scenario (background + port scan) through the
-//! full streaming pipeline — sharded windowing, incremental KL
-//! detection, continuous extraction — at 1/2/4/8 shards, reporting
-//! end-to-end records/sec. Results land on stdout and in
-//! `BENCH_stream.json` (override the path with `BENCH_STREAM_OUT`) so
-//! CI can track the perf trajectory.
+//! Four measurements, all landing on stdout and in `BENCH_stream.json`
+//! (override the path with `BENCH_STREAM_OUT`), with a rolling
+//! `history` array so the perf trajectory survives across commits:
+//!
+//! 1. **Channel microbench** — messages/sec through one producer ×
+//!    one consumer, comparing the pre-PR-5 `Mutex<VecDeque>` channel
+//!    (re-created locally below) against the lock-free MPMC ring now
+//!    in `vendor/crossbeam`, each per-message and batched. Asserts the
+//!    ring's batched path beats the mutex per-message baseline ≥ 3×.
+//! 2. **Ingest batch-size curve** — end-to-end pipeline records/sec on
+//!    a quiet (alarm-free) corpus at `ingest_batch` 1/16/64/256: the
+//!    sender-side amortization knob isolated from mining cost.
+//! 3. **Ingest shard curve** — the same quiet corpus at 1/2/4/8 shards.
+//! 4. **Detect+extract end-to-end** — the scan corpus (alarms fire,
+//!    itemsets mined) at 1/2/4/8 shards: the number operators see.
 //!
 //! Run: `cargo bench -p anomex-bench --bench perf_stream`
-//! Sizing: `STREAM_BENCH_FLOWS=500000` scales the corpus; `--test`
-//! (what `cargo test --benches` passes) switches to a small smoke run.
+//! Sizing: `STREAM_BENCH_FLOWS=500000` scales the corpora; `--test`
+//! (what `cargo test --benches` passes) switches to a small smoke run,
+//! which writes `BENCH_stream_smoke.json` (gitignored) so it can never
+//! clobber the committed full-run record.
 //!
 //! Caveat: shard *scaling* needs physical cores; on a single-CPU
 //! machine expect flat-to-slightly-declining numbers with shard count,
-//! not speedup.
+//! not speedup. The committed history's `pr4-seed` entry records the
+//! mutex-channel baseline measured on the same container.
 
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use anomex_bench::fmt;
@@ -26,24 +40,272 @@ use serde::Value;
 const WIDTH_MS: u64 = 60_000;
 const WINDOWS: u64 = 8;
 
+// ---------------------------------------------------------------------------
+// The pre-PR-5 channel, reconstructed as the microbench baseline: a
+// Mutex<VecDeque> with two condvars, locking once per send and once
+// per recv_many batch — exactly what the pipeline shipped before the
+// lock-free ring replaced it.
+// ---------------------------------------------------------------------------
+
+struct MutexChannel<T> {
+    state: Mutex<VecDeque<T>>,
+    cap: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> MutexChannel<T> {
+    fn new(cap: usize) -> Arc<MutexChannel<T>> {
+        Arc::new(MutexChannel {
+            state: Mutex::new(VecDeque::new()),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        })
+    }
+
+    fn send(&self, msg: T) {
+        let mut queue = self.state.lock().unwrap();
+        while queue.len() >= self.cap {
+            queue = self.not_full.wait(queue).unwrap();
+        }
+        queue.push_back(msg);
+        drop(queue);
+        self.not_empty.notify_one();
+    }
+
+    /// The seed had no batched send; pushing the whole batch under one
+    /// lock is the closest mutex analogue of `send_many`.
+    fn send_many(&self, batch: &mut Vec<T>) {
+        let mut pending = batch.drain(..);
+        loop {
+            let mut queue = self.state.lock().unwrap();
+            while queue.len() >= self.cap {
+                queue = self.not_full.wait(queue).unwrap();
+            }
+            while queue.len() < self.cap {
+                match pending.next() {
+                    Some(msg) => queue.push_back(msg),
+                    None => {
+                        drop(queue);
+                        self.not_empty.notify_one();
+                        return;
+                    }
+                }
+            }
+            drop(queue);
+            self.not_empty.notify_one();
+        }
+    }
+
+    /// `None` signals end-of-stream (the bench closes by count).
+    fn recv_many(&self, buf: &mut Vec<T>, max: usize, expected_total: &mut usize) -> usize {
+        if *expected_total == 0 {
+            return 0;
+        }
+        let mut queue = self.state.lock().unwrap();
+        loop {
+            if !queue.is_empty() {
+                let take = max.min(queue.len());
+                buf.extend(queue.drain(..take));
+                drop(queue);
+                self.not_full.notify_all();
+                *expected_total -= take;
+                return take;
+            }
+            queue = self.not_empty.wait(queue).unwrap();
+        }
+    }
+}
+
+/// messages/sec for one producer × one consumer over the mutex channel.
+fn bench_mutex_channel(total: usize, batched: bool) -> f64 {
+    let channel = MutexChannel::<u64>::new(1_024);
+    let producer_side = Arc::clone(&channel);
+    let start = Instant::now();
+    let producer = std::thread::spawn(move || {
+        if batched {
+            let mut batch = Vec::with_capacity(64);
+            for i in 0..total as u64 {
+                batch.push(i);
+                if batch.len() == 64 {
+                    producer_side.send_many(&mut batch);
+                }
+            }
+            producer_side.send_many(&mut batch);
+        } else {
+            for i in 0..total as u64 {
+                producer_side.send(i);
+            }
+        }
+    });
+    let mut remaining = total;
+    let mut buf = Vec::with_capacity(256);
+    let mut checksum = 0u64;
+    while channel.recv_many(&mut buf, 256, &mut remaining) > 0 {
+        checksum = checksum.wrapping_add(buf.iter().sum::<u64>());
+        buf.clear();
+    }
+    producer.join().unwrap();
+    assert_eq!(checksum, (0..total as u64).sum::<u64>().wrapping_mul(1), "lost messages");
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+/// messages/sec for one producer × one consumer over the lock-free ring.
+fn bench_ring_channel(total: usize, batched: bool) -> f64 {
+    let (tx, rx) = crossbeam::channel::bounded::<u64>(1_024);
+    let start = Instant::now();
+    let producer = std::thread::spawn(move || {
+        if batched {
+            let mut batch = Vec::with_capacity(64);
+            for i in 0..total as u64 {
+                batch.push(i);
+                if batch.len() == 64 {
+                    tx.send_many(&mut batch).unwrap();
+                }
+            }
+            tx.send_many(&mut batch).unwrap();
+        } else {
+            for i in 0..total as u64 {
+                tx.send(i).unwrap();
+            }
+        }
+    });
+    let mut buf = Vec::with_capacity(256);
+    let mut checksum = 0u64;
+    let mut got = 0usize;
+    while got < total {
+        let n = rx.recv_many(&mut buf, 256);
+        assert!(n > 0, "producer disconnected early");
+        got += n;
+        checksum = checksum.wrapping_add(buf.iter().sum::<u64>());
+        buf.clear();
+    }
+    producer.join().unwrap();
+    assert_eq!(checksum, (0..total as u64).sum::<u64>(), "lost messages");
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end pipeline runs.
+// ---------------------------------------------------------------------------
+
 fn corpus(
     total_flows: usize,
+    with_scan: bool,
 ) -> (Vec<anomex_flow::record::FlowRecord>, anomex_flow::store::TimeRange) {
-    let mut spec = AnomalySpec::template(
-        AnomalyKind::PortScan,
-        "10.3.0.99".parse().unwrap(),
-        "172.16.5.5".parse().unwrap(),
-    );
-    spec.flows = total_flows / 6;
-    spec.start_ms = 6 * WIDTH_MS;
-    spec.duration_ms = WIDTH_MS;
-    let mut scenario = Scenario::new("perf-stream", 0x57_12EA, Backbone::Geant).with_anomaly(spec);
-    scenario.background.flows = total_flows - total_flows / 6;
+    let mut scenario = Scenario::new("perf-stream", 0x57_12EA, Backbone::Geant);
+    if with_scan {
+        let mut spec = AnomalySpec::template(
+            AnomalyKind::PortScan,
+            "10.3.0.99".parse().unwrap(),
+            "172.16.5.5".parse().unwrap(),
+        );
+        spec.flows = total_flows / 6;
+        spec.start_ms = 6 * WIDTH_MS;
+        spec.duration_ms = WIDTH_MS;
+        scenario = scenario.with_anomaly(spec);
+        scenario.background.flows = total_flows - total_flows / 6;
+    } else {
+        scenario.background.flows = total_flows;
+    }
     scenario.background.duration_ms = WINDOWS * WIDTH_MS;
     let built = scenario.build();
     let mut records = built.store.snapshot();
     records.sort_by_key(|r| r.start_ms);
     (records, scenario.window())
+}
+
+struct RunResult {
+    records_per_sec: f64,
+    elapsed_ms: f64,
+    alarms: u64,
+    reports: u64,
+}
+
+fn run_pipeline(
+    records: &[anomex_flow::record::FlowRecord],
+    span: anomex_flow::store::TimeRange,
+    shards: usize,
+    ingest_batch: usize,
+) -> RunResult {
+    let config = StreamConfig {
+        shards,
+        queue_depth: 4_096,
+        ingest_batch,
+        lateness_ms: 30_000,
+        watermark_every: 512,
+        span: Some(span),
+        detectors: DetectorRegistry::kl(KlConfig { interval_ms: WIDTH_MS, ..KlConfig::default() }),
+        retain_windows: 2,
+        ..StreamConfig::default()
+    };
+    let start = Instant::now();
+    let (mut ingest, reports) = anomex_stream::pipeline::launch(config);
+    ingest.push_batch(records.iter().cloned());
+    let stats = ingest.finish();
+    let drained = reports.iter().count() as u64;
+    let elapsed = start.elapsed();
+    assert_eq!(stats.ingested, records.len() as u64, "pipeline lost records");
+    assert_eq!(stats.send_failures, 0, "no worker may disconnect mid-bench");
+    assert_eq!(drained, stats.reports, "report channel lost reports");
+    RunResult {
+        records_per_sec: stats.ingested as f64 / elapsed.as_secs_f64(),
+        elapsed_ms: elapsed.as_secs_f64() * 1_000.0,
+        alarms: stats.alarms,
+        reports: stats.reports,
+    }
+}
+
+/// Best-of-`reps` throughput: on a shared/1-CPU host, scheduler noise
+/// only ever *subtracts* records/sec, so the maximum over a few
+/// repetitions is the stable estimator (the same reasoning behind the
+/// criterion stand-in's trimmed-min reporting).
+fn best_of(reps: usize, mut run: impl FnMut() -> RunResult) -> RunResult {
+    let mut best = run();
+    for _ in 1..reps {
+        let next = run();
+        if next.records_per_sec > best.records_per_sec {
+            best = next;
+        }
+    }
+    best
+}
+
+fn best_rate_of(reps: usize, mut run: impl FnMut() -> f64) -> f64 {
+    (0..reps).map(|_| run()).fold(f64::MIN, f64::max)
+}
+
+fn round1(v: f64) -> f64 {
+    (v * 10.0).round() / 10.0
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Carry the `history` array of a previous `BENCH_stream.json` forward
+/// (empty when the file is absent or unparseable), capped to the most
+/// recent entries.
+fn load_history(path: &str) -> Vec<Value> {
+    const KEEP: usize = 20;
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(Value::Object(fields)) = serde_json::from_str::<Value>(&text) else {
+        return Vec::new();
+    };
+    for (key, value) in fields {
+        if key == "history" {
+            if let Value::Array(mut entries) = value {
+                if entries.len() > KEEP {
+                    entries.drain(..entries.len() - KEEP);
+                }
+                return entries;
+            }
+        }
+    }
+    Vec::new()
 }
 
 fn main() {
@@ -52,11 +314,108 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(if test_mode { 20_000 } else { 150_000 });
-    let (records, span) = corpus(total_flows);
+    let channel_msgs: usize = if test_mode { 100_000 } else { 2_000_000 };
+    // Best-of-N against scheduler noise; a single rep in smoke mode.
+    let reps = if test_mode { 1 } else { 3 };
 
-    print!("{}", fmt::banner("P5: streaming pipeline throughput (records/sec by shard count)"));
-    println!("corpus: {} records over {} one-minute windows\n", records.len(), WINDOWS);
+    print!("{}", fmt::banner("P5: streaming ingest (channel / batching / sharding)"));
 
+    // --- 1. Channel microbench. -----------------------------------------
+    println!("channel: {channel_msgs} u64 messages, cap 1024, 1 producer x 1 consumer\n");
+    let mutex_permsg = best_rate_of(reps, || bench_mutex_channel(channel_msgs, false));
+    let mutex_batched = best_rate_of(reps, || bench_mutex_channel(channel_msgs, true));
+    let ring_permsg = best_rate_of(reps, || bench_ring_channel(channel_msgs, false));
+    let ring_batched = best_rate_of(reps, || bench_ring_channel(channel_msgs, true));
+    let mut rows = vec![vec![
+        "channel".to_string(),
+        "mode".to_string(),
+        "msgs/sec".to_string(),
+        "vs mutex per-msg".to_string(),
+    ]];
+    let mut channel_measurements: Vec<Value> = Vec::new();
+    for (name, mode, ops) in [
+        ("mutex (pre-PR5)", "per-message", mutex_permsg),
+        ("mutex (pre-PR5)", "batched 64", mutex_batched),
+        ("ring", "per-message", ring_permsg),
+        ("ring", "batched 64", ring_batched),
+    ] {
+        rows.push(vec![
+            name.to_string(),
+            mode.to_string(),
+            format!("{ops:.0}"),
+            format!("{:.2}x", ops / mutex_permsg),
+        ]);
+        channel_measurements.push(obj(vec![
+            ("impl", Value::Str(name.to_string())),
+            ("mode", Value::Str(mode.to_string())),
+            ("msgs_per_sec", Value::F64(round1(ops))),
+            (
+                "speedup_vs_mutex_per_message",
+                Value::F64(round1(ops / mutex_permsg * 100.0) / 100.0),
+            ),
+        ]));
+    }
+    print!("{}", fmt::table(&rows));
+    let channel_speedup = ring_batched / mutex_permsg;
+    println!("\nring batched vs mutex per-message: {channel_speedup:.2}x (acceptance floor 3x)\n");
+    if !test_mode {
+        assert!(
+            channel_speedup >= 3.0,
+            "lock-free ring regressed below the 3x acceptance floor: {channel_speedup:.2}x"
+        );
+    }
+
+    // --- 2 + 3. Ingest-bound corpus: batch curve and shard curve. --------
+    let (quiet, quiet_span) = corpus(total_flows, false);
+    println!(
+        "ingest-bound corpus (no alarms, extraction idle): {} records over {} windows\n",
+        quiet.len(),
+        WINDOWS
+    );
+    let mut rows =
+        vec![vec!["ingest_batch".to_string(), "records/sec".to_string(), "elapsed ms".to_string()]];
+    let mut batch_curve: Vec<Value> = Vec::new();
+    let mut best_ingest = 0f64;
+    for &batch in &[1usize, 16, 64, 256] {
+        let run = best_of(reps, || run_pipeline(&quiet, quiet_span, 1, batch));
+        assert_eq!(run.alarms, 0, "quiet corpus must stay quiet");
+        best_ingest = best_ingest.max(run.records_per_sec);
+        rows.push(vec![
+            batch.to_string(),
+            format!("{:.0}", run.records_per_sec),
+            format!("{:.1}", run.elapsed_ms),
+        ]);
+        batch_curve.push(obj(vec![
+            ("ingest_batch", Value::U64(batch as u64)),
+            ("records_per_sec", Value::F64(round1(run.records_per_sec))),
+            ("elapsed_ms", Value::F64(round1(run.elapsed_ms))),
+        ]));
+    }
+    print!("{}", fmt::table(&rows));
+    println!();
+
+    let mut rows =
+        vec![vec!["shards".to_string(), "records/sec".to_string(), "elapsed ms".to_string()]];
+    let mut ingest_shard_curve: Vec<Value> = Vec::new();
+    for &shards in &[1usize, 2, 4, 8] {
+        let run = best_of(reps, || run_pipeline(&quiet, quiet_span, shards, 64));
+        rows.push(vec![
+            shards.to_string(),
+            format!("{:.0}", run.records_per_sec),
+            format!("{:.1}", run.elapsed_ms),
+        ]);
+        ingest_shard_curve.push(obj(vec![
+            ("shards", Value::U64(shards as u64)),
+            ("records_per_sec", Value::F64(round1(run.records_per_sec))),
+            ("elapsed_ms", Value::F64(round1(run.elapsed_ms))),
+        ]));
+    }
+    print!("{}", fmt::table(&rows));
+    println!();
+
+    // --- 4. Detect + extract end-to-end on the scan corpus. --------------
+    let (scan, scan_span) = corpus(total_flows, true);
+    println!("detect+extract corpus (scan in window 7, itemsets mined): {} records\n", scan.len());
     let mut rows = vec![vec![
         "shards".to_string(),
         "records/sec".to_string(),
@@ -64,56 +423,72 @@ fn main() {
         "alarms".to_string(),
         "reports".to_string(),
     ]];
-    let mut measurements: Vec<Value> = Vec::new();
+    let mut extract_curve: Vec<Value> = Vec::new();
     for &shards in &[1usize, 2, 4, 8] {
-        let config = StreamConfig {
-            shards,
-            queue_depth: 4_096,
-            lateness_ms: 30_000,
-            watermark_every: 512,
-            span: Some(span),
-            detectors: DetectorRegistry::kl(KlConfig {
-                interval_ms: WIDTH_MS,
-                ..KlConfig::default()
-            }),
-            retain_windows: 2,
-            ..StreamConfig::default()
-        };
-        let start = Instant::now();
-        let (mut ingest, reports) = anomex_stream::pipeline::launch(config);
-        ingest.push_batch(records.iter().cloned());
-        let stats = ingest.finish();
-        let drained = reports.iter().count() as u64;
-        let elapsed = start.elapsed();
-        assert_eq!(stats.ingested, records.len() as u64, "pipeline lost records");
-        assert_eq!(drained, stats.reports, "report channel lost reports");
-
-        let records_per_sec = stats.ingested as f64 / elapsed.as_secs_f64();
+        let run = best_of(reps, || run_pipeline(&scan, scan_span, shards, 64));
+        assert!(run.alarms >= 1, "scan corpus must alarm");
         rows.push(vec![
             shards.to_string(),
-            format!("{records_per_sec:.0}"),
-            format!("{:.1}", elapsed.as_secs_f64() * 1_000.0),
-            stats.alarms.to_string(),
-            stats.reports.to_string(),
+            format!("{:.0}", run.records_per_sec),
+            format!("{:.1}", run.elapsed_ms),
+            run.alarms.to_string(),
+            run.reports.to_string(),
         ]);
-        measurements.push(Value::Object(vec![
-            ("shards".to_string(), Value::U64(shards as u64)),
-            ("records_per_sec".to_string(), Value::F64((records_per_sec * 10.0).round() / 10.0)),
-            ("elapsed_ms".to_string(), Value::F64(elapsed.as_secs_f64() * 1_000.0)),
-            ("alarms".to_string(), Value::U64(stats.alarms)),
-            ("reports".to_string(), Value::U64(stats.reports)),
+        extract_curve.push(obj(vec![
+            ("shards", Value::U64(shards as u64)),
+            ("records_per_sec", Value::F64(round1(run.records_per_sec))),
+            ("elapsed_ms", Value::F64(round1(run.elapsed_ms))),
+            ("alarms", Value::U64(run.alarms)),
+            ("reports", Value::U64(run.reports)),
         ]));
     }
     print!("{}", fmt::table(&rows));
 
-    let doc = Value::Object(vec![
-        ("bench".to_string(), Value::Str("perf_stream".to_string())),
-        ("corpus_records".to_string(), Value::U64(records.len() as u64)),
-        ("windows".to_string(), Value::U64(WINDOWS)),
-        ("results".to_string(), Value::Array(measurements)),
+    // --- Emit JSON with rolling history. ---------------------------------
+    // Smoke runs land in a separate (gitignored) file: BENCH_stream.json
+    // is a committed perf record, and a --test run silently overwriting
+    // it would invalidate every claim that cites it.
+    let default_path = if test_mode { "BENCH_stream_smoke.json" } else { "BENCH_stream.json" };
+    let path = std::env::var("BENCH_STREAM_OUT").unwrap_or_else(|_| default_path.to_string());
+    let mut history = load_history(&path);
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    history.push(obj(vec![
+        ("label", Value::Str(if test_mode { "smoke".into() } else { "full".into() })),
+        ("unix_time", Value::U64(unix_time)),
+        ("channel_ring_batched_msgs_per_sec", Value::F64(round1(ring_batched))),
+        ("channel_mutex_per_message_msgs_per_sec", Value::F64(round1(mutex_permsg))),
+        ("ingest_best_records_per_sec", Value::F64(round1(best_ingest))),
+        (
+            "extract_e2e_1shard_records_per_sec",
+            extract_curve
+                .first()
+                .and_then(|v| match v {
+                    Value::Object(fields) => {
+                        fields.iter().find_map(|(k, v)| (k == "records_per_sec").then(|| v.clone()))
+                    }
+                    _ => None,
+                })
+                .unwrap_or(Value::Null),
+        ),
+    ]));
+
+    let doc = obj(vec![
+        ("bench", Value::Str("perf_stream".to_string())),
+        ("corpus_records", Value::U64(quiet.len() as u64)),
+        ("windows", Value::U64(WINDOWS)),
+        ("channel", Value::Array(channel_measurements)),
+        (
+            "channel_speedup_ring_batched_vs_mutex_per_message",
+            Value::F64(round1(channel_speedup * 100.0) / 100.0),
+        ),
+        ("ingest_batch_curve", Value::Array(batch_curve)),
+        ("ingest_shard_curve", Value::Array(ingest_shard_curve)),
+        ("extract_e2e_shard_curve", Value::Array(extract_curve)),
+        ("history", Value::Array(history)),
     ]);
-    let path =
-        std::env::var("BENCH_STREAM_OUT").unwrap_or_else(|_| "BENCH_stream.json".to_string());
     let json = serde_json::to_string_pretty(&doc).expect("render bench json");
     std::fs::write(&path, json + "\n").expect("write bench json");
     println!("\nwrote {path}");

@@ -11,11 +11,18 @@ use anomex_flow::feature::Feature;
 use anomex_flow::record::FlowRecord;
 use anomex_flow::store::TimeRange;
 
+use crate::fasthash::FxBuildHasher;
+
 /// Empirical distribution of one feature over one interval: raw feature
 /// value (`FeatureValue::raw`) → flow count.
+///
+/// Four of these are updated per ingested record, so the map hashes
+/// with [`crate::fasthash`] rather than SipHash — the values are plain
+/// feature words, not attacker-supplied keys worth DoS-hardening at
+/// 4× the per-record cost.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ValueDist {
-    counts: HashMap<u32, u64>,
+    counts: HashMap<u32, u64, FxBuildHasher>,
     total: u64,
 }
 

@@ -52,6 +52,7 @@
 
 pub mod alarm;
 pub mod detector;
+pub mod fasthash;
 pub mod interval;
 pub mod kl;
 pub mod linalg;

@@ -1,0 +1,558 @@
+//! The ingest front-end: batched, multi-handle record intake.
+//!
+//! [`IngestHandle`] routes records to shard workers, tracks event time,
+//! broadcasts watermarks, and decodes NetFlow packets in place. Two
+//! properties make it the ~1M records/sec end of the pipeline:
+//!
+//! - **Batching.** Every handle keeps one flush buffer per shard
+//!   (capacity [`StreamConfig::ingest_batch`], default 64) and hands
+//!   full buffers to the channel in one [`send_many`] call, so the
+//!   per-record synchronization cost of the channel is divided by the
+//!   batch size. The NetFlow v5/v9 decode paths feed whole-packet
+//!   record batches through the same buffers.
+//! - **Multi-handle intake.** A handle can be [`clone`]d or
+//!   [`split`](IngestHandle::split) so every collector socket of a
+//!   multi-socket deployment gets its own. Correctness under multiple
+//!   frontiers comes from the [`WatermarkTable`]: a lock-free array of
+//!   per-handle event-time marks whose **minimum over live handles** is
+//!   the only watermark ever broadcast — a record is never declared
+//!   late because a *different* socket runs ahead in event time.
+//!
+//! [`send_many`]: crossbeam::channel::Sender::send_many
+//! [`clone`]: IngestHandle::clone
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use anomex_flow::error::CodecError;
+use anomex_flow::record::FlowRecord;
+use anomex_flow::{v5, v9};
+use crossbeam::channel::Sender;
+
+use crate::pipeline::{ShardMsg, StreamStats};
+
+/// Hard cap on simultaneously live [`IngestHandle`]s (the watermark
+/// table is a fixed bitmask-indexed array so the min scan stays
+/// lock-free and allocation-free).
+pub const MAX_HANDLES: usize = 64;
+
+/// Lock-free registry of per-handle event-time frontiers.
+///
+/// Slot membership is a single `u64` bitmask; each live handle owns one
+/// slot and publishes the maximum event time it has seen with a
+/// monotonic `fetch_max`. The global ingest frontier is the minimum
+/// over *live* slots — retired handles stop holding the watermark back
+/// the moment their bit clears. Every operation is a handful of
+/// atomics; nothing on the record path ever takes a lock here.
+#[derive(Debug)]
+pub struct WatermarkTable {
+    active: AtomicU64,
+    marks: [AtomicU64; MAX_HANDLES],
+}
+
+impl WatermarkTable {
+    pub(crate) fn new() -> WatermarkTable {
+        WatermarkTable {
+            active: AtomicU64::new(0),
+            marks: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Claim a free slot, seeded with `seed_ms` (a fresh handle inherits
+    /// its parent's frontier so cloning never *regresses* the global
+    /// minimum further than the parent already held it).
+    ///
+    /// # Panics
+    /// Panics when all [`MAX_HANDLES`] slots are live.
+    pub(crate) fn acquire(&self, seed_ms: u64) -> usize {
+        loop {
+            let mask = self.active.load(Ordering::SeqCst);
+            let free = (!mask).trailing_zeros() as usize;
+            assert!(free < MAX_HANDLES, "too many live IngestHandles (max {MAX_HANDLES})");
+            if self
+                .active
+                .compare_exchange(mask, mask | (1 << free), Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // The slot was zeroed at release; between the claim and
+                // this publish a concurrent min scan reads 0, which is
+                // merely conservative (the watermark can stall, never
+                // overshoot).
+                self.marks[free].fetch_max(seed_ms, Ordering::SeqCst);
+                return free;
+            }
+        }
+    }
+
+    /// Retire a slot. The mark is zeroed *before* the bit clears so no
+    /// concurrent scan can ever read a stale high value from a slot
+    /// about to be re-acquired.
+    pub(crate) fn release(&self, slot: usize) {
+        self.marks[slot].store(0, Ordering::SeqCst);
+        self.active.fetch_and(!(1u64 << slot), Ordering::SeqCst);
+    }
+
+    /// Raise `slot`'s event-time mark (monotonic).
+    pub(crate) fn publish(&self, slot: usize, max_event_ms: u64) {
+        self.marks[slot].fetch_max(max_event_ms, Ordering::SeqCst);
+    }
+
+    /// The global ingest frontier: minimum mark over live slots (0 when
+    /// none are live — maximally conservative).
+    pub(crate) fn min_frontier(&self) -> u64 {
+        let mut mask = self.active.load(Ordering::SeqCst);
+        let mut min = u64::MAX;
+        while mask != 0 {
+            let slot = mask.trailing_zeros() as usize;
+            min = min.min(self.marks[slot].load(Ordering::SeqCst));
+            mask &= mask - 1;
+        }
+        if min == u64::MAX {
+            0
+        } else {
+            min
+        }
+    }
+
+    /// Number of live slots.
+    pub(crate) fn live(&self) -> u32 {
+        self.active.load(Ordering::SeqCst).count_ones()
+    }
+}
+
+/// Ingest counters shared by every handle of one pipeline, folded in
+/// when a handle closes.
+#[derive(Debug, Default)]
+pub(crate) struct IngestTotals {
+    pub(crate) ingested: AtomicU64,
+    pub(crate) decode_errors: AtomicU64,
+    pub(crate) send_failures: AtomicU64,
+}
+
+/// Thread handles of a running pipeline, taken by whichever handle
+/// performs the final shutdown.
+pub(crate) struct PipelineJoin {
+    pub(crate) workers: Vec<JoinHandle<()>>,
+    pub(crate) control: JoinHandle<StreamStats>,
+}
+
+impl PipelineJoin {
+    /// End the stream: tell every shard to flush, join all threads,
+    /// return the control thread's statistics.
+    fn shutdown(self, senders: &[Sender<ShardMsg>]) -> StreamStats {
+        for tx in senders {
+            // A worker that already exited (panic path) can't take the
+            // flush; its join below surfaces the panic.
+            let _ = tx.send(ShardMsg::Flush);
+        }
+        for worker in self.workers {
+            worker.join().expect("shard worker panicked");
+        }
+        self.control.join().expect("stream control thread panicked")
+    }
+}
+
+/// State shared by every [`IngestHandle`] of one pipeline.
+pub(crate) struct PipelineCore {
+    pub(crate) senders: Vec<Sender<ShardMsg>>,
+    pub(crate) lateness_ms: u64,
+    pub(crate) watermarks: WatermarkTable,
+    pub(crate) totals: IngestTotals,
+    /// Handles not yet closed; guarded by `shutdown`'s mutex for the
+    /// finish/condvar handshake, but readable lock-free.
+    live: AtomicUsize,
+    shutdown: Mutex<ShutdownState>,
+    closed_or_done: Condvar,
+}
+
+#[derive(Default)]
+struct ShutdownState {
+    join: Option<PipelineJoin>,
+    stats: Option<StreamStats>,
+}
+
+impl PipelineCore {
+    pub(crate) fn new(
+        senders: Vec<Sender<ShardMsg>>,
+        lateness_ms: u64,
+        join: PipelineJoin,
+    ) -> PipelineCore {
+        PipelineCore {
+            senders,
+            lateness_ms,
+            watermarks: WatermarkTable::new(),
+            totals: IngestTotals::default(),
+            live: AtomicUsize::new(0),
+            shutdown: Mutex::new(ShutdownState { join: Some(join), stats: None }),
+            closed_or_done: Condvar::new(),
+        }
+    }
+}
+
+/// The ingest front-end; see the [module docs](self) for the batching
+/// and multi-handle design.
+///
+/// Each handle is single-threaded (one per collector socket); scale
+/// intake by [`split`](IngestHandle::split)ting across sockets or
+/// threads — the shared watermark keeps event time correct — and scale
+/// processing with [`StreamConfig::shards`].
+///
+/// [`StreamConfig::shards`]: crate::pipeline::StreamConfig::shards
+/// [`StreamConfig::ingest_batch`]: crate::pipeline::StreamConfig::ingest_batch
+pub struct IngestHandle {
+    core: Arc<PipelineCore>,
+    slot: usize,
+    shards: usize,
+    batch_cap: usize,
+    watermark_every: usize,
+    since_watermark: usize,
+    max_event_ms: u64,
+    buffers: Vec<Vec<ShardMsg>>,
+    /// Records (not watermarks) currently in each shard's buffer —
+    /// exact loss accounting when a flush hits a dead worker, since a
+    /// failing `send_many` may get partway into the buffer before
+    /// observing the disconnect.
+    buffered_records: Vec<u64>,
+    ingested: u64,
+    decode_errors: u64,
+    send_failures: u64,
+    v9_cache: v9::TemplateCache,
+    closed: bool,
+}
+
+impl IngestHandle {
+    pub(crate) fn launch_first(
+        core: Arc<PipelineCore>,
+        shards: usize,
+        batch_cap: usize,
+        watermark_every: usize,
+    ) -> IngestHandle {
+        let slot = core.watermarks.acquire(0);
+        core.live.fetch_add(1, Ordering::SeqCst);
+        IngestHandle {
+            slot,
+            shards,
+            batch_cap: batch_cap.max(1),
+            watermark_every: watermark_every.max(1),
+            since_watermark: 0,
+            max_event_ms: 0,
+            buffers: (0..shards).map(|_| Vec::with_capacity(batch_cap.max(1) + 1)).collect(),
+            buffered_records: vec![0; shards],
+            ingested: 0,
+            decode_errors: 0,
+            send_failures: 0,
+            v9_cache: v9::TemplateCache::new(),
+            core,
+            closed: false,
+        }
+    }
+
+    /// Ingest one record into its shard's flush buffer; a full buffer
+    /// is handed to the shard worker in one batched send (the
+    /// backpressure point: blocks while that shard's queue is full).
+    pub fn push(&mut self, record: FlowRecord) {
+        self.ingested += 1;
+        if record.start_ms > self.max_event_ms {
+            self.max_event_ms = record.start_ms;
+        }
+        let shard = record.key().shard(self.shards);
+        let buffer = &mut self.buffers[shard];
+        buffer.push(ShardMsg::Record(record));
+        self.buffered_records[shard] += 1;
+        if buffer.len() >= self.batch_cap {
+            self.flush_shard(shard);
+        }
+        self.since_watermark += 1;
+        if self.since_watermark >= self.watermark_every {
+            self.broadcast_watermark();
+        }
+    }
+
+    /// Ingest a batch of records through the per-shard buffers.
+    pub fn push_batch(&mut self, records: impl IntoIterator<Item = FlowRecord>) {
+        for record in records {
+            self.push(record);
+        }
+    }
+
+    /// Decode one NetFlow v5 packet and ingest its records as one
+    /// whole-packet batch; returns the record count.
+    ///
+    /// # Errors
+    /// Propagates codec errors (counted in [`StreamStats::decode_errors`]).
+    pub fn push_v5(&mut self, packet: &[u8]) -> Result<usize, CodecError> {
+        match v5::decode(packet) {
+            Ok(decoded) => {
+                let n = decoded.records.len();
+                self.push_batch(decoded.records);
+                Ok(n)
+            }
+            Err(e) => {
+                self.decode_errors += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Decode one NetFlow v9 packet (templates cached across packets,
+    /// per handle — one handle per exporter socket) and ingest its
+    /// records as one whole-packet batch; returns the record count.
+    ///
+    /// # Errors
+    /// Propagates codec errors (counted in [`StreamStats::decode_errors`]).
+    pub fn push_v9(&mut self, packet: &[u8]) -> Result<usize, CodecError> {
+        let mut cache = std::mem::take(&mut self.v9_cache);
+        let result = v9::decode(packet, &mut cache);
+        self.v9_cache = cache;
+        match result {
+            Ok(decoded) => {
+                let n = decoded.records.len();
+                self.push_batch(decoded.records);
+                Ok(n)
+            }
+            Err(e) => {
+                self.decode_errors += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Records ingested through this handle so far.
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Records lost on this handle because a shard worker disconnected
+    /// mid-run (also folded into [`StreamStats::send_failures`]).
+    pub fn send_failures(&self) -> u64 {
+        self.send_failures
+    }
+
+    /// The current **global** event-time watermark: the minimum
+    /// frontier over every live handle, minus the lateness bound.
+    pub fn watermark_ms(&self) -> u64 {
+        self.core.watermarks.publish(self.slot, self.max_event_ms);
+        self.core.watermarks.min_frontier().saturating_sub(self.core.lateness_ms)
+    }
+
+    /// Live handles feeding this pipeline (including this one).
+    pub fn live_handles(&self) -> usize {
+        self.core.watermarks.live() as usize
+    }
+
+    /// Consume this handle into `n` equivalent handles (itself plus
+    /// `n - 1` clones), one per collector socket or ingest thread.
+    ///
+    /// # Panics
+    /// Panics when `n` is zero or the pipeline would exceed
+    /// [`MAX_HANDLES`] live handles.
+    pub fn split(self, n: usize) -> Vec<IngestHandle> {
+        assert!(n > 0, "split requires at least one handle");
+        let mut handles = Vec::with_capacity(n);
+        for _ in 1..n {
+            handles.push(self.clone());
+        }
+        handles.push(self);
+        handles
+    }
+
+    /// Hand every buffered record to the shard workers, fold this
+    /// handle's counters into the pipeline totals, retire the
+    /// watermark slot, and — when other handles remain live — broadcast
+    /// one final watermark, since retiring the slot may have jumped the
+    /// global minimum forward and the survivors would otherwise not
+    /// tell the shards until their next cadence.
+    fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        for shard in 0..self.shards {
+            self.flush_shard(shard);
+        }
+        self.core.totals.ingested.fetch_add(self.ingested, Ordering::SeqCst);
+        self.core.totals.decode_errors.fetch_add(self.decode_errors, Ordering::SeqCst);
+        self.core.totals.send_failures.fetch_add(self.send_failures, Ordering::SeqCst);
+        self.core.watermarks.release(self.slot);
+        if self.core.watermarks.live() > 0 {
+            let watermark =
+                self.core.watermarks.min_frontier().saturating_sub(self.core.lateness_ms);
+            for tx in &self.core.senders {
+                // A worker that already exited can't take it; the
+                // stream-end Flush covers that path.
+                let _ = tx.send(ShardMsg::Watermark(watermark));
+            }
+        }
+        let _guard = self.core.shutdown.lock().expect("pipeline shutdown state poisoned");
+        self.core.live.fetch_sub(1, Ordering::SeqCst);
+        self.core.closed_or_done.notify_all();
+    }
+
+    /// End the stream: flush this handle, wait for every *other* handle
+    /// to close (drop or `finish` them first), then flush every window,
+    /// join all pipeline threads, and return the run's statistics.
+    /// Reports still queued remain readable on the subscriber channel,
+    /// which disconnects after the last one.
+    ///
+    /// With multiple live handles, call `finish` on one and drop (or
+    /// `finish` on other threads) the rest; every `finish` call returns
+    /// the same statistics.
+    pub fn finish(mut self) -> StreamStats {
+        let core = Arc::clone(&self.core);
+        self.close();
+        let mut guard = core.shutdown.lock().expect("pipeline shutdown state poisoned");
+        loop {
+            if let Some(stats) = &guard.stats {
+                return stats.clone();
+            }
+            if core.live.load(Ordering::SeqCst) == 0 {
+                if let Some(join) = guard.join.take() {
+                    drop(guard);
+                    let mut stats = join.shutdown(&core.senders);
+                    stats.ingested = core.totals.ingested.load(Ordering::SeqCst);
+                    stats.decode_errors = core.totals.decode_errors.load(Ordering::SeqCst);
+                    stats.send_failures = core.totals.send_failures.load(Ordering::SeqCst);
+                    let mut guard = core.shutdown.lock().expect("pipeline shutdown state poisoned");
+                    guard.stats = Some(stats.clone());
+                    core.closed_or_done.notify_all();
+                    return stats;
+                }
+            }
+            guard = core.closed_or_done.wait(guard).expect("pipeline shutdown state poisoned");
+        }
+    }
+
+    /// Batched hand-off of one shard's buffer; blocks while that
+    /// shard's queue is full (the backpressure point).
+    fn flush_shard(&mut self, shard: usize) {
+        let buffer = &mut self.buffers[shard];
+        if buffer.is_empty() {
+            return;
+        }
+        if self.core.senders[shard].send_many(buffer).is_err() {
+            // The shard worker is gone (disconnected mid-run): every
+            // record this buffer held — the ones a partial `send_many`
+            // pushed into the dead channel as well as the unsent tail —
+            // can never be delivered. Count them all; a vanished worker
+            // must surface in the stats, not swallow traffic.
+            self.send_failures += self.buffered_records[shard];
+            buffer.clear();
+        }
+        self.buffered_records[shard] = 0;
+    }
+
+    /// Publish this handle's frontier, compute the global min-over-
+    /// handles watermark, and append it to every shard's buffer (then
+    /// flush, so idle shards advance too).
+    fn broadcast_watermark(&mut self) {
+        self.since_watermark = 0;
+        self.core.watermarks.publish(self.slot, self.max_event_ms);
+        let watermark = self.core.watermarks.min_frontier().saturating_sub(self.core.lateness_ms);
+        for shard in 0..self.shards {
+            self.buffers[shard].push(ShardMsg::Watermark(watermark));
+            self.flush_shard(shard);
+        }
+    }
+}
+
+impl Clone for IngestHandle {
+    /// A new equivalent handle over the same pipeline, with its own
+    /// shard buffers, watermark slot (seeded from this handle's
+    /// frontier) and NetFlow v9 template cache.
+    fn clone(&self) -> IngestHandle {
+        self.core.watermarks.publish(self.slot, self.max_event_ms);
+        let slot = self.core.watermarks.acquire(self.max_event_ms);
+        self.core.live.fetch_add(1, Ordering::SeqCst);
+        IngestHandle {
+            core: Arc::clone(&self.core),
+            slot,
+            shards: self.shards,
+            batch_cap: self.batch_cap,
+            watermark_every: self.watermark_every,
+            since_watermark: 0,
+            max_event_ms: self.max_event_ms,
+            buffers: (0..self.shards).map(|_| Vec::with_capacity(self.batch_cap + 1)).collect(),
+            buffered_records: vec![0; self.shards],
+            ingested: 0,
+            decode_errors: 0,
+            send_failures: 0,
+            v9_cache: v9::TemplateCache::new(),
+            closed: false,
+        }
+    }
+}
+
+impl Drop for IngestHandle {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_table_tracks_min_over_live_slots() {
+        let table = WatermarkTable::new();
+        let a = table.acquire(0);
+        let b = table.acquire(0);
+        table.publish(a, 500);
+        table.publish(b, 300);
+        assert_eq!(table.min_frontier(), 300, "slowest live handle wins");
+        table.publish(b, 900);
+        assert_eq!(table.min_frontier(), 500);
+        table.release(a);
+        assert_eq!(table.min_frontier(), 900, "retired handle stops holding the min back");
+        table.release(b);
+        assert_eq!(table.min_frontier(), 0, "no live handles: conservative zero");
+    }
+
+    #[test]
+    fn watermark_publish_is_monotonic_and_slots_recycle_clean() {
+        let table = WatermarkTable::new();
+        let a = table.acquire(0);
+        table.publish(a, 700);
+        table.publish(a, 200);
+        assert_eq!(table.min_frontier(), 700, "publish never regresses");
+        table.release(a);
+        let b = table.acquire(0);
+        assert_eq!(b, a, "first free slot is reused");
+        assert_eq!(table.min_frontier(), 0, "no stale mark from the previous occupant");
+    }
+
+    #[test]
+    fn acquire_seeds_from_parent_frontier() {
+        let table = WatermarkTable::new();
+        let a = table.acquire(0);
+        table.publish(a, 60_000);
+        let b = table.acquire(60_000);
+        assert_eq!(table.min_frontier(), 60_000, "clone must not stall the watermark");
+        table.release(a);
+        table.release(b);
+    }
+
+    #[test]
+    fn watermark_table_is_safe_under_concurrent_churn() {
+        let table = Arc::new(WatermarkTable::new());
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let table = Arc::clone(&table);
+                std::thread::spawn(move || {
+                    for round in 0..200u64 {
+                        let slot = table.acquire(t * 1_000);
+                        table.publish(slot, t * 1_000 + round);
+                        let _ = table.min_frontier();
+                        table.release(slot);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(table.live(), 0);
+        assert_eq!(table.min_frontier(), 0);
+    }
+}

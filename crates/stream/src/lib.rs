@@ -11,6 +11,11 @@
 //!
 //! - [`pipeline`] — [`launch`] the assembled pipeline: ingest handle in,
 //!   [`StreamReport`] channel out, bounded queues (backpressure) between.
+//! - [`ingest`] — the batched, multi-handle intake front-end: per-shard
+//!   flush buffers over the lock-free channel (`send_many`/`recv_many`
+//!   amortize synchronization), and [`IngestHandle::split`] for
+//!   multi-socket deployments under one shared min-over-handles
+//!   watermark.
 //! - [`window`] — event-time tumbling windows, watermarks with bounded
 //!   out-of-orderness, deterministic cross-shard merge.
 //! - [`detector`] — the detector registry and the running ensemble
@@ -76,6 +81,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod detector;
+pub mod ingest;
 pub mod pipeline;
 pub mod report;
 pub mod window;
@@ -85,7 +91,8 @@ pub mod prelude {
     pub use crate::detector::{
         DetectorBank, DetectorCounters, DetectorRegistry, DetectorSpec, EnsembleAlarm,
     };
-    pub use crate::pipeline::{launch, IngestHandle, StreamConfig, StreamStats};
+    pub use crate::ingest::IngestHandle;
+    pub use crate::pipeline::{launch, StreamConfig, StreamStats};
     pub use crate::report::{ContinuousExtractor, StreamReport};
     pub use crate::window::{ClosedWindow, ShardWindows, WindowConfig, WindowManager, WindowShard};
 }

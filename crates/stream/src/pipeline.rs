@@ -2,18 +2,18 @@
 //! extract control thread, and a subscriber channel of reports.
 //!
 //! ```text
-//! IngestHandle ──(bounded, by flow-key shard)──> shard worker 0..N   [ShardWindows]
-//!       │                                              │
-//!       └── watermark broadcast ──────────────────────>│ closed shard windows
-//!                                                      v
-//!                                   control thread  [WindowManager]
-//!                                                      │ gapless ClosedWindows
-//!                                                      v
-//!                                      [DetectorBank] ─> merged EnsembleAlarms
-//!                                                      v
-//!                               [ContinuousExtractor] ─> StreamReports
-//!                                                      v
-//!                                      subscriber Receiver<StreamReport>
+//! IngestHandle(s) ──(bounded ring, by flow-key shard, batched
+//!       │            send_many/recv_many)──> shard worker 0..N   [ShardWindows]
+//!       └── shared watermark (min over live handles) ──────────>│ closed shard windows
+//!                                                               v
+//!                                            control thread  [WindowManager]
+//!                                                               │ gapless ClosedWindows
+//!                                                               v
+//!                                               [DetectorBank] ─> merged EnsembleAlarms
+//!                                                               v
+//!                                        [ContinuousExtractor] ─> StreamReports
+//!                                                               v
+//!                                               subscriber Receiver<StreamReport>
 //! ```
 //!
 //! Every channel along the record path is bounded, so a slow miner
@@ -26,20 +26,25 @@
 //! [`StreamReport::dropped_before`] — so a lazy subscriber can never
 //! deadlock the pipeline against [`IngestHandle::finish`], yet sees the
 //! size of any gap it caused.
+//!
+//! The ingest side lives in [`crate::ingest`]: per-shard flush buffers
+//! batched over the lock-free channel, and any number of concurrent
+//! [`IngestHandle`]s sharing one watermark table.
 
-use std::thread::JoinHandle;
+use std::sync::Arc;
 
 use anomex_core::extract::ExtractorConfig;
-use anomex_flow::error::CodecError;
 use anomex_flow::record::FlowRecord;
 use anomex_flow::store::TimeRange;
-use anomex_flow::{v5, v9};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use serde::{Deserialize, Serialize};
 
 use crate::detector::{DetectorCounters, DetectorRegistry};
+use crate::ingest::{PipelineCore, PipelineJoin};
 use crate::report::{ContinuousExtractor, StreamReport};
 use crate::window::{ShardWindows, WindowConfig, WindowManager, WindowShard};
+
+pub use crate::ingest::IngestHandle;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -49,11 +54,17 @@ pub struct StreamConfig {
     /// Capacity of each bounded channel on the record path — the
     /// backpressure depth.
     pub queue_depth: usize,
+    /// Records buffered per shard in each [`IngestHandle`] before one
+    /// batched `send_many` hands them to the worker; the sender-side
+    /// amortization knob (1 = unbatched).
+    pub ingest_batch: usize,
     /// Bounded out-of-orderness: the watermark trails the maximum event
     /// time seen by this much. Records older than the watermark are
     /// dropped (and counted) as late.
     pub lateness_ms: u64,
-    /// Broadcast a watermark to every shard after this many records.
+    /// Broadcast a watermark to every shard after this many records
+    /// (per handle). Also the flush cadence for lightly-loaded shard
+    /// buffers, so it bounds batching latency.
     pub watermark_every: usize,
     /// Replay span; see [`WindowConfig::span`]. `None` = open-ended.
     pub span: Option<TimeRange>,
@@ -82,6 +93,7 @@ impl Default for StreamConfig {
         StreamConfig {
             shards: 2,
             queue_depth: 1_024,
+            ingest_batch: 64,
             lateness_ms: 30_000,
             watermark_every: 256,
             span: None,
@@ -107,11 +119,15 @@ impl StreamConfig {
 /// Counters accumulated over one pipeline run.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct StreamStats {
-    /// Records accepted by [`IngestHandle::push`] (including ones later
-    /// dropped as late).
+    /// Records accepted by [`IngestHandle::push`] across every handle
+    /// (including ones later dropped as late).
     pub ingested: u64,
     /// NetFlow packets that failed to decode.
     pub decode_errors: u64,
+    /// Records that could not be handed to a shard worker because its
+    /// channel disconnected mid-run (a worker died): lost traffic that
+    /// previously vanished silently.
+    pub send_failures: u64,
     /// Records dropped behind the watermark.
     pub late_dropped: u64,
     /// Records outside the configured span.
@@ -130,7 +146,7 @@ pub struct StreamStats {
     pub reports_dropped: u64,
 }
 
-enum ShardMsg {
+pub(crate) enum ShardMsg {
     Record(FlowRecord),
     Watermark(u64),
     Flush,
@@ -142,7 +158,8 @@ enum CtrlMsg {
 }
 
 /// Launch the pipeline; returns the ingest handle and the subscriber
-/// end of the report channel.
+/// end of the report channel. Clone or [`IngestHandle::split`] the
+/// handle for multi-socket intake.
 ///
 /// # Panics
 /// Panics if `shards` is zero, the detector registry is empty or
@@ -170,33 +187,21 @@ pub fn launch(config: StreamConfig) -> (IngestHandle, Receiver<StreamReport>) {
     }
     drop(ctrl_tx);
 
-    let (shards, lateness_ms, watermark_every) =
-        (config.shards, config.lateness_ms, config.watermark_every);
+    let (shards, lateness_ms, watermark_every, ingest_batch) =
+        (config.shards, config.lateness_ms, config.watermark_every, config.ingest_batch);
     let control = std::thread::Builder::new()
         .name("anomex-stream-control".into())
         .spawn(move || control_loop(config, window_config, ctrl_rx, report_tx))
         .expect("spawn control thread");
 
-    let handle = IngestHandle {
-        senders,
-        shards,
-        lateness_ms,
-        watermark_every: watermark_every.max(1),
-        since_watermark: 0,
-        max_event_ms: 0,
-        ingested: 0,
-        decode_errors: 0,
-        v9_cache: v9::TemplateCache::new(),
-        workers,
-        control,
-    };
+    let core = Arc::new(PipelineCore::new(senders, lateness_ms, PipelineJoin { workers, control }));
+    let handle = IngestHandle::launch_first(core, shards, ingest_batch, watermark_every);
     (handle, report_rx)
 }
 
-/// Messages a shard worker drains per channel lock acquisition. On the
-/// ~1M records/sec ingest path the per-message `Mutex`+`Condvar`
-/// round-trip dominates the channel cost; draining in batches divides
-/// it by the batch size.
+/// Messages a shard worker drains per `recv_many` call. Pairs with the
+/// ingest side's `send_many` batches so both ends of the ring amortize
+/// their synchronization on the ~1M records/sec path.
 const SHARD_RECV_BATCH: usize = 256;
 
 /// One ingest shard: windows its records, closes them on watermarks.
@@ -210,7 +215,14 @@ fn shard_worker(shard: usize, rx: Receiver<ShardMsg>, ctrl: Sender<CtrlMsg>, con
                     windows.push(record);
                 }
                 ShardMsg::Watermark(watermark_ms) => {
+                    let frontier_before = windows.frontier();
                     let closed = windows.close_up_to(watermark_ms);
+                    if closed.is_empty() && windows.frontier() == frontier_before {
+                        // Stale watermark (multi-handle intake repeats
+                        // them): nothing closed, frontier unmoved — the
+                        // manager needs no report.
+                        continue;
+                    }
                     let report =
                         CtrlMsg::Report { shard, frontier: windows.frontier(), windows: closed };
                     if ctrl.send(report).is_err() {
@@ -221,7 +233,7 @@ fn shard_worker(shard: usize, rx: Receiver<ShardMsg>, ctrl: Sender<CtrlMsg>, con
             }
         }
     }
-    // Flush (or ingest handle dropped): close everything and seal.
+    // Flush (or every ingest handle dropped): close everything and seal.
     let closed = windows.flush();
     let _ = ctrl.send(CtrlMsg::Report { shard, frontier: windows.frontier(), windows: closed });
     let _ = ctrl.send(CtrlMsg::Done {
@@ -287,127 +299,11 @@ fn control_loop(
     stats
 }
 
-/// The ingest front-end: routes records to shard workers, tracks event
-/// time, broadcasts watermarks, and decodes NetFlow packets in place.
-///
-/// Single-threaded by design (one handle per collector socket); the
-/// parallelism lives behind the shard channels it feeds.
-pub struct IngestHandle {
-    senders: Vec<Sender<ShardMsg>>,
-    shards: usize,
-    lateness_ms: u64,
-    watermark_every: usize,
-    since_watermark: usize,
-    max_event_ms: u64,
-    ingested: u64,
-    decode_errors: u64,
-    v9_cache: v9::TemplateCache,
-    workers: Vec<JoinHandle<()>>,
-    control: JoinHandle<StreamStats>,
-}
-
-impl IngestHandle {
-    /// Ingest one record. Blocks when the target shard's queue is full
-    /// — the backpressure point.
-    pub fn push(&mut self, record: FlowRecord) {
-        self.ingested += 1;
-        self.max_event_ms = self.max_event_ms.max(record.start_ms);
-        let shard = record.key().shard(self.shards);
-        let _ = self.senders[shard].send(ShardMsg::Record(record));
-        self.since_watermark += 1;
-        if self.since_watermark >= self.watermark_every {
-            self.broadcast_watermark();
-        }
-    }
-
-    /// Ingest a batch of records.
-    pub fn push_batch(&mut self, records: impl IntoIterator<Item = FlowRecord>) {
-        for record in records {
-            self.push(record);
-        }
-    }
-
-    /// Decode one NetFlow v5 packet and ingest its records; returns the
-    /// record count.
-    ///
-    /// # Errors
-    /// Propagates codec errors (counted in [`StreamStats::decode_errors`]).
-    pub fn push_v5(&mut self, packet: &[u8]) -> Result<usize, CodecError> {
-        match v5::decode(packet) {
-            Ok(decoded) => {
-                let n = decoded.records.len();
-                self.push_batch(decoded.records);
-                Ok(n)
-            }
-            Err(e) => {
-                self.decode_errors += 1;
-                Err(e)
-            }
-        }
-    }
-
-    /// Decode one NetFlow v9 packet (templates cached across packets)
-    /// and ingest its records; returns the record count.
-    ///
-    /// # Errors
-    /// Propagates codec errors (counted in [`StreamStats::decode_errors`]).
-    pub fn push_v9(&mut self, packet: &[u8]) -> Result<usize, CodecError> {
-        let mut cache = std::mem::take(&mut self.v9_cache);
-        let result = v9::decode(packet, &mut cache);
-        self.v9_cache = cache;
-        match result {
-            Ok(decoded) => {
-                let n = decoded.records.len();
-                self.push_batch(decoded.records);
-                Ok(n)
-            }
-            Err(e) => {
-                self.decode_errors += 1;
-                Err(e)
-            }
-        }
-    }
-
-    /// Records ingested so far.
-    pub fn ingested(&self) -> u64 {
-        self.ingested
-    }
-
-    /// The current event-time watermark.
-    pub fn watermark_ms(&self) -> u64 {
-        self.max_event_ms.saturating_sub(self.lateness_ms)
-    }
-
-    fn broadcast_watermark(&mut self) {
-        self.since_watermark = 0;
-        let watermark = self.watermark_ms();
-        for tx in &self.senders {
-            let _ = tx.send(ShardMsg::Watermark(watermark));
-        }
-    }
-
-    /// End the stream: flush every window, join all threads, and return
-    /// the run's statistics. Reports still queued remain readable on
-    /// the subscriber channel, which disconnects after the last one.
-    pub fn finish(self) -> StreamStats {
-        for tx in &self.senders {
-            let _ = tx.send(ShardMsg::Flush);
-        }
-        drop(self.senders);
-        for worker in self.workers {
-            worker.join().expect("shard worker panicked");
-        }
-        let mut stats = self.control.join().expect("stream control thread panicked");
-        stats.ingested = self.ingested;
-        stats.decode_errors = self.decode_errors;
-        stats
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use anomex_detect::kl::KlConfig;
+    use anomex_flow::v5;
     use std::net::Ipv4Addr;
 
     fn scan_config(shards: usize) -> StreamConfig {
@@ -469,6 +365,7 @@ mod tests {
 
         assert_eq!(stats.ingested, 8 * 200 + 1_500);
         assert_eq!(stats.late_dropped, 0, "in-order feed must drop nothing");
+        assert_eq!(stats.send_failures, 0, "healthy workers lose nothing");
         assert_eq!(stats.windows, 8, "bounded span closes every window");
         assert_eq!(stats.alarms, 1);
         assert_eq!(stats.reports, 1);
@@ -591,6 +488,71 @@ mod tests {
     }
 
     #[test]
+    fn batch_sizes_agree_on_stats_and_reports() {
+        // The flush-buffer size is pure mechanics: every batch size
+        // must produce the identical run.
+        let mut baseline: Option<(StreamStats, Vec<StreamReport>)> = None;
+        for ingest_batch in [1usize, 7, 256] {
+            let config = StreamConfig { ingest_batch, ..scan_config(2) };
+            let (mut ingest, reports) = launch(config);
+            ingest.push_batch(trace());
+            let stats = ingest.finish();
+            let received: Vec<StreamReport> = reports.iter().collect();
+            match &baseline {
+                None => baseline = Some((stats, received)),
+                Some((expected_stats, expected_reports)) => {
+                    assert_eq!(&stats, expected_stats, "batch {ingest_batch} diverged");
+                    assert_eq!(received.len(), expected_reports.len());
+                    for (a, b) in received.iter().zip(expected_reports) {
+                        assert_eq!(a.alarm, b.alarm);
+                        assert_eq!(a.extraction.itemsets, b.extraction.itemsets);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_handles_share_the_pipeline_and_the_watermark() {
+        let (ingest, reports) = launch(scan_config(2));
+        let mut handles = ingest.split(3);
+        assert_eq!(handles[0].live_handles(), 3);
+        let flows = trace();
+        let total = flows.len() as u64;
+        // Round-robin the trace across three concurrently-pushing
+        // handles; the shared min-over-handles watermark keeps every
+        // record inside the lateness bound.
+        let mut parts: Vec<Vec<FlowRecord>> = vec![Vec::new(), Vec::new(), Vec::new()];
+        for (i, flow) in flows.into_iter().enumerate() {
+            parts[i % 3].push(flow);
+        }
+        let finisher = handles.pop().unwrap();
+        let threads: Vec<_> = handles
+            .into_iter()
+            .zip(parts.drain(..2))
+            .map(|(mut handle, part)| {
+                std::thread::spawn(move || {
+                    handle.push_batch(part);
+                    // dropping the handle flushes + retires its slot
+                })
+            })
+            .collect();
+        let mut finisher = finisher;
+        finisher.push_batch(parts.pop().unwrap());
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = finisher.finish();
+        let received: Vec<StreamReport> = reports.iter().collect();
+        assert_eq!(stats.ingested, total);
+        assert_eq!(stats.late_dropped, 0, "shared watermark must not strand any handle");
+        assert_eq!(stats.send_failures, 0);
+        assert_eq!(stats.windows, 8);
+        assert_eq!(received.len(), 1);
+        assert_eq!(received[0].alarm.window.from_ms, 7 * 60_000);
+    }
+
+    #[test]
     fn v5_packets_feed_the_pipeline() {
         let flows = trace();
         let packets = v5::encode_all(&flows, v5::ExportBase::epoch(), 0).expect("encode v5 stream");
@@ -677,5 +639,18 @@ mod tests {
         let stats = ingest.finish();
         assert_eq!(stats.windows, 8);
         assert_eq!(reports.iter().count(), 1);
+    }
+
+    #[test]
+    fn dropping_every_handle_still_flushes_the_stream() {
+        // No finish() at all: dropping the last handle disconnects the
+        // shard channels, the workers seal, and queued reports remain
+        // readable until the report channel disconnects.
+        let (mut ingest, reports) = launch(scan_config(2));
+        ingest.push_batch(trace());
+        drop(ingest);
+        let received: Vec<StreamReport> = reports.iter().collect();
+        assert_eq!(received.len(), 1, "the scan report still lands");
+        assert_eq!(received[0].alarm.window.from_ms, 7 * 60_000);
     }
 }

@@ -269,14 +269,28 @@ impl WindowManager {
         let mut out = Vec::new();
         while idx < end {
             let range = self.config.range_of(idx);
-            let mut stat = IntervalStat::empty(range);
-            let mut records = Vec::new();
+            // Move the first occupied partial instead of merging it
+            // into an empty summary: for single-shard pipelines (and
+            // any window only one shard touched) the whole window —
+            // distribution maps and record vector — transfers without
+            // copying a single entry.
+            let mut merged: Option<(IntervalStat, Vec<FlowRecord>)> = None;
             if let Some(slots) = self.pending.remove(&idx) {
                 for shard in slots.into_iter().flatten() {
-                    stat.merge(&shard.stat);
-                    records.extend(shard.records);
+                    match &mut merged {
+                        None => {
+                            debug_assert_eq!(shard.stat.range, range, "partial on wrong grid");
+                            merged = Some((shard.stat, shard.records));
+                        }
+                        Some((stat, records)) => {
+                            stat.merge(&shard.stat);
+                            records.extend(shard.records);
+                        }
+                    }
                 }
             }
+            let (stat, records) =
+                merged.unwrap_or_else(|| (IntervalStat::empty(range), Vec::new()));
             out.push(ClosedWindow { index: idx, range, stat, records });
             idx += 1;
         }

@@ -6,12 +6,15 @@
 //!
 //! A GEANT-like trace (background + a port scan in the 7th minute) is
 //! encoded into real NetFlow v5 packets and replayed through the
-//! sharded streaming pipeline. Each closed one-minute window feeds a
-//! KL + entropy-PCA detector **ensemble** incrementally; the scan
-//! window trips both detectors, the bank merges their alarms into one
-//! attributed alarm, the continuous extractor mines the in-memory
-//! window shards once, and the report lands on the live console — no
-//! archive ever queried.
+//! sharded streaming pipeline from **two concurrent collector
+//! "sockets"** — the ingest handle is split in two, each feeder thread
+//! pushing its half of the packet stream, with the shared
+//! min-over-handles watermark keeping event time correct. Each closed
+//! one-minute window feeds a KL + entropy-PCA detector **ensemble**
+//! incrementally; the scan window trips both detectors, the bank
+//! merges their alarms into one attributed alarm, the continuous
+//! extractor mines the in-memory window shards once, and the report
+//! lands on the live console — no archive ever queried.
 
 use anomex::flow::v5;
 use anomex::prelude::*;
@@ -53,14 +56,41 @@ fn main() {
         ]),
         ..StreamConfig::default()
     };
-    let (mut ingest, reports) = pipeline::launch(config);
-    for packet in &packets {
-        ingest.push_v5(packet).expect("decode own packets");
+    let (ingest, reports) = pipeline::launch(config);
+
+    // Two collector "sockets": split the handle, deal the packet stream
+    // round-robin, and feed both halves concurrently. Each handle
+    // batches records per shard and the watermark is the minimum over
+    // both live handles, so neither feeder can strand the other's
+    // records behind the lateness bound.
+    let mut sockets = ingest.split(2);
+    let mut feeder = sockets.pop().unwrap();
+    let mut other = sockets.pop().unwrap();
+    // `Bytes` clones are zero-copy views, so dealing the stream out is
+    // pointer arithmetic, not payload copies.
+    let (even, odd): (Vec<_>, Vec<_>) =
+        packets.iter().cloned().enumerate().partition(|(i, _)| i % 2 == 0);
+    let second_socket = std::thread::spawn(move || {
+        for (_, packet) in odd {
+            other.push_v5(&packet).expect("decode own packets");
+        }
+        other.ingested() // handle drops here: flushed + retired
+    });
+    for (_, packet) in even {
+        feeder.push_v5(&packet).expect("decode own packets");
     }
-    let stats = ingest.finish();
+    let from_second = second_socket.join().expect("second collector thread");
+    let stats = feeder.finish();
     println!(
-        "ingested {} records over {} windows: {} merged alarm(s), {} late, {} decode errors",
-        stats.ingested, stats.windows, stats.alarms, stats.late_dropped, stats.decode_errors
+        "ingested {} records over {} windows ({} via the second socket): \
+         {} merged alarm(s), {} late, {} decode errors, {} send failures",
+        stats.ingested,
+        stats.windows,
+        from_second,
+        stats.alarms,
+        stats.late_dropped,
+        stats.decode_errors,
+        stats.send_failures
     );
     for counter in &stats.per_detector {
         println!(

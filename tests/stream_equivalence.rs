@@ -67,6 +67,7 @@ fn streaming_equals_batch_under_out_of_order_arrival() {
     let config = StreamConfig {
         shards: 4,
         queue_depth: 256,
+        ingest_batch: 64,
         lateness_ms: LATENESS_MS,
         watermark_every: 64,
         span: Some(span),
@@ -98,6 +99,78 @@ fn streaming_equals_batch_under_out_of_order_arrival() {
         assert_eq!(report.extraction.itemsets, batch.itemsets);
         assert_eq!(report.extraction.tuning, batch.tuning);
         assert!(!report.extraction.is_empty(), "scan must yield itemsets");
+    }
+}
+
+#[test]
+fn multi_handle_shuffled_streaming_equals_batch_bit_for_bit() {
+    // The multi-socket case: the same shuffled corpus, but dealt
+    // round-robin to THREE concurrently-pushing IngestHandles. The
+    // shared min-over-live-handles watermark must keep every record
+    // inside the lateness bound no matter how far one handle runs
+    // ahead, and the result must still be bit-identical with batch.
+    let (records, span) = corpus();
+    let kl = KlConfig { interval_ms: WIDTH_MS, ..KlConfig::default() };
+
+    let mut batch_detector = KlDetector::new(kl);
+    let batch_alarms = batch_detector.detect(&records, span);
+    assert!(!batch_alarms.is_empty(), "scenario must trip the detector");
+    let extractor = Extractor::with_defaults();
+    let batch_extractions: Vec<Extraction> =
+        batch_alarms.iter().map(|a| extractor.extract_from_window(&records, a)).collect();
+
+    let shuffled = bounded_shuffle(&records);
+    let mut parts: Vec<Vec<FlowRecord>> = vec![Vec::new(), Vec::new(), Vec::new()];
+    for (i, record) in shuffled.into_iter().enumerate() {
+        parts[i % 3].push(record);
+    }
+
+    let config = StreamConfig {
+        shards: 4,
+        queue_depth: 256,
+        ingest_batch: 32,
+        lateness_ms: LATENESS_MS,
+        watermark_every: 64,
+        span: Some(span),
+        detectors: DetectorRegistry::kl(kl),
+        extractor: *extractor.config(),
+        retain_windows: 3,
+        report_queue: 1_024,
+    };
+    let (ingest, reports) = pipeline::launch(config);
+    let mut handles = ingest.split(3);
+    assert_eq!(handles[0].live_handles(), 3);
+    let finisher = handles.pop().unwrap();
+    let pushers: Vec<_> = handles
+        .into_iter()
+        .zip(parts.drain(..2))
+        .map(|(mut handle, part)| {
+            std::thread::spawn(move || {
+                handle.push_batch(part);
+            })
+        })
+        .collect();
+    let mut finisher = finisher;
+    finisher.push_batch(parts.pop().unwrap());
+    for pusher in pushers {
+        pusher.join().unwrap();
+    }
+    let stats = finisher.finish();
+    let received: Vec<StreamReport> = reports.iter().collect();
+
+    assert_eq!(stats.ingested, records.len() as u64);
+    assert_eq!(stats.late_dropped, 0, "min-over-handles watermark must strand nothing");
+    assert_eq!(stats.send_failures, 0);
+    assert_eq!(stats.windows, INTERVALS);
+
+    let stream_alarms: Vec<Alarm> = received.iter().map(|r| r.alarm.clone()).collect();
+    assert_eq!(stream_alarms, batch_alarms, "alarms must stay bit-identical");
+    assert_eq!(received.len(), batch_extractions.len());
+    for (report, batch) in received.iter().zip(&batch_extractions) {
+        assert_eq!(report.extraction.candidate_flows, batch.candidate_flows);
+        assert_eq!(report.extraction.candidate_packets, batch.candidate_packets);
+        assert_eq!(report.extraction.itemsets, batch.itemsets);
+        assert_eq!(report.extraction.tuning, batch.tuning);
     }
 }
 

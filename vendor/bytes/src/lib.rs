@@ -7,10 +7,12 @@
 //! match the real crate so it can be swapped back in unchanged.
 //!
 //! Like the real crate, [`Bytes`] is a view `(start, end)` into a
-//! reference-counted `Arc<[u8]>` allocation: `clone`, `slice` and
-//! `advance` are O(1) pointer arithmetic and never copy the payload —
-//! the property the NetFlow decode hot path relies on when one ingest
-//! packet fans out across shard channels.
+//! reference-counted allocation: `clone`, `slice` and `advance` are
+//! O(1) pointer arithmetic and never copy the payload — the property
+//! the NetFlow decode hot path relies on when one ingest packet fans
+//! out across shard channels. [`BytesMut::freeze`] is zero-copy too:
+//! the written buffer is moved into the shared allocation, so encoding
+//! a packet and freezing it never reallocates the payload.
 
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
@@ -131,12 +133,15 @@ impl BufMut for Vec<u8> {
 
 /// An immutable, reference-counted byte buffer.
 ///
-/// A `(start, end)` view into a shared `Arc<[u8]>` allocation:
+/// A `(start, end)` view into a shared, reference-counted allocation:
 /// cloning, slicing and advancing adjust the view without touching the
-/// payload. Equality and hashing are over the viewed bytes.
+/// payload. The backing store is an `Arc<Vec<u8>>` so that
+/// [`BytesMut::freeze`] can *move* the written buffer in without
+/// copying the payload — matching the real crate's zero-copy freeze.
+/// Equality and hashing are over the viewed bytes.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -149,10 +154,10 @@ impl Bytes {
 
     /// Copy a slice into a new buffer (the one unavoidable copy).
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes::from_shared(Arc::from(data))
+        Bytes::from_shared(Arc::new(data.to_vec()))
     }
 
-    fn from_shared(data: Arc<[u8]>) -> Bytes {
+    fn from_shared(data: Arc<Vec<u8>>) -> Bytes {
         let end = data.len();
         Bytes { data, start: 0, end }
     }
@@ -190,7 +195,7 @@ impl Bytes {
 
 impl Default for Bytes {
     fn default() -> Bytes {
-        Bytes::from_shared(Arc::from([]))
+        Bytes::from_shared(Arc::new(Vec::new()))
     }
 }
 
@@ -224,7 +229,7 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Bytes {
-        Bytes::from_shared(Arc::from(data))
+        Bytes::from_shared(Arc::new(data))
     }
 }
 
@@ -298,9 +303,10 @@ impl BytesMut {
 
     /// Freeze into an immutable [`Bytes`].
     ///
-    /// This stand-in copies once into the shared `Arc<[u8]>` allocation
-    /// (the real crate moves it); every later clone/slice/advance of
-    /// the result is then zero-copy.
+    /// Zero-copy: the uniquely-owned buffer is **moved** into the
+    /// shared allocation (the heap payload keeps its address — no
+    /// reallocation, matching the real crate), and every later
+    /// clone/slice/advance of the result is zero-copy too.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
     }
@@ -382,6 +388,22 @@ mod tests {
     fn short_read_panics() {
         let mut rd: &[u8] = &[1u8];
         let _ = rd.get_u16();
+    }
+
+    #[test]
+    fn freeze_moves_the_buffer_without_reallocating() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_slice(b"netflow v5 header and records");
+        let payload_ptr = buf.as_ref().as_ptr();
+        let frozen = buf.freeze();
+        assert_eq!(
+            frozen.as_ref().as_ptr(),
+            payload_ptr,
+            "freeze must move the heap payload, not copy it"
+        );
+        assert_eq!(frozen.as_ref(), b"netflow v5 header and records");
+        // Views of the frozen buffer stay on the same allocation too.
+        assert_eq!(frozen.slice(8..10).as_ref().as_ptr(), unsafe { payload_ptr.add(8) });
     }
 
     #[test]

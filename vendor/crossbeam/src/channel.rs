@@ -4,13 +4,28 @@
 //! [`bounded`] channels block the sender when full — the backpressure
 //! primitive of the streaming ingest layer — and [`unbounded`] channels
 //! never block on send. Both sides are cloneable; a channel disconnects
-//! when every handle on the other side is dropped. The implementation
-//! is a `Mutex<VecDeque>` with two `Condvar`s, which is slower than real
-//! crossbeam's lock-free queues but semantically identical for the
-//! operations offered here.
+//! when every handle on the other side is dropped.
+//!
+//! The bounded flavor is an array-backed **lock-free MPMC ring**
+//! (Vyukov-style: one sequence stamp per slot, head/tail claimed by
+//! CAS), so the hot path — `send`, [`Sender::send_many`], `try_send`,
+//! `try_recv`, [`Receiver::recv_many`] — never takes a mutex. A
+//! `Mutex` + `Condvar` pair survives only at the *blocking edges*: a
+//! sender parks when the ring is full, a receiver parks when it is
+//! empty, and the waker pays for the lock only when the waiter counter
+//! says somebody is actually parked. The unbounded flavor stays a
+//! `Mutex<VecDeque>` — it is off the record hot path.
+//!
+//! Beyond the real crate's API this stand-in adds two batched calls
+//! that amortize whatever synchronization remains: [`Sender::send_many`]
+//! and [`Receiver::recv_many`] (see `ROADMAP.md` for the shim list to
+//! revisit if the registry crates ever return).
 
+use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Create a channel holding at most `cap` in-flight messages.
@@ -19,40 +34,334 @@ use std::sync::{Arc, Condvar, Mutex};
 /// zero is rounded up to one: real crossbeam's rendezvous semantics are
 /// not reproduced by this stand-in.
 pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-    channel(Some(cap.max(1)))
+    channel(Flavor::Ring(Ring::new(cap.max(1))))
 }
 
 /// Create a channel with no capacity limit; `send` never blocks.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-    channel(None)
+    channel(Flavor::List(Mutex::new(VecDeque::new())))
 }
 
-fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+fn channel<T>(flavor: Flavor<T>) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
-        state: Mutex::new(State { queue: VecDeque::new(), cap, senders: 1, receivers: 1 }),
-        not_empty: Condvar::new(),
-        not_full: Condvar::new(),
+        flavor,
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+        not_empty: Parking::new(),
+        not_full: Parking::new(),
     });
     (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
 }
 
-struct State<T> {
-    queue: VecDeque<T>,
-    cap: Option<usize>,
-    senders: usize,
-    receivers: usize,
+// ---------------------------------------------------------------------------
+// The lock-free ring (bounded flavor).
+// ---------------------------------------------------------------------------
+
+/// Pads an atomic counter to its own cache line so the producers'
+/// `tail` and the consumers' `head` don't false-share.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// One ring slot: a sequence stamp plus the (possibly uninitialized)
+/// message payload. The stamp encodes which "lap" last touched the
+/// slot, which is what makes the queue safe for concurrent producers
+/// *and* consumers without locks.
+struct Slot<T> {
+    stamp: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
 }
 
-impl<T> State<T> {
-    fn is_full(&self) -> bool {
-        self.cap.is_some_and(|c| self.queue.len() >= c)
+/// Vyukov-style bounded MPMC queue. `head`/`tail` are position
+/// counters whose low bits index the slot array and whose high bits
+/// count laps (`one_lap` is the smallest power of two above `cap`, so
+/// index extraction is a mask even for non-power-of-two capacities).
+///
+/// Invariant per slot: `stamp == pos` means "free for the push that
+/// will claim position `pos`"; `stamp == pos + 1` means "holds the
+/// message pushed at `pos`, free for the pop that claims it".
+struct Ring<T> {
+    slots: Box<[Slot<T>]>,
+    cap: usize,
+    one_lap: usize,
+    head: CachePadded<AtomicUsize>,
+    tail: CachePadded<AtomicUsize>,
+}
+
+// The ring hands each message from exactly one producer to exactly one
+// consumer; `T: Send` is all that transfer needs.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+/// Bounded exponential backoff for CAS retry loops: spin briefly, then
+/// yield the timeslice (essential on single-CPU hosts, where spinning
+/// against a preempted peer burns the whole quantum).
+struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    const SPIN_LIMIT: u32 = 6;
+
+    fn new() -> Backoff {
+        Backoff { step: 0 }
+    }
+
+    fn spin(&mut self) {
+        if self.step <= Self::SPIN_LIMIT {
+            for _ in 0..1u32 << self.step {
+                std::hint::spin_loop();
+            }
+            self.step += 1;
+        } else {
+            std::thread::yield_now();
+        }
     }
 }
 
+impl<T> Ring<T> {
+    fn new(cap: usize) -> Ring<T> {
+        assert!(cap > 0, "ring capacity must be positive");
+        let slots: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                stamp: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Ring {
+            slots,
+            cap,
+            one_lap: (cap + 1).next_power_of_two(),
+            head: CachePadded(AtomicUsize::new(0)),
+            tail: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Position after `pos`: next index in the same lap, or index 0 of
+    /// the next lap at the array end.
+    fn next_pos(&self, pos: usize) -> usize {
+        let index = pos & (self.one_lap - 1);
+        let lap = pos & !(self.one_lap - 1);
+        if index + 1 < self.cap {
+            pos + 1
+        } else {
+            lap.wrapping_add(self.one_lap)
+        }
+    }
+
+    /// Lock-free push; `Err(value)` when the ring is full.
+    fn try_push(&self, value: T) -> Result<(), T> {
+        let mut backoff = Backoff::new();
+        let mut tail = self.tail.0.load(Ordering::Relaxed);
+        loop {
+            let index = tail & (self.one_lap - 1);
+            let slot = &self.slots[index];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp == tail {
+                // Slot free for this lap: claim the position.
+                match self.tail.0.compare_exchange_weak(
+                    tail,
+                    self.next_pos(tail),
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.stamp.store(tail.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(current) => {
+                        tail = current;
+                        backoff.spin();
+                    }
+                }
+            } else if stamp.wrapping_add(self.one_lap) == tail.wrapping_add(1) {
+                // The slot still holds last lap's message. If head
+                // hasn't moved either, the ring is genuinely full;
+                // otherwise a consumer is mid-pop — retry.
+                std::sync::atomic::fence(Ordering::SeqCst);
+                let head = self.head.0.load(Ordering::Relaxed);
+                if head.wrapping_add(self.one_lap) == tail {
+                    return Err(value);
+                }
+                backoff.spin();
+                tail = self.tail.0.load(Ordering::Relaxed);
+            } else {
+                // A producer claimed this position but hasn't finished
+                // writing; wait for the stamp to settle.
+                backoff.spin();
+                tail = self.tail.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Lock-free pop; `None` when the ring is empty.
+    fn try_pop(&self) -> Option<T> {
+        let mut backoff = Backoff::new();
+        let mut head = self.head.0.load(Ordering::Relaxed);
+        loop {
+            let index = head & (self.one_lap - 1);
+            let slot = &self.slots[index];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp == head.wrapping_add(1) {
+                // Slot holds this lap's message: claim the position.
+                match self.head.0.compare_exchange_weak(
+                    head,
+                    self.next_pos(head),
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.stamp.store(head.wrapping_add(self.one_lap), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(current) => {
+                        head = current;
+                        backoff.spin();
+                    }
+                }
+            } else if stamp == head {
+                // Nothing written here this lap. If tail hasn't moved
+                // past us the ring is empty; otherwise a producer is
+                // mid-push — retry.
+                std::sync::atomic::fence(Ordering::SeqCst);
+                let tail = self.tail.0.load(Ordering::Relaxed);
+                if tail == head {
+                    return None;
+                }
+                backoff.spin();
+                head = self.head.0.load(Ordering::Relaxed);
+            } else {
+                backoff.spin();
+                head = self.head.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Consistent queue length from a stable head/tail snapshot.
+    fn len(&self) -> usize {
+        loop {
+            let tail = self.tail.0.load(Ordering::SeqCst);
+            let head = self.head.0.load(Ordering::SeqCst);
+            // Only trust the pair if tail didn't move in between.
+            if self.tail.0.load(Ordering::SeqCst) == tail {
+                let hix = head & (self.one_lap - 1);
+                let tix = tail & (self.one_lap - 1);
+                return if hix < tix {
+                    tix - hix
+                } else if hix > tix {
+                    self.cap - hix + tix
+                } else if tail == head {
+                    0
+                } else {
+                    self.cap
+                };
+            }
+        }
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Exclusive access: pop and drop whatever is still in flight.
+        while self.try_pop().is_some() {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parking: the blocking edges.
+// ---------------------------------------------------------------------------
+
+/// A condvar wait-point with a fast, lock-free "is anyone parked?"
+/// check. The waiter registers (SeqCst) *before* re-checking queue
+/// state; the waker changes queue state *before* loading the counter —
+/// so at least one side always sees the other and wakeups are never
+/// lost, yet the uncontended notify costs one atomic load.
+struct Parking {
+    waiters: AtomicUsize,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl Parking {
+    fn new() -> Parking {
+        Parking { waiters: AtomicUsize::new(0), lock: Mutex::new(()), cond: Condvar::new() }
+    }
+
+    /// Park the calling thread until `ready()` holds. `ready` is
+    /// evaluated under the parking lock, so it must be cheap.
+    fn park_until(&self, mut ready: impl FnMut() -> bool) {
+        let mut guard = self.lock.lock().expect("channel parking poisoned");
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        while !ready() {
+            guard = self.cond.wait(guard).expect("channel parking poisoned");
+        }
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        drop(guard);
+    }
+
+    /// Wake every parked thread — a no-op (one atomic load) when none
+    /// is parked, which is the common case on the hot path.
+    fn notify(&self) {
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            let _guard = self.lock.lock().expect("channel parking poisoned");
+            self.cond.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared channel state.
+// ---------------------------------------------------------------------------
+
+enum Flavor<T> {
+    /// Bounded: the lock-free ring.
+    Ring(Ring<T>),
+    /// Unbounded: a mutex-guarded list (cold path only).
+    List(Mutex<VecDeque<T>>),
+}
+
 struct Shared<T> {
-    state: Mutex<State<T>>,
-    not_empty: Condvar,
-    not_full: Condvar,
+    flavor: Flavor<T>,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+    not_empty: Parking,
+    not_full: Parking,
+}
+
+impl<T> Shared<T> {
+    fn len(&self) -> usize {
+        match &self.flavor {
+            Flavor::Ring(ring) => ring.len(),
+            Flavor::List(list) => list.lock().expect("channel poisoned").len(),
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        match &self.flavor {
+            Flavor::Ring(ring) => ring.len() >= ring.cap,
+            Flavor::List(_) => false,
+        }
+    }
+
+    /// One non-blocking push attempt; `Err(value)` when full.
+    fn try_push(&self, value: T) -> Result<(), T> {
+        match &self.flavor {
+            Flavor::Ring(ring) => ring.try_push(value),
+            Flavor::List(list) => {
+                list.lock().expect("channel poisoned").push_back(value);
+                Ok(())
+            }
+        }
+    }
+
+    /// One non-blocking pop attempt.
+    fn try_pop(&self) -> Option<T> {
+        match &self.flavor {
+            Flavor::Ring(ring) => ring.try_pop(),
+            Flavor::List(list) => list.lock().expect("channel poisoned").pop_front(),
+        }
+    }
 }
 
 /// Error returned by [`Sender::send`] when every receiver is gone;
@@ -147,19 +456,88 @@ impl<T> Sender<T> {
     /// # Errors
     /// Returns the message if every [`Receiver`] has been dropped.
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-        let mut state = self.shared.state.lock().expect("channel poisoned");
+        let mut msg = msg;
         loop {
-            if state.receivers == 0 {
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
                 return Err(SendError(msg));
             }
-            if !state.is_full() {
-                state.queue.push_back(msg);
-                drop(state);
-                self.shared.not_empty.notify_one();
-                return Ok(());
+            match self.shared.try_push(msg) {
+                Ok(()) => {
+                    self.shared.not_empty.notify();
+                    return Ok(());
+                }
+                Err(returned) => {
+                    msg = returned;
+                    let shared = &*self.shared;
+                    shared.not_full.park_until(|| {
+                        !shared.is_full() || shared.receivers.load(Ordering::SeqCst) == 0
+                    });
+                }
             }
-            state = self.shared.not_full.wait(state).expect("channel poisoned");
         }
+    }
+
+    /// Enqueue every message in `batch` in order, blocking whenever the
+    /// channel is at capacity; on success the batch is left empty and
+    /// its length returned. The batched counterpart of
+    /// [`Receiver::recv_many`]: producers on the streaming ingest hot
+    /// path hand a whole flush buffer over in one call, and the
+    /// receiver-side wakeup check runs **once per batch** instead of
+    /// once per message — the difference is large on a loaded host,
+    /// where a runnable-but-unscheduled consumer keeps its waiter flag
+    /// up and a per-message notify degrades into a syscall per record.
+    ///
+    /// # Errors
+    /// When every [`Receiver`] is gone the unsent tail (in order) is
+    /// left in `batch`; the error carries how many messages this call
+    /// had already enqueued — those are lost with the channel, and the
+    /// count lets callers account for every record they handed over.
+    pub fn send_many(&self, batch: &mut Vec<T>) -> Result<usize, SendError<usize>> {
+        let total = batch.len();
+        let mut unsent: Vec<T> = Vec::new();
+        let mut sent = 0usize;
+        let mut disconnected = false;
+        {
+            // Draining (rather than taking) the Vec keeps the caller's
+            // allocation: a reused flush buffer never re-grows.
+            let mut iter = batch.drain(..);
+            let mut pending: Option<T> = None;
+            loop {
+                let Some(msg) = pending.take().or_else(|| iter.next()) else {
+                    break;
+                };
+                if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                    unsent.push(msg);
+                    unsent.extend(iter);
+                    disconnected = true;
+                    break;
+                }
+                match self.shared.try_push(msg) {
+                    Ok(()) => sent += 1,
+                    Err(returned) => {
+                        pending = Some(returned);
+                        // The ring is full: before parking, wake a
+                        // consumer that may still be asleep from before
+                        // this batch filled the ring (park-vs-park
+                        // deadlock otherwise).
+                        self.shared.not_empty.notify();
+                        let shared = &*self.shared;
+                        shared.not_full.park_until(|| {
+                            !shared.is_full() || shared.receivers.load(Ordering::SeqCst) == 0
+                        });
+                    }
+                }
+            }
+        }
+        if sent > 0 {
+            self.shared.not_empty.notify();
+        }
+        if disconnected {
+            batch.extend(unsent);
+            return Err(SendError(sent));
+        }
+        debug_assert_eq!(sent, total);
+        Ok(total)
     }
 
     /// Enqueue `msg` without blocking.
@@ -169,22 +547,28 @@ impl<T> Sender<T> {
     /// [`TrySendError::Disconnected`] when every [`Receiver`] is gone;
     /// both return the message.
     pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
-        let mut state = self.shared.state.lock().expect("channel poisoned");
-        if state.receivers == 0 {
+        if self.shared.receivers.load(Ordering::SeqCst) == 0 {
             return Err(TrySendError::Disconnected(msg));
         }
-        if state.is_full() {
-            return Err(TrySendError::Full(msg));
+        match &self.shared.flavor {
+            Flavor::Ring(ring) => match ring.try_push(msg) {
+                Ok(()) => {
+                    self.shared.not_empty.notify();
+                    Ok(())
+                }
+                Err(returned) => Err(TrySendError::Full(returned)),
+            },
+            Flavor::List(list) => {
+                list.lock().expect("channel poisoned").push_back(msg);
+                self.shared.not_empty.notify();
+                Ok(())
+            }
         }
-        state.queue.push_back(msg);
-        drop(state);
-        self.shared.not_empty.notify_one();
-        Ok(())
     }
 
     /// Number of messages currently queued.
     pub fn len(&self) -> usize {
-        self.shared.state.lock().expect("channel poisoned").queue.len()
+        self.shared.len()
     }
 
     /// Whether the queue is currently empty.
@@ -195,22 +579,17 @@ impl<T> Sender<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Sender<T> {
-        self.shared.state.lock().expect("channel poisoned").senders += 1;
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
         Sender { shared: Arc::clone(&self.shared) }
     }
 }
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let remaining = {
-            let mut state = self.shared.state.lock().expect("channel poisoned");
-            state.senders -= 1;
-            state.senders
-        };
-        if remaining == 0 {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
             // Wake receivers blocked on an empty queue so they observe
             // the disconnect.
-            self.shared.not_empty.notify_all();
+            self.shared.not_empty.notify();
         }
     }
 }
@@ -221,62 +600,97 @@ pub struct Receiver<T> {
     shared: Arc<Shared<T>>,
 }
 
+/// Outcome of one non-blocking receive attempt (shared by the blocking
+/// and non-blocking entry points so the disconnect race is handled in
+/// exactly one place).
+enum PopAttempt<T> {
+    Got(T),
+    Empty,
+    Disconnected,
+}
+
 impl<T> Receiver<T> {
+    /// One non-blocking attempt, with the final-sweep rule: after the
+    /// last sender detaches, anything it pushed beforehand is still
+    /// visible, so "disconnected" is only reported when a *re-check*
+    /// after observing zero senders finds the queue empty.
+    fn pop_attempt(&self) -> PopAttempt<T> {
+        if let Some(msg) = self.shared.try_pop() {
+            self.shared.not_full.notify();
+            return PopAttempt::Got(msg);
+        }
+        if self.shared.senders.load(Ordering::SeqCst) == 0 {
+            return match self.shared.try_pop() {
+                Some(msg) => PopAttempt::Got(msg),
+                None => PopAttempt::Disconnected,
+            };
+        }
+        PopAttempt::Empty
+    }
+
     /// Dequeue the next message, blocking while the channel is empty.
     ///
     /// # Errors
     /// Errors once the queue is drained and every [`Sender`] is gone.
     pub fn recv(&self) -> Result<T, RecvError> {
-        let mut state = self.shared.state.lock().expect("channel poisoned");
         loop {
-            if let Some(msg) = state.queue.pop_front() {
-                drop(state);
-                self.shared.not_full.notify_one();
-                return Ok(msg);
+            match self.pop_attempt() {
+                PopAttempt::Got(msg) => return Ok(msg),
+                PopAttempt::Disconnected => return Err(RecvError),
+                PopAttempt::Empty => {
+                    let shared = &*self.shared;
+                    shared.not_empty.park_until(|| {
+                        shared.len() > 0 || shared.senders.load(Ordering::SeqCst) == 0
+                    });
+                }
             }
-            if state.senders == 0 {
-                return Err(RecvError);
-            }
-            state = self.shared.not_empty.wait(state).expect("channel poisoned");
         }
     }
 
-    /// Dequeue up to `max` messages under **one** lock acquisition,
-    /// appending them to `buf`; blocks while the channel is empty.
+    /// Dequeue up to `max` messages, appending them to `buf`; blocks
+    /// while the channel is empty.
     ///
     /// Returns how many messages were appended — `0` only when the
     /// queue is drained and every [`Sender`] is gone. This is the
-    /// batched counterpart of [`recv`](Receiver::recv): a consumer
-    /// draining a hot channel pays one `Mutex`+`Condvar` round-trip
-    /// per batch instead of one per message (the streaming shard
+    /// batched counterpart of [`send_many`](Sender::send_many): a
+    /// consumer draining a hot channel pays for synchronization once
+    /// per batch instead of once per message (the streaming shard
     /// ingest loop's fast path).
     pub fn recv_many(&self, buf: &mut Vec<T>, max: usize) -> usize {
         if max == 0 {
             return 0;
         }
-        let mut state = self.shared.state.lock().expect("channel poisoned");
         loop {
-            if !state.queue.is_empty() {
-                let take = max.min(state.queue.len());
-                buf.extend(state.queue.drain(..take));
-                let bounded = state.cap.is_some();
-                drop(state);
-                if bounded {
-                    // Up to `take` senders may be parked on a full
-                    // queue; wake them all rather than chaining
-                    // notify_one handoffs through each sender.
-                    if take > 1 {
-                        self.shared.not_full.notify_all();
-                    } else {
-                        self.shared.not_full.notify_one();
+            let mut taken = 0;
+            while taken < max {
+                match self.shared.try_pop() {
+                    Some(msg) => {
+                        buf.push(msg);
+                        taken += 1;
                     }
+                    None => break,
                 }
-                return take;
             }
-            if state.senders == 0 {
-                return 0;
+            if taken > 0 {
+                self.shared.not_full.notify();
+                return taken;
             }
-            state = self.shared.not_empty.wait(state).expect("channel poisoned");
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                // Final sweep: a push that completed before the last
+                // sender detached is visible now.
+                match self.shared.try_pop() {
+                    Some(msg) => {
+                        buf.push(msg);
+                        self.shared.not_full.notify();
+                        return 1;
+                    }
+                    None => return 0,
+                }
+            }
+            let shared = &*self.shared;
+            shared
+                .not_empty
+                .park_until(|| shared.len() > 0 || shared.senders.load(Ordering::SeqCst) == 0);
         }
     }
 
@@ -286,15 +700,10 @@ impl<T> Receiver<T> {
     /// [`TryRecvError::Empty`] when nothing is queued,
     /// [`TryRecvError::Disconnected`] when additionally no sender remains.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        let mut state = self.shared.state.lock().expect("channel poisoned");
-        match state.queue.pop_front() {
-            Some(msg) => {
-                drop(state);
-                self.shared.not_full.notify_one();
-                Ok(msg)
-            }
-            None if state.senders == 0 => Err(TryRecvError::Disconnected),
-            None => Err(TryRecvError::Empty),
+        match self.pop_attempt() {
+            PopAttempt::Got(msg) => Ok(msg),
+            PopAttempt::Empty => Err(TryRecvError::Empty),
+            PopAttempt::Disconnected => Err(TryRecvError::Disconnected),
         }
     }
 
@@ -305,7 +714,7 @@ impl<T> Receiver<T> {
 
     /// Number of messages currently queued.
     pub fn len(&self) -> usize {
-        self.shared.state.lock().expect("channel poisoned").queue.len()
+        self.shared.len()
     }
 
     /// Whether the queue is currently empty.
@@ -316,22 +725,17 @@ impl<T> Receiver<T> {
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Receiver<T> {
-        self.shared.state.lock().expect("channel poisoned").receivers += 1;
+        self.shared.receivers.fetch_add(1, Ordering::SeqCst);
         Receiver { shared: Arc::clone(&self.shared) }
     }
 }
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let remaining = {
-            let mut state = self.shared.state.lock().expect("channel poisoned");
-            state.receivers -= 1;
-            state.receivers
-        };
-        if remaining == 0 {
+        if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
             // Wake senders blocked on a full queue so they observe the
             // disconnect.
-            self.shared.not_full.notify_all();
+            self.shared.not_full.notify();
         }
     }
 }
@@ -413,6 +817,65 @@ mod tests {
         assert_eq!(rx.recv(), Ok(4));
         handle.join().unwrap();
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn ring_wraps_laps_at_non_power_of_two_capacity() {
+        // cap 3 with one_lap 4: index 3 of each lap is skipped, which is
+        // exactly the arithmetic `next_pos` must get right.
+        let (tx, rx) = bounded(3);
+        for round in 0..5u32 {
+            for i in 0..3u32 {
+                tx.send(round * 10 + i).unwrap();
+            }
+            assert_eq!(tx.len(), 3, "ring full at its exact capacity");
+            assert_eq!(tx.try_send(99).unwrap_err(), TrySendError::Full(99));
+            for i in 0..3u32 {
+                assert_eq!(rx.recv(), Ok(round * 10 + i));
+            }
+            assert_eq!(rx.len(), 0);
+        }
+    }
+
+    #[test]
+    fn send_many_delivers_in_order_and_empties_the_batch() {
+        let (tx, rx) = bounded(4);
+        let mut batch: Vec<i32> = (0..32).collect();
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while rx.recv_many(&mut got, 5) > 0 {}
+            got
+        });
+        assert_eq!(tx.send_many(&mut batch), Ok(32));
+        assert!(batch.is_empty(), "successful send_many drains the batch");
+        assert_eq!(tx.send_many(&mut batch), Ok(0), "empty batch is a no-op");
+        drop(tx);
+        assert_eq!(consumer.join().unwrap(), (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_many_keeps_the_unsent_tail_on_disconnect() {
+        let (tx, rx) = bounded(2);
+        drop(rx);
+        let mut batch = vec![1, 2, 3];
+        assert_eq!(tx.send_many(&mut batch), Err(SendError(0)), "error reports 0 enqueued");
+        assert_eq!(batch, vec![1, 2, 3], "nothing sent, whole tail preserved");
+    }
+
+    #[test]
+    fn send_many_preserves_the_callers_buffer_capacity() {
+        let (tx, rx) = bounded(128);
+        let mut batch: Vec<u64> = Vec::with_capacity(64);
+        batch.extend(0..64);
+        let cap_before = batch.capacity();
+        tx.send_many(&mut batch).unwrap();
+        assert!(batch.is_empty());
+        assert_eq!(
+            batch.capacity(),
+            cap_before,
+            "a reused flush buffer must keep its allocation across send_many"
+        );
+        drop(rx);
     }
 
     #[test]
@@ -550,5 +1013,26 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         drop(rx);
         assert_eq!(handle.join().unwrap(), Err(SendError(2)));
+    }
+
+    #[test]
+    fn in_flight_messages_are_dropped_with_the_channel() {
+        // The ring owns live `T`s in its slots; dropping the channel
+        // must run their destructors exactly once.
+        let counter = Arc::new(AtomicUsize::new(0));
+        struct Probe(Arc<AtomicUsize>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (tx, rx) = bounded(8);
+        for _ in 0..5 {
+            tx.send(Probe(Arc::clone(&counter))).unwrap();
+        }
+        drop(rx.recv().unwrap()); // one popped and dropped by us
+        drop(tx);
+        drop(rx);
+        assert_eq!(counter.load(Ordering::SeqCst), 5, "4 in-flight + 1 received");
     }
 }

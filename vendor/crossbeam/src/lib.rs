@@ -2,12 +2,15 @@
 //!
 //! Provides `crossbeam::scope` scoped threads, implemented over
 //! `std::thread::scope` (stable since 1.63), and [`channel`] MPMC
-//! channels (bounded with blocking backpressure, and unbounded),
-//! implemented over `Mutex` + `Condvar`. Differences from real
+//! channels: bounded with blocking backpressure — a lock-free
+//! Vyukov-style ring with condvar parking only at the empty/full edges
+//! — and unbounded over `Mutex<VecDeque>`. Differences from real
 //! crossbeam: a panic in a thread that is never joined propagates as a
 //! panic out of [`scope`] instead of an `Err` — callers here join every
-//! handle, so the distinction never bites — and `channel::bounded(0)`
-//! is a capacity-1 queue rather than a rendezvous channel.
+//! handle, so the distinction never bites — `channel::bounded(0)` is a
+//! capacity-1 queue rather than a rendezvous channel, and the stand-in
+//! adds batched `send_many`/`recv_many` beyond the real crate's API
+//! (shim them if the registry crate ever returns; see `ROADMAP.md`).
 
 pub mod channel;
 
