@@ -31,98 +31,19 @@ use anomex_flow::{v5, v9};
 use crossbeam::channel::Sender;
 
 use crate::pipeline::{ShardMsg, StreamStats};
-
-/// Hard cap on simultaneously live [`IngestHandle`]s (the watermark
-/// table is a fixed bitmask-indexed array so the min scan stays
-/// lock-free and allocation-free).
-pub const MAX_HANDLES: usize = 64;
-
-/// Lock-free registry of per-handle event-time frontiers.
-///
-/// Slot membership is a single `u64` bitmask; each live handle owns one
-/// slot and publishes the maximum event time it has seen with a
-/// monotonic `fetch_max`. The global ingest frontier is the minimum
-/// over *live* slots — retired handles stop holding the watermark back
-/// the moment their bit clears. Every operation is a handful of
-/// atomics; nothing on the record path ever takes a lock here.
-#[derive(Debug)]
-pub struct WatermarkTable {
-    active: AtomicU64,
-    marks: [AtomicU64; MAX_HANDLES],
-}
-
-impl WatermarkTable {
-    pub(crate) fn new() -> WatermarkTable {
-        WatermarkTable {
-            active: AtomicU64::new(0),
-            marks: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-
-    /// Claim a free slot, seeded with `seed_ms` (a fresh handle inherits
-    /// its parent's frontier so cloning never *regresses* the global
-    /// minimum further than the parent already held it).
-    ///
-    /// # Panics
-    /// Panics when all [`MAX_HANDLES`] slots are live.
-    pub(crate) fn acquire(&self, seed_ms: u64) -> usize {
-        loop {
-            let mask = self.active.load(Ordering::SeqCst);
-            let free = (!mask).trailing_zeros() as usize;
-            assert!(free < MAX_HANDLES, "too many live IngestHandles (max {MAX_HANDLES})");
-            if self
-                .active
-                .compare_exchange(mask, mask | (1 << free), Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok()
-            {
-                // The slot was zeroed at release; between the claim and
-                // this publish a concurrent min scan reads 0, which is
-                // merely conservative (the watermark can stall, never
-                // overshoot).
-                self.marks[free].fetch_max(seed_ms, Ordering::SeqCst);
-                return free;
-            }
-        }
-    }
-
-    /// Retire a slot. The mark is zeroed *before* the bit clears so no
-    /// concurrent scan can ever read a stale high value from a slot
-    /// about to be re-acquired.
-    pub(crate) fn release(&self, slot: usize) {
-        self.marks[slot].store(0, Ordering::SeqCst);
-        self.active.fetch_and(!(1u64 << slot), Ordering::SeqCst);
-    }
-
-    /// Raise `slot`'s event-time mark (monotonic).
-    pub(crate) fn publish(&self, slot: usize, max_event_ms: u64) {
-        self.marks[slot].fetch_max(max_event_ms, Ordering::SeqCst);
-    }
-
-    /// The global ingest frontier: minimum mark over live slots (0 when
-    /// none are live — maximally conservative).
-    pub(crate) fn min_frontier(&self) -> u64 {
-        let mut mask = self.active.load(Ordering::SeqCst);
-        let mut min = u64::MAX;
-        while mask != 0 {
-            let slot = mask.trailing_zeros() as usize;
-            min = min.min(self.marks[slot].load(Ordering::SeqCst));
-            mask &= mask - 1;
-        }
-        if min == u64::MAX {
-            0
-        } else {
-            min
-        }
-    }
-
-    /// Number of live slots.
-    pub(crate) fn live(&self) -> u32 {
-        self.active.load(Ordering::SeqCst).count_ones()
-    }
-}
+// Re-exported from their historical home; the table now lives in
+// `crate::watermark` so it compiles against the `sync` facade and gets
+// model-checked (see that module's memory-ordering contract).
+pub use crate::watermark::{WatermarkTable, MAX_HANDLES};
 
 /// Ingest counters shared by every handle of one pipeline, folded in
 /// when a handle closes.
+///
+/// All accesses are `Relaxed`: each handle folds its totals exactly
+/// once (in `close`, before its `live` decrement under the shutdown
+/// mutex), and the only reader is `finish`, which runs after observing
+/// `live == 0` under that same mutex — the mutex handshake supplies the
+/// happens-before edge, so the atomics only need atomicity.
 #[derive(Debug, Default)]
 pub(crate) struct IngestTotals {
     pub(crate) ingested: AtomicU64,
@@ -159,8 +80,12 @@ pub(crate) struct PipelineCore {
     pub(crate) lateness_ms: u64,
     pub(crate) watermarks: WatermarkTable,
     pub(crate) totals: IngestTotals,
-    /// Handles not yet closed; guarded by `shutdown`'s mutex for the
-    /// finish/condvar handshake, but readable lock-free.
+    /// Handles not yet closed. All accesses are `Relaxed`: the
+    /// decrement (in `close`) and the zero-check (in `finish`) both
+    /// happen under `shutdown`'s mutex, which supplies the ordering;
+    /// the increment happens before the new handle can possibly reach
+    /// `close` (program order, plus whatever handoff moved the handle
+    /// to another thread).
     live: AtomicUsize,
     shutdown: Mutex<ShutdownState>,
     closed_or_done: Condvar,
@@ -229,7 +154,7 @@ impl IngestHandle {
         watermark_every: usize,
     ) -> IngestHandle {
         let slot = core.watermarks.acquire(0);
-        core.live.fetch_add(1, Ordering::SeqCst);
+        core.live.fetch_add(1, Ordering::Relaxed);
         IngestHandle {
             slot,
             shards,
@@ -371,9 +296,9 @@ impl IngestHandle {
         for shard in 0..self.shards {
             self.flush_shard(shard);
         }
-        self.core.totals.ingested.fetch_add(self.ingested, Ordering::SeqCst);
-        self.core.totals.decode_errors.fetch_add(self.decode_errors, Ordering::SeqCst);
-        self.core.totals.send_failures.fetch_add(self.send_failures, Ordering::SeqCst);
+        self.core.totals.ingested.fetch_add(self.ingested, Ordering::Relaxed);
+        self.core.totals.decode_errors.fetch_add(self.decode_errors, Ordering::Relaxed);
+        self.core.totals.send_failures.fetch_add(self.send_failures, Ordering::Relaxed);
         self.core.watermarks.release(self.slot);
         if self.core.watermarks.live() > 0 {
             let watermark =
@@ -384,8 +309,12 @@ impl IngestHandle {
                 let _ = tx.send(ShardMsg::Watermark(watermark));
             }
         }
+        // The decrement is Relaxed because it happens under the mutex:
+        // the `finish` thread that observes it holds the same lock, and
+        // the lock release/acquire orders the counter folds above
+        // before `finish`'s reads.
         let _guard = self.core.shutdown.lock().expect("pipeline shutdown state poisoned");
-        self.core.live.fetch_sub(1, Ordering::SeqCst);
+        self.core.live.fetch_sub(1, Ordering::Relaxed);
         self.core.closed_or_done.notify_all();
     }
 
@@ -406,13 +335,13 @@ impl IngestHandle {
             if let Some(stats) = &guard.stats {
                 return stats.clone();
             }
-            if core.live.load(Ordering::SeqCst) == 0 {
+            if core.live.load(Ordering::Relaxed) == 0 {
                 if let Some(join) = guard.join.take() {
                     drop(guard);
                     let mut stats = join.shutdown(&core.senders);
-                    stats.ingested = core.totals.ingested.load(Ordering::SeqCst);
-                    stats.decode_errors = core.totals.decode_errors.load(Ordering::SeqCst);
-                    stats.send_failures = core.totals.send_failures.load(Ordering::SeqCst);
+                    stats.ingested = core.totals.ingested.load(Ordering::Relaxed);
+                    stats.decode_errors = core.totals.decode_errors.load(Ordering::Relaxed);
+                    stats.send_failures = core.totals.send_failures.load(Ordering::Relaxed);
                     let mut guard = core.shutdown.lock().expect("pipeline shutdown state poisoned");
                     guard.stats = Some(stats.clone());
                     core.closed_or_done.notify_all();
@@ -463,7 +392,7 @@ impl Clone for IngestHandle {
     fn clone(&self) -> IngestHandle {
         self.core.watermarks.publish(self.slot, self.max_event_ms);
         let slot = self.core.watermarks.acquire(self.max_event_ms);
-        self.core.live.fetch_add(1, Ordering::SeqCst);
+        self.core.live.fetch_add(1, Ordering::Relaxed);
         IngestHandle {
             core: Arc::clone(&self.core),
             slot,
@@ -486,73 +415,5 @@ impl Clone for IngestHandle {
 impl Drop for IngestHandle {
     fn drop(&mut self) {
         self.close();
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn watermark_table_tracks_min_over_live_slots() {
-        let table = WatermarkTable::new();
-        let a = table.acquire(0);
-        let b = table.acquire(0);
-        table.publish(a, 500);
-        table.publish(b, 300);
-        assert_eq!(table.min_frontier(), 300, "slowest live handle wins");
-        table.publish(b, 900);
-        assert_eq!(table.min_frontier(), 500);
-        table.release(a);
-        assert_eq!(table.min_frontier(), 900, "retired handle stops holding the min back");
-        table.release(b);
-        assert_eq!(table.min_frontier(), 0, "no live handles: conservative zero");
-    }
-
-    #[test]
-    fn watermark_publish_is_monotonic_and_slots_recycle_clean() {
-        let table = WatermarkTable::new();
-        let a = table.acquire(0);
-        table.publish(a, 700);
-        table.publish(a, 200);
-        assert_eq!(table.min_frontier(), 700, "publish never regresses");
-        table.release(a);
-        let b = table.acquire(0);
-        assert_eq!(b, a, "first free slot is reused");
-        assert_eq!(table.min_frontier(), 0, "no stale mark from the previous occupant");
-    }
-
-    #[test]
-    fn acquire_seeds_from_parent_frontier() {
-        let table = WatermarkTable::new();
-        let a = table.acquire(0);
-        table.publish(a, 60_000);
-        let b = table.acquire(60_000);
-        assert_eq!(table.min_frontier(), 60_000, "clone must not stall the watermark");
-        table.release(a);
-        table.release(b);
-    }
-
-    #[test]
-    fn watermark_table_is_safe_under_concurrent_churn() {
-        let table = Arc::new(WatermarkTable::new());
-        let threads: Vec<_> = (0..8u64)
-            .map(|t| {
-                let table = Arc::clone(&table);
-                std::thread::spawn(move || {
-                    for round in 0..200u64 {
-                        let slot = table.acquire(t * 1_000);
-                        table.publish(slot, t * 1_000 + round);
-                        let _ = table.min_frontier();
-                        table.release(slot);
-                    }
-                })
-            })
-            .collect();
-        for t in threads {
-            t.join().unwrap();
-        }
-        assert_eq!(table.live(), 0);
-        assert_eq!(table.min_frontier(), 0);
     }
 }

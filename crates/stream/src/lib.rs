@@ -84,6 +84,8 @@ pub mod detector;
 pub mod ingest;
 pub mod pipeline;
 pub mod report;
+mod sync;
+pub mod watermark;
 pub mod window;
 
 /// One-stop imports for downstream crates.

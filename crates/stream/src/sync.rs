@@ -1,0 +1,22 @@
+//! Synchronization facade for the lock-free watermark table:
+//! `std::sync` in normal builds (plain re-exports, zero overhead), the
+//! `modelcheck` shims when the `model` feature sets
+//! `cfg(anomex_model)`.
+//!
+//! The [`crate::watermark`] module is written against this facade only,
+//! so the exact same source is exercised by the model-checked suite in
+//! `vendor/modelcheck/tests/watermark_model.rs` (instrumented atomics
+//! under a controlled scheduler, part of tier-1) and shipped in
+//! production builds (real atomics).
+
+#[cfg(not(anomex_model))]
+mod imp {
+    pub use std::sync::atomic::{AtomicU64, Ordering};
+}
+
+#[cfg(anomex_model)]
+mod imp {
+    pub use modelcheck::sync::{AtomicU64, Ordering};
+}
+
+pub(crate) use imp::*;

@@ -1,0 +1,249 @@
+//! The lock-free watermark table: per-handle event-time frontiers and
+//! the min-over-live-handles global frontier.
+//!
+//! Built on the [`crate::sync`] facade so the exact source below also
+//! compiles against the `modelcheck` shims: every claimed memory-
+//! ordering downgrade in this file is backed by a model-checked test
+//! (`vendor/modelcheck/tests/watermark_model.rs`, run in tier-1) that
+//! explores the interleavings exhaustively and fails on any access not
+//! ordered by happens-before.
+
+use crate::sync::{AtomicU64, Ordering};
+
+/// Hard cap on simultaneously live [`IngestHandle`]s (the watermark
+/// table is a fixed bitmask-indexed array so the min scan stays
+/// lock-free and allocation-free).
+///
+/// [`IngestHandle`]: crate::ingest::IngestHandle
+pub const MAX_HANDLES: usize = 64;
+
+/// Lock-free registry of per-handle event-time frontiers.
+///
+/// Slot membership is a single `u64` bitmask; each live handle owns one
+/// slot and publishes the maximum event time it has seen with a
+/// monotonic `fetch_max`. The global ingest frontier is the minimum
+/// over *live* slots — retired handles stop holding the watermark back
+/// the moment their bit clears. Every operation is a handful of
+/// atomics; nothing on the record path ever takes a lock here.
+///
+/// # Memory-ordering contract
+///
+/// The table leans on exactly two happens-before edges, both through
+/// `active`:
+///
+/// 1. **release → re-acquire** (slot handoff): [`release`] zeroes the
+///    mark, then clears the bit with a `Release` RMW; [`acquire`]'s
+///    claim CAS acquires `active`, so the new occupant — and any
+///    scanner whose `Acquire` load of `active` observes the new epoch —
+///    sees the zero, never the previous occupant's stale high mark.
+///    (`active` is only ever modified by RMWs, so the release sequence
+///    headed by the clearing `fetch_and` is never broken.)
+/// 2. **acquire → scan** ([`min_frontier`]'s `Acquire` load of
+///    `active`), the reader side of edge 1.
+///
+/// Everything else is deliberately `Relaxed`: mark publishes are
+/// monotonic per slot (RMW `fetch_max`), the table holds no non-atomic
+/// data a missing edge could corrupt, and a scanner that reads a
+/// *stale-low* value merely stalls the watermark — the conservative
+/// direction. The model suite checks the protocol invariants (slot
+/// exclusivity, zero-before-release, seed-on-acquire, no frontier
+/// overshoot) across every explored interleaving, and the negative
+/// tests in `vendor/modelcheck/tests/negative_watermark.rs` show the
+/// checker catching the stale-mark and lost-claim bugs the moment the
+/// protocol is restructured; the nightly TSan/Miri lane covers the
+/// pure ordering-strength class an SC-exploring checker cannot see.
+///
+/// [`release`]: WatermarkTable::release
+/// [`acquire`]: WatermarkTable::acquire
+/// [`min_frontier`]: WatermarkTable::min_frontier
+#[derive(Debug)]
+pub struct WatermarkTable {
+    active: AtomicU64,
+    marks: [AtomicU64; MAX_HANDLES],
+}
+
+impl Default for WatermarkTable {
+    fn default() -> WatermarkTable {
+        WatermarkTable::new()
+    }
+}
+
+impl WatermarkTable {
+    /// An empty table: no live slots, all marks zero.
+    pub fn new() -> WatermarkTable {
+        WatermarkTable {
+            active: AtomicU64::new(0),
+            marks: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Claim a free slot, seeded with `seed_ms` (a fresh handle inherits
+    /// its parent's frontier so cloning never *regresses* the global
+    /// minimum further than the parent already held it).
+    ///
+    /// # Panics
+    /// Panics when all [`MAX_HANDLES`] slots are live.
+    pub fn acquire(&self, seed_ms: u64) -> usize {
+        loop {
+            let mask = self.active.load(Ordering::SeqCst);
+            let free = (!mask).trailing_zeros() as usize;
+            assert!(free < MAX_HANDLES, "too many live IngestHandles (max {MAX_HANDLES})");
+            // The claim CAS keeps SeqCst (policy: CAS loops are not
+            // downgraded); its Acquire half is load-bearing — it pairs
+            // with `release`'s clearing fetch_and so this thread sees
+            // the previous occupant's zeroed mark before seeding.
+            if self
+                .active
+                .compare_exchange(mask, mask | (1 << free), Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // The slot was zeroed at release; between the claim and
+                // this publish a concurrent min scan reads 0, which is
+                // merely conservative (the watermark can stall, never
+                // overshoot). Relaxed: exclusivity came from the CAS
+                // above, and a scanner needs no edge to *this* store —
+                // missing it just reads that conservative 0.
+                self.marks[free].fetch_max(seed_ms, Ordering::Relaxed);
+                return free;
+            }
+        }
+    }
+
+    /// Retire a slot. The mark is zeroed *before* the bit clears so no
+    /// concurrent scan can ever read a stale high value from a slot
+    /// about to be re-acquired.
+    pub fn release(&self, slot: usize) {
+        // Relaxed store + Release RMW: the store is sequenced before
+        // the fetch_and, so the Release on `active` publishes it to
+        // every thread that later acquires `active` (edge 1 in the type
+        // docs). A scanner still holding the *old* mask may read either
+        // the old mark (the slot was legitimately live when that mask
+        // was read) or the zero (conservative) — both safe.
+        self.marks[slot].store(0, Ordering::Relaxed);
+        self.active.fetch_and(!(1u64 << slot), Ordering::Release);
+    }
+
+    /// Raise `slot`'s event-time mark (monotonic).
+    pub fn publish(&self, slot: usize, max_event_ms: u64) {
+        // Relaxed: per-slot monotonicity is the RMW's atomicity, not an
+        // ordering property, and a scanner that misses this publish
+        // reads an older (lower) mark — a stalled watermark, never an
+        // overshoot. The publishing handle itself re-reads the mark in
+        // program order (coherence covers it).
+        self.marks[slot].fetch_max(max_event_ms, Ordering::Relaxed);
+    }
+
+    /// The global ingest frontier: minimum mark over live slots (0 when
+    /// none are live — maximally conservative).
+    pub fn min_frontier(&self) -> u64 {
+        // Acquire pairs with `release`'s clearing fetch_and (via the
+        // unbroken RMW release sequence on `active`): if this mask
+        // shows a slot's post-recycle epoch, the zero store that
+        // preceded the recycle is visible, so the scan can never
+        // attribute the *previous* occupant's high mark to the new one.
+        let mut mask = self.active.load(Ordering::Acquire);
+        let mut min = u64::MAX;
+        while mask != 0 {
+            let slot = mask.trailing_zeros() as usize;
+            // Relaxed: any value this load can return was held by the
+            // slot while the mask above showed it live, i.e. a frontier
+            // some live handle legitimately published (or the
+            // conservative 0 between claim and seed).
+            min = min.min(self.marks[slot].load(Ordering::Relaxed));
+            mask &= mask - 1;
+        }
+        if min == u64::MAX {
+            0
+        } else {
+            min
+        }
+    }
+
+    /// Number of live slots.
+    pub fn live(&self) -> u32 {
+        // Relaxed: an advisory snapshot — callers use it for "anyone
+        // else still live?" courtesy decisions (e.g. whether to
+        // broadcast one final watermark) where a stale answer costs at
+        // most one redundant or deferred broadcast.
+        self.active.load(Ordering::Relaxed).count_ones()
+    }
+}
+
+// The std-threaded tests don't make sense under the modelcheck shims
+// (those require the controlled scheduler); the model suite in
+// tests/suites/watermark.rs covers the same protocol exhaustively.
+#[cfg(all(test, not(anomex_model)))]
+mod tests {
+    use std::sync::Arc;
+
+    use proptest::prelude::ProptestConfig;
+
+    use super::*;
+
+    #[test]
+    fn watermark_table_tracks_min_over_live_slots() {
+        let table = WatermarkTable::new();
+        let a = table.acquire(0);
+        let b = table.acquire(0);
+        table.publish(a, 500);
+        table.publish(b, 300);
+        assert_eq!(table.min_frontier(), 300, "slowest live handle wins");
+        table.publish(b, 900);
+        assert_eq!(table.min_frontier(), 500);
+        table.release(a);
+        assert_eq!(table.min_frontier(), 900, "retired handle stops holding the min back");
+        table.release(b);
+        assert_eq!(table.min_frontier(), 0, "no live handles: conservative zero");
+    }
+
+    #[test]
+    fn watermark_publish_is_monotonic_and_slots_recycle_clean() {
+        let table = WatermarkTable::new();
+        let a = table.acquire(0);
+        table.publish(a, 700);
+        table.publish(a, 200);
+        assert_eq!(table.min_frontier(), 700, "publish never regresses");
+        table.release(a);
+        let b = table.acquire(0);
+        assert_eq!(b, a, "first free slot is reused");
+        assert_eq!(table.min_frontier(), 0, "no stale mark from the previous occupant");
+    }
+
+    #[test]
+    fn acquire_seeds_from_parent_frontier() {
+        let table = WatermarkTable::new();
+        let a = table.acquire(0);
+        table.publish(a, 60_000);
+        let b = table.acquire(60_000);
+        assert_eq!(table.min_frontier(), 60_000, "clone must not stall the watermark");
+        table.release(a);
+        table.release(b);
+    }
+
+    #[test]
+    fn watermark_table_is_safe_under_concurrent_churn() {
+        // Scale the churn with the proptest profile machinery so debug
+        // runs and PROPTEST_CASES-capped CI stay fast while release
+        // runs (and the TSan lane) hammer properly.
+        let rounds = 25 * ProptestConfig::profile_cases(8).cases as u64;
+        let table = Arc::new(WatermarkTable::new());
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let table = Arc::clone(&table);
+                std::thread::spawn(move || {
+                    for round in 0..rounds {
+                        let slot = table.acquire(t * 1_000);
+                        table.publish(slot, t * 1_000 + round);
+                        let _ = table.min_frontier();
+                        table.release(slot);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(table.live(), 0);
+        assert_eq!(table.min_frontier(), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Model-checked watermark-table protocol suite. Compiled twice:
+//!
+//! - by `vendor/modelcheck/tests/watermark_model.rs` (tier-1, always
+//!   on): the crate root `#[path]`-includes `watermark.rs` against a
+//!   local `mod sync` that re-exports the shims, so `crate::watermark`
+//!   is an instrumented copy of the exact production source;
+//! - by `crates/stream/tests/watermark_model.rs` under
+//!   `--features model`: `crate::watermark` is the real `anomex-stream`
+//!   module compiled with `cfg(anomex_model)`.
+//!
+//! Each test runs under the model scheduler (bounded exhaustive DFS
+//! over interleavings), and together they pin the protocol invariants
+//! the table's Relaxed/Release/Acquire downgrades must preserve: slot
+//! exclusivity, zero-before-release, seed-on-acquire, and no frontier
+//! overshoot, in every explored schedule (the table holds no
+//! non-atomic data, so the invariant assertions — not the race
+//! detector — are the teeth here; negative_watermark.rs proves they
+//! bite). Budgets are deliberately small to keep tier-1 wall-clock
+//! flat — `ANOMEX_MODEL_EXECUTIONS` scales them up in the nightly lane.
+
+use std::sync::Arc;
+
+use modelcheck::{thread, Model};
+
+use crate::watermark::WatermarkTable;
+
+fn model(max_executions: usize) -> Model {
+    // The env override (if any) still wins so CI can deepen the search.
+    let default = Model::default();
+    Model { max_executions: default.max_executions.min(max_executions), ..default }
+}
+
+/// Two racing `acquire` calls must claim distinct slots (the CAS loop's
+/// exclusivity), and releasing both must empty the table.
+#[test]
+fn concurrent_acquires_claim_distinct_slots() {
+    model(1_500).check(|| {
+        let table = Arc::new(WatermarkTable::new());
+        let t = {
+            let table = Arc::clone(&table);
+            // Holds its slot until after the exclusivity check.
+            thread::spawn(move || table.acquire(10))
+        };
+        let mine = table.acquire(20);
+        let theirs = t.join().unwrap();
+        assert_ne!(mine, theirs, "two live handles must never share a slot");
+        table.release(mine);
+        table.release(theirs);
+        assert_eq!(table.live(), 0);
+    });
+}
+
+/// Zero-before-release: a handle that acquires concurrently with (or
+/// after) another's retirement must never observe the retiree's stale
+/// high mark through `min_frontier`. This is exactly the invariant the
+/// Release fetch_and / Acquire-load pairing on `active` carries once
+/// the marks themselves are Relaxed.
+#[test]
+fn recycled_slot_never_resurrects_a_stale_mark() {
+    model(2_000).check(|| {
+        let table = Arc::new(WatermarkTable::new());
+        let t = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || {
+                let slot = table.acquire(7);
+                // Only this handle is guaranteed live; the other is
+                // either still live at 900 (min 7) or retired (min 7,
+                // or 0 mid-seed) — 900 alone must be impossible once
+                // our seed landed.
+                let frontier = table.min_frontier();
+                assert!(frontier <= 7, "stale high mark leaked into the frontier: {frontier}");
+                table.release(slot);
+            })
+        };
+        let slot = table.acquire(0);
+        table.publish(slot, 900);
+        table.release(slot);
+        t.join().unwrap();
+        assert_eq!(table.min_frontier(), 0, "empty table is maximally conservative");
+    });
+}
+
+/// Seed-on-acquire: a clone seeded with its parent's frontier never
+/// drags the global minimum below the parent's already-published mark,
+/// no matter how the claim interleaves with the parent publishing.
+#[test]
+fn seeded_acquire_never_regresses_past_the_parent() {
+    model(2_000).check(|| {
+        let table = Arc::new(WatermarkTable::new());
+        let parent = table.acquire(0);
+        table.publish(parent, 500);
+        let t = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || {
+                // The clone path: seed with the parent's frontier.
+                let child = table.acquire(500);
+                let frontier = table.min_frontier();
+                assert_eq!(frontier, 500, "clone must not stall the watermark: {frontier}");
+                child
+            })
+        };
+        // Parent racing ahead must not change the min (child pins 500).
+        table.publish(parent, 600);
+        let child = t.join().unwrap();
+        table.release(parent);
+        table.release(child);
+    });
+}
+
+/// The scanned frontier never overshoots what the slowest live handle
+/// actually published, under concurrent publishes from both handles.
+#[test]
+fn min_frontier_never_overshoots_the_slowest_publisher() {
+    model(1_500).check(|| {
+        let table = Arc::new(WatermarkTable::new());
+        let slow = table.acquire(0);
+        let fast = table.acquire(0);
+        let t = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || table.publish(fast, 200))
+        };
+        table.publish(slow, 100);
+        let frontier = table.min_frontier();
+        assert!(
+            frontier == 0 || frontier == 100,
+            "frontier {frontier} overshot the slow handle's published 100"
+        );
+        t.join().unwrap();
+        table.release(slow);
+        table.release(fast);
+    });
+}
+
+/// Full-protocol churn: two handles acquire, publish, scan and release
+/// concurrently; every interleaving must keep the table race-free and
+/// end empty. The model's race detector is the real assertion here.
+#[test]
+fn concurrent_churn_is_race_free_and_drains() {
+    model(1_500).check(|| {
+        let table = Arc::new(WatermarkTable::new());
+        let t = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || {
+                let slot = table.acquire(1_000);
+                table.publish(slot, 1_001);
+                let _ = table.min_frontier();
+                table.release(slot);
+            })
+        };
+        let slot = table.acquire(2_000);
+        table.publish(slot, 2_001);
+        let _ = table.min_frontier();
+        table.release(slot);
+        t.join().unwrap();
+        assert_eq!(table.live(), 0);
+        assert_eq!(table.min_frontier(), 0);
+    });
+}

@@ -1,0 +1,20 @@
+//! Model-checked watermark suite against the *linked* `anomex-stream`
+//! library (not a `#[path]` copy), available when the `model` feature
+//! routes the crate's `sync` facade onto the modelcheck shims:
+//!
+//! ```sh
+//! cargo test -p anomex-stream --features model --test watermark_model
+//! ```
+//!
+//! (Target the test explicitly: with the feature on, the watermark
+//! atomics only work under the model scheduler, so the std-threaded
+//! pipeline tests and doctests are not meaningful in this
+//! configuration.) The always-on tier-1 twin of this runner lives in
+//! `vendor/modelcheck/tests/watermark_model.rs`.
+
+#![cfg(anomex_model)]
+
+pub use anomex_stream::watermark;
+
+#[path = "suites/watermark.rs"]
+mod suite;

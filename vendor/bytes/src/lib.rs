@@ -403,6 +403,8 @@ mod tests {
         );
         assert_eq!(frozen.as_ref(), b"netflow v5 header and records");
         // Views of the frozen buffer stay on the same allocation too.
+        // SAFETY: `payload_ptr` points at the 29-byte payload captured
+        // above, so offset 8 is within the same live allocation.
         assert_eq!(frozen.slice(8..10).as_ref().as_ptr(), unsafe { payload_ptr.add(8) });
     }
 

@@ -1,0 +1,8 @@
+fn main() {
+    // `anomex_model` routes the `sync` facade (and everything built on
+    // it) onto the modelcheck shims; set iff the `model` feature is on.
+    println!("cargo::rustc-check-cfg=cfg(anomex_model)");
+    if std::env::var_os("CARGO_FEATURE_MODEL").is_some() {
+        println!("cargo:rustc-cfg=anomex_model");
+    }
+}

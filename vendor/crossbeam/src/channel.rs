@@ -21,12 +21,15 @@
 //! and [`Receiver::recv_many`] (see `ROADMAP.md` for the shim list to
 //! revisit if the registry crates ever return).
 
-use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
+
+// All synchronization goes through the facade: `std::sync` in normal
+// builds, the modelcheck shims under `cfg(anomex_model)` — which is how
+// the model tests drive this exact file through a controlled scheduler.
+use crate::sync::{fence, AtomicUsize, Condvar, Mutex, Ordering, UnsafeCell};
 
 /// Create a channel holding at most `cap` in-flight messages.
 ///
@@ -87,9 +90,14 @@ struct Ring<T> {
     tail: CachePadded<AtomicUsize>,
 }
 
-// The ring hands each message from exactly one producer to exactly one
-// consumer; `T: Send` is all that transfer needs.
+// SAFETY: the ring hands each message from exactly one producer to
+// exactly one consumer (the per-slot stamp protocol gives the claiming
+// thread exclusive access to `value`), so moving the ring across
+// threads only ever moves `T`s; `T: Send` is all that transfer needs.
 unsafe impl<T: Send> Send for Ring<T> {}
+// SAFETY: shared access is mediated entirely by atomics plus the stamp
+// protocol above — no `&Ring` method touches a slot payload without
+// having claimed its position by CAS first.
 unsafe impl<T: Send> Sync for Ring<T> {}
 
 /// Bounded exponential backoff for CAS retry loops: spin briefly, then
@@ -113,7 +121,7 @@ impl Backoff {
             }
             self.step += 1;
         } else {
-            std::thread::yield_now();
+            crate::sync::thread_yield();
         }
     }
 }
@@ -165,7 +173,15 @@ impl<T> Ring<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        unsafe { (*slot.value.get()).write(value) };
+                        slot.value.init(|p| {
+                            // SAFETY: the CAS above moved `tail` past
+                            // this position, so this thread owns the
+                            // slot exclusively until the stamp store
+                            // below publishes it; the stamp said "free
+                            // for this lap", so the MaybeUninit is
+                            // empty and `write` cannot leak.
+                            unsafe { (*p).write(value) };
+                        });
                         slot.stamp.store(tail.wrapping_add(1), Ordering::Release);
                         return Ok(());
                     }
@@ -178,7 +194,7 @@ impl<T> Ring<T> {
                 // The slot still holds last lap's message. If head
                 // hasn't moved either, the ring is genuinely full;
                 // otherwise a consumer is mid-pop — retry.
-                std::sync::atomic::fence(Ordering::SeqCst);
+                fence(Ordering::SeqCst);
                 let head = self.head.0.load(Ordering::Relaxed);
                 if head.wrapping_add(self.one_lap) == tail {
                     return Err(value);
@@ -211,7 +227,17 @@ impl<T> Ring<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        let value = slot.value.take(|p| {
+                            // SAFETY: the CAS above moved `head` past
+                            // this position, so this thread owns the
+                            // slot exclusively until the stamp store
+                            // below recycles it; the stamp said "holds
+                            // this lap's message" — published by the
+                            // producer's Release stamp store, acquired
+                            // by our stamp load — so the MaybeUninit is
+                            // initialized and read exactly once.
+                            unsafe { (*p).assume_init_read() }
+                        });
                         slot.stamp.store(head.wrapping_add(self.one_lap), Ordering::Release);
                         return Some(value);
                     }
@@ -224,7 +250,7 @@ impl<T> Ring<T> {
                 // Nothing written here this lap. If tail hasn't moved
                 // past us the ring is empty; otherwise a producer is
                 // mid-push — retry.
-                std::sync::atomic::fence(Ordering::SeqCst);
+                fence(Ordering::SeqCst);
                 let tail = self.tail.0.load(Ordering::Relaxed);
                 if tail == head {
                     return None;
@@ -277,6 +303,14 @@ impl<T> Drop for Ring<T> {
 /// state; the waker changes queue state *before* loading the counter —
 /// so at least one side always sees the other and wakeups are never
 /// lost, yet the uncontended notify costs one atomic load.
+///
+/// `waiters` must stay `SeqCst` on both sides: this is a Dekker-style
+/// store-then-load handshake (waiter: store counter, load queue state;
+/// waker: store queue state, load counter), and anything weaker than a
+/// total store order lets both sides read the other's *old* value —
+/// the lost wakeup the model's `park/notify` tests pin down. The same
+/// argument keeps the `senders`/`receivers` disconnect counters at
+/// `SeqCst`.
 struct Parking {
     waiters: AtomicUsize,
     lock: Mutex<()>,
@@ -784,7 +818,11 @@ impl<T> IntoIterator for Receiver<T> {
     }
 }
 
-#[cfg(test)]
+// Not under `anomex_model`: these tests use free-running OS threads and
+// sleeps, which have no meaning under the model scheduler (the model
+// test suites in vendor/modelcheck/tests/ and vendor/crossbeam/tests/
+// cover the same protocols exhaustively instead).
+#[cfg(all(test, not(anomex_model)))]
 mod tests {
     use super::*;
     use std::time::Duration;

@@ -13,6 +13,7 @@
 //! (shim them if the registry crate ever returns; see `ROADMAP.md`).
 
 pub mod channel;
+mod sync;
 
 use std::any::Any;
 

@@ -1,0 +1,55 @@
+//! Synchronization facade for the channel: `std::sync` in normal
+//! builds (zero overhead — every item is a re-export or an `#[inline]`
+//! newtype the optimizer erases), the `modelcheck` shims when the
+//! `model` feature sets `cfg(anomex_model)`.
+//!
+//! The channel code is written against this module only, so the exact
+//! same source is exercised by the tier-1 model tests (instrumented
+//! atomics under a controlled scheduler) and shipped in production
+//! builds (real atomics).
+
+#[cfg(not(anomex_model))]
+mod imp {
+    pub use std::sync::atomic::{fence, AtomicUsize, Ordering};
+    pub use std::sync::{Condvar, Mutex};
+
+    #[inline]
+    pub fn thread_yield() {
+        std::thread::yield_now();
+    }
+
+    /// Production twin of `modelcheck::cell::UnsafeCell`: the same
+    /// closure-based API (`with`/`with_mut`/`init`/`take`) compiled to
+    /// a bare pointer handout. The distinct entry points exist so the
+    /// model build can check the `MaybeUninit` slot protocol; here they
+    /// are all the same `get()`.
+    #[derive(Debug)]
+    pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+    impl<T> UnsafeCell<T> {
+        #[inline]
+        pub fn new(data: T) -> UnsafeCell<T> {
+            UnsafeCell(std::cell::UnsafeCell::new(data))
+        }
+
+        /// Write access that initializes an empty slot.
+        #[inline]
+        pub fn init<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Write access that moves the value out of an occupied slot.
+        #[inline]
+        pub fn take<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+    }
+}
+
+#[cfg(anomex_model)]
+mod imp {
+    pub use modelcheck::cell::UnsafeCell;
+    pub use modelcheck::sync::{fence, thread_yield, AtomicUsize, Condvar, Mutex, Ordering};
+}
+
+pub(crate) use imp::*;

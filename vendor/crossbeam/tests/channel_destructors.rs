@@ -1,0 +1,87 @@
+//! Destructor accounting for the ring at every fill level: whatever
+//! mix of sent, received, and still-in-flight messages a channel dies
+//! with, every message's destructor must run exactly once (`Ring::drop`
+//! walks the stamps to find live slots — an off-by-one there would leak
+//! or double-drop). The model twin of this sweep lives in
+//! `tests/suites/channel.rs` (`ring_drop_at_every_fill_level`), where
+//! the shim slot protocol independently verifies each drop.
+
+// With `--features model` the channel is compiled against the
+// modelcheck shims and only runs under the model scheduler; this plain
+// std sweep is the not(model) half.
+#![cfg(not(anomex_model))]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::bounded;
+
+/// Increments its counter exactly once, on drop.
+struct Probe(Arc<AtomicUsize>);
+
+impl Drop for Probe {
+    fn drop(&mut self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn every_fill_level_drops_every_message_exactly_once() {
+    for cap in [1usize, 2, 3, 7] {
+        for fill in 0..=cap {
+            for consumed in 0..=fill {
+                let drops = Arc::new(AtomicUsize::new(0));
+                let (tx, rx) = bounded::<Probe>(cap);
+                for _ in 0..fill {
+                    tx.send(Probe(Arc::clone(&drops))).unwrap();
+                }
+                for _ in 0..consumed {
+                    drop(rx.recv().unwrap());
+                }
+                assert_eq!(
+                    drops.load(Ordering::Relaxed),
+                    consumed,
+                    "cap {cap} fill {fill}: only the {consumed} received probes dropped so far"
+                );
+                drop(tx);
+                drop(rx);
+                assert_eq!(
+                    drops.load(Ordering::Relaxed),
+                    fill,
+                    "cap {cap} fill {fill} consumed {consumed}: \
+                     in-flight probes must drop exactly once with the ring"
+                );
+            }
+        }
+    }
+}
+
+/// Same sweep after the ring has wrapped (head/tail past the first
+/// lap), so `Ring::drop`'s stamp walk is exercised at non-zero lap
+/// offsets too.
+#[test]
+fn wrapped_ring_still_drops_in_flight_messages_exactly_once() {
+    for cap in [1usize, 2, 5] {
+        for fill in 0..=cap {
+            let drops = Arc::new(AtomicUsize::new(0));
+            let (tx, rx) = bounded::<Probe>(cap);
+            // Cycle a few laps first.
+            for _ in 0..3 * cap {
+                tx.send(Probe(Arc::clone(&drops))).unwrap();
+                drop(rx.recv().unwrap());
+            }
+            let cycled = drops.load(Ordering::Relaxed);
+            assert_eq!(cycled, 3 * cap);
+            for _ in 0..fill {
+                tx.send(Probe(Arc::clone(&drops))).unwrap();
+            }
+            drop(tx);
+            drop(rx);
+            assert_eq!(
+                drops.load(Ordering::Relaxed),
+                cycled + fill,
+                "cap {cap} fill {fill}: wrapped ring leaked or double-dropped"
+            );
+        }
+    }
+}

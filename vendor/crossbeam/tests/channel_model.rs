@@ -1,0 +1,10 @@
+//! Model-checked channel tests against the linked library, active only
+//! under `cargo test -p crossbeam --features model` (which routes the
+//! crate's `sync` facade onto the modelcheck shims). The same suite
+//! runs in tier-1 via vendor/modelcheck/tests/channel_model.rs.
+#![cfg(anomex_model)]
+
+pub use crossbeam::channel;
+
+#[path = "suites/channel.rs"]
+mod suite;

@@ -1,0 +1,10 @@
+fn main() {
+    // `anomex_model` marks "this code is compiled against the modelcheck
+    // shims". The crates that swap their `sync` facade (vendor/crossbeam,
+    // crates/stream) emit it from their own build scripts when the
+    // `model` feature is on; modelcheck emits it unconditionally so the
+    // `#[path]`-included copies of channel.rs / watermark.rs in its test
+    // crates drop their std-only unit-test modules.
+    println!("cargo::rustc-check-cfg=cfg(anomex_model)");
+    println!("cargo:rustc-cfg=anomex_model");
+}

@@ -1,0 +1,149 @@
+//! The instrumented `UnsafeCell`: every access is checked against the
+//! happens-before relation (data-race detection), and the
+//! init/take protocol used for `MaybeUninit` slots is tracked so
+//! double-init (leak) and take-of-empty (uninitialized read /
+//! double-free) are caught as model failures.
+
+use std::sync::Mutex as StdMutex;
+
+use crate::clock::VClock;
+use crate::rt;
+
+#[derive(Debug, Default)]
+struct CellState {
+    /// Clock of the last write access.
+    write: VClock,
+    /// Join of the clocks of all read accesses since the start.
+    reads: VClock,
+    /// Whether any write has happened yet.
+    written: bool,
+    /// Slot-protocol state: value present (set by `init`, cleared by
+    /// `take`).
+    occupied: bool,
+}
+
+/// Instrumented `UnsafeCell`. The std twin of this type (in the `sync`
+/// facades of vendor/crossbeam and crates/stream) compiles to direct
+/// pointer access with zero overhead; this one records every access
+/// for race and slot-protocol checking.
+#[derive(Debug)]
+pub struct UnsafeCell<T> {
+    data: std::cell::UnsafeCell<T>,
+    state: StdMutex<CellState>,
+}
+
+// SAFETY: the model run serializes all access (one thread holds the
+// scheduler floor at a time), and every access goes through the
+// race-checked entry points below, which report any pair of accesses
+// not ordered by happens-before instead of letting them race.
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+// SAFETY: as above.
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    pub fn new(data: T) -> UnsafeCell<T> {
+        UnsafeCell {
+            data: std::cell::UnsafeCell::new(data),
+            state: StdMutex::new(CellState::default()),
+        }
+    }
+
+    /// Immutable access; a data race with any unordered write is a
+    /// model failure.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        self.record_read("UnsafeCell::with");
+        f(self.data.get())
+    }
+
+    /// Mutable access; a data race with any unordered access is a
+    /// model failure.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        self.record_write("UnsafeCell::with_mut", None);
+        f(self.data.get())
+    }
+
+    /// Mutable access that *initializes* a slot (e.g. `MaybeUninit::
+    /// write`): fails on double-init — writing a slot whose previous
+    /// value was never taken is a leak at best and a protocol bug
+    /// always.
+    pub fn init<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        self.record_write("UnsafeCell::init", Some(true));
+        f(self.data.get())
+    }
+
+    /// Mutable access that *moves the value out* of a slot (e.g.
+    /// `MaybeUninit::assume_init_read`): fails on reading an empty or
+    /// never-initialized slot (an uninitialized read, and a double-free
+    /// once the caller drops both copies).
+    pub fn take<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        self.record_write("UnsafeCell::take", Some(false));
+        f(self.data.get())
+    }
+
+    // Cell accesses are *scheduled* operations (interleaving points),
+    // not just bookkeeping: a non-atomic access that executes between
+    // two atomic operations must be preemptible there, or an access
+    // slotted right after a release store would share the store's
+    // clock tick and look ordered to every acquirer — hiding genuine
+    // protocol bugs (e.g. recycling a slot before reading it out).
+
+    fn record_read(&self, label: &'static str) {
+        rt::atomic_op(label, |ctx| {
+            let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if !st.written {
+                ctx.fail(format!("{label}: read of never-written UnsafeCell"));
+            }
+            if !st.write.le(ctx.clock_ref()) {
+                ctx.fail(format!(
+                    "data race: {label} not ordered after the last write \
+                     (missing release/acquire edge)"
+                ));
+            }
+            let clock = *ctx.clock_ref();
+            st.reads.join(&clock);
+        });
+    }
+
+    fn record_write(&self, label: &'static str, becomes_occupied: Option<bool>) {
+        rt::atomic_op(label, |ctx| {
+            let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if !st.write.le(ctx.clock_ref()) {
+                ctx.fail(format!(
+                    "data race: {label} not ordered after the last write \
+                     (missing release/acquire edge)"
+                ));
+            }
+            if !st.reads.le(ctx.clock_ref()) {
+                ctx.fail(format!(
+                    "data race: {label} not ordered after a previous read \
+                     (missing release/acquire edge)"
+                ));
+            }
+            match becomes_occupied {
+                Some(true) => {
+                    if st.occupied {
+                        ctx.fail(
+                            "double-init: slot initialized while still holding an \
+                             untaken value (leak / lost message)"
+                                .to_string(),
+                        );
+                    }
+                    st.occupied = true;
+                }
+                Some(false) => {
+                    if !st.occupied {
+                        ctx.fail(
+                            "uninitialized read: slot taken while empty \
+                             (reads uninitialized memory; double-drop once both copies die)"
+                                .to_string(),
+                        );
+                    }
+                    st.occupied = false;
+                }
+                None => {}
+            }
+            st.written = true;
+            st.write = *ctx.clock_ref();
+        });
+    }
+}

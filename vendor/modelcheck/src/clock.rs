@@ -1,0 +1,62 @@
+//! Vector clocks: the happens-before backbone of the race detector.
+
+use crate::rt::MAX_THREADS;
+
+/// A fixed-width vector clock, one logical-time component per model
+/// thread. `a.le(b)` is the happens-before test: every event `a`
+/// describes is also covered by `b`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    lamport: [u64; MAX_THREADS],
+}
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub const fn new() -> VClock {
+        VClock { lamport: [0; MAX_THREADS] }
+    }
+
+    /// Advance this thread's own component by one (each scheduled
+    /// operation gets a distinct timestamp).
+    pub fn tick(&mut self, tid: usize) {
+        self.lamport[tid] += 1;
+    }
+
+    /// This thread's own component.
+    pub fn own(&self, tid: usize) -> u64 {
+        self.lamport[tid]
+    }
+
+    /// Component-wise maximum: acquire the knowledge `other` carries.
+    pub fn join(&mut self, other: &VClock) {
+        for (mine, theirs) in self.lamport.iter_mut().zip(other.lamport.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Happens-before (or equal): every component of `self` is covered
+    /// by `other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.lamport.iter().zip(other.lamport.iter()).all(|(mine, theirs)| mine <= theirs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_componentwise_max_and_le_is_coverage() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.le(&b), "unordered clocks are not le");
+        assert!(!b.le(&a));
+        b.join(&a);
+        assert!(a.le(&b), "after join, b covers a");
+        assert_eq!(b.own(0), 2);
+        assert_eq!(b.own(1), 1);
+    }
+}

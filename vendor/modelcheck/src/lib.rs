@@ -1,0 +1,49 @@
+//! # modelcheck — offline loom/shuttle stand-in
+//!
+//! Model checking for the workspace's lock-free core (the registry is
+//! unreachable, so the real `loom`/`shuttle` crates cannot be added;
+//! this is a purpose-built subset). A test body runs many times under a
+//! **controlled scheduler**: every atomic operation, lock, park and
+//! spawn is a schedule point, and a strategy decides which thread runs
+//! next —
+//!
+//! - [`check`]: exhaustive depth-first search over interleavings with a
+//!   CHESS-style **preemption bound** (small models exhaust; larger
+//!   ones cover a documented bounded space and report
+//!   [`Report::complete`] accordingly), and
+//! - [`check_random`]: seeded random-walk exploration (shuttle-style)
+//!   for models whose bounded DFS space is still too large.
+//!
+//! What it detects:
+//!
+//! - **Data races** — vector-clock happens-before tracking, driven by
+//!   the *declared* `Ordering`s (ThreadSanitizer-style). Execution is
+//!   sequentially consistent, but a store downgraded from `Release` to
+//!   `Relaxed` severs the synchronizes-with edge and any dependent
+//!   [`cell::UnsafeCell`] access is reported as a race — which is
+//!   exactly how the stamp-ordering negative test catches a weakened
+//!   Vyukov ring.
+//! - **Deadlocks and lost wakeups** — the model [`sync::Condvar`] has
+//!   no spurious wakeups, so a notify that can be missed in some
+//!   interleaving leaves every thread blocked: reported with the full
+//!   schedule trace.
+//! - **Slot-protocol violations** — [`cell::UnsafeCell::init`] /
+//!   [`cell::UnsafeCell::take`] track `MaybeUninit` slot occupancy:
+//!   double-init (leaked value) and take-of-empty (uninitialized read /
+//!   double-drop) fail the model.
+//!
+//! Known limits (documented, deliberate): execution is sequentially
+//! consistent, so bugs that *require* a weakly-ordered execution to
+//! manifest (rather than a severed happens-before edge) are out of
+//! scope — the CI Miri/TSan lanes cover that angle on real code;
+//! `compare_exchange_weak` never fails spuriously; `notify_one` wakes
+//! the lowest thread id. Model closures must be deterministic (no
+//! wall-clock, no OS randomness).
+
+pub mod cell;
+pub mod clock;
+pub(crate) mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::{check, check_random, Model, Report, MAX_THREADS};

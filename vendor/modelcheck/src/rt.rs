@@ -1,0 +1,744 @@
+//! The controlled scheduler: one model thread runs at a time, every
+//! shim operation is a schedule point, and a strategy (exhaustive DFS
+//! with a preemption bound, or seeded random walk) decides who runs
+//! next. Model threads are real OS threads gated by a single
+//! mutex/condvar pair; handoff is direct thread-to-thread, so steps
+//! that stay on the current thread cost no context switch.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::clock::VClock;
+
+/// Hard cap on threads per execution (vector clocks are fixed-width).
+pub const MAX_THREADS: usize = 8;
+
+/// How a blocked thread is waiting; the token is the address of the
+/// shim primitive it is parked on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BlockedOn {
+    /// Waiting to acquire a model mutex.
+    Mutex(usize),
+    /// Parked in a model condvar wait.
+    Condvar(usize),
+    /// Joining another model thread.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked(BlockedOn),
+    Finished,
+}
+
+struct ThreadState {
+    status: Status,
+    /// The scheduler granted this thread the right to run.
+    granted: bool,
+    clock: VClock,
+}
+
+/// One recorded schedule decision: which runnable thread ran, out of
+/// which alternatives (the DFS backtracks over `alts`).
+#[derive(Clone)]
+struct Choice {
+    alts: Vec<usize>,
+    taken: usize,
+}
+
+/// Exploration strategy shared by all schedule points of one run.
+enum Mode {
+    /// Exhaustive depth-first search over schedules (bounded).
+    Dfs,
+    /// Seeded pseudo-random walk (shuttle-style), one seed per
+    /// execution for reproducibility.
+    Random(XorShift),
+}
+
+pub(crate) struct Strategy {
+    mode: Mode,
+    path: Vec<Choice>,
+    cursor: usize,
+}
+
+impl Strategy {
+    fn decide(&mut self, alts: &[usize]) -> usize {
+        debug_assert!(!alts.is_empty());
+        match &mut self.mode {
+            Mode::Dfs => {
+                let taken = if self.cursor < self.path.len() {
+                    let choice = &self.path[self.cursor];
+                    assert_eq!(
+                        choice.alts, alts,
+                        "model closure is non-deterministic: schedule replay diverged \
+                         (model code must not read wall-clock time or OS randomness)"
+                    );
+                    choice.taken
+                } else {
+                    self.path.push(Choice { alts: alts.to_vec(), taken: 0 });
+                    0
+                };
+                self.cursor += 1;
+                self.path[self.cursor - 1].alts[taken]
+            }
+            Mode::Random(rng) => alts[(rng.next() % alts.len() as u64) as usize],
+        }
+    }
+
+    /// Advance the DFS to the next unexplored schedule; `false` when
+    /// the space is exhausted.
+    fn backtrack(&mut self) -> bool {
+        self.cursor = 0;
+        while let Some(mut last) = self.path.pop() {
+            if last.taken + 1 < last.alts.len() {
+                last.taken += 1;
+                self.path.push(last);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Tiny deterministic PRNG for the random-walk strategy.
+pub(crate) struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        // Avoid the all-zero fixed point.
+        XorShift(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// What went wrong in a failing execution, plus the schedule that got
+/// there.
+struct Failure {
+    message: String,
+    trace: String,
+}
+
+struct ExecInner {
+    threads: Vec<ThreadState>,
+    strategy: Strategy,
+    /// Clock accumulated by SeqCst fences (all fence flavors are
+    /// modeled at SeqCst strength; see the crate docs for limits).
+    fence_clock: VClock,
+    steps: usize,
+    preemptions: usize,
+    consecutive: usize,
+    trace: Vec<(usize, &'static str)>,
+    failure: Option<Failure>,
+}
+
+pub(crate) struct Execution {
+    inner: Mutex<ExecInner>,
+    cv: Condvar,
+    cfg: Config,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+#[derive(Clone, Copy)]
+pub(crate) struct Config {
+    pub(crate) preemption_bound: usize,
+    pub(crate) max_steps: usize,
+    /// Livelock guard: a thread that takes this many steps in a row
+    /// while others are runnable is forced to yield (the forced switch
+    /// does not count against the preemption bound).
+    pub(crate) run_cap: usize,
+}
+
+/// Panic payload used to unwind model threads when an execution is torn
+/// down (failure elsewhere); swallowed by the thread wrapper.
+struct Teardown;
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> (Arc<Execution>, usize) {
+    CTX.with(|c| {
+        c.borrow().clone().expect(
+            "modelcheck shim used outside a model run: wrap the test body in \
+             modelcheck::check / check_random",
+        )
+    })
+}
+
+/// Context handed to shim operations while the execution lock is held.
+pub(crate) struct OpCtx<'a> {
+    pub(crate) tid: usize,
+    /// Set when the calling thread is already unwinding (teardown or
+    /// assertion failure): record outcomes, never panic again.
+    quiet: bool,
+    inner: &'a mut ExecInner,
+}
+
+impl OpCtx<'_> {
+    pub(crate) fn clock(&mut self) -> &mut VClock {
+        &mut self.inner.threads[self.tid].clock
+    }
+
+    pub(crate) fn clock_ref(&self) -> &VClock {
+        &self.inner.threads[self.tid].clock
+    }
+
+    pub(crate) fn fence_acquire(&mut self) {
+        let fence = self.inner.fence_clock;
+        self.inner.threads[self.tid].clock.join(&fence);
+    }
+
+    pub(crate) fn fence_release(&mut self) {
+        let clock = self.inner.threads[self.tid].clock;
+        self.inner.fence_clock.join(&clock);
+    }
+
+    pub(crate) fn wake_all(&mut self, reason: BlockedOn) {
+        Execution::wake(self.inner, reason);
+    }
+
+    pub(crate) fn wake_one(&mut self, reason: BlockedOn) {
+        Execution::wake_one(self.inner, reason);
+    }
+
+    /// Report a model failure (data race, uninitialized read, …) at the
+    /// current operation; unwinds the calling thread. In quiet mode
+    /// (drops running while the thread is already unwinding) nothing is
+    /// recorded and nothing unwinds: the execution already failed for
+    /// its original reason, and unwind-path accesses happen outside the
+    /// schedule, so checking them would only produce noise that masks
+    /// the real message.
+    pub(crate) fn fail(&mut self, message: String) {
+        if self.quiet {
+            return;
+        }
+        fail_locked(self.inner, message);
+        resume_unwind(Box::new(Teardown));
+    }
+}
+
+/// Lock the execution state, shrugging off poison: a panicking model
+/// thread is an *expected* event (that is how failures and teardowns
+/// propagate), and all state mutation is scheduler-serialized anyway.
+fn lock_inner(exec: &Execution) -> std::sync::MutexGuard<'_, ExecInner> {
+    exec.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn fail_locked(inner: &mut ExecInner, message: String) {
+    if inner.failure.is_none() {
+        inner.failure = Some(Failure { message, trace: render_trace(inner) });
+    }
+}
+
+fn render_trace(inner: &ExecInner) -> String {
+    let mut out = String::new();
+    let skip = inner.trace.len().saturating_sub(60);
+    if skip > 0 {
+        out.push_str(&format!("  … {skip} earlier steps elided\n"));
+    }
+    for (tid, label) in &inner.trace[skip..] {
+        out.push_str(&format!("  t{tid}: {label}\n"));
+    }
+    for (tid, t) in inner.threads.iter().enumerate() {
+        out.push_str(&format!("  t{tid} status: {:?}\n", t.status));
+    }
+    out
+}
+
+impl Execution {
+    /// The scheduling core. Runs on the *current* thread at every shim
+    /// operation: record the step, pick who runs next, hand off if it
+    /// is somebody else, and (once re-granted) tick the clock.
+    ///
+    /// `block` parks the current thread on the given reason before
+    /// choosing; the thread resumes only after a wake + grant.
+    fn schedule(self: &Arc<Self>, tid: usize, label: &'static str, block: Option<BlockedOn>) {
+        let mut inner = lock_inner(self);
+        if inner.failure.is_some() {
+            drop(inner);
+            resume_unwind(Box::new(Teardown));
+        }
+        inner.trace.push((tid, label));
+        inner.steps += 1;
+        if inner.steps > self.cfg.max_steps {
+            fail_locked(
+                &mut inner,
+                format!(
+                    "step bound exceeded ({} steps): livelock, or raise Model::max_steps",
+                    self.cfg.max_steps
+                ),
+            );
+            self.cv.notify_all();
+            drop(inner);
+            resume_unwind(Box::new(Teardown));
+        }
+        if let Some(reason) = block {
+            inner.threads[tid].status = Status::Blocked(reason);
+            inner.threads[tid].granted = false;
+        }
+        let can_continue = block.is_none();
+        self.handoff(&mut inner, tid, can_continue);
+        if block.is_some() {
+            // Parked: wait for a wake (status back to Runnable) plus a
+            // scheduling grant.
+            loop {
+                let me = &inner.threads[tid];
+                if inner.failure.is_some() {
+                    drop(inner);
+                    resume_unwind(Box::new(Teardown));
+                }
+                if me.status == Status::Runnable && me.granted {
+                    break;
+                }
+                inner = self.cv.wait(inner).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        } else if !inner.threads[tid].granted {
+            // Preempted: wait until granted again.
+            loop {
+                if inner.failure.is_some() {
+                    drop(inner);
+                    resume_unwind(Box::new(Teardown));
+                }
+                if inner.threads[tid].granted {
+                    break;
+                }
+                inner = self.cv.wait(inner).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        inner.threads[tid].clock.tick(tid);
+    }
+
+    /// Choose the next thread to run and grant it. Called with the
+    /// lock held, from the thread that currently holds the floor.
+    fn handoff(self: &Arc<Self>, inner: &mut ExecInner, tid: usize, can_continue: bool) {
+        let runnable: Vec<usize> = inner
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(id, _)| id)
+            .collect();
+        if runnable.is_empty() {
+            let unfinished = inner.threads.iter().any(|t| t.status != Status::Finished);
+            if unfinished {
+                fail_locked(
+                    inner,
+                    "deadlock: every unfinished thread is blocked \
+                     (lost wakeup, lock cycle, or a join cycle)"
+                        .to_string(),
+                );
+            }
+            // All finished (or failure recorded): wake the driver.
+            self.cv.notify_all();
+            return;
+        }
+
+        let self_runnable = can_continue && runnable.contains(&tid);
+        let forced_yield =
+            self_runnable && runnable.len() > 1 && inner.consecutive >= self.cfg.run_cap;
+        let mut alts: Vec<usize>;
+        if self_runnable && !forced_yield && inner.preemptions >= self.cfg.preemption_bound {
+            // Preemption budget spent: keep running the current thread.
+            alts = vec![tid];
+        } else {
+            // Deterministic order: current thread first (depth-first
+            // explores the no-switch schedule before any preemption),
+            // then ascending thread id.
+            alts = runnable.clone();
+            alts.sort_unstable();
+            if self_runnable {
+                alts.retain(|&t| t != tid);
+                if forced_yield {
+                    // Livelock guard: current thread may not continue.
+                } else {
+                    alts.insert(0, tid);
+                }
+            }
+        }
+        let chosen = inner.strategy.decide(&alts);
+        if chosen != tid {
+            if self_runnable && !forced_yield {
+                inner.preemptions += 1;
+            }
+            inner.consecutive = 0;
+            inner.threads[tid].granted = false;
+            inner.threads[chosen].granted = true;
+            self.cv.notify_all();
+        } else {
+            inner.consecutive += 1;
+        }
+    }
+
+    /// Wake every thread blocked on `reason` (they become runnable but
+    /// still need a grant to run).
+    fn wake(inner: &mut ExecInner, reason: BlockedOn) {
+        for t in &mut inner.threads {
+            if t.status == Status::Blocked(reason) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Wake the lowest-id thread blocked on `reason`; returns whether
+    /// one was waiting.
+    fn wake_one(inner: &mut ExecInner, reason: BlockedOn) -> bool {
+        for t in &mut inner.threads {
+            if t.status == Status::Blocked(reason) {
+                t.status = Status::Runnable;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shim entry points (free functions so the sync/cell/thread modules
+// stay thin).
+// ---------------------------------------------------------------------------
+
+/// A scheduled operation: yields to the scheduler, then runs `op` with
+/// the execution lock held (clock access + failure reporting).
+///
+/// When the calling thread is already unwinding (destructors running
+/// during a failure teardown), the operation is applied *quietly*: no
+/// schedule point, no new failure reports — panicking again there would
+/// abort the whole process.
+pub(crate) fn atomic_op<R>(label: &'static str, op: impl FnOnce(&mut OpCtx<'_>) -> R) -> R {
+    let (exec, tid) = ctx();
+    if std::thread::panicking() {
+        let mut inner = lock_inner(&exec);
+        return op(&mut OpCtx { tid, quiet: true, inner: &mut inner });
+    }
+    exec.schedule(tid, label, None);
+    let mut inner = lock_inner(&exec);
+    let result = op(&mut OpCtx { tid, quiet: false, inner: &mut inner });
+    drop(inner);
+    result
+}
+
+/// A blocking operation: repeatedly runs `attempt` at schedule points;
+/// whenever it returns `Err(reason)` the thread parks on `reason` and
+/// retries after being woken.
+pub(crate) fn blocking_op<R>(
+    label: &'static str,
+    mut attempt: impl FnMut(&mut OpCtx<'_>) -> Result<R, BlockedOn>,
+) -> R {
+    let (exec, tid) = ctx();
+    if std::thread::panicking() {
+        // Unwind path: never park (the scheduler is tearing down).
+        // Every shim drop in this workspace is non-blocking, so the
+        // retry loop is a formality; notify so parked owners observe
+        // the teardown and release whatever we are waiting on.
+        loop {
+            let mut inner = lock_inner(&exec);
+            let outcome = attempt(&mut OpCtx { tid, quiet: true, inner: &mut inner });
+            drop(inner);
+            match outcome {
+                Ok(result) => return result,
+                Err(_) => {
+                    exec.cv.notify_all();
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+    exec.schedule(tid, label, None);
+    loop {
+        let mut inner = lock_inner(&exec);
+        let outcome = attempt(&mut OpCtx { tid, quiet: false, inner: &mut inner });
+        drop(inner);
+        match outcome {
+            Ok(result) => return result,
+            Err(reason) => exec.schedule(tid, label, Some(reason)),
+        }
+    }
+}
+
+/// A plain yield (e.g. `thread::yield_now` under the model): a schedule
+/// point with no memory effect.
+pub(crate) fn yield_point() {
+    if std::thread::panicking() {
+        return;
+    }
+    let (exec, tid) = ctx();
+    exec.schedule(tid, "yield", None);
+}
+
+/// Spawn a model thread running `f`; returns its thread id.
+pub(crate) fn spawn_model(f: Box<dyn FnOnce() + Send + 'static>) -> usize {
+    let (exec, tid) = ctx();
+    exec.schedule(tid, "thread::spawn", None);
+    let mut inner = lock_inner(&exec);
+    let child = inner.threads.len();
+    assert!(
+        child < MAX_THREADS,
+        "model exceeds MAX_THREADS ({MAX_THREADS}) concurrent threads per execution"
+    );
+    // Spawn edge: the child starts with (and therefore happens-after)
+    // the parent's clock.
+    let mut clock = inner.threads[tid].clock;
+    clock.tick(child);
+    inner.threads.push(ThreadState { status: Status::Runnable, granted: false, clock });
+    drop(inner);
+    let handle = spawn_wrapped(Arc::clone(&exec), child, f);
+    exec.handles.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(handle);
+    child
+}
+
+/// Block until model thread `target` finishes, then acquire its final
+/// clock (join edge).
+pub(crate) fn join_model(target: usize) {
+    blocking_op("thread::join", |ctx| {
+        if ctx.inner.threads[target].status == Status::Finished {
+            let theirs = ctx.inner.threads[target].clock;
+            ctx.clock().join(&theirs);
+            Ok(())
+        } else {
+            Err(BlockedOn::Join(target))
+        }
+    })
+}
+
+fn spawn_wrapped(
+    exec: Arc<Execution>,
+    tid: usize,
+    f: Box<dyn FnOnce() + Send + 'static>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("model-t{tid}"))
+        .spawn(move || {
+            CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+            // Wait for the first grant before running a single user op;
+            // if the execution already failed, never run the body.
+            let failed_early = {
+                let mut inner = lock_inner(&exec);
+                loop {
+                    if inner.failure.is_some() || inner.threads[tid].granted {
+                        break inner.failure.is_some();
+                    }
+                    inner = exec.cv.wait(inner).unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            let outcome = if failed_early { Ok(()) } else { catch_unwind(AssertUnwindSafe(f)) };
+            let mut inner = lock_inner(&exec);
+            if let Err(payload) = outcome {
+                if !payload.is::<Teardown>() {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                        .unwrap_or_else(|| "model thread panicked".to_string());
+                    fail_locked(&mut inner, format!("panic in model thread t{tid}: {msg}"));
+                }
+            }
+            inner.threads[tid].status = Status::Finished;
+            inner.threads[tid].granted = false;
+            Execution::wake(&mut inner, BlockedOn::Join(tid));
+            // Hand the floor to somebody (or detect deadlock / finish).
+            exec.handoff(&mut inner, tid, false);
+            exec.cv.notify_all();
+            drop(inner);
+            CTX.with(|c| *c.borrow_mut() = None);
+        })
+        .expect("failed to spawn model thread")
+}
+
+// ---------------------------------------------------------------------------
+// The public driver.
+// ---------------------------------------------------------------------------
+
+/// Bounds for a model-checking run. `Default` reads
+/// `ANOMEX_MODEL_EXECUTIONS` (an integer) to scale the execution budget
+/// up or down without recompiling.
+#[derive(Clone, Copy, Debug)]
+pub struct Model {
+    /// CHESS-style preemption bound per execution: schedules with more
+    /// involuntary context switches than this are not explored.
+    pub preemption_bound: usize,
+    /// DFS stops (reporting `complete: false`) after this many
+    /// executions; random mode runs exactly this many.
+    pub max_executions: usize,
+    /// Per-execution step bound (livelock backstop).
+    pub max_steps: usize,
+}
+
+impl Default for Model {
+    fn default() -> Model {
+        let max_executions = std::env::var("ANOMEX_MODEL_EXECUTIONS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4096);
+        Model { preemption_bound: 2, max_executions, max_steps: 20_000 }
+    }
+}
+
+/// Outcome of a (non-failing) model run.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Executions (distinct schedules) actually run.
+    pub executions: usize,
+    /// Whether the DFS exhausted the bounded schedule space (`true`),
+    /// or stopped at `max_executions` (`false`). Random runs report
+    /// `false` (sampling never proves exhaustion).
+    pub complete: bool,
+}
+
+impl Model {
+    /// Exhaustive bounded DFS over schedules of `f`.
+    ///
+    /// # Panics
+    /// Panics with the failing schedule trace on data race, deadlock,
+    /// uninitialized read, double-init, step-bound livelock, or a panic
+    /// (e.g. failed assertion) inside `f`.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut strategy = Strategy { mode: Mode::Dfs, path: Vec::new(), cursor: 0 };
+        let mut executions = 0;
+        loop {
+            executions += 1;
+            let (next, failure) = self.run_once(Arc::clone(&f), strategy);
+            strategy = next;
+            if let Some(failure) = failure {
+                panic!(
+                    "modelcheck failure (execution {executions}, DFS): {}\nschedule:\n{}",
+                    failure.message, failure.trace
+                );
+            }
+            if !strategy.backtrack() {
+                return Report { executions, complete: true };
+            }
+            if executions >= self.max_executions {
+                return Report { executions, complete: false };
+            }
+        }
+    }
+
+    /// Seeded random-walk exploration (shuttle-style): `max_executions`
+    /// schedules drawn from `seed`. Failures report the per-execution
+    /// seed so a failing schedule can be replayed alone.
+    ///
+    /// # Panics
+    /// Same failure modes as [`Model::check`].
+    pub fn check_random<F>(&self, seed: u64, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        for i in 0..self.max_executions {
+            let exec_seed = seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let strategy = Strategy {
+                mode: Mode::Random(XorShift::new(exec_seed)),
+                path: Vec::new(),
+                cursor: 0,
+            };
+            let (_, failure) = self.run_once(Arc::clone(&f), strategy);
+            if let Some(failure) = failure {
+                panic!(
+                    "modelcheck failure (random execution {i}, seed {exec_seed:#x}): {}\n\
+                     schedule:\n{}",
+                    failure.message, failure.trace
+                );
+            }
+        }
+        Report { executions: self.max_executions, complete: false }
+    }
+
+    fn run_once(
+        &self,
+        f: Arc<dyn Fn() + Send + Sync>,
+        strategy: Strategy,
+    ) -> (Strategy, Option<Failure>) {
+        let cfg = Config {
+            preemption_bound: self.preemption_bound,
+            max_steps: self.max_steps,
+            run_cap: 64,
+        };
+        let exec = Arc::new(Execution {
+            inner: Mutex::new(ExecInner {
+                threads: vec![ThreadState {
+                    status: Status::Runnable,
+                    granted: true,
+                    clock: {
+                        let mut c = VClock::new();
+                        c.tick(0);
+                        c
+                    },
+                }],
+                strategy,
+                fence_clock: VClock::new(),
+                steps: 0,
+                preemptions: 0,
+                consecutive: 0,
+                trace: Vec::new(),
+                failure: None,
+            }),
+            cv: Condvar::new(),
+            cfg,
+            handles: Mutex::new(Vec::new()),
+        });
+        let root = spawn_wrapped(Arc::clone(&exec), 0, Box::new(move || f()));
+        exec.handles.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(root);
+        // Drive: wait until every registered thread finished. (On
+        // failure the teardown unwind finishes them all.)
+        {
+            let mut inner = lock_inner(&exec);
+            loop {
+                let all_done = inner.threads.iter().all(|t| t.status == Status::Finished);
+                if all_done {
+                    break;
+                }
+                if inner.failure.is_some() {
+                    // Wake everything so parked threads observe the
+                    // failure and unwind.
+                    exec.cv.notify_all();
+                }
+                inner = exec.cv.wait(inner).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        let handles = std::mem::take(
+            &mut *exec.handles.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut inner = lock_inner(&exec);
+        let failure = inner.failure.take();
+        let strategy = Strategy {
+            mode: std::mem::replace(&mut inner.strategy.mode, Mode::Dfs),
+            path: std::mem::take(&mut inner.strategy.path),
+            cursor: 0,
+        };
+        (strategy, failure)
+    }
+}
+
+/// [`Model::check`] with default bounds.
+pub fn check<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Model::default().check(f)
+}
+
+/// [`Model::check_random`] with default bounds and `executions`
+/// schedules.
+pub fn check_random<F>(seed: u64, executions: usize, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Model { max_executions: executions, ..Model::default() }.check_random(seed, f)
+}

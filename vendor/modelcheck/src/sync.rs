@@ -1,0 +1,410 @@
+//! Instrumented drop-ins for `std::sync` primitives. Every operation
+//! is a schedule point; acquire/release orderings drive the
+//! vector-clock happens-before relation used by the race detector.
+//!
+//! Execution itself is sequentially consistent (the scheduler
+//! interleaves whole operations); *declared* orderings still matter
+//! because they decide which operations synchronize-with which — a
+//! too-weak ordering severs a happens-before edge and surfaces as a
+//! reported data race on the non-atomic data it was protecting.
+
+use std::sync::{LockResult, Mutex as StdMutex, PoisonError};
+
+pub use std::sync::atomic::Ordering;
+
+use crate::clock::VClock;
+use crate::rt::{self, BlockedOn, OpCtx};
+
+/// Lock a per-primitive state mutex, shrugging off poison: model
+/// failures unwind while these are held, and all access is
+/// scheduler-serialized anyway.
+fn lock_state<T>(m: &StdMutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn acquires(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn releases(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Shared implementation of the integer atomics.
+#[derive(Debug)]
+struct AtomicState {
+    value: u64,
+    /// Join of the release clocks of every store in the current
+    /// release sequence (RMWs join; plain stores replace).
+    sync: VClock,
+}
+
+#[derive(Debug)]
+struct AtomicCell {
+    state: StdMutex<AtomicState>,
+}
+
+impl AtomicCell {
+    const fn new(value: u64) -> AtomicCell {
+        AtomicCell { state: StdMutex::new(AtomicState { value, sync: VClock::new() }) }
+    }
+
+    fn load(&self, label: &'static str, ord: Ordering) -> u64 {
+        rt::atomic_op(label, |ctx| self.load_locked(ctx, ord))
+    }
+
+    // NOTE on SeqCst: atomic *operations* at SeqCst are modeled with
+    // acquire/release strength on their own location only — they do NOT
+    // touch the global fence clock (only an explicit `fence()` does).
+    // Coupling every SeqCst op to a global clock would fabricate
+    // happens-before edges the C++ model does not promise (SeqCst gives
+    // a total order, not release semantics toward unrelated locations),
+    // and those spurious edges would mask exactly the severed-edge bugs
+    // the negative tests must catch.
+
+    fn load_locked(&self, ctx: &mut OpCtx<'_>, ord: Ordering) -> u64 {
+        let st = lock_state(&self.state);
+        if acquires(ord) {
+            ctx.clock().join(&st.sync);
+        }
+        st.value
+    }
+
+    fn store(&self, label: &'static str, value: u64, ord: Ordering) {
+        rt::atomic_op(label, |ctx| {
+            let mut st = lock_state(&self.state);
+            st.value = value;
+            // A plain store starts a fresh release sequence: it carries
+            // the writer's clock if releasing, nothing otherwise.
+            st.sync = if releases(ord) { *ctx.clock_ref() } else { VClock::new() };
+        });
+    }
+
+    fn rmw(&self, label: &'static str, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+        rt::atomic_op(label, |ctx| {
+            let mut st = lock_state(&self.state);
+            let old = st.value;
+            st.value = f(old);
+            if acquires(ord) {
+                ctx.clock().join(&st.sync);
+            }
+            if releases(ord) {
+                // RMWs continue the release sequence: join, don't
+                // replace.
+                let clock = *ctx.clock_ref();
+                st.sync.join(&clock);
+            }
+            old
+        })
+    }
+
+    fn compare_exchange(
+        &self,
+        label: &'static str,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        rt::atomic_op(label, |ctx| {
+            let mut st = lock_state(&self.state);
+            if st.value == current {
+                st.value = new;
+                if acquires(success) {
+                    ctx.clock().join(&st.sync);
+                }
+                if releases(success) {
+                    let clock = *ctx.clock_ref();
+                    st.sync.join(&clock);
+                }
+                Ok(current)
+            } else {
+                if acquires(failure) {
+                    ctx.clock().join(&st.sync);
+                }
+                Err(st.value)
+            }
+        })
+    }
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $int:ty) => {
+        /// Instrumented drop-in for the matching `std::sync::atomic`
+        /// type (subset: the operations this workspace uses).
+        #[derive(Debug)]
+        pub struct $name {
+            cell: AtomicCell,
+        }
+
+        impl $name {
+            pub const fn new(value: $int) -> $name {
+                $name { cell: AtomicCell::new(value as u64) }
+            }
+
+            pub fn load(&self, ord: Ordering) -> $int {
+                self.cell.load(concat!(stringify!($name), "::load"), ord) as $int
+            }
+
+            pub fn store(&self, value: $int, ord: Ordering) {
+                self.cell.store(concat!(stringify!($name), "::store"), value as u64, ord);
+            }
+
+            pub fn fetch_add(&self, value: $int, ord: Ordering) -> $int {
+                self.cell.rmw(concat!(stringify!($name), "::fetch_add"), ord, |v| {
+                    (v as $int).wrapping_add(value) as u64
+                }) as $int
+            }
+
+            pub fn fetch_sub(&self, value: $int, ord: Ordering) -> $int {
+                self.cell.rmw(concat!(stringify!($name), "::fetch_sub"), ord, |v| {
+                    (v as $int).wrapping_sub(value) as u64
+                }) as $int
+            }
+
+            pub fn fetch_and(&self, value: $int, ord: Ordering) -> $int {
+                self.cell.rmw(concat!(stringify!($name), "::fetch_and"), ord, |v| {
+                    ((v as $int) & value) as u64
+                }) as $int
+            }
+
+            pub fn fetch_or(&self, value: $int, ord: Ordering) -> $int {
+                self.cell.rmw(concat!(stringify!($name), "::fetch_or"), ord, |v| {
+                    ((v as $int) | value) as u64
+                }) as $int
+            }
+
+            pub fn fetch_max(&self, value: $int, ord: Ordering) -> $int {
+                self.cell.rmw(concat!(stringify!($name), "::fetch_max"), ord, |v| {
+                    (v as $int).max(value) as u64
+                }) as $int
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                self.cell
+                    .compare_exchange(
+                        concat!(stringify!($name), "::compare_exchange"),
+                        current as u64,
+                        new as u64,
+                        success,
+                        failure,
+                    )
+                    .map(|v| v as $int)
+                    .map_err(|v| v as $int)
+            }
+
+            /// Modeled as the strong variant: the model does not inject
+            /// spurious failures (documented divergence from hardware;
+            /// retry loops are exercised by genuine CAS contention).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU64, u64);
+int_atomic!(AtomicUsize, usize);
+
+/// Instrumented `std::sync::atomic::fence`. All flavors are modeled at
+/// SeqCst strength (the workspace only issues SeqCst fences); the
+/// global fence clock both publishes and acquires.
+pub fn fence(ord: Ordering) {
+    rt::atomic_op("fence", |ctx| {
+        if acquires(ord) {
+            ctx.fence_acquire();
+        }
+        if releases(ord) {
+            ctx.fence_release();
+        }
+    });
+}
+
+/// Instrumented `std::thread::yield_now`: a pure schedule point.
+pub fn thread_yield() {
+    rt::yield_point();
+}
+
+// ---------------------------------------------------------------------------
+// Mutex + Condvar.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct MutexState {
+    held_by: Option<usize>,
+    sync: VClock,
+}
+
+/// Instrumented `std::sync::Mutex`. Lock blocks under the scheduler
+/// (contention explores both orders); unlock releases the holder's
+/// clock to the next acquirer. Never poisons: a panic inside a model
+/// run fails the whole execution instead.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    data: std::cell::UnsafeCell<T>,
+    state: StdMutex<MutexState>,
+}
+
+// SAFETY: the model scheduler serializes access — `data` is only
+// touched through `MutexGuard`, which is handed to exactly one thread
+// at a time by the `held_by` protocol below.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as above — shared references only yield `&T`/`&mut T` through
+// the exclusive guard.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub const fn new(data: T) -> Mutex<T> {
+        Mutex {
+            data: std::cell::UnsafeCell::new(data),
+            state: StdMutex::new(MutexState { held_by: None, sync: VClock::new() }),
+        }
+    }
+
+    fn id(&self) -> usize {
+        self as *const Mutex<T> as *const () as usize
+    }
+
+    /// Acquire the lock, parking under the model scheduler while held
+    /// elsewhere.
+    ///
+    /// # Errors
+    /// Never errors (the model does not poison); the `LockResult`
+    /// signature matches `std` so call sites stay identical.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let id = self.id();
+        rt::blocking_op("Mutex::lock", |ctx| {
+            let mut st = lock_state(&self.state);
+            if st.held_by.is_none() {
+                st.held_by = Some(ctx.tid);
+                let sync = st.sync;
+                ctx.clock().join(&sync);
+                Ok(())
+            } else {
+                Err(BlockedOn::Mutex(id))
+            }
+        });
+        Ok(MutexGuard { mutex: self })
+    }
+}
+
+/// Exclusive access token returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: this guard is the exclusive holder (model mutex
+        // protocol); no other thread can touch `data` until drop.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — exclusive holder until drop.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let id = self.mutex.id();
+        rt::atomic_op("Mutex::unlock", |ctx| {
+            let mut st = lock_state(&self.mutex.state);
+            debug_assert_eq!(st.held_by, Some(ctx.tid), "unlock by non-holder");
+            st.held_by = None;
+            st.sync = *ctx.clock_ref();
+            drop(st);
+            ctx.wake_all(BlockedOn::Mutex(id));
+        });
+    }
+}
+
+/// Instrumented `std::sync::Condvar`. No spurious wakeups: a waiter
+/// runs again only after a notify — which is exactly what makes lost
+/// wakeups observable as modeled deadlocks.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    _private: (),
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar { _private: () }
+    }
+
+    fn id(&self) -> usize {
+        self as *const Condvar as *const () as usize
+    }
+
+    /// Release the guard's mutex, park until notified, re-acquire.
+    ///
+    /// # Errors
+    /// Never errors; `LockResult` keeps call sites `std`-identical.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let mutex = guard.mutex;
+        let cv_id = self.id();
+        let mutex_id = mutex.id();
+        // Consume the guard without running its unlock-op Drop: the
+        // unlock below must be fused with the park (atomic release+wait,
+        // no missed-notify window).
+        std::mem::forget(guard);
+        let mut parked = false;
+        rt::blocking_op("Condvar::wait", |ctx| {
+            let mut st = lock_state(&mutex.state);
+            if !parked {
+                // First entry: release the mutex and park.
+                debug_assert_eq!(st.held_by, Some(ctx.tid), "wait with non-held mutex");
+                st.held_by = None;
+                st.sync = *ctx.clock_ref();
+                drop(st);
+                ctx.wake_all(BlockedOn::Mutex(mutex_id));
+                parked = true;
+                Err(BlockedOn::Condvar(cv_id))
+            } else if st.held_by.is_none() {
+                // Notified: re-acquire the mutex.
+                st.held_by = Some(ctx.tid);
+                let sync = st.sync;
+                ctx.clock().join(&sync);
+                Ok(())
+            } else {
+                Err(BlockedOn::Mutex(mutex_id))
+            }
+        });
+        Ok(MutexGuard { mutex })
+    }
+
+    /// Wake every thread parked in [`Condvar::wait`] on this condvar.
+    pub fn notify_all(&self) {
+        let id = self.id();
+        rt::atomic_op("Condvar::notify_all", |ctx| {
+            ctx.wake_all(BlockedOn::Condvar(id));
+        });
+    }
+
+    /// Wake one parked thread (the lowest thread id — deterministic,
+    /// documented divergence from the unspecified choice real condvars
+    /// make).
+    pub fn notify_one(&self) {
+        let id = self.id();
+        rt::atomic_op("Condvar::notify_one", |ctx| {
+            ctx.wake_one(BlockedOn::Condvar(id));
+        });
+    }
+}

@@ -1,0 +1,52 @@
+//! Instrumented `std::thread` subset: spawn and join are scheduler
+//! operations (spawn and join edges enter the happens-before relation).
+
+use std::sync::{Arc, Mutex};
+
+use crate::rt;
+
+/// Handle to a spawned model thread; see [`spawn`].
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Block (under the model scheduler) until the thread finishes.
+    ///
+    /// # Errors
+    /// Never returns `Err`: a panic inside a model thread fails the
+    /// whole execution before `join` can observe it. The `Result`
+    /// signature matches `std` so call sites stay identical.
+    pub fn join(self) -> std::thread::Result<T> {
+        rt::join_model(self.tid);
+        let value = self
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            .expect("model thread finished without storing its result");
+        Ok(value)
+    }
+}
+
+/// Spawn a model thread. Panics if the execution already has
+/// [`rt::MAX_THREADS`] threads.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let slot = Arc::new(Mutex::new(None));
+    let result = Arc::clone(&slot);
+    let tid = rt::spawn_model(Box::new(move || {
+        let value = f();
+        *result.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(value);
+    }));
+    JoinHandle { tid, slot }
+}
+
+/// Instrumented `std::thread::yield_now`: a pure schedule point.
+pub fn yield_now() {
+    crate::sync::thread_yield();
+}

@@ -1,0 +1,24 @@
+//! Tier-1 model checking of the production channel source.
+//!
+//! `channel.rs` is `#[path]`-included verbatim, so `crate::sync` below
+//! — always the shims here — is what it compiles against: the exact
+//! code that ships (same file, same lines) runs under the controlled
+//! scheduler with race/deadlock/slot-protocol detection, with no
+//! feature flag needed. `cargo test` at the workspace root runs this.
+//!
+//! The same suite also runs against the *linked* crossbeam library via
+//! `cargo test -p crossbeam --features model` (the CI verify job), so
+//! both compilation routes stay honest.
+
+#[path = "../../crossbeam/src/channel.rs"]
+pub mod channel;
+
+/// The `crate::sync` facade the included channel source resolves to:
+/// instrumented atomics, parking and cells.
+pub mod sync {
+    pub use modelcheck::cell::UnsafeCell;
+    pub use modelcheck::sync::{fence, thread_yield, AtomicUsize, Condvar, Mutex, Ordering};
+}
+
+#[path = "../../crossbeam/tests/suites/channel.rs"]
+mod suite;

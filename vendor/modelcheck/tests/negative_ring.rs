@@ -1,0 +1,150 @@
+//! Negative tests: prove the model checker actually catches the bugs
+//! the channel's orderings exist to prevent. Each test replicates the
+//! ring's per-slot claim/publish protocol (`Ring::try_push` /
+//! `Ring::try_pop` in vendor/crossbeam/src/channel.rs) on a one-slot
+//! ring, seeds a specific ordering bug, and asserts the model reports
+//! it. If a future refactor weakened the real channel the same way,
+//! the tier-1 suite in channel_model.rs would fail with the same
+//! diagnostics.
+
+use std::mem::MaybeUninit;
+use std::sync::Arc;
+
+use modelcheck::cell::UnsafeCell;
+use modelcheck::sync::{AtomicUsize, Ordering};
+use modelcheck::{check, thread};
+
+/// One ring slot plus its claim counters, exactly as in the channel:
+/// `stamp == pos` means free-for-push, `stamp == pos + 1` means
+/// holds-a-message.
+struct MiniRing {
+    stamp: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<u64>>,
+    tail: AtomicUsize,
+    head: AtomicUsize,
+}
+
+impl MiniRing {
+    fn new() -> MiniRing {
+        MiniRing {
+            stamp: AtomicUsize::new(0),
+            value: UnsafeCell::new(MaybeUninit::uninit()),
+            tail: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    /// `Ring::try_push` for position 0, with the publishing stamp store
+    /// ordering injected by the caller.
+    fn push(&self, v: u64, stamp_order: Ordering) -> bool {
+        if self.stamp.load(Ordering::Acquire) != 0 {
+            return false;
+        }
+        if self.tail.compare_exchange(0, 1, Ordering::SeqCst, Ordering::Relaxed).is_err() {
+            return false;
+        }
+        self.value.init(|p| {
+            // SAFETY: the tail CAS claimed position 0 exclusively; the
+            // stamp store below is what publishes the write.
+            unsafe { (*p).write(v) };
+        });
+        self.stamp.store(1, stamp_order);
+        true
+    }
+
+    /// `Ring::try_pop` for position 0.
+    fn pop(&self) -> Option<u64> {
+        if self.stamp.load(Ordering::Acquire) != 1 {
+            return None;
+        }
+        if self.head.compare_exchange(0, 1, Ordering::SeqCst, Ordering::Relaxed).is_err() {
+            return None;
+        }
+        let v = self.value.take(|p| {
+            // SAFETY: observing stamp == 1 via Acquire (paired with the
+            // producer's Release store) means the payload write
+            // happens-before this read; the head CAS made the claim
+            // exclusive.
+            unsafe { (*p).assume_init_read() }
+        });
+        Some(v)
+    }
+}
+
+/// Control: with the production ordering (Release publish) the
+/// protocol is race-free in every interleaving.
+#[test]
+fn release_stamp_publish_is_clean() {
+    let report = check(|| {
+        let ring = Arc::new(MiniRing::new());
+        let producer = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || ring.push(42, Ordering::Release))
+        };
+        if let Some(v) = ring.pop() {
+            assert_eq!(v, 42);
+        }
+        producer.join().unwrap();
+    });
+    assert!(report.complete, "one-slot protocol must exhaust its schedule space");
+}
+
+/// The seeded bug: stamp published with `Relaxed` instead of `Release`
+/// (the exact weakening a careless "optimization" of
+/// `slot.stamp.store(tail + 1, Ordering::Release)` would make). The
+/// synchronizes-with edge from payload write to payload read is
+/// severed, and the model must report the consumer's slot read as a
+/// data race.
+#[test]
+#[should_panic(expected = "data race")]
+fn relaxed_stamp_publish_is_caught() {
+    check(|| {
+        let ring = Arc::new(MiniRing::new());
+        let producer = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || ring.push(42, Ordering::Relaxed)) // planted bug
+        };
+        if let Some(v) = ring.pop() {
+            assert_eq!(v, 42);
+        }
+        producer.join().unwrap();
+    });
+}
+
+/// Second seeded bug: the consumer recycles the slot for the next lap
+/// *before* moving the payload out — the order `try_pop` must never
+/// swap. A producer can then overwrite the slot while the consumer is
+/// still reading it. Depending on the interleaving this shows up as a
+/// data race on the producer's `init` (unordered against the late
+/// `take`) or as a double-init; the DFS reaches the race first.
+#[test]
+#[should_panic(expected = "data race: UnsafeCell::init")]
+fn recycling_the_slot_before_reading_is_caught() {
+    check(|| {
+        let slot = Arc::new(MiniRing::new());
+        slot.push(1, Ordering::Release);
+        let producer = {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || {
+                // Next-lap producer: waits for the recycled stamp.
+                if slot.stamp.load(Ordering::Acquire) == 0 {
+                    slot.value.init(|p| {
+                        // SAFETY: stamp 0 says the slot is free — but
+                        // the buggy consumer below lies about that.
+                        unsafe { (*p).write(2) };
+                    });
+                }
+            })
+        };
+        if slot.stamp.load(Ordering::Acquire) == 1 {
+            // Planted bug: recycle first, read second.
+            slot.stamp.store(0, Ordering::Release);
+            let _ = slot.value.take(|p| {
+                // SAFETY: intentionally unsound — the slot was already
+                // handed back to producers; the model must object.
+                unsafe { (*p).assume_init_read() }
+            });
+        }
+        producer.join().unwrap();
+    });
+}

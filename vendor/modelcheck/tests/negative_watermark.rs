@@ -1,0 +1,149 @@
+//! Negative tests for the watermark-table protocol: replicate the
+//! table's slot lifecycle (`WatermarkTable` in
+//! crates/stream/src/watermark.rs) on a two-slot table, seed the
+//! protocol bugs the production code's structure rules out, and assert
+//! the model reports them. If a future refactor broke the real table
+//! the same way, the tier-1 suite in watermark_model.rs would fail with
+//! the same diagnostics.
+//!
+//! (Bugs that are *pure ordering-strength* weakenings on atomics —
+//! e.g. a Relaxed bit-clear — don't change any sequentially-consistent
+//! execution and are therefore invisible to an SC-exploring checker;
+//! the nightly TSan/Miri lane covers that class. The seeded bugs here
+//! are interleaving bugs, which the DFS does catch; the
+//! strength-weakening class is exercised on the channel's non-atomic
+//! slot payloads in negative_ring.rs, where the race detector sees it.)
+
+use std::sync::Arc;
+
+use modelcheck::sync::{AtomicU64, Ordering};
+use modelcheck::{check, thread};
+
+/// The table's slot-handoff protocol on two slots, with the bugs
+/// injectable by the caller.
+struct MiniTable {
+    active: AtomicU64,
+    marks: [AtomicU64; 2],
+}
+
+impl MiniTable {
+    fn new() -> MiniTable {
+        MiniTable { active: AtomicU64::new(0), marks: [AtomicU64::new(0), AtomicU64::new(0)] }
+    }
+
+    /// `WatermarkTable::acquire`, production shape (CAS claim).
+    fn acquire(&self, seed_ms: u64) -> usize {
+        loop {
+            let mask = self.active.load(Ordering::SeqCst);
+            let free = (!mask).trailing_zeros() as usize;
+            assert!(free < 2, "both slots live");
+            if self
+                .active
+                .compare_exchange(mask, mask | (1 << free), Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                self.marks[free].fetch_max(seed_ms, Ordering::Relaxed);
+                return free;
+            }
+        }
+    }
+
+    /// Planted bug: claim with a load-then-store instead of the CAS —
+    /// the classic lost update. Two racing claimants can both observe
+    /// the same free slot and both "own" it.
+    fn acquire_racy(&self, seed_ms: u64) -> usize {
+        let mask = self.active.load(Ordering::SeqCst);
+        let free = (!mask).trailing_zeros() as usize;
+        assert!(free < 2, "both slots live");
+        self.active.store(mask | (1 << free), Ordering::SeqCst);
+        self.marks[free].fetch_max(seed_ms, Ordering::Relaxed);
+        free
+    }
+
+    /// `WatermarkTable::release`, but the caller picks the order of the
+    /// two halves (zero the mark / clear the bit).
+    fn release(&self, slot: usize, zero_first: bool) {
+        if zero_first {
+            self.marks[slot].store(0, Ordering::Relaxed);
+            self.active.fetch_and(!(1u64 << slot), Ordering::Release);
+        } else {
+            // Planted bug: hand the slot back to claimants while the
+            // stale mark is still readable.
+            self.active.fetch_and(!(1u64 << slot), Ordering::Release);
+            self.marks[slot].store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// `WatermarkTable::min_frontier`, production orderings.
+    fn min_frontier(&self) -> u64 {
+        let mut mask = self.active.load(Ordering::Acquire);
+        let mut min = u64::MAX;
+        while mask != 0 {
+            let slot = mask.trailing_zeros() as usize;
+            min = min.min(self.marks[slot].load(Ordering::Relaxed));
+            mask &= mask - 1;
+        }
+        if min == u64::MAX {
+            0
+        } else {
+            min
+        }
+    }
+}
+
+/// One releasing handle at a high mark, one claimant asserting the
+/// frontier invariant its seed guarantees.
+fn churn(zero_first: bool) {
+    check(move || {
+        let table = Arc::new(MiniTable::new());
+        let t = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || {
+                let slot = table.acquire(7);
+                let frontier = table.min_frontier();
+                assert!(frontier <= 7, "stale high mark leaked into the frontier: {frontier}");
+                table.release(slot, zero_first);
+            })
+        };
+        let slot = table.acquire(0);
+        table.marks[slot].fetch_max(900, Ordering::Relaxed);
+        table.release(slot, zero_first);
+        t.join().unwrap();
+    });
+}
+
+/// Control: the production order (zero the mark, then clear the bit)
+/// keeps the frontier invariant in every interleaving.
+#[test]
+fn zero_before_release_is_clean() {
+    churn(true);
+}
+
+/// First seeded bug: clearing the bit *before* zeroing the mark lets a
+/// re-acquirer claim the slot, seed it, scan, and still read the
+/// previous occupant's 900 — the exact stale-frontier overshoot
+/// `release`'s doc comment rules out.
+#[test]
+#[should_panic(expected = "stale high mark leaked")]
+fn clearing_the_bit_before_zeroing_is_caught() {
+    churn(false);
+}
+
+/// Second seeded bug: replacing the claim CAS with load-then-store
+/// loses one of two racing claims — both handles end up publishing
+/// into the same slot, and slot exclusivity is the invariant every
+/// handle's `publish` relies on.
+#[test]
+#[should_panic(expected = "claimed the same slot")]
+fn load_then_store_claim_is_caught() {
+    check(|| {
+        let table = Arc::new(MiniTable::new());
+        let t = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || table.acquire_racy(1))
+        };
+        let mine = table.acquire_racy(2);
+        let theirs = t.join().unwrap();
+        assert_ne!(mine, theirs, "two handles claimed the same slot: {mine}");
+    });
+}

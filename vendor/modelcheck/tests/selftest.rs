@@ -1,0 +1,366 @@
+//! Self-tests for the model checker: the scheduler must explore enough
+//! interleavings to catch planted bugs, and must not report phantom
+//! failures on correct code. Every detector the channel/watermark model
+//! tests rely on is exercised here with a minimal planted bug.
+
+use std::sync::Arc;
+
+use modelcheck::cell::UnsafeCell;
+use modelcheck::sync::{fence, AtomicUsize, Condvar, Mutex, Ordering};
+use modelcheck::{check, check_random, thread, Model};
+
+// ---------------------------------------------------------------------------
+// Scheduler basics.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn single_thread_runs_once() {
+    let report = check(|| {
+        let a = AtomicUsize::new(0);
+        a.store(7, Ordering::Relaxed);
+        assert_eq!(a.load(Ordering::Relaxed), 7);
+    });
+    assert!(report.complete, "trivial model must exhaust its schedule space");
+}
+
+#[test]
+fn dfs_explores_both_orders_of_two_writers() {
+    // Two threads race one Relaxed counter with an RMW each; dependent
+    // on schedule, the observer sees 1 or 2 after joining only one of
+    // them. Both outcomes must occur across the DFS.
+    use std::sync::atomic::AtomicBool as RealBool;
+    let saw_one = Arc::new(RealBool::new(false));
+    let saw_two = Arc::new(RealBool::new(false));
+    let (s1, s2) = (Arc::clone(&saw_one), Arc::clone(&saw_two));
+    let report = check(move || {
+        let n = Arc::new(AtomicUsize::new(0));
+        let a = {
+            let n = Arc::clone(&n);
+            thread::spawn(move || n.fetch_add(1, Ordering::Relaxed))
+        };
+        let b = {
+            let n = Arc::clone(&n);
+            thread::spawn(move || n.fetch_add(1, Ordering::Relaxed))
+        };
+        a.join().unwrap();
+        match n.load(Ordering::Relaxed) {
+            1 => s1.store(true, std::sync::atomic::Ordering::Relaxed),
+            2 => s2.store(true, std::sync::atomic::Ordering::Relaxed),
+            v => panic!("counter can only be 1 or 2 after one join, saw {v}"),
+        }
+        b.join().unwrap();
+    });
+    assert!(report.complete);
+    assert!(report.executions >= 2, "expected several schedules, got {}", report.executions);
+    assert!(saw_one.load(std::sync::atomic::Ordering::Relaxed), "never saw the a-only schedule");
+    assert!(saw_two.load(std::sync::atomic::Ordering::Relaxed), "never saw the a+b schedule");
+}
+
+#[test]
+fn random_walk_smoke() {
+    let report = check_random(0xC0FFEE, 50, || {
+        let n = Arc::new(AtomicUsize::new(0));
+        let t = {
+            let n = Arc::clone(&n);
+            thread::spawn(move || n.fetch_add(1, Ordering::SeqCst))
+        };
+        n.fetch_add(1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+    assert_eq!(report.executions, 50);
+}
+
+#[test]
+#[should_panic(expected = "counter can only be")]
+fn assertion_failures_propagate_with_schedule() {
+    check(|| {
+        let n = AtomicUsize::new(0);
+        n.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(n.load(Ordering::Relaxed), 1, "counter can only be 1 here");
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Race detection through declared orderings.
+// ---------------------------------------------------------------------------
+
+/// Message-passing with a Release store + Acquire load: correct, and
+/// the model must not report a phantom race.
+#[test]
+fn release_acquire_publish_is_race_free() {
+    let report = check(|| {
+        let data = Arc::new(UnsafeCell::new(0u64));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let t = {
+            let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+            thread::spawn(move || {
+                data.with_mut(|p| {
+                    // SAFETY: flag is still 0, so the reader has not
+                    // touched data yet; the Release store below orders
+                    // this write before any Acquire observer.
+                    unsafe { *p = 42 }
+                });
+                flag.store(1, Ordering::Release);
+            })
+        };
+        if flag.load(Ordering::Acquire) == 1 {
+            // SAFETY: Acquire observed the Release store, so the write
+            // to data happens-before this read.
+            let v = data.with(|p| unsafe { *p });
+            assert_eq!(v, 42);
+        }
+        t.join().unwrap();
+    });
+    assert!(report.complete);
+}
+
+/// The same pattern with the Release store weakened to Relaxed: the
+/// synchronizes-with edge is severed and the reader's access must be
+/// reported as a data race in some interleaving. This is the in-vitro
+/// version of the weakened-stamp channel negative test.
+#[test]
+#[should_panic(expected = "data race")]
+fn relaxed_publish_is_reported_as_a_race() {
+    check(|| {
+        let data = Arc::new(UnsafeCell::new(0u64));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let t = {
+            let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+            thread::spawn(move || {
+                data.with_mut(|p| {
+                    // SAFETY: single writer; the bug under test is the
+                    // missing Release on the flag, not this access.
+                    unsafe { *p = 42 }
+                });
+                flag.store(1, Ordering::Relaxed); // planted bug
+            })
+        };
+        if flag.load(Ordering::Acquire) == 1 {
+            // SAFETY: intentionally unsound — the Relaxed flag store
+            // above provides no ordering; the model must flag this.
+            let _ = data.with(|p| unsafe { *p });
+        }
+        t.join().unwrap();
+    });
+}
+
+/// SeqCst fences restore ordering between Relaxed accesses
+/// (store-fence / fence-load), and SeqCst *operations* do not leak
+/// fence-like ordering to unrelated locations.
+#[test]
+fn seqcst_fences_order_relaxed_accesses() {
+    let report = check(|| {
+        let data = Arc::new(UnsafeCell::new(0u64));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let t = {
+            let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+            thread::spawn(move || {
+                data.with_mut(|p| {
+                    // SAFETY: flag is still 0 — reader has not started.
+                    unsafe { *p = 7 }
+                });
+                fence(Ordering::SeqCst);
+                flag.store(1, Ordering::Relaxed);
+            })
+        };
+        if flag.load(Ordering::Relaxed) == 1 {
+            fence(Ordering::SeqCst);
+            // SAFETY: fence/fence pairing orders the write before this
+            // read once the flag value 1 is observed.
+            let v = data.with(|p| unsafe { *p });
+            assert_eq!(v, 7);
+        }
+        t.join().unwrap();
+    });
+    assert!(report.complete);
+}
+
+// ---------------------------------------------------------------------------
+// Slot protocol (MaybeUninit init/take).
+// ---------------------------------------------------------------------------
+
+#[test]
+#[should_panic(expected = "double-init")]
+fn double_init_is_caught() {
+    check(|| {
+        let slot: UnsafeCell<u64> = UnsafeCell::new(0);
+        slot.init(|p| {
+            // SAFETY: exclusive single-threaded access in this model.
+            unsafe { *p = 1 }
+        });
+        slot.init(|p| {
+            // SAFETY: as above — the protocol violation is the point.
+            unsafe { *p = 2 }
+        });
+    });
+}
+
+#[test]
+#[should_panic(expected = "uninitialized read")]
+fn take_of_empty_slot_is_caught() {
+    check(|| {
+        let slot: UnsafeCell<u64> = UnsafeCell::new(0);
+        slot.take(|p| {
+            // SAFETY: intentionally broken take-before-init.
+            unsafe { *p }
+        });
+    });
+}
+
+#[test]
+fn init_take_roundtrip_is_clean() {
+    let report = check(|| {
+        let slot: UnsafeCell<u64> = UnsafeCell::new(0);
+        slot.init(|p| {
+            // SAFETY: slot is empty (fresh cell), single thread.
+            unsafe { *p = 9 }
+        });
+        let v = slot.take(|p| {
+            // SAFETY: slot was initialized just above.
+            unsafe { *p }
+        });
+        assert_eq!(v, 9);
+    });
+    assert!(report.complete);
+}
+
+// ---------------------------------------------------------------------------
+// Mutex + Condvar: deadlocks and lost wakeups.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mutex_serializes_critical_sections() {
+    let report = check(|| {
+        let m = Arc::new(Mutex::new(0u64));
+        let t = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || {
+                let mut g = m.lock().unwrap();
+                *g += 1;
+            })
+        };
+        {
+            let mut g = m.lock().unwrap();
+            *g += 1;
+        }
+        t.join().unwrap();
+        assert_eq!(*m.lock().unwrap(), 2);
+    });
+    assert!(report.complete);
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn ab_ba_lock_cycle_is_caught() {
+    // Classic lock-order inversion: some interleaving has each thread
+    // holding one lock and waiting for the other.
+    check(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let t = {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            thread::spawn(move || {
+                let _ga = a.lock().unwrap();
+                let _gb = b.lock().unwrap();
+            })
+        };
+        let _gb = b.lock().unwrap();
+        let _ga = a.lock().unwrap();
+        drop(_ga);
+        drop(_gb);
+        t.join().unwrap();
+    });
+}
+
+/// Check-then-wait without re-checking under the lock: the notify can
+/// land between the check and the park, and the waiter sleeps forever.
+/// The no-spurious-wakeup condvar turns that lost wakeup into a
+/// detected deadlock.
+#[test]
+#[should_panic(expected = "deadlock")]
+fn lost_wakeup_is_caught_as_deadlock() {
+    check(|| {
+        let ready = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let t = {
+            let (ready, cv) = (Arc::clone(&ready), Arc::clone(&cv));
+            thread::spawn(move || {
+                *ready.lock().unwrap() = true;
+                cv.notify_one();
+            })
+        };
+        // Planted bug: the predicate is checked once, *before* parking,
+        // instead of in a wait loop holding the lock across the check.
+        let ready_now = *ready.lock().unwrap();
+        if !ready_now {
+            let g = ready.lock().unwrap();
+            let _g = cv.wait(g).unwrap();
+        }
+        t.join().unwrap();
+    });
+}
+
+/// The correct wait-loop protocol must pass: condition re-checked under
+/// the same lock the notifier holds while flipping it.
+#[test]
+fn wait_loop_protocol_is_clean() {
+    let report = check(|| {
+        let ready = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let t = {
+            let (ready, cv) = (Arc::clone(&ready), Arc::clone(&cv));
+            thread::spawn(move || {
+                *ready.lock().unwrap() = true;
+                cv.notify_all();
+            })
+        };
+        let mut g = ready.lock().unwrap();
+        while !*g {
+            g = cv.wait(g).unwrap();
+        }
+        drop(g);
+        t.join().unwrap();
+    });
+    assert!(report.complete);
+}
+
+// ---------------------------------------------------------------------------
+// Bounds and budget controls.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn execution_budget_truncates_dfs() {
+    let model = Model { max_executions: 3, ..Model::default() };
+    let report = model.check(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let ts: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    n.fetch_add(1, Ordering::SeqCst);
+                    n.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for t in ts {
+            t.join().unwrap();
+        }
+    });
+    assert!(!report.complete, "budget of 3 cannot exhaust this space");
+    assert_eq!(report.executions, 3);
+}
+
+#[test]
+#[should_panic(expected = "step bound exceeded")]
+fn step_bound_catches_livelock() {
+    let model = Model { max_steps: 200, ..Model::default() };
+    model.check(|| {
+        let stop = Arc::new(AtomicUsize::new(0));
+        // Single-threaded spin that no other thread can break: the
+        // step bound is the only way out.
+        while stop.load(Ordering::Relaxed) == 0 {
+            thread::yield_now();
+        }
+    });
+}

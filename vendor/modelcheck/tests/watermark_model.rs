@@ -1,0 +1,18 @@
+//! Tier-1 model-checked run of the stream watermark table.
+//!
+//! Same trick as `channel_model.rs`: this crate root `#[path]`-includes
+//! the production `watermark.rs` source next to a local `mod sync` that
+//! resolves to the modelcheck shims, so `crate::watermark` below is an
+//! instrumented copy of the exact code `anomex-stream` ships — and the
+//! suite runs in the default `cargo test` tier with no feature flags.
+
+// The included module's `use crate::sync::...` resolves here.
+pub mod sync {
+    pub use modelcheck::sync::{AtomicU64, Ordering};
+}
+
+#[path = "../../../crates/stream/src/watermark.rs"]
+pub mod watermark;
+
+#[path = "../../../crates/stream/tests/suites/watermark.rs"]
+mod suite;
