@@ -1,6 +1,6 @@
 //! **P5 — streaming ingest throughput: channel, batching, sharding.**
 //!
-//! Four measurements, all landing on stdout and in `BENCH_stream.json`
+//! Five measurements, all landing on stdout and in `BENCH_stream.json`
 //! (override the path with `BENCH_STREAM_OUT`), with a rolling
 //! `history` array so the perf trajectory survives across commits:
 //!
@@ -15,11 +15,18 @@
 //! 3. **Ingest shard curve** — the same quiet corpus at 1/2/4/8 shards.
 //! 4. **Detect+extract end-to-end** — the scan corpus (alarms fire,
 //!    itemsets mined) at 1/2/4/8 shards: the number operators see.
+//! 5. **Instrumentation overhead + stage breakdown** — the quiet-corpus
+//!    ingest path with the telemetry timing layer on vs off (asserted
+//!    within 3% in full runs), plus per-stage timing means and
+//!    watermark-lag gauges from the instrumented scan run. The full
+//!    final metrics snapshot lands in `BENCH_stream_metrics.json` as a
+//!    CI artifact next to the bench JSON.
 //!
 //! Run: `cargo bench -p anomex-bench --bench perf_stream`
 //! Sizing: `STREAM_BENCH_FLOWS=500000` scales the corpora; `--test`
 //! (what `cargo test --benches` passes) switches to a small smoke run,
-//! which writes `BENCH_stream_smoke.json` (gitignored) so it can never
+//! which writes `BENCH_stream_smoke.json` and
+//! `BENCH_stream_metrics_smoke.json` (gitignored) so it can never
 //! clobber the committed full-run record.
 //!
 //! Caveat: shard *scaling* needs physical cores; on a single-CPU
@@ -221,6 +228,9 @@ struct RunResult {
     elapsed_ms: f64,
     alarms: u64,
     reports: u64,
+    /// The pipeline's final telemetry emission (stage timings and
+    /// event-time gauges live in its snapshot when `telemetry` was on).
+    metrics: Option<MetricsReport>,
 }
 
 fn run_pipeline(
@@ -228,6 +238,7 @@ fn run_pipeline(
     span: anomex_flow::store::TimeRange,
     shards: usize,
     ingest_batch: usize,
+    telemetry: bool,
 ) -> RunResult {
     let config = StreamConfig {
         shards,
@@ -238,10 +249,14 @@ fn run_pipeline(
         span: Some(span),
         detectors: DetectorRegistry::kl(KlConfig { interval_ms: WIDTH_MS, ..KlConfig::default() }),
         retain_windows: 2,
+        // Final-report-only cadence: the bench wants the run's totals,
+        // not periodic emissions on the timed path.
+        metrics: MetricsConfig { enabled: telemetry, report_every_windows: 0, report_queue: 4 },
         ..StreamConfig::default()
     };
     let start = Instant::now();
     let (mut ingest, reports) = anomex_stream::pipeline::launch(config);
+    let telemetry_rx = ingest.metrics_reports().expect("telemetry subscription");
     ingest.push_batch(records.iter().cloned());
     let stats = ingest.finish();
     let drained = reports.iter().count() as u64;
@@ -249,11 +264,16 @@ fn run_pipeline(
     assert_eq!(stats.ingested, records.len() as u64, "pipeline lost records");
     assert_eq!(stats.send_failures, 0, "no worker may disconnect mid-bench");
     assert_eq!(drained, stats.reports, "report channel lost reports");
+    let mut metrics = None;
+    while let Ok(report) = telemetry_rx.try_recv() {
+        metrics = Some(report);
+    }
     RunResult {
         records_per_sec: stats.ingested as f64 / elapsed.as_secs_f64(),
         elapsed_ms: elapsed.as_secs_f64() * 1_000.0,
         alarms: stats.alarms,
         reports: stats.reports,
+        metrics,
     }
 }
 
@@ -377,7 +397,7 @@ fn main() {
     let mut batch_curve: Vec<Value> = Vec::new();
     let mut best_ingest = 0f64;
     for &batch in &[1usize, 16, 64, 256] {
-        let run = best_of(reps, || run_pipeline(&quiet, quiet_span, 1, batch));
+        let run = best_of(reps, || run_pipeline(&quiet, quiet_span, 1, batch, true));
         assert_eq!(run.alarms, 0, "quiet corpus must stay quiet");
         best_ingest = best_ingest.max(run.records_per_sec);
         rows.push(vec![
@@ -398,7 +418,7 @@ fn main() {
         vec![vec!["shards".to_string(), "records/sec".to_string(), "elapsed ms".to_string()]];
     let mut ingest_shard_curve: Vec<Value> = Vec::new();
     for &shards in &[1usize, 2, 4, 8] {
-        let run = best_of(reps, || run_pipeline(&quiet, quiet_span, shards, 64));
+        let run = best_of(reps, || run_pipeline(&quiet, quiet_span, shards, 64, true));
         rows.push(vec![
             shards.to_string(),
             format!("{:.0}", run.records_per_sec),
@@ -424,8 +444,9 @@ fn main() {
         "reports".to_string(),
     ]];
     let mut extract_curve: Vec<Value> = Vec::new();
+    let mut scan_metrics: Option<MetricsReport> = None;
     for &shards in &[1usize, 2, 4, 8] {
-        let run = best_of(reps, || run_pipeline(&scan, scan_span, shards, 64));
+        let run = best_of(reps, || run_pipeline(&scan, scan_span, shards, 64, true));
         assert!(run.alarms >= 1, "scan corpus must alarm");
         rows.push(vec![
             shards.to_string(),
@@ -441,8 +462,80 @@ fn main() {
             ("alarms", Value::U64(run.alarms)),
             ("reports", Value::U64(run.reports)),
         ]));
+        if shards == 1 {
+            scan_metrics = run.metrics;
+        }
     }
     print!("{}", fmt::table(&rows));
+    println!();
+
+    // --- 5. Instrumentation overhead + per-stage breakdown. --------------
+    // The telemetry layer's whole budget is "free enough to leave on":
+    // hold the instrumented ingest path within 3% of the uninstrumented
+    // one (counters run in both modes; the delta is the timing layer).
+    let on = best_of(reps, || run_pipeline(&quiet, quiet_span, 1, 64, true));
+    let off = best_of(reps, || run_pipeline(&quiet, quiet_span, 1, 64, false));
+    let overhead_pct = (off.records_per_sec / on.records_per_sec - 1.0) * 100.0;
+    println!(
+        "instrumentation: {:.0} records/sec on vs {:.0} off -> overhead {overhead_pct:.2}% \
+         (ceiling 3%)\n",
+        on.records_per_sec, off.records_per_sec
+    );
+    if !test_mode {
+        assert!(
+            overhead_pct <= 3.0,
+            "telemetry overhead {overhead_pct:.2}% exceeds the 3% acceptance ceiling"
+        );
+    }
+
+    let scan_metrics = scan_metrics.expect("instrumented scan run emitted telemetry");
+    let stage_ns = |name: &str| match scan_metrics.snapshot.histogram(name) {
+        Some(h) => {
+            obj(vec![("count", Value::U64(h.count)), ("mean_ns", Value::F64(round1(h.mean())))])
+        }
+        None => Value::Null,
+    };
+    let hist_mean = |name: &str| {
+        Value::F64(round1(scan_metrics.snapshot.histogram(name).map_or(0.0, |h| h.mean())))
+    };
+    let gauge = |name: &str| match scan_metrics.snapshot.gauge(name) {
+        Some(v) => Value::U64(v),
+        None => Value::Null,
+    };
+    let stage_breakdown = obj(vec![
+        ("shard_apply", stage_ns("shard.apply_ns")),
+        ("merge_offer", stage_ns("merge.offer_ns")),
+        ("detect_kl_push", stage_ns("detect.kl.push_ns")),
+        ("extract_encode", stage_ns("extract.encode_ns")),
+        ("extract_mine", stage_ns("extract.mine_ns")),
+    ]);
+    let watermark_health = obj(vec![
+        ("broadcast_ms", gauge("watermark.broadcast_ms")),
+        ("lag_event_ms", gauge("watermark.lag_event_ms")),
+        ("frontier_skew_ms", gauge("watermark.frontier_skew_ms")),
+    ]);
+    let mut rows = vec![vec!["stage".to_string(), "samples".to_string(), "mean ns".to_string()]];
+    for name in [
+        "shard.apply_ns",
+        "merge.offer_ns",
+        "detect.kl.push_ns",
+        "extract.encode_ns",
+        "extract.mine_ns",
+    ] {
+        if let Some(h) = scan_metrics.snapshot.histogram(name) {
+            rows.push(vec![name.to_string(), h.count.to_string(), format!("{:.0}", h.mean())]);
+        }
+    }
+    print!("{}", fmt::table(&rows));
+
+    // The full final snapshot (1-shard scan run) lands next to the
+    // bench JSON for the CI artifact.
+    let metrics_path =
+        if test_mode { "BENCH_stream_metrics_smoke.json" } else { "BENCH_stream_metrics.json" };
+    let metrics_json =
+        serde_json::to_string_pretty(&scan_metrics).expect("render metrics snapshot");
+    std::fs::write(metrics_path, metrics_json + "\n").expect("write metrics snapshot");
+    println!("\nwrote {metrics_path}");
 
     // --- Emit JSON with rolling history. ---------------------------------
     // Smoke runs land in a separate (gitignored) file: BENCH_stream.json
@@ -473,6 +566,13 @@ fn main() {
                 })
                 .unwrap_or(Value::Null),
         ),
+        ("instrumentation_overhead_pct", Value::F64(round1(overhead_pct))),
+        ("shard_apply_mean_ns", hist_mean("shard.apply_ns")),
+        ("merge_offer_mean_ns", hist_mean("merge.offer_ns")),
+        ("detect_kl_push_mean_ns", hist_mean("detect.kl.push_ns")),
+        ("extract_mine_mean_ns", hist_mean("extract.mine_ns")),
+        ("watermark_lag_event_ms", gauge("watermark.lag_event_ms")),
+        ("watermark_frontier_skew_ms", gauge("watermark.frontier_skew_ms")),
     ]));
 
     let doc = obj(vec![
@@ -487,6 +587,9 @@ fn main() {
         ("ingest_batch_curve", Value::Array(batch_curve)),
         ("ingest_shard_curve", Value::Array(ingest_shard_curve)),
         ("extract_e2e_shard_curve", Value::Array(extract_curve)),
+        ("instrumentation_overhead_pct", Value::F64(round1(overhead_pct))),
+        ("stage_breakdown", stage_breakdown),
+        ("watermark_health", watermark_health),
         ("history", Value::Array(history)),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("render bench json");

@@ -9,6 +9,7 @@
 use std::io::{self, Write};
 
 use anomex_core::report::{render_summary, render_table};
+use anomex_stream::metrics::MetricsReport;
 use anomex_stream::report::StreamReport;
 use crossbeam::channel::Receiver;
 
@@ -23,6 +24,8 @@ pub struct LiveSession {
     /// Alarms per source detector, in first-seen order (pre-merge
     /// attribution: a window two detectors flag counts once for each).
     detector_alarms: Vec<(String, u64)>,
+    /// The freshest pipeline telemetry, if any arrived.
+    last_metrics: Option<MetricsReport>,
     /// Support columns are multiplied by this in rendered tables (set
     /// to the sampling rate for wire-scale estimates).
     pub report_scale: u64,
@@ -36,6 +39,7 @@ impl LiveSession {
             reports: Vec::new(),
             reports_dropped: 0,
             detector_alarms: Vec::new(),
+            last_metrics: None,
             report_scale: 1,
         }
     }
@@ -77,6 +81,48 @@ impl LiveSession {
         Ok(())
     }
 
+    /// Absorb one pipeline telemetry emission: render the one-line
+    /// health summary and keep the report as [`last_metrics`].
+    ///
+    /// The line always carries the live counters (windows, records,
+    /// send failures, dropped reports); the event-time gauges appear
+    /// only when the pipeline's timing layer is enabled.
+    ///
+    /// [`last_metrics`]: LiveSession::last_metrics
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the output writer.
+    pub fn ingest_metrics(
+        &mut self,
+        report: MetricsReport,
+        out: &mut impl Write,
+    ) -> io::Result<()> {
+        let mut line = format!(
+            "live: telemetry #{} — {} window(s), {} record(s)",
+            report.seq,
+            report.windows,
+            report.records()
+        );
+        if let Some(lag) = report.watermark_lag_event_ms() {
+            line.push_str(&format!(", watermark lag {lag}ms"));
+        }
+        if let Some(skew) = report.frontier_skew_ms() {
+            line.push_str(&format!(", frontier skew {skew}ms"));
+        }
+        if let Some(depth) = report.report_queue_depth() {
+            line.push_str(&format!(", report queue {depth}"));
+        }
+        if report.send_failures() > 0 {
+            line.push_str(&format!(", {} record(s) lost to dead shards", report.send_failures()));
+        }
+        if report.reports_dropped() > 0 {
+            line.push_str(&format!(", {} report(s) dropped", report.reports_dropped()));
+        }
+        writeln!(out, "{line}")?;
+        self.last_metrics = Some(report);
+        Ok(())
+    }
+
     /// Consume the channel until the pipeline hangs up; returns how
     /// many reports arrived.
     ///
@@ -91,6 +137,35 @@ impl LiveSession {
         while let Ok(report) = reports.recv() {
             self.ingest(report, out)?;
             n += 1;
+        }
+        Ok(n)
+    }
+
+    /// [`drain`](LiveSession::drain), interleaving the pipeline's
+    /// telemetry channel: queued [`MetricsReport`]s are absorbed (and
+    /// rendered as one-line summaries) before each blocking report
+    /// receive and once more after the pipeline hangs up, so the final
+    /// emission — the complete run — is always captured.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the output writer.
+    pub fn drain_with_metrics(
+        &mut self,
+        reports: &Receiver<StreamReport>,
+        metrics: &Receiver<MetricsReport>,
+        out: &mut impl Write,
+    ) -> io::Result<usize> {
+        let mut n = 0;
+        loop {
+            while let Ok(report) = metrics.try_recv() {
+                self.ingest_metrics(report, out)?;
+            }
+            let Ok(report) = reports.recv() else { break };
+            self.ingest(report, out)?;
+            n += 1;
+        }
+        while let Ok(report) = metrics.try_recv() {
+            self.ingest_metrics(report, out)?;
         }
         Ok(n)
     }
@@ -113,15 +188,31 @@ impl LiveSession {
         &self.detector_alarms
     }
 
+    /// The freshest pipeline telemetry absorbed so far.
+    pub fn last_metrics(&self) -> Option<&MetricsReport> {
+        self.last_metrics.as_ref()
+    }
+
+    /// Records the pipeline lost because a shard worker disconnected
+    /// mid-run, per the freshest telemetry (0 before any arrived).
+    pub fn send_failures(&self) -> u64 {
+        self.last_metrics.as_ref().map_or(0, MetricsReport::send_failures)
+    }
+
     /// The accumulated alarm database (ids as filed, in arrival order).
     pub fn alarms(&self) -> &AlarmDb {
         &self.db
     }
 
     /// Hand the accumulated alarms to an interactive console over
-    /// `store` for post-hoc drill-down.
+    /// `store` for post-hoc drill-down; the freshest telemetry rides
+    /// along (the console's `metrics` command renders it).
     pub fn into_console(self, store: anomex_flow::store::FlowStore) -> crate::session::Console {
-        crate::session::Console::new(store, self.db)
+        let mut console = crate::session::Console::new(store, self.db);
+        if let Some(metrics) = self.last_metrics {
+            console.set_metrics(metrics);
+        }
+        console
     }
 }
 
@@ -148,6 +239,7 @@ mod tests {
             ..StreamConfig::default()
         };
         let (mut ingest, reports) = anomex_stream::pipeline::launch(config);
+        let metrics = ingest.metrics_reports().expect("telemetry subscription");
         let mut wire = Vec::new();
         for t in 0..8u64 {
             for i in 0..150u32 {
@@ -179,22 +271,37 @@ mod tests {
 
         let mut session = LiveSession::new();
         let mut out = Vec::new();
-        let n = session.drain(&reports, &mut out).unwrap();
+        let n = session.drain_with_metrics(&reports, &metrics, &mut out).unwrap();
         assert_eq!(n as u64, stats.reports);
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("live: alarm #0"), "{text}");
         assert!(text.contains("srcIP"), "itemset table expected: {text}");
         assert!(text.contains("10.9.9.9"), "{text}");
+        // Telemetry interleaves with the reports; the final emission
+        // carries the complete run.
+        assert!(text.contains("live: telemetry #"), "{text}");
+        assert!(text.contains("watermark lag"), "{text}");
+        let last = session.last_metrics().expect("final telemetry captured");
+        assert_eq!(last.windows, stats.windows);
+        assert_eq!(last.records(), stats.ingested);
+        assert_eq!(session.send_failures(), 0);
 
-        // The same alarms drive the interactive console afterwards.
+        // The same alarms (and telemetry) drive the interactive console
+        // afterwards.
         let mut console = session.into_console(store);
         let mut console_out = Vec::new();
         console
-            .run(std::io::Cursor::new("alarm 0\nextract\nquit\n".to_string()), &mut console_out)
+            .run(
+                std::io::Cursor::new("alarm 0\nextract\nmetrics\nquit\n".to_string()),
+                &mut console_out,
+            )
             .unwrap();
         let console_text = String::from_utf8(console_out).unwrap();
         assert!(console_text.contains("selected: alarm #0"), "{console_text}");
         assert!(console_text.contains("10.9.9.9"), "{console_text}");
+        assert!(console_text.contains("pipeline telemetry #"), "{console_text}");
+        assert!(console_text.contains("ingest.records"), "{console_text}");
+        assert!(console_text.contains("shard.apply_ns"), "{console_text}");
     }
 
     #[test]

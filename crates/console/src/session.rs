@@ -15,6 +15,7 @@ use anomex_fim::Algorithm;
 use anomex_flow::filter::Filter;
 use anomex_flow::record::Protocol;
 use anomex_flow::store::FlowStore;
+use anomex_stream::metrics::{MetricValue, MetricsReport};
 
 use crate::db::AlarmDb;
 
@@ -26,6 +27,7 @@ pub struct Console {
     config: ExtractorConfig,
     selected: Option<Alarm>,
     last: Option<Extraction>,
+    metrics: Option<MetricsReport>,
     /// Support columns are multiplied by this in reports (set it to the
     /// sampling rate to show wire-scale estimates).
     pub report_scale: u64,
@@ -40,8 +42,18 @@ impl Console {
             config: ExtractorConfig::default(),
             selected: None,
             last: None,
+            metrics: None,
             report_scale: 1,
         }
+    }
+
+    /// Attach pipeline telemetry for the `metrics` command (a
+    /// [`LiveSession`](crate::live::LiveSession) hands over its
+    /// freshest report on [`into_console`]).
+    ///
+    /// [`into_console`]: crate::live::LiveSession::into_console
+    pub fn set_metrics(&mut self, metrics: MetricsReport) {
+        self.metrics = Some(metrics);
     }
 
     /// The active extractor configuration.
@@ -92,6 +104,7 @@ impl Console {
             "classify" => self.cmd_classify(&args, out)?,
             "set" => self.cmd_set(&args, out)?,
             "show" => self.cmd_show(out)?,
+            "metrics" => self.cmd_metrics(out)?,
             "filter" => self.cmd_filter(&args.join(" "), out)?,
             "quit" | "exit" => return Ok(false),
             other => writeln!(out, "unknown command '{other}' — try 'help'")?,
@@ -102,7 +115,7 @@ impl Console {
     fn cmd_help(&self, out: &mut impl Write) -> std::io::Result<()> {
         writeln!(
             out,
-            "commands:\n  alarms                    list alarms\n  detectors                 alarms per detector (ensemble merges split by '+')\n  alarm <id>                select an alarm\n  extract                   mine itemsets for the selected alarm\n  itemsets                  show the last extraction table\n  flows <n> [limit]         drill into itemset n's raw flows\n  classify <n>              classify itemset n\n  set <param> <value>       tune: k, flow-floor, packet-floor,\n                            packet-support on|off, policy union|interval,\n                            algorithm apriori|fpgrowth|eclat, scale <n>\n  show                      show configuration\n  filter <expr>             count flows matching an nfdump-style filter\n  quit                      leave"
+            "commands:\n  alarms                    list alarms\n  detectors                 alarms per detector (ensemble merges split by '+')\n  alarm <id>                select an alarm\n  extract                   mine itemsets for the selected alarm\n  itemsets                  show the last extraction table\n  flows <n> [limit]         drill into itemset n's raw flows\n  classify <n>              classify itemset n\n  set <param> <value>       tune: k, flow-floor, packet-floor,\n                            packet-support on|off, policy union|interval,\n                            algorithm apriori|fpgrowth|eclat, scale <n>\n  show                      show configuration\n  metrics                   pipeline telemetry from the live session\n  filter <expr>             count flows matching an nfdump-style filter\n  quit                      leave"
         )
     }
 
@@ -289,6 +302,42 @@ impl Console {
         )
     }
 
+    fn cmd_metrics(&self, out: &mut impl Write) -> std::io::Result<()> {
+        let Some(metrics) = &self.metrics else {
+            return writeln!(out, "no pipeline telemetry attached (run a live session)");
+        };
+        writeln!(
+            out,
+            "pipeline telemetry #{} — {} window(s) merged",
+            metrics.seq, metrics.windows
+        )?;
+        let mut stage = "";
+        for entry in &metrics.snapshot.entries {
+            if entry.stage != stage {
+                stage = entry.stage;
+                writeln!(out, "[{stage}]")?;
+            }
+            match &entry.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    writeln!(out, "  {:<28} {v} {}", entry.name, entry.unit)?;
+                }
+                MetricValue::Histogram(h) => {
+                    let max = h.buckets.last().map_or(0, |b| b.le);
+                    writeln!(
+                        out,
+                        "  {:<28} n={} mean={:.1} max<={} {}",
+                        entry.name,
+                        h.count,
+                        h.mean(),
+                        max,
+                        entry.unit
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn cmd_filter(&self, expr: &str, out: &mut impl Write) -> std::io::Result<()> {
         if expr.is_empty() {
             return writeln!(out, "usage: filter <nfdump-style expression>");
@@ -405,6 +454,13 @@ mod tests {
         let mut c = console();
         let out = run_script(&mut c, "extract\n");
         assert!(out.contains("select an alarm first"), "{out}");
+    }
+
+    #[test]
+    fn metrics_without_telemetry_is_guarded() {
+        let mut c = console();
+        let out = run_script(&mut c, "metrics\n");
+        assert!(out.contains("no pipeline telemetry attached"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,1004 @@
+//! Lock-free pipeline telemetry for the anomex streaming pipeline.
+//!
+//! The crate is a small registry of **counters**, **gauges** and
+//! **fixed-bucket histograms** plus a span-timing helper
+//! ([`StageTimer`] / [`stage_timer!`]). Design constraints, in order:
+//!
+//! - **Atomic hot path, zero allocation on increment.** Every handle is
+//!   an `Option<Arc<AtomicU64>>`-shaped cell; an update is one `Relaxed`
+//!   RMW (or a single branch when the handle is a no-op). Registration
+//!   (the only locking, the only allocation) happens once at pipeline
+//!   launch, never per record.
+//! - **Compiled to no-ops when the `obs` feature is off.** Gauges,
+//!   histograms, timers and the snapshot shrink to ZSTs with the same
+//!   API. [`Counter`] deliberately stays real in both modes: pipeline
+//!   statistics (`StreamStats`) are views over registry counters, and a
+//!   build flag must never silently zero operator-facing totals.
+//! - **Runtime-cheap disable.** [`Registry::counters_only`] hands out
+//!   no-op timing handles from a real registry, so one binary can
+//!   measure instrumented vs uninstrumented (the perf gate) without a
+//!   rebuild.
+//! - **Deterministic snapshots.** [`Registry::snapshot`] orders metrics
+//!   by name and serializes through the vendored `serde::Value` (an
+//!   insertion-ordered object), so two runs performing the same metric
+//!   operations render byte-identical JSON.
+
+#![warn(missing_docs)]
+
+use serde::{Serialize, Value};
+
+/// What a metric measures and how it aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic sum (`add`/`inc`).
+    Counter,
+    /// Last-write-wins level (`set`).
+    Gauge,
+    /// Fixed power-of-two bucket distribution (`record`).
+    Histogram,
+}
+
+impl MetricKind {
+    /// Stable lowercase name used in snapshots and docs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Static description of one metric: the unit of registration and the
+/// row rendered into `METRICS.md`.
+///
+/// `name` may contain one `*` wildcard segment for families registered
+/// per dynamic instance (e.g. `detect.*.push_ns`); concrete members are
+/// registered via the `*_named` registry methods against the template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricDef {
+    /// Dot-separated metric name, e.g. `ingest.send_failures`.
+    pub name: &'static str,
+    /// Aggregation kind.
+    pub kind: MetricKind,
+    /// Unit of the recorded value, e.g. `records`, `ns`, `ms`.
+    pub unit: &'static str,
+    /// Pipeline stage the metric belongs to, e.g. `ingest`, `detect`.
+    pub stage: &'static str,
+    /// One-line description for the catalog.
+    pub help: &'static str,
+}
+
+/// One bucket of a [`HistogramSummary`]: `count` observations with
+/// value `<= le` (and above the previous bucket's bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistBucket {
+    /// Inclusive upper bound of the bucket (a power of two, or
+    /// `u64::MAX` for the overflow bucket).
+    pub le: u64,
+    /// Observations that landed in this bucket.
+    pub count: u64,
+}
+
+/// Point-in-time histogram state inside a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Non-empty buckets, ascending by bound.
+    pub buckets: Vec<HistBucket>,
+}
+
+impl HistogramSummary {
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Value of one metric inside a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(u64),
+    /// Histogram state.
+    Histogram(HistogramSummary),
+}
+
+impl MetricValue {
+    /// The counter/gauge scalar, or the histogram observation count.
+    pub fn scalar(&self) -> u64 {
+        match self {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => *v,
+            MetricValue::Histogram(h) => h.count,
+        }
+    }
+}
+
+/// One named metric inside a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry {
+    /// Registered metric name.
+    pub name: String,
+    /// Aggregation kind.
+    pub kind: MetricKind,
+    /// Unit from the [`MetricDef`].
+    pub unit: &'static str,
+    /// Stage from the [`MetricDef`].
+    pub stage: &'static str,
+    /// Current value.
+    pub value: MetricValue,
+}
+
+/// Point-in-time view of every registered metric, ordered by name.
+///
+/// Serialization is deterministic: identical metric operation sequences
+/// produce byte-identical JSON regardless of registration order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Entries sorted ascending by `name`.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|e| e.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].value)
+    }
+
+    /// Counter total by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge level by name (`None` when absent).
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram state by name (`None` when absent).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Render to a deterministic `serde::Value` tree (objects keep the
+    /// insertion order this method chooses: sorted metric names, fixed
+    /// field order per entry).
+    pub fn to_json(&self) -> Value {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut fields = vec![
+                    ("name".to_string(), Value::Str(e.name.clone())),
+                    ("stage".to_string(), Value::Str(e.stage.to_string())),
+                    ("kind".to_string(), Value::Str(e.kind.as_str().to_string())),
+                    ("unit".to_string(), Value::Str(e.unit.to_string())),
+                ];
+                match &e.value {
+                    MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                        fields.push(("value".to_string(), Value::U64(*v)));
+                    }
+                    MetricValue::Histogram(h) => {
+                        fields.push(("count".to_string(), Value::U64(h.count)));
+                        fields.push(("sum".to_string(), Value::U64(h.sum)));
+                        let buckets = h
+                            .buckets
+                            .iter()
+                            .map(|b| {
+                                Value::Object(vec![
+                                    ("le".to_string(), Value::U64(b.le)),
+                                    ("count".to_string(), Value::U64(b.count)),
+                                ])
+                            })
+                            .collect();
+                        fields.push(("buckets".to_string(), Value::Array(buckets)));
+                    }
+                }
+                Value::Object(fields)
+            })
+            .collect();
+        Value::Object(vec![("metrics".to_string(), Value::Array(entries))])
+    }
+}
+
+impl Serialize for MetricsSnapshot {
+    fn to_json_value(&self) -> Value {
+        self.to_json()
+    }
+}
+
+/// Monotonic counter handle.
+///
+/// Real in **both** feature modes (see the crate docs): a disabled
+/// handle ([`Counter::noop`] / `Default`) skips the store, an enabled
+/// one is a single `Relaxed` `fetch_add`.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<std::sync::Arc<std::sync::atomic::AtomicU64>>);
+
+impl Counter {
+    /// A handle that drops every update and reads 0.
+    pub fn noop() -> Counter {
+        Counter(None)
+    }
+
+    /// A live counter not attached to any registry (used by the
+    /// feature-off registry, and by components that keep authoritative
+    /// totals independent of telemetry).
+    pub fn standalone() -> Counter {
+        Counter(Some(std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0))))
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`. Relaxed: totals are independent monotonic sums; every
+    /// read that must agree with other state happens after a stronger
+    /// synchronization point (channel handoff or shutdown mutex).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Current total (0 for a no-op handle).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        match &self.0 {
+            Some(cell) => cell.load(std::sync::atomic::Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Whether updates are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+#[cfg(feature = "obs")]
+mod enabled {
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Instant;
+
+    use super::{
+        Counter, HistBucket, HistogramSummary, MetricDef, MetricEntry, MetricKind, MetricValue,
+        MetricsSnapshot,
+    };
+
+    /// Number of power-of-two histogram buckets; bucket `i` holds
+    /// values of bit width `i` (bucket 0 holds zero, bucket 63 also
+    /// absorbs everything wider).
+    const HIST_BUCKETS: usize = 64;
+
+    #[derive(Debug)]
+    pub(super) struct HistCore {
+        buckets: [AtomicU64; HIST_BUCKETS],
+        count: AtomicU64,
+        sum: AtomicU64,
+    }
+
+    impl HistCore {
+        fn new() -> HistCore {
+            HistCore {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }
+        }
+
+        fn record(&self, value: u64) {
+            let idx = (u64::BITS - value.leading_zeros()).min(HIST_BUCKETS as u32 - 1);
+            self.buckets[idx as usize].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(value, Ordering::Relaxed);
+        }
+
+        fn summary(&self) -> HistogramSummary {
+            let mut buckets = Vec::new();
+            for (i, bucket) in self.buckets.iter().enumerate() {
+                let count = bucket.load(Ordering::Relaxed);
+                if count > 0 {
+                    let le = if i >= HIST_BUCKETS - 1 { u64::MAX } else { (1u64 << i) - 1 };
+                    buckets.push(HistBucket { le, count });
+                }
+            }
+            HistogramSummary {
+                count: self.count.load(Ordering::Relaxed),
+                sum: self.sum.load(Ordering::Relaxed),
+                buckets,
+            }
+        }
+    }
+
+    /// Last-write-wins gauge handle (no-op unless the registry has the
+    /// timing layer enabled).
+    #[derive(Debug, Clone, Default)]
+    pub struct Gauge(pub(super) Option<Arc<AtomicU64>>);
+
+    impl Gauge {
+        /// A handle that drops every update.
+        pub fn noop() -> Gauge {
+            Gauge(None)
+        }
+
+        /// Store `v` (Relaxed; a gauge is an independent level signal).
+        #[inline]
+        pub fn set(&self, v: u64) {
+            if let Some(cell) = &self.0 {
+                cell.store(v, Ordering::Relaxed);
+            }
+        }
+
+        /// Monotonic variant: keep the maximum of the stored and new value.
+        #[inline]
+        pub fn set_max(&self, v: u64) {
+            if let Some(cell) = &self.0 {
+                cell.fetch_max(v, Ordering::Relaxed);
+            }
+        }
+
+        /// Current level (0 for a no-op handle).
+        pub fn get(&self) -> u64 {
+            match &self.0 {
+                Some(cell) => cell.load(Ordering::Relaxed),
+                None => 0,
+            }
+        }
+
+        /// Whether updates are being recorded.
+        pub fn is_enabled(&self) -> bool {
+            self.0.is_some()
+        }
+    }
+
+    /// Fixed-bucket histogram handle (no-op unless the registry has the
+    /// timing layer enabled). Buckets are powers of two: recording is
+    /// a `leading_zeros` plus three Relaxed `fetch_add`s, no allocation.
+    #[derive(Debug, Clone, Default)]
+    pub struct Histogram(pub(super) Option<Arc<HistCore>>);
+
+    impl Histogram {
+        /// A handle that drops every observation.
+        pub fn noop() -> Histogram {
+            Histogram(None)
+        }
+
+        /// Record one observation.
+        #[inline]
+        pub fn record(&self, value: u64) {
+            if let Some(core) = &self.0 {
+                core.record(value);
+            }
+        }
+
+        /// Total observations so far.
+        pub fn count(&self) -> u64 {
+            match &self.0 {
+                Some(core) => core.count.load(Ordering::Relaxed),
+                None => 0,
+            }
+        }
+
+        /// Sum of observations so far.
+        pub fn sum(&self) -> u64 {
+            match &self.0 {
+                Some(core) => core.sum.load(Ordering::Relaxed),
+                None => 0,
+            }
+        }
+
+        /// Whether observations are being recorded (lets call sites
+        /// skip computing expensive values for a no-op handle).
+        #[inline]
+        pub fn is_enabled(&self) -> bool {
+            self.0.is_some()
+        }
+    }
+
+    /// Times a span of work into a nanosecond [`Histogram`].
+    ///
+    /// A disabled timer never calls `Instant::now`, so wrapping a stage
+    /// costs one branch when telemetry is off.
+    #[derive(Debug, Clone, Default)]
+    pub struct StageTimer {
+        pub(super) hist: Histogram,
+    }
+
+    impl StageTimer {
+        /// A timer that measures nothing.
+        pub fn noop() -> StageTimer {
+            StageTimer { hist: Histogram::noop() }
+        }
+
+        /// Start timing; the returned guard records elapsed nanoseconds
+        /// into the histogram when dropped.
+        #[inline]
+        pub fn start(&self) -> StageGuard<'_> {
+            StageGuard {
+                hist: &self.hist,
+                start: if self.hist.is_enabled() { Some(Instant::now()) } else { None },
+            }
+        }
+
+        /// Run `f`, recording its wall time.
+        #[inline]
+        pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+            let _guard = self.start();
+            f()
+        }
+
+        /// The histogram observations land in.
+        pub fn histogram(&self) -> &Histogram {
+            &self.hist
+        }
+
+        /// Whether spans are being recorded.
+        #[inline]
+        pub fn is_enabled(&self) -> bool {
+            self.hist.is_enabled()
+        }
+    }
+
+    /// RAII guard from [`StageTimer::start`].
+    #[derive(Debug)]
+    pub struct StageGuard<'a> {
+        hist: &'a Histogram,
+        start: Option<Instant>,
+    }
+
+    impl Drop for StageGuard<'_> {
+        fn drop(&mut self) {
+            if let Some(start) = self.start {
+                self.hist.record(start.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    enum Cell {
+        Counter(Arc<AtomicU64>),
+        Gauge(Arc<AtomicU64>),
+        Histogram(Arc<HistCore>),
+    }
+
+    #[derive(Debug)]
+    struct Entry {
+        kind: MetricKind,
+        unit: &'static str,
+        stage: &'static str,
+        cell: Cell,
+    }
+
+    #[derive(Debug)]
+    struct Inner {
+        timing: bool,
+        metrics: Mutex<BTreeMap<String, Entry>>,
+    }
+
+    /// Shared metric registry. Cloning shares the underlying store;
+    /// registration locks briefly, handle updates never do.
+    #[derive(Debug, Clone)]
+    pub struct Registry {
+        inner: Arc<Inner>,
+    }
+
+    impl Default for Registry {
+        fn default() -> Registry {
+            Registry::new()
+        }
+    }
+
+    impl Registry {
+        /// A registry with the full timing layer enabled.
+        pub fn new() -> Registry {
+            Registry::with_timing(true)
+        }
+
+        /// A registry that records counters but hands out no-op gauges,
+        /// histograms and timers — the runtime-disabled configuration
+        /// used to measure instrumentation overhead in one binary.
+        pub fn counters_only() -> Registry {
+            Registry::with_timing(false)
+        }
+
+        fn with_timing(timing: bool) -> Registry {
+            Registry { inner: Arc::new(Inner { timing, metrics: Mutex::new(BTreeMap::new()) }) }
+        }
+
+        /// Whether gauges/histograms/timers from this registry record.
+        pub fn timing_enabled(&self) -> bool {
+            self.inner.timing
+        }
+
+        fn register(&self, name: String, def: &MetricDef, make: impl FnOnce() -> Cell) -> Cell {
+            let mut metrics = self.inner.metrics.lock().expect("metrics registry poisoned");
+            let entry = metrics.entry(name).or_insert_with(|| Entry {
+                kind: def.kind,
+                unit: def.unit,
+                stage: def.stage,
+                cell: make(),
+            });
+            assert_eq!(
+                entry.kind, def.kind,
+                "metric registered twice with different kinds (def: {})",
+                def.name
+            );
+            match &entry.cell {
+                Cell::Counter(c) => Cell::Counter(Arc::clone(c)),
+                Cell::Gauge(g) => Cell::Gauge(Arc::clone(g)),
+                Cell::Histogram(h) => Cell::Histogram(Arc::clone(h)),
+            }
+        }
+
+        /// Register (or fetch) the counter described by `def`.
+        pub fn counter(&self, def: &MetricDef) -> Counter {
+            self.counter_named(def.name.to_string(), def)
+        }
+
+        /// Register (or fetch) a dynamically named member of the family
+        /// described by `def` (e.g. a per-detector counter).
+        pub fn counter_named(&self, name: String, def: &MetricDef) -> Counter {
+            debug_assert_eq!(def.kind, MetricKind::Counter);
+            match self.register(name, def, || Cell::Counter(Arc::new(AtomicU64::new(0)))) {
+                Cell::Counter(c) => Counter(Some(c)),
+                _ => unreachable!("kind checked by register"),
+            }
+        }
+
+        /// Register (or fetch) the gauge described by `def`; no-op when
+        /// the timing layer is disabled.
+        pub fn gauge(&self, def: &MetricDef) -> Gauge {
+            debug_assert_eq!(def.kind, MetricKind::Gauge);
+            if !self.inner.timing {
+                return Gauge::noop();
+            }
+            match self
+                .register(def.name.to_string(), def, || Cell::Gauge(Arc::new(AtomicU64::new(0))))
+            {
+                Cell::Gauge(g) => Gauge(Some(g)),
+                _ => unreachable!("kind checked by register"),
+            }
+        }
+
+        /// Register (or fetch) the histogram described by `def`; no-op
+        /// when the timing layer is disabled.
+        pub fn histogram(&self, def: &MetricDef) -> Histogram {
+            self.histogram_named(def.name.to_string(), def)
+        }
+
+        /// Register (or fetch) a dynamically named histogram member.
+        pub fn histogram_named(&self, name: String, def: &MetricDef) -> Histogram {
+            debug_assert_eq!(def.kind, MetricKind::Histogram);
+            if !self.inner.timing {
+                return Histogram::noop();
+            }
+            match self.register(name, def, || Cell::Histogram(Arc::new(HistCore::new()))) {
+                Cell::Histogram(h) => Histogram(Some(h)),
+                _ => unreachable!("kind checked by register"),
+            }
+        }
+
+        /// A [`StageTimer`] over the histogram described by `def`.
+        pub fn timer(&self, def: &MetricDef) -> StageTimer {
+            StageTimer { hist: self.histogram(def) }
+        }
+
+        /// A [`StageTimer`] over a dynamically named histogram member.
+        pub fn timer_named(&self, name: String, def: &MetricDef) -> StageTimer {
+            StageTimer { hist: self.histogram_named(name, def) }
+        }
+
+        /// Deterministic point-in-time snapshot, sorted by metric name.
+        pub fn snapshot(&self) -> MetricsSnapshot {
+            let metrics = self.inner.metrics.lock().expect("metrics registry poisoned");
+            let entries = metrics
+                .iter()
+                .map(|(name, entry)| MetricEntry {
+                    name: name.clone(),
+                    kind: entry.kind,
+                    unit: entry.unit,
+                    stage: entry.stage,
+                    value: match &entry.cell {
+                        Cell::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                        Cell::Gauge(g) => MetricValue::Gauge(g.load(Ordering::Relaxed)),
+                        Cell::Histogram(h) => MetricValue::Histogram(h.summary()),
+                    },
+                })
+                .collect();
+            MetricsSnapshot { entries }
+        }
+    }
+}
+
+#[cfg(feature = "obs")]
+pub use enabled::{Gauge, Histogram, Registry, StageGuard, StageTimer};
+
+#[cfg(not(feature = "obs"))]
+mod disabled {
+    use super::{Counter, MetricDef, MetricsSnapshot};
+
+    /// No-op gauge (the `obs` feature is off).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Gauge;
+
+    impl Gauge {
+        /// A handle that drops every update.
+        pub fn noop() -> Gauge {
+            Gauge
+        }
+
+        /// Dropped.
+        #[inline]
+        pub fn set(&self, _v: u64) {}
+
+        /// Dropped.
+        #[inline]
+        pub fn set_max(&self, _v: u64) {}
+
+        /// Always 0.
+        pub fn get(&self) -> u64 {
+            0
+        }
+
+        /// Always false.
+        pub fn is_enabled(&self) -> bool {
+            false
+        }
+    }
+
+    /// No-op histogram (the `obs` feature is off).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Histogram;
+
+    impl Histogram {
+        /// A handle that drops every observation.
+        pub fn noop() -> Histogram {
+            Histogram
+        }
+
+        /// Dropped.
+        #[inline]
+        pub fn record(&self, _value: u64) {}
+
+        /// Always 0.
+        pub fn count(&self) -> u64 {
+            0
+        }
+
+        /// Always 0.
+        pub fn sum(&self) -> u64 {
+            0
+        }
+
+        /// Always false.
+        #[inline]
+        pub fn is_enabled(&self) -> bool {
+            false
+        }
+    }
+
+    /// No-op stage timer (the `obs` feature is off): never touches the
+    /// clock.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct StageTimer;
+
+    impl StageTimer {
+        /// A timer that measures nothing.
+        pub fn noop() -> StageTimer {
+            StageTimer
+        }
+
+        /// Returns an inert guard.
+        #[inline]
+        pub fn start(&self) -> StageGuard<'_> {
+            StageGuard(std::marker::PhantomData)
+        }
+
+        /// Runs `f` untimed.
+        #[inline]
+        pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+            f()
+        }
+
+        /// The (inert) histogram.
+        pub fn histogram(&self) -> &Histogram {
+            &Histogram
+        }
+
+        /// Always false.
+        #[inline]
+        pub fn is_enabled(&self) -> bool {
+            false
+        }
+    }
+
+    /// Inert guard from [`StageTimer::start`].
+    #[derive(Debug)]
+    pub struct StageGuard<'a>(pub(super) std::marker::PhantomData<&'a ()>);
+
+    /// No-op registry (the `obs` feature is off). Counters handed out
+    /// are real but standalone (never retained, never snapshotted);
+    /// everything else is inert and [`Registry::snapshot`] is empty.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Registry;
+
+    impl Registry {
+        /// A registry recording nothing but live counters.
+        pub fn new() -> Registry {
+            Registry
+        }
+
+        /// Same as [`Registry::new`] in this configuration.
+        pub fn counters_only() -> Registry {
+            Registry
+        }
+
+        /// Always false.
+        pub fn timing_enabled(&self) -> bool {
+            false
+        }
+
+        /// A live standalone counter (reads stay correct; the registry
+        /// does not deduplicate or retain it in this configuration).
+        pub fn counter(&self, _def: &MetricDef) -> Counter {
+            Counter::standalone()
+        }
+
+        /// A live standalone counter for a dynamic family member.
+        pub fn counter_named(&self, _name: String, _def: &MetricDef) -> Counter {
+            Counter::standalone()
+        }
+
+        /// Inert.
+        pub fn gauge(&self, _def: &MetricDef) -> Gauge {
+            Gauge
+        }
+
+        /// Inert.
+        pub fn histogram(&self, _def: &MetricDef) -> Histogram {
+            Histogram
+        }
+
+        /// Inert.
+        pub fn histogram_named(&self, _name: String, _def: &MetricDef) -> Histogram {
+            Histogram
+        }
+
+        /// Inert.
+        pub fn timer(&self, _def: &MetricDef) -> StageTimer {
+            StageTimer
+        }
+
+        /// Inert.
+        pub fn timer_named(&self, _name: String, _def: &MetricDef) -> StageTimer {
+            StageTimer
+        }
+
+        /// Always empty.
+        pub fn snapshot(&self) -> MetricsSnapshot {
+            MetricsSnapshot::default()
+        }
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+pub use disabled::{Gauge, Histogram, Registry, StageGuard, StageTimer};
+
+/// Times the rest of the enclosing scope (or a single expression) into
+/// a [`StageTimer`].
+///
+/// ```
+/// use anomex_obs::{stage_timer, StageTimer};
+///
+/// let timer = StageTimer::noop();
+/// // Statement form: times until the end of the enclosing block.
+/// {
+///     stage_timer!(timer);
+///     // ... stage body ...
+/// }
+/// // Expression form: times just the expression, yielding its value.
+/// let v = stage_timer!(timer, 2 + 2);
+/// assert_eq!(v, 4);
+/// ```
+#[macro_export]
+macro_rules! stage_timer {
+    ($timer:expr) => {
+        let _stage_guard = $timer.start();
+    };
+    ($timer:expr, $body:expr) => {{
+        let _stage_guard = $timer.start();
+        $body
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REQS: MetricDef = MetricDef {
+        name: "test.requests",
+        kind: MetricKind::Counter,
+        unit: "requests",
+        stage: "test",
+        help: "requests seen",
+    };
+    const DEPTH: MetricDef = MetricDef {
+        name: "test.depth",
+        kind: MetricKind::Gauge,
+        unit: "items",
+        stage: "test",
+        help: "queue depth",
+    };
+    const LAT: MetricDef = MetricDef {
+        name: "test.latency_ns",
+        kind: MetricKind::Histogram,
+        unit: "ns",
+        stage: "test",
+        help: "span latency",
+    };
+
+    #[test]
+    fn counter_is_live_in_every_configuration() {
+        let registry = Registry::new();
+        let c = registry.counter(&REQS);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        assert_eq!(Counter::noop().get(), 0);
+        Counter::noop().add(7); // dropped, not a panic
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn registered_handles_share_storage() {
+        let registry = Registry::new();
+        let a = registry.counter(&REQS);
+        let b = registry.counter(&REQS);
+        a.add(5);
+        assert_eq!(b.get(), 5);
+        let g1 = registry.gauge(&DEPTH);
+        let g2 = registry.gauge(&DEPTH);
+        g1.set(9);
+        assert_eq!(g2.get(), 9);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn histogram_buckets_by_bit_width() {
+        let registry = Registry::new();
+        let h = registry.histogram(&LAT);
+        h.record(0);
+        h.record(1);
+        h.record(1);
+        h.record(1000);
+        h.record(u64::MAX);
+        let snap = registry.snapshot();
+        let summary = snap.histogram("test.latency_ns").expect("histogram registered");
+        assert_eq!(summary.count, 5);
+        // The sum cell wraps on overflow (atomic fetch_add semantics).
+        assert_eq!(summary.sum, 1002u64.wrapping_add(u64::MAX));
+        // 0 → le 0 bucket; 1 → le 1; 1000 (bit width 10) → le 1023;
+        // u64::MAX → overflow bucket.
+        let les: Vec<u64> = summary.buckets.iter().map(|b| b.le).collect();
+        assert_eq!(les, vec![0, 1, 1023, u64::MAX]);
+        let counts: Vec<u64> = summary.buckets.iter().map(|b| b.count).collect();
+        assert_eq!(counts, vec![1, 2, 1, 1]);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn stage_timer_records_into_its_histogram() {
+        let registry = Registry::new();
+        let timer = registry.timer(&LAT);
+        timer.time(|| std::hint::black_box(1 + 1));
+        {
+            stage_timer!(timer);
+            std::hint::black_box(2 + 2);
+        }
+        let out = stage_timer!(timer, 3 + 3);
+        assert_eq!(out, 6);
+        assert_eq!(timer.histogram().count(), 3);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn counters_only_registry_disables_timing_but_not_counters() {
+        let registry = Registry::counters_only();
+        assert!(!registry.timing_enabled());
+        let c = registry.counter(&REQS);
+        c.add(3);
+        let g = registry.gauge(&DEPTH);
+        g.set(10);
+        let t = registry.timer(&LAT);
+        assert!(!t.is_enabled());
+        t.time(|| ());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("test.requests"), 3);
+        // Disabled timing handles are not registered at all, so the
+        // snapshot stays free of dead zero entries.
+        assert_eq!(snap.get("test.depth"), None);
+        assert_eq!(snap.get("test.latency_ns"), None);
+    }
+
+    /// Two registries fed the same operation sequence — registered in
+    /// *different orders* — must render byte-identical JSON.
+    #[test]
+    fn snapshot_json_is_deterministic() {
+        let drive = |reverse: bool| {
+            let registry = Registry::new();
+            if reverse {
+                let t = registry.timer(&LAT);
+                let g = registry.gauge(&DEPTH);
+                let c = registry.counter(&REQS);
+                c.add(12);
+                g.set(4);
+                t.histogram().record(800);
+                t.histogram().record(3);
+            } else {
+                let c = registry.counter(&REQS);
+                let g = registry.gauge(&DEPTH);
+                let t = registry.timer(&LAT);
+                c.add(12);
+                g.set(4);
+                t.histogram().record(3);
+                t.histogram().record(800);
+            }
+            serde_json::to_string_pretty(&registry.snapshot()).expect("snapshot serializes")
+        };
+        assert_eq!(drive(false), drive(true));
+    }
+
+    #[test]
+    fn noop_handles_cost_nothing_and_read_zero() {
+        let g = Gauge::noop();
+        g.set(5);
+        g.set_max(9);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::noop();
+        h.record(1);
+        assert_eq!((h.count(), h.sum()), (0, 0));
+        let t = StageTimer::noop();
+        assert_eq!(t.time(|| 7), 7);
+        assert!(!t.is_enabled());
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn disabled_registry_snapshot_is_empty_but_counters_work() {
+        let registry = Registry::new();
+        let c = registry.counter(&REQS);
+        c.add(2);
+        assert_eq!(c.get(), 2);
+        registry.gauge(&DEPTH).set(5);
+        registry.histogram(&LAT).record(10);
+        assert_eq!(registry.snapshot(), MetricsSnapshot::default());
+        assert_eq!(serde_json::to_string(&registry.snapshot()).unwrap(), "{\"metrics\":[]}");
+    }
+}

@@ -27,6 +27,7 @@ use anomex_detect::interval::IntervalStat;
 use anomex_detect::kl::{KlConfig, KlOnline};
 use anomex_detect::pca::{PcaConfig, PcaSliding};
 use anomex_flow::store::TimeRange;
+use anomex_obs::{Counter, StageTimer};
 use serde::{Deserialize, Serialize};
 
 use crate::window::ClosedWindow;
@@ -200,8 +201,7 @@ impl DetectorRegistry {
                 .map(|e| BankSlot {
                     name: e.name.clone(),
                     state: (e.build)(),
-                    windows: 0,
-                    alarms: 0,
+                    instruments: DetectorInstruments::standalone(),
                 })
                 .collect(),
             next_id: 0,
@@ -251,11 +251,38 @@ pub struct DetectorCounters {
     pub alarms: u64,
 }
 
+/// Telemetry handles one bank member reports through. The counters are
+/// the authoritative per-detector totals ([`DetectorBank::counters`] is
+/// a view over them): standalone by default, swapped for registry-
+/// backed handles when the pipeline instruments the bank — that swap is
+/// what migrates `StreamStats.per_detector` onto the metrics registry
+/// without changing any caller.
+#[derive(Debug, Clone, Default)]
+pub struct DetectorInstruments {
+    /// Wall time of each `Detector::push` call (nanoseconds).
+    pub push_timer: StageTimer,
+    /// Windows this detector consumed.
+    pub windows: Counter,
+    /// Alarms this detector raised (before cross-detector merging).
+    pub alarms: Counter,
+}
+
+impl DetectorInstruments {
+    /// Live counters not attached to any registry, no push timing —
+    /// the default for a bank built outside an instrumented pipeline.
+    pub fn standalone() -> DetectorInstruments {
+        DetectorInstruments {
+            push_timer: StageTimer::noop(),
+            windows: Counter::standalone(),
+            alarms: Counter::standalone(),
+        }
+    }
+}
+
 struct BankSlot {
     name: String,
     state: Box<dyn Detector>,
-    windows: u64,
-    alarms: u64,
+    instruments: DetectorInstruments,
 }
 
 /// The running detector ensemble: every closed window is fed to every
@@ -278,16 +305,26 @@ impl DetectorBank {
         self.slots.is_empty()
     }
 
-    /// Per-detector counters so far, in bank order.
+    /// Per-detector counters so far, in bank order (a view over the
+    /// slots' [`DetectorInstruments`] counters).
     pub fn counters(&self) -> Vec<DetectorCounters> {
         self.slots
             .iter()
             .map(|s| DetectorCounters {
                 name: s.name.clone(),
-                windows: s.windows,
-                alarms: s.alarms,
+                windows: s.instruments.windows.get(),
+                alarms: s.instruments.alarms.get(),
             })
             .collect()
+    }
+
+    /// Swap each slot's telemetry handles, matched by detector name.
+    /// Call before feeding the bank: previously counted totals stay
+    /// behind in the replaced handles.
+    pub fn instrument(&mut self, mut provide: impl FnMut(&str) -> DetectorInstruments) {
+        for slot in &mut self.slots {
+            slot.instruments = provide(&slot.name);
+        }
     }
 
     /// Feed one closed window's summary to every detector; returns the
@@ -296,9 +333,10 @@ impl DetectorBank {
         // Collect (window, source alarms in bank order).
         let mut groups: Vec<(TimeRange, Vec<Alarm>)> = Vec::new();
         for slot in &mut self.slots {
-            slot.windows += 1;
-            for alarm in slot.state.push(stat) {
-                slot.alarms += 1;
+            slot.instruments.windows.inc();
+            let state = &mut slot.state;
+            for alarm in slot.instruments.push_timer.time(|| state.push(stat)) {
+                slot.instruments.alarms.inc();
                 match groups.iter_mut().find(|(w, _)| *w == alarm.window) {
                     Some((_, sources)) => sources.push(alarm),
                     None => groups.push((alarm.window, vec![alarm])),

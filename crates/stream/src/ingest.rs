@@ -21,35 +21,21 @@
 //! [`send_many`]: crossbeam::channel::Sender::send_many
 //! [`clone`]: IngestHandle::clone
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use anomex_flow::error::CodecError;
 use anomex_flow::record::FlowRecord;
 use anomex_flow::{v5, v9};
-use crossbeam::channel::Sender;
+use crossbeam::channel::{Receiver, Sender};
 
+use crate::metrics::{MetricsReport, MetricsSnapshot, PipelineMetrics};
 use crate::pipeline::{ShardMsg, StreamStats};
 // Re-exported from their historical home; the table now lives in
 // `crate::watermark` so it compiles against the `sync` facade and gets
 // model-checked (see that module's memory-ordering contract).
 pub use crate::watermark::{WatermarkTable, MAX_HANDLES};
-
-/// Ingest counters shared by every handle of one pipeline, folded in
-/// when a handle closes.
-///
-/// All accesses are `Relaxed`: each handle folds its totals exactly
-/// once (in `close`, before its `live` decrement under the shutdown
-/// mutex), and the only reader is `finish`, which runs after observing
-/// `live == 0` under that same mutex — the mutex handshake supplies the
-/// happens-before edge, so the atomics only need atomicity.
-#[derive(Debug, Default)]
-pub(crate) struct IngestTotals {
-    pub(crate) ingested: AtomicU64,
-    pub(crate) decode_errors: AtomicU64,
-    pub(crate) send_failures: AtomicU64,
-}
 
 /// Thread handles of a running pipeline, taken by whichever handle
 /// performs the final shutdown.
@@ -79,7 +65,17 @@ pub(crate) struct PipelineCore {
     pub(crate) senders: Vec<Sender<ShardMsg>>,
     pub(crate) lateness_ms: u64,
     pub(crate) watermarks: WatermarkTable,
-    pub(crate) totals: IngestTotals,
+    /// Shared metric handles. The ingest totals (records, decode
+    /// errors, send failures) live here as registry counters: each
+    /// handle folds its local `u64`s exactly once (in `close`, before
+    /// its `live` decrement under the shutdown mutex), and the reader
+    /// (`finish`) runs after observing `live == 0` under that same
+    /// mutex — the mutex handshake supplies the happens-before edge,
+    /// matching the counters' Relaxed internals.
+    pub(crate) metrics: Arc<PipelineMetrics>,
+    /// The metrics subscription, taken (once) by
+    /// [`IngestHandle::metrics_reports`].
+    metrics_rx: Mutex<Option<Receiver<MetricsReport>>>,
     /// Handles not yet closed. All accesses are `Relaxed`: the
     /// decrement (in `close`) and the zero-check (in `finish`) both
     /// happen under `shutdown`'s mutex, which supplies the ordering;
@@ -102,12 +98,15 @@ impl PipelineCore {
         senders: Vec<Sender<ShardMsg>>,
         lateness_ms: u64,
         join: PipelineJoin,
+        metrics: Arc<PipelineMetrics>,
+        metrics_rx: Receiver<MetricsReport>,
     ) -> PipelineCore {
         PipelineCore {
             senders,
             lateness_ms,
             watermarks: WatermarkTable::new(),
-            totals: IngestTotals::default(),
+            metrics,
+            metrics_rx: Mutex::new(Some(metrics_rx)),
             live: AtomicUsize::new(0),
             shutdown: Mutex::new(ShutdownState { join: Some(join), stats: None }),
             closed_or_done: Condvar::new(),
@@ -254,6 +253,25 @@ impl IngestHandle {
         self.send_failures
     }
 
+    /// Take the pipeline's [`MetricsReport`] subscription (first caller
+    /// wins; `None` afterwards). The control thread emits on the
+    /// cadence of `MetricsConfig::report_every_windows`, always
+    /// finishing with one final report, and never blocks on it: reports
+    /// beyond the bounded queue are dropped.
+    ///
+    /// [`MetricsReport`]: crate::metrics::MetricsReport
+    pub fn metrics_reports(&self) -> Option<Receiver<MetricsReport>> {
+        self.core.metrics_rx.lock().expect("metrics subscription poisoned").take()
+    }
+
+    /// A point-in-time snapshot of the pipeline's metric registry.
+    /// Counters this handle still holds locally (records since its last
+    /// close/fold) are not yet included; the final snapshot after
+    /// `finish` is complete.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.core.metrics.snapshot()
+    }
+
     /// The current **global** event-time watermark: the minimum
     /// frontier over every live handle, minus the lateness bound.
     pub fn watermark_ms(&self) -> u64 {
@@ -296,9 +314,9 @@ impl IngestHandle {
         for shard in 0..self.shards {
             self.flush_shard(shard);
         }
-        self.core.totals.ingested.fetch_add(self.ingested, Ordering::Relaxed);
-        self.core.totals.decode_errors.fetch_add(self.decode_errors, Ordering::Relaxed);
-        self.core.totals.send_failures.fetch_add(self.send_failures, Ordering::Relaxed);
+        self.core.metrics.ingest_records.add(self.ingested);
+        self.core.metrics.decode_errors.add(self.decode_errors);
+        self.core.metrics.send_failures.add(self.send_failures);
         self.core.watermarks.release(self.slot);
         if self.core.watermarks.live() > 0 {
             let watermark =
@@ -339,9 +357,9 @@ impl IngestHandle {
                 if let Some(join) = guard.join.take() {
                     drop(guard);
                     let mut stats = join.shutdown(&core.senders);
-                    stats.ingested = core.totals.ingested.load(Ordering::Relaxed);
-                    stats.decode_errors = core.totals.decode_errors.load(Ordering::Relaxed);
-                    stats.send_failures = core.totals.send_failures.load(Ordering::Relaxed);
+                    stats.ingested = core.metrics.ingest_records.get();
+                    stats.decode_errors = core.metrics.decode_errors.get();
+                    stats.send_failures = core.metrics.send_failures.get();
                     let mut guard = core.shutdown.lock().expect("pipeline shutdown state poisoned");
                     guard.stats = Some(stats.clone());
                     core.closed_or_done.notify_all();
@@ -358,6 +376,10 @@ impl IngestHandle {
         let buffer = &mut self.buffers[shard];
         if buffer.is_empty() {
             return;
+        }
+        if self.core.metrics.timing() {
+            self.core.metrics.flush_fill.record(self.buffered_records[shard]);
+            self.core.metrics.ingest_queue_depth.record(self.core.senders[shard].len() as u64);
         }
         if self.core.senders[shard].send_many(buffer).is_err() {
             // The shard worker is gone (disconnected mid-run): every
@@ -378,6 +400,21 @@ impl IngestHandle {
         self.since_watermark = 0;
         self.core.watermarks.publish(self.slot, self.max_event_ms);
         let watermark = self.core.watermarks.min_frontier().saturating_sub(self.core.lateness_ms);
+        {
+            let metrics = &self.core.metrics;
+            metrics.watermark_broadcasts.inc();
+            if metrics.timing() {
+                // Event-time health at broadcast cadence: how far the
+                // watermark trails the freshest published frontier, how
+                // far the handles have spread apart, and the wall lag.
+                let max = self.core.watermarks.max_frontier();
+                let min = self.core.watermarks.min_frontier();
+                metrics.watermark_broadcast_ms.set(watermark);
+                metrics.lag_event_ms.set(max.saturating_sub(watermark));
+                metrics.frontier_skew_ms.set(max.saturating_sub(min));
+                metrics.lag_wall_ms.set(PipelineMetrics::wall_now_ms().saturating_sub(watermark));
+            }
+        }
         for shard in 0..self.shards {
             self.buffers[shard].push(ShardMsg::Watermark(watermark));
             self.flush_shard(shard);

@@ -82,6 +82,7 @@
 
 pub mod detector;
 pub mod ingest;
+pub mod metrics;
 pub mod pipeline;
 pub mod report;
 mod sync;
@@ -94,6 +95,7 @@ pub mod prelude {
         DetectorBank, DetectorCounters, DetectorRegistry, DetectorSpec, EnsembleAlarm,
     };
     pub use crate::ingest::IngestHandle;
+    pub use crate::metrics::{MetricValue, MetricsConfig, MetricsReport, MetricsSnapshot, CATALOG};
     pub use crate::pipeline::{launch, StreamConfig, StreamStats};
     pub use crate::report::{ContinuousExtractor, StreamReport};
     pub use crate::window::{ClosedWindow, ShardWindows, WindowConfig, WindowManager, WindowShard};

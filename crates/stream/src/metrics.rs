@@ -1,0 +1,516 @@
+//! Pipeline telemetry: the metric catalog, the per-run handle bundle,
+//! and the [`MetricsReport`] emitted alongside `StreamReport`s.
+//!
+//! Every metric the pipeline records is declared once in [`CATALOG`]
+//! (name, kind, unit, stage, help); `cargo run -p xtask -- metrics-doc`
+//! renders `METRICS.md` from the same array, so the committed catalog
+//! cannot drift from the code. Handles live on [`PipelineMetrics`],
+//! created at `launch` and shared by the intake handles, shard workers
+//! and the control thread.
+//!
+//! Cost model: counters are always live (one Relaxed `fetch_add`, and
+//! almost all of them fire per *batch*, *window* or *handle close*,
+//! never per record). The timing layer — histograms, gauges, stage
+//! timers, wall-clock reads — obeys [`MetricsConfig::enabled`]: when
+//! off, every handle is a no-op and instrumented call sites skip the
+//! value computation behind [`PipelineMetrics::timing`]. `perf_stream`
+//! holds the instrumented ingest path to within 3% of the disabled one.
+
+use anomex_obs::{MetricDef, MetricKind, Registry, StageTimer};
+// Re-exported so downstream crates (console, bench, xtask) read
+// snapshots through the stream prelude without a direct obs dependency.
+pub use anomex_obs::{Counter, Gauge, Histogram, HistogramSummary, MetricValue, MetricsSnapshot};
+use serde::{Serialize, Value};
+
+use crate::detector::DetectorInstruments;
+
+macro_rules! def {
+    ($ident:ident, $name:literal, $kind:ident, $unit:literal, $stage:literal, $help:literal) => {
+        #[doc = $help]
+        pub const $ident: MetricDef = MetricDef {
+            name: $name,
+            kind: MetricKind::$kind,
+            unit: $unit,
+            stage: $stage,
+            help: $help,
+        };
+    };
+}
+
+def!(
+    INGEST_RECORDS,
+    "ingest.records",
+    Counter,
+    "records",
+    "ingest",
+    "Flow records accepted across all intake handles (folded at handle close)."
+);
+def!(
+    INGEST_DECODE_ERRORS,
+    "ingest.decode_errors",
+    Counter,
+    "packets",
+    "ingest",
+    "Undecodable NetFlow export packets across all intake handles."
+);
+def!(
+    INGEST_SEND_FAILURES,
+    "ingest.send_failures",
+    Counter,
+    "records",
+    "ingest",
+    "Records dropped because a shard ring was disconnected at flush."
+);
+def!(
+    INGEST_FLUSH_FILL,
+    "ingest.flush_fill",
+    Histogram,
+    "records",
+    "ingest",
+    "Per-shard flush-buffer fill at each send_many flush (batching efficiency)."
+);
+def!(
+    INGEST_QUEUE_DEPTH,
+    "ingest.queue_depth",
+    Histogram,
+    "messages",
+    "ingest",
+    "Shard ring occupancy sampled send-side at each flush."
+);
+def!(
+    CHANNEL_CAPACITY,
+    "channel.capacity",
+    Gauge,
+    "messages",
+    "channel",
+    "Configured shard ring capacity (the bound behind both queue-depth metrics)."
+);
+def!(
+    SHARD_RECV_BATCH,
+    "shard.recv_batch",
+    Histogram,
+    "messages",
+    "shard",
+    "Messages drained per recv_many call on a shard worker."
+);
+def!(
+    SHARD_QUEUE_DEPTH,
+    "shard.queue_depth",
+    Histogram,
+    "messages",
+    "shard",
+    "Shard ring occupancy sampled receive-side after each drain."
+);
+def!(
+    SHARD_APPLY_NS,
+    "shard.apply_ns",
+    Histogram,
+    "ns",
+    "shard",
+    "Wall time a shard worker spends applying one drained batch (window pushes, closes and control sends — downstream backpressure stalls show up here)."
+);
+def!(
+    SHARD_LATE_DROPPED,
+    "shard.late_dropped",
+    Counter,
+    "records",
+    "shard",
+    "Records behind the watermark, dropped at window apply."
+);
+def!(
+    SHARD_OUT_OF_SPAN,
+    "shard.out_of_span",
+    Counter,
+    "records",
+    "shard",
+    "Records outside the configured span, dropped at window apply."
+);
+def!(
+    MERGE_OFFER_NS,
+    "merge.offer_ns",
+    Histogram,
+    "ns",
+    "merge",
+    "Wall time per cross-shard WindowManager offer (merge + ready-window emission)."
+);
+def!(
+    MERGE_WINDOWS,
+    "merge.windows",
+    Counter,
+    "windows",
+    "merge",
+    "Windows fully merged across shards and emitted by the control thread."
+);
+def!(
+    DETECT_PUSH_NS,
+    "detect.*.push_ns",
+    Histogram,
+    "ns",
+    "detect",
+    "Wall time of one bank member's per-window push (one histogram per detector)."
+);
+def!(
+    DETECT_WINDOWS,
+    "detect.*.windows",
+    Counter,
+    "windows",
+    "detect",
+    "Windows consumed per bank member (one counter per detector)."
+);
+def!(
+    DETECT_ALARMS,
+    "detect.*.alarms",
+    Counter,
+    "alarms",
+    "detect",
+    "Alarms raised per bank member before cross-detector merging."
+);
+def!(
+    DETECT_MERGED_ALARMS,
+    "detect.merged_alarms",
+    Counter,
+    "alarms",
+    "detect",
+    "Merged ensemble alarms after same-window attribution."
+);
+def!(
+    EXTRACT_ENCODE_NS,
+    "extract.encode_ns",
+    Histogram,
+    "ns",
+    "extract",
+    "Wall time encoding a flagged window's resident flows into the transaction matrix."
+);
+def!(
+    EXTRACT_MINE_NS,
+    "extract.mine_ns",
+    Histogram,
+    "ns",
+    "extract",
+    "Wall time mining one encoded window (frequent-itemset extraction)."
+);
+def!(
+    REPORT_EMITTED,
+    "report.emitted",
+    Counter,
+    "reports",
+    "report",
+    "StreamReports delivered to the bounded report queue."
+);
+def!(
+    REPORT_DROPPED,
+    "report.dropped",
+    Counter,
+    "reports",
+    "report",
+    "StreamReports dropped because the bounded report queue was full."
+);
+def!(
+    REPORT_QUEUE_DEPTH,
+    "report.queue_depth",
+    Gauge,
+    "reports",
+    "report",
+    "Report queue occupancy at the last metrics emission."
+);
+def!(
+    WATERMARK_BROADCASTS,
+    "watermark.broadcasts",
+    Counter,
+    "broadcasts",
+    "watermark",
+    "Watermark broadcasts fanned out to the shard rings."
+);
+def!(
+    WATERMARK_BROADCAST_MS,
+    "watermark.broadcast_ms",
+    Gauge,
+    "ms",
+    "watermark",
+    "Last broadcast watermark (event time: min live frontier minus bounded lateness)."
+);
+def!(
+    WATERMARK_LAG_EVENT_MS,
+    "watermark.lag_event_ms",
+    Gauge,
+    "ms",
+    "watermark",
+    "Event-time lag: freshest published frontier minus the broadcast watermark."
+);
+def!(
+    WATERMARK_FRONTIER_SKEW_MS,
+    "watermark.frontier_skew_ms",
+    Gauge,
+    "ms",
+    "watermark",
+    "Spread between the freshest and slowest live intake-handle frontiers."
+);
+def!(
+    WATERMARK_LAG_WALL_MS,
+    "watermark.lag_wall_ms",
+    Gauge,
+    "ms",
+    "watermark",
+    "Wall-clock lag: unix now minus the broadcast watermark (meaningful for live feeds; huge for replayed synthetic time)."
+);
+
+/// Every metric the pipeline can record, in catalog order (grouped by
+/// stage). `*` names are templates instantiated per dynamic member
+/// (one per registered detector).
+pub static CATALOG: &[MetricDef] = &[
+    INGEST_RECORDS,
+    INGEST_DECODE_ERRORS,
+    INGEST_SEND_FAILURES,
+    INGEST_FLUSH_FILL,
+    INGEST_QUEUE_DEPTH,
+    CHANNEL_CAPACITY,
+    SHARD_RECV_BATCH,
+    SHARD_QUEUE_DEPTH,
+    SHARD_APPLY_NS,
+    SHARD_LATE_DROPPED,
+    SHARD_OUT_OF_SPAN,
+    MERGE_OFFER_NS,
+    MERGE_WINDOWS,
+    DETECT_PUSH_NS,
+    DETECT_WINDOWS,
+    DETECT_ALARMS,
+    DETECT_MERGED_ALARMS,
+    EXTRACT_ENCODE_NS,
+    EXTRACT_MINE_NS,
+    REPORT_EMITTED,
+    REPORT_DROPPED,
+    REPORT_QUEUE_DEPTH,
+    WATERMARK_BROADCASTS,
+    WATERMARK_BROADCAST_MS,
+    WATERMARK_LAG_EVENT_MS,
+    WATERMARK_FRONTIER_SKEW_MS,
+    WATERMARK_LAG_WALL_MS,
+];
+
+/// Telemetry configuration carried by `StreamConfig`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsConfig {
+    /// Record the timing layer (histograms, gauges, stage timers and
+    /// wall-clock reads). Counters stay live either way, so
+    /// `StreamStats` is identical in both modes; disabling only stops
+    /// the pipeline from measuring *itself*.
+    pub enabled: bool,
+    /// Emit a [`MetricsReport`] every N merged windows (0 = only the
+    /// final report at pipeline shutdown).
+    pub report_every_windows: u64,
+    /// Bound of the metrics report queue; reports beyond it are
+    /// dropped (telemetry must never stall the pipeline).
+    pub report_queue: usize,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> MetricsConfig {
+        MetricsConfig { enabled: true, report_every_windows: 1, report_queue: 64 }
+    }
+}
+
+/// Periodic telemetry emission, delivered on its own bounded channel
+/// next to the `StreamReport` stream (take it with
+/// `IngestHandle::metrics_reports`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Emission sequence number within this pipeline run (the final
+    /// shutdown report always has the highest `seq`).
+    pub seq: u64,
+    /// Merged windows processed when the snapshot was taken.
+    pub windows: u64,
+    /// Registry snapshot, sorted by metric name.
+    pub snapshot: MetricsSnapshot,
+}
+
+impl MetricsReport {
+    /// Records accepted so far.
+    pub fn records(&self) -> u64 {
+        self.snapshot.counter(INGEST_RECORDS.name)
+    }
+
+    /// Records lost to disconnected shard rings so far.
+    pub fn send_failures(&self) -> u64 {
+        self.snapshot.counter(INGEST_SEND_FAILURES.name)
+    }
+
+    /// StreamReports dropped on the full bounded queue so far.
+    pub fn reports_dropped(&self) -> u64 {
+        self.snapshot.counter(REPORT_DROPPED.name)
+    }
+
+    /// Event-time watermark lag at the last broadcast, if the timing
+    /// layer recorded one.
+    pub fn watermark_lag_event_ms(&self) -> Option<u64> {
+        self.snapshot.gauge(WATERMARK_LAG_EVENT_MS.name)
+    }
+
+    /// Per-handle frontier skew at the last broadcast.
+    pub fn frontier_skew_ms(&self) -> Option<u64> {
+        self.snapshot.gauge(WATERMARK_FRONTIER_SKEW_MS.name)
+    }
+
+    /// Report-queue depth at this emission.
+    pub fn report_queue_depth(&self) -> Option<u64> {
+        self.snapshot.gauge(REPORT_QUEUE_DEPTH.name)
+    }
+}
+
+impl Serialize for MetricsReport {
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("seq".to_string(), Value::U64(self.seq)),
+            ("windows".to_string(), Value::U64(self.windows)),
+            ("snapshot".to_string(), self.snapshot.to_json()),
+        ])
+    }
+}
+
+/// The per-run bundle of metric handles, shared (via `Arc`) by intake
+/// handles, shard workers and the control thread.
+#[derive(Debug)]
+pub(crate) struct PipelineMetrics {
+    registry: Registry,
+    timing: bool,
+    pub(crate) ingest_records: Counter,
+    pub(crate) decode_errors: Counter,
+    pub(crate) send_failures: Counter,
+    pub(crate) flush_fill: Histogram,
+    pub(crate) ingest_queue_depth: Histogram,
+    pub(crate) channel_capacity: Gauge,
+    pub(crate) recv_batch: Histogram,
+    pub(crate) shard_queue_depth: Histogram,
+    pub(crate) shard_apply: StageTimer,
+    pub(crate) late_dropped: Counter,
+    pub(crate) out_of_span: Counter,
+    pub(crate) merge_offer: StageTimer,
+    pub(crate) merge_windows: Counter,
+    pub(crate) merged_alarms: Counter,
+    pub(crate) extract_encode: StageTimer,
+    pub(crate) extract_mine: StageTimer,
+    pub(crate) reports_emitted: Counter,
+    pub(crate) reports_dropped: Counter,
+    pub(crate) report_queue_depth: Gauge,
+    pub(crate) watermark_broadcasts: Counter,
+    pub(crate) watermark_broadcast_ms: Gauge,
+    pub(crate) lag_event_ms: Gauge,
+    pub(crate) frontier_skew_ms: Gauge,
+    pub(crate) lag_wall_ms: Gauge,
+}
+
+impl PipelineMetrics {
+    pub(crate) fn new(config: &MetricsConfig) -> PipelineMetrics {
+        let registry = if config.enabled { Registry::new() } else { Registry::counters_only() };
+        PipelineMetrics {
+            timing: registry.timing_enabled(),
+            ingest_records: registry.counter(&INGEST_RECORDS),
+            decode_errors: registry.counter(&INGEST_DECODE_ERRORS),
+            send_failures: registry.counter(&INGEST_SEND_FAILURES),
+            flush_fill: registry.histogram(&INGEST_FLUSH_FILL),
+            ingest_queue_depth: registry.histogram(&INGEST_QUEUE_DEPTH),
+            channel_capacity: registry.gauge(&CHANNEL_CAPACITY),
+            recv_batch: registry.histogram(&SHARD_RECV_BATCH),
+            shard_queue_depth: registry.histogram(&SHARD_QUEUE_DEPTH),
+            shard_apply: registry.timer(&SHARD_APPLY_NS),
+            late_dropped: registry.counter(&SHARD_LATE_DROPPED),
+            out_of_span: registry.counter(&SHARD_OUT_OF_SPAN),
+            merge_offer: registry.timer(&MERGE_OFFER_NS),
+            merge_windows: registry.counter(&MERGE_WINDOWS),
+            merged_alarms: registry.counter(&DETECT_MERGED_ALARMS),
+            extract_encode: registry.timer(&EXTRACT_ENCODE_NS),
+            extract_mine: registry.timer(&EXTRACT_MINE_NS),
+            reports_emitted: registry.counter(&REPORT_EMITTED),
+            reports_dropped: registry.counter(&REPORT_DROPPED),
+            report_queue_depth: registry.gauge(&REPORT_QUEUE_DEPTH),
+            watermark_broadcasts: registry.counter(&WATERMARK_BROADCASTS),
+            watermark_broadcast_ms: registry.gauge(&WATERMARK_BROADCAST_MS),
+            lag_event_ms: registry.gauge(&WATERMARK_LAG_EVENT_MS),
+            frontier_skew_ms: registry.gauge(&WATERMARK_FRONTIER_SKEW_MS),
+            lag_wall_ms: registry.gauge(&WATERMARK_LAG_WALL_MS),
+            registry,
+        }
+    }
+
+    /// Whether the timing layer records; call sites use this to skip
+    /// computing values (queue lengths, wall clocks) for no-op handles.
+    #[inline]
+    pub(crate) fn timing(&self) -> bool {
+        self.timing
+    }
+
+    /// Instruments for one bank member, registered under the
+    /// `detect.<name>.*` family.
+    pub(crate) fn detector_instruments(&self, name: &str) -> DetectorInstruments {
+        DetectorInstruments {
+            push_timer: self
+                .registry
+                .timer_named(format!("detect.{name}.push_ns"), &DETECT_PUSH_NS),
+            windows: self.registry.counter_named(format!("detect.{name}.windows"), &DETECT_WINDOWS),
+            alarms: self.registry.counter_named(format!("detect.{name}.alarms"), &DETECT_ALARMS),
+        }
+    }
+
+    /// Milliseconds since the unix epoch (the wall side of
+    /// `watermark.lag_wall_ms`). Only called when timing is enabled.
+    pub(crate) fn wall_now_ms() -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Deterministic point-in-time snapshot.
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique_and_well_formed() {
+        let mut names: Vec<&str> = CATALOG.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate metric names in CATALOG");
+        for def in CATALOG {
+            assert!(
+                def.name.starts_with(def.stage) || def.name.starts_with(&format!("{}.", def.stage)),
+                "{} should live under its stage prefix {}",
+                def.name,
+                def.stage
+            );
+            assert!(!def.unit.is_empty() && !def.help.is_empty(), "{} is undocumented", def.name);
+        }
+    }
+
+    #[test]
+    fn disabled_config_keeps_counters_but_not_timing() {
+        let metrics =
+            PipelineMetrics::new(&MetricsConfig { enabled: false, ..MetricsConfig::default() });
+        assert!(!metrics.timing());
+        metrics.ingest_records.add(5);
+        metrics.flush_fill.record(64);
+        metrics.lag_event_ms.set(1_000);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter(INGEST_RECORDS.name), 5);
+        assert_eq!(snap.get(INGEST_FLUSH_FILL.name), None);
+        assert_eq!(snap.get(WATERMARK_LAG_EVENT_MS.name), None);
+    }
+
+    #[test]
+    fn detector_instruments_register_under_the_family_names() {
+        let metrics = PipelineMetrics::new(&MetricsConfig::default());
+        let instr = metrics.detector_instruments("kl");
+        instr.windows.add(3);
+        instr.alarms.inc();
+        instr.push_timer.time(|| std::hint::black_box(2 + 2));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("detect.kl.windows"), 3);
+        assert_eq!(snap.counter("detect.kl.alarms"), 1);
+        assert_eq!(snap.histogram("detect.kl.push_ns").map(|h| h.count), Some(1));
+    }
+}

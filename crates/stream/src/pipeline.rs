@@ -41,8 +41,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::detector::{DetectorCounters, DetectorRegistry};
 use crate::ingest::{PipelineCore, PipelineJoin};
+use crate::metrics::{MetricsConfig, MetricsReport, PipelineMetrics};
 use crate::report::{ContinuousExtractor, StreamReport};
 use crate::window::{ShardWindows, WindowConfig, WindowManager, WindowShard};
+use anomex_obs::stage_timer;
 
 pub use crate::ingest::IngestHandle;
 
@@ -86,6 +88,11 @@ pub struct StreamConfig {
     /// (but still overlap the alarmed window) are missing from the
     /// mined candidates.
     pub retain_windows: usize,
+    /// Telemetry: whether the timing layer records, and how often a
+    /// [`MetricsReport`] is emitted. Counters (everything surfaced in
+    /// [`StreamStats`]) are live regardless, so disabling telemetry
+    /// never changes the run's statistics or reports.
+    pub metrics: MetricsConfig,
 }
 
 impl Default for StreamConfig {
@@ -101,6 +108,7 @@ impl Default for StreamConfig {
             detectors: DetectorRegistry::kl(anomex_detect::kl::KlConfig::default()),
             extractor: ExtractorConfig::default(),
             retain_windows: 2,
+            metrics: MetricsConfig::default(),
         }
     }
 }
@@ -169,8 +177,10 @@ pub fn launch(config: StreamConfig) -> (IngestHandle, Receiver<StreamReport>) {
     assert!(!config.detectors.is_empty(), "detector registry must hold at least one detector");
     let window_config = config.window_config();
 
+    let metrics = Arc::new(PipelineMetrics::new(&config.metrics));
     let (ctrl_tx, ctrl_rx) = bounded::<CtrlMsg>(config.queue_depth);
     let (report_tx, report_rx) = bounded::<StreamReport>(config.report_queue.max(1));
+    let (metrics_tx, metrics_rx) = bounded::<MetricsReport>(config.metrics.report_queue.max(1));
 
     let mut senders = Vec::with_capacity(config.shards);
     let mut workers = Vec::with_capacity(config.shards);
@@ -178,23 +188,36 @@ pub fn launch(config: StreamConfig) -> (IngestHandle, Receiver<StreamReport>) {
         let (tx, rx) = bounded::<ShardMsg>(config.queue_depth);
         senders.push(tx);
         let ctrl = ctrl_tx.clone();
+        let worker_metrics = Arc::clone(&metrics);
         workers.push(
             std::thread::Builder::new()
                 .name(format!("anomex-shard-{shard}"))
-                .spawn(move || shard_worker(shard, rx, ctrl, window_config))
+                .spawn(move || shard_worker(shard, rx, ctrl, window_config, worker_metrics))
                 .expect("spawn shard worker"),
         );
     }
     drop(ctrl_tx);
+    if let Some(cap) = senders[0].capacity() {
+        metrics.channel_capacity.set(cap as u64);
+    }
 
     let (shards, lateness_ms, watermark_every, ingest_batch) =
         (config.shards, config.lateness_ms, config.watermark_every, config.ingest_batch);
+    let control_metrics = Arc::clone(&metrics);
     let control = std::thread::Builder::new()
         .name("anomex-stream-control".into())
-        .spawn(move || control_loop(config, window_config, ctrl_rx, report_tx))
+        .spawn(move || {
+            control_loop(config, window_config, ctrl_rx, report_tx, control_metrics, metrics_tx)
+        })
         .expect("spawn control thread");
 
-    let core = Arc::new(PipelineCore::new(senders, lateness_ms, PipelineJoin { workers, control }));
+    let core = Arc::new(PipelineCore::new(
+        senders,
+        lateness_ms,
+        PipelineJoin { workers, control },
+        metrics,
+        metrics_rx,
+    ));
     let handle = IngestHandle::launch_first(core, shards, ingest_batch, watermark_every);
     (handle, report_rx)
 }
@@ -205,10 +228,24 @@ pub fn launch(config: StreamConfig) -> (IngestHandle, Receiver<StreamReport>) {
 const SHARD_RECV_BATCH: usize = 256;
 
 /// One ingest shard: windows its records, closes them on watermarks.
-fn shard_worker(shard: usize, rx: Receiver<ShardMsg>, ctrl: Sender<CtrlMsg>, config: WindowConfig) {
+fn shard_worker(
+    shard: usize,
+    rx: Receiver<ShardMsg>,
+    ctrl: Sender<CtrlMsg>,
+    config: WindowConfig,
+    metrics: Arc<PipelineMetrics>,
+) {
     let mut windows = ShardWindows::new(shard, config);
     let mut batch: Vec<ShardMsg> = Vec::with_capacity(SHARD_RECV_BATCH);
     'recv: while rx.recv_many(&mut batch, SHARD_RECV_BATCH) > 0 {
+        if metrics.timing() {
+            metrics.recv_batch.record(batch.len() as u64);
+            metrics.shard_queue_depth.record(rx.len() as u64);
+        }
+        // Times the whole drained batch: window pushes, watermark
+        // closes and control sends — a stall on the control channel is
+        // downstream backpressure and deliberately shows up here.
+        stage_timer!(metrics.shard_apply);
         for msg in batch.drain(..) {
             match msg {
                 ShardMsg::Record(record) => {
@@ -242,37 +279,72 @@ fn shard_worker(shard: usize, rx: Receiver<ShardMsg>, ctrl: Sender<CtrlMsg>, con
     });
 }
 
+/// Snapshot the registry and `try_send` it on the metrics channel —
+/// drop-on-full, like the report channel: telemetry never stalls the
+/// pipeline.
+fn emit_metrics(
+    metrics: &PipelineMetrics,
+    metrics_tx: &Sender<MetricsReport>,
+    report_tx: &Sender<StreamReport>,
+    seq: &mut u64,
+) {
+    if metrics.timing() {
+        metrics.report_queue_depth.set(report_tx.len() as u64);
+    }
+    let report = MetricsReport {
+        seq: *seq,
+        windows: metrics.merge_windows.get(),
+        snapshot: metrics.snapshot(),
+    };
+    *seq += 1;
+    let _ = metrics_tx.try_send(report);
+}
+
 /// The single consumer of shard reports: merge, detect, extract, emit.
+///
+/// The run counters (`windows`, `alarms`, `reports`, drops) live on the
+/// metrics registry; the returned [`StreamStats`] is a read-back view
+/// over them, so the stats stay byte-identical whether or not the
+/// timing layer records.
 fn control_loop(
     config: StreamConfig,
     window_config: WindowConfig,
     ctrl_rx: Receiver<CtrlMsg>,
     report_tx: Sender<StreamReport>,
+    metrics: Arc<PipelineMetrics>,
+    metrics_tx: Sender<MetricsReport>,
 ) -> StreamStats {
     let mut manager = WindowManager::new(config.shards, window_config);
     let mut bank = config.detectors.build_bank();
+    bank.instrument(|name| metrics.detector_instruments(name));
     let mut extractor = ContinuousExtractor::new(config.extractor, config.retain_windows);
+    extractor.instrument(metrics.extract_encode.clone(), metrics.extract_mine.clone());
     let mut stats = StreamStats::default();
+    let mut metrics_seq = 0u64;
+    let report_every = config.metrics.report_every_windows;
 
     let process = |closed: Vec<crate::window::ClosedWindow>,
-                   stats: &mut StreamStats,
                    bank: &mut crate::detector::DetectorBank,
-                   extractor: &mut ContinuousExtractor| {
+                   extractor: &mut ContinuousExtractor,
+                   metrics_seq: &mut u64| {
         for window in closed {
-            stats.windows += 1;
+            metrics.merge_windows.inc();
             let alarms = bank.push_window(&window);
-            stats.alarms += alarms.len() as u64;
+            metrics.merged_alarms.add(alarms.len() as u64);
             for mut report in extractor.push_window(window, &alarms) {
-                stats.reports += 1;
-                report.dropped_before = stats.reports_dropped;
+                metrics.reports_emitted.inc();
+                report.dropped_before = metrics.reports_dropped.get();
                 // Never block detection on the subscriber: a full queue
                 // drops the report and counts it; a dropped subscriber
                 // just discards.
                 match report_tx.try_send(report) {
                     Ok(()) => {}
-                    Err(TrySendError::Full(_)) => stats.reports_dropped += 1,
+                    Err(TrySendError::Full(_)) => metrics.reports_dropped.inc(),
                     Err(TrySendError::Disconnected(_)) => {}
                 }
+            }
+            if report_every > 0 && metrics.merge_windows.get().is_multiple_of(report_every) {
+                emit_metrics(&metrics, &metrics_tx, &report_tx, metrics_seq);
             }
         }
     };
@@ -284,18 +356,31 @@ fn control_loop(
         };
         match msg {
             CtrlMsg::Report { shard, frontier, windows } => {
-                let closed = manager.offer(shard, frontier, windows);
-                process(closed, &mut stats, &mut bank, &mut extractor);
+                let closed =
+                    stage_timer!(metrics.merge_offer, manager.offer(shard, frontier, windows));
+                process(closed, &mut bank, &mut extractor, &mut metrics_seq);
             }
             CtrlMsg::Done { late_dropped, out_of_span } => {
-                stats.late_dropped += late_dropped;
-                stats.out_of_span += out_of_span;
+                metrics.late_dropped.add(late_dropped);
+                metrics.out_of_span.add(out_of_span);
                 done += 1;
             }
         }
     }
-    process(manager.finish(), &mut stats, &mut bank, &mut extractor);
+    let closed = stage_timer!(metrics.merge_offer, manager.finish());
+    process(closed, &mut bank, &mut extractor, &mut metrics_seq);
+    stats.late_dropped = metrics.late_dropped.get();
+    stats.out_of_span = metrics.out_of_span.get();
+    stats.windows = metrics.merge_windows.get();
+    stats.alarms = metrics.merged_alarms.get();
+    stats.reports = metrics.reports_emitted.get();
+    stats.reports_dropped = metrics.reports_dropped.get();
     stats.per_detector = bank.counters();
+    // One final report so a subscriber always sees the complete run,
+    // whatever the cadence. Ingest totals are included: every handle
+    // folds them at close, and the stream-end Flush that gets us here is
+    // only sent (or the channels only disconnect) after the last close.
+    emit_metrics(&metrics, &metrics_tx, &report_tx, &mut metrics_seq);
     stats
 }
 
@@ -652,5 +737,103 @@ mod tests {
         let received: Vec<StreamReport> = reports.iter().collect();
         assert_eq!(received.len(), 1, "the scan report still lands");
         assert_eq!(received[0].alarm.window.from_ms, 7 * 60_000);
+    }
+
+    #[test]
+    fn metrics_reports_flow_and_the_final_one_agrees_with_stats() {
+        let (mut ingest, reports) = launch(scan_config(2));
+        let metrics = ingest.metrics_reports().expect("subscription available");
+        assert!(ingest.metrics_reports().is_none(), "subscription is take-once");
+        ingest.push_batch(trace());
+        let stats = ingest.finish();
+        let _ = reports.iter().count();
+        // The control thread is joined, so the metrics channel is
+        // disconnected and this drain terminates.
+        let emissions: Vec<MetricsReport> = metrics.iter().collect();
+        assert!(!emissions.is_empty(), "cadence of 1 window must emit");
+        for pair in emissions.windows(2) {
+            assert!(pair[0].seq < pair[1].seq, "emission sequence must increase");
+        }
+        let last = emissions.last().unwrap();
+        assert_eq!(last.windows, stats.windows);
+        assert_eq!(last.records(), stats.ingested, "final report includes folded ingest totals");
+        assert_eq!(last.send_failures(), stats.send_failures);
+        assert_eq!(last.reports_dropped(), stats.reports_dropped);
+        assert_eq!(last.snapshot.counter("merge.windows"), stats.windows);
+        assert_eq!(last.snapshot.counter("detect.merged_alarms"), stats.alarms);
+        assert_eq!(last.snapshot.counter("report.emitted"), stats.reports);
+        assert_eq!(last.snapshot.counter("detect.kl.windows"), stats.per_detector[0].windows);
+        assert_eq!(last.snapshot.counter("detect.kl.alarms"), stats.per_detector[0].alarms);
+        // The timing layer recorded: per-stage histograms have samples
+        // and the watermark gauges are present.
+        for stage in ["shard.apply_ns", "merge.offer_ns", "detect.kl.push_ns", "extract.mine_ns"] {
+            let hist = last.snapshot.histogram(stage).unwrap_or_else(|| panic!("{stage} missing"));
+            assert!(hist.count > 0, "{stage} never recorded");
+        }
+        assert!(last.watermark_lag_event_ms().is_some());
+        assert!(last.report_queue_depth().is_some());
+    }
+
+    #[test]
+    fn disabling_the_timing_layer_changes_no_stats_or_reports() {
+        let run = |enabled: bool| {
+            let config = StreamConfig {
+                metrics: MetricsConfig { enabled, ..MetricsConfig::default() },
+                ..scan_config(2)
+            };
+            let (mut ingest, reports) = launch(config);
+            let metrics = ingest.metrics_reports().expect("subscription available");
+            ingest.push_batch(trace());
+            let stats = ingest.finish();
+            let received: Vec<StreamReport> = reports.iter().collect();
+            (stats, received, metrics.iter().last().expect("final metrics report"))
+        };
+        let (on_stats, on_reports, on_last) = run(true);
+        let (off_stats, off_reports, off_last) = run(false);
+        assert_eq!(on_stats, off_stats, "instrumentation must not change the run");
+        assert_eq!(on_reports, off_reports);
+        // Counters survive in both modes; the timing layer only when on.
+        assert_eq!(off_last.records(), on_last.records());
+        assert_eq!(off_last.snapshot.counter("merge.windows"), 8);
+        assert!(on_last.snapshot.histogram("shard.apply_ns").is_some());
+        assert_eq!(off_last.snapshot.get("shard.apply_ns"), None);
+        assert_eq!(off_last.watermark_lag_event_ms(), None);
+    }
+
+    #[test]
+    fn watermark_gauges_expose_lag_and_skew_across_split_handles() {
+        fn probe(start_ms: u64) -> FlowRecord {
+            FlowRecord::builder()
+                .time(start_ms, start_ms + 1)
+                .src("10.0.0.1".parse().unwrap(), 4_000)
+                .dst("172.16.0.1".parse().unwrap(), 80)
+                .volume(1, 64)
+                .build()
+        }
+        // Every push publishes the handle's frontier and broadcasts the
+        // min-over-handles watermark, so the gauge values after the
+        // third push are exact functions of the three frontiers.
+        let config = StreamConfig {
+            lateness_ms: 5_000,
+            watermark_every: 1,
+            ingest_batch: 1,
+            ..scan_config(1)
+        };
+        let (ingest, _reports) = launch(config);
+        let mut handles = ingest.split(3);
+        handles[0].push(probe(10_000));
+        handles[1].push(probe(20_000));
+        handles[2].push(probe(60_000));
+        // Frontiers are now (10_000, 20_000, 60_000): the watermark is
+        // min − lateness, lag is max − watermark, skew is max − min.
+        let snap = handles[0].metrics_snapshot();
+        assert_eq!(snap.counter("watermark.broadcasts"), 3);
+        assert_eq!(snap.gauge("watermark.broadcast_ms"), Some(5_000));
+        assert_eq!(snap.gauge("watermark.lag_event_ms"), Some(55_000));
+        assert_eq!(snap.gauge("watermark.frontier_skew_ms"), Some(50_000));
+        drop(handles.drain(1..));
+        let stats = handles.pop().unwrap().finish();
+        assert_eq!(stats.ingested, 3);
+        assert_eq!(stats.late_dropped, 0, "no record fell behind the shared watermark");
     }
 }

@@ -9,6 +9,7 @@ use anomex_core::encode::EncodedFlows;
 use anomex_core::extract::{Extraction, Extractor, ExtractorConfig};
 use anomex_detect::alarm::Alarm;
 use anomex_flow::store::TimeRange;
+use anomex_obs::StageTimer;
 use serde::{Deserialize, Serialize};
 
 use crate::detector::EnsembleAlarm;
@@ -54,6 +55,8 @@ pub struct ContinuousExtractor {
     extractor: Extractor,
     retained: VecDeque<ClosedWindow>,
     horizon: usize,
+    encode_timer: StageTimer,
+    mine_timer: StageTimer,
 }
 
 impl ContinuousExtractor {
@@ -64,7 +67,17 @@ impl ContinuousExtractor {
             extractor: Extractor::new(config),
             retained: VecDeque::new(),
             horizon: horizon.max(1),
+            encode_timer: StageTimer::noop(),
+            mine_timer: StageTimer::noop(),
         }
+    }
+
+    /// Time candidate encoding and itemset mining into the given
+    /// histograms (one observation per encoded matrix / per mined
+    /// extraction). Timing never changes what is mined.
+    pub fn instrument(&mut self, encode: StageTimer, mine: StageTimer) {
+        self.encode_timer = encode;
+        self.mine_timer = mine;
     }
 
     /// Number of flow records currently retained.
@@ -106,14 +119,15 @@ impl ContinuousExtractor {
                         None => {
                             let cands =
                                 candidates_from_slice(&resident, alarm.window, alarm, policy);
-                            encoded.push((alarm.window, filter, EncodedFlows::encode(&cands)));
+                            let enc = self.encode_timer.time(|| EncodedFlows::encode(&cands));
+                            encoded.push((alarm.window, filter, enc));
                             &encoded.last().expect("just pushed").2
                         }
                     };
                 StreamReport {
                     alarm: alarm.clone(),
                     sources: ensemble.sources.clone(),
-                    extraction: self.extractor.extract_encoded(enc),
+                    extraction: self.mine_timer.time(|| self.extractor.extract_encoded(enc)),
                     window_flows,
                     dropped_before: 0,
                 }

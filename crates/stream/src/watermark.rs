@@ -159,6 +159,32 @@ impl WatermarkTable {
         }
     }
 
+    /// The freshest published frontier: maximum mark over live slots
+    /// (0 when none are live). Telemetry companion to
+    /// [`min_frontier`](WatermarkTable::min_frontier) — the spread
+    /// between the two is the per-handle frontier skew, and
+    /// `max - watermark` is the event-time lag a broadcast watermark
+    /// trails the freshest event by.
+    pub fn max_frontier(&self) -> u64 {
+        // Same pairing as `min_frontier`: Acquire on the mask keeps a
+        // recycled slot's pre-release zero store visible, so the scan
+        // reads either a legitimately published live mark or the
+        // conservative 0 between claim and seed — never the previous
+        // occupant's stale high mark.
+        let mut mask = self.active.load(Ordering::Acquire);
+        let mut max = 0;
+        while mask != 0 {
+            let slot = mask.trailing_zeros() as usize;
+            // Relaxed: see `min_frontier` — any readable value was a
+            // mark some live handle published (or the seed-gap 0),
+            // and a stale low read only understates the maximum,
+            // which a lag gauge is allowed to do.
+            max = max.max(self.marks[slot].load(Ordering::Relaxed));
+            mask &= mask - 1;
+        }
+        max
+    }
+
     /// Number of live slots.
     pub fn live(&self) -> u32 {
         // Relaxed: an advisory snapshot — callers use it for "anyone
@@ -194,6 +220,22 @@ mod tests {
         assert_eq!(table.min_frontier(), 900, "retired handle stops holding the min back");
         table.release(b);
         assert_eq!(table.min_frontier(), 0, "no live handles: conservative zero");
+    }
+
+    #[test]
+    fn max_frontier_tracks_the_freshest_live_handle() {
+        let table = WatermarkTable::new();
+        assert_eq!(table.max_frontier(), 0, "no live handles: zero");
+        let a = table.acquire(0);
+        let b = table.acquire(0);
+        table.publish(a, 500);
+        table.publish(b, 300);
+        assert_eq!(table.max_frontier(), 500, "freshest live handle wins");
+        assert_eq!(table.max_frontier() - table.min_frontier(), 200, "skew is the spread");
+        table.release(a);
+        assert_eq!(table.max_frontier(), 300, "retired handle stops contributing");
+        table.release(b);
+        assert_eq!(table.max_frontier(), 0);
     }
 
     #[test]

@@ -131,6 +131,36 @@ fn min_frontier_never_overshoots_the_slowest_publisher() {
     });
 }
 
+/// The telemetry scan (`max_frontier`) obeys the same zero-before-
+/// release contract as `min_frontier`: under concurrent publishes it
+/// never reports a value nobody published, and a retired handle's high
+/// mark never leaks through a recycled slot.
+#[test]
+fn max_frontier_never_invents_a_mark() {
+    model(1_500).check(|| {
+        let table = Arc::new(WatermarkTable::new());
+        let slow = table.acquire(0);
+        let t = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || {
+                let fast = table.acquire(0);
+                table.publish(fast, 300);
+                table.release(fast);
+            })
+        };
+        table.publish(slow, 100);
+        // Our own publish(100) is program-order before the scan, so the
+        // result is 100, or 300 while the fast handle still shows live.
+        let max = table.max_frontier();
+        assert!(max == 100 || max == 300, "max_frontier {max} is a value no handle ever published");
+        t.join().unwrap();
+        // Only `slow` is live now: the retiree's 300 must be gone.
+        assert_eq!(table.max_frontier(), 100, "retired mark leaked through a dead slot");
+        table.release(slow);
+        assert_eq!(table.max_frontier(), 0);
+    });
+}
+
 /// Full-protocol churn: two handles acquire, publish, scan and release
 /// concurrently; every interleaving must keep the table race-free and
 /// end empty. The model's race detector is the real assertion here.

@@ -1,6 +1,16 @@
 //! Workspace maintenance tasks, run as `cargo run -p xtask -- <task>`.
 //!
-//! The one task so far is the **unsafe audit**: a comment- and
+//! Two tasks:
+//!
+//! - **`metrics-doc [--check]`** renders `METRICS.md` at the workspace
+//!   root from the streaming pipeline's metric catalog
+//!   (`anomex_stream::metrics::CATALOG`) — the committed reference for
+//!   every counter, gauge and histogram the pipeline can record. With
+//!   `--check` (the CI mode) it verifies the committed file matches
+//!   instead of writing, so the doc can never drift from the code.
+//! - **`audit-unsafe [--check]`**, the unsafe audit described next.
+//!
+//! The **unsafe audit** is a comment- and
 //! string-aware scan of every `.rs` file in the workspace that
 //!
 //! - fails (exit 1) on any `unsafe` keyword without an adjacent
@@ -41,15 +51,87 @@ fn main() -> ExitCode {
             }
             audit_unsafe(check_only)
         }
+        Some("metrics-doc") => {
+            let check_only = args.iter().any(|a| a == "--check");
+            if let Some(unknown) = args[1..].iter().find(|a| *a != "--check") {
+                eprintln!("xtask: unknown metrics-doc flag `{unknown}` (only --check)");
+                return ExitCode::FAILURE;
+            }
+            metrics_doc(check_only)
+        }
         Some(other) => {
-            eprintln!("xtask: unknown task `{other}` (try `audit-unsafe [--check]`)");
+            eprintln!("xtask: unknown task `{other}` (try `audit-unsafe` or `metrics-doc`)");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("xtask: no task given (try `audit-unsafe [--check]`)");
+            eprintln!(
+                "xtask: no task given (try `audit-unsafe [--check]` or `metrics-doc [--check]`)"
+            );
             ExitCode::FAILURE
         }
     }
+}
+
+/// Render `METRICS.md` from the pipeline's metric catalog; `--check`
+/// verifies the committed file instead of writing it.
+fn metrics_doc(check_only: bool) -> ExitCode {
+    let doc = render_metrics_doc(anomex_stream::metrics::CATALOG);
+    let path = workspace_root().join("METRICS.md");
+    if check_only {
+        let committed = std::fs::read_to_string(&path).unwrap_or_default();
+        if committed != doc {
+            eprintln!(
+                "xtask: METRICS.md is stale — regenerate it with \
+                 `cargo run -p xtask -- metrics-doc` and commit the result"
+            );
+            return ExitCode::FAILURE;
+        }
+    } else if let Err(e) = std::fs::write(&path, &doc) {
+        eprintln!("xtask: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "metrics-doc: {} metric(s) documented{}",
+        anomex_stream::metrics::CATALOG.len(),
+        if check_only { " (METRICS.md up to date)" } else { " (METRICS.md written)" },
+    );
+    ExitCode::SUCCESS
+}
+
+fn render_metrics_doc(catalog: &[anomex_obs::MetricDef]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Pipeline Metrics");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Every metric the streaming pipeline can record, grouped by \
+         stage — generated from `anomex_stream::metrics::CATALOG` by \
+         `cargo run -p xtask -- metrics-doc` and verified in CI with \
+         `--check`. Names containing `*` are templates instantiated per \
+         dynamic member (one per registered detector). Counters are \
+         always live; gauges, histograms and stage timers record only \
+         while `MetricsConfig::enabled` is on."
+    );
+    let mut stage = "";
+    for def in catalog {
+        if def.stage != stage {
+            stage = def.stage;
+            let _ = writeln!(out);
+            let _ = writeln!(out, "## `{stage}`");
+            let _ = writeln!(out);
+            let _ = writeln!(out, "| Metric | Kind | Unit | Description |");
+            let _ = writeln!(out, "|---|---|---|---|");
+        }
+        let _ = writeln!(
+            out,
+            "| `{}` | {} | {} | {} |",
+            def.name,
+            def.kind.as_str(),
+            def.unit,
+            def.help.replace('|', "\\|"),
+        );
+    }
+    out
 }
 
 /// One `unsafe` keyword occurrence in real code (not comments/strings).

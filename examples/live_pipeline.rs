@@ -57,6 +57,9 @@ fn main() {
         ..StreamConfig::default()
     };
     let (ingest, reports) = pipeline::launch(config);
+    // The telemetry side-channel: the control thread emits a
+    // MetricsReport per merged window (and a final one at shutdown).
+    let telemetry = ingest.metrics_reports().expect("first taker gets the subscription");
 
     // Two collector "sockets": split the handle, deal the packet stream
     // round-robin, and feed both halves concurrently. Each handle
@@ -99,12 +102,27 @@ fn main() {
         );
     }
 
-    // 3. The console end: render reports as they drain, keep the alarm
-    //    DB for interactive follow-up.
+    // 3. The console end: render reports as they drain — telemetry
+    //    one-liners interleaved — and keep the alarm DB for
+    //    interactive follow-up.
     let mut session = LiveSession::new();
     let mut out = Vec::new();
-    let received = session.drain(&reports, &mut out).expect("render reports");
+    let received =
+        session.drain_with_metrics(&reports, &telemetry, &mut out).expect("render reports");
     print!("{}", String::from_utf8(out).expect("utf8 report text"));
+
+    // The final emission carries the complete run: per-stage timings
+    // and event-time health next to the counters the stats show.
+    let final_metrics = session.last_metrics().expect("final telemetry emission");
+    assert_eq!(final_metrics.records(), stats.ingested, "telemetry agrees with the stats");
+    println!(
+        "final telemetry: watermark lag {}ms, frontier skew {}ms, \
+         mean shard apply {:.0}ns, mean detector push {:.0}ns",
+        final_metrics.watermark_lag_event_ms().unwrap_or(0),
+        final_metrics.frontier_skew_ms().unwrap_or(0),
+        final_metrics.snapshot.histogram("shard.apply_ns").map_or(0.0, |h| h.mean()),
+        final_metrics.snapshot.histogram("detect.kl.push_ns").map_or(0.0, |h| h.mean()),
+    );
 
     assert!(received >= 1, "the scan window must produce a report");
     let scan_report = session

@@ -59,47 +59,55 @@ fn streaming_equals_batch_under_out_of_order_arrival() {
         batch_alarms.iter().map(|a| extractor.extract_from_window(&records, a)).collect();
 
     // --- Streaming run: same records, shuffled within the lateness
-    // bound, sharded 4 ways.
+    // bound, sharded 4 ways. Run once with the telemetry timing layer
+    // on and once with it off: instrumentation must never perturb the
+    // bit-identity with batch (or the run's statistics).
     let shuffled = bounded_shuffle(&records);
     let inversions = shuffled.windows(2).filter(|pair| pair[0].start_ms > pair[1].start_ms).count();
     assert!(inversions > records.len() / 10, "shuffle must actually disorder arrival");
 
-    let config = StreamConfig {
-        shards: 4,
-        queue_depth: 256,
-        ingest_batch: 64,
-        lateness_ms: LATENESS_MS,
-        watermark_every: 64,
-        span: Some(span),
-        detectors: DetectorRegistry::kl(kl),
-        extractor: *extractor.config(),
-        retain_windows: 3,
-        report_queue: 1_024,
-    };
-    let (mut ingest, reports) = pipeline::launch(config);
-    ingest.push_batch(shuffled);
-    let stats = ingest.finish();
-    let received: Vec<StreamReport> = reports.iter().collect();
+    let mut stats_by_mode = Vec::new();
+    for telemetry in [true, false] {
+        let config = StreamConfig {
+            shards: 4,
+            queue_depth: 256,
+            ingest_batch: 64,
+            lateness_ms: LATENESS_MS,
+            watermark_every: 64,
+            span: Some(span),
+            detectors: DetectorRegistry::kl(kl),
+            extractor: *extractor.config(),
+            retain_windows: 3,
+            report_queue: 1_024,
+            metrics: MetricsConfig { enabled: telemetry, ..MetricsConfig::default() },
+        };
+        let (mut ingest, reports) = pipeline::launch(config);
+        ingest.push_batch(shuffled.clone());
+        let stats = ingest.finish();
+        let received: Vec<StreamReport> = reports.iter().collect();
 
-    // --- Accounting: nothing may be lost within the lateness bound.
-    assert_eq!(stats.ingested, records.len() as u64);
-    assert_eq!(stats.late_dropped, 0, "jitter stayed inside the lateness bound");
-    assert_eq!(stats.out_of_span, 0);
-    assert_eq!(stats.windows, INTERVALS);
+        // --- Accounting: nothing may be lost within the lateness bound.
+        assert_eq!(stats.ingested, records.len() as u64);
+        assert_eq!(stats.late_dropped, 0, "jitter stayed inside the lateness bound");
+        assert_eq!(stats.out_of_span, 0);
+        assert_eq!(stats.windows, INTERVALS);
 
-    // --- Alarms: bit-identical with the batch detector.
-    let stream_alarms: Vec<Alarm> = received.iter().map(|r| r.alarm.clone()).collect();
-    assert_eq!(stream_alarms, batch_alarms);
+        // --- Alarms: bit-identical with the batch detector.
+        let stream_alarms: Vec<Alarm> = received.iter().map(|r| r.alarm.clone()).collect();
+        assert_eq!(stream_alarms, batch_alarms, "telemetry={telemetry}");
 
-    // --- Itemsets: identical patterns and both supports per alarm.
-    assert_eq!(received.len(), batch_extractions.len());
-    for (report, batch) in received.iter().zip(&batch_extractions) {
-        assert_eq!(report.extraction.candidate_flows, batch.candidate_flows);
-        assert_eq!(report.extraction.candidate_packets, batch.candidate_packets);
-        assert_eq!(report.extraction.itemsets, batch.itemsets);
-        assert_eq!(report.extraction.tuning, batch.tuning);
-        assert!(!report.extraction.is_empty(), "scan must yield itemsets");
+        // --- Itemsets: identical patterns and both supports per alarm.
+        assert_eq!(received.len(), batch_extractions.len());
+        for (report, batch) in received.iter().zip(&batch_extractions) {
+            assert_eq!(report.extraction.candidate_flows, batch.candidate_flows);
+            assert_eq!(report.extraction.candidate_packets, batch.candidate_packets);
+            assert_eq!(report.extraction.itemsets, batch.itemsets);
+            assert_eq!(report.extraction.tuning, batch.tuning);
+            assert!(!report.extraction.is_empty(), "scan must yield itemsets");
+        }
+        stats_by_mode.push(stats);
     }
+    assert_eq!(stats_by_mode[0], stats_by_mode[1], "telemetry mode leaked into the statistics");
 }
 
 #[test]
@@ -136,6 +144,7 @@ fn multi_handle_shuffled_streaming_equals_batch_bit_for_bit() {
         extractor: *extractor.config(),
         retain_windows: 3,
         report_queue: 1_024,
+        metrics: MetricsConfig::default(),
     };
     let (ingest, reports) = pipeline::launch(config);
     let mut handles = ingest.split(3);

@@ -378,6 +378,13 @@ impl<T> Shared<T> {
         }
     }
 
+    fn capacity(&self) -> Option<usize> {
+        match &self.flavor {
+            Flavor::Ring(ring) => Some(ring.cap),
+            Flavor::List(_) => None,
+        }
+    }
+
     /// One non-blocking push attempt; `Err(value)` when full.
     fn try_push(&self, value: T) -> Result<(), T> {
         match &self.flavor {
@@ -609,6 +616,13 @@ impl<T> Sender<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Maximum in-flight messages for a bounded channel, `None` for an
+    /// unbounded one. Telemetry hook: `len() as f64 / capacity()` is
+    /// the ring occupancy.
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.capacity()
+    }
 }
 
 impl<T> Clone for Sender<T> {
@@ -754,6 +768,12 @@ impl<T> Receiver<T> {
     /// Whether the queue is currently empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Maximum in-flight messages for a bounded channel, `None` for an
+    /// unbounded one.
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.capacity()
     }
 }
 
