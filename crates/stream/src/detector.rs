@@ -18,6 +18,11 @@
 //!   window are merged into one [`EnsembleAlarm`] (one extraction per
 //!   flagged window, however many detectors fired) with per-detector
 //!   attribution and counters kept intact.
+//! - [`DetectorPool`] — the same ensemble fanned across a small worker
+//!   pool ([`DetectorBank::into_pool`]): windows broadcast to every
+//!   worker, per-slot alarms reassembled in bank order, merged by the
+//!   same control-side merge state — bit-identical output to the
+//!   sequential bank, detector pushes off the control thread.
 
 use std::sync::Arc;
 
@@ -28,6 +33,7 @@ use anomex_detect::kl::{KlConfig, KlOnline};
 use anomex_detect::pca::{PcaConfig, PcaSliding};
 use anomex_flow::store::TimeRange;
 use anomex_obs::{Counter, StageTimer};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use serde::{Deserialize, Serialize};
 
 use crate::window::ClosedWindow;
@@ -204,7 +210,7 @@ impl DetectorRegistry {
                     instruments: DetectorInstruments::standalone(),
                 })
                 .collect(),
-            next_id: 0,
+            merger: AlarmMerger::default(),
         }
     }
 }
@@ -285,62 +291,38 @@ struct BankSlot {
     instruments: DetectorInstruments,
 }
 
-/// The running detector ensemble: every closed window is fed to every
-/// detector; alarms on the same window are merged into one
-/// [`EnsembleAlarm`] so downstream extraction runs once per flagged
-/// window regardless of how many detectors agree.
-pub struct DetectorBank {
-    slots: Vec<BankSlot>,
+/// Run one bank member over a window summary: count the window, time
+/// the push, count the alarms. Shared verbatim by the sequential bank
+/// and the pool workers so both paths meter identically.
+fn run_slot(slot: &mut BankSlot, stat: &IntervalStat) -> Vec<Alarm> {
+    slot.instruments.windows.inc();
+    let state = &mut slot.state;
+    let alarms = slot.instruments.push_timer.time(|| state.push(stat));
+    slot.instruments.alarms.add(alarms.len() as u64);
+    alarms
+}
+
+/// The deterministic cross-detector merge: the merged-alarm id counter
+/// plus the group/sort/merge logic. Factored out of [`DetectorBank`]
+/// so the sequential bank and the [`DetectorPool`] run one
+/// implementation — the pool keeps this state on the control side,
+/// which is what makes its output bit-identical to sequential however
+/// the detector pushes are scheduled.
+#[derive(Default)]
+struct AlarmMerger {
     next_id: u64,
 }
 
-impl DetectorBank {
-    /// Number of detectors in the bank.
-    pub fn len(&self) -> usize {
-        self.slots.len()
-    }
-
-    /// True when the bank holds no detector.
-    pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
-    }
-
-    /// Per-detector counters so far, in bank order (a view over the
-    /// slots' [`DetectorInstruments`] counters).
-    pub fn counters(&self) -> Vec<DetectorCounters> {
-        self.slots
-            .iter()
-            .map(|s| DetectorCounters {
-                name: s.name.clone(),
-                windows: s.instruments.windows.get(),
-                alarms: s.instruments.alarms.get(),
-            })
-            .collect()
-    }
-
-    /// Swap each slot's telemetry handles, matched by detector name.
-    /// Call before feeding the bank: previously counted totals stay
-    /// behind in the replaced handles.
-    pub fn instrument(&mut self, mut provide: impl FnMut(&str) -> DetectorInstruments) {
-        for slot in &mut self.slots {
-            slot.instruments = provide(&slot.name);
-        }
-    }
-
-    /// Feed one closed window's summary to every detector; returns the
-    /// merged alarms (usually empty or one), in window order.
-    pub fn push(&mut self, stat: &IntervalStat) -> Vec<EnsembleAlarm> {
-        // Collect (window, source alarms in bank order).
+impl AlarmMerger {
+    /// Group alarms (already concatenated in bank order) by window,
+    /// sort the groups by window start, and merge each into one
+    /// [`EnsembleAlarm`].
+    fn merge_bank_order(&mut self, alarms: impl IntoIterator<Item = Alarm>) -> Vec<EnsembleAlarm> {
         let mut groups: Vec<(TimeRange, Vec<Alarm>)> = Vec::new();
-        for slot in &mut self.slots {
-            slot.instruments.windows.inc();
-            let state = &mut slot.state;
-            for alarm in slot.instruments.push_timer.time(|| state.push(stat)) {
-                slot.instruments.alarms.inc();
-                match groups.iter_mut().find(|(w, _)| *w == alarm.window) {
-                    Some((_, sources)) => sources.push(alarm),
-                    None => groups.push((alarm.window, vec![alarm])),
-                }
+        for alarm in alarms {
+            match groups.iter_mut().find(|(w, _)| *w == alarm.window) {
+                Some((_, sources)) => sources.push(alarm),
+                None => groups.push((alarm.window, vec![alarm])),
             }
         }
         groups.sort_by_key(|(w, _)| w.from_ms);
@@ -351,11 +333,6 @@ impl DetectorBank {
                 EnsembleAlarm { alarm: merged, sources }
             })
             .collect()
-    }
-
-    /// Feed one closed window; returns the merged alarms it raised.
-    pub fn push_window(&mut self, window: &ClosedWindow) -> Vec<EnsembleAlarm> {
-        self.push(&window.stat)
     }
 
     /// One alarm out of the window's sources. A lone source passes
@@ -402,6 +379,253 @@ impl DetectorBank {
     }
 }
 
+/// The running detector ensemble: every closed window is fed to every
+/// detector; alarms on the same window are merged into one
+/// [`EnsembleAlarm`] so downstream extraction runs once per flagged
+/// window regardless of how many detectors agree.
+pub struct DetectorBank {
+    slots: Vec<BankSlot>,
+    merger: AlarmMerger,
+}
+
+impl DetectorBank {
+    /// Number of detectors in the bank.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the bank holds no detector.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Per-detector counters so far, in bank order (a view over the
+    /// slots' [`DetectorInstruments`] counters).
+    pub fn counters(&self) -> Vec<DetectorCounters> {
+        self.slots
+            .iter()
+            .map(|s| DetectorCounters {
+                name: s.name.clone(),
+                windows: s.instruments.windows.get(),
+                alarms: s.instruments.alarms.get(),
+            })
+            .collect()
+    }
+
+    /// Swap each slot's telemetry handles, matched by detector name.
+    /// Call before feeding the bank: previously counted totals stay
+    /// behind in the replaced handles.
+    pub fn instrument(&mut self, mut provide: impl FnMut(&str) -> DetectorInstruments) {
+        for slot in &mut self.slots {
+            slot.instruments = provide(&slot.name);
+        }
+    }
+
+    /// Feed one closed window's summary to every detector; returns the
+    /// merged alarms (usually empty or one), in window order.
+    pub fn push(&mut self, stat: &IntervalStat) -> Vec<EnsembleAlarm> {
+        // Concatenate every slot's alarms in bank order, then merge.
+        let mut raised: Vec<Alarm> = Vec::new();
+        for slot in &mut self.slots {
+            raised.extend(run_slot(slot, stat));
+        }
+        self.merger.merge_bank_order(raised)
+    }
+
+    /// Feed one closed window; returns the merged alarms it raised.
+    pub fn push_window(&mut self, window: &ClosedWindow) -> Vec<EnsembleAlarm> {
+        self.push(&window.stat)
+    }
+
+    /// One alarm out of the window's sources; see [`AlarmMerger::merge`].
+    #[cfg(test)]
+    fn merge(&mut self, window: TimeRange, sources: &[Alarm]) -> Alarm {
+        self.merger.merge(window, sources)
+    }
+
+    /// Fan this bank out across `workers` threads (clamped to the
+    /// detector count). Each worker owns a contiguous run of bank
+    /// slots; the merge state stays behind on the control side, so the
+    /// pool's output is bit-identical to this bank's. Call
+    /// [`instrument`](DetectorBank::instrument) *before* converting —
+    /// the slots (and their telemetry handles) move into the workers,
+    /// and the pool keeps only shared views.
+    ///
+    /// `queue_depth` bounds how many windows
+    /// [`dispatch`](DetectorPool::dispatch) may run ahead of
+    /// [`collect`](DetectorPool::collect) per worker.
+    pub fn into_pool(self, workers: usize, queue_depth: usize) -> DetectorPool {
+        let workers = workers.clamp(1, self.slots.len().max(1));
+        let shadow: Vec<(String, DetectorInstruments)> =
+            self.slots.iter().map(|s| (s.name.clone(), s.instruments.clone())).collect();
+        // Contiguous chunks, earlier workers one larger on remainder:
+        // concatenating worker results in worker order restores bank
+        // order exactly.
+        let total = self.slots.len();
+        let base = total / workers;
+        let extra = total % workers;
+        let mut slots = self.slots.into_iter();
+        let mut task_txs = Vec::with_capacity(workers);
+        let mut result_rxs = Vec::with_capacity(workers);
+        let mut joins = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let take = base + usize::from(w < extra);
+            let chunk: Vec<BankSlot> = slots.by_ref().take(take).collect();
+            let (task_tx, task_rx) = bounded::<Arc<IntervalStat>>(queue_depth.max(1));
+            let (result_tx, result_rx) = unbounded::<Vec<Vec<Alarm>>>();
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("anomex-detect-{w}"))
+                    .spawn(move || pool_worker(chunk, task_rx, result_tx))
+                    .expect("spawn detector worker"),
+            );
+            task_txs.push(task_tx);
+            result_rxs.push(result_rx);
+        }
+        DetectorPool { task_txs, result_rxs, joins, shadow, merger: self.merger, in_flight: 0 }
+    }
+}
+
+/// One pool worker: runs its contiguous run of bank slots over every
+/// broadcast window, reporting the per-slot alarm lists in slot order.
+fn pool_worker(
+    mut slots: Vec<BankSlot>,
+    tasks: Receiver<Arc<IntervalStat>>,
+    results: Sender<Vec<Vec<Alarm>>>,
+) {
+    while let Ok(stat) = tasks.recv() {
+        let per_slot: Vec<Vec<Alarm>> =
+            slots.iter_mut().map(|slot| run_slot(slot, &stat)).collect();
+        if results.send(per_slot).is_err() {
+            return; // pool dropped mid-flight; nobody left to report to
+        }
+    }
+}
+
+/// The parallel detector ensemble: a [`DetectorBank`]'s slots fanned
+/// across a small worker pool ([`DetectorBank::into_pool`]).
+///
+/// Every closed window is broadcast to all workers as one shared
+/// summary; each worker runs its detectors in slot order; the control
+/// side reassembles the per-slot alarms in bank order and runs the
+/// same deterministic merge the sequential bank runs — so the output
+/// (merged ids included) is bit-identical to [`DetectorBank::push`]
+/// over the same window sequence, whatever the worker scheduling.
+///
+/// Deadlock freedom: task channels are bounded (`queue_depth` windows
+/// per worker) but result channels are unbounded, so a worker can
+/// always finish a window it started — a full task queue only ever
+/// blocks [`dispatch`](DetectorPool::dispatch), never a worker.
+pub struct DetectorPool {
+    task_txs: Vec<Sender<Arc<IntervalStat>>>,
+    result_rxs: Vec<Receiver<Vec<Vec<Alarm>>>>,
+    joins: Vec<std::thread::JoinHandle<()>>,
+    /// Control-side views of the worker-held instruments, in bank
+    /// order; the handles are `Arc`-shared, so
+    /// [`counters`](DetectorPool::counters) observes worker increments.
+    shadow: Vec<(String, DetectorInstruments)>,
+    merger: AlarmMerger,
+    in_flight: usize,
+}
+
+impl DetectorPool {
+    /// Number of detectors across all workers.
+    pub fn len(&self) -> usize {
+        self.shadow.len()
+    }
+
+    /// True when the pool holds no detector.
+    pub fn is_empty(&self) -> bool {
+        self.shadow.is_empty()
+    }
+
+    /// Number of worker threads (the clamped `workers` argument).
+    pub fn workers(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// Per-detector counters so far, in bank order. Exact whenever
+    /// every dispatched window has been collected.
+    pub fn counters(&self) -> Vec<DetectorCounters> {
+        self.shadow
+            .iter()
+            .map(|(name, instruments)| DetectorCounters {
+                name: name.clone(),
+                windows: instruments.windows.get(),
+                alarms: instruments.alarms.get(),
+            })
+            .collect()
+    }
+
+    /// Broadcast one window summary to every worker without waiting
+    /// for verdicts; pair with [`collect`](DetectorPool::collect).
+    /// Dispatching a run of windows ahead of collecting is what lets
+    /// detector pushes overlap the control thread's merge/extract
+    /// work. Blocks when a worker is `queue_depth` windows behind.
+    ///
+    /// # Panics
+    /// Panics when a worker died (a detector panicked).
+    pub fn dispatch(&mut self, stat: &IntervalStat) {
+        let stat = Arc::new(stat.clone());
+        for tx in &self.task_txs {
+            tx.send(Arc::clone(&stat)).expect("detector worker died");
+        }
+        self.in_flight += 1;
+    }
+
+    /// Collect the merged alarms of the *oldest* dispatched window
+    /// (FIFO with [`dispatch`](DetectorPool::dispatch) order).
+    ///
+    /// # Panics
+    /// Panics when nothing is in flight, or when a worker died (a
+    /// detector panicked) — matching the sequential bank, where the
+    /// panic would unwind the pushing thread directly.
+    pub fn collect(&mut self) -> Vec<EnsembleAlarm> {
+        assert!(self.in_flight > 0, "collect() without a dispatched window");
+        self.in_flight -= 1;
+        let mut raised: Vec<Alarm> = Vec::new();
+        for rx in &self.result_rxs {
+            let per_slot = rx.recv().expect("detector worker died");
+            raised.extend(per_slot.into_iter().flatten());
+        }
+        self.merger.merge_bank_order(raised)
+    }
+
+    /// Dispatch + collect in one call — the drop-in equivalent of
+    /// [`DetectorBank::push`].
+    pub fn push(&mut self, stat: &IntervalStat) -> Vec<EnsembleAlarm> {
+        self.dispatch(stat);
+        self.collect()
+    }
+
+    /// Feed one closed window; returns the merged alarms it raised.
+    pub fn push_window(&mut self, window: &ClosedWindow) -> Vec<EnsembleAlarm> {
+        self.push(&window.stat)
+    }
+
+    /// Windows queued to workers and not yet picked up, summed across
+    /// the pool — the `detect.pool.queue_depth` gauge source.
+    pub fn queue_depth(&self) -> usize {
+        self.task_txs.iter().map(|tx| tx.len()).sum()
+    }
+}
+
+impl Drop for DetectorPool {
+    fn drop(&mut self) {
+        // Disconnect the task channels so every worker's recv loop
+        // ends, then join. A worker panic (a panicking detector)
+        // propagates unless this drop is itself part of that unwind.
+        self.task_txs.clear();
+        for join in self.joins.drain(..) {
+            if let Err(panic) = join.join() {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,17 +660,21 @@ mod tests {
         stat
     }
 
+    fn feed_stats(windows: u64, scan_in_last: bool) -> Vec<IntervalStat> {
+        (0..windows)
+            .map(|t| {
+                let range = TimeRange::new(t * 1_000, (t + 1) * 1_000);
+                let scan = if scan_in_last && t == windows - 1 { 1_200 } else { 0 };
+                // Wobble the benign load so PCA's training variance is
+                // non-degenerate.
+                let benign = 150 + (t % 4) as u32 * 13;
+                scan_stat(range, benign, scan)
+            })
+            .collect()
+    }
+
     fn feed(bank: &mut DetectorBank, windows: u64, scan_in_last: bool) -> Vec<EnsembleAlarm> {
-        let mut merged = Vec::new();
-        for t in 0..windows {
-            let range = TimeRange::new(t * 1_000, (t + 1) * 1_000);
-            let scan = if scan_in_last && t == windows - 1 { 1_200 } else { 0 };
-            // Wobble the benign load so PCA's training variance is
-            // non-degenerate.
-            let benign = 150 + (t % 4) as u32 * 13;
-            merged.extend(bank.push(&scan_stat(range, benign, scan)));
-        }
-        merged
+        feed_stats(windows, scan_in_last).iter().flat_map(|stat| bank.push(stat)).collect()
     }
 
     #[test]
@@ -553,6 +781,91 @@ mod tests {
         let b = Alarm::new(0, "kl", window).with_score(3.0, 1.9);
         let merged = bank.merge(window, &[a, b]);
         assert_eq!(merged.detector, "bad-custom+kl", "NaN must not panic the merge");
+    }
+
+    /// A chatty custom detector so the pool tests cover the merge path
+    /// (it alarms every window, forcing cross-detector merges whenever
+    /// a built-in also fires) and a stateful id sequence workers must
+    /// not perturb.
+    struct Chatty {
+        next_id: u64,
+    }
+    impl Detector for Chatty {
+        fn name(&self) -> &str {
+            "chatty"
+        }
+        fn interval_ms(&self) -> u64 {
+            1_000
+        }
+        fn push(&mut self, stat: &IntervalStat) -> Vec<Alarm> {
+            let alarm = Alarm::new(self.next_id, self.name(), stat.range);
+            self.next_id += 1;
+            vec![alarm]
+        }
+    }
+
+    /// Every registered ensemble member — both built-ins plus a custom
+    /// detector — through the worker pool, at several pool widths: the
+    /// merged output (ids, attribution, hints, everything) and the
+    /// per-detector counters must be bit-identical to the sequential
+    /// bank.
+    #[test]
+    fn pool_output_is_bit_identical_to_sequential() {
+        let kl = KlConfig { interval_ms: 1_000, ..KlConfig::default() };
+        let pca = PcaConfig { interval_ms: 1_000, ..PcaConfig::default() };
+        let mut registry =
+            DetectorRegistry::from_specs(&[DetectorSpec::Kl(kl), DetectorSpec::Pca(pca, 12)]);
+        registry.register("chatty", 1_000, || Box::new(Chatty { next_id: 0 }));
+
+        let mut sequential = registry.build_bank();
+        let expected = feed(&mut sequential, 12, true);
+        assert!(expected.len() >= 12, "chatty must alarm every window");
+        assert!(
+            expected.iter().any(|e| e.sources.len() >= 2),
+            "scan window must exercise a cross-detector merge"
+        );
+
+        let stats = feed_stats(12, true);
+        for workers in [1usize, 2, 3, 8] {
+            let mut pool = registry.build_bank().into_pool(workers, 4);
+            assert_eq!(pool.workers(), workers.min(3), "pool clamps to the detector count");
+            assert_eq!(pool.len(), 3);
+            let merged: Vec<EnsembleAlarm> =
+                stats.iter().flat_map(|stat| pool.push(stat)).collect();
+            assert_eq!(merged, expected, "{workers} workers diverged from sequential");
+            assert_eq!(pool.counters(), sequential.counters(), "{workers} workers");
+        }
+    }
+
+    /// Dispatch-ahead (the pipelined mode the control loop uses on a
+    /// batch of ready windows) must keep FIFO window order: collect()
+    /// returns windows in dispatch order with the same id sequence as
+    /// back-to-back push() calls.
+    #[test]
+    fn pool_dispatch_ahead_preserves_window_order() {
+        let mut registry = DetectorRegistry::new();
+        registry.register("chatty", 1_000, || Box::new(Chatty { next_id: 0 }));
+        let stats = feed_stats(6, false);
+
+        let mut reference = registry.build_bank();
+        let expected: Vec<EnsembleAlarm> =
+            stats.iter().flat_map(|stat| reference.push(stat)).collect();
+
+        let mut pool = registry.build_bank().into_pool(2, stats.len());
+        for stat in &stats {
+            pool.dispatch(stat);
+        }
+        let mut merged = Vec::new();
+        for _ in &stats {
+            merged.extend(pool.collect());
+        }
+        assert_eq!(merged, expected);
+        assert_eq!(merged.len(), 6);
+        for (i, ensemble) in merged.iter().enumerate() {
+            assert_eq!(ensemble.alarm.id, i as u64, "ids must count windows in dispatch order");
+            assert_eq!(ensemble.alarm.window.from_ms, i as u64 * 1_000);
+        }
+        assert_eq!(pool.queue_depth(), 0, "everything collected");
     }
 
     #[test]

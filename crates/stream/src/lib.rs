@@ -80,6 +80,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod affinity;
 pub mod detector;
 pub mod ingest;
 pub mod metrics;
@@ -92,7 +93,7 @@ pub mod window;
 /// One-stop imports for downstream crates.
 pub mod prelude {
     pub use crate::detector::{
-        DetectorBank, DetectorCounters, DetectorRegistry, DetectorSpec, EnsembleAlarm,
+        DetectorBank, DetectorCounters, DetectorPool, DetectorRegistry, DetectorSpec, EnsembleAlarm,
     };
     pub use crate::ingest::IngestHandle;
     pub use crate::metrics::{MetricValue, MetricsConfig, MetricsReport, MetricsSnapshot, CATALOG};

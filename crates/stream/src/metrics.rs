@@ -142,6 +142,14 @@ def!(
     "Windows fully merged across shards and emitted by the control thread."
 );
 def!(
+    MERGE_BATCH_REPORTS,
+    "merge.batch_reports",
+    Histogram,
+    "reports",
+    "merge",
+    "Shard reports coalesced into one bulk stage/drain pass by the control thread."
+);
+def!(
     DETECT_PUSH_NS,
     "detect.*.push_ns",
     Histogram,
@@ -172,6 +180,14 @@ def!(
     "alarms",
     "detect",
     "Merged ensemble alarms after same-window attribution."
+);
+def!(
+    DETECT_POOL_QUEUE_DEPTH,
+    "detect.pool.queue_depth",
+    Gauge,
+    "windows",
+    "detect",
+    "Windows broadcast to the detector worker pool and not yet picked up, summed across workers (0 when the bank runs inline on the control thread)."
 );
 def!(
     EXTRACT_ENCODE_NS,
@@ -212,6 +228,14 @@ def!(
     "reports",
     "report",
     "Report queue occupancy at the last metrics emission."
+);
+def!(
+    REPORT_METRICS_DROPPED,
+    "report.metrics_dropped",
+    Counter,
+    "reports",
+    "report",
+    "MetricsReports dropped because the bounded metrics queue was full (telemetry never stalls the pipeline)."
 );
 def!(
     WATERMARK_BROADCASTS,
@@ -271,15 +295,18 @@ pub static CATALOG: &[MetricDef] = &[
     SHARD_OUT_OF_SPAN,
     MERGE_OFFER_NS,
     MERGE_WINDOWS,
+    MERGE_BATCH_REPORTS,
     DETECT_PUSH_NS,
     DETECT_WINDOWS,
     DETECT_ALARMS,
     DETECT_MERGED_ALARMS,
+    DETECT_POOL_QUEUE_DEPTH,
     EXTRACT_ENCODE_NS,
     EXTRACT_MINE_NS,
     REPORT_EMITTED,
     REPORT_DROPPED,
     REPORT_QUEUE_DEPTH,
+    REPORT_METRICS_DROPPED,
     WATERMARK_BROADCASTS,
     WATERMARK_BROADCAST_MS,
     WATERMARK_LAG_EVENT_MS,
@@ -339,6 +366,12 @@ impl MetricsReport {
         self.snapshot.counter(REPORT_DROPPED.name)
     }
 
+    /// MetricsReports dropped on the full bounded metrics queue so far
+    /// (this very report's predecessors).
+    pub fn metrics_dropped(&self) -> u64 {
+        self.snapshot.counter(REPORT_METRICS_DROPPED.name)
+    }
+
     /// Event-time watermark lag at the last broadcast, if the timing
     /// layer recorded one.
     pub fn watermark_lag_event_ms(&self) -> Option<u64> {
@@ -385,12 +418,15 @@ pub(crate) struct PipelineMetrics {
     pub(crate) out_of_span: Counter,
     pub(crate) merge_offer: StageTimer,
     pub(crate) merge_windows: Counter,
+    pub(crate) merge_batch: Histogram,
     pub(crate) merged_alarms: Counter,
+    pub(crate) detect_pool_queue_depth: Gauge,
     pub(crate) extract_encode: StageTimer,
     pub(crate) extract_mine: StageTimer,
     pub(crate) reports_emitted: Counter,
     pub(crate) reports_dropped: Counter,
     pub(crate) report_queue_depth: Gauge,
+    pub(crate) metrics_dropped: Counter,
     pub(crate) watermark_broadcasts: Counter,
     pub(crate) watermark_broadcast_ms: Gauge,
     pub(crate) lag_event_ms: Gauge,
@@ -416,12 +452,15 @@ impl PipelineMetrics {
             out_of_span: registry.counter(&SHARD_OUT_OF_SPAN),
             merge_offer: registry.timer(&MERGE_OFFER_NS),
             merge_windows: registry.counter(&MERGE_WINDOWS),
+            merge_batch: registry.histogram(&MERGE_BATCH_REPORTS),
             merged_alarms: registry.counter(&DETECT_MERGED_ALARMS),
+            detect_pool_queue_depth: registry.gauge(&DETECT_POOL_QUEUE_DEPTH),
             extract_encode: registry.timer(&EXTRACT_ENCODE_NS),
             extract_mine: registry.timer(&EXTRACT_MINE_NS),
             reports_emitted: registry.counter(&REPORT_EMITTED),
             reports_dropped: registry.counter(&REPORT_DROPPED),
             report_queue_depth: registry.gauge(&REPORT_QUEUE_DEPTH),
+            metrics_dropped: registry.counter(&REPORT_METRICS_DROPPED),
             watermark_broadcasts: registry.counter(&WATERMARK_BROADCASTS),
             watermark_broadcast_ms: registry.gauge(&WATERMARK_BROADCAST_MS),
             lag_event_ms: registry.gauge(&WATERMARK_LAG_EVENT_MS),

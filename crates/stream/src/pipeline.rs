@@ -39,7 +39,7 @@ use anomex_flow::store::TimeRange;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use serde::{Deserialize, Serialize};
 
-use crate::detector::{DetectorCounters, DetectorRegistry};
+use crate::detector::{DetectorBank, DetectorCounters, DetectorPool, DetectorRegistry};
 use crate::ingest::{PipelineCore, PipelineJoin};
 use crate::metrics::{MetricsConfig, MetricsReport, PipelineMetrics};
 use crate::report::{ContinuousExtractor, StreamReport};
@@ -77,6 +77,19 @@ pub struct StreamConfig {
     /// The detector bank judging each closed window: one or many
     /// detectors (an ensemble), every entry on the same interval.
     pub detectors: DetectorRegistry,
+    /// Detector-bank worker threads. `0` (the default) runs every
+    /// detector inline on the control thread; `n > 0` fans the bank
+    /// across `n` workers (clamped to the detector count) with the
+    /// deterministic control-side merge — output is bit-identical
+    /// either way, so this is purely a throughput knob for wide
+    /// ensembles on multi-core hosts.
+    pub detector_workers: usize,
+    /// Pin each shard worker to a core (`shard % available cores`).
+    /// Linux only, best effort: a mask the kernel rejects is ignored
+    /// (see [`crate::affinity`]). Off by default — pinning steadies
+    /// multicore throughput but penalizes oversubscribed hosts, so the
+    /// scaling bench opts in explicitly.
+    pub pin_shards: bool,
     /// Extraction parameters applied on every alarm.
     pub extractor: ExtractorConfig,
     /// Closed windows retained for extraction (candidate horizon).
@@ -106,6 +119,8 @@ impl Default for StreamConfig {
             span: None,
             report_queue: 1_024,
             detectors: DetectorRegistry::kl(anomex_detect::kl::KlConfig::default()),
+            detector_workers: 0,
+            pin_shards: false,
             extractor: ExtractorConfig::default(),
             retain_windows: 2,
             metrics: MetricsConfig::default(),
@@ -184,15 +199,24 @@ pub fn launch(config: StreamConfig) -> (IngestHandle, Receiver<StreamReport>) {
 
     let mut senders = Vec::with_capacity(config.shards);
     let mut workers = Vec::with_capacity(config.shards);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     for shard in 0..config.shards {
         let (tx, rx) = bounded::<ShardMsg>(config.queue_depth);
         senders.push(tx);
         let ctrl = ctrl_tx.clone();
         let worker_metrics = Arc::clone(&metrics);
+        let pin = config.pin_shards;
         workers.push(
             std::thread::Builder::new()
                 .name(format!("anomex-shard-{shard}"))
-                .spawn(move || shard_worker(shard, rx, ctrl, window_config, worker_metrics))
+                .spawn(move || {
+                    if pin {
+                        // Best effort: keep this shard's window state
+                        // and ring slots cache-resident on one core.
+                        let _ = crate::affinity::pin_current_thread(shard % cores);
+                    }
+                    shard_worker(shard, rx, ctrl, window_config, worker_metrics)
+                })
                 .expect("spawn shard worker"),
         );
     }
@@ -226,6 +250,17 @@ pub fn launch(config: StreamConfig) -> (IngestHandle, Receiver<StreamReport>) {
 /// ingest side's `send_many` batches so both ends of the ring amortize
 /// their synchronization on the ~1M records/sec path.
 const SHARD_RECV_BATCH: usize = 256;
+
+/// Windows the control thread may dispatch to the detector pool ahead
+/// of collecting verdicts (per worker). Windows are rare relative to
+/// records, so a small bound suffices to keep every worker busy across
+/// a ready run while capping the buffered `IntervalStat` clones.
+const DETECT_POOL_QUEUE: usize = 64;
+
+/// Shard reports the control thread coalesces into one bulk
+/// stage/drain pass before merging. Bounds how long a sustained report
+/// firehose can postpone window emission.
+const CTRL_COALESCE: usize = 128;
 
 /// One ingest shard: windows its records, closes them on watermarks.
 fn shard_worker(
@@ -297,7 +332,28 @@ fn emit_metrics(
         snapshot: metrics.snapshot(),
     };
     *seq += 1;
-    let _ = metrics_tx.try_send(report);
+    match metrics_tx.try_send(report) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => metrics.metrics_dropped.inc(),
+        Err(TrySendError::Disconnected(_)) => {}
+    }
+}
+
+/// The detection stage as the control loop drives it: the sequential
+/// bank inline on the control thread, or the worker pool behind the
+/// same deterministic control-side merge ([`StreamConfig::detector_workers`]).
+enum BankDriver {
+    Inline(DetectorBank),
+    Pool(DetectorPool),
+}
+
+impl BankDriver {
+    fn counters(&self) -> Vec<DetectorCounters> {
+        match self {
+            BankDriver::Inline(bank) => bank.counters(),
+            BankDriver::Pool(pool) => pool.counters(),
+        }
+    }
 }
 
 /// The single consumer of shard reports: merge, detect, extract, emit.
@@ -317,6 +373,11 @@ fn control_loop(
     let mut manager = WindowManager::new(config.shards, window_config);
     let mut bank = config.detectors.build_bank();
     bank.instrument(|name| metrics.detector_instruments(name));
+    let mut driver = if config.detector_workers > 0 {
+        BankDriver::Pool(bank.into_pool(config.detector_workers, DETECT_POOL_QUEUE))
+    } else {
+        BankDriver::Inline(bank)
+    };
     let mut extractor = ContinuousExtractor::new(config.extractor, config.retain_windows);
     extractor.instrument(metrics.extract_encode.clone(), metrics.extract_mine.clone());
     let mut stats = StreamStats::default();
@@ -324,12 +385,26 @@ fn control_loop(
     let report_every = config.metrics.report_every_windows;
 
     let process = |closed: Vec<crate::window::ClosedWindow>,
-                   bank: &mut crate::detector::DetectorBank,
+                   driver: &mut BankDriver,
                    extractor: &mut ContinuousExtractor,
                    metrics_seq: &mut u64| {
+        if let BankDriver::Pool(pool) = driver {
+            // Broadcast the whole ready run before collecting the
+            // first verdict: the workers chew on windows w+1.. while
+            // the control thread merges and mines window w.
+            for window in &closed {
+                pool.dispatch(&window.stat);
+            }
+            if metrics.timing() {
+                metrics.detect_pool_queue_depth.set(pool.queue_depth() as u64);
+            }
+        }
         for window in closed {
             metrics.merge_windows.inc();
-            let alarms = bank.push_window(&window);
+            let alarms = match driver {
+                BankDriver::Inline(bank) => bank.push_window(&window),
+                BankDriver::Pool(pool) => pool.collect(),
+            };
             metrics.merged_alarms.add(alarms.len() as u64);
             for mut report in extractor.push_window(window, &alarms) {
                 metrics.reports_emitted.inc();
@@ -351,31 +426,56 @@ fn control_loop(
 
     let mut done = 0usize;
     while done < config.shards {
-        let Ok(msg) = ctrl_rx.recv() else {
+        let Ok(first) = ctrl_rx.recv() else {
             break; // every worker gone (panic path): emit what we can
         };
-        match msg {
-            CtrlMsg::Report { shard, frontier, windows } => {
-                let closed =
-                    stage_timer!(metrics.merge_offer, manager.offer(shard, frontier, windows));
-                process(closed, &mut bank, &mut extractor, &mut metrics_seq);
+        // Coalesce: greedily drain whatever else the shards have
+        // queued, stage every report, and run ONE bulk merge — the
+        // per-report frontier scans and emission walks amortize over
+        // the batch, and the detector stage receives one long run of
+        // ready windows instead of many short ones (which is what the
+        // pool's dispatch-ahead feeds on). Bounded so a firehose of
+        // reports cannot postpone emission indefinitely.
+        let mut staged = 0usize;
+        let mut msg = Some(first);
+        loop {
+            match msg.take() {
+                Some(CtrlMsg::Report { shard, frontier, windows }) => {
+                    manager.stage(shard, frontier, windows);
+                    staged += 1;
+                }
+                Some(CtrlMsg::Done { late_dropped, out_of_span }) => {
+                    metrics.late_dropped.add(late_dropped);
+                    metrics.out_of_span.add(out_of_span);
+                    done += 1;
+                }
+                None => {}
             }
-            CtrlMsg::Done { late_dropped, out_of_span } => {
-                metrics.late_dropped.add(late_dropped);
-                metrics.out_of_span.add(out_of_span);
-                done += 1;
+            if staged >= CTRL_COALESCE {
+                break;
             }
+            match ctrl_rx.try_recv() {
+                Ok(next) => msg = Some(next),
+                Err(_) => break, // empty or disconnected: merge what we have
+            }
+        }
+        if staged > 0 {
+            if metrics.timing() {
+                metrics.merge_batch.record(staged as u64);
+            }
+            let closed = stage_timer!(metrics.merge_offer, manager.drain());
+            process(closed, &mut driver, &mut extractor, &mut metrics_seq);
         }
     }
     let closed = stage_timer!(metrics.merge_offer, manager.finish());
-    process(closed, &mut bank, &mut extractor, &mut metrics_seq);
+    process(closed, &mut driver, &mut extractor, &mut metrics_seq);
     stats.late_dropped = metrics.late_dropped.get();
     stats.out_of_span = metrics.out_of_span.get();
     stats.windows = metrics.merge_windows.get();
     stats.alarms = metrics.merged_alarms.get();
     stats.reports = metrics.reports_emitted.get();
     stats.reports_dropped = metrics.reports_dropped.get();
-    stats.per_detector = bank.counters();
+    stats.per_detector = driver.counters();
     // One final report so a subscriber always sees the complete run,
     // whatever the cadence. Ingest totals are included: every handle
     // folds them at close, and the stream-end Flush that gets us here is
@@ -544,6 +644,51 @@ mod tests {
         let mut windows: Vec<u64> = received.iter().map(|r| r.alarm.window.from_ms).collect();
         windows.dedup();
         assert_eq!(windows.len(), received.len(), "duplicate window reports: {windows:?}");
+    }
+
+    #[test]
+    fn detector_pool_run_is_bit_identical_to_inline() {
+        use anomex_detect::pca::PcaConfig;
+        let run = |detector_workers: usize| {
+            let kl = KlConfig { interval_ms: 60_000, ..KlConfig::default() };
+            let pca = PcaConfig { interval_ms: 60_000, ..PcaConfig::default() };
+            let config = StreamConfig {
+                detectors: DetectorRegistry::from_specs(&[
+                    crate::detector::DetectorSpec::Kl(kl),
+                    crate::detector::DetectorSpec::Pca(pca, 12),
+                ]),
+                detector_workers,
+                ..scan_config(2)
+            };
+            let (mut ingest, reports) = launch(config);
+            ingest.push_batch(trace());
+            let stats = ingest.finish();
+            (stats, reports.iter().collect::<Vec<StreamReport>>())
+        };
+        let (inline_stats, inline_reports) = run(0);
+        for workers in [1usize, 2] {
+            let (pool_stats, pool_reports) = run(workers);
+            assert_eq!(pool_stats, inline_stats, "{workers} workers changed the statistics");
+            assert_eq!(pool_reports, inline_reports, "{workers} workers changed a report");
+        }
+    }
+
+    #[test]
+    fn pinned_shard_workers_change_nothing() {
+        // Affinity is pure scheduling: stats and reports must be
+        // byte-identical with pinning on and off (and on non-Linux
+        // hosts, where pinning is a no-op, this still holds trivially).
+        let run = |pin_shards: bool| {
+            let config = StreamConfig { pin_shards, ..scan_config(2) };
+            let (mut ingest, reports) = launch(config);
+            ingest.push_batch(trace());
+            let stats = ingest.finish();
+            (stats, reports.iter().collect::<Vec<StreamReport>>())
+        };
+        let (unpinned_stats, unpinned_reports) = run(false);
+        let (pinned_stats, pinned_reports) = run(true);
+        assert_eq!(pinned_stats, unpinned_stats);
+        assert_eq!(pinned_reports, unpinned_reports);
     }
 
     #[test]
@@ -766,7 +911,13 @@ mod tests {
         assert_eq!(last.snapshot.counter("detect.kl.alarms"), stats.per_detector[0].alarms);
         // The timing layer recorded: per-stage histograms have samples
         // and the watermark gauges are present.
-        for stage in ["shard.apply_ns", "merge.offer_ns", "detect.kl.push_ns", "extract.mine_ns"] {
+        for stage in [
+            "shard.apply_ns",
+            "merge.offer_ns",
+            "merge.batch_reports",
+            "detect.kl.push_ns",
+            "extract.mine_ns",
+        ] {
             let hist = last.snapshot.histogram(stage).unwrap_or_else(|| panic!("{stage} missing"));
             assert!(hist.count > 0, "{stage} never recorded");
         }
@@ -798,6 +949,32 @@ mod tests {
         assert!(on_last.snapshot.histogram("shard.apply_ns").is_some());
         assert_eq!(off_last.snapshot.get("shard.apply_ns"), None);
         assert_eq!(off_last.watermark_lag_event_ms(), None);
+    }
+
+    #[test]
+    fn emit_metrics_counts_drops_on_a_full_queue() {
+        // The telemetry channel's drop-on-full policy is accounted on
+        // `report.metrics_dropped` — a full queue counts, a dropped
+        // subscriber does not (discarding then is intentional).
+        let metrics = Arc::new(PipelineMetrics::new(&MetricsConfig::default()));
+        let (metrics_tx, metrics_rx) = bounded::<MetricsReport>(1);
+        let (report_tx, _report_rx) = bounded::<StreamReport>(1);
+        let mut seq = 0u64;
+        emit_metrics(&metrics, &metrics_tx, &report_tx, &mut seq);
+        emit_metrics(&metrics, &metrics_tx, &report_tx, &mut seq); // full → dropped
+        drop(metrics_tx);
+        let kept: Vec<MetricsReport> = metrics_rx.iter().collect();
+        assert_eq!(kept.len(), 1, "queue of 1 keeps exactly one emission");
+        assert_eq!(metrics.snapshot().counter("report.metrics_dropped"), 1);
+        assert_eq!(seq, 2, "dropped emissions still advance the sequence");
+
+        let (disconnected_tx, _) = bounded::<MetricsReport>(1);
+        emit_metrics(&metrics, &disconnected_tx, &report_tx, &mut seq);
+        assert_eq!(
+            metrics.snapshot().counter("report.metrics_dropped"),
+            1,
+            "a missing subscriber is not a drop"
+        );
     }
 
     #[test]

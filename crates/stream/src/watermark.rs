@@ -10,17 +10,24 @@
 
 use crate::sync::{AtomicU64, Ordering};
 
-/// Hard cap on simultaneously live [`IngestHandle`]s (the watermark
-/// table is a fixed bitmask-indexed array so the min scan stays
-/// lock-free and allocation-free).
+/// Default capacity of a [`WatermarkTable`]: the number of
+/// simultaneously live [`IngestHandle`]s `WatermarkTable::new`
+/// provisions for. No longer a hard protocol cap — the mask is a
+/// multi-word array sized at construction
+/// ([`WatermarkTable::with_capacity`] accepts any handle count), so
+/// this is just the default a pipeline gets without asking.
 ///
 /// [`IngestHandle`]: crate::ingest::IngestHandle
-pub const MAX_HANDLES: usize = 64;
+pub const MAX_HANDLES: usize = 256;
+
+/// Bits per mask word (the mask array is `u64`-word granular).
+const WORD_BITS: usize = 64;
 
 /// Lock-free registry of per-handle event-time frontiers.
 ///
-/// Slot membership is a single `u64` bitmask; each live handle owns one
-/// slot and publishes the maximum event time it has seen with a
+/// Slot membership is a growable array of `u64` bitmask words (one
+/// word per 64 slots, sized at construction); each live handle owns
+/// one slot and publishes the maximum event time it has seen with a
 /// monotonic `fetch_max`. The global ingest frontier is the minimum
 /// over *live* slots — retired handles stop holding the watermark back
 /// the moment their bit clears. Every operation is a handful of
@@ -29,17 +36,25 @@ pub const MAX_HANDLES: usize = 64;
 /// # Memory-ordering contract
 ///
 /// The table leans on exactly two happens-before edges, both through
-/// `active`:
+/// a slot's **owning `active` word** (each word independently carries
+/// the full single-word protocol for its 64 slots; the multi-word scan
+/// is just the per-word scan repeated, and needs no cross-word edge —
+/// see the scan notes below):
 ///
 /// 1. **release → re-acquire** (slot handoff): [`release`] zeroes the
-///    mark, then clears the bit with a `Release` RMW; [`acquire`]'s
-///    claim CAS acquires `active`, so the new occupant — and any
-///    scanner whose `Acquire` load of `active` observes the new epoch —
-///    sees the zero, never the previous occupant's stale high mark.
-///    (`active` is only ever modified by RMWs, so the release sequence
-///    headed by the clearing `fetch_and` is never broken.)
-/// 2. **acquire → scan** ([`min_frontier`]'s `Acquire` load of
-///    `active`), the reader side of edge 1.
+///    mark, then clears the bit with a `Release` RMW on the owning
+///    word; [`acquire`]'s claim CAS acquires that word, so the new
+///    occupant — and any scanner whose `Acquire` load of the word
+///    observes the new epoch — sees the zero, never the previous
+///    occupant's stale high mark. (Each `active` word is only ever
+///    modified by RMWs, so the release sequence headed by the clearing
+///    `fetch_and` is never broken.)
+/// 2. **acquire → scan** ([`min_frontier`]'s `Acquire` load of each
+///    `active` word), the reader side of edge 1. The words are read at
+///    different moments, but each word's contribution is individually
+///    sound — a mark is only read under a mask that showed its slot
+///    live — and "min over per-word-sound minima" can only err low
+///    (conservative), exactly as a stale single-word mask could.
 ///
 /// Everything else is deliberately `Relaxed`: mark publishes are
 /// monotonic per slot (RMW `fetch_max`), the table holds no non-atomic
@@ -58,8 +73,8 @@ pub const MAX_HANDLES: usize = 64;
 /// [`min_frontier`]: WatermarkTable::min_frontier
 #[derive(Debug)]
 pub struct WatermarkTable {
-    active: AtomicU64,
-    marks: [AtomicU64; MAX_HANDLES],
+    active: Box<[AtomicU64]>,
+    marks: Box<[AtomicU64]>,
 }
 
 impl Default for WatermarkTable {
@@ -69,12 +84,31 @@ impl Default for WatermarkTable {
 }
 
 impl WatermarkTable {
-    /// An empty table: no live slots, all marks zero.
+    /// An empty table with the default [`MAX_HANDLES`] capacity.
     pub fn new() -> WatermarkTable {
+        WatermarkTable::with_capacity(MAX_HANDLES)
+    }
+
+    /// An empty table provisioned for `capacity` simultaneously live
+    /// handles (rounded up to the next multiple of 64 — the mask-word
+    /// granularity). The table never grows a live allocation — sizing
+    /// happens here, once, so every operation stays lock-free and
+    /// allocation-free.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> WatermarkTable {
+        assert!(capacity > 0, "watermark table capacity must be positive");
+        let words = capacity.div_ceil(WORD_BITS);
         WatermarkTable {
-            active: AtomicU64::new(0),
-            marks: std::array::from_fn(|_| AtomicU64::new(0)),
+            active: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            marks: (0..words * WORD_BITS).map(|_| AtomicU64::new(0)).collect(),
         }
+    }
+
+    /// Number of handle slots this table was provisioned for.
+    pub fn capacity(&self) -> usize {
+        self.marks.len()
     }
 
     /// Claim a free slot, seeded with `seed_ms` (a fresh handle inherits
@@ -82,30 +116,44 @@ impl WatermarkTable {
     /// minimum further than the parent already held it).
     ///
     /// # Panics
-    /// Panics when all [`MAX_HANDLES`] slots are live.
+    /// Panics when every provisioned slot is live (see
+    /// [`capacity`](WatermarkTable::capacity)).
     pub fn acquire(&self, seed_ms: u64) -> usize {
         loop {
-            let mask = self.active.load(Ordering::SeqCst);
-            let free = (!mask).trailing_zeros() as usize;
-            assert!(free < MAX_HANDLES, "too many live IngestHandles (max {MAX_HANDLES})");
-            // The claim CAS keeps SeqCst (policy: CAS loops are not
-            // downgraded); its Acquire half is load-bearing — it pairs
-            // with `release`'s clearing fetch_and so this thread sees
-            // the previous occupant's zeroed mark before seeding.
-            if self
-                .active
-                .compare_exchange(mask, mask | (1 << free), Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok()
-            {
-                // The slot was zeroed at release; between the claim and
-                // this publish a concurrent min scan reads 0, which is
-                // merely conservative (the watermark can stall, never
-                // overshoot). Relaxed: exclusivity came from the CAS
-                // above, and a scanner needs no edge to *this* store —
-                // missing it just reads that conservative 0.
-                self.marks[free].fetch_max(seed_ms, Ordering::Relaxed);
-                return free;
+            let mut every_word_full = true;
+            for (w, word) in self.active.iter().enumerate() {
+                let mask = word.load(Ordering::SeqCst);
+                if mask == u64::MAX {
+                    // This word has no free bit; the next one may.
+                    continue;
+                }
+                every_word_full = false;
+                let free = (!mask).trailing_zeros() as usize;
+                // The claim CAS keeps SeqCst (policy: CAS loops are not
+                // downgraded); its Acquire half is load-bearing — it
+                // pairs with `release`'s clearing fetch_and on this
+                // word so this thread sees the previous occupant's
+                // zeroed mark before seeding.
+                if word
+                    .compare_exchange(mask, mask | (1 << free), Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    let slot = w * WORD_BITS + free;
+                    // The slot was zeroed at release; between the claim
+                    // and this publish a concurrent min scan reads 0,
+                    // which is merely conservative (the watermark can
+                    // stall, never overshoot). Relaxed: exclusivity
+                    // came from the CAS above, and a scanner needs no
+                    // edge to *this* store — missing it just reads that
+                    // conservative 0.
+                    self.marks[slot].fetch_max(seed_ms, Ordering::Relaxed);
+                    return slot;
+                }
+                // Claim race on this word: rescan from the first word —
+                // the loser may now find an earlier free bit.
+                break;
             }
+            assert!(!every_word_full, "too many live IngestHandles (capacity {})", self.capacity());
         }
     }
 
@@ -114,13 +162,14 @@ impl WatermarkTable {
     /// about to be re-acquired.
     pub fn release(&self, slot: usize) {
         // Relaxed store + Release RMW: the store is sequenced before
-        // the fetch_and, so the Release on `active` publishes it to
-        // every thread that later acquires `active` (edge 1 in the type
-        // docs). A scanner still holding the *old* mask may read either
-        // the old mark (the slot was legitimately live when that mask
-        // was read) or the zero (conservative) — both safe.
+        // the fetch_and, so the Release on the slot's owning `active`
+        // word publishes it to every thread that later acquires that
+        // word (edge 1 in the type docs). A scanner still holding the
+        // *old* mask may read either the old mark (the slot was
+        // legitimately live when that mask was read) or the zero
+        // (conservative) — both safe.
         self.marks[slot].store(0, Ordering::Relaxed);
-        self.active.fetch_and(!(1u64 << slot), Ordering::Release);
+        self.active[slot / WORD_BITS].fetch_and(!(1u64 << (slot % WORD_BITS)), Ordering::Release);
     }
 
     /// Raise `slot`'s event-time mark (monotonic).
@@ -136,21 +185,27 @@ impl WatermarkTable {
     /// The global ingest frontier: minimum mark over live slots (0 when
     /// none are live — maximally conservative).
     pub fn min_frontier(&self) -> u64 {
-        // Acquire pairs with `release`'s clearing fetch_and (via the
-        // unbroken RMW release sequence on `active`): if this mask
-        // shows a slot's post-recycle epoch, the zero store that
-        // preceded the recycle is visible, so the scan can never
-        // attribute the *previous* occupant's high mark to the new one.
-        let mut mask = self.active.load(Ordering::Acquire);
         let mut min = u64::MAX;
-        while mask != 0 {
-            let slot = mask.trailing_zeros() as usize;
-            // Relaxed: any value this load can return was held by the
-            // slot while the mask above showed it live, i.e. a frontier
-            // some live handle legitimately published (or the
-            // conservative 0 between claim and seed).
-            min = min.min(self.marks[slot].load(Ordering::Relaxed));
-            mask &= mask - 1;
+        for (w, word) in self.active.iter().enumerate() {
+            // Acquire pairs with `release`'s clearing fetch_and (via
+            // the unbroken RMW release sequence on this word): if this
+            // mask shows a slot's post-recycle epoch, the zero store
+            // that preceded the recycle is visible, so the scan can
+            // never attribute the *previous* occupant's high mark to
+            // the new one. The words are loaded one at a time — each
+            // word's contribution is sound on its own, and a handle
+            // that moves between scan moments only ever lowers the
+            // result (conservative).
+            let mut mask = word.load(Ordering::Acquire);
+            while mask != 0 {
+                let slot = w * WORD_BITS + mask.trailing_zeros() as usize;
+                // Relaxed: any value this load can return was held by
+                // the slot while the mask above showed it live, i.e. a
+                // frontier some live handle legitimately published (or
+                // the conservative 0 between claim and seed).
+                min = min.min(self.marks[slot].load(Ordering::Relaxed));
+                mask &= mask - 1;
+            }
         }
         if min == u64::MAX {
             0
@@ -166,21 +221,23 @@ impl WatermarkTable {
     /// `max - watermark` is the event-time lag a broadcast watermark
     /// trails the freshest event by.
     pub fn max_frontier(&self) -> u64 {
-        // Same pairing as `min_frontier`: Acquire on the mask keeps a
-        // recycled slot's pre-release zero store visible, so the scan
-        // reads either a legitimately published live mark or the
-        // conservative 0 between claim and seed — never the previous
-        // occupant's stale high mark.
-        let mut mask = self.active.load(Ordering::Acquire);
         let mut max = 0;
-        while mask != 0 {
-            let slot = mask.trailing_zeros() as usize;
-            // Relaxed: see `min_frontier` — any readable value was a
-            // mark some live handle published (or the seed-gap 0),
-            // and a stale low read only understates the maximum,
-            // which a lag gauge is allowed to do.
-            max = max.max(self.marks[slot].load(Ordering::Relaxed));
-            mask &= mask - 1;
+        for (w, word) in self.active.iter().enumerate() {
+            // Same pairing as `min_frontier`: Acquire on each mask word
+            // keeps a recycled slot's pre-release zero store visible,
+            // so the scan reads either a legitimately published live
+            // mark or the conservative 0 between claim and seed —
+            // never the previous occupant's stale high mark.
+            let mut mask = word.load(Ordering::Acquire);
+            while mask != 0 {
+                let slot = w * WORD_BITS + mask.trailing_zeros() as usize;
+                // Relaxed: see `min_frontier` — any readable value was
+                // a mark some live handle published (or the seed-gap
+                // 0), and a stale low read only understates the
+                // maximum, which a lag gauge is allowed to do.
+                max = max.max(self.marks[slot].load(Ordering::Relaxed));
+                mask &= mask - 1;
+            }
         }
         max
     }
@@ -191,7 +248,7 @@ impl WatermarkTable {
         // else still live?" courtesy decisions (e.g. whether to
         // broadcast one final watermark) where a stale answer costs at
         // most one redundant or deferred broadcast.
-        self.active.load(Ordering::Relaxed).count_ones()
+        self.active.iter().map(|word| word.load(Ordering::Relaxed).count_ones()).sum()
     }
 }
 
@@ -260,6 +317,38 @@ mod tests {
         assert_eq!(table.min_frontier(), 60_000, "clone must not stall the watermark");
         table.release(a);
         table.release(b);
+    }
+
+    #[test]
+    fn table_scales_past_the_old_64_handle_word_boundary() {
+        // 80 rounds up to two mask words (128 slots): the single-u64
+        // cap this table used to have is gone.
+        let table = WatermarkTable::with_capacity(80);
+        assert_eq!(table.capacity(), 128);
+        let slots: Vec<usize> = (0..80).map(|i| table.acquire(i as u64 + 1)).collect();
+        assert_eq!(slots[64], 64, "the 65th handle claims the second word's first bit");
+        assert_eq!(table.live(), 80);
+        assert_eq!(table.min_frontier(), 1, "min scan reads the first word");
+        assert_eq!(table.max_frontier(), 80, "max scan reads the second word");
+        table.release(slots[0]);
+        assert_eq!(table.min_frontier(), 2, "released first-word slot stops contributing");
+        let again = table.acquire(500);
+        assert_eq!(again, slots[0], "first free bit — across all words — is reused");
+        for &slot in &slots[1..] {
+            table.release(slot);
+        }
+        table.release(again);
+        assert_eq!(table.live(), 0);
+        assert_eq!(table.min_frontier(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many live IngestHandles")]
+    fn exhausting_every_provisioned_slot_panics() {
+        let table = WatermarkTable::with_capacity(64);
+        for _ in 0..=64 {
+            table.acquire(0);
+        }
     }
 
     #[test]

@@ -213,12 +213,29 @@ impl WindowManager {
 
     /// Accept one shard's report: its closed windows plus its new
     /// frontier. Returns every window that became globally closed.
+    ///
+    /// Equivalent to [`stage`](WindowManager::stage) followed by
+    /// [`drain`](WindowManager::drain); callers holding a batch of
+    /// reports should stage them all and drain once.
     pub fn offer(
         &mut self,
         from_shard: usize,
         frontier: u64,
         windows: Vec<WindowShard>,
     ) -> Vec<ClosedWindow> {
+        self.stage(from_shard, frontier, windows);
+        self.emit()
+    }
+
+    /// File one shard's report — partials plus its new frontier —
+    /// without scanning for emittable windows. Staging a run of
+    /// reports and [`drain`](WindowManager::drain)ing once amortizes
+    /// the frontier scan and the emission walk over the whole batch,
+    /// and hands downstream one large run of ready windows instead of
+    /// many short ones. Staging order never matters: partials are
+    /// keyed by (window, shard) and frontiers only ratchet forward, so
+    /// any interleaving drains to the identical window sequence.
+    pub fn stage(&mut self, from_shard: usize, frontier: u64, windows: Vec<WindowShard>) {
         for w in windows {
             debug_assert_eq!(w.shard, from_shard, "shard partial routed to wrong slot");
             let shards = self.shards;
@@ -230,6 +247,11 @@ impl WindowManager {
             slots[from_shard] = Some(w);
         }
         self.frontiers[from_shard] = self.frontiers[from_shard].max(frontier);
+    }
+
+    /// Emit every window that became globally closed since the last
+    /// drain (gapless, in index order).
+    pub fn drain(&mut self) -> Vec<ClosedWindow> {
         self.emit()
     }
 
@@ -409,6 +431,59 @@ mod tests {
         assert_eq!(summarize(&forward), vec![(0, 1), (1, 1), (2, 0), (3, 1), (4, 0)]);
         for w in &forward {
             assert_eq!(w.records.len() as u64, w.stat.flows);
+        }
+    }
+
+    #[test]
+    fn staged_bulk_drain_matches_per_offer_emission() {
+        // The batched control-loop path (stage every queued report,
+        // drain once) must emit exactly what per-report offers emit,
+        // whatever order the reports are staged in.
+        let config = bounded(100, 500);
+        let reports = || {
+            let mut shard0 = ShardWindows::new(0, config);
+            let mut shard1 = ShardWindows::new(1, config);
+            shard0.push(rec(10, 1));
+            shard0.push(rec(310, 2));
+            shard1.push(rec(110, 3));
+            shard1.push(rec(320, 4));
+            let mid0 = shard0.close_up_to(200);
+            let mid1 = shard1.close_up_to(200);
+            vec![
+                (0usize, shard0.frontier(), mid0),
+                (1usize, shard1.frontier(), mid1),
+                (0usize, u64::MAX, shard0.flush()),
+                (1usize, u64::MAX, shard1.flush()),
+            ]
+        };
+        let summarize = |ws: &[ClosedWindow]| -> Vec<(u64, u64)> {
+            ws.iter().map(|w| (w.index, w.stat.flows)).collect()
+        };
+
+        let mut per_offer = WindowManager::new(2, config);
+        let mut expected = Vec::new();
+        for (shard, frontier, windows) in reports() {
+            expected.extend(per_offer.offer(shard, frontier, windows));
+        }
+        expected.extend(per_offer.finish());
+        assert_eq!(summarize(&expected), vec![(0, 1), (1, 1), (2, 0), (3, 2), (4, 0)]);
+
+        for reversed in [false, true] {
+            let mut batch = reports();
+            if reversed {
+                batch.reverse();
+            }
+            let mut manager = WindowManager::new(2, config);
+            for (shard, frontier, windows) in batch {
+                manager.stage(shard, frontier, windows);
+            }
+            let mut drained = manager.drain();
+            drained.extend(manager.finish());
+            assert_eq!(summarize(&drained), summarize(&expected), "reversed={reversed}");
+            for (a, b) in drained.iter().zip(&expected) {
+                assert_eq!(a.range, b.range);
+                assert_eq!(a.records.len(), b.records.len());
+            }
         }
     }
 

@@ -161,6 +161,46 @@ fn max_frontier_never_invents_a_mark() {
     });
 }
 
+/// Multi-word scan: with the first mask word saturated, a slot in the
+/// second word churns (acquire/publish/release) while the main thread
+/// scans — the per-word ordering contract must hold across the word
+/// boundary. The scan may observe the second-word handle at any stage
+/// (absent, in its claim-seed gap, published) but must never invent a
+/// value and never overshoot the slowest live handle.
+#[test]
+fn multi_word_min_frontier_scan_never_overshoots() {
+    model(600).check(|| {
+        let table = Arc::new(WatermarkTable::with_capacity(65));
+        // Saturate word 0 so the next claim lands in word 1 (the
+        // single-threaded prefix costs trace length, not schedules).
+        let word0: Vec<usize> = (0..64).map(|_| table.acquire(1_000)).collect();
+        let t = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || {
+                let slot = table.acquire(0);
+                assert_eq!(slot, 64, "word 0 is full — the claim must cross the boundary");
+                table.publish(slot, 5);
+                table.release(slot);
+            })
+        };
+        let frontier = table.min_frontier();
+        assert!(
+            frontier == 0 || frontier == 5 || frontier == 1_000,
+            "frontier {frontier} is a value no handle ever held"
+        );
+        t.join().unwrap();
+        assert_eq!(
+            table.min_frontier(),
+            1_000,
+            "the retired second-word slot must stop contributing"
+        );
+        for slot in word0 {
+            table.release(slot);
+        }
+        assert_eq!(table.live(), 0);
+    });
+}
+
 /// Full-protocol churn: two handles acquire, publish, scan and release
 /// concurrently; every interleaving must keep the table race-free and
 /// end empty. The model's race detector is the real assertion here.

@@ -183,4 +183,54 @@ proptest! {
         prop_assert_eq!(&reference, &messages, "per-message path must be lossless FIFO");
         prop_assert_eq!(&batched, &messages, "batched path must match per-message exactly");
     }
+
+    /// Range-claim batching is observation-equivalent to the retained
+    /// one-CAS-per-slot baseline (`send_many_per_slot` /
+    /// `recv_many_per_slot`): for any messages, chunk sizes and ring
+    /// capacity, both protocols produce the identical transcript — the
+    /// single tail/head CAS per range and the per-slot stamp publishes
+    /// change the cost, never the observable behavior.
+    #[test]
+    fn range_claim_batching_equals_the_per_slot_baseline(
+        messages in proptest::collection::vec(any::<u32>(), 0..400),
+        send_chunk in 1usize..48,
+        recv_chunk in 1usize..48,
+        cap in 1usize..32,
+    ) {
+        let run = |range_claim: bool| -> Vec<u32> {
+            let (tx, rx) = bounded::<u32>(cap);
+            let msgs = messages.clone();
+            let producer = std::thread::spawn(move || {
+                let mut batch = Vec::new();
+                for m in msgs {
+                    batch.push(m);
+                    if batch.len() >= send_chunk {
+                        if range_claim {
+                            tx.send_many(&mut batch).unwrap();
+                        } else {
+                            tx.send_many_per_slot(&mut batch).unwrap();
+                        }
+                    }
+                }
+                if range_claim {
+                    tx.send_many(&mut batch).unwrap();
+                } else {
+                    tx.send_many_per_slot(&mut batch).unwrap();
+                }
+            });
+            let mut collected = Vec::new();
+            if range_claim {
+                while rx.recv_many(&mut collected, recv_chunk) > 0 {}
+            } else {
+                while rx.recv_many_per_slot(&mut collected, recv_chunk) > 0 {}
+            }
+            producer.join().unwrap();
+            collected
+        };
+
+        let per_slot = run(false);
+        let range = run(true);
+        prop_assert_eq!(&per_slot, &messages, "per-slot baseline must be lossless FIFO");
+        prop_assert_eq!(&range, &per_slot, "range-claim must match the per-slot baseline exactly");
+    }
 }

@@ -59,15 +59,16 @@ fn streaming_equals_batch_under_out_of_order_arrival() {
         batch_alarms.iter().map(|a| extractor.extract_from_window(&records, a)).collect();
 
     // --- Streaming run: same records, shuffled within the lateness
-    // bound, sharded 4 ways. Run once with the telemetry timing layer
-    // on and once with it off: instrumentation must never perturb the
+    // bound, sharded 4 ways. Run with the telemetry timing layer on
+    // and off, and with the detector bank inline and pooled:
+    // instrumentation and detector scheduling must never perturb the
     // bit-identity with batch (or the run's statistics).
     let shuffled = bounded_shuffle(&records);
     let inversions = shuffled.windows(2).filter(|pair| pair[0].start_ms > pair[1].start_ms).count();
     assert!(inversions > records.len() / 10, "shuffle must actually disorder arrival");
 
     let mut stats_by_mode = Vec::new();
-    for telemetry in [true, false] {
+    for (telemetry, detector_workers) in [(true, 0), (false, 0), (true, 2)] {
         let config = StreamConfig {
             shards: 4,
             queue_depth: 256,
@@ -76,6 +77,8 @@ fn streaming_equals_batch_under_out_of_order_arrival() {
             watermark_every: 64,
             span: Some(span),
             detectors: DetectorRegistry::kl(kl),
+            detector_workers,
+            pin_shards: false,
             extractor: *extractor.config(),
             retain_windows: 3,
             report_queue: 1_024,
@@ -94,7 +97,10 @@ fn streaming_equals_batch_under_out_of_order_arrival() {
 
         // --- Alarms: bit-identical with the batch detector.
         let stream_alarms: Vec<Alarm> = received.iter().map(|r| r.alarm.clone()).collect();
-        assert_eq!(stream_alarms, batch_alarms, "telemetry={telemetry}");
+        assert_eq!(
+            stream_alarms, batch_alarms,
+            "telemetry={telemetry} detector_workers={detector_workers}"
+        );
 
         // --- Itemsets: identical patterns and both supports per alarm.
         assert_eq!(received.len(), batch_extractions.len());
@@ -108,6 +114,7 @@ fn streaming_equals_batch_under_out_of_order_arrival() {
         stats_by_mode.push(stats);
     }
     assert_eq!(stats_by_mode[0], stats_by_mode[1], "telemetry mode leaked into the statistics");
+    assert_eq!(stats_by_mode[0], stats_by_mode[2], "detector pool leaked into the statistics");
 }
 
 #[test]
@@ -141,6 +148,8 @@ fn multi_handle_shuffled_streaming_equals_batch_bit_for_bit() {
         watermark_every: 64,
         span: Some(span),
         detectors: DetectorRegistry::kl(kl),
+        detector_workers: 1, // pooled: detector pushes off the control thread
+        pin_shards: true,    // best-effort affinity must not perturb anything
         extractor: *extractor.config(),
         retain_windows: 3,
         report_queue: 1_024,

@@ -19,7 +19,16 @@
 //! Beyond the real crate's API this stand-in adds two batched calls
 //! that amortize whatever synchronization remains: [`Sender::send_many`]
 //! and [`Receiver::recv_many`] (see `ROADMAP.md` for the shim list to
-//! revisit if the registry crates ever return).
+//! revisit if the registry crates ever return). Both are
+//! **range-claim batched** on the bounded flavor: a single CAS on the
+//! position counter reserves a whole contiguous run of slots (clipped
+//! at the array end), after which each slot's sequence stamp is
+//! published individually — so a batch of k messages costs one atomic
+//! RMW plus k plain stores instead of k RMWs. The pre-range-claim
+//! one-CAS-per-slot loops remain callable
+//! ([`Sender::send_many_per_slot`], [`Receiver::recv_many_per_slot`])
+//! as the measured baseline for the `perf_stream` microbench and the
+//! behavioral reference for the equivalence proptests.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -261,6 +270,159 @@ impl<T> Ring<T> {
                 backoff.spin();
                 head = self.head.0.load(Ordering::Relaxed);
             }
+        }
+    }
+
+    /// Linearized message count for a position: laps completed times
+    /// capacity plus the in-lap index. Differences of `lin` values
+    /// count messages exactly even though positions skip indices
+    /// `cap..one_lap` at each lap boundary.
+    fn lin(&self, pos: usize) -> usize {
+        (pos / self.one_lap).wrapping_mul(self.cap).wrapping_add(pos & (self.one_lap - 1))
+    }
+
+    /// Range-claim: reserve up to `want` contiguous positions at the
+    /// tail with a **single CAS**, instead of one CAS per slot. Returns
+    /// `(start_pos, count)`, or `None` when the ring is full.
+    ///
+    /// The claim is bounded by two clips:
+    /// - the free-slot count computed from a head/tail snapshot —
+    ///   `head` may be stale (it only advances), so this under-counts
+    ///   free slots: the claim is conservative, never overlapping, and
+    ///   every claimed position's previous-lap occupant has already
+    ///   been *claimed* by a consumer (head passed it), so the per-slot
+    ///   recycle wait in [`write_range`](Self::write_range) is bounded
+    ///   by an in-flight pop, never by a pop that might not happen;
+    /// - the array end, so the positions inside one claim are always
+    ///   `start, start+1, …` in the same lap (no wrap mid-range).
+    fn try_claim(&self, want: usize) -> Option<(usize, usize)> {
+        debug_assert!(want > 0);
+        let mut backoff = Backoff::new();
+        loop {
+            let tail = self.tail.0.load(Ordering::Relaxed);
+            let head = self.head.0.load(Ordering::Relaxed);
+            let free = self.cap - self.lin(tail).wrapping_sub(self.lin(head));
+            if free == 0 {
+                // Full at snapshot time. A consumer mid-pop has already
+                // CAS'd `head` forward and would show `free > 0`, so
+                // unlike `try_push` no fence/re-check is needed to
+                // distinguish "full" from "pop in progress".
+                return None;
+            }
+            let index = tail & (self.one_lap - 1);
+            let count = want.min(free).min(self.cap - index);
+            let new_tail = if index + count == self.cap {
+                // The claim ends exactly at the array end: the next
+                // producer starts index 0 of the next lap.
+                (tail & !(self.one_lap - 1)).wrapping_add(self.one_lap)
+            } else {
+                tail.wrapping_add(count)
+            };
+            match self.tail.0.compare_exchange(tail, new_tail, Ordering::SeqCst, Ordering::Relaxed)
+            {
+                Ok(_) => return Some((tail, count)),
+                Err(_) => backoff.spin(),
+            }
+        }
+    }
+
+    /// Fill a range claimed by [`try_claim`](Self::try_claim): write
+    /// each payload and publish it with a Release stamp store. The tail
+    /// CAS gave this thread the whole range exclusively; per slot we
+    /// may still briefly wait for last lap's consumer to finish
+    /// recycling (its head CAS has already passed the slot — that is
+    /// what `try_claim`'s free-slot bound guarantees — but its stamp
+    /// store can lag the CAS).
+    fn write_range(&self, start: usize, count: usize, mut next: impl FnMut() -> T) {
+        let index = start & (self.one_lap - 1);
+        for d in 0..count {
+            let pos = start.wrapping_add(d);
+            let slot = &self.slots[index + d];
+            let mut backoff = Backoff::new();
+            while slot.stamp.load(Ordering::Acquire) != pos {
+                backoff.spin();
+            }
+            slot.value.init(|p| {
+                // SAFETY: the tail CAS in `try_claim` moved `tail` past
+                // this position, so this thread owns the slot
+                // exclusively until the stamp store below publishes it;
+                // the Acquire stamp loop above observed the consumer's
+                // recycle stamp ("free for this lap"), so the
+                // MaybeUninit is empty and `write` cannot leak.
+                unsafe { (*p).write(next()) };
+            });
+            slot.stamp.store(pos.wrapping_add(1), Ordering::Release);
+        }
+    }
+
+    /// Range-claim pop: count the contiguous run of *published* slots
+    /// at the head (clipped to `max` and the array end), claim the
+    /// whole run with a **single CAS**, then take each payload. Returns
+    /// how many messages were appended to `buf` — `0` only when the
+    /// ring is genuinely empty.
+    ///
+    /// Only published slots are claimed (the scan stops at the first
+    /// missing stamp), so a consumer never waits on a producer that is
+    /// mid-`write_range`. The pre-CAS Acquire stamp loads stay valid at
+    /// claim time: a slot observed published can only be unpublished by
+    /// a pop, which needs the head CAS we are about to win — if another
+    /// consumer got there first, our CAS fails and we rescan.
+    fn pop_range(&self, buf: &mut Vec<T>, max: usize) -> usize {
+        let mut backoff = Backoff::new();
+        loop {
+            let head = self.head.0.load(Ordering::Relaxed);
+            let index = head & (self.one_lap - 1);
+            let limit = max.min(self.cap - index);
+            let mut count = 0;
+            while count < limit {
+                let pos = head.wrapping_add(count);
+                if self.slots[index + count].stamp.load(Ordering::Acquire) != pos.wrapping_add(1) {
+                    break;
+                }
+                count += 1;
+            }
+            if count == 0 {
+                // Nothing published at the head. If tail hasn't moved
+                // past us the ring is empty; otherwise a producer
+                // claimed a range and hasn't stamped it yet — retry.
+                fence(Ordering::SeqCst);
+                let tail = self.tail.0.load(Ordering::Relaxed);
+                if tail == head {
+                    return 0;
+                }
+                backoff.spin();
+                continue;
+            }
+            let new_head = if index + count == self.cap {
+                (head & !(self.one_lap - 1)).wrapping_add(self.one_lap)
+            } else {
+                head.wrapping_add(count)
+            };
+            if self
+                .head
+                .0
+                .compare_exchange(head, new_head, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                backoff.spin();
+                continue;
+            }
+            for d in 0..count {
+                let pos = head.wrapping_add(d);
+                let slot = &self.slots[index + d];
+                let value = slot.value.take(|p| {
+                    // SAFETY: the head CAS above moved `head` past this
+                    // position, so this thread owns the slot
+                    // exclusively until the stamp store below recycles
+                    // it; the pre-CAS Acquire stamp load saw the
+                    // producer's Release publish for this lap, so the
+                    // MaybeUninit is initialized and read exactly once.
+                    unsafe { (*p).assume_init_read() }
+                });
+                slot.stamp.store(pos.wrapping_add(self.one_lap), Ordering::Release);
+                buf.push(value);
+            }
+            return count;
         }
     }
 
@@ -533,7 +695,76 @@ impl<T> Sender<T> {
     /// left in `batch`; the error carries how many messages this call
     /// had already enqueued — those are lost with the channel, and the
     /// count lets callers account for every record they handed over.
+    ///
+    /// On the bounded flavor this is **range-claim batched**: one tail
+    /// CAS reserves a contiguous run of slots for the whole remaining
+    /// batch (clipped at the array end and the free-slot count), then
+    /// each slot is stamped published individually — one atomic RMW
+    /// per *range* instead of per message. The pre-range-claim loop
+    /// survives as [`send_many_per_slot`](Self::send_many_per_slot).
     pub fn send_many(&self, batch: &mut Vec<T>) -> Result<usize, SendError<usize>> {
+        let ring = match &self.shared.flavor {
+            Flavor::Ring(ring) => ring,
+            // The unbounded flavor has no slots to claim; the
+            // per-message loop already takes its list lock just once
+            // per push, which is all the batching it can use.
+            Flavor::List(_) => return self.send_many_per_slot(batch),
+        };
+        let total = batch.len();
+        let mut unsent: Vec<T> = Vec::new();
+        let mut sent = 0usize;
+        let mut disconnected = false;
+        {
+            // Draining (rather than taking) the Vec keeps the caller's
+            // allocation: a reused flush buffer never re-grows.
+            let mut iter = batch.drain(..);
+            while sent < total {
+                if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                    unsent.extend(iter);
+                    disconnected = true;
+                    break;
+                }
+                match ring.try_claim(total - sent) {
+                    Some((start, count)) => {
+                        ring.write_range(start, count, || {
+                            iter.next().expect("claim never exceeds the remaining batch")
+                        });
+                        sent += count;
+                    }
+                    None => {
+                        // The ring is full: before parking, wake a
+                        // consumer that may still be asleep from before
+                        // this batch filled the ring (park-vs-park
+                        // deadlock otherwise).
+                        self.shared.not_empty.notify();
+                        let shared = &*self.shared;
+                        shared.not_full.park_until(|| {
+                            !shared.is_full() || shared.receivers.load(Ordering::SeqCst) == 0
+                        });
+                    }
+                }
+            }
+        }
+        if sent > 0 {
+            self.shared.not_empty.notify();
+        }
+        if disconnected {
+            batch.extend(unsent);
+            return Err(SendError(sent));
+        }
+        debug_assert_eq!(sent, total);
+        Ok(total)
+    }
+
+    /// The one-CAS-per-slot batched send this crate shipped before
+    /// range-claim batching: the same blocking semantics and error
+    /// contract as [`send_many`](Self::send_many), but every message
+    /// pays its own tail CAS. Kept callable on purpose — it is the
+    /// baseline the `perf_stream` microbench holds the range-claim
+    /// path against (asserted ≥ 2×), and the equivalence proptests use
+    /// it as the behavioral reference. The unbounded flavor routes
+    /// here unconditionally.
+    pub fn send_many_per_slot(&self, batch: &mut Vec<T>) -> Result<usize, SendError<usize>> {
         let total = batch.len();
         let mut unsent: Vec<T> = Vec::new();
         let mut sent = 0usize;
@@ -557,10 +788,7 @@ impl<T> Sender<T> {
                     Ok(()) => sent += 1,
                     Err(returned) => {
                         pending = Some(returned);
-                        // The ring is full: before parking, wake a
-                        // consumer that may still be asleep from before
-                        // this batch filled the ring (park-vs-park
-                        // deadlock otherwise).
+                        // Same park-vs-park guard as `send_many`.
                         self.shared.not_empty.notify();
                         let shared = &*self.shared;
                         shared.not_full.park_until(|| {
@@ -704,7 +932,50 @@ impl<T> Receiver<T> {
     /// consumer draining a hot channel pays for synchronization once
     /// per batch instead of once per message (the streaming shard
     /// ingest loop's fast path).
+    ///
+    /// On the bounded flavor this is **range-claim batched**: one head
+    /// CAS claims the whole contiguous run of published slots (so a
+    /// call may return fewer than `max` even while more messages sit
+    /// past the array-end wrap — callers loop anyway). The
+    /// pre-range-claim loop survives as
+    /// [`recv_many_per_slot`](Self::recv_many_per_slot).
     pub fn recv_many(&self, buf: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let ring = match &self.shared.flavor {
+            Flavor::Ring(ring) => ring,
+            Flavor::List(_) => return self.recv_many_per_slot(buf, max),
+        };
+        loop {
+            let taken = ring.pop_range(buf, max);
+            if taken > 0 {
+                self.shared.not_full.notify();
+                return taken;
+            }
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                // Final sweep: a push that completed before the last
+                // sender detached is visible now.
+                let taken = ring.pop_range(buf, max);
+                if taken > 0 {
+                    self.shared.not_full.notify();
+                }
+                return taken;
+            }
+            let shared = &*self.shared;
+            shared
+                .not_empty
+                .park_until(|| shared.len() > 0 || shared.senders.load(Ordering::SeqCst) == 0);
+        }
+    }
+
+    /// The one-pop-per-slot batched receive this crate shipped before
+    /// range-claim batching: same blocking semantics and return
+    /// contract as [`recv_many`](Self::recv_many), but every message
+    /// pays its own head CAS. Kept callable as the `perf_stream`
+    /// microbench baseline and the equivalence-proptest reference; the
+    /// unbounded flavor routes here unconditionally.
+    pub fn recv_many_per_slot(&self, buf: &mut Vec<T>, max: usize) -> usize {
         if max == 0 {
             return 0;
         }

@@ -236,6 +236,95 @@ fn no_message_lost_at_disconnect() {
     });
 }
 
+/// Range-claim exclusivity: two producers batch through the same tiny
+/// ring, so their single-CAS range claims contend on `tail` in every
+/// schedule. Claims must never overlap — each message arrives exactly
+/// once and each producer's batch stays in order.
+#[test]
+fn racing_range_claims_never_overlap() {
+    model(1_200).check(|| {
+        let (tx, rx) = bounded::<u64>(2);
+        let p1 = {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                let mut batch = vec![1, 2];
+                tx.send_many(&mut batch).unwrap();
+            })
+        };
+        let p2 = thread::spawn(move || {
+            let mut batch = vec![10, 20];
+            tx.send_many(&mut batch).unwrap();
+        });
+        let mut got = Vec::new();
+        while got.len() < 4 {
+            let n = rx.recv_many(&mut got, 4);
+            assert!(n > 0, "senders alive — recv_many must not report disconnect");
+        }
+        let a: Vec<u64> = got.iter().copied().filter(|v| *v < 10).collect();
+        let b: Vec<u64> = got.iter().copied().filter(|v| *v >= 10).collect();
+        assert_eq!(a, vec![1, 2], "producer 1's claim order survives the race");
+        assert_eq!(b, vec![10, 20], "producer 2's claim order survives the race");
+        p1.join().unwrap();
+        p2.join().unwrap();
+    });
+}
+
+/// Per-slot publication of a claimed range: a single `send` (one-slot
+/// claim/publish) racing a range claim must interleave cleanly — the
+/// range's slots publish individually, so the lone message lands
+/// before, between, or after the batch, never inside a torn slot.
+#[test]
+fn single_sends_interleave_safely_with_a_range_claim() {
+    model(1_200).check(|| {
+        let (tx, rx) = bounded::<u64>(2);
+        let batcher = {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                let mut batch = vec![1, 2];
+                tx.send_many(&mut batch).unwrap();
+            })
+        };
+        let single = thread::spawn(move || tx.send(9).unwrap());
+        let mut got = Vec::new();
+        while got.len() < 3 {
+            let n = rx.recv_many(&mut got, 3);
+            assert!(n > 0, "senders alive — recv_many must not report disconnect");
+        }
+        let batch: Vec<u64> = got.iter().copied().filter(|v| *v < 9).collect();
+        assert_eq!(batch, vec![1, 2], "range-claimed batch stays in order");
+        assert!(got.contains(&9), "the single send must not be lost");
+        batcher.join().unwrap();
+        single.join().unwrap();
+    });
+}
+
+/// The range-claim paths and the retained one-CAS-per-slot baseline
+/// paths drain the same ring: claims made by either protocol respect
+/// slots claimed by the other.
+#[test]
+fn range_claim_interoperates_with_the_per_slot_baseline() {
+    model(1_200).check(|| {
+        let (tx, rx) = bounded::<u64>(2);
+        let producer = thread::spawn(move || {
+            let mut batch = vec![1, 2];
+            tx.send_many(&mut batch).unwrap();
+            let mut batch = vec![3];
+            tx.send_many_per_slot(&mut batch).unwrap();
+        });
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            let n = rx.recv_many_per_slot(&mut got, 2);
+            assert!(n > 0, "senders alive — recv must not report disconnect");
+        }
+        while got.len() < 3 {
+            let n = rx.recv_many(&mut got, 3);
+            assert!(n > 0, "senders alive — recv must not report disconnect");
+        }
+        assert_eq!(got, vec![1, 2, 3], "mixed protocols preserve FIFO order");
+        producer.join().unwrap();
+    });
+}
+
 /// `send` into a ring whose receiver died with the ring full returns
 /// the message (`SendError`), exercising the park predicate's
 /// disconnect arm.

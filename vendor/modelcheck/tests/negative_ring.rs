@@ -111,6 +111,159 @@ fn relaxed_stamp_publish_is_caught() {
     });
 }
 
+/// Two-slot ring with **range-claim** batching, exactly as
+/// `Ring::try_claim`/`write_range` in vendor/crossbeam/src/channel.rs:
+/// one tail CAS reserves a contiguous run of slots, then each slot's
+/// stamp publishes individually. `one_lap` is 4 (cap 2 rounded up to a
+/// power of two), so lap-0 positions are {0, 1} and lap-1 positions
+/// are {4, 5}.
+struct MiniRangeRing {
+    stamps: [AtomicUsize; 2],
+    values: [UnsafeCell<MaybeUninit<u64>>; 2],
+    tail: AtomicUsize,
+    head: AtomicUsize,
+}
+
+impl MiniRangeRing {
+    const ONE_LAP: usize = 4;
+
+    fn new() -> MiniRangeRing {
+        MiniRangeRing {
+            stamps: [AtomicUsize::new(0), AtomicUsize::new(1)],
+            values: [
+                UnsafeCell::new(MaybeUninit::uninit()),
+                UnsafeCell::new(MaybeUninit::uninit()),
+            ],
+            tail: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    /// Linearized message count for a position (laps × cap + index) —
+    /// the free-slot arithmetic `try_claim` clips against.
+    fn lin(pos: usize) -> usize {
+        (pos / Self::ONE_LAP) * 2 + (pos & (Self::ONE_LAP - 1))
+    }
+
+    /// Lap-0 fill: one range claim of both slots (tail 0 → lap base 4),
+    /// then per-slot publication. The lap-0 stamps already read "free",
+    /// so no recycle wait is needed here.
+    fn fill_lap0(&self, v0: u64, v1: u64) {
+        assert!(self.tail.compare_exchange(0, 4, Ordering::SeqCst, Ordering::Relaxed).is_ok());
+        for (i, v) in [(0usize, v0), (1usize, v1)] {
+            self.values[i].init(|p| {
+                // SAFETY: the tail CAS claimed positions 0..2
+                // exclusively and both slots are in their initial
+                // (empty) lap-0 state.
+                unsafe { (*p).write(v) };
+            });
+            self.stamps[i].store(i + 1, Ordering::Release);
+        }
+    }
+
+    /// Lap-0 consumer: pop slot 0 (position 0) with the production
+    /// protocol — Acquire stamp check, head CAS, take, recycle stamp.
+    fn pop_front(&self) -> Option<u64> {
+        if self.stamps[0].load(Ordering::Acquire) != 1 {
+            return None;
+        }
+        if self.head.compare_exchange(0, 1, Ordering::SeqCst, Ordering::Relaxed).is_err() {
+            return None;
+        }
+        let v = self.values[0].take(|p| {
+            // SAFETY: Acquire stamp == 1 pairs with the producer's
+            // Release publish, and the head CAS made this claim
+            // exclusive.
+            unsafe { (*p).assume_init_read() }
+        });
+        self.stamps[0].store(Self::ONE_LAP, Ordering::Release);
+        Some(v)
+    }
+
+    /// Lap-1 producer: range-claim position 4 (slot 0 again) and write
+    /// one message. `clipped` selects the production protocol — claim
+    /// bounded by the free-slot count, publication waiting for the
+    /// consumer's recycle stamp — or the seeded overlapping-range bug
+    /// (both guards dropped), in which the claimed range overlaps a
+    /// slot the lap-0 consumer may still own.
+    fn claim_next_lap_and_write(&self, v: u64, clipped: bool) -> bool {
+        if clipped {
+            let head = self.head.load(Ordering::Relaxed);
+            let free = 2 - (Self::lin(4) - Self::lin(head));
+            if free == 0 {
+                // Full: the real `send_many` would park and retry; the
+                // model scenario just gives up.
+                return false;
+            }
+        }
+        if self.tail.compare_exchange(4, 5, Ordering::SeqCst, Ordering::Relaxed).is_err() {
+            return false;
+        }
+        if clipped {
+            // Per-slot recycle wait: head has already passed position
+            // 0 (that is what the free clip proved), so this wait is
+            // bounded by the in-flight pop.
+            while self.stamps[0].load(Ordering::Acquire) != Self::ONE_LAP {
+                modelcheck::thread::yield_now();
+            }
+        }
+        self.values[0].init(|p| {
+            // SAFETY: sound only on the clipped path — the free clip
+            // plus the recycle wait prove the consumer is done with
+            // the slot. The unclipped path is the seeded bug the model
+            // must object to.
+            unsafe { (*p).write(v) };
+        });
+        self.stamps[0].store(5, Ordering::Release);
+        true
+    }
+}
+
+/// Control: the production range-claim protocol (free-slot clip on the
+/// claim, per-slot recycle wait before the write) is race-free in
+/// every interleaving of a lap-1 claim against a lap-0 pop.
+#[test]
+fn clipped_range_claim_is_clean() {
+    let report = check(|| {
+        let ring = Arc::new(MiniRangeRing::new());
+        ring.fill_lap0(1, 2);
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || ring.pop_front())
+        };
+        let _ = ring.claim_next_lap_and_write(3, true);
+        let popped = consumer.join().unwrap();
+        if let Some(v) = popped {
+            assert_eq!(v, 1);
+        }
+    });
+    assert!(report.complete, "range-claim protocol must exhaust its schedule space");
+}
+
+/// The seeded bug: a range claim that ignores the free-slot clip and
+/// the per-slot recycle wait — the exact overreach a careless
+/// "optimization" of `try_claim`/`write_range` would make. The claimed
+/// range then overlaps slot 0 while the lap-0 consumer still owns it,
+/// and the model must object to the producer's overlapping write —
+/// the DFS reaches the schedule where the consumer has not popped yet
+/// first, so the report is a double-init (a write into a slot still
+/// holding an untaken message); later schedules would surface the same
+/// overreach as an init/take data race.
+#[test]
+#[should_panic(expected = "double-init")]
+fn overlapping_range_claim_is_caught() {
+    check(|| {
+        let ring = Arc::new(MiniRangeRing::new());
+        ring.fill_lap0(1, 2);
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || ring.pop_front())
+        };
+        let _ = ring.claim_next_lap_and_write(3, false); // planted bug
+        consumer.join().unwrap();
+    });
+}
+
 /// Second seeded bug: the consumer recycles the slot for the next lap
 /// *before* moving the payload out — the order `try_pop` must never
 /// swap. A producer can then overwrite the slot while the consumer is
