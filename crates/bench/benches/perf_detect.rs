@@ -9,8 +9,9 @@
 //! with mean/median/min ns per interval, so CI tracks the trajectory.
 //!
 //! Run: `cargo bench -p anomex-bench --bench perf_detect`
-//! `--test` (what `cargo test --benches` passes) runs a small smoke
-//! version.
+//! Passing `--test` — or running without `--bench`, which is what
+//! `cargo test --benches` does — runs a small smoke version, writing
+//! the gitignored `BENCH_detect_smoke.json` instead.
 
 use std::time::Instant;
 
@@ -91,7 +92,11 @@ fn json_entry(name: &str, stats: &Stats) -> Value {
 }
 
 fn main() {
-    let test_mode = std::env::args().any(|a| a == "--test");
+    // `cargo test --benches` passes no arguments (only `cargo bench`
+    // passes `--bench`), so argless runs must be smoke runs — an
+    // unoptimized full run would overwrite the committed record.
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test") || !args.iter().any(|a| a == "--bench");
     let (chunk, reps, slow_chunk, slow_reps) =
         if test_mode { (64, 4, 8, 2) } else { (256, 12, 16, 6) };
     let series = synth_series(512, 0xDE7EC7);
@@ -205,8 +210,8 @@ fn main() {
         ("pca_head_to_head".to_string(), Value::Array(head_to_head)),
         ("ensemble_overhead".to_string(), Value::F64((ensemble_overhead * 100.0).round() / 100.0)),
     ]);
-    let path =
-        std::env::var("BENCH_DETECT_OUT").unwrap_or_else(|_| "BENCH_detect.json".to_string());
+    let default_out = if test_mode { "BENCH_detect_smoke.json" } else { "BENCH_detect.json" };
+    let path = std::env::var("BENCH_DETECT_OUT").unwrap_or_else(|_| default_out.to_string());
     let json = serde_json::to_string_pretty(&doc).expect("render bench json");
     std::fs::write(&path, json + "\n").expect("write bench json");
     println!("\nwrote {path}");

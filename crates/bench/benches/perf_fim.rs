@@ -8,15 +8,21 @@
 //! flow to keep re-mining cheap at streaming rates.
 //!
 //! Reports, per algorithm × min-support: mine time and **itemsets/sec**;
-//! plus **encode ns/flow** for the dictionary/CSR build, and a head-to-head
-//! of the new bitset Eclat against the pre-refactor tid-vector Eclat
-//! (ported below as the baseline). Results land on stdout and in
-//! `BENCH_fim.json` (override with `BENCH_FIM_OUT`) so CI tracks the
-//! trajectory.
+//! plus **encode ns/flow** for the dictionary/CSR build, a three-way
+//! Eclat head-to-head (pre-refactor tid-vectors vs bitset tidsets vs
+//! the dEclat diffset fast path, asserted ≥2x over tid-vectors), a
+//! warm-vs-cold dictionary encode comparison (persistent `EncodeState`,
+//! asserted ≥3x warm), and the full extraction step under the Apriori
+//! paper config vs the dEclat default (asserted ≥2x). Results land on
+//! stdout and in `BENCH_fim.json` (override with `BENCH_FIM_OUT`;
+//! smoke runs write the gitignored `BENCH_fim_smoke.json` instead) so
+//! CI tracks the trajectory. The speedup floors are skipped in smoke
+//! mode, where timings are noise.
 //!
 //! Run: `cargo bench -p anomex-bench --bench perf_fim`
-//! Sizing: `FIM_BENCH_FLOWS=200000` scales the corpus; `--test` (what
-//! `cargo test --benches` passes) switches to a small smoke run.
+//! Sizing: `FIM_BENCH_FLOWS=200000` scales the corpus; passing `--test`
+//! — or running without `--bench`, which is what `cargo test --benches`
+//! does — switches to a small smoke run.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -24,6 +30,7 @@ use std::time::Instant;
 use anomex_bench::fmt;
 use anomex_core::prelude::*;
 use anomex_fim::prelude::*;
+use anomex_fim::Eclat;
 use anomex_gen::prelude::*;
 use serde::Value;
 
@@ -144,7 +151,12 @@ mod tidvec_eclat {
 }
 
 fn main() {
-    let test_mode = std::env::args().any(|a| a == "--test");
+    // Full mode only under `cargo bench` (which passes `--bench`) and
+    // without an explicit `--test`; `cargo test --benches` passes no
+    // arguments at all and must stay a smoke run (no perf floors, no
+    // committed-record writes from an unoptimized build).
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test") || !args.iter().any(|a| a == "--bench");
     let n_flows: usize = std::env::var("FIM_BENCH_FLOWS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -210,15 +222,19 @@ fn main() {
     }
     print!("{}", fmt::table(&rows));
 
-    // Head-to-head: bitset Eclat vs the pre-refactor tid-vector Eclat.
-    println!("\neclat: bitset tid-lists vs pre-refactor tid-vectors");
+    // Head-to-head: dEclat (diffsets + pair cache, the dispatch
+    // default) vs the plain bitset tidset Eclat vs the pre-refactor
+    // tid-vector Eclat. Every variant is cross-checked for equality.
+    println!("\neclat: diffsets+pair-cache vs bitset tid-lists vs pre-refactor tid-vectors");
     let mut eclat_rows = vec![vec![
         "min_sup".to_string(),
         "tid-vector ms".to_string(),
         "bitset ms".to_string(),
-        "speedup".to_string(),
+        "diffset ms".to_string(),
+        "diffset vs tidvec".to_string(),
     ]];
     let mut eclat_cmp: Vec<Value> = Vec::new();
+    let mut worst_fastpath_speedup = f64::INFINITY;
     for &support in &[0.05f64, 0.01, 0.002] {
         let threshold = MinSupport::Fraction(support).resolve(encoded.total_weight());
         let start = Instant::now();
@@ -228,51 +244,202 @@ fn main() {
         }
         let legacy_ms = start.elapsed().as_secs_f64() * 1_000.0 / iters as f64;
 
-        // Fresh matrix per measured config so the bitset build cost is
-        // *included* (cached reuse would flatter the new path).
-        let fresh = encode_flows(&flows, SupportMetric::Flows);
         let config = MiningConfig {
             algorithm: Algorithm::Eclat,
             min_support: MinSupport::Absolute(threshold),
             max_len: 4,
             threads: 1,
         };
+        // Fresh matrix per measured variant so the bitset/cache build
+        // cost is *included* (cached reuse would flatter the new path).
+        let fresh = encode_flows(&flows, SupportMetric::Flows);
         let start = Instant::now();
         let mut bitset = Vec::new();
         for _ in 0..iters {
-            bitset = mine(&fresh, &config);
+            bitset = Eclat::LEGACY.mine(&fresh, &config);
         }
         let bitset_ms = start.elapsed().as_secs_f64() * 1_000.0 / iters as f64;
         assert_eq!(legacy, bitset, "tid-vector and bitset Eclat must agree at {support}");
 
+        let fresh = encode_flows(&flows, SupportMetric::Flows);
+        let start = Instant::now();
+        let mut diffset = Vec::new();
+        for _ in 0..iters {
+            diffset = Eclat::DEFAULT.mine(&fresh, &config);
+        }
+        let diffset_ms = start.elapsed().as_secs_f64() * 1_000.0 / iters as f64;
+        assert_eq!(legacy, diffset, "diffset and tid-vector Eclat must agree at {support}");
+
         let speedup = legacy_ms / bitset_ms.max(1e-9);
+        // The committed floor is the fast path (diffsets + pair cache,
+        // what `Algorithm::Eclat` dispatches to) against the
+        // pre-refactor tid-vector miner. The bitset-vs-diffset delta is
+        // reported but not floored: on fixed-width dense bitsets an
+        // AND-NOT costs the same word ops as an AND, and the paper's
+        // 4-item transactions keep the DFS too shallow for diffsets to
+        // dominate — the diffset path exists for the deep/dense regime
+        // and must simply never regress the common one.
+        let fastpath_speedup = legacy_ms / diffset_ms.max(1e-9);
+        worst_fastpath_speedup = worst_fastpath_speedup.min(fastpath_speedup);
         eclat_rows.push(vec![
             format!("{support}"),
             format!("{legacy_ms:.2}"),
             format!("{bitset_ms:.2}"),
-            format!("{speedup:.2}x"),
+            format!("{diffset_ms:.2}"),
+            format!("{fastpath_speedup:.2}x"),
         ]);
         eclat_cmp.push(Value::Object(vec![
             ("min_support".to_string(), Value::F64(support)),
             ("tidvec_ms".to_string(), Value::F64((legacy_ms * 1e3).round() / 1e3)),
             ("bitset_ms".to_string(), Value::F64((bitset_ms * 1e3).round() / 1e3)),
+            ("diffset_ms".to_string(), Value::F64((diffset_ms * 1e3).round() / 1e3)),
             ("speedup".to_string(), Value::F64((speedup * 100.0).round() / 100.0)),
+            (
+                "diffset_vs_tidvec_speedup".to_string(),
+                Value::F64((fastpath_speedup * 100.0).round() / 100.0),
+            ),
         ]));
     }
     print!("{}", fmt::table(&eclat_rows));
+    println!(
+        "\ndiffset fast path vs pre-refactor tid-vectors, worst across supports: \
+         {worst_fastpath_speedup:.2}x (acceptance floor 2x)"
+    );
+    if !test_mode {
+        assert!(
+            worst_fastpath_speedup >= 2.0,
+            "the dEclat fast path regressed below the 2x-vs-tid-vector acceptance floor: \
+             {worst_fastpath_speedup:.2}x"
+        );
+    }
+
+    // Dictionary reuse across windows: the streaming path re-encodes a
+    // candidate set every alarmed window, and the candidate population
+    // recurs between windows (stable servers, popular ports, one
+    // scanner's port sweep — the candidate filter already stripped the
+    // ephemeral background). Cold = a fresh dictionary per window (the
+    // pre-refactor behaviour); warm = one persistent `EncodeState`
+    // carried across windows, pre-warmed on the first. The raw scenario
+    // corpus above is deliberately NOT used here: its unfiltered
+    // background carries more distinct items than the `u16` id space,
+    // which is the dictionary's overflow (epoch-reset) regime, not its
+    // reuse regime.
+    let window_count = 8usize;
+    let window_flows = (flows.len() / window_count).max(1);
+    let mut rng_state = 0x5EEDu64;
+    let mut rng = move || {
+        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng_state >> 33
+    };
+    let windows: Vec<Vec<anomex_flow::record::FlowRecord>> = (0..window_count)
+        .map(|w| {
+            (0..window_flows)
+                .map(|i| {
+                    let (client, server, sport, dport) =
+                        (rng() % 1_024, rng() % 48, rng() % 2_048, rng() % 6);
+                    anomex_flow::record::FlowRecord::builder()
+                        .time((w * 60_000 + i) as u64, (w * 60_000 + i) as u64 + 10)
+                        .src(
+                            std::net::Ipv4Addr::from(0x0A00_0000 + client as u32),
+                            32_768 + sport as u16,
+                        )
+                        .dst(
+                            std::net::Ipv4Addr::from(0xAC10_0000 + server as u32),
+                            [80u16, 443, 53, 25, 123, 8_080][dport as usize],
+                        )
+                        .volume(3, 1_500)
+                        .build()
+                })
+                .collect()
+        })
+        .collect();
+    let windowed_flows = (window_count * window_flows) as f64;
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        for window in &windows {
+            std::hint::black_box(EncodedFlows::encode(window));
+        }
+    }
+    let cold_ns_per_flow = start.elapsed().as_nanos() as f64 / (iters as f64 * windowed_flows);
+
+    let mut state = EncodeState::new();
+    for window in &windows {
+        std::hint::black_box(EncodedFlows::encode_warm(window, &mut state));
+    }
+    let _ = state.take_stats();
+    let start = Instant::now();
+    for _ in 0..iters {
+        for window in &windows {
+            std::hint::black_box(EncodedFlows::encode_warm(window, &mut state));
+        }
+    }
+    let warm_ns_per_flow = start.elapsed().as_nanos() as f64 / (iters as f64 * windowed_flows);
+    let (dict_hits, dict_misses) = state.take_stats();
+    assert_eq!(state.epoch(), 0, "the recurring population must not overflow the dictionary");
+    let warm_speedup = cold_ns_per_flow / warm_ns_per_flow.max(1e-9);
+    println!(
+        "\nencode, {window_count} windows x {window_flows} candidate flows \
+         ({} recurring items): cold {cold_ns_per_flow:.0} ns/flow, \
+         warm {warm_ns_per_flow:.0} ns/flow ({warm_speedup:.2}x, \
+         {dict_hits} dict hits / {dict_misses} misses; acceptance floor 3x)",
+        state.interned()
+    );
+    if !test_mode {
+        assert!(
+            warm_speedup >= 3.0,
+            "warm-dictionary encode regressed below the 3x acceptance floor: {warm_speedup:.2}x"
+        );
+    }
+    let dictionary_warm_vs_cold = Value::Object(vec![
+        ("windows".to_string(), Value::U64(window_count as u64)),
+        ("window_flows".to_string(), Value::U64(window_flows as u64)),
+        ("recurring_items".to_string(), Value::U64(state.interned() as u64)),
+        ("cold_ns_per_flow".to_string(), Value::F64((cold_ns_per_flow * 10.0).round() / 10.0)),
+        ("warm_ns_per_flow".to_string(), Value::F64((warm_ns_per_flow * 10.0).round() / 10.0)),
+        ("speedup".to_string(), Value::F64((warm_speedup * 100.0).round() / 100.0)),
+        ("dict_hits".to_string(), Value::U64(dict_hits)),
+        ("dict_misses".to_string(), Value::U64(dict_misses)),
+    ]);
 
     // The paper's full extraction step (dual metric + self-tuning) over
-    // the shared-structure encode, for the end-to-end trajectory.
-    let extractor = Extractor::new(ExtractorConfig::geant_paper());
+    // the shared-structure encode, for the end-to-end trajectory. The
+    // paper configuration pins the levelwise Apriori; the default
+    // configuration routes the same extraction through the dEclat fast
+    // path — identical output, and the speedup between them is the
+    // committed extract+mine evidence for this corpus.
+    let paper = Extractor::new(ExtractorConfig::geant_paper());
     let start = Instant::now();
-    let mut extraction_itemsets = 0usize;
+    let mut paper_itemsets = 0usize;
     for _ in 0..iters {
-        extraction_itemsets = extractor.extract_from_candidates(&flows).itemsets.len();
+        paper_itemsets = paper.extract_from_candidates(&flows).itemsets.len();
     }
     let extract_ms = start.elapsed().as_secs_f64() * 1_000.0 / iters as f64;
-    println!(
-        "\nextract (dual metric, self-tuned): {extract_ms:.1} ms, {extraction_itemsets} itemsets"
+
+    let fast = Extractor::new(ExtractorConfig::default());
+    let start = Instant::now();
+    let mut fast_itemsets = 0usize;
+    for _ in 0..iters {
+        fast_itemsets = fast.extract_from_candidates(&flows).itemsets.len();
+    }
+    let extract_eclat_ms = start.elapsed().as_secs_f64() * 1_000.0 / iters as f64;
+    assert_eq!(
+        paper_itemsets, fast_itemsets,
+        "Apriori and dEclat extraction must report the same itemsets"
     );
+    let extract_speedup = extract_ms / extract_eclat_ms.max(1e-9);
+    println!(
+        "\nextract (dual metric, self-tuned): apriori {extract_ms:.1} ms, \
+         dEclat {extract_eclat_ms:.1} ms ({extract_speedup:.2}x, \
+         {paper_itemsets} itemsets; acceptance floor 2x)"
+    );
+    if !test_mode {
+        assert!(
+            extract_speedup >= 2.0,
+            "dEclat extract+mine regressed below the 2x-vs-Apriori acceptance floor: \
+             {extract_speedup:.2}x"
+        );
+    }
 
     let doc = Value::Object(vec![
         ("bench".to_string(), Value::Str("perf_fim".to_string())),
@@ -282,9 +449,13 @@ fn main() {
         ("distinct_items".to_string(), Value::U64(encoded.n_items() as u64)),
         ("results".to_string(), Value::Array(measurements)),
         ("eclat_bitset_vs_tidvec".to_string(), Value::Array(eclat_cmp)),
+        ("dictionary_warm_vs_cold".to_string(), dictionary_warm_vs_cold),
         ("extract_ms".to_string(), Value::F64((extract_ms * 1e3).round() / 1e3)),
+        ("extract_eclat_ms".to_string(), Value::F64((extract_eclat_ms * 1e3).round() / 1e3)),
+        ("extract_speedup".to_string(), Value::F64((extract_speedup * 100.0).round() / 100.0)),
     ]);
-    let path = std::env::var("BENCH_FIM_OUT").unwrap_or_else(|_| "BENCH_fim.json".to_string());
+    let default_out = if test_mode { "BENCH_fim_smoke.json" } else { "BENCH_fim.json" };
+    let path = std::env::var("BENCH_FIM_OUT").unwrap_or_else(|_| default_out.to_string());
     let json = serde_json::to_string_pretty(&doc).expect("render bench json");
     std::fs::write(&path, json + "\n").expect("write bench json");
     println!("wrote {path}");

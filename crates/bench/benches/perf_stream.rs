@@ -23,7 +23,11 @@
 //!    `detect.*.push_ns`) attached to every curve point so the record
 //!    says *which* stage stops scaling, not just that the curve bends.
 //!    A second sweep varies `detector_workers` 0/1/2 at fixed shards
-//!    to price the detector pool.
+//!    to price the detector pool, and a third varies
+//!    `extraction_workers` 0/1 to price the async extraction hand-off —
+//!    asserting (on multicore, non-smoke runs) that dispatching a
+//!    window to the extraction worker stalls the control loop at most
+//!    ~1 ms at p99 (`extract.pool.stall_ns` bucket bound 2^20−1 ns).
 //! 5. **Instrumentation overhead + stage breakdown** — the quiet-corpus
 //!    ingest path with the telemetry timing layer on vs off (asserted
 //!    within 3% in full runs), plus per-stage timing means and
@@ -32,8 +36,9 @@
 //!    CI artifact next to the bench JSON.
 //!
 //! Run: `cargo bench -p anomex-bench --bench perf_stream`
-//! Sizing: `STREAM_BENCH_FLOWS=500000` scales the corpora; `--test`
-//! (what `cargo test --benches` passes) switches to a small smoke run,
+//! Sizing: `STREAM_BENCH_FLOWS=500000` scales the corpora; passing
+//! `--test` — or running without `--bench`, which is what
+//! `cargo test --benches` does — switches to a small smoke run,
 //! which writes `BENCH_stream_smoke.json` and
 //! `BENCH_stream_metrics_smoke.json` (gitignored) so it can never
 //! clobber the committed full-run record.
@@ -267,6 +272,7 @@ struct RunResult {
     metrics: Option<MetricsReport>,
 }
 
+#[allow(clippy::too_many_arguments)] // bench harness knob-set, not a public API
 fn run_pipeline(
     records: &[anomex_flow::record::FlowRecord],
     span: anomex_flow::store::TimeRange,
@@ -274,6 +280,7 @@ fn run_pipeline(
     ingest_batch: usize,
     telemetry: bool,
     detector_workers: usize,
+    extraction_workers: usize,
     pin_shards: bool,
 ) -> RunResult {
     let config = StreamConfig {
@@ -285,6 +292,7 @@ fn run_pipeline(
         span: Some(span),
         detectors: DetectorRegistry::kl(KlConfig { interval_ms: WIDTH_MS, ..KlConfig::default() }),
         detector_workers,
+        extraction_workers,
         pin_shards,
         retain_windows: 2,
         // Final-report-only cadence: the bench wants the run's totals,
@@ -385,7 +393,13 @@ fn load_history(path: &str) -> Vec<Value> {
 }
 
 fn main() {
-    let test_mode = std::env::args().any(|a| a == "--test");
+    // Full mode only under `cargo bench` (which passes `--bench`) and
+    // without an explicit `--test`. `cargo test --benches` passes no
+    // arguments at all, so it must land in smoke mode — a full run
+    // there would both take minutes and overwrite the committed
+    // `BENCH_*.json` records from an unoptimized build.
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test") || !args.iter().any(|a| a == "--bench");
     let total_flows: usize = std::env::var("STREAM_BENCH_FLOWS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -478,7 +492,7 @@ fn main() {
     let mut batch_curve: Vec<Value> = Vec::new();
     let mut best_ingest = 0f64;
     for &batch in &[1usize, 16, 64, 256] {
-        let run = best_of(reps, || run_pipeline(&quiet, quiet_span, 1, batch, true, 0, false));
+        let run = best_of(reps, || run_pipeline(&quiet, quiet_span, 1, batch, true, 0, 0, false));
         assert_eq!(run.alarms, 0, "quiet corpus must stay quiet");
         best_ingest = best_ingest.max(run.records_per_sec);
         rows.push(vec![
@@ -511,7 +525,7 @@ fn main() {
         vec![vec!["shards".to_string(), "records/sec".to_string(), "elapsed ms".to_string()]];
     let mut ingest_shard_curve: Vec<Value> = Vec::new();
     for &shards in &shard_counts {
-        let run = best_of(reps, || run_pipeline(&quiet, quiet_span, shards, 64, true, 0, pin));
+        let run = best_of(reps, || run_pipeline(&quiet, quiet_span, shards, 64, true, 0, 0, pin));
         rows.push(vec![
             shards.to_string(),
             format!("{:.0}", run.records_per_sec),
@@ -543,7 +557,7 @@ fn main() {
     let mut extract_curve: Vec<Value> = Vec::new();
     let mut scan_metrics: Option<MetricsReport> = None;
     for &shards in &shard_counts {
-        let run = best_of(reps, || run_pipeline(&scan, scan_span, shards, 64, true, 0, pin));
+        let run = best_of(reps, || run_pipeline(&scan, scan_span, shards, 64, true, 0, 0, pin));
         assert!(run.alarms >= 1, "scan corpus must alarm");
         rows.push(vec![
             shards.to_string(),
@@ -583,8 +597,9 @@ fn main() {
     ]];
     let mut pool_curve: Vec<Value> = Vec::new();
     for &workers in &[0usize, 1, 2] {
-        let run =
-            best_of(reps, || run_pipeline(&scan, scan_span, pool_shards, 64, true, workers, pin));
+        let run = best_of(reps, || {
+            run_pipeline(&scan, scan_span, pool_shards, 64, true, workers, 0, pin)
+        });
         assert!(run.alarms >= 1, "scan corpus must alarm regardless of detector scheduling");
         rows.push(vec![
             workers.to_string(),
@@ -602,19 +617,108 @@ fn main() {
     print!("{}", fmt::table(&rows));
     println!();
 
+    // Extraction-pool sweep at the same fixed shard count: workers=0
+    // mines inline on the control thread; 1 hands every closed window
+    // to the dedicated extraction worker (bit-identical output — this
+    // prices the hand-off and measures the control-loop stall). The
+    // stall histogram records 0 for every clean try_send, so its p99 is
+    // the control thread's worst-case blocked time per dispatch.
+    println!("extraction pool sweep (scan corpus, {pool_shards} shards)\n");
+    let mut rows = vec![vec![
+        "extraction_workers".to_string(),
+        "records/sec".to_string(),
+        "elapsed ms".to_string(),
+        "stall p99 ns".to_string(),
+        "dict hit rate".to_string(),
+    ]];
+    let mut extract_pool_curve: Vec<Value> = Vec::new();
+    let mut pooled_stall_p99: Option<u64> = None;
+    for &workers in &[0usize, 1] {
+        let run = best_of(reps, || {
+            run_pipeline(&scan, scan_span, pool_shards, 64, true, 0, workers, pin)
+        });
+        assert!(run.alarms >= 1, "scan corpus must alarm regardless of extraction scheduling");
+        let snapshot = &run.metrics.as_ref().expect("telemetry on").snapshot;
+        let stall = snapshot.histogram("extract.pool.stall_ns").cloned().unwrap_or_default();
+        let stall_p99 = stall.quantile_bound(0.99);
+        let (hits, misses) =
+            (snapshot.counter("extract.dict_hits"), snapshot.counter("extract.dict_misses"));
+        let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+        rows.push(vec![
+            workers.to_string(),
+            format!("{:.0}", run.records_per_sec),
+            format!("{:.1}", run.elapsed_ms),
+            if workers == 0 { "-".to_string() } else { stall_p99.to_string() },
+            format!("{:.2}", hit_rate),
+        ]);
+        extract_pool_curve.push(obj(vec![
+            ("extraction_workers", Value::U64(workers as u64)),
+            ("records_per_sec", Value::F64(round1(run.records_per_sec))),
+            ("elapsed_ms", Value::F64(round1(run.elapsed_ms))),
+            ("alarms", Value::U64(run.alarms)),
+            ("stall_dispatches", Value::U64(stall.count)),
+            ("stall_p99_ns", Value::U64(stall_p99)),
+            ("stall_mean_ns", Value::F64(round1(stall.mean()))),
+            (
+                "queue_depth_last",
+                snapshot.gauge("extract.queue_depth").map_or(Value::Null, Value::U64),
+            ),
+            ("dict_hits", Value::U64(hits)),
+            ("dict_misses", Value::U64(misses)),
+        ]));
+        if workers >= 1 {
+            assert!(stall.count > 0, "pooled run must observe at least one dispatch");
+            pooled_stall_p99 = Some(stall_p99);
+        }
+    }
+    print!("{}", fmt::table(&rows));
+    let pooled_stall_p99 = pooled_stall_p99.expect("pooled sweep ran");
+    // The tentpole's latency target: handing a window to the extraction
+    // worker stalls the control loop ≤ 1 ms at p99. The histogram is
+    // power-of-two bucketed, so the enforceable bound is the bucket
+    // containing 1 ms: 2^20−1 ns. A 1-CPU host serializes the worker
+    // and the control thread on one core, so the measurement means
+    // nothing there — skip (not fail), exactly like the shard curves.
+    const STALL_P99_CEILING_NS: u64 = (1 << 20) - 1;
+    if test_mode || cpus == 1 {
+        println!(
+            "\nextraction stall p99 {pooled_stall_p99} ns — assertion SKIPPED \
+             ({})\n",
+            if test_mode { "smoke run" } else { "single-CPU host" }
+        );
+    } else {
+        println!(
+            "\nextraction stall p99 {pooled_stall_p99} ns (ceiling {STALL_P99_CEILING_NS} ns)\n"
+        );
+        assert!(
+            pooled_stall_p99 <= STALL_P99_CEILING_NS,
+            "extraction dispatch stalls the control loop {pooled_stall_p99} ns at p99, \
+             above the 1 ms (2^20-1 ns bucket) acceptance ceiling"
+        );
+    }
+
     // --- 5. Instrumentation overhead + per-stage breakdown. --------------
     // The telemetry layer's whole budget is "free enough to leave on":
     // hold the instrumented ingest path within 3% of the uninstrumented
     // one (counters run in both modes; the delta is the timing layer).
-    let on = best_of(reps, || run_pipeline(&quiet, quiet_span, 1, 64, true, 0, false));
-    let off = best_of(reps, || run_pipeline(&quiet, quiet_span, 1, 64, false, 0, false));
+    let on = best_of(reps, || run_pipeline(&quiet, quiet_span, 1, 64, true, 0, 0, false));
+    let off = best_of(reps, || run_pipeline(&quiet, quiet_span, 1, 64, false, 0, 0, false));
     let overhead_pct = (off.records_per_sec / on.records_per_sec - 1.0) * 100.0;
     println!(
         "instrumentation: {:.0} records/sec on vs {:.0} off -> overhead {overhead_pct:.2}% \
          (ceiling 3%)\n",
         on.records_per_sec, off.records_per_sec
     );
-    if !test_mode {
+    // Like the stall ceiling above, the on/off delta is meaningless on a
+    // single-CPU host: the two runs land in different contention windows
+    // and the recorded history swings tens of percent in both directions
+    // there (including telemetry-on measuring *faster*).
+    if test_mode || cpus == 1 {
+        println!(
+            "telemetry overhead assertion SKIPPED ({})\n",
+            if test_mode { "smoke run" } else { "single-CPU host" }
+        );
+    } else {
         assert!(
             overhead_pct <= 3.0,
             "telemetry overhead {overhead_pct:.2}% exceeds the 3% acceptance ceiling"
@@ -712,11 +816,19 @@ fn main() {
         // the headline rate — survive across commits.
         ("extract_e2e_shard_curve", Value::Array(extract_curve.clone())),
         ("detector_pool_curve", Value::Array(pool_curve.clone())),
+        // The extraction-pool sweep rides in the history whole: each
+        // point carries the stall histogram summary (count/p99/mean),
+        // the last observed extract.queue_depth, and the dictionary
+        // hit/miss traffic, so queue pressure regressions are visible
+        // across commits, not just the headline rate.
+        ("extraction_pool_curve", Value::Array(extract_pool_curve.clone())),
+        ("extract_stall_p99_ns", Value::U64(pooled_stall_p99)),
         ("instrumentation_overhead_pct", Value::F64(round1(overhead_pct))),
         ("shard_apply_mean_ns", hist_mean("shard.apply_ns")),
         ("merge_offer_mean_ns", hist_mean("merge.offer_ns")),
         ("detect_kl_push_mean_ns", hist_mean("detect.kl.push_ns")),
         ("extract_mine_mean_ns", hist_mean("extract.mine_ns")),
+        ("extract_queue_depth", gauge("extract.queue_depth")),
         ("watermark_lag_event_ms", gauge("watermark.lag_event_ms")),
         ("watermark_frontier_skew_ms", gauge("watermark.frontier_skew_ms")),
     ]));
@@ -739,6 +851,8 @@ fn main() {
         ("ingest_shard_curve", Value::Array(ingest_shard_curve)),
         ("extract_e2e_shard_curve", Value::Array(extract_curve)),
         ("detector_pool_curve", Value::Array(pool_curve)),
+        ("extraction_pool_curve", Value::Array(extract_pool_curve)),
+        ("extract_stall_p99_ns", Value::U64(pooled_stall_p99)),
         ("instrumentation_overhead_pct", Value::F64(round1(overhead_pct))),
         ("stage_breakdown", stage_breakdown),
         ("watermark_health", watermark_health),

@@ -70,8 +70,24 @@ pub fn candidates_from_slice(
     alarm: &Alarm,
     policy: CandidatePolicy,
 ) -> Vec<FlowRecord> {
+    candidates_from_iter(flows, window, alarm, policy)
+}
+
+/// Select candidates from any in-memory record sequence — segmented
+/// window storage (`Arc<[FlowRecord]>` runs chained in window order)
+/// selects identically to one contiguous slice without ever
+/// concatenating the segments.
+pub fn candidates_from_iter<'a, I>(
+    flows: I,
+    window: TimeRange,
+    alarm: &Alarm,
+    policy: CandidatePolicy,
+) -> Vec<FlowRecord>
+where
+    I: IntoIterator<Item = &'a FlowRecord>,
+{
     let filter = candidate_filter(alarm, policy);
-    flows.iter().filter(|f| window.overlaps(f) && filter.matches(f)).cloned().collect()
+    flows.into_iter().filter(|f| window.overlaps(f) && filter.matches(f)).cloned().collect()
 }
 
 #[cfg(test)]

@@ -12,7 +12,9 @@
 //! the flow- and packet-weight views from the same CSR buffers (sharing
 //! the bitset tid-list cache between both mining passes).
 
-use anomex_fim::{Item, Itemset, MatrixBuilder, TransactionMatrix};
+use anomex_fim::{
+    DictMatrixBuilder, Item, ItemDictionary, Itemset, MatrixBuilder, TransactionMatrix,
+};
 use anomex_flow::feature::{Feature, FeatureItem, FeatureValue};
 use anomex_flow::filter::{CmpOp, Dir, Expr, Filter, Pred};
 use anomex_flow::record::FlowRecord;
@@ -93,6 +95,44 @@ pub fn encode_flows(flows: &[FlowRecord], metric: SupportMetric) -> TransactionM
     builder.build()
 }
 
+/// Persistent encode state reused across windows: the item dictionary
+/// survives between calls to [`EncodedFlows::encode_warm`], so the
+/// recurring item population (stable servers, popular ports) interns
+/// once and every later window skips the per-alarm dictionary rebuild.
+///
+/// Epoch-based compaction: when the `u16` id space overflows mid-encode
+/// the affected window falls back to a cold build (bit-identical output)
+/// and the dictionary resets, starting a fresh epoch that re-warms
+/// against the live item population.
+#[derive(Debug, Default)]
+pub struct EncodeState {
+    dict: ItemDictionary,
+}
+
+impl EncodeState {
+    /// Fresh state with an empty dictionary at epoch 0.
+    pub fn new() -> EncodeState {
+        EncodeState::default()
+    }
+
+    /// Items interned so far in the current epoch.
+    pub fn interned(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Completed compaction cycles.
+    pub fn epoch(&self) -> u64 {
+        self.dict.epoch()
+    }
+
+    /// Drain the dictionary's (hits, misses) counters accumulated since
+    /// the last call — the `extract.dict_hits` / `extract.dict_misses`
+    /// metric sources.
+    pub fn take_stats(&mut self) -> (u64, u64) {
+        self.dict.take_stats()
+    }
+}
+
 /// One candidate set encoded once, mined under both of the paper's
 /// support metrics.
 ///
@@ -119,6 +159,33 @@ impl EncodedFlows {
             builder.push_row(f.mining_items().iter().map(|&fi| item_of(fi)), 1);
         }
         let flow_matrix = builder.build();
+        let packet_weights: Vec<u64> = flows.iter().map(|f| f.packets).collect();
+        let candidate_packets = packet_weights.iter().sum();
+        EncodedFlows {
+            flow_matrix,
+            packet_weights,
+            packet_matrix: std::sync::OnceLock::new(),
+            candidate_packets,
+        }
+    }
+
+    /// Encode `flows` against a persistent dictionary: recurring items
+    /// reuse their interned dense ids, so freezing the matrix skips the
+    /// hash-count pass and dictionary sort a cold
+    /// [`encode`](EncodedFlows::encode) pays per call. On `u16` id-space
+    /// overflow the window silently falls back to a cold build and
+    /// `state` starts a new epoch. Warm and cold encodes of the same
+    /// flows mine bit-identically — only the dense-id numbering differs,
+    /// and mined output is canonicalized in item space.
+    pub fn encode_warm(flows: &[FlowRecord], state: &mut EncodeState) -> EncodedFlows {
+        let mut builder = DictMatrixBuilder::with_capacity(&mut state.dict, flows.len(), 4);
+        for f in flows {
+            builder.push_row(f.mining_items().iter().map(|&fi| item_of(fi)), 1);
+        }
+        let Some(flow_matrix) = builder.build() else {
+            state.dict.reset();
+            return EncodedFlows::encode(flows);
+        };
         let packet_weights: Vec<u64> = flows.iter().map(|f| f.packets).collect();
         let candidate_packets = packet_weights.iter().sum();
         EncodedFlows {
@@ -315,6 +382,70 @@ mod tests {
     #[test]
     fn empty_itemset_filter_matches_everything() {
         assert!(itemset_filter(&[]).matches(&flow()));
+    }
+
+    #[test]
+    fn warm_encode_mines_bit_identically_to_cold_across_windows() {
+        use anomex_fim::{mine, Algorithm, MinSupport, MiningConfig};
+        let window = |salt: u32| -> Vec<FlowRecord> {
+            let mut flows = Vec::new();
+            for i in 0..60u32 {
+                flows.push(
+                    FlowRecord::builder()
+                        .time(i as u64, i as u64 + 5)
+                        .src(Ipv4Addr::from(0x0A00_0000 + (i % 7)), 40_000 + (i % 3) as u16)
+                        .dst(Ipv4Addr::from(0xAC10_0000 + (salt % 2)), 80)
+                        .volume(3 + i as u64, 900)
+                        .build(),
+                );
+            }
+            // A few items unique to this window, so later windows both
+            // hit the dictionary and append to it.
+            flows.push(
+                FlowRecord::builder()
+                    .src(Ipv4Addr::from(0xC0A8_0000 + salt), 55_000 + salt as u16)
+                    .dst(ip("172.16.0.1"), 53)
+                    .volume(9, 500)
+                    .build(),
+            );
+            flows
+        };
+        let config = MiningConfig {
+            algorithm: Algorithm::Eclat,
+            min_support: MinSupport::Absolute(3),
+            max_len: 4,
+            threads: 1,
+        };
+        let mut state = EncodeState::new();
+        for salt in 0..4u32 {
+            let flows = window(salt);
+            let warm = EncodedFlows::encode_warm(&flows, &mut state);
+            let cold = EncodedFlows::encode(&flows);
+            assert_eq!(warm.candidate_flows(), cold.candidate_flows());
+            assert_eq!(warm.candidate_packets(), cold.candidate_packets());
+            // Mined output is canonical in item space, so warm (dense
+            // ids in insertion order) and cold (ids in item order) must
+            // agree exactly — on both support metrics.
+            assert_eq!(mine(warm.flow_matrix(), &config), mine(cold.flow_matrix(), &config));
+            assert_eq!(mine(warm.packet_matrix(), &config), mine(cold.packet_matrix(), &config));
+        }
+        let (hits, misses) = state.take_stats();
+        assert!(hits > misses, "later windows must mostly hit the warm dictionary");
+        assert_eq!(state.epoch(), 0, "no overflow in this population");
+    }
+
+    #[test]
+    fn warm_encode_state_reports_dictionary_traffic() {
+        let mut state = EncodeState::new();
+        let flows = vec![flow(), flow()];
+        let _ = EncodedFlows::encode_warm(&flows, &mut state);
+        let (hits, misses) = state.take_stats();
+        assert_eq!(misses, 4, "four fresh items interned");
+        assert_eq!(hits, 4, "second identical flow hits all four");
+        assert_eq!(state.interned(), 4);
+        let _ = EncodedFlows::encode_warm(&flows, &mut state);
+        let (hits, misses) = state.take_stats();
+        assert_eq!((hits, misses), (8, 0), "fully warm on the second window");
     }
 
     #[test]

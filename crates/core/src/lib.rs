@@ -60,7 +60,7 @@ pub mod validate;
 /// One-stop imports for downstream crates.
 pub mod prelude {
     pub use crate::candidate::{
-        candidate_filter, candidates, candidates_from_slice, CandidatePolicy,
+        candidate_filter, candidates, candidates_from_iter, candidates_from_slice, CandidatePolicy,
     };
     pub use crate::classify::{classify, ItemsetClass};
     pub use crate::drill::{
@@ -68,7 +68,7 @@ pub mod prelude {
     };
     pub use crate::encode::{
         decode_itemset, encode_flows, feature_of, item_of, items_of_flow, itemset_filter,
-        SupportMetric,
+        EncodeState, EncodedFlows, SupportMetric,
     };
     pub use crate::extract::{
         ExtractedItemset, Extraction, Extractor, ExtractorConfig, TuningInfo,

@@ -50,6 +50,7 @@
 pub mod apriori;
 pub mod eclat;
 pub mod fpgrowth;
+pub mod hash;
 pub mod item;
 pub mod matrix;
 pub mod post;
@@ -63,7 +64,7 @@ pub use apriori::Apriori;
 pub use eclat::Eclat;
 pub use fpgrowth::FpGrowth;
 pub use item::{Item, Itemset};
-pub use matrix::{MatrixBuilder, TransactionMatrix};
+pub use matrix::{DictMatrixBuilder, ItemDictionary, MatrixBuilder, TransactionMatrix};
 pub use post::{closed_only, maximal_only};
 pub use support::{sort_canonical, FrequentItemset, MinSupport};
 pub use topk::{mine_top_k, TopKConfig, TopKResult};
@@ -86,7 +87,7 @@ impl Algorithm {
         match self {
             Algorithm::Apriori => &Apriori,
             Algorithm::FpGrowth => &FpGrowth,
-            Algorithm::Eclat => &Eclat,
+            Algorithm::Eclat => &Eclat::DEFAULT,
         }
     }
 }
@@ -148,7 +149,7 @@ pub fn mine(matrix: &TransactionMatrix, config: &MiningConfig) -> Vec<FrequentIt
 /// One-stop imports.
 pub mod prelude {
     pub use crate::item::{Item, Itemset};
-    pub use crate::matrix::{MatrixBuilder, TransactionMatrix};
+    pub use crate::matrix::{DictMatrixBuilder, ItemDictionary, MatrixBuilder, TransactionMatrix};
     pub use crate::post::{closed_only, maximal_only};
     pub use crate::support::{FrequentItemset, MinSupport};
     pub use crate::topk::{mine_top_k, TopKConfig, TopKResult};

@@ -12,33 +12,58 @@
 //!   support and packet support; [`TransactionMatrix::with_weights`]
 //!   shares the CSR structure (and the bitset cache) between both views,
 //!   so the encode cost is paid once per window.
-//! - **Reusable vertical views.** Per-item tid bitsets are materialized
-//!   on demand and cached behind the matrix, so the top-k self-adjusting
-//!   support search re-mines at many thresholds without re-scanning the
-//!   transactions.
+//! - **Reusable vertical views.** Per-item tid bitsets and pair
+//!   intersections are materialized on demand and cached behind the
+//!   matrix, so the top-k self-adjusting support search re-mines at many
+//!   thresholds without re-scanning the transactions.
+//!
+//! ## Dense-id order
+//!
+//! Cold builds ([`MatrixBuilder::build`]) sort the dictionary, so dense-id
+//! order equals item order. Warm builds through a persistent
+//! [`ItemDictionary`] keep **insertion** order instead (ids stay stable
+//! across windows); item-order lookups go through a sorted permutation
+//! either way, and every miner's output is independent of the numbering
+//! (itemsets decode to sorted [`Itemset`]s and results are canonically
+//! ordered), so the two paths mine identically.
 //!
 //! ## Capacity
 //!
 //! Dense ids are `u16`: a matrix holds at most **65,536 distinct items**
-//! ([`TransactionMatrix::CAPACITY`]). When a build exceeds that, the
+//! ([`TransactionMatrix::CAPACITY`]). When a cold build exceeds that, the
 //! least-frequent items are dropped from the dictionary (and from every
 //! row) and counted in [`TransactionMatrix::dropped_items`]; mining
 //! results are unaffected whenever the effective support threshold is
 //! above [`TransactionMatrix::dropped_max_support`], which for flow
-//! traffic (4 items per row) holds at any practical threshold.
+//! traffic (4 items per row) holds at any practical threshold. A warm
+//! build never drops: [`DictMatrixBuilder::build`] returns `None` on
+//! overflow and the caller re-encodes cold.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use crate::hash::FxHashMap;
 use crate::item::{Item, Itemset};
 use crate::transaction::TransactionSet;
+
+/// Entries either pair cache (intersection bitsets on the shared
+/// columns, supports per weight view) may hold before it stops
+/// inserting. Cached values are pure functions of the matrix, so a
+/// capped cache can never change a mining result — only how often the
+/// join is recomputed.
+const PAIR_CACHE_CAP: usize = 4_096;
 
 /// Immutable CSR structure shared between weight views of one matrix.
 #[derive(Debug)]
 struct Columns {
-    /// Dense id → item, ascending by `Item` (so dense-id order equals
-    /// item order and rows sorted by id decode to sorted itemsets).
-    dict: Vec<Item>,
+    /// Dense id → item. Sorted for cold builds (dense-id order equals
+    /// item order); insertion-ordered for warm [`ItemDictionary`]
+    /// builds. Shared with the dictionary that produced it.
+    dict: Arc<Vec<Item>>,
+    /// Dense ids permuted so the items behind them ascend — the
+    /// binary-search index behind [`TransactionMatrix::id_of`]. The
+    /// identity permutation for cold builds.
+    lookup: Arc<Vec<u16>>,
     /// Row offsets into `ids`; `len() == rows + 1`.
     offsets: Vec<u32>,
     /// Flat item-id buffer; each row slice is sorted and duplicate-free.
@@ -47,7 +72,14 @@ struct Columns {
     /// `id` says transaction `t` contains `id` — weight-independent, so
     /// the cache is shared across re-weighted views.
     bitsets: Mutex<HashMap<u16, Arc<Vec<u64>>>>,
+    /// Pair-intersection bitsets keyed `(a, b)` with `a <= b`,
+    /// materialized on demand by [`TransactionMatrix::pair_join`].
+    /// Weight-independent like `bitsets`; bounded by [`PAIR_CACHE_CAP`].
+    pairs: Mutex<PairBitsets>,
 }
+
+/// Cached pair-intersection bitsets, keyed `(a, b)` with `a <= b`.
+type PairBitsets = HashMap<(u16, u16), Arc<Vec<u64>>>;
 
 impl Columns {
     fn rows(&self) -> usize {
@@ -61,10 +93,11 @@ impl Columns {
 
 /// Dictionary-encoded, column-leaning transaction storage.
 ///
-/// Build one with [`MatrixBuilder`] (streaming, no per-row allocation)
-/// or via [`TransactionSet::to_matrix`]. Cloning is cheap: the CSR
-/// structure and bitset cache are shared, only the weight column is per
-/// view.
+/// Build one with [`MatrixBuilder`] (streaming, no per-row allocation),
+/// with [`DictMatrixBuilder`] over a persistent [`ItemDictionary`]
+/// (warm cross-window encode), or via [`TransactionSet::to_matrix`].
+/// Cloning is cheap: the CSR structure and every cache are shared, only
+/// the weight column is per view.
 #[derive(Debug, Clone)]
 pub struct TransactionMatrix {
     cols: Arc<Columns>,
@@ -76,6 +109,10 @@ pub struct TransactionMatrix {
     /// Weighted support of every dictionary item (level-1 counts, free
     /// at build time).
     item_supports: Arc<Vec<u64>>,
+    /// Cached pair supports under *this* weight column (the bitsets
+    /// behind them live on the shared `Columns`). Fresh per re-weighted
+    /// view, shared across clones of the same view.
+    pair_supports: Arc<Mutex<HashMap<(u16, u16), u64>>>,
     dropped_items: u64,
     dropped_max_support: u64,
 }
@@ -104,7 +141,9 @@ impl TransactionMatrix {
         self.len() == 0
     }
 
-    /// Number of distinct dictionary items.
+    /// Number of distinct dictionary items. For a warm build this is the
+    /// whole persistent dictionary — a superset of the items present in
+    /// the rows (absent entries carry support 0 and never mine).
     pub fn n_items(&self) -> usize {
         self.cols.dict.len()
     }
@@ -132,7 +171,11 @@ impl TransactionMatrix {
 
     /// The dense id of an item, if it is in the dictionary.
     pub fn id_of(&self, item: Item) -> Option<u16> {
-        self.cols.dict.binary_search(&item).ok().map(|i| i as u16)
+        let lookup = &self.cols.lookup;
+        lookup
+            .binary_search_by(|&id| self.cols.dict[id as usize].cmp(&item))
+            .ok()
+            .map(|i| lookup[i])
     }
 
     /// One row's sorted dense-id slice.
@@ -167,11 +210,12 @@ impl TransactionMatrix {
 
     /// The dictionary: all distinct items, sorted.
     pub fn item_universe(&self) -> Vec<Item> {
-        self.cols.dict.clone()
+        self.cols.lookup.iter().map(|&id| self.cols.dict[id as usize]).collect()
     }
 
     /// Same structure, new weight column (shares the CSR buffers and the
-    /// bitset cache).
+    /// bitset/pair-bitset caches; pair *supports* start fresh — they
+    /// depend on the weights).
     ///
     /// # Panics
     /// Panics when `weights.len()` differs from the row count.
@@ -190,6 +234,7 @@ impl TransactionMatrix {
             total_weight,
             uniform_weight,
             item_supports: Arc::new(item_supports),
+            pair_supports: Arc::new(Mutex::new(HashMap::new())),
             dropped_items: self.dropped_items,
             dropped_max_support: self.dropped_max_support,
         }
@@ -233,6 +278,52 @@ impl TransactionMatrix {
             }
         }
         ids.iter().map(|id| Arc::clone(&cache[id])).collect()
+    }
+
+    /// Tid bitset and weighted support of the pair `{a, b}` (dense
+    /// ids), cached. The bitset lives on the shared columns (one
+    /// materialization across re-weighted views); the support belongs
+    /// to this view. This is the top-k search's fast path: every
+    /// support-threshold round revisits the same frequent pairs, and a
+    /// hit replaces the word-AND + weighted-popcount with two map reads.
+    pub fn pair_join(&self, a: u16, b: u16) -> (Arc<Vec<u64>>, u64) {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        let cached = {
+            let cache = self.cols.pairs.lock().expect("pair cache poisoned");
+            cache.get(&key).cloned()
+        };
+        let bits = match cached {
+            Some(bits) => bits,
+            None => {
+                let operands = self.tid_bitsets(&[key.0, key.1]);
+                let mut joined: Vec<u64> = operands[0].as_ref().clone();
+                for (w, o) in joined.iter_mut().zip(operands[1].iter()) {
+                    *w &= o;
+                }
+                let joined = Arc::new(joined);
+                let mut cache = self.cols.pairs.lock().expect("pair cache poisoned");
+                if cache.len() < PAIR_CACHE_CAP {
+                    cache.insert(key, Arc::clone(&joined));
+                }
+                joined
+            }
+        };
+        let support = {
+            let supports = self.pair_supports.lock().expect("pair support cache poisoned");
+            supports.get(&key).copied()
+        };
+        let support = match support {
+            Some(s) => s,
+            None => {
+                let s = self.support_of_bits(&bits);
+                let mut supports = self.pair_supports.lock().expect("pair support cache poisoned");
+                if supports.len() < PAIR_CACHE_CAP {
+                    supports.insert(key, s);
+                }
+                s
+            }
+        };
+        (bits, support)
     }
 
     /// Weighted population count: the support carried by a tid bitset.
@@ -413,16 +504,256 @@ impl MatrixBuilder {
             offsets[r + 1] = ids.len() as u32;
         }
 
+        // A sorted dictionary's item-order lookup is the identity.
+        let lookup: Vec<u16> = (0..dict.len()).map(|i| i as u16).collect();
         let (total_weight, uniform_weight) = weight_stats(&weights);
         TransactionMatrix {
-            cols: Arc::new(Columns { dict, offsets, ids, bitsets: Mutex::new(HashMap::new()) }),
+            cols: Arc::new(Columns {
+                dict: Arc::new(dict),
+                lookup: Arc::new(lookup),
+                offsets,
+                ids,
+                bitsets: Mutex::new(HashMap::new()),
+                pairs: Mutex::new(HashMap::new()),
+            }),
             weights: Arc::new(weights),
             total_weight,
             uniform_weight,
             item_supports: Arc::new(item_supports),
+            pair_supports: Arc::new(Mutex::new(HashMap::new())),
             dropped_items,
             dropped_max_support,
         }
+    }
+}
+
+/// A persistent dictionary shared across windows — the warm-encode path.
+///
+/// Dense ids are **stable for the dictionary's lifetime**: a new item is
+/// appended at the next free id, a repeated item keeps the id it was
+/// first interned under. [`DictMatrixBuilder`] builds matrices straight
+/// from these ids, skipping the cold path's per-window count pass,
+/// dictionary sort and row remap — the bulk of `extract_encode`.
+///
+/// Mining output is independent of dense-id numbering (itemsets decode
+/// to sorted [`Itemset`]s, results are canonically ordered, and stale
+/// dictionary entries absent from the rows carry support 0, below every
+/// resolvable threshold), so warm and cold builds of the same rows mine
+/// identically.
+///
+/// When interning would overflow the `u16` id space,
+/// [`intern`](ItemDictionary::intern) returns `None`; the caller falls
+/// back to a cold build for that window and
+/// [`reset`](ItemDictionary::reset)s the dictionary — a new **epoch** —
+/// so later windows re-warm against the live item population.
+#[derive(Debug, Default)]
+pub struct ItemDictionary {
+    items: Vec<Item>,
+    /// Interning is four lookups per encoded flow — keyed by items the
+    /// process produced itself, so the non-keyed multiply hash is safe.
+    map: FxHashMap<Item, u16>,
+    epoch: u64,
+    hits: u64,
+    misses: u64,
+    /// Cached `(dict, lookup)` views handed to built matrices;
+    /// invalidated whenever the dictionary grows or resets.
+    shared: Option<SharedViews>,
+}
+
+/// The `(dict, lookup)` pair a built matrix shares with its dictionary.
+type SharedViews = (Arc<Vec<Item>>, Arc<Vec<u16>>);
+
+impl ItemDictionary {
+    /// An empty dictionary at epoch 0.
+    pub fn new() -> ItemDictionary {
+        ItemDictionary::default()
+    }
+
+    /// Interned items so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Completed [`reset`](ItemDictionary::reset) cycles.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Dense id for `item`, interning it at the next free id when new.
+    /// `None` when the `u16` id space is exhausted — the caller should
+    /// cold-build the window and [`reset`](ItemDictionary::reset).
+    pub fn intern(&mut self, item: Item) -> Option<u16> {
+        if let Some(&id) = self.map.get(&item) {
+            self.hits += 1;
+            return Some(id);
+        }
+        if self.items.len() >= TransactionMatrix::CAPACITY {
+            return None;
+        }
+        let id = self.items.len() as u16;
+        self.items.push(item);
+        self.map.insert(item, id);
+        self.shared = None;
+        self.misses += 1;
+        Some(id)
+    }
+
+    /// Drop every interned item and start a new epoch — the compaction
+    /// path when the id space fills or the item population shifts.
+    pub fn reset(&mut self) {
+        self.items.clear();
+        self.map.clear();
+        self.shared = None;
+        self.epoch += 1;
+    }
+
+    /// Drain the hit/miss counters accumulated since the last call (the
+    /// `extract.dict_hits` / `extract.dict_misses` sources).
+    pub fn take_stats(&mut self) -> (u64, u64) {
+        (std::mem::take(&mut self.hits), std::mem::take(&mut self.misses))
+    }
+
+    /// Shared dictionary + item-order lookup permutation for a matrix
+    /// build, regenerated only when the dictionary changed since the
+    /// last call.
+    fn shared_views(&mut self) -> SharedViews {
+        if self.shared.is_none() {
+            let mut lookup: Vec<u16> = (0..self.items.len()).map(|i| i as u16).collect();
+            lookup.sort_unstable_by_key(|&id| self.items[id as usize]);
+            self.shared = Some((Arc::new(self.items.clone()), Arc::new(lookup)));
+        }
+        let (items, lookup) = self.shared.as_ref().expect("just populated");
+        (Arc::clone(items), Arc::clone(lookup))
+    }
+}
+
+/// Streaming matrix builder over a persistent [`ItemDictionary`].
+///
+/// The warm counterpart of [`MatrixBuilder`]: rows are interned to
+/// stable dense ids as they are pushed, so freezing the matrix is just
+/// an item-support count — no hash-count pass, no dictionary sort, no
+/// row remap. [`build`](DictMatrixBuilder::build) returns `None` when
+/// the dictionary overflowed mid-window; the caller re-encodes that
+/// window cold and [`ItemDictionary::reset`]s.
+#[derive(Debug)]
+pub struct DictMatrixBuilder<'a> {
+    dict: &'a mut ItemDictionary,
+    ids: Vec<u16>,
+    offsets: Vec<u32>,
+    weights: Vec<u64>,
+    overflowed: bool,
+}
+
+impl<'a> DictMatrixBuilder<'a> {
+    /// Builder over `dict`.
+    pub fn new(dict: &'a mut ItemDictionary) -> DictMatrixBuilder<'a> {
+        DictMatrixBuilder::with_capacity(dict, 0, 0)
+    }
+
+    /// Builder over `dict` with pre-sized buffers for `rows` rows of
+    /// about `items_per_row` items.
+    pub fn with_capacity(
+        dict: &'a mut ItemDictionary,
+        rows: usize,
+        items_per_row: usize,
+    ) -> DictMatrixBuilder<'a> {
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0);
+        DictMatrixBuilder {
+            dict,
+            ids: Vec::with_capacity(rows * items_per_row),
+            offsets,
+            weights: Vec::with_capacity(rows),
+            overflowed: false,
+        }
+    }
+
+    /// Append one transaction, interning its items. Ids are sorted and
+    /// deduplicated in place inside the flat buffer (rows hold ascending
+    /// *dense ids*, which for a warm dictionary is insertion order, not
+    /// item order — the miners only need a consistent total order).
+    ///
+    /// # Panics
+    /// Panics when the flat id buffer outgrows `u32` offsets, like
+    /// [`MatrixBuilder::push_row`].
+    pub fn push_row(&mut self, row: impl IntoIterator<Item = Item>, weight: u64) {
+        if !self.overflowed {
+            let start = self.ids.len();
+            for item in row {
+                match self.dict.intern(item) {
+                    Some(id) => self.ids.push(id),
+                    None => {
+                        self.overflowed = true;
+                        self.ids.truncate(start);
+                        break;
+                    }
+                }
+            }
+            if !self.overflowed {
+                let start_len = self.ids.len();
+                self.ids[start..].sort_unstable();
+                let mut write = start;
+                for read in start..start_len {
+                    if write == start || self.ids[read] != self.ids[write - 1] {
+                        self.ids[write] = self.ids[read];
+                        write += 1;
+                    }
+                }
+                self.ids.truncate(write);
+            }
+        }
+        let offset = u32::try_from(self.ids.len()).expect("matrix item buffer exceeds u32 offsets");
+        self.offsets.push(offset);
+        self.weights.push(weight);
+    }
+
+    /// Rows pushed so far.
+    pub fn rows(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether interning has overflowed the id space (build will fail).
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Freeze into a matrix sharing the dictionary's views, or `None`
+    /// when the dictionary overflowed while pushing rows.
+    pub fn build(self) -> Option<TransactionMatrix> {
+        let DictMatrixBuilder { dict, ids, offsets, weights, overflowed } = self;
+        if overflowed {
+            return None;
+        }
+        let (items, lookup) = dict.shared_views();
+        let mut item_supports = vec![0u64; items.len()];
+        for (r, w) in weights.iter().enumerate() {
+            for &id in &ids[offsets[r] as usize..offsets[r + 1] as usize] {
+                item_supports[id as usize] += w;
+            }
+        }
+        let (total_weight, uniform_weight) = weight_stats(&weights);
+        Some(TransactionMatrix {
+            cols: Arc::new(Columns {
+                dict: items,
+                lookup,
+                offsets,
+                ids,
+                bitsets: Mutex::new(HashMap::new()),
+                pairs: Mutex::new(HashMap::new()),
+            }),
+            weights: Arc::new(weights),
+            total_weight,
+            uniform_weight,
+            item_supports: Arc::new(item_supports),
+            pair_supports: Arc::new(Mutex::new(HashMap::new())),
+            dropped_items: 0,
+            dropped_max_support: 0,
+        })
     }
 }
 
@@ -533,6 +864,28 @@ mod tests {
     }
 
     #[test]
+    fn pair_join_matches_support_of_and_is_cached() {
+        let m = matrix(&[(&[1, 2], 3), (&[1], 1), (&[1, 2], 4), (&[2], 9)]);
+        let id1 = m.id_of(Item(1)).unwrap();
+        let id2 = m.id_of(Item(2)).unwrap();
+        let (bits, support) = m.pair_join(id1, id2);
+        assert_eq!(bits[0], 0b101);
+        assert_eq!(support, 7);
+        assert_eq!(support, m.support_of(&iset(&[1, 2])));
+        // Operand order is normalized; the bitset Arc is shared.
+        let (again, support_again) = m.pair_join(id2, id1);
+        assert!(Arc::ptr_eq(&bits, &again));
+        assert_eq!(support_again, 7);
+        // A re-weighted view shares the bitset but recomputes support.
+        let unit = m.unit_weights();
+        let (unit_bits, unit_support) = unit.pair_join(id1, id2);
+        assert!(Arc::ptr_eq(&bits, &unit_bits));
+        assert_eq!(unit_support, 2);
+        // And the original view's cached support is untouched.
+        assert_eq!(m.pair_join(id1, id2).1, 7);
+    }
+
+    #[test]
     fn weighted_popcount_uniform_and_ragged() {
         let uniform = matrix(&[(&[1], 4), (&[1], 4), (&[2], 4)]);
         let id = uniform.id_of(Item(1)).unwrap();
@@ -612,5 +965,93 @@ mod tests {
             assert_eq!(mined[0].itemset, iset(&[0, u64::MAX]), "{algorithm}");
             assert!(mined.iter().all(|f| f.support == rows as u64), "{algorithm}");
         }
+    }
+
+    #[test]
+    fn warm_builder_matches_cold_build() {
+        let rows: &[(&[u64], u64)] =
+            &[(&[30, 10], 2), (&[20, 30], 5), (&[10, 20, 30], 1), (&[40], 7)];
+        let cold = matrix(rows);
+        let mut dict = ItemDictionary::new();
+        let mut b = DictMatrixBuilder::with_capacity(&mut dict, rows.len(), 3);
+        for (vals, w) in rows {
+            b.push_row(vals.iter().map(|&v| Item(v)), *w);
+        }
+        let warm = b.build().expect("no overflow");
+        // Warm ids follow insertion order (30 first), not item order …
+        assert_eq!(warm.item(0), Item(30));
+        assert_eq!(warm.id_of(Item(10)), Some(1));
+        // … but every item-level observable agrees with the cold build.
+        assert_eq!(warm.item_universe(), cold.item_universe());
+        assert_eq!(warm.total_weight(), cold.total_weight());
+        for set in [iset(&[10]), iset(&[10, 30]), iset(&[20, 30]), iset(&[10, 20, 30]), iset(&[99])]
+        {
+            assert_eq!(warm.support_of(&set), cold.support_of(&set), "itemset {set}");
+        }
+        // And so does every miner, bit for bit.
+        let config = crate::MiningConfig {
+            min_support: crate::support::MinSupport::Absolute(1),
+            ..crate::MiningConfig::default()
+        };
+        for algorithm in
+            [crate::Algorithm::Apriori, crate::Algorithm::FpGrowth, crate::Algorithm::Eclat]
+        {
+            assert_eq!(
+                algorithm.miner().mine(&warm, &config),
+                algorithm.miner().mine(&cold, &config),
+                "{algorithm}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_ids_are_stable_across_windows_and_stale_items_never_mine() {
+        let mut dict = ItemDictionary::new();
+        let mut b = DictMatrixBuilder::new(&mut dict);
+        b.push_row([Item(7), Item(3)], 1);
+        let first = b.build().expect("no overflow");
+        let id7 = first.id_of(Item(7)).unwrap();
+        assert_eq!(dict.take_stats(), (0, 2));
+
+        // Second window: one repeat, one new item, Item(3) absent.
+        let mut b = DictMatrixBuilder::new(&mut dict);
+        b.push_row([Item(7), Item(9)], 2);
+        let second = b.build().expect("no overflow");
+        assert_eq!(second.id_of(Item(7)), Some(id7), "interned id must be stable");
+        assert_eq!(dict.take_stats(), (1, 1));
+        // The dictionary is a superset of the window: the stale item is
+        // present with support 0 and never reaches a mined result.
+        assert_eq!(second.n_items(), 3);
+        assert_eq!(second.support_of(&iset(&[3])), 0);
+        let config = crate::MiningConfig {
+            min_support: crate::support::MinSupport::Absolute(1),
+            ..crate::MiningConfig::default()
+        };
+        let mined = crate::Algorithm::Eclat.miner().mine(&second, &config);
+        assert!(mined.iter().all(|f| !f.itemset.items().contains(&Item(3))), "{mined:?}");
+    }
+
+    #[test]
+    fn dict_overflow_fails_build_and_reset_opens_a_new_epoch() {
+        let mut dict = ItemDictionary::new();
+        for i in 0..TransactionMatrix::CAPACITY as u64 {
+            assert!(dict.intern(Item(i)).is_some());
+        }
+        assert_eq!(dict.intern(Item(u64::MAX)), None, "id space exhausted");
+        assert!(dict.intern(Item(5)).is_some(), "existing items still intern");
+        let mut b = DictMatrixBuilder::new(&mut dict);
+        b.push_row([Item(1), Item(u64::MAX)], 1);
+        b.push_row([Item(2)], 1);
+        assert!(b.overflowed());
+        assert!(b.build().is_none(), "overflowed build must not produce a matrix");
+        assert_eq!(dict.epoch(), 0);
+        dict.reset();
+        assert_eq!(dict.epoch(), 1);
+        assert!(dict.is_empty());
+        let mut b = DictMatrixBuilder::new(&mut dict);
+        b.push_row([Item(1), Item(u64::MAX)], 1);
+        let m = b.build().expect("fresh epoch has room");
+        assert_eq!(m.n_items(), 2);
+        assert_eq!(m.support_of(&iset(&[1, u64::MAX])), 1);
     }
 }

@@ -100,6 +100,27 @@ impl HistogramSummary {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (0 when empty): the smallest bucket bound `le` such that at
+    /// least `ceil(q * count)` observations are `<= le`. Quantized to
+    /// the power-of-two bucket grid, so it over-reports by at most one
+    /// bucket width — safe for "p99 stays below X" assertions as long
+    /// as X sits on or above a bucket bound.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let need = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for bucket in &self.buckets {
+            seen += bucket.count;
+            if seen >= need {
+                return bucket.le;
+            }
+        }
+        self.buckets.last().map_or(0, |b| b.le)
+    }
 }
 
 /// Value of one metric inside a snapshot.
@@ -910,6 +931,24 @@ mod tests {
         assert_eq!(les, vec![0, 1, 1023, u64::MAX]);
         let counts: Vec<u64> = summary.buckets.iter().map(|b| b.count).collect();
         assert_eq!(counts, vec![1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn quantile_bound_walks_cumulative_buckets() {
+        let summary = HistogramSummary {
+            count: 100,
+            sum: 0,
+            buckets: vec![
+                HistBucket { le: 0, count: 90 },
+                HistBucket { le: 1023, count: 9 },
+                HistBucket { le: u64::MAX, count: 1 },
+            ],
+        };
+        assert_eq!(summary.quantile_bound(0.5), 0);
+        assert_eq!(summary.quantile_bound(0.9), 0);
+        assert_eq!(summary.quantile_bound(0.99), 1023);
+        assert_eq!(summary.quantile_bound(1.0), u64::MAX);
+        assert_eq!(HistogramSummary::default().quantile_bound(0.99), 0);
     }
 
     #[cfg(feature = "obs")]

@@ -98,8 +98,10 @@ pub mod prelude {
     pub use crate::ingest::IngestHandle;
     pub use crate::metrics::{MetricValue, MetricsConfig, MetricsReport, MetricsSnapshot, CATALOG};
     pub use crate::pipeline::{launch, StreamConfig, StreamStats};
-    pub use crate::report::{ContinuousExtractor, StreamReport};
-    pub use crate::window::{ClosedWindow, ShardWindows, WindowConfig, WindowManager, WindowShard};
+    pub use crate::report::{ContinuousExtractor, ExtractionPool, StreamReport};
+    pub use crate::window::{
+        ClosedWindow, ShardWindows, WindowConfig, WindowManager, WindowRecords, WindowShard,
+    };
 }
 
 pub use prelude::*;

@@ -206,6 +206,38 @@ def!(
     "Wall time mining one encoded window (frequent-itemset extraction)."
 );
 def!(
+    EXTRACT_QUEUE_DEPTH,
+    "extract.queue_depth",
+    Gauge,
+    "windows",
+    "extract",
+    "Windows queued to the extraction worker and not yet picked up (0 when extraction runs inline on the control thread)."
+);
+def!(
+    EXTRACT_POOL_STALL_NS,
+    "extract.pool.stall_ns",
+    Histogram,
+    "ns",
+    "extract",
+    "Control-loop time blocked handing one window to the extraction worker (0 for a non-blocking hand-off) — the stall the async pool exists to eliminate."
+);
+def!(
+    EXTRACT_DICT_HITS,
+    "extract.dict_hits",
+    Counter,
+    "items",
+    "extract",
+    "Items resolved against the warm cross-window encode dictionary."
+);
+def!(
+    EXTRACT_DICT_MISSES,
+    "extract.dict_misses",
+    Counter,
+    "items",
+    "extract",
+    "Items newly interned into the cross-window encode dictionary (cold traffic)."
+);
+def!(
     REPORT_EMITTED,
     "report.emitted",
     Counter,
@@ -303,6 +335,10 @@ pub static CATALOG: &[MetricDef] = &[
     DETECT_POOL_QUEUE_DEPTH,
     EXTRACT_ENCODE_NS,
     EXTRACT_MINE_NS,
+    EXTRACT_QUEUE_DEPTH,
+    EXTRACT_POOL_STALL_NS,
+    EXTRACT_DICT_HITS,
+    EXTRACT_DICT_MISSES,
     REPORT_EMITTED,
     REPORT_DROPPED,
     REPORT_QUEUE_DEPTH,
@@ -423,6 +459,10 @@ pub(crate) struct PipelineMetrics {
     pub(crate) detect_pool_queue_depth: Gauge,
     pub(crate) extract_encode: StageTimer,
     pub(crate) extract_mine: StageTimer,
+    pub(crate) extract_queue_depth: Gauge,
+    pub(crate) extract_stall: Histogram,
+    pub(crate) dict_hits: Counter,
+    pub(crate) dict_misses: Counter,
     pub(crate) reports_emitted: Counter,
     pub(crate) reports_dropped: Counter,
     pub(crate) report_queue_depth: Gauge,
@@ -457,6 +497,10 @@ impl PipelineMetrics {
             detect_pool_queue_depth: registry.gauge(&DETECT_POOL_QUEUE_DEPTH),
             extract_encode: registry.timer(&EXTRACT_ENCODE_NS),
             extract_mine: registry.timer(&EXTRACT_MINE_NS),
+            extract_queue_depth: registry.gauge(&EXTRACT_QUEUE_DEPTH),
+            extract_stall: registry.histogram(&EXTRACT_POOL_STALL_NS),
+            dict_hits: registry.counter(&EXTRACT_DICT_HITS),
+            dict_misses: registry.counter(&EXTRACT_DICT_MISSES),
             reports_emitted: registry.counter(&REPORT_EMITTED),
             reports_dropped: registry.counter(&REPORT_DROPPED),
             report_queue_depth: registry.gauge(&REPORT_QUEUE_DEPTH),

@@ -42,7 +42,7 @@ use serde::{Deserialize, Serialize};
 use crate::detector::{DetectorBank, DetectorCounters, DetectorPool, DetectorRegistry};
 use crate::ingest::{PipelineCore, PipelineJoin};
 use crate::metrics::{MetricsConfig, MetricsReport, PipelineMetrics};
-use crate::report::{ContinuousExtractor, StreamReport};
+use crate::report::{ContinuousExtractor, ExtractionPool, StreamReport};
 use crate::window::{ShardWindows, WindowConfig, WindowManager, WindowShard};
 use anomex_obs::stage_timer;
 
@@ -84,6 +84,16 @@ pub struct StreamConfig {
     /// either way, so this is purely a throughput knob for wide
     /// ensembles on multi-core hosts.
     pub detector_workers: usize,
+    /// Extraction worker threads. `0` (the default) mines every alarm
+    /// inline on the control thread; `n > 0` moves the whole
+    /// extraction stage (retention horizon, encoding, mining) onto a
+    /// dedicated worker so an alarmed window no longer stalls merge,
+    /// detection and watermark progress for the mining time. Output is
+    /// bit-identical either way: one FIFO worker preserves window
+    /// order exactly. Values above 1 are clamped to 1 — window-order
+    /// determinism requires a single sequencer; the field is sized for
+    /// a future re-sequencing fan-out.
+    pub extraction_workers: usize,
     /// Pin each shard worker to a core (`shard % available cores`).
     /// Linux only, best effort: a mask the kernel rejects is ignored
     /// (see [`crate::affinity`]). Off by default — pinning steadies
@@ -120,6 +130,7 @@ impl Default for StreamConfig {
             report_queue: 1_024,
             detectors: DetectorRegistry::kl(anomex_detect::kl::KlConfig::default()),
             detector_workers: 0,
+            extraction_workers: 0,
             pin_shards: false,
             extractor: ExtractorConfig::default(),
             retain_windows: 2,
@@ -262,6 +273,11 @@ const DETECT_POOL_QUEUE: usize = 64;
 /// firehose can postpone window emission.
 const CTRL_COALESCE: usize = 128;
 
+/// Windows the control thread may queue to the extraction worker ahead
+/// of it (window snapshots are Arc-segment clones, so the buffered
+/// cost per queued window is a few pointers plus the alarm list).
+const EXTRACT_POOL_QUEUE: usize = 64;
+
 /// One ingest shard: windows its records, closes them on watermarks.
 fn shard_worker(
     shard: usize,
@@ -356,6 +372,34 @@ impl BankDriver {
     }
 }
 
+/// The extraction stage as the control loop drives it: the continuous
+/// extractor inline on the control thread, or the dedicated worker
+/// behind the same in-order emission path
+/// ([`StreamConfig::extraction_workers`]).
+enum ExtractDriver {
+    Inline(ContinuousExtractor),
+    Pool(ExtractionPool),
+}
+
+/// Shared subscriber-emission path for both extraction drivers: count
+/// the report, stamp the drop gap *at send time*, and never block on
+/// the subscriber.
+fn emit_report(
+    mut report: StreamReport,
+    metrics: &PipelineMetrics,
+    report_tx: &Sender<StreamReport>,
+) {
+    metrics.reports_emitted.inc();
+    report.dropped_before = metrics.reports_dropped.get();
+    // Never block detection on the subscriber: a full queue drops the
+    // report and counts it; a dropped subscriber just discards.
+    match report_tx.try_send(report) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => metrics.reports_dropped.inc(),
+        Err(TrySendError::Disconnected(_)) => {}
+    }
+}
+
 /// The single consumer of shard reports: merge, detect, extract, emit.
 ///
 /// The run counters (`windows`, `alarms`, `reports`, drops) live on the
@@ -380,13 +424,19 @@ fn control_loop(
     };
     let mut extractor = ContinuousExtractor::new(config.extractor, config.retain_windows);
     extractor.instrument(metrics.extract_encode.clone(), metrics.extract_mine.clone());
+    extractor.instrument_dict(metrics.dict_hits.clone(), metrics.dict_misses.clone());
+    let mut extract = if config.extraction_workers > 0 {
+        ExtractDriver::Pool(extractor.into_pool(EXTRACT_POOL_QUEUE, metrics.extract_stall.clone()))
+    } else {
+        ExtractDriver::Inline(extractor)
+    };
     let mut stats = StreamStats::default();
     let mut metrics_seq = 0u64;
     let report_every = config.metrics.report_every_windows;
 
     let process = |closed: Vec<crate::window::ClosedWindow>,
                    driver: &mut BankDriver,
-                   extractor: &mut ContinuousExtractor,
+                   extract: &mut ExtractDriver,
                    metrics_seq: &mut u64| {
         if let BankDriver::Pool(pool) = driver {
             // Broadcast the whole ready run before collecting the
@@ -406,16 +456,24 @@ fn control_loop(
                 BankDriver::Pool(pool) => pool.collect(),
             };
             metrics.merged_alarms.add(alarms.len() as u64);
-            for mut report in extractor.push_window(window, &alarms) {
-                metrics.reports_emitted.inc();
-                report.dropped_before = metrics.reports_dropped.get();
-                // Never block detection on the subscriber: a full queue
-                // drops the report and counts it; a dropped subscriber
-                // just discards.
-                match report_tx.try_send(report) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(_)) => metrics.reports_dropped.inc(),
-                    Err(TrySendError::Disconnected(_)) => {}
+            match extract {
+                ExtractDriver::Inline(extractor) => {
+                    for report in extractor.push_window(window, &alarms) {
+                        emit_report(report, &metrics, &report_tx);
+                    }
+                }
+                ExtractDriver::Pool(pool) => {
+                    // Hand the window off (Arc-segment snapshot: a few
+                    // pointer bumps) and relay whatever the worker has
+                    // already finished. The worker is a single FIFO
+                    // thread, so relayed reports arrive in window order.
+                    pool.dispatch(window, alarms);
+                    if metrics.timing() {
+                        metrics.extract_queue_depth.set(pool.queue_depth() as u64);
+                    }
+                    for report in pool.try_collect() {
+                        emit_report(report, &metrics, &report_tx);
+                    }
                 }
             }
             if report_every > 0 && metrics.merge_windows.get().is_multiple_of(report_every) {
@@ -464,11 +522,24 @@ fn control_loop(
                 metrics.merge_batch.record(staged as u64);
             }
             let closed = stage_timer!(metrics.merge_offer, manager.drain());
-            process(closed, &mut driver, &mut extractor, &mut metrics_seq);
+            process(closed, &mut driver, &mut extract, &mut metrics_seq);
         }
     }
     let closed = stage_timer!(metrics.merge_offer, manager.finish());
-    process(closed, &mut driver, &mut extractor, &mut metrics_seq);
+    process(closed, &mut driver, &mut extract, &mut metrics_seq);
+    // Stream end: wait for the extraction worker to finish every
+    // dispatched window and relay the remaining reports, BEFORE the
+    // stats read-back and the final metrics snapshot — the last
+    // subscriber report always precedes Flush, and the final snapshot
+    // sees the complete run.
+    if let ExtractDriver::Pool(pool) = &mut extract {
+        for report in pool.drain() {
+            emit_report(report, &metrics, &report_tx);
+        }
+        if metrics.timing() {
+            metrics.extract_queue_depth.set(0);
+        }
+    }
     stats.late_dropped = metrics.late_dropped.get();
     stats.out_of_span = metrics.out_of_span.get();
     stats.windows = metrics.merge_windows.get();
@@ -674,6 +745,34 @@ mod tests {
     }
 
     #[test]
+    fn extraction_pool_run_is_bit_identical_to_inline() {
+        // The async extraction worker is pure scheduling: whatever the
+        // worker count asks for (clamped to the single FIFO worker) and
+        // whether or not the detector pool runs alongside it, stats and
+        // reports must be byte-identical to the inline extractor.
+        let run = |extraction_workers: usize, detector_workers: usize| {
+            let config = StreamConfig { extraction_workers, detector_workers, ..scan_config(2) };
+            let (mut ingest, reports) = launch(config);
+            ingest.push_batch(trace());
+            let stats = ingest.finish();
+            (stats, reports.iter().collect::<Vec<StreamReport>>())
+        };
+        let (inline_stats, inline_reports) = run(0, 0);
+        assert!(inline_stats.reports >= 1, "trace must produce a report: {inline_stats:?}");
+        for (extraction_workers, detector_workers) in [(1usize, 0usize), (2, 0), (1, 2)] {
+            let (pool_stats, pool_reports) = run(extraction_workers, detector_workers);
+            assert_eq!(
+                pool_stats, inline_stats,
+                "extraction_workers={extraction_workers} changed the statistics"
+            );
+            assert_eq!(
+                pool_reports, inline_reports,
+                "extraction_workers={extraction_workers} changed a report"
+            );
+        }
+    }
+
+    #[test]
     fn pinned_shard_workers_change_nothing() {
         // Affinity is pure scheduling: stats and reports must be
         // byte-identical with pinning on and off (and on non-Linux
@@ -816,11 +915,9 @@ mod tests {
         assert_eq!(stats.reports, 1, "report was produced even if nobody listened");
     }
 
-    #[test]
-    fn full_report_queue_drops_and_counts_instead_of_stalling() {
-        // Scans in several windows produce several reports; a queue of 1
-        // with nobody draining keeps exactly one and counts the rest as
-        // dropped — finish() must not deadlock on the lazy subscriber.
+    /// Benign background with scans in windows 5..8 — several alarmed
+    /// windows, so several reports.
+    fn multi_scan_trace() -> Vec<FlowRecord> {
         let mut flows = Vec::new();
         for t in 0..8u64 {
             let base = t * 60_000;
@@ -850,15 +947,48 @@ mod tests {
                 }
             }
         }
+        flows
+    }
+
+    #[test]
+    fn full_report_queue_drops_and_counts_instead_of_stalling() {
+        // Scans in several windows produce several reports; a queue of 1
+        // with nobody draining keeps exactly one and counts the rest as
+        // dropped — finish() must not deadlock on the lazy subscriber.
         let config = StreamConfig { report_queue: 1, ..scan_config(2) };
         let (mut ingest, reports) = launch(config);
-        ingest.push_batch(flows);
+        ingest.push_batch(multi_scan_trace());
         let stats = ingest.finish();
         assert!(stats.reports >= 2, "need several reports to exercise dropping: {stats:?}");
         let received: Vec<StreamReport> = reports.iter().collect();
         assert_eq!(received.len(), 1, "queue of 1 keeps exactly one report");
         assert_eq!(stats.reports_dropped, stats.reports - 1, "{stats:?}");
         assert_eq!(received[0].dropped_before, 0, "first report preceded every drop");
+    }
+
+    #[test]
+    fn pooled_extraction_stamps_drop_gaps_at_send_time() {
+        // Same lazy-subscriber scenario through the extraction pool:
+        // reports surface control-side at collect time, and
+        // `dropped_before` must reflect the subscriber-channel state at
+        // that moment — not anything the worker thread could know. The
+        // first report that lands still precedes every drop, and the
+        // drop accounting matches the inline run exactly.
+        let run = |extraction_workers: usize| {
+            let config = StreamConfig { report_queue: 1, extraction_workers, ..scan_config(2) };
+            let (mut ingest, reports) = launch(config);
+            ingest.push_batch(multi_scan_trace());
+            let stats = ingest.finish();
+            (stats, reports.iter().collect::<Vec<StreamReport>>())
+        };
+        let (inline_stats, inline_received) = run(0);
+        let (pool_stats, pool_received) = run(1);
+        assert!(pool_stats.reports >= 2, "need several reports to exercise dropping");
+        assert_eq!(pool_received.len(), 1, "queue of 1 keeps exactly one report");
+        assert_eq!(pool_stats.reports_dropped, pool_stats.reports - 1, "{pool_stats:?}");
+        assert_eq!(pool_received[0].dropped_before, 0, "first report preceded every drop");
+        assert_eq!(pool_stats, inline_stats, "pool changed the drop accounting");
+        assert_eq!(pool_received, inline_received, "pool changed the surviving report");
     }
 
     #[test]

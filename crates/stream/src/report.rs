@@ -1,15 +1,19 @@
 //! Continuous extraction: alarms raised on a closed window are mined
-//! against the in-memory window shards immediately, and the resulting
-//! [`StreamReport`]s flow to a subscriber channel.
+//! against the in-memory window shards immediately — inline on the
+//! control thread, or on a dedicated worker behind an
+//! [`ExtractionPool`] — and the resulting [`StreamReport`]s flow to a
+//! subscriber channel.
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
-use anomex_core::candidate::{candidate_filter, candidates_from_slice};
-use anomex_core::encode::EncodedFlows;
+use anomex_core::candidate::{candidate_filter, candidates_from_iter};
+use anomex_core::encode::{EncodeState, EncodedFlows};
 use anomex_core::extract::{Extraction, Extractor, ExtractorConfig};
 use anomex_detect::alarm::Alarm;
 use anomex_flow::store::TimeRange;
-use anomex_obs::StageTimer;
+use anomex_obs::{Counter, Histogram, StageTimer};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use serde::{Deserialize, Serialize};
 
 use crate::detector::EnsembleAlarm;
@@ -55,8 +59,11 @@ pub struct ContinuousExtractor {
     extractor: Extractor,
     retained: VecDeque<ClosedWindow>,
     horizon: usize,
+    encode_state: EncodeState,
     encode_timer: StageTimer,
     mine_timer: StageTimer,
+    dict_hits: Counter,
+    dict_misses: Counter,
 }
 
 impl ContinuousExtractor {
@@ -67,8 +74,11 @@ impl ContinuousExtractor {
             extractor: Extractor::new(config),
             retained: VecDeque::new(),
             horizon: horizon.max(1),
+            encode_state: EncodeState::new(),
             encode_timer: StageTimer::noop(),
             mine_timer: StageTimer::noop(),
+            dict_hits: Counter::noop(),
+            dict_misses: Counter::noop(),
         }
     }
 
@@ -78,6 +88,14 @@ impl ContinuousExtractor {
     pub fn instrument(&mut self, encode: StageTimer, mine: StageTimer) {
         self.encode_timer = encode;
         self.mine_timer = mine;
+    }
+
+    /// Report warm-dictionary traffic on the given counters
+    /// (`extract.dict_hits` / `extract.dict_misses`): drained after
+    /// every window so the split is visible while the stream runs.
+    pub fn instrument_dict(&mut self, hits: Counter, misses: Counter) {
+        self.dict_hits = hits;
+        self.dict_misses = misses;
     }
 
     /// Number of flow records currently retained.
@@ -100,15 +118,15 @@ impl ContinuousExtractor {
         if alarms.is_empty() {
             return Vec::new();
         }
-        // One contiguous candidate source over the retained horizon, in
-        // window order (deterministic: windows arrive in index order).
-        let resident: Vec<anomex_flow::record::FlowRecord> =
-            self.retained.iter().flat_map(|w| w.records.iter().cloned()).collect();
         // One encoded matrix per distinct candidate selection: alarms
         // sharing (window, hint filter) mine the same EncodedFlows.
+        // Candidate selection walks the retained Arc segments directly,
+        // in window order (deterministic: windows arrive in index
+        // order) — only matching candidates are ever cloned, never the
+        // whole horizon.
         let policy = self.extractor.config().policy;
         let mut encoded: Vec<(TimeRange, String, EncodedFlows)> = Vec::new();
-        alarms
+        let reports: Vec<StreamReport> = alarms
             .iter()
             .map(|ensemble| {
                 let alarm = &ensemble.alarm;
@@ -117,9 +135,15 @@ impl ContinuousExtractor {
                     match encoded.iter().position(|(w, f, _)| *w == alarm.window && *f == filter) {
                         Some(i) => &encoded[i].2,
                         None => {
-                            let cands =
-                                candidates_from_slice(&resident, alarm.window, alarm, policy);
-                            let enc = self.encode_timer.time(|| EncodedFlows::encode(&cands));
+                            let cands = candidates_from_iter(
+                                self.retained.iter().flat_map(|w| w.records.iter()),
+                                alarm.window,
+                                alarm,
+                                policy,
+                            );
+                            let state = &mut self.encode_state;
+                            let enc =
+                                self.encode_timer.time(|| EncodedFlows::encode_warm(&cands, state));
                             encoded.push((alarm.window, filter, enc));
                             &encoded.last().expect("just pushed").2
                         }
@@ -132,7 +156,163 @@ impl ContinuousExtractor {
                     dropped_before: 0,
                 }
             })
-            .collect()
+            .collect();
+        let (hits, misses) = self.encode_state.take_stats();
+        self.dict_hits.add(hits);
+        self.dict_misses.add(misses);
+        reports
+    }
+
+    /// Move this extractor onto a dedicated worker thread. One worker,
+    /// FIFO: completed reports come back in exactly the window order
+    /// they were dispatched in, so the pool's subscriber-visible output
+    /// is bit-identical to running the same extractor inline.
+    ///
+    /// `queue_depth` bounds how many windows
+    /// [`dispatch`](ExtractionPool::dispatch) may run ahead of the
+    /// worker; `stall` receives one observation per dispatch — 0 ns
+    /// when the hand-off was non-blocking, the blocked wall time when
+    /// the queue was full (the `extract.pool.stall_ns` source).
+    pub fn into_pool(self, queue_depth: usize, stall: Histogram) -> ExtractionPool {
+        let (task_tx, task_rx) = bounded::<ExtractTask>(queue_depth.max(1));
+        let (result_tx, result_rx) = unbounded::<Vec<StreamReport>>();
+        let join = std::thread::Builder::new()
+            .name("anomex-extract-0".into())
+            .spawn(move || pool_worker(self, task_rx, result_tx))
+            .expect("spawn extraction worker");
+        ExtractionPool { task_tx: Some(task_tx), result_rx, join: Some(join), in_flight: 0, stall }
+    }
+}
+
+/// One queued extraction task: a closed window (snapshot by Arc-segment
+/// clone) and the merged alarms the detector stage raised on it. Every
+/// window is dispatched — alarm-free ones too, because the worker-side
+/// extractor owns the retention horizon.
+type ExtractTask = (ClosedWindow, Vec<EnsembleAlarm>);
+
+/// The dedicated extraction worker: drives the moved-in
+/// [`ContinuousExtractor`] over every dispatched window, reporting one
+/// (possibly empty) report batch per task, in task order.
+fn pool_worker(
+    mut extractor: ContinuousExtractor,
+    tasks: Receiver<ExtractTask>,
+    results: Sender<Vec<StreamReport>>,
+) {
+    while let Ok((window, alarms)) = tasks.recv() {
+        let reports = extractor.push_window(window, &alarms);
+        if results.send(reports).is_err() {
+            return; // pool dropped mid-flight; nobody left to report to
+        }
+    }
+}
+
+/// The asynchronous extraction stage: a [`ContinuousExtractor`] moved
+/// onto a dedicated worker ([`ContinuousExtractor::into_pool`]), fed
+/// closed-window snapshots, answering with window-ordered report
+/// batches.
+///
+/// The hand-off is allocation-free on the record path: a
+/// [`ClosedWindow`]'s records are per-shard `Arc` segments, so the
+/// snapshot clones a few pointers however large the window is. One
+/// worker and FIFO channels keep completion order equal to dispatch
+/// order — no control-side re-sequencing state is needed for the
+/// output to be bit-identical to the inline extractor.
+///
+/// Deadlock freedom: the task channel is bounded (`queue_depth`
+/// windows) but the result channel is unbounded, so the worker can
+/// always finish what it started — a full task queue only ever blocks
+/// [`dispatch`](ExtractionPool::dispatch), never the worker.
+pub struct ExtractionPool {
+    /// `Some` until drop; taken first so the worker's recv loop ends.
+    task_tx: Option<Sender<ExtractTask>>,
+    result_rx: Receiver<Vec<StreamReport>>,
+    join: Option<std::thread::JoinHandle<()>>,
+    in_flight: usize,
+    stall: Histogram,
+}
+
+impl ExtractionPool {
+    /// Queue one window (with its merged alarms) to the worker,
+    /// blocking only when the worker is `queue_depth` windows behind.
+    /// Records the blocked time (0 for a clean hand-off) on the stall
+    /// histogram.
+    ///
+    /// # Panics
+    /// Panics when the worker died (extraction panicked).
+    pub fn dispatch(&mut self, window: ClosedWindow, alarms: Vec<EnsembleAlarm>) {
+        let tx = self.task_tx.as_ref().expect("pool already shut down");
+        match tx.try_send((window, alarms)) {
+            Ok(()) => self.stall.record(0),
+            Err(TrySendError::Full(task)) => {
+                let start = if self.stall.is_enabled() { Some(Instant::now()) } else { None };
+                tx.send(task).expect("extraction worker died");
+                if let Some(start) = start {
+                    self.stall.record(start.elapsed().as_nanos() as u64);
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => panic!("extraction worker died"),
+        }
+        self.in_flight += 1;
+    }
+
+    /// Report batches of every task the worker has already finished,
+    /// oldest first — never blocks. Batches arrive in dispatch (window)
+    /// order; alarm-free windows yield empty batches, dropped here.
+    pub fn try_collect(&mut self) -> Vec<StreamReport> {
+        let mut out = Vec::new();
+        while self.in_flight > 0 {
+            match self.result_rx.try_recv() {
+                Ok(reports) => {
+                    self.in_flight -= 1;
+                    out.extend(reports);
+                }
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    /// Block until every dispatched window is extracted; returns the
+    /// remaining reports in window order. Call at stream end, before
+    /// the final metrics emission.
+    ///
+    /// # Panics
+    /// Panics when the worker died (extraction panicked).
+    pub fn drain(&mut self) -> Vec<StreamReport> {
+        let mut out = Vec::new();
+        while self.in_flight > 0 {
+            let reports = self.result_rx.recv().expect("extraction worker died");
+            self.in_flight -= 1;
+            out.extend(reports);
+        }
+        out
+    }
+
+    /// Windows queued to the worker and not yet picked up — the
+    /// `extract.queue_depth` gauge source.
+    pub fn queue_depth(&self) -> usize {
+        self.task_tx.as_ref().map_or(0, |tx| tx.len())
+    }
+
+    /// Windows dispatched and not yet collected.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+}
+
+impl Drop for ExtractionPool {
+    fn drop(&mut self) {
+        // Disconnect the task channel so the worker's recv loop ends,
+        // then join. A worker panic (a panicking miner) propagates
+        // unless this drop is itself part of that unwind.
+        self.task_tx = None;
+        if let Some(join) = self.join.take() {
+            if let Err(panic) = join.join() {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
     }
 }
 
@@ -168,7 +348,7 @@ mod tests {
             stat.add(&r);
             records.push(r);
         }
-        ClosedWindow { index, range, stat, records }
+        ClosedWindow { index, range, stat, records: records.into() }
     }
 
     #[test]
@@ -219,5 +399,78 @@ mod tests {
     fn quiet_window_emits_no_report() {
         let mut ce = ContinuousExtractor::new(ExtractorConfig::default(), 2);
         assert!(ce.push_window(window_with_scan(0, 60_000, 10), &[]).is_empty());
+    }
+
+    #[test]
+    fn warm_dictionary_survives_across_windows() {
+        let mut ce = ContinuousExtractor::new(ExtractorConfig::default(), 2);
+        let hits = Counter::standalone();
+        let misses = Counter::standalone();
+        ce.instrument_dict(hits.clone(), misses.clone());
+        for index in 0..4 {
+            let window = window_with_scan(index, 60_000, 120);
+            let alarm = Alarm::new(index, "kl", window.range);
+            ce.push_window(window, &[EnsembleAlarm::solo(alarm)]);
+        }
+        assert!(misses.get() > 0, "first window interns its items");
+        assert!(
+            hits.get() > misses.get(),
+            "recurring population must mostly hit: {} hits / {} misses",
+            hits.get(),
+            misses.get()
+        );
+    }
+
+    /// The pool and the inline extractor over the same window/alarm
+    /// sequence produce identical reports in identical order.
+    #[test]
+    fn pool_output_is_bit_identical_to_inline() {
+        let feed = || -> Vec<(ClosedWindow, Vec<EnsembleAlarm>)> {
+            (0..6)
+                .map(|index| {
+                    let scan = if index % 2 == 0 { 300 + index as u32 } else { 0 };
+                    let window = window_with_scan(index, 60_000, scan);
+                    let alarms = if scan > 0 {
+                        vec![EnsembleAlarm::solo(Alarm::new(index, "kl", window.range))]
+                    } else {
+                        Vec::new()
+                    };
+                    (window, alarms)
+                })
+                .collect()
+        };
+
+        let mut inline = ContinuousExtractor::new(ExtractorConfig::default(), 2);
+        let mut expected = Vec::new();
+        for (window, alarms) in feed() {
+            expected.extend(inline.push_window(window, &alarms));
+        }
+
+        let pooled = ContinuousExtractor::new(ExtractorConfig::default(), 2);
+        let mut pool = pooled.into_pool(4, Histogram::noop());
+        let mut got = Vec::new();
+        for (window, alarms) in feed() {
+            pool.dispatch(window, alarms);
+            got.extend(pool.try_collect());
+        }
+        got.extend(pool.drain());
+        assert_eq!(pool.in_flight(), 0);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn pool_drain_blocks_for_every_dispatched_window() {
+        let ce = ContinuousExtractor::new(ExtractorConfig::default(), 2);
+        let mut pool = ce.into_pool(2, Histogram::noop());
+        for index in 0..5 {
+            let window = window_with_scan(index, 60_000, 200);
+            let alarm = Alarm::new(index, "kl", window.range);
+            pool.dispatch(window, vec![EnsembleAlarm::solo(alarm)]);
+        }
+        let reports = pool.drain();
+        assert_eq!(reports.len(), 5, "every alarmed window must report");
+        for (i, report) in reports.iter().enumerate() {
+            assert_eq!(report.alarm.window.from_ms, i as u64 * 60_000, "window order broken");
+        }
     }
 }

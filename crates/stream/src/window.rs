@@ -12,6 +12,7 @@
 //! always folded in shard order.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use anomex_detect::interval::IntervalStat;
 use anomex_flow::record::FlowRecord;
@@ -53,6 +54,10 @@ impl WindowConfig {
 }
 
 /// One shard's partial of one closed window.
+///
+/// The record segment is frozen into an `Arc` slice **on the shard
+/// thread** at close time: from here on, merging, retention and
+/// extraction snapshots only ever clone the `Arc`, never the records.
 #[derive(Debug, Clone)]
 pub struct WindowShard {
     /// Which shard produced it.
@@ -62,7 +67,14 @@ pub struct WindowShard {
     /// Partial interval summary over this shard's records.
     pub stat: IntervalStat,
     /// This shard's records of the window, in arrival order.
-    pub records: Vec<FlowRecord>,
+    pub records: Arc<[FlowRecord]>,
+}
+
+/// A window still accumulating records on its shard.
+#[derive(Debug)]
+struct OpenWindow {
+    stat: IntervalStat,
+    records: Vec<FlowRecord>,
 }
 
 /// Per-shard window state: open windows plus the closed frontier.
@@ -70,7 +82,7 @@ pub struct WindowShard {
 pub struct ShardWindows {
     shard: usize,
     config: WindowConfig,
-    open: BTreeMap<u64, WindowShard>,
+    open: BTreeMap<u64, OpenWindow>,
     /// First window index not yet closed on this shard.
     frontier: u64,
     late_dropped: u64,
@@ -127,10 +139,7 @@ impl ShardWindows {
             return false;
         }
         let config = &self.config;
-        let shard = self.shard;
-        let slot = self.open.entry(index).or_insert_with(|| WindowShard {
-            shard,
-            index,
+        let slot = self.open.entry(index).or_insert_with(|| OpenWindow {
             stat: IntervalStat::empty(config.range_of(index)),
             records: Vec::new(),
         });
@@ -163,7 +172,100 @@ impl ShardWindows {
         self.frontier = target;
         let still_open = self.open.split_off(&target);
         let closed = std::mem::replace(&mut self.open, still_open);
-        closed.into_values().collect()
+        closed
+            .into_iter()
+            .map(|(index, w)| WindowShard {
+                shard: self.shard,
+                index,
+                stat: w.stat,
+                // Freeze here, on the shard thread: downstream hand-offs
+                // (merge, retention, extraction snapshot) are Arc clones.
+                records: w.records.into(),
+            })
+            .collect()
+    }
+}
+
+/// The records of one closed window: per-shard `Arc` segments in shard
+/// order, iterated as one logical sequence.
+///
+/// Cloning a `WindowRecords` clones the segment `Arc`s only — a
+/// retained window can be snapshotted for an asynchronous extraction
+/// task at the cost of a few pointer bumps, whatever the horizon holds.
+/// Iteration order (segment by segment, arrival order within each) is
+/// exactly the order the old contiguous vector had.
+#[derive(Debug, Clone, Default)]
+pub struct WindowRecords {
+    segments: Vec<Arc<[FlowRecord]>>,
+    len: usize,
+}
+
+impl WindowRecords {
+    /// No records, no segments.
+    pub fn new() -> WindowRecords {
+        WindowRecords::default()
+    }
+
+    /// Total records across every segment.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one shard's segment (empty segments are dropped).
+    pub fn push_segment(&mut self, segment: Arc<[FlowRecord]>) {
+        self.len += segment.len();
+        if !segment.is_empty() {
+            self.segments.push(segment);
+        }
+    }
+
+    /// The underlying segments, in shard order.
+    pub fn segments(&self) -> &[Arc<[FlowRecord]>] {
+        &self.segments
+    }
+
+    /// Iterate every record in shard order.
+    pub fn iter(&self) -> impl Iterator<Item = &FlowRecord> + '_ {
+        self.segments.iter().flat_map(|s| s.iter())
+    }
+
+    /// Materialize one contiguous vector (tests and batch comparisons).
+    pub fn to_vec(&self) -> Vec<FlowRecord> {
+        self.iter().cloned().collect()
+    }
+}
+
+impl From<Vec<FlowRecord>> for WindowRecords {
+    fn from(records: Vec<FlowRecord>) -> WindowRecords {
+        let mut out = WindowRecords::new();
+        out.push_segment(records.into());
+        out
+    }
+}
+
+impl From<Arc<[FlowRecord]>> for WindowRecords {
+    fn from(segment: Arc<[FlowRecord]>) -> WindowRecords {
+        let mut out = WindowRecords::new();
+        out.push_segment(segment);
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a WindowRecords {
+    type Item = &'a FlowRecord;
+    type IntoIter = std::iter::FlatMap<
+        std::slice::Iter<'a, Arc<[FlowRecord]>>,
+        std::slice::Iter<'a, FlowRecord>,
+        fn(&'a Arc<[FlowRecord]>) -> std::slice::Iter<'a, FlowRecord>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.segments.iter().flat_map(|s| s.iter())
     }
 }
 
@@ -177,7 +279,7 @@ pub struct ClosedWindow {
     /// Merged interval summary (detector input).
     pub stat: IntervalStat,
     /// Merged records in shard order (extraction input).
-    pub records: Vec<FlowRecord>,
+    pub records: WindowRecords,
 }
 
 /// Cross-shard merger: collects [`WindowShard`]s and per-shard watermark
@@ -294,25 +396,26 @@ impl WindowManager {
             // Move the first occupied partial instead of merging it
             // into an empty summary: for single-shard pipelines (and
             // any window only one shard touched) the whole window —
-            // distribution maps and record vector — transfers without
-            // copying a single entry.
-            let mut merged: Option<(IntervalStat, Vec<FlowRecord>)> = None;
+            // distribution maps and record segment — transfers without
+            // copying a single entry. Additional shards contribute
+            // their segment by Arc move, never by record copy.
+            let mut merged: Option<(IntervalStat, WindowRecords)> = None;
             if let Some(slots) = self.pending.remove(&idx) {
                 for shard in slots.into_iter().flatten() {
                     match &mut merged {
                         None => {
                             debug_assert_eq!(shard.stat.range, range, "partial on wrong grid");
-                            merged = Some((shard.stat, shard.records));
+                            merged = Some((shard.stat, shard.records.into()));
                         }
                         Some((stat, records)) => {
                             stat.merge(&shard.stat);
-                            records.extend(shard.records);
+                            records.push_segment(shard.records);
                         }
                     }
                 }
             }
             let (stat, records) =
-                merged.unwrap_or_else(|| (IntervalStat::empty(range), Vec::new()));
+                merged.unwrap_or_else(|| (IntervalStat::empty(range), WindowRecords::new()));
             out.push(ClosedWindow { index: idx, range, stat, records });
             idx += 1;
         }
@@ -431,6 +534,42 @@ mod tests {
         assert_eq!(summarize(&forward), vec![(0, 1), (1, 1), (2, 0), (3, 1), (4, 0)]);
         for w in &forward {
             assert_eq!(w.records.len() as u64, w.stat.flows);
+        }
+    }
+
+    #[test]
+    fn merged_window_snapshots_share_shard_records() {
+        // The zero-clone invariant behind the extraction pool hand-off:
+        // the cross-shard merge moves each shard's frozen `Arc` segment
+        // into the emitted window, and cloning the window (what a pool
+        // dispatch snapshot does) bumps refcounts without copying a
+        // single FlowRecord.
+        let config = bounded(100, 1_000);
+        let mut shard0 = ShardWindows::new(0, config);
+        let mut shard1 = ShardWindows::new(1, config);
+        shard0.push(rec(5, 1));
+        shard0.push(rec(10, 2));
+        shard1.push(rec(20, 3));
+        let from0 = shard0.close_up_to(100);
+        let from1 = shard1.close_up_to(100);
+        let arc0 = Arc::clone(&from0[0].records);
+        let arc1 = Arc::clone(&from1[0].records);
+
+        let mut manager = WindowManager::new(2, config);
+        manager.stage(0, shard0.frontier(), from0);
+        manager.stage(1, shard1.frontier(), from1);
+        let merged = manager.drain();
+        assert_eq!(merged.len(), 1);
+        let window = &merged[0];
+        assert_eq!(window.records.len(), 3);
+        let segments = window.records.segments();
+        assert_eq!(segments.len(), 2, "one segment per contributing shard");
+        assert!(segments.iter().any(|s| Arc::ptr_eq(s, &arc0)), "shard 0 records were copied");
+        assert!(segments.iter().any(|s| Arc::ptr_eq(s, &arc1)), "shard 1 records were copied");
+
+        let snapshot = window.clone();
+        for (original, cloned) in segments.iter().zip(snapshot.records.segments()) {
+            assert!(Arc::ptr_eq(original, cloned), "snapshot deep-copied a segment");
         }
     }
 

@@ -1,0 +1,149 @@
+//! Allocation accounting for the zero-clone extraction hand-off.
+//!
+//! Two claims the async extraction pool depends on, asserted against a
+//! counting allocator rather than taken on faith:
+//!
+//! 1. snapshotting a [`ClosedWindow`] (what a pool dispatch does) is a
+//!    pointer bump — its cost must not scale with the record count;
+//! 2. mining an alarmed window allocates for the *candidates*, never
+//!    for the retained horizon — the old per-alarm
+//!    "concatenate every retained window into one `Vec`" clone must
+//!    stay dead.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use anomex_core::prelude::ExtractorConfig;
+use anomex_detect::interval::IntervalStat;
+use anomex_detect::prelude::Alarm;
+use anomex_flow::prelude::*;
+use anomex_stream::prelude::*;
+
+/// Pass-through to the system allocator that counts every allocation
+/// (count and bytes requested). Deallocations are left uncounted on
+/// purpose: the assertions below are about how much *new* memory a
+/// code path asks for, not its resident footprint.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: a pure pass-through — every pointer handed out comes from
+// `System.alloc` with the caller's layout, and `dealloc` returns the
+// same pointer/layout pair straight to `System.dealloc`; the counters
+// are lock-free atomics and themselves allocate nothing.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: delegates to `System.alloc` with the caller's layout
+    // unchanged, so `System`'s guarantees (alignment, size, null on
+    // failure) carry over verbatim; the counter updates cannot fail or
+    // allocate.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; the caller upholds the `alloc`
+        // layout contract.
+        unsafe { System.alloc(layout) }
+    }
+    // SAFETY: every pointer this allocator hands out comes from
+    // `System.alloc`, so returning it to `System.dealloc` with the
+    // caller's (identical) layout satisfies `dealloc`'s contract.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was produced by `System.alloc` in `alloc`
+        // above with this same `layout`.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn reset_counters() {
+    ALLOCS.store(0, Ordering::Relaxed);
+    BYTES.store(0, Ordering::Relaxed);
+}
+
+fn bytes_allocated() -> u64 {
+    BYTES.load(Ordering::Relaxed)
+}
+
+/// A window of `flows` near-identical benign records: huge record
+/// payload, tiny feature distributions (so an [`IntervalStat`] clone
+/// stays small and the record cost dominates by construction).
+fn bulk_window(index: u64, flows: u32) -> ClosedWindow {
+    let range = TimeRange::window_at(index, 0, 60_000);
+    let mut stat = IntervalStat::empty(range);
+    let mut records = Vec::new();
+    for i in 0..flows {
+        let r = FlowRecord::builder()
+            .time(range.from_ms + i as u64 % 60_000, range.from_ms + i as u64 % 60_000 + 10)
+            .src("10.0.0.7".parse().unwrap(), 4_000)
+            .dst("172.16.0.3".parse().unwrap(), 80)
+            .volume(3, 1_500)
+            .build();
+        stat.add(&r);
+        records.push(r);
+    }
+    ClosedWindow { index, range, stat, records: records.into() }
+}
+
+/// A window holding a port scan (distinct dst ports) on top of a small
+/// benign mix — enough structure for the extractor to report on.
+fn scan_window(index: u64, scan_flows: u32) -> ClosedWindow {
+    let range = TimeRange::window_at(index, 0, 60_000);
+    let mut stat = IntervalStat::empty(range);
+    let mut records = Vec::new();
+    for p in 1..=scan_flows {
+        let r = FlowRecord::builder()
+            .time(range.from_ms + p as u64 % 60_000, range.from_ms + p as u64 % 60_000 + 1)
+            .src("10.66.66.66".parse().unwrap(), 55_548)
+            .dst("172.16.0.99".parse().unwrap(), p as u16)
+            .volume(1, 44)
+            .build();
+        stat.add(&r);
+        records.push(r);
+    }
+    ClosedWindow { index, range, stat, records: records.into() }
+}
+
+#[test]
+fn snapshots_and_alarmed_extraction_never_reclone_the_horizon() {
+    let record_bytes = std::mem::size_of::<FlowRecord>() as u64;
+
+    // --- Claim 1: the dispatch snapshot is O(1) in the record count.
+    let big = bulk_window(0, 100_000);
+    let payload = big.records.len() as u64 * record_bytes;
+    reset_counters();
+    let snapshot = big.clone();
+    let snapshot_bytes = bytes_allocated();
+    assert_eq!(snapshot.records.len(), big.records.len());
+    assert!(
+        snapshot_bytes * 16 < payload,
+        "cloning a {payload}-byte window allocated {snapshot_bytes} bytes — \
+         the snapshot deep-copies records again"
+    );
+    drop(snapshot);
+
+    // --- Claim 2: extraction allocates for candidates, not the horizon.
+    let mut ce = ContinuousExtractor::new(ExtractorConfig::default(), 4);
+    for index in 0..4 {
+        let reports = ce.push_window(bulk_window(index, 30_000), &[]);
+        assert!(reports.is_empty(), "quiet windows must not report");
+    }
+    let horizon_bytes = ce.resident_flows() as u64 * record_bytes;
+    assert!(
+        horizon_bytes > 4 << 20,
+        "horizon too small ({horizon_bytes} bytes) to make the assertion meaningful"
+    );
+
+    let window = scan_window(4, 2_000);
+    let alarm = Alarm::new(0, "kl", window.range);
+    reset_counters();
+    let reports = ce.push_window(window, &[EnsembleAlarm::solo(alarm)]);
+    let extract_bytes = bytes_allocated();
+    assert_eq!(reports.len(), 1, "the scan window must produce a report");
+    assert!(
+        extract_bytes < horizon_bytes / 2,
+        "mining one alarmed window allocated {extract_bytes} bytes against a \
+         {horizon_bytes}-byte retained horizon — the per-alarm horizon clone is back"
+    );
+}

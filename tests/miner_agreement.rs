@@ -17,6 +17,7 @@
 //!    algorithm under both weight views against a brute-force
 //!    linear-scan reference.
 
+use anomex::fim::Eclat;
 use anomex::prelude::*;
 use proptest::prelude::*;
 use serde::{Serialize, Value};
@@ -151,21 +152,32 @@ fn columnar_miners_reproduce_the_pre_refactor_golden_fixture() {
             serde_json::to_string(get("results")).expect("re-serialize expected results");
 
         let matrix = encode_flows(&flows, metric);
+        let config = MiningConfig {
+            algorithm: Algorithm::Apriori,
+            min_support: MinSupport::Absolute(*min_support),
+            max_len: *max_len as usize,
+            threads: 1,
+        };
         for algorithm in ALGORITHMS {
-            let mined = mine(
-                &matrix,
-                &MiningConfig {
-                    algorithm,
-                    min_support: MinSupport::Absolute(*min_support),
-                    max_len: *max_len as usize,
-                    threads: 1,
-                },
-            );
+            let mined = mine(&matrix, &MiningConfig { algorithm, ..config });
             let got =
                 serde_json::to_string(&mined.to_json_value()).expect("serialize mined results");
             assert_eq!(
                 got, expected,
                 "{algorithm} diverges from the pre-refactor output at \
+                 {metric}/{min_support} (max_len {max_len})"
+            );
+        }
+        // Both Eclat representations — dEclat diffsets with the pair
+        // cache (the dispatch default) and plain pre-diffset tidsets —
+        // must also reproduce the golden output byte-identically.
+        for (label, eclat) in [("dEclat", Eclat::DEFAULT), ("legacy tidset Eclat", Eclat::LEGACY)] {
+            let mined = eclat.mine(&matrix, &config);
+            let got =
+                serde_json::to_string(&mined.to_json_value()).expect("serialize mined results");
+            assert_eq!(
+                got, expected,
+                "{label} diverges from the pre-refactor output at \
                  {metric}/{min_support} (max_len {max_len})"
             );
         }
@@ -241,6 +253,37 @@ proptest! {
                 prop_assert_eq!(
                     &got, &reference,
                     "{} disagrees with brute force under {}", algorithm, label
+                );
+            }
+        }
+    }
+
+    /// dEclat is an algebraic rewrite, not a new algorithm: every
+    /// combination of the diffset representation and the pair cache
+    /// must mine exactly what the legacy tidset implementation mines,
+    /// on the same matrix, at every threshold — including max_len
+    /// truncation, which exercises the diffset transition depth.
+    #[test]
+    fn declat_diffsets_match_legacy_tidsets(
+        txs in arb_txs(),
+        threshold in 1u64..3_000,
+        max_len in 0usize..4,
+    ) {
+        let matrix = txs.to_matrix();
+        let config = MiningConfig {
+            algorithm: Algorithm::Eclat,
+            min_support: MinSupport::Absolute(threshold),
+            max_len,
+            threads: 1,
+        };
+        let reference = Eclat::LEGACY.mine(&matrix, &config);
+        for diffsets in [false, true] {
+            for pair_cache in [false, true] {
+                let got = Eclat { diffsets, pair_cache }.mine(&matrix, &config);
+                prop_assert_eq!(
+                    &got, &reference,
+                    "diffsets={} pair_cache={} diverges from legacy tidsets",
+                    diffsets, pair_cache
                 );
             }
         }

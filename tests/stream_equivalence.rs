@@ -10,6 +10,7 @@
 use anomex::prelude::*;
 use anomex::stream::pipeline;
 use anomex_detect::kl::KlConfig;
+use proptest::prelude::*;
 
 const WIDTH_MS: u64 = 60_000;
 const INTERVALS: u64 = 8;
@@ -60,15 +61,18 @@ fn streaming_equals_batch_under_out_of_order_arrival() {
 
     // --- Streaming run: same records, shuffled within the lateness
     // bound, sharded 4 ways. Run with the telemetry timing layer on
-    // and off, and with the detector bank inline and pooled:
-    // instrumentation and detector scheduling must never perturb the
-    // bit-identity with batch (or the run's statistics).
+    // and off, with the detector bank inline and pooled, and with the
+    // extraction stage inline and on the async worker: instrumentation
+    // and scheduling must never perturb the bit-identity with batch
+    // (or the run's statistics).
     let shuffled = bounded_shuffle(&records);
     let inversions = shuffled.windows(2).filter(|pair| pair[0].start_ms > pair[1].start_ms).count();
     assert!(inversions > records.len() / 10, "shuffle must actually disorder arrival");
 
     let mut stats_by_mode = Vec::new();
-    for (telemetry, detector_workers) in [(true, 0), (false, 0), (true, 2)] {
+    for (telemetry, detector_workers, extraction_workers) in
+        [(true, 0, 0), (false, 0, 0), (true, 2, 0), (true, 0, 1), (false, 0, 1), (true, 2, 1)]
+    {
         let config = StreamConfig {
             shards: 4,
             queue_depth: 256,
@@ -78,6 +82,7 @@ fn streaming_equals_batch_under_out_of_order_arrival() {
             span: Some(span),
             detectors: DetectorRegistry::kl(kl),
             detector_workers,
+            extraction_workers,
             pin_shards: false,
             extractor: *extractor.config(),
             retain_windows: 3,
@@ -99,7 +104,8 @@ fn streaming_equals_batch_under_out_of_order_arrival() {
         let stream_alarms: Vec<Alarm> = received.iter().map(|r| r.alarm.clone()).collect();
         assert_eq!(
             stream_alarms, batch_alarms,
-            "telemetry={telemetry} detector_workers={detector_workers}"
+            "telemetry={telemetry} detector_workers={detector_workers} \
+             extraction_workers={extraction_workers}"
         );
 
         // --- Itemsets: identical patterns and both supports per alarm.
@@ -115,6 +121,9 @@ fn streaming_equals_batch_under_out_of_order_arrival() {
     }
     assert_eq!(stats_by_mode[0], stats_by_mode[1], "telemetry mode leaked into the statistics");
     assert_eq!(stats_by_mode[0], stats_by_mode[2], "detector pool leaked into the statistics");
+    assert_eq!(stats_by_mode[0], stats_by_mode[3], "extraction pool leaked into the statistics");
+    assert_eq!(stats_by_mode[0], stats_by_mode[4], "untimed extraction pool leaked into stats");
+    assert_eq!(stats_by_mode[0], stats_by_mode[5], "pooled detect+extract leaked into stats");
 }
 
 #[test]
@@ -148,8 +157,9 @@ fn multi_handle_shuffled_streaming_equals_batch_bit_for_bit() {
         watermark_every: 64,
         span: Some(span),
         detectors: DetectorRegistry::kl(kl),
-        detector_workers: 1, // pooled: detector pushes off the control thread
-        pin_shards: true,    // best-effort affinity must not perturb anything
+        detector_workers: 1,   // pooled: detector pushes off the control thread
+        extraction_workers: 1, // pooled: mining off the critical path too
+        pin_shards: true,      // best-effort affinity must not perturb anything
         extractor: *extractor.config(),
         retain_windows: 3,
         report_queue: 1_024,
@@ -189,6 +199,58 @@ fn multi_handle_shuffled_streaming_equals_batch_bit_for_bit() {
         assert_eq!(report.extraction.candidate_packets, batch.candidate_packets);
         assert_eq!(report.extraction.itemsets, batch.itemsets);
         assert_eq!(report.extraction.tuning, batch.tuning);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::profile_cases(6))]
+
+    /// The async extraction pool is pure scheduling for *arbitrary*
+    /// corpora, not just the curated scenario above: whatever the
+    /// anomaly size, background mix, and generator seed, the pooled run
+    /// must match the inline run byte for byte — reports, order, and
+    /// run statistics alike.
+    #[test]
+    fn pooled_extraction_equals_inline_for_arbitrary_corpora(
+        anomaly_flows in 500usize..3_000,
+        bg in 1_000usize..4_000,
+        seed in any::<u64>(),
+    ) {
+        let mut spec = AnomalySpec::template(
+            AnomalyKind::PortScan,
+            "10.3.0.99".parse().unwrap(),
+            "172.16.5.5".parse().unwrap(),
+        );
+        spec.flows = anomaly_flows;
+        spec.start_ms = 6 * WIDTH_MS;
+        spec.duration_ms = WIDTH_MS;
+        let mut scenario = Scenario::new("prop-pool", seed, Backbone::Geant).with_anomaly(spec);
+        scenario.background.flows = bg;
+        scenario.background.duration_ms = INTERVALS * WIDTH_MS;
+        let built = scenario.build();
+        let records = built.store.snapshot();
+        let span = scenario.window();
+        let shuffled = bounded_shuffle(&records);
+        let kl = KlConfig { interval_ms: WIDTH_MS, ..KlConfig::default() };
+        let run = |extraction_workers: usize| {
+            let config = StreamConfig {
+                shards: 2,
+                lateness_ms: LATENESS_MS,
+                span: Some(span),
+                detectors: DetectorRegistry::kl(kl),
+                extraction_workers,
+                retain_windows: 3,
+                ..StreamConfig::default()
+            };
+            let (mut ingest, reports) = pipeline::launch(config);
+            ingest.push_batch(shuffled.clone());
+            let stats = ingest.finish();
+            (stats, reports.iter().collect::<Vec<StreamReport>>())
+        };
+        let (inline_stats, inline_reports) = run(0);
+        let (pool_stats, pool_reports) = run(1);
+        prop_assert_eq!(pool_stats, inline_stats, "pool changed the run statistics");
+        prop_assert_eq!(pool_reports, inline_reports, "pool changed a report");
     }
 }
 
