@@ -10,7 +10,7 @@ use std::io::{self, Write};
 
 use anomex_core::report::{render_summary, render_table};
 use anomex_stream::metrics::MetricsReport;
-use anomex_stream::report::StreamReport;
+use anomex_stream::report::{FaultNotice, StreamReport};
 use crossbeam::channel::Receiver;
 
 use crate::db::AlarmDb;
@@ -44,14 +44,16 @@ impl LiveSession {
         }
     }
 
-    /// Render one report to `out` and file its alarm.
+    /// Render one report to `out` and file its alarm (fault notices are
+    /// rendered as degradation lines instead — there is no alarm to
+    /// file).
     ///
     /// # Errors
     /// Propagates I/O errors from the output writer.
     pub fn ingest(&mut self, report: StreamReport, out: &mut impl Write) -> io::Result<()> {
-        if report.dropped_before > self.reports_dropped {
-            let gap = report.dropped_before - self.reports_dropped;
-            self.reports_dropped = report.dropped_before;
+        if report.dropped_before() > self.reports_dropped {
+            let gap = report.dropped_before() - self.reports_dropped;
+            self.reports_dropped = report.dropped_before();
             writeln!(
                 out,
                 "live: {gap} report(s) dropped on the bounded channel (slow subscriber); \
@@ -59,23 +61,31 @@ impl LiveSession {
                 self.reports_dropped
             )?;
         }
-        let id = self.db.add(report.alarm.clone());
+        if let Some(notice) = report.as_fault() {
+            render_fault(notice, out)?;
+            self.reports.push(report);
+            return Ok(());
+        }
+        let alarm = report.alarm().expect("non-fault reports carry an alarm");
+        let id = self.db.add(alarm.clone());
         writeln!(out, "live: {}", self.db.get(id).expect("alarm just added").describe())?;
-        for source in &report.sources {
+        let sources = report.sources();
+        for source in sources {
             match self.detector_alarms.iter_mut().find(|(name, _)| *name == source.detector) {
                 Some((_, count)) => *count += 1,
                 None => self.detector_alarms.push((source.detector.clone(), 1)),
             }
             // A lone source is the alarm itself — nothing to attribute.
-            if report.sources.len() > 1 {
+            if sources.len() > 1 {
                 writeln!(out, "live:   └ {}", source.describe())?;
             }
         }
-        write!(out, "{}", render_summary(&report.extraction))?;
-        if report.extraction.is_empty() {
+        let extraction = report.extraction().expect("non-fault reports carry an extraction");
+        write!(out, "{}", render_summary(extraction))?;
+        if extraction.is_empty() {
             writeln!(out, "no meaningful itemsets — stealthy anomaly or false positive?")?;
         } else {
-            write!(out, "{}", render_table(&report.extraction, self.report_scale.max(1)))?;
+            write!(out, "{}", render_table(extraction, self.report_scale.max(1)))?;
         }
         self.reports.push(report);
         Ok(())
@@ -216,6 +226,16 @@ impl LiveSession {
     }
 }
 
+/// Render one in-band degradation notice as a `live:` line.
+fn render_fault(notice: &FaultNotice, out: &mut impl Write) -> io::Result<()> {
+    let scope = match notice.window {
+        Some(window) => format!(" window {}..{}ms", window.from_ms, window.to_ms),
+        None => String::new(),
+    };
+    let severity = if notice.terminal { "terminal fault" } else { "degraded" };
+    writeln!(out, "live: {severity}{scope}: {}", notice.detail)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,7 +312,7 @@ mod tests {
         let mut console_out = Vec::new();
         console
             .run(
-                std::io::Cursor::new("alarm 0\nextract\nmetrics\nquit\n".to_string()),
+                std::io::Cursor::new("alarm 0\nextract\nmetrics\nhealth\nquit\n".to_string()),
                 &mut console_out,
             )
             .unwrap();
@@ -302,6 +322,7 @@ mod tests {
         assert!(console_text.contains("pipeline telemetry #"), "{console_text}");
         assert!(console_text.contains("ingest.records"), "{console_text}");
         assert!(console_text.contains("shard.apply_ns"), "{console_text}");
+        assert!(console_text.contains("pipeline healthy"), "{console_text}");
     }
 
     #[test]
@@ -309,14 +330,14 @@ mod tests {
         let mut session = LiveSession::new();
         let make = |id: u64, dropped_before: u64| {
             let alarm = anomex_detect::alarm::Alarm::new(id, "kl", TimeRange::new(0, 60_000));
-            StreamReport {
+            StreamReport::Alarm(anomex_stream::report::AlarmReport {
                 sources: vec![alarm.clone()],
                 alarm,
                 extraction: anomex_core::extract::Extractor::with_defaults()
                     .extract_from_candidates(&[]),
                 window_flows: 0,
                 dropped_before,
-            }
+            })
         };
         let mut out = Vec::new();
         session.ingest(make(0, 0), &mut out).unwrap();
@@ -333,20 +354,58 @@ mod tests {
     fn empty_extraction_renders_a_note() {
         let mut session = LiveSession::new();
         let alarm = anomex_detect::alarm::Alarm::new(0, "kl", TimeRange::new(0, 60_000));
-        let report = StreamReport {
+        let report = StreamReport::Alarm(anomex_stream::report::AlarmReport {
             sources: vec![alarm.clone()],
             alarm,
             extraction: anomex_core::extract::Extractor::with_defaults()
                 .extract_from_candidates(&[]),
             window_flows: 0,
             dropped_before: 0,
-        };
+        });
         let mut out = Vec::new();
         session.ingest(report, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("no meaningful itemsets"), "{text}");
         assert_eq!(session.reports().len(), 1);
         assert_eq!(session.alarms().len(), 1);
+    }
+
+    #[test]
+    fn fault_notices_render_without_filing_an_alarm() {
+        let mut session = LiveSession::new();
+        let mut out = Vec::new();
+        session
+            .ingest(
+                StreamReport::Fault(anomex_stream::report::FaultNotice {
+                    kind: anomex_stream::report::FaultKind::WindowQuarantined,
+                    window: Some(TimeRange::new(60_000, 120_000)),
+                    detail: "extraction panicked twice; window skipped".to_string(),
+                    terminal: false,
+                    dropped_before: 0,
+                }),
+                &mut out,
+            )
+            .unwrap();
+        session
+            .ingest(
+                StreamReport::Fault(anomex_stream::report::FaultNotice {
+                    kind: anomex_stream::report::FaultKind::ShardDead,
+                    window: None,
+                    detail: "shard worker(s) [1] died".to_string(),
+                    terminal: true,
+                    dropped_before: 2,
+                }),
+                &mut out,
+            )
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("live: degraded window 60000..120000ms"), "{text}");
+        assert!(text.contains("live: terminal fault: shard worker(s) [1] died"), "{text}");
+        assert!(text.contains("2 report(s) dropped"), "{text}");
+        // Faults are retained in arrival order but never filed as alarms.
+        assert_eq!(session.reports().len(), 2);
+        assert_eq!(session.alarms().len(), 0);
+        assert!(session.detector_alarms().is_empty());
     }
 
     #[test]
@@ -358,14 +417,14 @@ mod tests {
         let mut merged = Alarm::new(0, "kl+entropy-pca", window);
         merged.score = pca.score;
         merged.severity = pca.severity;
-        let report = StreamReport {
+        let report = StreamReport::Alarm(anomex_stream::report::AlarmReport {
             alarm: merged,
             sources: vec![kl, pca],
             extraction: anomex_core::extract::Extractor::with_defaults()
                 .extract_from_candidates(&[]),
             window_flows: 0,
             dropped_before: 0,
-        };
+        });
         let mut session = LiveSession::new();
         let mut out = Vec::new();
         session.ingest(report, &mut out).unwrap();

@@ -105,6 +105,7 @@ impl Console {
             "set" => self.cmd_set(&args, out)?,
             "show" => self.cmd_show(out)?,
             "metrics" => self.cmd_metrics(out)?,
+            "health" => self.cmd_health(out)?,
             "filter" => self.cmd_filter(&args.join(" "), out)?,
             "quit" | "exit" => return Ok(false),
             other => writeln!(out, "unknown command '{other}' — try 'help'")?,
@@ -115,7 +116,7 @@ impl Console {
     fn cmd_help(&self, out: &mut impl Write) -> std::io::Result<()> {
         writeln!(
             out,
-            "commands:\n  alarms                    list alarms\n  detectors                 alarms per detector (ensemble merges split by '+')\n  alarm <id>                select an alarm\n  extract                   mine itemsets for the selected alarm\n  itemsets                  show the last extraction table\n  flows <n> [limit]         drill into itemset n's raw flows\n  classify <n>              classify itemset n\n  set <param> <value>       tune: k, flow-floor, packet-floor,\n                            packet-support on|off, policy union|interval,\n                            algorithm apriori|fpgrowth|eclat, scale <n>\n  show                      show configuration\n  metrics                   pipeline telemetry from the live session\n  filter <expr>             count flows matching an nfdump-style filter\n  quit                      leave"
+            "commands:\n  alarms                    list alarms\n  detectors                 alarms per detector (ensemble merges split by '+')\n  alarm <id>                select an alarm\n  extract                   mine itemsets for the selected alarm\n  itemsets                  show the last extraction table\n  flows <n> [limit]         drill into itemset n's raw flows\n  classify <n>              classify itemset n\n  set <param> <value>       tune: k, flow-floor, packet-floor,\n                            packet-support on|off, policy union|interval,\n                            algorithm apriori|fpgrowth|eclat, scale <n>\n  show                      show configuration\n  metrics                   pipeline telemetry from the live session\n  health                    supervision and degradation counters\n  filter <expr>             count flows matching an nfdump-style filter\n  quit                      leave"
         )
     }
 
@@ -336,6 +337,41 @@ impl Console {
             }
         }
         Ok(())
+    }
+
+    fn cmd_health(&self, out: &mut impl Write) -> std::io::Result<()> {
+        let Some(metrics) = &self.metrics else {
+            return writeln!(out, "no pipeline telemetry attached (run a live session)");
+        };
+        // The fault/degraded stages carry the whole supervision story:
+        // caught panics, restarts, failovers, sheds, and quarantines.
+        let mut trouble = 0u64;
+        let mut lines = Vec::new();
+        for entry in &metrics.snapshot.entries {
+            if entry.stage != "fault" && entry.stage != "degraded" {
+                continue;
+            }
+            if let MetricValue::Counter(v) = &entry.value {
+                trouble += v;
+                if *v > 0 {
+                    lines.push(format!("  {:<28} {v} {}", entry.name, entry.unit));
+                }
+            }
+        }
+        if trouble == 0 {
+            writeln!(
+                out,
+                "pipeline healthy — no worker panics, restarts, sheds, or quarantines \
+                 (telemetry #{})",
+                metrics.seq
+            )
+        } else {
+            writeln!(out, "pipeline DEGRADED (telemetry #{}):", metrics.seq)?;
+            for line in lines {
+                writeln!(out, "{line}")?;
+            }
+            Ok(())
+        }
     }
 
     fn cmd_filter(&self, expr: &str, out: &mut impl Write) -> std::io::Result<()> {

@@ -24,6 +24,8 @@
 //!   same control-side merge state — bit-identical output to the
 //!   sequential bank, detector pushes off the control thread.
 
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use anomex_detect::alarm::Alarm;
@@ -36,6 +38,7 @@ use anomex_obs::{Counter, StageTimer};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{restart_backoff, ActiveFaults, FaultSite, Supervision, WorkerPoisoned};
 use crate::window::ClosedWindow;
 
 /// Configuration of one built-in detector slot.
@@ -208,9 +211,11 @@ impl DetectorRegistry {
                     name: e.name.clone(),
                     state: (e.build)(),
                     instruments: DetectorInstruments::standalone(),
+                    build: e.build.clone(),
                 })
                 .collect(),
             merger: AlarmMerger::default(),
+            supervision: Supervision::standalone(),
         }
     }
 }
@@ -289,6 +294,10 @@ struct BankSlot {
     name: String,
     state: Box<dyn Detector>,
     instruments: DetectorInstruments,
+    /// The registry builder that made `state` — the supervisor's
+    /// rebuild source when a push panics (the panicked state is
+    /// mid-mutation and discarded).
+    build: BuildFn,
 }
 
 /// Run one bank member over a window summary: count the window, time
@@ -383,9 +392,16 @@ impl AlarmMerger {
 /// detector; alarms on the same window are merged into one
 /// [`EnsembleAlarm`] so downstream extraction runs once per flagged
 /// window regardless of how many detectors agree.
+///
+/// Every slot push runs under `catch_unwind`: a panicking detector
+/// loses its alarms for that one window and has its state rebuilt
+/// fresh from the registry builder, while the other slots — and the
+/// stream — keep going. When nothing panics the wrapper is invisible:
+/// output stays bit-identical to the unsupervised bank.
 pub struct DetectorBank {
     slots: Vec<BankSlot>,
     merger: AlarmMerger,
+    supervision: Supervision,
 }
 
 impl DetectorBank {
@@ -421,13 +437,31 @@ impl DetectorBank {
         }
     }
 
+    /// Wire the bank to the pipeline's supervision bundle (fault plan +
+    /// `fault.*` / `degraded.*` counters). Standalone handles otherwise.
+    pub(crate) fn supervise(&mut self, supervision: Supervision) {
+        self.supervision = supervision;
+    }
+
     /// Feed one closed window's summary to every detector; returns the
     /// merged alarms (usually empty or one), in window order.
+    ///
+    /// A slot whose push panics contributes no alarms for this window;
+    /// its state is rebuilt fresh from the registry builder and the
+    /// remaining slots run normally — one bad detector cannot take the
+    /// ensemble down.
     pub fn push(&mut self, stat: &IntervalStat) -> Vec<EnsembleAlarm> {
         // Concatenate every slot's alarms in bank order, then merge.
         let mut raised: Vec<Alarm> = Vec::new();
         for slot in &mut self.slots {
-            raised.extend(run_slot(slot, stat));
+            match catch_unwind(AssertUnwindSafe(|| run_slot(slot, stat))) {
+                Ok(alarms) => raised.extend(alarms),
+                Err(_) => {
+                    self.supervision.worker_panics.inc();
+                    self.supervision.restarts.inc();
+                    slot.state = (slot.build)();
+                }
+            }
         }
         self.merger.merge_bank_order(raised)
     }
@@ -455,49 +489,129 @@ impl DetectorBank {
     /// [`dispatch`](DetectorPool::dispatch) may run ahead of
     /// [`collect`](DetectorPool::collect) per worker.
     pub fn into_pool(self, workers: usize, queue_depth: usize) -> DetectorPool {
+        self.into_pool_supervised(workers, queue_depth, Supervision::standalone())
+    }
+
+    /// [`into_pool`](DetectorBank::into_pool) wired to the pipeline's
+    /// supervision bundle (armed faults + `fault.*` / `degraded.*`
+    /// counters).
+    pub(crate) fn into_pool_supervised(
+        self,
+        workers: usize,
+        queue_depth: usize,
+        supervision: Supervision,
+    ) -> DetectorPool {
         let workers = workers.clamp(1, self.slots.len().max(1));
         let shadow: Vec<(String, DetectorInstruments)> =
             self.slots.iter().map(|s| (s.name.clone(), s.instruments.clone())).collect();
+        let builders: Vec<BuildFn> = self.slots.iter().map(|s| s.build.clone()).collect();
         // Contiguous chunks, earlier workers one larger on remainder:
         // concatenating worker results in worker order restores bank
         // order exactly.
         let total = self.slots.len();
         let base = total / workers;
         let extra = total % workers;
+        let queue_depth = queue_depth.max(1);
         let mut slots = self.slots.into_iter();
-        let mut task_txs = Vec::with_capacity(workers);
-        let mut result_rxs = Vec::with_capacity(workers);
-        let mut joins = Vec::with_capacity(workers);
+        let mut seats = Vec::with_capacity(workers);
+        let mut start = 0usize;
         for w in 0..workers {
             let take = base + usize::from(w < extra);
             let chunk: Vec<BankSlot> = slots.by_ref().take(take).collect();
-            let (task_tx, task_rx) = bounded::<Arc<IntervalStat>>(queue_depth.max(1));
-            let (result_tx, result_rx) = unbounded::<Vec<Vec<Alarm>>>();
-            joins.push(
-                std::thread::Builder::new()
-                    .name(format!("anomex-detect-{w}"))
-                    .spawn(move || pool_worker(chunk, task_rx, result_tx))
-                    .expect("spawn detector worker"),
-            );
-            task_txs.push(task_tx);
-            result_rxs.push(result_rx);
+            let (task_tx, result_rx, join) =
+                spawn_detect_seat(chunk, w, queue_depth, supervision.faults.clone());
+            seats.push(Seat {
+                task_tx,
+                result_rx,
+                join: Some(join),
+                start,
+                end: start + take,
+                worker: w,
+            });
+            start += take;
         }
-        DetectorPool { task_txs, result_rxs, joins, shadow, merger: self.merger, in_flight: 0 }
+        DetectorPool {
+            seats,
+            shadow,
+            builders,
+            merger: self.merger,
+            queue_depth_cfg: queue_depth,
+            supervision,
+            restarts: 0,
+            pending: VecDeque::new(),
+            ready: VecDeque::new(),
+            inline: None,
+        }
     }
 }
 
+/// A worker's answer per broadcast window: its slots' alarm lists in
+/// slot order, or the poison sentinel it sends just before its thread
+/// exits after a caught panic.
+type DetectResult = Result<Vec<Vec<Alarm>>, WorkerPoisoned>;
+
+/// One pool seat: the channels and thread handle of one worker, plus
+/// the bank-order slot range it owns (stable across restarts, so
+/// concatenating seat results in seat order always restores bank
+/// order).
+struct Seat {
+    task_tx: Sender<Arc<IntervalStat>>,
+    result_rx: Receiver<DetectResult>,
+    join: Option<std::thread::JoinHandle<()>>,
+    start: usize,
+    end: usize,
+    worker: usize,
+}
+
+fn spawn_detect_seat(
+    chunk: Vec<BankSlot>,
+    worker: usize,
+    capacity: usize,
+    faults: Arc<ActiveFaults>,
+) -> (Sender<Arc<IntervalStat>>, Receiver<DetectResult>, std::thread::JoinHandle<()>) {
+    let (task_tx, task_rx) = bounded::<Arc<IntervalStat>>(capacity.max(1));
+    let (result_tx, result_rx) = unbounded::<DetectResult>();
+    let join = std::thread::Builder::new()
+        .name(format!("anomex-detect-{worker}"))
+        // Thread spawn fails only on resource exhaustion at startup;
+        // there is no pool to degrade into yet, so it is fatal.
+        .spawn(move || pool_worker(chunk, worker, task_rx, result_tx, faults))
+        .expect("spawn detector worker");
+    (task_tx, result_rx, join)
+}
+
 /// One pool worker: runs its contiguous run of bank slots over every
-/// broadcast window, reporting the per-slot alarm lists in slot order.
+/// broadcast window under `catch_unwind`, reporting the per-slot alarm
+/// lists in slot order. A panicked window sends the poison sentinel
+/// and ends the thread — the slot states are mid-mutation at that
+/// point and must not be reused.
 fn pool_worker(
     mut slots: Vec<BankSlot>,
+    worker: usize,
     tasks: Receiver<Arc<IntervalStat>>,
-    results: Sender<Vec<Vec<Alarm>>>,
+    results: Sender<DetectResult>,
+    faults: Arc<ActiveFaults>,
 ) {
     while let Ok(stat) = tasks.recv() {
-        let per_slot: Vec<Vec<Alarm>> =
-            slots.iter_mut().map(|slot| run_slot(slot, &stat)).collect();
-        if results.send(per_slot).is_err() {
-            return; // pool dropped mid-flight; nobody left to report to
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if faults.fire(FaultSite::DetectorPanic(worker)) {
+                panic!("fault-inject: detector worker panic");
+            }
+            slots.iter_mut().map(|slot| run_slot(slot, &stat)).collect::<Vec<Vec<Alarm>>>()
+        }));
+        match outcome {
+            Ok(per_slot) => {
+                if results.send(Ok(per_slot)).is_err() {
+                    return; // pool dropped mid-flight; nobody left to report to
+                }
+            }
+            Err(_) => {
+                // Result channel is unbounded and the supervisor holds
+                // the receiver for the seat's whole life: the sentinel
+                // always lands.
+                let _ = results.send(Err(WorkerPoisoned));
+                return;
+            }
         }
     }
 }
@@ -516,16 +630,40 @@ fn pool_worker(
 /// per worker) but result channels are unbounded, so a worker can
 /// always finish a window it started — a full task queue only ever
 /// blocks [`dispatch`](DetectorPool::dispatch), never a worker.
+///
+/// Fault tolerance: each worker runs its windows under
+/// `catch_unwind`. When a seat dies (poison sentinel or disconnected
+/// result channel), the supervisor rebuilds that seat's slots from the
+/// registry build closures — fresh detector state, same `Arc`-shared
+/// instruments — re-feeds every pending window, and the restarted seat
+/// recomputes from the oldest one. After `MAX_POOL_RESTARTS` restarts
+/// the pool fails over to an inline [`DetectorBank`] on the control
+/// thread ([`is_degraded`](DetectorPool::is_degraded)); merged-id
+/// continuity is preserved because the merger moves into the inline
+/// bank.
 pub struct DetectorPool {
-    task_txs: Vec<Sender<Arc<IntervalStat>>>,
-    result_rxs: Vec<Receiver<Vec<Vec<Alarm>>>>,
-    joins: Vec<std::thread::JoinHandle<()>>,
+    seats: Vec<Seat>,
     /// Control-side views of the worker-held instruments, in bank
     /// order; the handles are `Arc`-shared, so
-    /// [`counters`](DetectorPool::counters) observes worker increments.
+    /// [`counters`](DetectorPool::counters) observes worker increments
+    /// and survives seat rebuilds.
     shadow: Vec<(String, DetectorInstruments)>,
+    /// Registry build closures in bank order — fresh detector state
+    /// for seat restarts and failover.
+    builders: Vec<BuildFn>,
     merger: AlarmMerger,
-    in_flight: usize,
+    queue_depth_cfg: usize,
+    supervision: Supervision,
+    restarts: u32,
+    /// Windows dispatched and not yet collected, oldest first. The
+    /// recovery path re-feeds this entire backlog to a restarted seat.
+    pending: VecDeque<Arc<IntervalStat>>,
+    /// Pre-computed answers produced while replaying the backlog
+    /// during failover; [`collect`](DetectorPool::collect) serves these
+    /// before touching seats.
+    ready: VecDeque<Vec<EnsembleAlarm>>,
+    /// `Some` after failover: all windows run inline here.
+    inline: Option<DetectorBank>,
 }
 
 impl DetectorPool {
@@ -539,13 +677,23 @@ impl DetectorPool {
         self.shadow.is_empty()
     }
 
-    /// Number of worker threads (the clamped `workers` argument).
+    /// Number of worker threads (the clamped `workers` argument);
+    /// `0` once the pool has failed over to the inline path.
     pub fn workers(&self) -> usize {
-        self.joins.len()
+        self.seats.len()
+    }
+
+    /// True once the pool has exhausted its restart budget and failed
+    /// over to running the bank inline on the collecting thread.
+    pub fn is_degraded(&self) -> bool {
+        self.inline.is_some()
     }
 
     /// Per-detector counters so far, in bank order. Exact whenever
-    /// every dispatched window has been collected.
+    /// every dispatched window has been collected. After a seat
+    /// restart the recomputed window is counted again — the counters
+    /// stay monotone but may over-count by the number of replayed
+    /// windows.
     pub fn counters(&self) -> Vec<DetectorCounters> {
         self.shadow
             .iter()
@@ -563,32 +711,143 @@ impl DetectorPool {
     /// detector pushes overlap the control thread's merge/extract
     /// work. Blocks when a worker is `queue_depth` windows behind.
     ///
-    /// # Panics
-    /// Panics when a worker died (a detector panicked).
+    /// A dead seat's disconnected channel is ignored here; the death
+    /// is detected and recovered in [`collect`](DetectorPool::collect),
+    /// which re-feeds the backlog (this window included) to the
+    /// restarted seat.
     pub fn dispatch(&mut self, stat: &IntervalStat) {
-        let stat = Arc::new(stat.clone());
-        for tx in &self.task_txs {
-            tx.send(Arc::clone(&stat)).expect("detector worker died");
+        if let Some(bank) = &mut self.inline {
+            let merged = bank.push(stat);
+            self.ready.push_back(merged);
+            return;
         }
-        self.in_flight += 1;
+        let stat = Arc::new(stat.clone());
+        self.pending.push_back(Arc::clone(&stat));
+        for seat in &self.seats {
+            let _ = seat.task_tx.send(Arc::clone(&stat));
+        }
     }
 
     /// Collect the merged alarms of the *oldest* dispatched window
     /// (FIFO with [`dispatch`](DetectorPool::dispatch) order).
     ///
+    /// When a seat died mid-window, restarts it (bounded by the
+    /// supervision budget) and waits for the recomputed verdict; once
+    /// the budget is spent, fails over to the inline bank and replays
+    /// the backlog there — every dispatched window still gets an
+    /// answer.
+    ///
     /// # Panics
-    /// Panics when nothing is in flight, or when a worker died (a
-    /// detector panicked) — matching the sequential bank, where the
-    /// panic would unwind the pushing thread directly.
+    /// Panics when nothing is in flight.
     pub fn collect(&mut self) -> Vec<EnsembleAlarm> {
-        assert!(self.in_flight > 0, "collect() without a dispatched window");
-        self.in_flight -= 1;
-        let mut raised: Vec<Alarm> = Vec::new();
-        for rx in &self.result_rxs {
-            let per_slot = rx.recv().expect("detector worker died");
-            raised.extend(per_slot.into_iter().flatten());
+        if let Some(front) = self.ready.pop_front() {
+            return front;
         }
+        assert!(!self.pending.is_empty(), "collect() without a dispatched window");
+        // One answer per seat for the front window. A seat that died
+        // after others answered only forces ITS result to be
+        // recomputed — the survivors' answers are kept here so the
+        // streams stay aligned.
+        let mut per_seat: Vec<Option<Vec<Alarm>>> = (0..self.seats.len()).map(|_| None).collect();
+        let mut i = 0;
+        while i < self.seats.len() {
+            if per_seat[i].is_some() {
+                i += 1;
+                continue;
+            }
+            match self.seats[i].result_rx.recv() {
+                Ok(Ok(per_slot)) => {
+                    per_seat[i] = Some(per_slot.into_iter().flatten().collect());
+                    i += 1;
+                }
+                Ok(Err(WorkerPoisoned)) | Err(_) => {
+                    self.supervision.worker_panics.inc();
+                    if self.restarts < self.supervision.max_restarts {
+                        self.restarts += 1;
+                        self.supervision.restarts.inc();
+                        restart_backoff(self.restarts);
+                        self.restart_seat(i);
+                        // Stay on seat i: the restarted seat recomputes
+                        // the front window from the re-fed backlog.
+                    } else {
+                        self.fail_over();
+                        return self
+                            .ready
+                            .pop_front()
+                            .expect("failover replays every pending window");
+                    }
+                }
+            }
+        }
+        self.pending.pop_front();
+        let raised: Vec<Alarm> = per_seat.into_iter().flatten().flatten().collect();
         self.merger.merge_bank_order(raised)
+    }
+
+    /// Rebuild seat `i` in place: join the dead thread, rebuild its
+    /// slot range with fresh detector state (shared instruments), and
+    /// re-feed the whole pending backlog so the new worker recomputes
+    /// from the front window.
+    fn restart_seat(&mut self, i: usize) {
+        let (start, end, worker) = (self.seats[i].start, self.seats[i].end, self.seats[i].worker);
+        if let Some(join) = self.seats[i].join.take() {
+            let _ = join.join(); // the panic was already caught and reported
+        }
+        let chunk: Vec<BankSlot> = (start..end)
+            .map(|s| BankSlot {
+                name: self.shadow[s].0.clone(),
+                state: (self.builders[s])(),
+                instruments: self.shadow[s].1.clone(),
+                build: self.builders[s].clone(),
+            })
+            .collect();
+        // Capacity covers the whole backlog so the re-feed below can
+        // never block on a worker that has not started draining yet.
+        let capacity = self.queue_depth_cfg.max(self.pending.len()).max(1);
+        let (task_tx, result_rx, join) =
+            spawn_detect_seat(chunk, worker, capacity, self.supervision.faults.clone());
+        for stat in &self.pending {
+            let _ = task_tx.send(Arc::clone(stat));
+        }
+        let seat = &mut self.seats[i];
+        seat.task_tx = task_tx;
+        seat.result_rx = result_rx;
+        seat.join = Some(join);
+    }
+
+    /// Spend the last of the restart budget: tear the seats down,
+    /// rebuild the full bank inline (fresh detector state, the same
+    /// merger so merged ids stay continuous), and replay the backlog
+    /// through it into [`ready`](DetectorPool::collect).
+    fn fail_over(&mut self) {
+        self.supervision.failovers.inc();
+        for mut seat in std::mem::take(&mut self.seats) {
+            drop(seat.task_tx);
+            drop(seat.result_rx);
+            if let Some(join) = seat.join.take() {
+                let _ = join.join();
+            }
+        }
+        let slots: Vec<BankSlot> = self
+            .shadow
+            .iter()
+            .zip(&self.builders)
+            .map(|((name, instruments), build)| BankSlot {
+                name: name.clone(),
+                state: build(),
+                instruments: instruments.clone(),
+                build: build.clone(),
+            })
+            .collect();
+        let mut bank = DetectorBank {
+            slots,
+            merger: std::mem::take(&mut self.merger),
+            supervision: self.supervision.clone(),
+        };
+        for stat in self.pending.drain(..) {
+            self.ready.push_back(bank.push(&stat));
+        }
+        self.inline = Some(bank);
     }
 
     /// Dispatch + collect in one call — the drop-in equivalent of
@@ -604,23 +863,23 @@ impl DetectorPool {
     }
 
     /// Windows queued to workers and not yet picked up, summed across
-    /// the pool — the `detect.pool.queue_depth` gauge source.
+    /// the pool — the `detect.pool.queue_depth` gauge source. `0` once
+    /// failed over (the inline bank has no queue).
     pub fn queue_depth(&self) -> usize {
-        self.task_txs.iter().map(|tx| tx.len()).sum()
+        self.seats.iter().map(|seat| seat.task_tx.len()).sum()
     }
 }
 
 impl Drop for DetectorPool {
     fn drop(&mut self) {
         // Disconnect the task channels so every worker's recv loop
-        // ends, then join. A worker panic (a panicking detector)
-        // propagates unless this drop is itself part of that unwind.
-        self.task_txs.clear();
-        for join in self.joins.drain(..) {
-            if let Err(panic) = join.join() {
-                if !std::thread::panicking() {
-                    std::panic::resume_unwind(panic);
-                }
+        // ends, then join. Worker panics were caught and reported in
+        // collect(); a join error here can only be the sentinel path,
+        // so it is ignored.
+        for mut seat in std::mem::take(&mut self.seats) {
+            drop(seat.task_tx);
+            if let Some(join) = seat.join.take() {
+                let _ = join.join();
             }
         }
     }
@@ -893,5 +1152,157 @@ mod tests {
         let pca = PcaConfig { interval_ms: 2_000, ..PcaConfig::default() };
         DetectorRegistry::from_specs(&[DetectorSpec::Kl(kl), DetectorSpec::Pca(pca, 8)])
             .interval_ms();
+    }
+
+    /// A detector that panics exactly once, on the Nth push counted
+    /// across rebuilds (the registry build closure shares the counter,
+    /// so a freshly rebuilt slot continues the global sequence instead
+    /// of re-panicking).
+    struct Flaky {
+        pushes: Arc<std::sync::atomic::AtomicU64>,
+        panic_at: u64,
+    }
+    impl Detector for Flaky {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+        fn interval_ms(&self) -> u64 {
+            1_000
+        }
+        fn push(&mut self, stat: &IntervalStat) -> Vec<Alarm> {
+            let n = self.pushes.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            assert!(n != self.panic_at, "flaky detector panics on push {n}");
+            vec![Alarm::new(n, self.name(), stat.range)]
+        }
+    }
+
+    /// A detector panicking inside the *sequential* bank must not take
+    /// the pipeline down: the slot is caught, counted, and rebuilt
+    /// fresh, and the other slots' alarms for that window survive.
+    /// This path needs no fault-injection feature — it is how the bank
+    /// absorbs a genuinely buggy custom detector.
+    #[test]
+    fn inline_bank_survives_a_panicking_detector() {
+        let pushes = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut registry = DetectorRegistry::new();
+        let shared = Arc::clone(&pushes);
+        registry.register("flaky", 1_000, move || {
+            Box::new(Flaky { pushes: Arc::clone(&shared), panic_at: 3 })
+        });
+        registry.register("chatty", 1_000, || Box::new(Chatty { next_id: 0 }));
+
+        let mut bank = registry.build_bank();
+        let sup = Supervision::standalone();
+        bank.supervise(sup.clone());
+        let merged = feed(&mut bank, 5, false);
+
+        assert_eq!(sup.worker_panics.get(), 1, "exactly one slot panic caught");
+        assert_eq!(sup.restarts.get(), 1, "the slot was rebuilt");
+        // Chatty answers all 5 windows; flaky loses only window 3's
+        // alarms (its panic window), so 4 merges carry both and 1
+        // carries chatty alone.
+        assert_eq!(merged.len(), 5, "every window still gets its merged alarms");
+        let with_flaky =
+            merged.iter().filter(|e| e.sources.iter().any(|s| s.detector == "flaky")).count();
+        assert_eq!(with_flaky, 4, "only the panicking window loses the flaky slot's alarms");
+        assert_eq!(
+            pushes.load(std::sync::atomic::Ordering::Relaxed),
+            5,
+            "rebuilt slot kept running"
+        );
+    }
+}
+
+#[cfg(all(test, feature = "fault-inject"))]
+mod injected {
+    use super::*;
+    use crate::fault::{ActiveFaults, FaultPlan, MAX_POOL_RESTARTS};
+    use anomex_detect::kl::KlConfig;
+    use anomex_flow::record::FlowRecord;
+    use anomex_flow::store::TimeRange;
+    use anomex_obs::Counter;
+
+    fn armed(plan: &FaultPlan) -> Supervision {
+        Supervision {
+            faults: ActiveFaults::new(plan, Counter::standalone()),
+            worker_panics: Counter::standalone(),
+            restarts: Counter::standalone(),
+            failovers: Counter::standalone(),
+            quarantined: Counter::standalone(),
+            max_restarts: MAX_POOL_RESTARTS,
+        }
+    }
+
+    fn stats(windows: u64) -> Vec<IntervalStat> {
+        (0..windows)
+            .map(|t| {
+                let range = TimeRange::new(t * 1_000, (t + 1) * 1_000);
+                let mut stat = IntervalStat::empty(range);
+                for i in 0..(120 + (t % 3) as u32 * 7) {
+                    stat.add(
+                        &FlowRecord::builder()
+                            .time(range.from_ms + i as u64, range.from_ms + i as u64 + 5)
+                            .src(
+                                std::net::Ipv4Addr::from(0x0A00_0000 + (i % 30)),
+                                1_024 + (i % 400) as u16,
+                            )
+                            .dst(std::net::Ipv4Addr::from(0xAC10_0000 + (i % 5)), 80)
+                            .volume(2, 1_000)
+                            .build(),
+                    );
+                }
+                stat
+            })
+            .collect()
+    }
+
+    fn pool_with(plan: &FaultPlan, workers: usize) -> (DetectorPool, Supervision) {
+        let kl = KlConfig { interval_ms: 1_000, ..KlConfig::default() };
+        let registry = DetectorRegistry::from_specs(&[
+            DetectorSpec::Kl(kl),
+            DetectorSpec::Pca(
+                anomex_detect::pca::PcaConfig { interval_ms: 1_000, ..Default::default() },
+                12,
+            ),
+        ]);
+        let sup = armed(plan);
+        let pool = registry.build_bank().into_pool_supervised(workers, 4, sup.clone());
+        (pool, sup)
+    }
+
+    /// One injected seat panic: the seat restarts, recomputes the
+    /// window, and the pool answers every window without degrading.
+    #[test]
+    fn seat_panic_restarts_and_answers_every_window() {
+        let plan = FaultPlan::new().once(FaultSite::DetectorPanic(0), 2);
+        let (mut pool, sup) = pool_with(&plan, 2);
+        assert_eq!(pool.workers(), 2);
+        let merged: Vec<Vec<EnsembleAlarm>> = stats(6).iter().map(|stat| pool.push(stat)).collect();
+        assert_eq!(merged.len(), 6, "every dispatched window collected");
+        assert_eq!(sup.worker_panics.get(), 1);
+        assert_eq!(sup.restarts.get(), 1);
+        assert_eq!(sup.failovers.get(), 0);
+        assert!(!pool.is_degraded());
+        assert_eq!(pool.workers(), 2, "the seat came back");
+    }
+
+    /// A seat that panics on every window burns the restart budget,
+    /// then the pool fails over to the inline bank — still answering
+    /// every window, with the degradation visible in the counters.
+    #[test]
+    fn exhausted_seat_budget_fails_over_to_inline_bank() {
+        let plan = FaultPlan::new().repeat_from(FaultSite::DetectorPanic(0), 1);
+        let (mut pool, sup) = pool_with(&plan, 2);
+        let merged: Vec<Vec<EnsembleAlarm>> = stats(6).iter().map(|stat| pool.push(stat)).collect();
+        assert_eq!(merged.len(), 6, "failover replays the backlog; no window is lost");
+        assert!(pool.is_degraded());
+        assert_eq!(pool.workers(), 0, "all seats torn down");
+        assert_eq!(pool.queue_depth(), 0);
+        assert_eq!(sup.failovers.get(), 1);
+        assert_eq!(sup.restarts.get(), MAX_POOL_RESTARTS as u64);
+        assert_eq!(sup.worker_panics.get(), (MAX_POOL_RESTARTS + 1) as u64);
+        // Dispatch keeps working inline after failover.
+        let more = pool.push(&stats(7)[6]);
+        let _ = more;
     }
 }

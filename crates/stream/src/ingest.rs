@@ -22,16 +22,19 @@
 //! [`clone`]: IngestHandle::clone
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use anomex_flow::error::CodecError;
 use anomex_flow::record::FlowRecord;
 use anomex_flow::{v5, v9};
-use crossbeam::channel::{Receiver, Sender};
+use anomex_obs::Counter;
+use crossbeam::channel::{Receiver, Sender, TrySendError};
 
+use crate::fault::{ActiveFaults, FaultSite};
 use crate::metrics::{MetricsReport, MetricsSnapshot, PipelineMetrics};
-use crate::pipeline::{ShardMsg, StreamStats};
+use crate::pipeline::{OverloadPolicy, PipelineHealth, ShardMsg, ShardShed, StreamStats};
 // Re-exported from their historical home; the table now lives in
 // `crate::watermark` so it compiles against the `sync` facade and gets
 // model-checked (see that module's memory-ordering contract).
@@ -47,16 +50,60 @@ pub(crate) struct PipelineJoin {
 impl PipelineJoin {
     /// End the stream: tell every shard to flush, join all threads,
     /// return the control thread's statistics.
-    fn shutdown(self, senders: &[Sender<ShardMsg>]) -> StreamStats {
+    ///
+    /// Shard-worker panics were already caught, counted and reported by
+    /// the spawn harness, so worker joins cannot fail with anything the
+    /// stats don't know. A control-thread panic is the one failure with
+    /// no supervisor above it: rather than propagating (which would
+    /// poison `finish` for every handle), the statistics are rebuilt
+    /// from the metrics registry — the counters are `Arc`-shared and
+    /// survive the thread — and the death is recorded on
+    /// `fault.control_panics` / [`PipelineHealth::control_panics`].
+    fn shutdown(self, senders: &[Sender<ShardMsg>], metrics: &PipelineMetrics) -> StreamStats {
         for tx in senders {
-            // A worker that already exited (panic path) can't take the
-            // flush; its join below surfaces the panic.
+            // A worker that already exited can't take the flush; its
+            // death was reported through CtrlMsg::Fault.
             let _ = tx.send(ShardMsg::Flush);
         }
         for worker in self.workers {
-            worker.join().expect("shard worker panicked");
+            let _ = worker.join();
         }
-        self.control.join().expect("stream control thread panicked")
+        match self.control.join() {
+            Ok(stats) => stats,
+            Err(_) => {
+                metrics.worker_panics.inc();
+                metrics.control_panics.inc();
+                let shards = senders.len();
+                StreamStats {
+                    late_dropped: metrics.late_dropped.get(),
+                    out_of_span: metrics.out_of_span.get(),
+                    windows: metrics.merge_windows.get(),
+                    alarms: metrics.merged_alarms.get(),
+                    reports: metrics.reports_emitted.get(),
+                    reports_dropped: metrics.reports_dropped.get(),
+                    health: PipelineHealth {
+                        worker_panics: metrics.worker_panics.get(),
+                        shard_deaths: metrics.shard_deaths.get(),
+                        detector_restarts: metrics.detect_restarts.get(),
+                        detector_failovers: metrics.detect_failovers.get(),
+                        extraction_restarts: metrics.extract_restarts.get(),
+                        extraction_failovers: metrics.extract_failovers.get(),
+                        quarantined_windows: metrics.quarantined_windows.get(),
+                        shed_records: metrics.shed_records.get(),
+                        per_shard_shed: (0..shards)
+                            .filter_map(|s| {
+                                let records = metrics.shard_shed(s).get();
+                                (records > 0).then_some(ShardShed { shard: s, records })
+                            })
+                            .collect(),
+                        control_panics: metrics.control_panics.get(),
+                    },
+                    // `finish` overwrites the ingest-side totals below;
+                    // per-detector attribution died with the bank.
+                    ..StreamStats::default()
+                }
+            }
+        }
     }
 }
 
@@ -76,6 +123,13 @@ pub(crate) struct PipelineCore {
     /// The metrics subscription, taken (once) by
     /// [`IngestHandle::metrics_reports`].
     metrics_rx: Mutex<Option<Receiver<MetricsReport>>>,
+    /// What a flush does when a shard's queue stays full.
+    pub(crate) overload: OverloadPolicy,
+    /// The armed fault plan (zero-sized no-op without `fault-inject`).
+    pub(crate) faults: Arc<ActiveFaults>,
+    /// Per-shard `degraded.shed_records.<shard>` counters,
+    /// pre-resolved so the flush path never formats a metric name.
+    shed: Vec<Counter>,
     /// Handles not yet closed. All accesses are `Relaxed`: the
     /// decrement (in `close`) and the zero-check (in `finish`) both
     /// happen under `shutdown`'s mutex, which supplies the ordering;
@@ -100,13 +154,19 @@ impl PipelineCore {
         join: PipelineJoin,
         metrics: Arc<PipelineMetrics>,
         metrics_rx: Receiver<MetricsReport>,
+        overload: OverloadPolicy,
+        faults: Arc<ActiveFaults>,
     ) -> PipelineCore {
+        let shed = (0..senders.len()).map(|s| metrics.shard_shed(s)).collect();
         PipelineCore {
             senders,
             lateness_ms,
             watermarks: WatermarkTable::new(),
             metrics,
             metrics_rx: Mutex::new(Some(metrics_rx)),
+            overload,
+            faults,
+            shed,
             live: AtomicUsize::new(0),
             shutdown: Mutex::new(ShutdownState { join: Some(join), stats: None }),
             closed_or_done: Condvar::new(),
@@ -177,6 +237,12 @@ impl IngestHandle {
     /// backpressure point: blocks while that shard's queue is full).
     pub fn push(&mut self, record: FlowRecord) {
         self.ingested += 1;
+        if let Some(advance_ms) = self.core.faults.late_flood() {
+            // Injected late-arrival flood: jump this handle's frontier
+            // forward, so everything older than the advanced watermark
+            // now arrives late.
+            self.max_event_ms = self.max_event_ms.saturating_add(advance_ms);
+        }
         if record.start_ms > self.max_event_ms {
             self.max_event_ms = record.start_ms;
         }
@@ -206,6 +272,10 @@ impl IngestHandle {
     /// # Errors
     /// Propagates codec errors (counted in [`StreamStats::decode_errors`]).
     pub fn push_v5(&mut self, packet: &[u8]) -> Result<usize, CodecError> {
+        if self.core.faults.fire(FaultSite::DecodeError) {
+            self.decode_errors += 1;
+            return Err(CodecError::Corrupt("fault-inject: forced decode error"));
+        }
         match v5::decode(packet) {
             Ok(decoded) => {
                 let n = decoded.records.len();
@@ -226,6 +296,10 @@ impl IngestHandle {
     /// # Errors
     /// Propagates codec errors (counted in [`StreamStats::decode_errors`]).
     pub fn push_v9(&mut self, packet: &[u8]) -> Result<usize, CodecError> {
+        if self.core.faults.fire(FaultSite::DecodeError) {
+            self.decode_errors += 1;
+            return Err(CodecError::Corrupt("fault-inject: forced decode error"));
+        }
         let mut cache = std::mem::take(&mut self.v9_cache);
         let result = v9::decode(packet, &mut cache);
         self.v9_cache = cache;
@@ -261,7 +335,10 @@ impl IngestHandle {
     ///
     /// [`MetricsReport`]: crate::metrics::MetricsReport
     pub fn metrics_reports(&self) -> Option<Receiver<MetricsReport>> {
-        self.core.metrics_rx.lock().expect("metrics subscription poisoned").take()
+        // Poison recovery: an Option<Receiver> is valid under any
+        // interrupted mutation, so a panicked peer never wedges the
+        // subscription.
+        self.core.metrics_rx.lock().unwrap_or_else(PoisonError::into_inner).take()
     }
 
     /// A point-in-time snapshot of the pipeline's metric registry.
@@ -330,8 +407,12 @@ impl IngestHandle {
         // The decrement is Relaxed because it happens under the mutex:
         // the `finish` thread that observes it holds the same lock, and
         // the lock release/acquire orders the counter folds above
-        // before `finish`'s reads.
-        let _guard = self.core.shutdown.lock().expect("pipeline shutdown state poisoned");
+        // before `finish`'s reads. Poison recovery is sound here and in
+        // `finish`: ShutdownState is two Options, each mutated by a
+        // single assignment, so an interrupted critical section cannot
+        // leave it half-written — a panicked handle on another thread
+        // must not stop this one from shutting the pipeline down.
+        let _guard = self.core.shutdown.lock().unwrap_or_else(PoisonError::into_inner);
         self.core.live.fetch_sub(1, Ordering::Relaxed);
         self.core.closed_or_done.notify_all();
     }
@@ -348,7 +429,7 @@ impl IngestHandle {
     pub fn finish(mut self) -> StreamStats {
         let core = Arc::clone(&self.core);
         self.close();
-        let mut guard = core.shutdown.lock().expect("pipeline shutdown state poisoned");
+        let mut guard = core.shutdown.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(stats) = &guard.stats {
                 return stats.clone();
@@ -356,40 +437,133 @@ impl IngestHandle {
             if core.live.load(Ordering::Relaxed) == 0 {
                 if let Some(join) = guard.join.take() {
                     drop(guard);
-                    let mut stats = join.shutdown(&core.senders);
+                    let mut stats = join.shutdown(&core.senders, &core.metrics);
                     stats.ingested = core.metrics.ingest_records.get();
                     stats.decode_errors = core.metrics.decode_errors.get();
                     stats.send_failures = core.metrics.send_failures.get();
-                    let mut guard = core.shutdown.lock().expect("pipeline shutdown state poisoned");
+                    let mut guard = core.shutdown.lock().unwrap_or_else(PoisonError::into_inner);
                     guard.stats = Some(stats.clone());
                     core.closed_or_done.notify_all();
                     return stats;
                 }
             }
-            guard = core.closed_or_done.wait(guard).expect("pipeline shutdown state poisoned");
+            guard = core.closed_or_done.wait(guard).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
-    /// Batched hand-off of one shard's buffer; blocks while that
-    /// shard's queue is full (the backpressure point).
+    /// Batched hand-off of one shard's buffer. Under
+    /// [`OverloadPolicy::Backpressure`] (the default) this blocks while
+    /// that shard's queue is full; under [`OverloadPolicy::Shed`] it
+    /// retries up to the configured delay and then sheds the rest of
+    /// the batch, with exact per-shard accounting.
     fn flush_shard(&mut self, shard: usize) {
-        let buffer = &mut self.buffers[shard];
-        if buffer.is_empty() {
+        if self.buffers[shard].is_empty() {
             return;
         }
         if self.core.metrics.timing() {
             self.core.metrics.flush_fill.record(self.buffered_records[shard]);
             self.core.metrics.ingest_queue_depth.record(self.core.senders[shard].len() as u64);
         }
-        if self.core.senders[shard].send_many(buffer).is_err() {
-            // The shard worker is gone (disconnected mid-run): every
-            // record this buffer held — the ones a partial `send_many`
-            // pushed into the dead channel as well as the unsent tail —
-            // can never be delivered. Count them all; a vanished worker
-            // must surface in the stats, not swallow traffic.
-            self.send_failures += self.buffered_records[shard];
-            buffer.clear();
+        if self.core.faults.fire(FaultSite::RingFull(shard)) {
+            // Injected saturation: the ring "never drains", which under
+            // backpressure would block forever — so both policies shed
+            // the whole buffer here, deterministically. Watermarks in
+            // the buffer go down with it; the broadcast cadence
+            // re-covers them.
+            self.shed_buffer(shard);
+            return;
         }
+        match self.core.overload {
+            OverloadPolicy::Backpressure => {
+                let buffer = &mut self.buffers[shard];
+                if self.core.senders[shard].send_many(buffer).is_err() {
+                    // The shard worker is gone (disconnected mid-run):
+                    // every record this buffer held — the ones a partial
+                    // `send_many` pushed into the dead channel as well as
+                    // the unsent tail — can never be delivered. Count
+                    // them all; a vanished worker must surface in the
+                    // stats, not swallow traffic.
+                    self.send_failures += self.buffered_records[shard];
+                    buffer.clear();
+                }
+                self.buffered_records[shard] = 0;
+            }
+            OverloadPolicy::Shed { max_queue_delay } => {
+                self.flush_shard_shedding(shard, max_queue_delay);
+            }
+        }
+    }
+
+    /// Drop one shard's entire flush buffer, counting its records on
+    /// the global and per-shard shed counters.
+    fn shed_buffer(&mut self, shard: usize) {
+        let shed = self.buffered_records[shard];
+        if shed > 0 {
+            self.core.metrics.shed_records.add(shed);
+            self.core.shed[shard].add(shed);
+        }
+        self.buffers[shard].clear();
+        self.buffered_records[shard] = 0;
+    }
+
+    /// The [`OverloadPolicy::Shed`] flush: per-message `try_send` with
+    /// one deadline for the whole batch. Messages that still find the
+    /// queue full after the deadline are shed (records counted exactly,
+    /// per shard); a disconnected worker converts the remainder to
+    /// `send_failures`, same as the backpressure path.
+    fn flush_shard_shedding(&mut self, shard: usize, max_queue_delay: Duration) {
+        let sender = &self.core.senders[shard];
+        let deadline = Instant::now() + max_queue_delay;
+        let mut shed = 0u64;
+        let mut lost = 0u64;
+        let mut disconnected = false;
+        let mut past_deadline = false;
+        for msg in self.buffers[shard].drain(..) {
+            let is_record = matches!(msg, ShardMsg::Record(_));
+            if disconnected {
+                if is_record {
+                    lost += 1;
+                }
+                continue;
+            }
+            if past_deadline && is_record {
+                // Watermarks still get their single try below even past
+                // the deadline — they are one message and keep the
+                // survivors' windows closing — but records are shed
+                // without another attempt.
+                shed += 1;
+                continue;
+            }
+            let mut pending = msg;
+            loop {
+                match sender.try_send(pending) {
+                    Ok(()) => break,
+                    Err(TrySendError::Full(back)) => {
+                        if Instant::now() >= deadline {
+                            past_deadline = true;
+                            if is_record {
+                                shed += 1;
+                            }
+                            break;
+                        }
+                        pending = back;
+                        std::thread::yield_now();
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        disconnected = true;
+                        if is_record {
+                            lost += 1;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        if shed > 0 {
+            self.core.metrics.shed_records.add(shed);
+            self.core.shed[shard].add(shed);
+        }
+        self.send_failures += lost;
         self.buffered_records[shard] = 0;
     }
 

@@ -22,6 +22,10 @@
 //!   bank: any number of `Detector` implementations per stream, alarms
 //!   merged per window with per-detector attribution.
 //! - [`report`] — continuous extraction over retained windows.
+//! - [`fault`] — deterministic fault injection (`fault-inject`
+//!   feature) and the supervision layer: every worker runs under
+//!   `catch_unwind`, pools restart or fail over to the inline path,
+//!   and degraded operation is reported, never silent.
 //!
 //! Fed the same records, the streaming pipeline raises the same alarms
 //! and mines the same itemsets as the batch pipeline — even when
@@ -70,7 +74,7 @@
 //! assert_eq!(stats.windows, 8);
 //! let reports: Vec<StreamReport> = reports.iter().collect();
 //! assert_eq!(reports.len(), 1, "the scan window alarms");
-//! assert_eq!(reports[0].alarm.window.from_ms, 7 * 60_000);
+//! assert_eq!(reports[0].alarm().unwrap().window.from_ms, 7 * 60_000);
 //! ```
 //!
 //! [`FlowRecord`]: anomex_flow::record::FlowRecord
@@ -82,6 +86,7 @@
 
 pub mod affinity;
 pub mod detector;
+pub mod fault;
 pub mod ingest;
 pub mod metrics;
 pub mod pipeline;
@@ -95,10 +100,15 @@ pub mod prelude {
     pub use crate::detector::{
         DetectorBank, DetectorCounters, DetectorPool, DetectorRegistry, DetectorSpec, EnsembleAlarm,
     };
+    pub use crate::fault::{FaultPlan, FaultSite};
     pub use crate::ingest::IngestHandle;
     pub use crate::metrics::{MetricValue, MetricsConfig, MetricsReport, MetricsSnapshot, CATALOG};
-    pub use crate::pipeline::{launch, StreamConfig, StreamStats};
-    pub use crate::report::{ContinuousExtractor, ExtractionPool, StreamReport};
+    pub use crate::pipeline::{
+        launch, OverloadPolicy, PipelineHealth, ShardShed, StreamConfig, StreamStats,
+    };
+    pub use crate::report::{
+        AlarmReport, ContinuousExtractor, ExtractionPool, FaultKind, FaultNotice, StreamReport,
+    };
     pub use crate::window::{
         ClosedWindow, ShardWindows, WindowConfig, WindowManager, WindowRecords, WindowShard,
     };

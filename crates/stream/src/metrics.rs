@@ -309,6 +309,94 @@ def!(
     "watermark",
     "Wall-clock lag: unix now minus the broadcast watermark (meaningful for live feeds; huge for replayed synthetic time)."
 );
+def!(
+    FAULT_INJECTED,
+    "fault.injected",
+    Counter,
+    "faults",
+    "fault",
+    "Faults fired by an armed FaultPlan (always 0 without the fault-inject feature)."
+);
+def!(
+    FAULT_WORKER_PANICS,
+    "fault.worker_panics",
+    Counter,
+    "panics",
+    "fault",
+    "Worker panics caught by a supervisor (shard, detector-pool or extraction workers, or a supervised inline slot)."
+);
+def!(
+    FAULT_SHARD_DEATHS,
+    "fault.shard_deaths",
+    Counter,
+    "shards",
+    "fault",
+    "Shard workers lost to a panic; each one retires its merge frontier and the run ends with a terminal StreamReport::Fault."
+);
+def!(
+    FAULT_CONTROL_PANICS,
+    "fault.control_panics",
+    Counter,
+    "panics",
+    "fault",
+    "Control-thread panics absorbed at shutdown; final stats are then reconstructed from live counters."
+);
+def!(
+    DEGRADED_DETECT_RESTARTS,
+    "degraded.detect.restarts",
+    Counter,
+    "restarts",
+    "degraded",
+    "Detector-pool workers restarted with freshly built detector state after a panic."
+);
+def!(
+    DEGRADED_DETECT_FAILOVERS,
+    "degraded.detect.failovers",
+    Counter,
+    "failovers",
+    "degraded",
+    "Detector pools that exhausted their restart budget and fell back to the inline bank on the control thread."
+);
+def!(
+    DEGRADED_EXTRACT_RESTARTS,
+    "degraded.extract.restarts",
+    Counter,
+    "restarts",
+    "degraded",
+    "Extraction workers restarted with a fresh extractor (retained-window horizon reset) after a panic."
+);
+def!(
+    DEGRADED_EXTRACT_FAILOVERS,
+    "degraded.extract.failovers",
+    Counter,
+    "failovers",
+    "degraded",
+    "Extraction pools that exhausted their restart budget and fell back to inline extraction on the control thread."
+);
+def!(
+    DEGRADED_QUARANTINED_WINDOWS,
+    "degraded.quarantined_windows",
+    Counter,
+    "windows",
+    "degraded",
+    "Windows skipped (and reported as StreamReport::Fault) after extraction panicked repeatedly on them."
+);
+def!(
+    DEGRADED_SHED_RECORDS,
+    "degraded.shed_records",
+    Counter,
+    "records",
+    "degraded",
+    "Records shed at ingest under OverloadPolicy::Shed because a shard ring stayed saturated past max_queue_delay."
+);
+def!(
+    DEGRADED_SHED_RECORDS_SHARD,
+    "degraded.shed_records.*",
+    Counter,
+    "records",
+    "degraded",
+    "Per-shard breakdown of degraded.shed_records (one counter per shard ring)."
+);
 
 /// Every metric the pipeline can record, in catalog order (grouped by
 /// stage). `*` names are templates instantiated per dynamic member
@@ -348,6 +436,17 @@ pub static CATALOG: &[MetricDef] = &[
     WATERMARK_LAG_EVENT_MS,
     WATERMARK_FRONTIER_SKEW_MS,
     WATERMARK_LAG_WALL_MS,
+    FAULT_INJECTED,
+    FAULT_WORKER_PANICS,
+    FAULT_SHARD_DEATHS,
+    FAULT_CONTROL_PANICS,
+    DEGRADED_DETECT_RESTARTS,
+    DEGRADED_DETECT_FAILOVERS,
+    DEGRADED_EXTRACT_RESTARTS,
+    DEGRADED_EXTRACT_FAILOVERS,
+    DEGRADED_QUARANTINED_WINDOWS,
+    DEGRADED_SHED_RECORDS,
+    DEGRADED_SHED_RECORDS_SHARD,
 ];
 
 /// Telemetry configuration carried by `StreamConfig`.
@@ -423,6 +522,21 @@ impl MetricsReport {
     pub fn report_queue_depth(&self) -> Option<u64> {
         self.snapshot.gauge(REPORT_QUEUE_DEPTH.name)
     }
+
+    /// Worker panics caught by a supervisor so far.
+    pub fn worker_panics(&self) -> u64 {
+        self.snapshot.counter(FAULT_WORKER_PANICS.name)
+    }
+
+    /// Records shed under `OverloadPolicy::Shed` so far.
+    pub fn shed_records(&self) -> u64 {
+        self.snapshot.counter(DEGRADED_SHED_RECORDS.name)
+    }
+
+    /// Windows quarantined after repeated extraction panics so far.
+    pub fn quarantined_windows(&self) -> u64 {
+        self.snapshot.counter(DEGRADED_QUARANTINED_WINDOWS.name)
+    }
 }
 
 impl Serialize for MetricsReport {
@@ -472,6 +586,16 @@ pub(crate) struct PipelineMetrics {
     pub(crate) lag_event_ms: Gauge,
     pub(crate) frontier_skew_ms: Gauge,
     pub(crate) lag_wall_ms: Gauge,
+    pub(crate) fault_injected: Counter,
+    pub(crate) worker_panics: Counter,
+    pub(crate) shard_deaths: Counter,
+    pub(crate) control_panics: Counter,
+    pub(crate) detect_restarts: Counter,
+    pub(crate) detect_failovers: Counter,
+    pub(crate) extract_restarts: Counter,
+    pub(crate) extract_failovers: Counter,
+    pub(crate) quarantined_windows: Counter,
+    pub(crate) shed_records: Counter,
 }
 
 impl PipelineMetrics {
@@ -510,8 +634,27 @@ impl PipelineMetrics {
             lag_event_ms: registry.gauge(&WATERMARK_LAG_EVENT_MS),
             frontier_skew_ms: registry.gauge(&WATERMARK_FRONTIER_SKEW_MS),
             lag_wall_ms: registry.gauge(&WATERMARK_LAG_WALL_MS),
+            fault_injected: registry.counter(&FAULT_INJECTED),
+            worker_panics: registry.counter(&FAULT_WORKER_PANICS),
+            shard_deaths: registry.counter(&FAULT_SHARD_DEATHS),
+            control_panics: registry.counter(&FAULT_CONTROL_PANICS),
+            detect_restarts: registry.counter(&DEGRADED_DETECT_RESTARTS),
+            detect_failovers: registry.counter(&DEGRADED_DETECT_FAILOVERS),
+            extract_restarts: registry.counter(&DEGRADED_EXTRACT_RESTARTS),
+            extract_failovers: registry.counter(&DEGRADED_EXTRACT_FAILOVERS),
+            quarantined_windows: registry.counter(&DEGRADED_QUARANTINED_WINDOWS),
+            shed_records: registry.counter(&DEGRADED_SHED_RECORDS),
             registry,
         }
+    }
+
+    /// The per-shard shed counter, registered under the
+    /// `degraded.shed_records.<shard>` family. The registry dedupes by
+    /// name, so the intake handle that sheds and the control loop that
+    /// reads stats back share the same underlying counter.
+    pub(crate) fn shard_shed(&self, shard: usize) -> Counter {
+        self.registry
+            .counter_named(format!("degraded.shed_records.{shard}"), &DEGRADED_SHED_RECORDS_SHARD)
     }
 
     /// Whether the timing layer records; call sites use this to skip

@@ -31,7 +31,9 @@
 //! batched over the lock-free channel, and any number of concurrent
 //! [`IngestHandle`]s sharing one watermark table.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
 
 use anomex_core::extract::ExtractorConfig;
 use anomex_flow::record::FlowRecord;
@@ -40,9 +42,13 @@ use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use serde::{Deserialize, Serialize};
 
 use crate::detector::{DetectorBank, DetectorCounters, DetectorPool, DetectorRegistry};
+use crate::fault::{ActiveFaults, FaultPlan, FaultSite, Supervision, MAX_POOL_RESTARTS};
 use crate::ingest::{PipelineCore, PipelineJoin};
 use crate::metrics::{MetricsConfig, MetricsReport, PipelineMetrics};
-use crate::report::{ContinuousExtractor, ExtractionPool, StreamReport};
+use crate::report::{
+    supervised_push, ContinuousExtractor, ExtractionPool, FaultKind, FaultNotice, RebuildSpec,
+    StreamReport,
+};
 use crate::window::{ShardWindows, WindowConfig, WindowManager, WindowShard};
 use anomex_obs::stage_timer;
 
@@ -116,6 +122,12 @@ pub struct StreamConfig {
     /// [`StreamStats`]) are live regardless, so disabling telemetry
     /// never changes the run's statistics or reports.
     pub metrics: MetricsConfig,
+    /// What ingest does when a shard's bounded queue stays full; see
+    /// [`OverloadPolicy`]. Backpressure (lossless) by default.
+    pub overload: OverloadPolicy,
+    /// Deterministic fault-injection schedule (`fault-inject` feature;
+    /// a zero-sized no-op otherwise). Empty by default: inject nothing.
+    pub faults: FaultPlan,
 }
 
 impl Default for StreamConfig {
@@ -135,8 +147,90 @@ impl Default for StreamConfig {
             extractor: ExtractorConfig::default(),
             retain_windows: 2,
             metrics: MetricsConfig::default(),
+            overload: OverloadPolicy::Backpressure,
+            faults: FaultPlan::new(),
         }
     }
+}
+
+/// Ingest behavior when a shard worker's bounded queue stays full —
+/// the graceful-degradation knob for overload.
+///
+/// Backpressure is lossless and the right default for replay and
+/// archival workloads. Live collectors that must keep absorbing the
+/// wire pick [`Shed`](OverloadPolicy::Shed): a flush that cannot hand
+/// its batch over within the bound drops the remaining records and
+/// counts them — globally on `degraded.shed_records`, per shard on
+/// `degraded.shed_records.<shard>`, and in
+/// [`PipelineHealth::per_shard_shed`] — so overload is visible and
+/// exactly accounted, never silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Block the pushing thread until the shard drains (lossless).
+    #[default]
+    Backpressure,
+    /// Retry a full queue up to `max_queue_delay` per flush, then shed
+    /// the records still unsent.
+    Shed {
+        /// Longest time one flush may spend retrying a full shard
+        /// queue before shedding the rest of its batch.
+        max_queue_delay: Duration,
+    },
+}
+
+/// Degradation counters for one pipeline run — the supervision
+/// layer's read-back view, carried in [`StreamStats::health`]. All
+/// zeros ([`healthy`](PipelineHealth::healthy)) on a clean run.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PipelineHealth {
+    /// Worker panics caught by any supervisor (`fault.worker_panics`).
+    pub worker_panics: u64,
+    /// Shard workers that died; their traffic after death was lost and
+    /// the run ended with a terminal [`FaultNotice`]
+    /// (`fault.shard_deaths`).
+    pub shard_deaths: u64,
+    /// Detector-pool seats rebuilt after a panic, plus inline bank
+    /// slots rebuilt (`degraded.detect.restarts`).
+    pub detector_restarts: u64,
+    /// Detector pools that fell back to the inline bank
+    /// (`degraded.detect.failovers`).
+    pub detector_failovers: u64,
+    /// Extraction workers rebuilt after a panic
+    /// (`degraded.extract.restarts`).
+    pub extraction_restarts: u64,
+    /// Extraction pools that fell back to the inline extractor
+    /// (`degraded.extract.failovers`).
+    pub extraction_failovers: u64,
+    /// Windows whose extraction was skipped (reported as in-band
+    /// [`FaultNotice`]s) after repeated panics
+    /// (`degraded.quarantined_windows`).
+    pub quarantined_windows: u64,
+    /// Records shed under [`OverloadPolicy::Shed`], total
+    /// (`degraded.shed_records`).
+    pub shed_records: u64,
+    /// Exact shed accounting per shard; only shards that actually shed
+    /// appear, so shard count alone never changes the value.
+    pub per_shard_shed: Vec<ShardShed>,
+    /// Control threads that died; statistics were recovered from the
+    /// metrics registry (`fault.control_panics`).
+    pub control_panics: u64,
+}
+
+impl PipelineHealth {
+    /// True when nothing degraded: no caught panic, no shed record, no
+    /// quarantined window, no dead thread.
+    pub fn healthy(&self) -> bool {
+        *self == PipelineHealth::default()
+    }
+}
+
+/// One shard's shed-record count (see [`PipelineHealth::per_shard_shed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardShed {
+    /// Shard index.
+    pub shard: usize,
+    /// Records this shard's flushes shed.
+    pub records: u64,
 }
 
 impl StreamConfig {
@@ -178,6 +272,9 @@ pub struct StreamStats {
     pub reports: u64,
     /// Reports dropped because the bounded subscriber channel was full.
     pub reports_dropped: u64,
+    /// Supervision read-back: caught panics, restarts, failovers, shed
+    /// and quarantined work. All zeros on a clean run.
+    pub health: PipelineHealth,
 }
 
 pub(crate) enum ShardMsg {
@@ -187,8 +284,21 @@ pub(crate) enum ShardMsg {
 }
 
 enum CtrlMsg {
-    Report { shard: usize, frontier: u64, windows: Vec<WindowShard> },
-    Done { late_dropped: u64, out_of_span: u64 },
+    Report {
+        shard: usize,
+        frontier: u64,
+        windows: Vec<WindowShard>,
+    },
+    Done {
+        late_dropped: u64,
+        out_of_span: u64,
+    },
+    /// The shard's worker died (its panic was caught by the spawn
+    /// harness): retire it from the merge frontier so the stream keeps
+    /// emitting, and end the run with a terminal fault notice.
+    Fault {
+        shard: usize,
+    },
 }
 
 /// Launch the pipeline; returns the ingest handle and the subscriber
@@ -204,6 +314,7 @@ pub fn launch(config: StreamConfig) -> (IngestHandle, Receiver<StreamReport>) {
     let window_config = config.window_config();
 
     let metrics = Arc::new(PipelineMetrics::new(&config.metrics));
+    let faults = ActiveFaults::new(&config.faults, metrics.fault_injected.clone());
     let (ctrl_tx, ctrl_rx) = bounded::<CtrlMsg>(config.queue_depth);
     let (report_tx, report_rx) = bounded::<StreamReport>(config.report_queue.max(1));
     let (metrics_tx, metrics_rx) = bounded::<MetricsReport>(config.metrics.report_queue.max(1));
@@ -216,6 +327,7 @@ pub fn launch(config: StreamConfig) -> (IngestHandle, Receiver<StreamReport>) {
         senders.push(tx);
         let ctrl = ctrl_tx.clone();
         let worker_metrics = Arc::clone(&metrics);
+        let worker_faults = Arc::clone(&faults);
         let pin = config.pin_shards;
         workers.push(
             std::thread::Builder::new()
@@ -226,7 +338,30 @@ pub fn launch(config: StreamConfig) -> (IngestHandle, Receiver<StreamReport>) {
                         // and ring slots cache-resident on one core.
                         let _ = crate::affinity::pin_current_thread(shard % cores);
                     }
-                    shard_worker(shard, rx, ctrl, window_config, worker_metrics)
+                    // The supervision harness: a panicking shard (a bug
+                    // in windowing, or an injected ShardPanic) must not
+                    // hang the pipeline. Its windowed state is
+                    // unrecoverable — per-shard windows cannot be
+                    // rebuilt from nothing — so the worker is not
+                    // restarted; the control loop retires the shard
+                    // from the merge frontier and ends the run with a
+                    // terminal fault notice.
+                    let dead = catch_unwind(AssertUnwindSafe(|| {
+                        shard_worker(
+                            shard,
+                            &rx,
+                            &ctrl,
+                            window_config,
+                            &worker_metrics,
+                            &worker_faults,
+                        )
+                    }))
+                    .is_err();
+                    if dead {
+                        worker_metrics.worker_panics.inc();
+                        worker_metrics.shard_deaths.inc();
+                        let _ = ctrl.send(CtrlMsg::Fault { shard });
+                    }
                 })
                 .expect("spawn shard worker"),
         );
@@ -236,13 +371,27 @@ pub fn launch(config: StreamConfig) -> (IngestHandle, Receiver<StreamReport>) {
         metrics.channel_capacity.set(cap as u64);
     }
 
-    let (shards, lateness_ms, watermark_every, ingest_batch) =
-        (config.shards, config.lateness_ms, config.watermark_every, config.ingest_batch);
+    let (shards, lateness_ms, watermark_every, ingest_batch, overload) = (
+        config.shards,
+        config.lateness_ms,
+        config.watermark_every,
+        config.ingest_batch,
+        config.overload,
+    );
     let control_metrics = Arc::clone(&metrics);
+    let control_faults = Arc::clone(&faults);
     let control = std::thread::Builder::new()
         .name("anomex-stream-control".into())
         .spawn(move || {
-            control_loop(config, window_config, ctrl_rx, report_tx, control_metrics, metrics_tx)
+            control_loop(
+                config,
+                window_config,
+                ctrl_rx,
+                report_tx,
+                control_metrics,
+                metrics_tx,
+                control_faults,
+            )
         })
         .expect("spawn control thread");
 
@@ -252,6 +401,8 @@ pub fn launch(config: StreamConfig) -> (IngestHandle, Receiver<StreamReport>) {
         PipelineJoin { workers, control },
         metrics,
         metrics_rx,
+        overload,
+        faults,
     ));
     let handle = IngestHandle::launch_first(core, shards, ingest_batch, watermark_every);
     (handle, report_rx)
@@ -279,16 +430,22 @@ const CTRL_COALESCE: usize = 128;
 const EXTRACT_POOL_QUEUE: usize = 64;
 
 /// One ingest shard: windows its records, closes them on watermarks.
+/// Runs under the spawn harness's `catch_unwind` — a panic here is
+/// caught, counted, and reported as a [`CtrlMsg::Fault`].
 fn shard_worker(
     shard: usize,
-    rx: Receiver<ShardMsg>,
-    ctrl: Sender<CtrlMsg>,
+    rx: &Receiver<ShardMsg>,
+    ctrl: &Sender<CtrlMsg>,
     config: WindowConfig,
-    metrics: Arc<PipelineMetrics>,
+    metrics: &PipelineMetrics,
+    faults: &ActiveFaults,
 ) {
     let mut windows = ShardWindows::new(shard, config);
     let mut batch: Vec<ShardMsg> = Vec::with_capacity(SHARD_RECV_BATCH);
     'recv: while rx.recv_many(&mut batch, SHARD_RECV_BATCH) > 0 {
+        if faults.fire(FaultSite::ShardPanic(shard)) {
+            panic!("fault-inject: shard worker panic");
+        }
         if metrics.timing() {
             metrics.recv_batch.record(batch.len() as u64);
             metrics.shard_queue_depth.record(rx.len() as u64);
@@ -358,6 +515,7 @@ fn emit_metrics(
 /// The detection stage as the control loop drives it: the sequential
 /// bank inline on the control thread, or the worker pool behind the
 /// same deterministic control-side merge ([`StreamConfig::detector_workers`]).
+#[allow(clippy::large_enum_variant)] // one instance per pipeline, never collected
 enum BankDriver {
     Inline(DetectorBank),
     Pool(DetectorPool),
@@ -373,11 +531,12 @@ impl BankDriver {
 }
 
 /// The extraction stage as the control loop drives it: the continuous
-/// extractor inline on the control thread, or the dedicated worker
+/// extractor inline on the control thread (supervised per window, with
+/// the rebuild spec for panic recovery), or the dedicated worker
 /// behind the same in-order emission path
 /// ([`StreamConfig::extraction_workers`]).
 enum ExtractDriver {
-    Inline(ContinuousExtractor),
+    Inline { extractor: ContinuousExtractor, spec: RebuildSpec, supervision: Supervision },
     Pool(ExtractionPool),
 }
 
@@ -390,7 +549,7 @@ fn emit_report(
     report_tx: &Sender<StreamReport>,
 ) {
     metrics.reports_emitted.inc();
-    report.dropped_before = metrics.reports_dropped.get();
+    report.set_dropped_before(metrics.reports_dropped.get());
     // Never block detection on the subscriber: a full queue drops the
     // report and counts it; a dropped subscriber just discards.
     match report_tx.try_send(report) {
@@ -413,12 +572,34 @@ fn control_loop(
     report_tx: Sender<StreamReport>,
     metrics: Arc<PipelineMetrics>,
     metrics_tx: Sender<MetricsReport>,
+    faults: Arc<ActiveFaults>,
 ) -> StreamStats {
+    let detect_supervision = Supervision {
+        faults: Arc::clone(&faults),
+        worker_panics: metrics.worker_panics.clone(),
+        restarts: metrics.detect_restarts.clone(),
+        failovers: metrics.detect_failovers.clone(),
+        quarantined: metrics.quarantined_windows.clone(),
+        max_restarts: MAX_POOL_RESTARTS,
+    };
+    let extract_supervision = Supervision {
+        faults: Arc::clone(&faults),
+        worker_panics: metrics.worker_panics.clone(),
+        restarts: metrics.extract_restarts.clone(),
+        failovers: metrics.extract_failovers.clone(),
+        quarantined: metrics.quarantined_windows.clone(),
+        max_restarts: MAX_POOL_RESTARTS,
+    };
     let mut manager = WindowManager::new(config.shards, window_config);
     let mut bank = config.detectors.build_bank();
     bank.instrument(|name| metrics.detector_instruments(name));
+    bank.supervise(detect_supervision.clone());
     let mut driver = if config.detector_workers > 0 {
-        BankDriver::Pool(bank.into_pool(config.detector_workers, DETECT_POOL_QUEUE))
+        BankDriver::Pool(bank.into_pool_supervised(
+            config.detector_workers,
+            DETECT_POOL_QUEUE,
+            detect_supervision,
+        ))
     } else {
         BankDriver::Inline(bank)
     };
@@ -426,9 +607,14 @@ fn control_loop(
     extractor.instrument(metrics.extract_encode.clone(), metrics.extract_mine.clone());
     extractor.instrument_dict(metrics.dict_hits.clone(), metrics.dict_misses.clone());
     let mut extract = if config.extraction_workers > 0 {
-        ExtractDriver::Pool(extractor.into_pool(EXTRACT_POOL_QUEUE, metrics.extract_stall.clone()))
+        ExtractDriver::Pool(extractor.into_pool_supervised(
+            EXTRACT_POOL_QUEUE,
+            metrics.extract_stall.clone(),
+            extract_supervision,
+        ))
     } else {
-        ExtractDriver::Inline(extractor)
+        let spec = extractor.rebuild_spec();
+        ExtractDriver::Inline { extractor, spec, supervision: extract_supervision }
     };
     let mut stats = StreamStats::default();
     let mut metrics_seq = 0u64;
@@ -457,8 +643,8 @@ fn control_loop(
             };
             metrics.merged_alarms.add(alarms.len() as u64);
             match extract {
-                ExtractDriver::Inline(extractor) => {
-                    for report in extractor.push_window(window, &alarms) {
+                ExtractDriver::Inline { extractor, spec, supervision } => {
+                    for report in supervised_push(extractor, spec, supervision, window, &alarms) {
                         emit_report(report, &metrics, &report_tx);
                     }
                 }
@@ -483,6 +669,7 @@ fn control_loop(
     };
 
     let mut done = 0usize;
+    let mut shard_faults: Vec<usize> = Vec::new();
     while done < config.shards {
         let Ok(first) = ctrl_rx.recv() else {
             break; // every worker gone (panic path): emit what we can
@@ -506,6 +693,15 @@ fn control_loop(
                     metrics.late_dropped.add(late_dropped);
                     metrics.out_of_span.add(out_of_span);
                     done += 1;
+                }
+                Some(CtrlMsg::Fault { shard }) => {
+                    // The dead shard sends no further frontier: retire
+                    // it so the min-frontier merge keeps emitting the
+                    // survivors' windows instead of stalling forever.
+                    manager.retire_shard(shard);
+                    shard_faults.push(shard);
+                    done += 1;
+                    staged += 1; // the frontier moved: run the merge
                 }
                 None => {}
             }
@@ -540,6 +736,24 @@ fn control_loop(
             metrics.extract_queue_depth.set(0);
         }
     }
+    // A dead shard is a gap no downstream stage can see on its own:
+    // close the stream with a terminal fault notice (after the last
+    // extraction report, so subscribers read it as "the run ended
+    // degraded" rather than racing it with window output).
+    if !shard_faults.is_empty() {
+        shard_faults.sort_unstable();
+        let notice = FaultNotice {
+            kind: FaultKind::ShardDead,
+            window: None,
+            detail: format!(
+                "shard worker(s) {shard_faults:?} died; their windowed traffic from the point \
+                 of death on is missing from every later window"
+            ),
+            terminal: true,
+            dropped_before: 0,
+        };
+        emit_report(StreamReport::Fault(notice), &metrics, &report_tx);
+    }
     stats.late_dropped = metrics.late_dropped.get();
     stats.out_of_span = metrics.out_of_span.get();
     stats.windows = metrics.merge_windows.get();
@@ -547,6 +761,23 @@ fn control_loop(
     stats.reports = metrics.reports_emitted.get();
     stats.reports_dropped = metrics.reports_dropped.get();
     stats.per_detector = driver.counters();
+    stats.health = PipelineHealth {
+        worker_panics: metrics.worker_panics.get(),
+        shard_deaths: metrics.shard_deaths.get(),
+        detector_restarts: metrics.detect_restarts.get(),
+        detector_failovers: metrics.detect_failovers.get(),
+        extraction_restarts: metrics.extract_restarts.get(),
+        extraction_failovers: metrics.extract_failovers.get(),
+        quarantined_windows: metrics.quarantined_windows.get(),
+        shed_records: metrics.shed_records.get(),
+        per_shard_shed: (0..config.shards)
+            .filter_map(|s| {
+                let records = metrics.shard_shed(s).get();
+                (records > 0).then_some(ShardShed { shard: s, records })
+            })
+            .collect(),
+        control_panics: metrics.control_panics.get(),
+    };
     // One final report so a subscriber always sees the complete run,
     // whatever the cadence. Ingest totals are included: every handle
     // folds them at close, and the stream-end Flush that gets us here is
@@ -627,14 +858,12 @@ mod tests {
         assert_eq!(stats.reports, 1);
         assert_eq!(received.len(), 1);
         let report = &received[0];
-        assert_eq!(report.alarm.window.from_ms, 7 * 60_000);
+        assert_eq!(report.alarm().unwrap().window.from_ms, 7 * 60_000);
+        let extraction = report.extraction().unwrap();
         assert!(
-            report.extraction.itemsets[0]
-                .items
-                .iter()
-                .any(|i| i.to_string() == "srcIP=10.66.66.66"),
+            extraction.itemsets[0].items.iter().any(|i| i.to_string() == "srcIP=10.66.66.66"),
             "scanner missing from top itemset: {}",
-            report.extraction.itemsets[0].pattern()
+            extraction.itemsets[0].pattern()
         );
     }
 
@@ -702,17 +931,19 @@ mod tests {
 
         let scan = received
             .iter()
-            .find(|r| r.alarm.window.from_ms == 11 * 60_000)
+            .find(|r| r.alarm().is_some_and(|a| a.window.from_ms == 11 * 60_000))
             .expect("scan window must be reported");
-        assert_eq!(scan.sources.len(), 2, "both detectors attribute: {:?}", scan.alarm);
-        assert_eq!(scan.alarm.detector, "kl+entropy-pca");
+        assert_eq!(scan.sources().len(), 2, "both detectors attribute: {:?}", scan.alarm());
+        assert_eq!(scan.alarm().unwrap().detector, "kl+entropy-pca");
+        let extraction = scan.extraction().unwrap();
         assert!(
-            scan.extraction.itemsets[0].items.iter().any(|i| i.to_string() == "srcIP=10.66.66.66"),
+            extraction.itemsets[0].items.iter().any(|i| i.to_string() == "srcIP=10.66.66.66"),
             "scanner missing from merged extraction: {}",
-            scan.extraction.itemsets[0].pattern()
+            extraction.itemsets[0].pattern()
         );
         // Merged per window: reports never repeat a window per detector.
-        let mut windows: Vec<u64> = received.iter().map(|r| r.alarm.window.from_ms).collect();
+        let mut windows: Vec<u64> =
+            received.iter().map(|r| r.alarm().unwrap().window.from_ms).collect();
         windows.dedup();
         assert_eq!(windows.len(), received.len(), "duplicate window reports: {windows:?}");
     }
@@ -805,6 +1036,7 @@ mod tests {
                     // mined itemsets and supports must not.
                     assert_eq!(&received.len(), &expected_reports.len());
                     for (a, b) in received.iter().zip(expected_reports) {
+                        let (a, b) = (a.as_alarm().unwrap(), b.as_alarm().unwrap());
                         assert_eq!(a.alarm.window, b.alarm.window);
                         assert_eq!(a.extraction.itemsets, b.extraction.itemsets);
                         assert_eq!(a.extraction.candidate_flows, b.extraction.candidate_flows);
@@ -833,6 +1065,7 @@ mod tests {
                     assert_eq!(&stats, expected_stats, "batch {ingest_batch} diverged");
                     assert_eq!(received.len(), expected_reports.len());
                     for (a, b) in received.iter().zip(expected_reports) {
+                        let (a, b) = (a.as_alarm().unwrap(), b.as_alarm().unwrap());
                         assert_eq!(a.alarm, b.alarm);
                         assert_eq!(a.extraction.itemsets, b.extraction.itemsets);
                     }
@@ -878,7 +1111,7 @@ mod tests {
         assert_eq!(stats.send_failures, 0);
         assert_eq!(stats.windows, 8);
         assert_eq!(received.len(), 1);
-        assert_eq!(received[0].alarm.window.from_ms, 7 * 60_000);
+        assert_eq!(received[0].alarm().unwrap().window.from_ms, 7 * 60_000);
     }
 
     #[test]
@@ -963,7 +1196,7 @@ mod tests {
         let received: Vec<StreamReport> = reports.iter().collect();
         assert_eq!(received.len(), 1, "queue of 1 keeps exactly one report");
         assert_eq!(stats.reports_dropped, stats.reports - 1, "{stats:?}");
-        assert_eq!(received[0].dropped_before, 0, "first report preceded every drop");
+        assert_eq!(received[0].dropped_before(), 0, "first report preceded every drop");
     }
 
     #[test]
@@ -986,7 +1219,7 @@ mod tests {
         assert!(pool_stats.reports >= 2, "need several reports to exercise dropping");
         assert_eq!(pool_received.len(), 1, "queue of 1 keeps exactly one report");
         assert_eq!(pool_stats.reports_dropped, pool_stats.reports - 1, "{pool_stats:?}");
-        assert_eq!(pool_received[0].dropped_before, 0, "first report preceded every drop");
+        assert_eq!(pool_received[0].dropped_before(), 0, "first report preceded every drop");
         assert_eq!(pool_stats, inline_stats, "pool changed the drop accounting");
         assert_eq!(pool_received, inline_received, "pool changed the surviving report");
     }
@@ -1011,7 +1244,7 @@ mod tests {
         drop(ingest);
         let received: Vec<StreamReport> = reports.iter().collect();
         assert_eq!(received.len(), 1, "the scan report still lands");
-        assert_eq!(received[0].alarm.window.from_ms, 7 * 60_000);
+        assert_eq!(received[0].alarm().unwrap().window.from_ms, 7 * 60_000);
     }
 
     #[test]

@@ -1,10 +1,19 @@
 //! Continuous extraction: alarms raised on a closed window are mined
 //! against the in-memory window shards immediately — inline on the
-//! control thread, or on a dedicated worker behind an
+//! control thread, or on a supervised worker behind an
 //! [`ExtractionPool`] — and the resulting [`StreamReport`]s flow to a
 //! subscriber channel.
+//!
+//! Everything on the subscriber channel is a [`StreamReport`]: either
+//! an [`AlarmReport`] (a merged alarm's mined root cause, the normal
+//! case) or a [`FaultNotice`] (the pipeline degraded — a window was
+//! quarantined after repeated extraction panics, or a shard worker
+//! died). Faults are in-band on purpose: a subscriber that only ever
+//! sees alarms cannot distinguish "quiet network" from "dead pipeline".
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
 use anomex_core::candidate::{candidate_filter, candidates_from_iter};
@@ -13,16 +22,86 @@ use anomex_core::extract::{Extraction, Extractor, ExtractorConfig};
 use anomex_detect::alarm::Alarm;
 use anomex_flow::store::TimeRange;
 use anomex_obs::{Counter, Histogram, StageTimer};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError, TrySendError};
 use serde::{Deserialize, Serialize};
 
 use crate::detector::EnsembleAlarm;
+use crate::fault::{
+    restart_backoff, ActiveFaults, FaultSite, Supervision, WorkerPoisoned, MAX_TASK_ATTEMPTS,
+};
 use crate::window::ClosedWindow;
 
-/// One merged alarm's root-cause report, as emitted on the subscriber
-/// channel.
+/// One item on the subscriber channel: a mined root-cause report, or an
+/// in-band notice that the pipeline degraded.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct StreamReport {
+pub enum StreamReport {
+    /// A merged alarm's root-cause report (the normal case).
+    Alarm(AlarmReport),
+    /// The pipeline degraded: a quarantined window, or a terminal shard
+    /// fault. See [`FaultNotice::terminal`].
+    Fault(FaultNotice),
+}
+
+impl StreamReport {
+    /// The alarm report, when this is one.
+    pub fn as_alarm(&self) -> Option<&AlarmReport> {
+        match self {
+            StreamReport::Alarm(report) => Some(report),
+            StreamReport::Fault(_) => None,
+        }
+    }
+
+    /// The fault notice, when this is one.
+    pub fn as_fault(&self) -> Option<&FaultNotice> {
+        match self {
+            StreamReport::Alarm(_) => None,
+            StreamReport::Fault(notice) => Some(notice),
+        }
+    }
+
+    /// The (merged) alarm that triggered extraction, for alarm reports.
+    pub fn alarm(&self) -> Option<&Alarm> {
+        self.as_alarm().map(|r| &r.alarm)
+    }
+
+    /// The mined itemsets, for alarm reports.
+    pub fn extraction(&self) -> Option<&Extraction> {
+        self.as_alarm().map(|r| &r.extraction)
+    }
+
+    /// Per-detector attribution, for alarm reports (empty for faults).
+    pub fn sources(&self) -> &[Alarm] {
+        self.as_alarm().map_or(&[], |r| &r.sources)
+    }
+
+    /// True for a [`FaultNotice`].
+    pub fn is_fault(&self) -> bool {
+        matches!(self, StreamReport::Fault(_))
+    }
+
+    /// Reports dropped on the bounded subscriber channel before this
+    /// one was emitted — a slow subscriber sees the gap size, not
+    /// silence. Carried by both variants.
+    pub fn dropped_before(&self) -> u64 {
+        match self {
+            StreamReport::Alarm(report) => report.dropped_before,
+            StreamReport::Fault(notice) => notice.dropped_before,
+        }
+    }
+
+    /// Stamp the drop gap at emission time (both variants carry it).
+    pub(crate) fn set_dropped_before(&mut self, dropped: u64) {
+        match self {
+            StreamReport::Alarm(report) => report.dropped_before = dropped,
+            StreamReport::Fault(notice) => notice.dropped_before = dropped,
+        }
+    }
+}
+
+/// One merged alarm's root-cause report, as emitted on the subscriber
+/// channel inside [`StreamReport::Alarm`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlarmReport {
     /// The (merged) alarm that triggered extraction.
     pub alarm: Alarm,
     /// Per-detector attribution: the source alarms behind `alarm`, in
@@ -36,6 +115,39 @@ pub struct StreamReport {
     /// Reports dropped on the bounded subscriber channel before this one
     /// was emitted — a slow subscriber sees the gap size, not silence.
     pub dropped_before: u64,
+}
+
+/// An in-band degradation notice ([`StreamReport::Fault`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultNotice {
+    /// What degraded.
+    pub kind: FaultKind,
+    /// The affected event-time window, when the fault is scoped to one
+    /// (quarantine); `None` for stream-wide faults.
+    pub window: Option<TimeRange>,
+    /// Human-readable context (which worker, how many attempts).
+    pub detail: String,
+    /// True when the stream cannot produce further complete output
+    /// (a shard worker died: every later window is missing that
+    /// shard's records). A terminal notice is the last report of the
+    /// run. Non-terminal notices (quarantine) leave the rest of the
+    /// stream intact.
+    pub terminal: bool,
+    /// Reports dropped on the bounded subscriber channel before this
+    /// one was emitted.
+    pub dropped_before: u64,
+}
+
+/// The kinds of degradation a [`FaultNotice`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A shard worker died; windows merged after its death are missing
+    /// its share of the records. Always terminal.
+    ShardDead,
+    /// Extraction panicked repeatedly on one window; the window was
+    /// skipped instead of retried forever. Detection already ran — only
+    /// the mined itemsets are missing.
+    WindowQuarantined,
 }
 
 /// Extraction stage of the pipeline: retains the last few closed
@@ -148,13 +260,13 @@ impl ContinuousExtractor {
                             &encoded.last().expect("just pushed").2
                         }
                     };
-                StreamReport {
+                StreamReport::Alarm(AlarmReport {
                     alarm: alarm.clone(),
                     sources: ensemble.sources.clone(),
                     extraction: self.mine_timer.time(|| self.extractor.extract_encoded(enc)),
                     window_flows,
                     dropped_before: 0,
-                }
+                })
             })
             .collect();
         let (hits, misses) = self.encode_state.take_stats();
@@ -163,7 +275,7 @@ impl ContinuousExtractor {
         reports
     }
 
-    /// Move this extractor onto a dedicated worker thread. One worker,
+    /// Move this extractor onto a supervised worker thread. One worker,
     /// FIFO: completed reports come back in exactly the window order
     /// they were dispatched in, so the pool's subscriber-visible output
     /// is bit-identical to running the same extractor inline.
@@ -174,13 +286,117 @@ impl ContinuousExtractor {
     /// when the hand-off was non-blocking, the blocked wall time when
     /// the queue was full (the `extract.pool.stall_ns` source).
     pub fn into_pool(self, queue_depth: usize, stall: Histogram) -> ExtractionPool {
-        let (task_tx, task_rx) = bounded::<ExtractTask>(queue_depth.max(1));
-        let (result_tx, result_rx) = unbounded::<Vec<StreamReport>>();
-        let join = std::thread::Builder::new()
-            .name("anomex-extract-0".into())
-            .spawn(move || pool_worker(self, task_rx, result_tx))
-            .expect("spawn extraction worker");
-        ExtractionPool { task_tx: Some(task_tx), result_rx, join: Some(join), in_flight: 0, stall }
+        self.into_pool_supervised(queue_depth, stall, Supervision::standalone())
+    }
+
+    /// [`into_pool`](ContinuousExtractor::into_pool) wired to the
+    /// pipeline's supervision bundle (armed faults + `fault.*` /
+    /// `degraded.*` counters).
+    pub(crate) fn into_pool_supervised(
+        self,
+        queue_depth: usize,
+        stall: Histogram,
+        supervision: Supervision,
+    ) -> ExtractionPool {
+        let spec = self.rebuild_spec();
+        let queue_depth = queue_depth.max(1);
+        let (task_tx, result_rx, join) =
+            spawn_extract_worker(self, queue_depth, supervision.faults.clone());
+        ExtractionPool {
+            task_tx: Some(task_tx),
+            result_rx,
+            join: Some(join),
+            stall,
+            queue_depth_cfg: queue_depth,
+            spec,
+            supervision,
+            restarts: 0,
+            pending: VecDeque::new(),
+            ready: VecDeque::new(),
+            inline: None,
+        }
+    }
+
+    /// Everything needed to build an equivalent *fresh* extractor —
+    /// same config, horizon and instrument handles, empty retained
+    /// state. The supervisor rebuilds from this after a panic (the
+    /// panicked extractor's state is mid-mutation and discarded).
+    pub(crate) fn rebuild_spec(&self) -> RebuildSpec {
+        RebuildSpec {
+            config: *self.extractor.config(),
+            horizon: self.horizon,
+            encode_timer: self.encode_timer.clone(),
+            mine_timer: self.mine_timer.clone(),
+            dict_hits: self.dict_hits.clone(),
+            dict_misses: self.dict_misses.clone(),
+        }
+    }
+}
+
+/// A recipe for an equivalent fresh [`ContinuousExtractor`]: config +
+/// horizon + the shared instrument handles (the counters and timers
+/// are `Arc`-backed, so a rebuilt extractor keeps reporting into the
+/// same metrics).
+#[derive(Debug, Clone)]
+pub(crate) struct RebuildSpec {
+    config: ExtractorConfig,
+    horizon: usize,
+    encode_timer: StageTimer,
+    mine_timer: StageTimer,
+    dict_hits: Counter,
+    dict_misses: Counter,
+}
+
+impl RebuildSpec {
+    pub(crate) fn build(&self) -> ContinuousExtractor {
+        let mut extractor = ContinuousExtractor::new(self.config, self.horizon);
+        extractor.instrument(self.encode_timer.clone(), self.mine_timer.clone());
+        extractor.instrument_dict(self.dict_hits.clone(), self.dict_misses.clone());
+        extractor
+    }
+}
+
+/// One supervised inline extraction push: runs `push_window` under
+/// `catch_unwind`. On a panic the window is quarantined — skipped with
+/// an in-band [`FaultNotice`] instead of retried (inline retry would
+/// re-panic deterministically) — and the extractor is rebuilt fresh
+/// from `spec`, resetting its retained horizon.
+///
+/// This is the degraded path both the control thread's inline extract
+/// mode and a failed-over [`ExtractionPool`] run on.
+pub(crate) fn supervised_push(
+    extractor: &mut ContinuousExtractor,
+    spec: &RebuildSpec,
+    supervision: &Supervision,
+    window: ClosedWindow,
+    alarms: &[EnsembleAlarm],
+) -> Vec<StreamReport> {
+    let range = window.range;
+    let index = window.index;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if supervision.faults.fire(FaultSite::ExtractPanic) {
+            panic!("fault-inject: extraction panic");
+        }
+        extractor.push_window(window, alarms)
+    }));
+    match outcome {
+        Ok(batch) => batch,
+        Err(_) => {
+            supervision.worker_panics.inc();
+            supervision.restarts.inc();
+            supervision.quarantined.inc();
+            *extractor = spec.build();
+            vec![StreamReport::Fault(FaultNotice {
+                kind: FaultKind::WindowQuarantined,
+                window: Some(range),
+                detail: format!(
+                    "inline extraction panicked on window {index}; its itemsets are skipped and \
+                     the retained-window horizon was reset"
+                ),
+                terminal: false,
+                dropped_before: 0,
+            })]
+        }
     }
 }
 
@@ -190,24 +406,78 @@ impl ContinuousExtractor {
 /// extractor owns the retention horizon.
 type ExtractTask = (ClosedWindow, Vec<EnsembleAlarm>);
 
+/// The worker's answer per task: a (possibly empty) report batch, or
+/// the poisoned sentinel — the worker's last word before its thread
+/// exits after a caught panic.
+type ExtractResult = Result<Vec<StreamReport>, WorkerPoisoned>;
+
+/// One window queued to the worker and not yet answered, kept
+/// supervisor-side so a replacement worker can be fed the exact same
+/// backlog. The `ClosedWindow` clone is a few `Arc` pointers, never the
+/// records.
+#[derive(Debug)]
+struct PendingExtract {
+    window: ClosedWindow,
+    alarms: Vec<EnsembleAlarm>,
+    /// Times this window has panicked a worker; at
+    /// [`MAX_TASK_ATTEMPTS`] it is quarantined instead of retried.
+    attempts: u32,
+}
+
+fn spawn_extract_worker(
+    extractor: ContinuousExtractor,
+    queue_depth: usize,
+    faults: Arc<ActiveFaults>,
+) -> (Sender<ExtractTask>, Receiver<ExtractResult>, std::thread::JoinHandle<()>) {
+    let (task_tx, task_rx) = bounded::<ExtractTask>(queue_depth.max(1));
+    let (result_tx, result_rx) = unbounded::<ExtractResult>();
+    let join = std::thread::Builder::new()
+        .name("anomex-extract-0".into())
+        // Thread spawn fails only on resource exhaustion at startup;
+        // there is no pipeline to degrade into yet, so it is fatal.
+        .spawn(move || pool_worker(extractor, task_rx, result_tx, faults))
+        .expect("spawn extraction worker");
+    (task_tx, result_rx, join)
+}
+
 /// The dedicated extraction worker: drives the moved-in
-/// [`ContinuousExtractor`] over every dispatched window, reporting one
-/// (possibly empty) report batch per task, in task order.
+/// [`ContinuousExtractor`] over every dispatched window under
+/// `catch_unwind`, reporting one (possibly empty) report batch per
+/// task, in task order. A panicked task sends [`WorkerPoisoned`] and
+/// ends the thread — the extractor's state is mid-mutation at that
+/// point and must not be reused.
 fn pool_worker(
     mut extractor: ContinuousExtractor,
     tasks: Receiver<ExtractTask>,
-    results: Sender<Vec<StreamReport>>,
+    results: Sender<ExtractResult>,
+    faults: Arc<ActiveFaults>,
 ) {
     while let Ok((window, alarms)) = tasks.recv() {
-        let reports = extractor.push_window(window, &alarms);
-        if results.send(reports).is_err() {
-            return; // pool dropped mid-flight; nobody left to report to
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if faults.fire(FaultSite::ExtractPanic) {
+                panic!("fault-inject: extraction worker panic");
+            }
+            extractor.push_window(window, &alarms)
+        }));
+        match outcome {
+            Ok(reports) => {
+                if results.send(Ok(reports)).is_err() {
+                    return; // pool dropped mid-flight; nobody left to report to
+                }
+            }
+            Err(_) => {
+                // Result channel is unbounded and the supervisor holds
+                // the receiver for the pool's whole life: the sentinel
+                // always lands.
+                let _ = results.send(Err(WorkerPoisoned));
+                return;
+            }
         }
     }
 }
 
 /// The asynchronous extraction stage: a [`ContinuousExtractor`] moved
-/// onto a dedicated worker ([`ContinuousExtractor::into_pool`]), fed
+/// onto a supervised worker ([`ContinuousExtractor::into_pool`]), fed
 /// closed-window snapshots, answering with window-ordered report
 /// batches.
 ///
@@ -222,13 +492,47 @@ fn pool_worker(
 /// windows) but the result channel is unbounded, so the worker can
 /// always finish what it started — a full task queue only ever blocks
 /// [`dispatch`](ExtractionPool::dispatch), never the worker.
+///
+/// ## Supervision
+///
+/// The pool keeps every un-answered window in a supervisor-side
+/// backlog. When the worker panics (it sends a poison sentinel and
+/// exits), the pool: blames the oldest un-answered window (FIFO — all
+/// earlier answers were already queued ahead of the sentinel); after
+/// `MAX_TASK_ATTEMPTS` panics that window is **quarantined** —
+/// skipped, with an in-band [`FaultNotice`] in its place in the output
+/// order; then spawns a replacement worker with a *fresh* extractor
+/// (empty retained horizon — overlap candidates from pre-restart
+/// windows are lost, which the notice documents) and re-feeds it the
+/// whole backlog. Restarts are bounded: after `MAX_POOL_RESTARTS` the
+/// pool **fails over** to running extraction inline on the caller's thread
+/// (the proven `extraction_workers = 0` path), where a panicking
+/// window quarantines immediately. `dispatch`/`try_collect`/`drain`
+/// therefore never panic and never hang, whatever the miner does.
 pub struct ExtractionPool {
-    /// `Some` until drop; taken first so the worker's recv loop ends.
+    /// `Some` until drop or failover; taken first so the worker's recv
+    /// loop ends. Invariant outside method bodies: `task_tx.is_some()
+    /// != inline.is_some()`.
     task_tx: Option<Sender<ExtractTask>>,
-    result_rx: Receiver<Vec<StreamReport>>,
+    result_rx: Receiver<ExtractResult>,
     join: Option<std::thread::JoinHandle<()>>,
-    in_flight: usize,
     stall: Histogram,
+    /// Configured run-ahead bound; replacement workers get
+    /// `max(this, backlog)` so a restart never deadlocks on re-feed.
+    queue_depth_cfg: usize,
+    spec: RebuildSpec,
+    supervision: Supervision,
+    /// Replacement workers spawned so far (bounded by
+    /// `supervision.max_restarts`).
+    restarts: u32,
+    /// Dispatched, not yet answered; front is the oldest window — the
+    /// one a poison sentinel blames.
+    pending: VecDeque<PendingExtract>,
+    /// Completed output (reports and quarantine notices) awaiting
+    /// `try_collect`/`drain`, in window order.
+    ready: VecDeque<StreamReport>,
+    /// `Some` once the pool failed over to inline extraction.
+    inline: Option<ContinuousExtractor>,
 }
 
 impl ExtractionPool {
@@ -237,81 +541,233 @@ impl ExtractionPool {
     /// Records the blocked time (0 for a clean hand-off) on the stall
     /// histogram.
     ///
-    /// # Panics
-    /// Panics when the worker died (extraction panicked).
+    /// Never panics: a dead worker is recovered (restart or inline
+    /// failover) before this returns, and after failover the window is
+    /// simply extracted inline here.
     pub fn dispatch(&mut self, window: ClosedWindow, alarms: Vec<EnsembleAlarm>) {
-        let tx = self.task_tx.as_ref().expect("pool already shut down");
-        match tx.try_send((window, alarms)) {
-            Ok(()) => self.stall.record(0),
-            Err(TrySendError::Full(task)) => {
-                let start = if self.stall.is_enabled() { Some(Instant::now()) } else { None };
-                tx.send(task).expect("extraction worker died");
-                if let Some(start) = start {
-                    self.stall.record(start.elapsed().as_nanos() as u64);
-                }
-            }
-            Err(TrySendError::Disconnected(_)) => panic!("extraction worker died"),
+        if let Some(extractor) = self.inline.as_mut() {
+            let batch = supervised_push(extractor, &self.spec, &self.supervision, window, &alarms);
+            self.ready.extend(batch);
+            return;
         }
-        self.in_flight += 1;
+        self.pending.push_back(PendingExtract {
+            window: window.clone(),
+            alarms: alarms.clone(),
+            attempts: 0,
+        });
+        let sent = {
+            // Invariant: a live worker exists whenever `inline` is
+            // `None` — every recovery path installs one or the other
+            // before returning.
+            let tx = self.task_tx.as_ref().expect("worker present while not failed over");
+            match tx.try_send((window, alarms)) {
+                Ok(()) => {
+                    self.stall.record(0);
+                    true
+                }
+                Err(TrySendError::Full(task)) => {
+                    let start = if self.stall.is_enabled() { Some(Instant::now()) } else { None };
+                    // A blocking send unblocks with Err when the worker
+                    // dies mid-wait (its receiver drops on exit).
+                    match tx.send(task) {
+                        Ok(()) => {
+                            if let Some(start) = start {
+                                self.stall.record(start.elapsed().as_nanos() as u64);
+                            }
+                            true
+                        }
+                        Err(_) => false,
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => false,
+            }
+        };
+        if !sent {
+            // The worker died mid-hand-off; its sentinel is already
+            // queued on the result channel. pump() recovers and the
+            // replacement (or the inline fallback) gets the whole
+            // backlog, this window included.
+            self.pump();
+        }
     }
 
     /// Report batches of every task the worker has already finished,
     /// oldest first — never blocks. Batches arrive in dispatch (window)
     /// order; alarm-free windows yield empty batches, dropped here.
     pub fn try_collect(&mut self) -> Vec<StreamReport> {
-        let mut out = Vec::new();
-        while self.in_flight > 0 {
-            match self.result_rx.try_recv() {
-                Ok(reports) => {
-                    self.in_flight -= 1;
-                    out.extend(reports);
-                }
-                Err(_) => break,
-            }
-        }
-        out
+        self.pump();
+        self.ready.drain(..).collect()
     }
 
-    /// Block until every dispatched window is extracted; returns the
-    /// remaining reports in window order. Call at stream end, before
-    /// the final metrics emission.
+    /// Block until every dispatched window is extracted (or
+    /// quarantined); returns the remaining reports in window order.
+    /// Call at stream end, before the final metrics emission.
     ///
-    /// # Panics
-    /// Panics when the worker died (extraction panicked).
+    /// Never panics and never hangs: every loop iteration either
+    /// completes the oldest window, quarantines it (bounded attempts
+    /// per window), or consumes bounded restart budget — and once the
+    /// budget is gone the pool fails over and finishes the backlog
+    /// inline.
     pub fn drain(&mut self) -> Vec<StreamReport> {
-        let mut out = Vec::new();
-        while self.in_flight > 0 {
-            let reports = self.result_rx.recv().expect("extraction worker died");
-            self.in_flight -= 1;
-            out.extend(reports);
+        while self.inline.is_none() && !self.pending.is_empty() {
+            match self.result_rx.recv() {
+                Ok(Ok(batch)) => self.complete_front(batch),
+                Ok(Err(WorkerPoisoned)) => self.on_worker_dead(),
+                // Disconnect without a sentinel: only possible while a
+                // worker swap is already in progress — recover the same
+                // way.
+                Err(_) => self.on_worker_dead(),
+            }
         }
-        out
+        self.ready.drain(..).collect()
     }
 
     /// Windows queued to the worker and not yet picked up — the
-    /// `extract.queue_depth` gauge source.
+    /// `extract.queue_depth` gauge source (0 after inline failover).
     pub fn queue_depth(&self) -> usize {
         self.task_tx.as_ref().map_or(0, |tx| tx.len())
     }
 
     /// Windows dispatched and not yet collected.
     pub fn in_flight(&self) -> usize {
-        self.in_flight
+        self.pending.len()
+    }
+
+    /// True once the pool has fallen back to inline extraction (the
+    /// worker restart budget is spent).
+    pub fn is_degraded(&self) -> bool {
+        self.inline.is_some()
+    }
+
+    /// Drain whatever the worker has already answered, without
+    /// blocking; recovers in place when an answer is the poison
+    /// sentinel.
+    fn pump(&mut self) {
+        while self.inline.is_none() {
+            match self.result_rx.try_recv() {
+                Ok(Ok(batch)) => self.complete_front(batch),
+                Ok(Err(WorkerPoisoned)) => self.on_worker_dead(),
+                Err(TryRecvError::Empty) => return,
+                Err(TryRecvError::Disconnected) => {
+                    if self.task_tx.is_some() {
+                        self.on_worker_dead();
+                    } else {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The oldest pending window is answered: retire it and stage its
+    /// reports for collection.
+    fn complete_front(&mut self, batch: Vec<StreamReport>) {
+        self.pending.pop_front();
+        self.ready.extend(batch);
+    }
+
+    /// The worker panicked (poison sentinel or disconnect). Reap it,
+    /// blame the oldest un-answered window, then restart with a fresh
+    /// extractor — or fail over to inline once the restart budget is
+    /// spent.
+    fn on_worker_dead(&mut self) {
+        self.supervision.worker_panics.inc();
+        // Reap first: after join, the dead worker's result sender is
+        // gone, so the drain below sees every queued answer and then a
+        // clean disconnect — never a spurious Empty.
+        self.task_tx = None;
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+        loop {
+            match self.result_rx.try_recv() {
+                Ok(Ok(batch)) => self.complete_front(batch),
+                Ok(Err(WorkerPoisoned)) => {}
+                Err(_) => break,
+            }
+        }
+        // FIFO worker + in-order results: the front of the backlog is
+        // exactly the task that panicked.
+        if let Some(front) = self.pending.front_mut() {
+            front.attempts += 1;
+            if front.attempts >= MAX_TASK_ATTEMPTS {
+                self.quarantine_front();
+            }
+        }
+        if self.restarts < self.supervision.max_restarts {
+            self.restarts += 1;
+            self.supervision.restarts.inc();
+            restart_backoff(self.restarts);
+            self.respawn();
+        } else {
+            self.fail_over();
+        }
+    }
+
+    /// Skip the front window: in its place in the output order, emit an
+    /// in-band quarantine notice.
+    fn quarantine_front(&mut self) {
+        let Some(poisoned) = self.pending.pop_front() else { return };
+        self.supervision.quarantined.inc();
+        self.ready.push_back(StreamReport::Fault(FaultNotice {
+            kind: FaultKind::WindowQuarantined,
+            window: Some(poisoned.window.range),
+            detail: format!(
+                "extraction panicked {} times on window {}; its itemsets are skipped and the \
+                 worker was rebuilt with an empty retained-window horizon",
+                poisoned.attempts, poisoned.window.index
+            ),
+            terminal: false,
+            dropped_before: 0,
+        }));
+    }
+
+    /// Spawn a replacement worker around a fresh extractor and re-feed
+    /// it the whole backlog. The replacement's queue is sized to hold
+    /// the entire backlog, so the re-feed cannot block.
+    fn respawn(&mut self) {
+        let capacity = self.queue_depth_cfg.max(self.pending.len()).max(1);
+        let (task_tx, result_rx, join) =
+            spawn_extract_worker(self.spec.build(), capacity, self.supervision.faults.clone());
+        for task in &self.pending {
+            // Full is impossible (capacity covers the backlog); a
+            // disconnect means the replacement already died on an
+            // earlier re-fed task — the unsent remainder stays in
+            // `pending`, and the next pump/drain recovers again.
+            let _ = task_tx.send((task.window.clone(), task.alarms.clone()));
+        }
+        self.task_tx = Some(task_tx);
+        self.result_rx = result_rx;
+        self.join = Some(join);
+    }
+
+    /// Restart budget spent: degrade to inline extraction for the rest
+    /// of the stream and finish the backlog here, in window order.
+    fn fail_over(&mut self) {
+        self.supervision.failovers.inc();
+        let mut extractor = self.spec.build();
+        while let Some(task) = self.pending.pop_front() {
+            let batch = supervised_push(
+                &mut extractor,
+                &self.spec,
+                &self.supervision,
+                task.window,
+                &task.alarms,
+            );
+            self.ready.extend(batch);
+        }
+        self.inline = Some(extractor);
     }
 }
 
 impl Drop for ExtractionPool {
     fn drop(&mut self) {
         // Disconnect the task channel so the worker's recv loop ends,
-        // then join. A worker panic (a panicking miner) propagates
-        // unless this drop is itself part of that unwind.
+        // then join. The worker catches its own panics (the sentinel
+        // protocol), so the join result carries nothing to propagate.
         self.task_tx = None;
         if let Some(join) = self.join.take() {
-            if let Err(panic) = join.join() {
-                if !std::thread::panicking() {
-                    std::panic::resume_unwind(panic);
-                }
-            }
+            let _ = join.join();
         }
     }
 }
@@ -360,15 +816,36 @@ mod tests {
         ]);
         let reports = ce.push_window(window, &[EnsembleAlarm::solo(alarm)]);
         assert_eq!(reports.len(), 1);
-        let report = &reports[0];
+        let report = reports[0].as_alarm().expect("alarm report");
         assert_eq!(report.extraction.itemsets[0].flow_support, 400);
         assert_eq!(report.window_flows, 440);
         assert_eq!(report.sources.len(), 1, "solo attribution travels with the report");
         assert_eq!(report.sources[0], report.alarm);
         // Reports serialize: the console and disk sinks depend on it.
-        let json = serde_json::to_string(report).unwrap();
+        let json = serde_json::to_string(&reports[0]).unwrap();
         let back: StreamReport = serde_json::from_str(&json).unwrap();
-        assert_eq!(&back, report);
+        assert_eq!(&back, &reports[0]);
+    }
+
+    #[test]
+    fn fault_notices_serialize_and_expose_accessors() {
+        let notice = StreamReport::Fault(FaultNotice {
+            kind: FaultKind::WindowQuarantined,
+            window: Some(TimeRange::new(60_000, 120_000)),
+            detail: "extraction panicked twice on window 1".to_string(),
+            terminal: false,
+            dropped_before: 2,
+        });
+        assert!(notice.is_fault());
+        assert!(notice.as_alarm().is_none());
+        assert!(notice.alarm().is_none());
+        assert!(notice.extraction().is_none());
+        assert!(notice.sources().is_empty());
+        assert_eq!(notice.dropped_before(), 2);
+        assert_eq!(notice.as_fault().unwrap().kind, FaultKind::WindowQuarantined);
+        let json = serde_json::to_string(&notice).unwrap();
+        let back: StreamReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, notice);
     }
 
     #[test]
@@ -382,8 +859,8 @@ mod tests {
         let b = EnsembleAlarm::solo(Alarm::new(1, "pca", window.range));
         let reports = ce.push_window(window, &[a, b]);
         assert_eq!(reports.len(), 2);
-        assert_eq!(reports[0].extraction, reports[1].extraction);
-        assert_eq!(reports[0].extraction.itemsets[0].flow_support, 300);
+        assert_eq!(reports[0].extraction(), reports[1].extraction());
+        assert_eq!(reports[0].extraction().unwrap().itemsets[0].flow_support, 300);
     }
 
     #[test]
@@ -470,7 +947,116 @@ mod tests {
         let reports = pool.drain();
         assert_eq!(reports.len(), 5, "every alarmed window must report");
         for (i, report) in reports.iter().enumerate() {
-            assert_eq!(report.alarm.window.from_ms, i as u64 * 60_000, "window order broken");
+            let alarm = report.alarm().expect("alarm report");
+            assert_eq!(alarm.window.from_ms, i as u64 * 60_000, "window order broken");
+        }
+    }
+
+    #[cfg(feature = "fault-inject")]
+    mod injected {
+        use super::*;
+        use crate::fault::{ActiveFaults, FaultPlan, FaultSite, Supervision};
+
+        fn armed(plan: FaultPlan) -> Supervision {
+            Supervision {
+                faults: ActiveFaults::new(&plan, Counter::standalone()),
+                worker_panics: Counter::standalone(),
+                restarts: Counter::standalone(),
+                failovers: Counter::standalone(),
+                quarantined: Counter::standalone(),
+                max_restarts: 3,
+            }
+        }
+
+        fn alarmed_feed(n: u64) -> Vec<(ClosedWindow, Vec<EnsembleAlarm>)> {
+            (0..n)
+                .map(|index| {
+                    let window = window_with_scan(index, 60_000, 200 + index as u32);
+                    let alarm = Alarm::new(index, "kl", window.range);
+                    (window, vec![EnsembleAlarm::solo(alarm)])
+                })
+                .collect()
+        }
+
+        #[test]
+        fn single_panic_restarts_the_worker_and_retries_the_window() {
+            let sup = armed(FaultPlan::new().once(FaultSite::ExtractPanic, 2));
+            let ce = ContinuousExtractor::new(ExtractorConfig::default(), 2);
+            let mut pool = ce.into_pool_supervised(4, Histogram::noop(), sup.clone());
+            for (window, alarms) in alarmed_feed(4) {
+                pool.dispatch(window, alarms);
+            }
+            let reports = pool.drain();
+            assert_eq!(reports.len(), 4, "the panicked window is retried, not lost");
+            for (i, report) in reports.iter().enumerate() {
+                let alarm = report.alarm().expect("no quarantine on a single panic");
+                assert_eq!(alarm.window.from_ms, i as u64 * 60_000, "window order broken");
+            }
+            assert_eq!(sup.worker_panics.get(), 1);
+            assert_eq!(sup.restarts.get(), 1);
+            assert_eq!(sup.quarantined.get(), 0);
+            assert_eq!(sup.failovers.get(), 0);
+            assert!(!pool.is_degraded());
+        }
+
+        #[test]
+        fn repeated_panics_quarantine_the_window_in_order() {
+            // Occurrences 2 and 3 are window 1's first try and its
+            // retry: two strikes, quarantined.
+            let sup = armed(
+                FaultPlan::new().once(FaultSite::ExtractPanic, 2).once(FaultSite::ExtractPanic, 3),
+            );
+            let ce = ContinuousExtractor::new(ExtractorConfig::default(), 2);
+            let mut pool = ce.into_pool_supervised(4, Histogram::noop(), sup.clone());
+            for (window, alarms) in alarmed_feed(4) {
+                pool.dispatch(window, alarms);
+            }
+            let reports = pool.drain();
+            assert_eq!(reports.len(), 4);
+            assert_eq!(reports[0].alarm().unwrap().window.from_ms, 0);
+            let notice = reports[1].as_fault().expect("window 1 quarantined in place");
+            assert_eq!(notice.kind, FaultKind::WindowQuarantined);
+            assert_eq!(notice.window.map(|w| w.from_ms), Some(60_000));
+            assert!(!notice.terminal);
+            assert_eq!(reports[2].alarm().unwrap().window.from_ms, 2 * 60_000);
+            assert_eq!(reports[3].alarm().unwrap().window.from_ms, 3 * 60_000);
+            assert_eq!(sup.worker_panics.get(), 2);
+            assert_eq!(sup.quarantined.get(), 1);
+            assert_eq!(sup.failovers.get(), 0);
+        }
+
+        #[test]
+        fn exhausted_restart_budget_fails_over_to_inline() {
+            // Every extraction attempt panics, worker-side and inline:
+            // the pool burns its restart budget, fails over, and every
+            // window comes back as a quarantine notice — bounded time,
+            // exact accounting, nothing lost silently.
+            let sup = armed(FaultPlan::new().repeat_from(FaultSite::ExtractPanic, 1));
+            let ce = ContinuousExtractor::new(ExtractorConfig::default(), 2);
+            let mut pool = ce.into_pool_supervised(4, Histogram::noop(), sup.clone());
+            let feed = alarmed_feed(5);
+            let n = feed.len() as u64;
+            for (window, alarms) in feed {
+                pool.dispatch(window, alarms);
+            }
+            let reports = pool.drain();
+            assert!(pool.is_degraded());
+            assert_eq!(pool.in_flight(), 0);
+            assert_eq!(reports.len(), 5);
+            for (i, report) in reports.iter().enumerate() {
+                let notice = report.as_fault().expect("every window quarantined");
+                assert_eq!(notice.kind, FaultKind::WindowQuarantined);
+                assert_eq!(notice.window.map(|w| w.from_ms), Some(i as u64 * 60_000));
+            }
+            assert_eq!(sup.quarantined.get(), n);
+            assert_eq!(sup.failovers.get(), 1);
+            assert_eq!(sup.restarts.get() as u32, 3 + 3, "3 worker restarts + 3 inline rebuilds");
+            // Dispatch after failover keeps degrading gracefully.
+            let (window, alarms) = alarmed_feed(6).pop().unwrap();
+            pool.dispatch(window, alarms);
+            let tail = pool.try_collect();
+            assert_eq!(tail.len(), 1);
+            assert!(tail[0].is_fault());
         }
     }
 }

@@ -357,6 +357,18 @@ impl WindowManager {
         self.emit()
     }
 
+    /// Permanently remove a dead shard from the merge frontier: its
+    /// slot stops gating the min-over-shards emission, so the
+    /// survivors' windows keep flowing. Partials the shard already
+    /// staged still merge; everything it would have contributed from
+    /// here on is simply absent (the supervision layer reports that
+    /// gap — see `PipelineHealth::shard_deaths`).
+    pub fn retire_shard(&mut self, shard: usize) {
+        // Equivalent to a final report at an infinite frontier, which
+        // is exactly how a healthy shard leaves the stream at flush.
+        self.stage(shard, u64::MAX, Vec::new());
+    }
+
     /// Stream end: emit everything left. Callers must first [`offer`]
     /// every shard's flush report (frontier `u64::MAX`), or trailing
     /// windows stay unemitted.

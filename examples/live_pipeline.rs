@@ -128,9 +128,9 @@ fn main() {
     let scan_report = session
         .reports()
         .iter()
-        .find(|r| r.alarm.window.from_ms == 11 * WIDTH_MS)
+        .find(|r| r.alarm().is_some_and(|a| a.window.from_ms == 11 * WIDTH_MS))
         .expect("the scan window must be among the reports");
-    let top = &scan_report.extraction.itemsets[0];
+    let top = &scan_report.extraction().expect("alarm reports carry an extraction").itemsets[0];
     assert!(
         top.items.iter().any(|i| i.to_string() == format!("srcIP={scanner}")),
         "scanner missing from the top itemset: {}",

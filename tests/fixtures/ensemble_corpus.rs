@@ -60,9 +60,12 @@ fn ensemble_golden_json() -> String {
     let reports: Vec<StreamReport> = reports.iter().collect();
     assert_eq!(stats.windows, WINDOWS, "fixture span must close every window");
     assert!(
-        reports.iter().any(|r| r.sources.len() == 2),
+        reports.iter().any(|r| r.sources().len() == 2),
         "fixture must exercise a genuine cross-detector merge; got {:?}",
-        reports.iter().map(|r| (&r.alarm.detector, r.alarm.window)).collect::<Vec<_>>()
+        reports
+            .iter()
+            .filter_map(|r| r.alarm().map(|a| (&a.detector, a.window)))
+            .collect::<Vec<_>>()
     );
 
     let golden = EnsembleGolden {

@@ -88,6 +88,8 @@ fn streaming_equals_batch_under_out_of_order_arrival() {
             retain_windows: 3,
             report_queue: 1_024,
             metrics: MetricsConfig { enabled: telemetry, ..MetricsConfig::default() },
+            overload: OverloadPolicy::Backpressure,
+            faults: FaultPlan::new(),
         };
         let (mut ingest, reports) = pipeline::launch(config);
         ingest.push_batch(shuffled.clone());
@@ -101,7 +103,8 @@ fn streaming_equals_batch_under_out_of_order_arrival() {
         assert_eq!(stats.windows, INTERVALS);
 
         // --- Alarms: bit-identical with the batch detector.
-        let stream_alarms: Vec<Alarm> = received.iter().map(|r| r.alarm.clone()).collect();
+        let stream_alarms: Vec<Alarm> =
+            received.iter().filter_map(|r| r.alarm().cloned()).collect();
         assert_eq!(
             stream_alarms, batch_alarms,
             "telemetry={telemetry} detector_workers={detector_workers} \
@@ -111,11 +114,12 @@ fn streaming_equals_batch_under_out_of_order_arrival() {
         // --- Itemsets: identical patterns and both supports per alarm.
         assert_eq!(received.len(), batch_extractions.len());
         for (report, batch) in received.iter().zip(&batch_extractions) {
-            assert_eq!(report.extraction.candidate_flows, batch.candidate_flows);
-            assert_eq!(report.extraction.candidate_packets, batch.candidate_packets);
-            assert_eq!(report.extraction.itemsets, batch.itemsets);
-            assert_eq!(report.extraction.tuning, batch.tuning);
-            assert!(!report.extraction.is_empty(), "scan must yield itemsets");
+            let extraction = report.extraction().expect("fault-free run emits alarm reports");
+            assert_eq!(extraction.candidate_flows, batch.candidate_flows);
+            assert_eq!(extraction.candidate_packets, batch.candidate_packets);
+            assert_eq!(extraction.itemsets, batch.itemsets);
+            assert_eq!(extraction.tuning, batch.tuning);
+            assert!(!extraction.is_empty(), "scan must yield itemsets");
         }
         stats_by_mode.push(stats);
     }
@@ -164,6 +168,8 @@ fn multi_handle_shuffled_streaming_equals_batch_bit_for_bit() {
         retain_windows: 3,
         report_queue: 1_024,
         metrics: MetricsConfig::default(),
+        overload: OverloadPolicy::Backpressure,
+        faults: FaultPlan::new(),
     };
     let (ingest, reports) = pipeline::launch(config);
     let mut handles = ingest.split(3);
@@ -191,14 +197,15 @@ fn multi_handle_shuffled_streaming_equals_batch_bit_for_bit() {
     assert_eq!(stats.send_failures, 0);
     assert_eq!(stats.windows, INTERVALS);
 
-    let stream_alarms: Vec<Alarm> = received.iter().map(|r| r.alarm.clone()).collect();
+    let stream_alarms: Vec<Alarm> = received.iter().filter_map(|r| r.alarm().cloned()).collect();
     assert_eq!(stream_alarms, batch_alarms, "alarms must stay bit-identical");
     assert_eq!(received.len(), batch_extractions.len());
     for (report, batch) in received.iter().zip(&batch_extractions) {
-        assert_eq!(report.extraction.candidate_flows, batch.candidate_flows);
-        assert_eq!(report.extraction.candidate_packets, batch.candidate_packets);
-        assert_eq!(report.extraction.itemsets, batch.itemsets);
-        assert_eq!(report.extraction.tuning, batch.tuning);
+        let extraction = report.extraction().expect("fault-free run emits alarm reports");
+        assert_eq!(extraction.candidate_flows, batch.candidate_flows);
+        assert_eq!(extraction.candidate_packets, batch.candidate_packets);
+        assert_eq!(extraction.itemsets, batch.itemsets);
+        assert_eq!(extraction.tuning, batch.tuning);
     }
 }
 
@@ -274,6 +281,6 @@ fn streaming_equals_batch_in_arrival_order_too() {
     let (mut ingest, reports) = pipeline::launch(config);
     ingest.push_batch(ordered);
     ingest.finish();
-    let stream_alarms: Vec<Alarm> = reports.iter().map(|r| r.alarm).collect();
+    let stream_alarms: Vec<Alarm> = reports.iter().filter_map(|r| r.alarm().cloned()).collect();
     assert_eq!(stream_alarms, batch_alarms);
 }
